@@ -1,0 +1,808 @@
+//! FastFair: a lock-based persistent B+tree baseline (FAST'18, PACTree §2.2.1).
+//!
+//! Characteristics this reimplementation preserves (they drive every
+//! comparison in the paper's evaluation):
+//!
+//! * **Sorted nodes with failure-atomic shift inserts**: inserting into a
+//!   node shifts entries one by one, persisting each 8-byte store in order —
+//!   logless crash consistency paid for with extra NVM writes per insert.
+//! * **Embedded integer pairs**: 8-byte keys and values live inside the leaf
+//!   (lowest allocation pressure — GA3's winner; fast sequential scans —
+//!   GA5's winner). String keys are stored *out of node* behind a pointer,
+//!   which costs an extra dereference per comparison (the §6.1 3x collapse
+//!   for string keys).
+//! * **Synchronous SMOs in the critical path**: splits propagate up the tree
+//!   under a whole-path write lock — the blocking the paper's GC2 targets.
+//! * **Reader-visible lock state in NVM**: readers take a shared spinlock
+//!   whose count word lives in the node (NVM), generating the GA2 write
+//!   traffic the paper measured (1.4 GB of writes in read-only YCSB-C).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use pmem::model;
+use pmem::persist;
+use pmem::pool::{self, PmemPool, PoolConfig};
+use pmem::pptr::PmPtr;
+use pmem::{AllocMode, PmemError, Result};
+
+/// Entries per node ("FastFair embeds 30 8B-key and 8B-value pairs in a
+/// node", PACTree §3.3).
+pub const FF_SLOTS: usize = 30;
+
+/// Key representation mode, fixed at tree creation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KeyMode {
+    /// Keys are exactly 8 bytes, embedded in the node (big-endian order).
+    Integer,
+    /// Keys are arbitrary byte strings stored out of node behind a pointer.
+    String,
+}
+
+/// A reader-writer spinlock whose state lives in NVM.
+///
+/// Readers increment the shared count — an NVM store (charged to the model
+/// as dirty-line traffic) exactly reproducing the paper's GA2 finding.
+#[repr(C)]
+struct NvmRwLock {
+    /// Bit 63 = writer; low bits = reader count.
+    state: AtomicU64,
+}
+
+const WRITER: u64 = 1 << 63;
+
+impl NvmRwLock {
+    fn read_lock(&self, pool_id: pool::PoolId, offset: u64) {
+        loop {
+            let s = self.state.load(Ordering::Acquire);
+            if s & WRITER == 0
+                && self
+                    .state
+                    .compare_exchange_weak(s, s + 1, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+            {
+                model::on_dirty(pool_id, offset, 8);
+                return;
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    fn read_unlock(&self, pool_id: pool::PoolId, offset: u64) {
+        self.state.fetch_sub(1, Ordering::AcqRel);
+        model::on_dirty(pool_id, offset, 8);
+    }
+
+    fn write_lock(&self, pool_id: pool::PoolId, offset: u64) {
+        // Claim the writer bit, then wait out the readers.
+        loop {
+            let s = self.state.load(Ordering::Acquire);
+            if s & WRITER == 0
+                && self
+                    .state
+                    .compare_exchange_weak(s, s | WRITER, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+            {
+                break;
+            }
+            std::thread::yield_now();
+        }
+        while self.state.load(Ordering::Acquire) != WRITER {
+            std::thread::yield_now();
+        }
+        model::on_dirty(pool_id, offset, 8);
+    }
+
+    fn write_unlock(&self, pool_id: pool::PoolId, offset: u64) {
+        self.state.store(0, Ordering::Release);
+        model::on_dirty(pool_id, offset, 8);
+    }
+}
+
+/// One B+tree node (leaf or internal).
+///
+/// Layout: `[lock][meta][leftmost][sibling][entries: (key_word, value); 30]`.
+/// `key_word` is the big-endian integer key or a `PmPtr` to out-of-node key
+/// bytes `{len: u32, bytes...}`. Entries are sorted; a zero key_word marks
+/// the end (keys are never the zero word: integer keys are stored +1).
+#[repr(C)]
+struct Node {
+    lock: NvmRwLock,
+    /// Bit 0: is_leaf. Upper bits: entry count.
+    meta: AtomicU64,
+    /// Leftmost child (internal nodes only).
+    leftmost: AtomicU64,
+    /// Right sibling.
+    sibling: AtomicU64,
+    entries: [[AtomicU64; 2]; FF_SLOTS],
+}
+
+const NODE_SIZE: usize = std::mem::size_of::<Node>();
+
+impl Node {
+    fn count(&self) -> usize {
+        (self.meta.load(Ordering::Acquire) >> 1) as usize
+    }
+
+    fn is_leaf(&self) -> bool {
+        self.meta.load(Ordering::Acquire) & 1 == 1
+    }
+
+    fn set_count(&self, n: usize) {
+        let leaf = self.meta.load(Ordering::Relaxed) & 1;
+        self.meta.store(((n as u64) << 1) | leaf, Ordering::Release);
+        persist::persist_obj(&self.meta);
+    }
+
+    fn key_word(&self, i: usize) -> u64 {
+        self.entries[i][0].load(Ordering::Acquire)
+    }
+
+    fn value(&self, i: usize) -> u64 {
+        self.entries[i][1].load(Ordering::Acquire)
+    }
+}
+
+/// Dereferences a node pointer.
+///
+/// # Safety
+///
+/// `raw` must point to an initialized node in a live pool.
+unsafe fn nref<'a>(raw: u64) -> &'a Node {
+    debug_assert_ne!(raw, 0);
+    // SAFETY: per caller contract.
+    unsafe { &*(PmPtr::<Node>::from_raw(raw).as_ptr()) }
+}
+
+/// The FastFair persistent B+tree.
+pub struct FastFair {
+    pool: Arc<PmemPool>,
+    mode: KeyMode,
+}
+
+impl FastFair {
+    /// Creates a FastFair tree in a fresh pool.
+    pub fn create(name: &str, pool_size: usize, mode: KeyMode) -> Result<Arc<FastFair>> {
+        let pool = PmemPool::create(PoolConfig {
+            name: name.to_string(),
+            size: pool_size,
+            numa_node: pmem::numa::current_node(),
+            crash_sim: false,
+            alloc_mode: AllocMode::CrashConsistent,
+        })?;
+        let tree = FastFair { pool, mode };
+        let root_cell = tree.pool.allocator().root(0);
+        let pid = tree.pool.id();
+        tree.pool.allocator().malloc_to(NODE_SIZE, root_cell, |raw| {
+            // SAFETY: fresh NODE_SIZE allocation.
+            unsafe { init_node(raw, true) };
+        })?;
+        let _ = pid;
+        Ok(Arc::new(tree))
+    }
+
+    /// The backing pool.
+    pub fn pool(&self) -> &Arc<PmemPool> {
+        &self.pool
+    }
+
+    /// Unregisters the backing pool.
+    pub fn destroy(self: Arc<Self>) {
+        let id = self.pool.id();
+        drop(self);
+        pool::destroy_pool(id);
+    }
+
+    fn root_raw(&self) -> u64 {
+        self.pool.allocator().root(0).load(Ordering::Acquire)
+    }
+
+    // -- Key encoding --------------------------------------------------------
+
+    /// Encodes a key into its in-node word. Integer mode maps the 8 big-
+    /// endian bytes to `value + 1` so the zero word stays an end marker.
+    fn encode_key(&self, key: &[u8]) -> Result<u64> {
+        match self.mode {
+            KeyMode::Integer => {
+                let arr: [u8; 8] = key
+                    .try_into()
+                    .map_err(|_| PmemError::Corruption("integer mode needs 8-byte keys"))?;
+                let v = u64::from_be_bytes(arr);
+                if v == u64::MAX {
+                    return Err(PmemError::Corruption("u64::MAX key unsupported"));
+                }
+                Ok(v + 1)
+            }
+            KeyMode::String => {
+                let ptr = self.pool.allocator().alloc(4 + key.len())?;
+                // SAFETY: fresh allocation of 4 + len bytes.
+                unsafe {
+                    (ptr.as_mut_ptr() as *mut u32).write(key.len() as u32);
+                    std::ptr::copy_nonoverlapping(
+                        key.as_ptr(),
+                        ptr.as_mut_ptr().add(4),
+                        key.len(),
+                    );
+                }
+                persist::persist(ptr.as_ptr(), 4 + key.len());
+                Ok(ptr.raw())
+            }
+        }
+    }
+
+    /// Compares a search key against an encoded key word. String mode
+    /// dereferences the out-of-node key (an extra NVM read, charged).
+    fn cmp_key(&self, word: u64, key: &[u8]) -> std::cmp::Ordering {
+        match self.mode {
+            KeyMode::Integer => {
+                let stored = (word - 1).to_be_bytes();
+                stored.as_slice().cmp(key)
+            }
+            KeyMode::String => {
+                let p = PmPtr::<u8>::from_raw(word);
+                model::on_read(p.pool_id(), p.offset(), 64);
+                // SAFETY: key blocks are immutable after creation.
+                let len = unsafe { *(p.as_ptr() as *const u32) } as usize;
+                // SAFETY: block is len + 4 bytes.
+                let bytes = unsafe { std::slice::from_raw_parts(p.as_ptr().add(4), len) };
+                bytes.cmp(key)
+            }
+        }
+    }
+
+    /// Decodes an encoded key word into owned bytes.
+    fn decode_key(&self, word: u64) -> Vec<u8> {
+        match self.mode {
+            KeyMode::Integer => (word - 1).to_be_bytes().to_vec(),
+            KeyMode::String => {
+                let p = PmPtr::<u8>::from_raw(word);
+                // SAFETY: immutable key block.
+                let len = unsafe { *(p.as_ptr() as *const u32) } as usize;
+                // SAFETY: block is len + 4 bytes.
+                unsafe { std::slice::from_raw_parts(p.as_ptr().add(4), len) }.to_vec()
+            }
+        }
+    }
+
+    // -- Traversal -------------------------------------------------------------
+
+    /// Descends to the leaf covering `key`, taking read locks hand-over-hand.
+    /// Returns the locked leaf (caller must unlock).
+    fn find_leaf_shared(&self, key: &[u8]) -> u64 {
+        let pid = self.pool.id();
+        let mut raw = self.root_raw();
+        // SAFETY: root always exists.
+        let mut node = unsafe { nref(raw) };
+        node.lock.read_lock(pid, PmPtr::<u8>::from_raw(raw).offset());
+        loop {
+            model::on_read(pid, PmPtr::<u8>::from_raw(raw).offset(), NODE_SIZE.min(512));
+            if node.is_leaf() {
+                return raw;
+            }
+            let child = self.child_for(node, key);
+            // SAFETY: children of a locked node are initialized.
+            let cnode = unsafe { nref(child) };
+            cnode.lock.read_lock(pid, PmPtr::<u8>::from_raw(child).offset());
+            node.lock.read_unlock(pid, PmPtr::<u8>::from_raw(raw).offset());
+            raw = child;
+            node = cnode;
+        }
+    }
+
+    /// Binary search for the child covering `key` in an internal node.
+    fn child_for(&self, node: &Node, key: &[u8]) -> u64 {
+        let n = node.count();
+        // Charge the binary-search key comparisons (GA1: a B+tree pays a
+        // full key comparison per probe).
+        let mut lo = 0usize;
+        let mut hi = n;
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            match self.cmp_key(node.key_word(mid), key) {
+                std::cmp::Ordering::Greater => hi = mid,
+                _ => lo = mid + 1,
+            }
+        }
+        if lo == 0 {
+            node.leftmost.load(Ordering::Acquire)
+        } else {
+            node.value(lo - 1)
+        }
+    }
+
+    /// Position of `key` in a node: `Ok(i)` exact, `Err(i)` insertion point.
+    fn search_node(&self, node: &Node, key: &[u8]) -> std::result::Result<usize, usize> {
+        let n = node.count();
+        let mut lo = 0usize;
+        let mut hi = n;
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            match self.cmp_key(node.key_word(mid), key) {
+                std::cmp::Ordering::Less => lo = mid + 1,
+                std::cmp::Ordering::Greater => hi = mid,
+                std::cmp::Ordering::Equal => return Ok(mid),
+            }
+        }
+        Err(lo)
+    }
+
+    // -- Public operations -------------------------------------------------------
+
+    /// Point lookup.
+    pub fn lookup(&self, key: &[u8]) -> Option<u64> {
+        let pid = self.pool.id();
+        let leaf_raw = self.find_leaf_shared(key);
+        // SAFETY: locked leaf.
+        let leaf = unsafe { nref(leaf_raw) };
+        let res = self.search_node(leaf, key).ok().map(|i| leaf.value(i));
+        leaf.lock.read_unlock(pid, PmPtr::<u8>::from_raw(leaf_raw).offset());
+        res
+    }
+
+    /// Range scan: up to `count` pairs with keys ≥ `start`, using the
+    /// sibling chain (sequential embedded reads for integer keys — GA5).
+    pub fn scan(&self, start: &[u8], count: usize) -> Vec<(Vec<u8>, u64)> {
+        let pid = self.pool.id();
+        let mut out = Vec::with_capacity(count.min(4096));
+        let mut raw = self.find_leaf_shared(start);
+        loop {
+            // SAFETY: locked leaf.
+            let leaf = unsafe { nref(raw) };
+            model::on_read(pid, PmPtr::<u8>::from_raw(raw).offset(), NODE_SIZE);
+            let from = match self.search_node(leaf, start) {
+                Ok(i) => i,
+                Err(i) => i,
+            };
+            for i in from..leaf.count() {
+                out.push((self.decode_key(leaf.key_word(i)), leaf.value(i)));
+                if out.len() >= count {
+                    leaf.lock.read_unlock(pid, PmPtr::<u8>::from_raw(raw).offset());
+                    return out;
+                }
+            }
+            let sib = leaf.sibling.load(Ordering::Acquire);
+            if sib == 0 {
+                leaf.lock.read_unlock(pid, PmPtr::<u8>::from_raw(raw).offset());
+                return out;
+            }
+            // SAFETY: sibling is initialized.
+            let snode = unsafe { nref(sib) };
+            snode.lock.read_lock(pid, PmPtr::<u8>::from_raw(sib).offset());
+            leaf.lock.read_unlock(pid, PmPtr::<u8>::from_raw(raw).offset());
+            raw = sib;
+        }
+    }
+
+    /// Inserts or updates; returns the previous value if the key existed.
+    ///
+    /// Splits are synchronous: the whole root-to-leaf path is write-locked
+    /// while the split cascades (the paper's GC2 critique).
+    pub fn insert(&self, key: &[u8], value: u64) -> Result<Option<u64>> {
+        let pid = self.pool.id();
+        loop {
+            // Optimistic single-leaf attempt under the write lock.
+            let leaf_raw = self.find_leaf_write(key);
+            // SAFETY: write-locked leaf.
+            let leaf = unsafe { nref(leaf_raw) };
+            match self.search_node(leaf, key) {
+                Ok(i) => {
+                    let old = leaf.value(i);
+                    leaf.entries[i][1].store(value, Ordering::Release);
+                    persist::persist_obj_fenced(&leaf.entries[i][1]);
+                    leaf.lock.write_unlock(pid, PmPtr::<u8>::from_raw(leaf_raw).offset());
+                    return Ok(Some(old));
+                }
+                Err(pos) => {
+                    if leaf.count() < FF_SLOTS {
+                        let word = self.encode_key(key)?;
+                        self.shift_insert(leaf, pos, word, value);
+                        leaf.lock.write_unlock(pid, PmPtr::<u8>::from_raw(leaf_raw).offset());
+                        return Ok(None);
+                    }
+                    // Full: release and redo with a full-path write descent.
+                    leaf.lock.write_unlock(pid, PmPtr::<u8>::from_raw(leaf_raw).offset());
+                    self.insert_with_split(key, value)?;
+                    return Ok(None);
+                }
+            }
+        }
+    }
+
+    /// Removes `key`; returns its value if present. Underflow is tolerated
+    /// (no merges), like common FastFair artifacts; YCSB has no deletes.
+    pub fn remove(&self, key: &[u8]) -> Result<Option<u64>> {
+        let pid = self.pool.id();
+        let leaf_raw = self.find_leaf_write(key);
+        // SAFETY: write-locked leaf.
+        let leaf = unsafe { nref(leaf_raw) };
+        let res = match self.search_node(leaf, key) {
+            Ok(i) => {
+                let old = leaf.value(i);
+                let n = leaf.count();
+                // Failure-atomic left shift: each store persisted in order.
+                for j in i..n - 1 {
+                    leaf.entries[j][0].store(leaf.key_word(j + 1), Ordering::Release);
+                    leaf.entries[j][1].store(leaf.value(j + 1), Ordering::Release);
+                    persist::persist(leaf.entries[j].as_ptr() as *const u8, 16);
+                }
+                persist::fence();
+                leaf.set_count(n - 1);
+                persist::fence();
+                Some(old)
+            }
+            Err(_) => None,
+        };
+        leaf.lock.write_unlock(pid, PmPtr::<u8>::from_raw(leaf_raw).offset());
+        Ok(res)
+    }
+
+    // -- Write internals -----------------------------------------------------
+
+    /// Descends to the leaf with read crabbing, then write-locks the leaf.
+    fn find_leaf_write(&self, key: &[u8]) -> u64 {
+        let pid = self.pool.id();
+        loop {
+            let mut raw = self.root_raw();
+            // SAFETY: root exists.
+            let mut node = unsafe { nref(raw) };
+            node.lock.read_lock(pid, PmPtr::<u8>::from_raw(raw).offset());
+            loop {
+                model::on_read(pid, PmPtr::<u8>::from_raw(raw).offset(), NODE_SIZE.min(512));
+                if node.is_leaf() {
+                    // Upgrade by re-acquiring: release shared, take exclusive,
+                    // re-validate that this leaf still covers the key (the
+                    // tree may have split meanwhile).
+                    node.lock.read_unlock(pid, PmPtr::<u8>::from_raw(raw).offset());
+                    node.lock.write_lock(pid, PmPtr::<u8>::from_raw(raw).offset());
+                    if self.leaf_covers(node, key) {
+                        return raw;
+                    }
+                    node.lock.write_unlock(pid, PmPtr::<u8>::from_raw(raw).offset());
+                    break; // restart descent
+                }
+                let child = self.child_for(node, key);
+                // SAFETY: child initialized.
+                let cnode = unsafe { nref(child) };
+                cnode.lock.read_lock(pid, PmPtr::<u8>::from_raw(child).offset());
+                node.lock.read_unlock(pid, PmPtr::<u8>::from_raw(raw).offset());
+                raw = child;
+                node = cnode;
+            }
+        }
+    }
+
+    /// Whether a locked leaf still covers `key` (checks the sibling bound).
+    fn leaf_covers(&self, leaf: &Node, key: &[u8]) -> bool {
+        let sib = leaf.sibling.load(Ordering::Acquire);
+        if sib == 0 {
+            return true;
+        }
+        // SAFETY: sibling initialized; its first key is its lower bound.
+        let s = unsafe { nref(sib) };
+        if s.count() == 0 {
+            return true;
+        }
+        self.cmp_key(s.key_word(0), key) == std::cmp::Ordering::Greater
+    }
+
+    /// FAST shift insert: moves entries right one by one, persisting each
+    /// 16-byte pair store in order, then bumps the count (8-byte atomic).
+    fn shift_insert(&self, node: &Node, pos: usize, word: u64, value: u64) {
+        let n = node.count();
+        debug_assert!(n < FF_SLOTS);
+        for j in (pos..n).rev() {
+            node.entries[j + 1][0].store(node.key_word(j), Ordering::Release);
+            node.entries[j + 1][1].store(node.value(j), Ordering::Release);
+            persist::persist(node.entries[j + 1].as_ptr() as *const u8, 16);
+        }
+        node.entries[pos][0].store(word, Ordering::Release);
+        node.entries[pos][1].store(value, Ordering::Release);
+        persist::persist(node.entries[pos].as_ptr() as *const u8, 16);
+        persist::fence();
+        node.set_count(n + 1);
+        persist::fence();
+    }
+
+    /// Full-path write-locked insert performing synchronous cascading splits.
+    fn insert_with_split(&self, key: &[u8], value: u64) -> Result<()> {
+        let pid = self.pool.id();
+        // Lock the whole path exclusively, root first (simple and blocking —
+        // faithfully pessimistic).
+        let mut path: Vec<u64> = Vec::new();
+        let mut raw = self.root_raw();
+        loop {
+            // SAFETY: nodes on the path are initialized.
+            let node = unsafe { nref(raw) };
+            node.lock.write_lock(pid, PmPtr::<u8>::from_raw(raw).offset());
+            path.push(raw);
+            if node.is_leaf() {
+                break;
+            }
+            raw = self.child_for(node, key);
+        }
+        let unlock_all = |path: &[u64]| {
+            for &r in path.iter().rev() {
+                // SAFETY: locked above.
+                unsafe { nref(r) }.lock.write_unlock(pid, PmPtr::<u8>::from_raw(r).offset());
+            }
+        };
+
+        // The root may have split since the optimistic attempt; if the leaf
+        // no longer covers the key, retry from the top.
+        let leaf_raw = *path.last().expect("path non-empty");
+        // SAFETY: locked leaf.
+        let leaf = unsafe { nref(leaf_raw) };
+        if !self.leaf_covers(leaf, key) {
+            unlock_all(&path);
+            return self.insert(key, value).map(|_| ());
+        }
+        if let Ok(i) = self.search_node(leaf, key) {
+            leaf.entries[i][1].store(value, Ordering::Release);
+            persist::persist_obj_fenced(&leaf.entries[i][1]);
+            unlock_all(&path);
+            return Ok(());
+        }
+
+        // Split the leaf, then insert, then cascade separators upward.
+        let word = self.encode_key(key)?;
+        let mut level = path.len() - 1;
+        let mut carry: Option<(u64, u64)> = Some((word, value)); // into current node
+        let mut pending_sep: Option<(u64, u64)> = None; // separator for parent
+        loop {
+            let nraw = path[level];
+            // SAFETY: locked node on path.
+            let node = unsafe { nref(nraw) };
+            if let Some((sw, sv)) = pending_sep.take() {
+                carry = Some((sw, sv));
+            }
+            let Some((cw, cv)) = carry.take() else { break };
+            if node.count() < FF_SLOTS {
+                let pos = match self.search_node_word(node, cw) {
+                    Ok(p) | Err(p) => p,
+                };
+                self.shift_insert(node, pos, cw, cv);
+                break;
+            }
+            // Split: upper half to a new sibling. The separator is the
+            // middle key (promoted out of internal nodes, duplicated for
+            // leaves).
+            let sep_word = node.key_word(node.count() / 2);
+            let new_raw = self.split_node(nraw, node)?;
+            // SAFETY: fresh split sibling (parent still locked).
+            let new_node = unsafe { nref(new_raw) };
+            // Insert the carried entry into the correct half.
+            let target = if self.cmp_word(cw, sep_word) == std::cmp::Ordering::Less {
+                node
+            } else {
+                new_node
+            };
+            let pos = match self.search_node_word(target, cw) {
+                Ok(p) | Err(p) => p,
+            };
+            self.shift_insert(target, pos, cw, cv);
+
+            if level == 0 {
+                // Split the root: allocate a new root.
+                let root_cell = self.pool.allocator().root(0);
+                let old_root = nraw;
+                self.pool.allocator().malloc_to(NODE_SIZE, root_cell, |rp| {
+                    // SAFETY: fresh NODE_SIZE allocation.
+                    unsafe {
+                        init_node(rp, false);
+                        let r = &*(rp as *const Node);
+                        r.leftmost.store(old_root, Ordering::Relaxed);
+                        r.entries[0][0].store(sep_word, Ordering::Relaxed);
+                        r.entries[0][1].store(new_raw, Ordering::Relaxed);
+                        r.meta.store(1 << 1, Ordering::Relaxed);
+                    }
+                })?;
+                break;
+            }
+            // Cascade: the separator goes into the parent as (sep, new_raw).
+            pending_sep = Some((sep_word, new_raw));
+            level -= 1;
+        }
+        unlock_all(&path);
+        Ok(())
+    }
+
+    /// Word-level comparison (avoids decode for separators).
+    fn cmp_word(&self, a: u64, b: u64) -> std::cmp::Ordering {
+        match self.mode {
+            KeyMode::Integer => a.cmp(&b),
+            KeyMode::String => {
+                let kb = self.decode_key(b);
+                self.cmp_key(a, &kb)
+            }
+        }
+    }
+
+    /// Position of an encoded word in a node.
+    fn search_node_word(&self, node: &Node, word: u64) -> std::result::Result<usize, usize> {
+        let n = node.count();
+        let mut lo = 0usize;
+        let mut hi = n;
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            match self.cmp_word(node.key_word(mid), word) {
+                std::cmp::Ordering::Less => lo = mid + 1,
+                std::cmp::Ordering::Greater => hi = mid,
+                std::cmp::Ordering::Equal => return Ok(mid),
+            }
+        }
+        Err(lo)
+    }
+
+    /// Splits `node`, moving its upper half to a new right sibling; returns
+    /// the sibling. Persistence order: new node fully persisted, then linked
+    /// via the sibling pointer, then the count shrink (FAIR).
+    ///
+    /// For internal nodes the first upper-half key is promoted as separator:
+    /// its child becomes the new node's leftmost child.
+    fn split_node(&self, _raw: u64, node: &Node) -> Result<u64> {
+        let n = node.count();
+        let half = n / 2;
+        let is_leaf = node.is_leaf();
+        let old_sibling = node.sibling.load(Ordering::Acquire);
+        let ptr = self.pool.allocator().alloc(NODE_SIZE)?;
+        // SAFETY: fresh NODE_SIZE allocation; private until linked.
+        unsafe {
+            init_node(ptr.as_mut_ptr(), is_leaf);
+            let newn = &*(ptr.as_ptr() as *const Node);
+            let src_start = if is_leaf { half } else { half + 1 };
+            for (j, i) in (src_start..n).enumerate() {
+                newn.entries[j][0].store(node.key_word(i), Ordering::Relaxed);
+                newn.entries[j][1].store(node.value(i), Ordering::Relaxed);
+            }
+            if !is_leaf {
+                newn.leftmost.store(node.value(half), Ordering::Relaxed);
+            }
+            newn.sibling.store(old_sibling, Ordering::Relaxed);
+            let cnt = (n - src_start) as u64;
+            newn.meta
+                .store((cnt << 1) | is_leaf as u64, Ordering::Relaxed);
+        }
+        persist::persist(ptr.as_ptr(), NODE_SIZE);
+        persist::fence();
+        let new_raw = ptr.raw();
+        node.sibling.store(new_raw, Ordering::Release);
+        persist::persist_obj_fenced(&node.sibling);
+        node.set_count(half);
+        persist::fence();
+        Ok(new_raw)
+    }
+
+    /// Live pairs — O(n), tests only.
+    pub fn len(&self) -> usize {
+        let mut raw = self.root_raw();
+        // Find leftmost leaf.
+        // SAFETY: root exists; traversal is test-only single-threaded.
+        unsafe {
+            while !nref(raw).is_leaf() {
+                raw = nref(raw).leftmost.load(Ordering::Acquire);
+            }
+            let mut n = 0;
+            while raw != 0 {
+                n += nref(raw).count();
+                raw = nref(raw).sibling.load(Ordering::Acquire);
+            }
+            n
+        }
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Initializes a node in place.
+///
+/// # Safety
+///
+/// `raw` must be a fresh exclusive allocation of `NODE_SIZE` bytes.
+unsafe fn init_node(raw: *mut u8, is_leaf: bool) {
+    // SAFETY: zeroing is a valid initial state; per caller contract.
+    unsafe {
+        raw.write_bytes(0, NODE_SIZE);
+        let node = &mut *(raw as *mut Node);
+        node.meta = AtomicU64::new(is_leaf as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn integer_crud_and_scan() {
+        let t = FastFair::create("ff-int", 256 << 20, KeyMode::Integer).unwrap();
+        let mut model = BTreeMap::new();
+        let mut x = 99u64;
+        for i in 0..20_000u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let k = x % 10_000;
+            let old = t.insert(&k.to_be_bytes(), i).unwrap();
+            assert_eq!(old, model.insert(k, i), "insert {k}");
+        }
+        for (&k, &v) in &model {
+            assert_eq!(t.lookup(&k.to_be_bytes()), Some(v), "lookup {k}");
+        }
+        assert_eq!(t.len(), model.len());
+        // Scan check.
+        let got: Vec<u64> = t
+            .scan(&500u64.to_be_bytes(), 25)
+            .iter()
+            .map(|(k, _)| u64::from_be_bytes(k.as_slice().try_into().unwrap()))
+            .collect();
+        let expect: Vec<u64> = model.range(500..).take(25).map(|(&k, _)| k).collect();
+        assert_eq!(got, expect);
+        t.destroy();
+    }
+
+    #[test]
+    fn string_mode_roundtrip() {
+        let t = FastFair::create("ff-str", 256 << 20, KeyMode::String).unwrap();
+        let keys: Vec<String> = (0..2000).map(|i| format!("user{:06}", i * 7 % 3000)).collect();
+        let mut model = BTreeMap::new();
+        for (i, k) in keys.iter().enumerate() {
+            let old = t.insert(k.as_bytes(), i as u64).unwrap();
+            assert_eq!(old, model.insert(k.clone(), i as u64));
+        }
+        for (k, &v) in &model {
+            assert_eq!(t.lookup(k.as_bytes()), Some(v));
+        }
+        let got = t.scan(b"user000100", 10);
+        let expect: Vec<(Vec<u8>, u64)> = model
+            .range("user000100".to_string()..)
+            .take(10)
+            .map(|(k, v)| (k.clone().into_bytes(), *v))
+            .collect();
+        assert_eq!(got, expect);
+        t.destroy();
+    }
+
+    #[test]
+    fn remove_shifts_left() {
+        let t = FastFair::create("ff-del", 64 << 20, KeyMode::Integer).unwrap();
+        for i in 0..100u64 {
+            t.insert(&i.to_be_bytes(), i).unwrap();
+        }
+        for i in (0..100u64).step_by(2) {
+            assert_eq!(t.remove(&i.to_be_bytes()).unwrap(), Some(i));
+        }
+        for i in 0..100u64 {
+            let expect = (i % 2 == 1).then_some(i);
+            assert_eq!(t.lookup(&i.to_be_bytes()), expect);
+        }
+        assert_eq!(t.len(), 50);
+        t.destroy();
+    }
+
+    #[test]
+    fn concurrent_inserts_and_reads() {
+        let t = FastFair::create("ff-conc", 256 << 20, KeyMode::Integer).unwrap();
+        let mut handles = Vec::new();
+        for tid in 0..6u64 {
+            let t = Arc::clone(&t);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..4000u64 {
+                    let k = tid * 100_000 + i;
+                    t.insert(&k.to_be_bytes(), k).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        for tid in 0..6u64 {
+            for i in (0..4000u64).step_by(13) {
+                let k = tid * 100_000 + i;
+                assert_eq!(t.lookup(&k.to_be_bytes()), Some(k));
+            }
+        }
+        assert_eq!(t.len(), 24_000);
+        t.destroy();
+    }
+}

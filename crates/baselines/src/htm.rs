@@ -1,0 +1,273 @@
+//! Software simulation of Intel TSX/HTM (restricted transactional memory).
+//!
+//! FPTree relies on HTM for internal-node concurrency; the PACTree paper's
+//! GC3 analysis (Figure 6) shows HTM collapsing on large data sets and high
+//! thread counts because transactions abort on
+//!
+//! * **capacity** — the read set must fit in L1 (32 KiB); larger footprints
+//!   (deeper trees, colder caches) abort with rising probability, amplified
+//!   by hyperthread L1 sharing at higher thread counts, and
+//! * **conflict** — any concurrent write to a touched cache line aborts the
+//!   transaction (we surface real conflicts through `Conflict` returned by
+//!   the transaction body when a try-lock or version check fails).
+//!
+//! After `MAX_RETRIES` aborts the caller falls back to a global lock that
+//! suspends all concurrent transactions — the serialization cliff in the
+//! paper's Figure 6.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+
+/// L1 data cache size per core (Cascade Lake: 32 KiB).
+pub const L1_BYTES: usize = 32 * 1024;
+
+/// Transactional retry budget before falling back to the global lock.
+pub const MAX_RETRIES: usize = 8;
+
+/// A transaction body signals a data conflict by returning this.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Conflict;
+
+/// HTM abort/op statistics (Figure 6's y-axes).
+#[derive(Default, Debug)]
+pub struct HtmStats {
+    pub transactions: AtomicU64,
+    pub aborts: AtomicU64,
+    pub capacity_aborts: AtomicU64,
+    pub conflict_aborts: AtomicU64,
+    pub fallbacks: AtomicU64,
+}
+
+impl HtmStats {
+    /// Aborts per successful operation.
+    pub fn aborts_per_op(&self) -> f64 {
+        let ops = self.transactions.load(Ordering::Relaxed).max(1);
+        self.aborts.load(Ordering::Relaxed) as f64 / ops as f64
+    }
+
+    /// Resets all counters.
+    pub fn reset(&self) {
+        self.transactions.store(0, Ordering::Relaxed);
+        self.aborts.store(0, Ordering::Relaxed);
+        self.capacity_aborts.store(0, Ordering::Relaxed);
+        self.conflict_aborts.store(0, Ordering::Relaxed);
+        self.fallbacks.store(0, Ordering::Relaxed);
+    }
+}
+
+thread_local! {
+    static RNG: RefCell<u64> = const { RefCell::new(0x9E3779B97F4A7C15) };
+}
+
+fn thread_rand() -> u64 {
+    RNG.with(|r| {
+        let mut x = *r.borrow();
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        *r.borrow_mut() = x;
+        x
+    })
+}
+
+/// The simulated HTM facility shared by all threads using one structure.
+pub struct Htm {
+    pub stats: HtmStats,
+    /// Threads currently executing a transaction body (used by the
+    /// global-fallback drain).
+    active: AtomicUsize,
+    /// Threads currently inside `run` (including retries) — the L1-sharing
+    /// pressure estimate for capacity aborts.
+    in_run: AtomicUsize,
+    /// Global-fallback lock; while held, all transactions abort-and-wait.
+    fallback_held: AtomicBool,
+    fallback: Mutex<()>,
+}
+
+impl Default for Htm {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Htm {
+    /// Creates an HTM facility.
+    pub fn new() -> Htm {
+        Htm {
+            stats: HtmStats::default(),
+            active: AtomicUsize::new(0),
+            in_run: AtomicUsize::new(0),
+            fallback_held: AtomicBool::new(false),
+            fallback: Mutex::new(()),
+        }
+    }
+
+    /// Probability (×2^32) that a transaction with `footprint` bytes of
+    /// read/write set aborts on capacity, given current concurrency.
+    fn capacity_abort_threshold(&self, footprint: usize) -> u64 {
+        let pressure = self.in_run.load(Ordering::Relaxed).max(1);
+        // Effective L1 share shrinks with concurrent transactions (SMT
+        // sharing + cache pollution).
+        let effective = L1_BYTES / pressure.min(4);
+        let over = footprint as f64 / effective as f64;
+        if over < 0.2 {
+            // Small transactions still abort occasionally (interrupts etc.).
+            return (u32::MAX as u64) / 2048;
+        }
+        let p = (over - 0.2).clamp(0.0, 0.95);
+        (p * u32::MAX as f64) as u64
+    }
+
+    /// Runs `body` transactionally. `footprint` estimates the bytes the
+    /// transaction touches (the capacity-abort driver). The body returns
+    /// `Err(Conflict)` to signal a data conflict (try-lock failure, version
+    /// mismatch), which aborts and retries; after [`MAX_RETRIES`] aborts the
+    /// body runs under the global fallback lock (`in_fallback = true`).
+    pub fn run<R>(
+        &self,
+        footprint: usize,
+        mut body: impl FnMut(bool) -> Result<R, Conflict>,
+    ) -> R {
+        self.stats.transactions.fetch_add(1, Ordering::Relaxed);
+        let _in_run = InRun::enter(&self.in_run);
+        for _ in 0..MAX_RETRIES {
+            // Announce, then check the fallback flag (Dekker-style with the
+            // fallback holder's set-flag-then-read-active): a transaction
+            // that sees the flag clear is guaranteed to be waited for.
+            self.active.fetch_add(1, Ordering::SeqCst);
+            if self.fallback_held.load(Ordering::SeqCst) {
+                self.active.fetch_sub(1, Ordering::SeqCst);
+                while self.fallback_held.load(Ordering::Acquire) {
+                    std::thread::yield_now();
+                }
+                self.stats.aborts.fetch_add(1, Ordering::Relaxed);
+                self.stats.conflict_aborts.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            let threshold = self.capacity_abort_threshold(footprint);
+            if (thread_rand() & u32::MAX as u64) < threshold {
+                self.active.fetch_sub(1, Ordering::SeqCst);
+                self.stats.aborts.fetch_add(1, Ordering::Relaxed);
+                self.stats.capacity_aborts.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            let result = body(false);
+            self.active.fetch_sub(1, Ordering::SeqCst);
+            match result {
+                Ok(r) => return r,
+                Err(Conflict) => {
+                    self.stats.aborts.fetch_add(1, Ordering::Relaxed);
+                    self.stats.conflict_aborts.fetch_add(1, Ordering::Relaxed);
+                    std::hint::spin_loop();
+                }
+            }
+        }
+        // Fallback: serialize the world.
+        self.stats.fallbacks.fetch_add(1, Ordering::Relaxed);
+        let _g = self.fallback.lock();
+        self.fallback_held.store(true, Ordering::SeqCst);
+        // Wait for in-flight transactions to drain.
+        while self.active.load(Ordering::SeqCst) > 0 {
+            std::thread::yield_now();
+        }
+        let r = loop {
+            match body(true) {
+                Ok(r) => break r,
+                Err(Conflict) => std::thread::yield_now(),
+            }
+        };
+        self.fallback_held.store(false, Ordering::SeqCst);
+        r
+    }
+}
+
+/// RAII counter for `Htm::in_run`.
+struct InRun<'a>(&'a AtomicUsize);
+
+impl<'a> InRun<'a> {
+    fn enter(c: &'a AtomicUsize) -> InRun<'a> {
+        c.fetch_add(1, Ordering::Relaxed);
+        InRun(c)
+    }
+}
+
+impl Drop for InRun<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn small_transactions_mostly_commit() {
+        let htm = Htm::new();
+        for _ in 0..1000 {
+            let v = htm.run(256, |_| Ok::<_, Conflict>(42));
+            assert_eq!(v, 42);
+        }
+        assert!(htm.stats.aborts_per_op() < 0.1);
+    }
+
+    #[test]
+    fn large_footprint_aborts_often() {
+        let htm = Htm::new();
+        for _ in 0..500 {
+            htm.run(L1_BYTES * 2, |_| Ok::<_, Conflict>(()));
+        }
+        assert!(
+            htm.stats.aborts_per_op() > 0.5,
+            "got {}",
+            htm.stats.aborts_per_op()
+        );
+        assert!(htm.stats.fallbacks.load(Ordering::Relaxed) > 0);
+    }
+
+    #[test]
+    fn conflicts_retry_then_fall_back() {
+        let htm = Htm::new();
+        let mut calls = 0;
+        let v = htm.run(64, |in_fallback| {
+            calls += 1;
+            if in_fallback {
+                Ok(7)
+            } else {
+                Err(Conflict)
+            }
+        });
+        assert_eq!(v, 7);
+        assert_eq!(calls, MAX_RETRIES + 1);
+        assert_eq!(htm.stats.fallbacks.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn concurrent_counter_is_exact_under_fallbacks() {
+        let htm = Arc::new(Htm::new());
+        let counter = Arc::new(parking_lot::Mutex::new(0u64));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let htm = Arc::clone(&htm);
+            let counter = Arc::clone(&counter);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..2000 {
+                    htm.run(20_000, |_| {
+                        let Some(mut g) = counter.try_lock() else {
+                            return Err(Conflict);
+                        };
+                        *g += 1;
+                        Ok(())
+                    });
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*counter.lock(), 8 * 2000);
+    }
+}

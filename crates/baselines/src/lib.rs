@@ -1,0 +1,21 @@
+//! State-of-the-art persistent index baselines from the PACTree paper (§2.2,
+//! §6), reimplemented on the shared [`pmem`] substrate so that bandwidth,
+//! allocation, and SMO comparisons against PACTree are apples-to-apples:
+//!
+//! * [`fastfair`] — FastFair (FAST'18): a lock-based persistent B+tree with
+//!   failure-atomic shift inserts and sorted leaf nodes. Embeds integer
+//!   key-value pairs in leaves (fast integer scans), but stores only
+//!   pointers for string keys (the pointer-chasing penalty §6.1 observes).
+//! * [`bztree`] — BzTree (VLDB'18): a lock-free B+tree built on [`pmwcas`],
+//!   a persistent multi-word compare-and-swap. High allocation volume and
+//!   ~15 flushes per insert (the paper's GA3/GA4 analysis).
+//! * [`fptree`] — FPTree (SIGMOD'16): a DRAM-NVM hybrid B+tree with
+//!   reconstructable DRAM internal nodes, fingerprinted NVM leaves, and HTM
+//!   concurrency — here backed by [`htm`], a software HTM simulation whose
+//!   capacity/conflict aborts reproduce Figure 6.
+
+pub mod bztree;
+pub mod fastfair;
+pub mod fptree;
+pub mod htm;
+pub mod pmwcas;

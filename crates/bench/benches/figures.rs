@@ -1,0 +1,54 @@
+//! Criterion smoke versions of the figure experiments: tiny scales, so
+//! `cargo bench` exercises every figure pipeline end-to-end. The real
+//! figures come from the `src/bin/fig*` binaries (see EXPERIMENTS.md).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use bench::{AnyIndex, Kind, Scale};
+use pmem::model::{self, CoherenceMode, NvmModelConfig};
+use ycsb::{driver, Distribution, DriverConfig, KeySpace, Mix, Workload};
+
+fn run_mix(idx: &AnyIndex, mix: Mix, keys: u64, threads: usize) -> f64 {
+    let w = Workload::new(mix, Distribution::Zipfian(0.99), keys);
+    let cfg = DriverConfig {
+        threads,
+        ops: 2_000,
+        dilation: 1.0,
+        ..Default::default()
+    };
+    driver::run_workload(idx, &w, KeySpace::Integer, &cfg).mops
+}
+
+fn figure_smokes(c: &mut Criterion) {
+    let scale = Scale::tiny();
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+
+    // Figure 9/10 pipeline: every index through every mix.
+    for kind in Kind::all() {
+        let idx = AnyIndex::create(kind, &format!("figbench-{}", kind.name()), KeySpace::Integer, &scale);
+        driver::populate(&idx, KeySpace::Integer, scale.keys, 2);
+        group.bench_function(format!("ycsb-a/{}", kind.name()), |b| {
+            b.iter(|| run_mix(&idx, Mix::A, scale.keys, 2))
+        });
+        idx.destroy();
+    }
+
+    // Figure 2 pipeline: coherence modes with the accounting model.
+    group.bench_function("coherence-directory", |b| {
+        let idx = AnyIndex::create(Kind::FastFair, "figbench-coh", KeySpace::Integer, &scale);
+        driver::populate(&idx, KeySpace::Integer, scale.keys, 2);
+        let mut cfg = NvmModelConfig::accounting();
+        cfg.coherence = CoherenceMode::Directory;
+        model::set_config(cfg);
+        b.iter(|| run_mix(&idx, Mix::A, scale.keys, 2));
+        model::set_config(NvmModelConfig::disabled());
+        idx.destroy();
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, figure_smokes);
+criterion_main!(benches);

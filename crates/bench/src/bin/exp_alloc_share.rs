@@ -1,0 +1,43 @@
+//! GA3: share of execution time spent in the NVM allocator for an
+//! insert-only workload.
+//!
+//! Paper measurement (perf, YCSB Load A): FastFair 2%, PDL-ART 20%,
+//! BzTree 40% — and consequently FastFair outperforms BzTree by 3x.
+
+use bench::{banner, row, AnyIndex, Kind, Scale};
+use ycsb::{driver, DriverConfig, KeySpace, Mix, Workload};
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("GA3", "time share spent in the allocator (insert-only)", &scale);
+    let threads = scale.max_threads().min(28);
+
+    row("index", &["alloc-time %".into(), "allocs/op".into(), "Mops/s".into()]);
+    for kind in [Kind::FastFair, Kind::PdlArt, Kind::BzTree, Kind::PacTree] {
+        let name = format!("exp-alloc-{}", kind.name());
+        let idx = AnyIndex::create(kind, &name, KeySpace::Integer, &scale);
+        // No latency model: we compare real CPU time in the allocator.
+        let w = Workload::uniform(Mix::LoadA, 0);
+        let cfg = DriverConfig {
+            threads,
+            ops: scale.ops,
+            dilation: 1.0,
+            ..Default::default()
+        };
+        let before = pmem::stats::global().snapshot();
+        let t0 = std::time::Instant::now();
+        let r = driver::run_workload(&idx, &w, KeySpace::Integer, &cfg);
+        let wall = t0.elapsed().as_nanos() as u64 * threads as u64;
+        let d = pmem::stats::global().snapshot().since(&before);
+        row(
+            kind.name(),
+            &[
+                format!("{:.1}%", 100.0 * d.alloc_ns as f64 / wall.max(1) as f64),
+                format!("{:.2}", d.allocs as f64 / r.ops.max(1) as f64),
+                format!("{:.3}", r.mops),
+            ],
+        );
+        idx.destroy();
+    }
+    println!("-- paper: FastFair 2%, PDL-ART 20%, BzTree 40% of time in the PMDK allocator");
+}

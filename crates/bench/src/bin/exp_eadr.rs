@@ -1,0 +1,50 @@
+//! §3.5 extension: PAC guidelines in eADR mode.
+//!
+//! With persistent CPU caches, flush/fence latency leaves the critical path
+//! — but NVM bandwidth remains the bottleneck, so the paper argues the PAC
+//! guidelines still apply. We run the write-intensive YCSB-A with the ADR
+//! and eADR models and compare both PACTree and FastFair: the ordering must
+//! hold in both modes, with everyone faster under eADR.
+
+use bench::{banner, mops, row, AnyIndex, Kind, Scale};
+use pmem::model::{self, CoherenceMode, NvmModelConfig};
+use ycsb::{driver, DriverConfig, KeySpace, Mix, Workload};
+
+fn main() {
+    pmem::numa::set_topology(2);
+    let scale = Scale::from_env();
+    banner("§3.5", "ADR vs eADR (YCSB-A, integer keys)", &scale);
+    let threads = scale.max_threads().min(16);
+
+    row("index", &["ADR Mops/s".into(), "eADR Mops/s".into(), "speedup".into()]);
+    for kind in [Kind::PacTree, Kind::FastFair, Kind::PdlArt] {
+        let mut cols = Vec::new();
+        let mut results = Vec::new();
+        for eadr in [false, true] {
+            let name = format!("eadr-{}-{}", kind.name(), eadr);
+            let idx = AnyIndex::create(kind, &name, KeySpace::Integer, &scale);
+            driver::populate(&idx, KeySpace::Integer, scale.keys, 4);
+            let cfg_model = if eadr {
+                NvmModelConfig::optane_eadr_dilated(CoherenceMode::Snoop, scale.dilation)
+            } else {
+                NvmModelConfig::optane_dilated(CoherenceMode::Snoop, scale.dilation)
+            };
+            model::set_config(cfg_model);
+            let w = Workload::zipfian(Mix::A, scale.keys);
+            let cfg = DriverConfig {
+                threads,
+                ops: scale.ops,
+                dilation: scale.dilation,
+                ..Default::default()
+            };
+            let r = driver::run_workload(&idx, &w, KeySpace::Integer, &cfg);
+            model::set_config(NvmModelConfig::disabled());
+            results.push(r.mops);
+            cols.push(mops(r.mops));
+            idx.destroy();
+        }
+        cols.push(format!("{:.2}x", results[1] / results[0].max(1e-9)));
+        row(kind.name(), &cols);
+    }
+    println!("-- expectation (§3.5): everyone gains from eADR; the PAC ordering is unchanged");
+}

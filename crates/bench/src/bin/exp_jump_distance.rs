@@ -1,0 +1,50 @@
+//! §6.7: impact of the asynchronous search-layer update — how far must a
+//! lookup walk the data layer from its jump node?
+//!
+//! Paper result, write-intensive Workload A at 112 threads: 68% of locates
+//! reach the target node directly, 30% need one hop.
+
+use bench::{banner, row, AnyIndex, Kind, Scale};
+use pmem::model::{self, CoherenceMode, NvmModelConfig};
+use ycsb::{driver, DriverConfig, KeySpace, Mix, Workload};
+
+fn main() {
+    pmem::numa::set_topology(2);
+    let scale = Scale::from_env();
+    banner("§6.7", "jump-node distance under write-intensive load", &scale);
+
+    let idx = AnyIndex::create(Kind::PacTree, "exp-jump", KeySpace::Integer, &scale);
+    driver::populate(&idx, KeySpace::Integer, scale.keys, 4);
+    let tree = idx.as_pactree().expect("pactree").clone();
+    tree.stats().reset();
+
+    model::set_config(NvmModelConfig::optane_dilated(
+        CoherenceMode::Snoop,
+        scale.dilation,
+    ));
+    let w = Workload::zipfian(Mix::A, scale.keys);
+    let cfg = DriverConfig {
+        threads: scale.max_threads(),
+        ops: scale.ops,
+        dilation: scale.dilation,
+        ..Default::default()
+    };
+    let _ = driver::run_workload(&idx, &w, KeySpace::Integer, &cfg);
+    model::set_config(NvmModelConfig::disabled());
+
+    let hist = tree.stats().jump_histogram();
+    let total: u64 = hist.iter().map(|&(_, c)| c).sum();
+    row("hops", &hist.iter().map(|(h, _)| h.to_string()).collect::<Vec<_>>());
+    row(
+        "% of locates",
+        &hist
+            .iter()
+            .map(|&(_, c)| format!("{:.1}%", 100.0 * c as f64 / total.max(1) as f64))
+            .collect::<Vec<_>>(),
+    );
+    println!(
+        "-- direct-hit ratio {:.1}% (paper: 68% direct, 30% one hop)",
+        100.0 * tree.direct_hit_ratio()
+    );
+    idx.destroy();
+}

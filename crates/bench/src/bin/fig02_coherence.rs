@@ -1,0 +1,59 @@
+//! Figure 2: FastFair throughput under snoop vs directory coherence,
+//! YCSB-A integer keys, thread sweep.
+//!
+//! Paper result: directory-protocol throughput plateaus early (remote reads
+//! generate media directory writes that eat the scarce write bandwidth);
+//! snoop keeps scaling (~2.5x better at high threads).
+
+use bench::{banner, mops, row, AnyIndex, Kind, Scale};
+use pmem::model::{self, CoherenceMode, NvmModelConfig};
+use ycsb::{driver, DriverConfig, KeySpace, Mix, Workload};
+
+fn main() {
+    pmem::numa::set_topology(2);
+    let scale = Scale::from_env();
+    banner(
+        "Figure 2",
+        "FastFair YCSB-A (integer), snoop vs directory coherence",
+        &scale,
+    );
+
+    let mut results: Vec<(CoherenceMode, Vec<f64>)> = Vec::new();
+    for coherence in [CoherenceMode::Directory, CoherenceMode::Snoop] {
+        let name = format!("fig02-{coherence:?}");
+        let idx = AnyIndex::create(Kind::FastFair, &name, KeySpace::Integer, &scale);
+        driver::populate(&idx, KeySpace::Integer, scale.keys, 4);
+        let mut series = Vec::new();
+        for &t in &scale.threads {
+            model::set_config(NvmModelConfig::optane_dilated(coherence, scale.dilation));
+            let w = Workload::zipfian(Mix::A, scale.keys);
+            let cfg = DriverConfig {
+                threads: t,
+                ops: scale.ops,
+                dilation: scale.dilation,
+                ..Default::default()
+            };
+            let r = driver::run_workload(&idx, &w, KeySpace::Integer, &cfg);
+            model::set_config(NvmModelConfig::disabled());
+            series.push(r.mops);
+        }
+        results.push((coherence, series));
+        idx.destroy();
+    }
+
+    row(
+        "threads",
+        &scale.threads.iter().map(|t| t.to_string()).collect::<Vec<_>>(),
+    );
+    for (coherence, series) in &results {
+        row(
+            &format!("{coherence:?} (Mops/s)"),
+            &series.iter().map(|&v| mops(v)).collect::<Vec<_>>(),
+        );
+    }
+    let last = scale.threads.len() - 1;
+    println!(
+        "-- snoop/directory at max threads: {:.2}x (paper: ~2.5x)",
+        results[1].1[last] / results[0].1[last].max(1e-9)
+    );
+}

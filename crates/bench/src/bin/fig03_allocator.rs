@@ -1,0 +1,56 @@
+//! Figure 3: PDL-ART insert-only throughput with the crash-consistent
+//! (PMDK-like) allocator vs the transient (modified-jemalloc) allocator.
+//!
+//! Paper result: the PMDK allocator's crash-consistency work (six flushes
+//! per alloc/free pair) halves insert throughput (~2x drop).
+
+use bench::{banner, mops, row, Scale};
+use pdl_art::{PdlArt, PdlArtConfig};
+use pmem::model::{self, CoherenceMode, NvmModelConfig};
+use pmem::AllocMode;
+use ycsb::{driver, DriverConfig, KeySpace, Mix, Workload};
+
+fn main() {
+    let scale = Scale::from_env();
+    banner(
+        "Figure 3",
+        "PDL-ART insert-only: Jemalloc-like vs PMDK-like allocator",
+        &scale,
+    );
+
+    let threads = scale.max_threads().min(28);
+    let mut out = Vec::new();
+    for (label, mode) in [
+        ("Jemalloc", AllocMode::Transient),
+        ("PMDK", AllocMode::CrashConsistent),
+    ] {
+        let idx = PdlArt::create(
+            PdlArtConfig::named(&format!("fig03-{label}"))
+                .with_pool_size(scale.pool_size)
+                .with_alloc_mode(mode),
+        )
+        .expect("create");
+        model::set_config(NvmModelConfig::optane_dilated(
+            CoherenceMode::Snoop,
+            scale.dilation,
+        ));
+        let w = Workload::uniform(Mix::LoadA, 0);
+        let cfg = DriverConfig {
+            threads,
+            ops: scale.ops,
+            dilation: scale.dilation,
+            ..Default::default()
+        };
+        let r = driver::run_workload(&idx, &w, KeySpace::Integer, &cfg);
+        model::set_config(NvmModelConfig::disabled());
+        println!("{label:<10} {} Mops/s  ({} flushes)", mops(r.mops), r.stats.flushes);
+        out.push(r.mops);
+        idx.destroy();
+    }
+    row("allocator", &["Jemalloc".into(), "PMDK".into()]);
+    row("Mops/s", &[mops(out[0]), mops(out[1])]);
+    println!(
+        "-- Jemalloc/PMDK: {:.2}x (paper: ~2x)",
+        out[0] / out[1].max(1e-9)
+    );
+}

@@ -1,0 +1,55 @@
+//! Figure 4: lookup throughput and total NVM media reads, FastFair (B+tree)
+//! vs PDL-ART (trie), for integer and string keys (YCSB-C).
+//!
+//! Paper result (GA1): the B+tree reads far more NVM per lookup — 7.7x more
+//! media reads with string keys — and the trie is ~3.7x faster, because
+//! trie nodes pack *partial* keys while every B+tree probe is a full key
+//! comparison.
+
+use bench::{banner, mops, row, AnyIndex, Kind, Scale};
+use pmem::model::{self, CoherenceMode, NvmModelConfig};
+use ycsb::{driver, DriverConfig, KeySpace, Mix, Workload};
+
+fn main() {
+    let scale = Scale::from_env();
+    banner(
+        "Figure 4",
+        "YCSB-C lookups: throughput + NVM media reads (FastFair vs PDL-ART)",
+        &scale,
+    );
+    let threads = scale.max_threads().min(28);
+
+    let mut rows: Vec<(String, f64, f64)> = Vec::new();
+    for space in [KeySpace::Integer, KeySpace::String] {
+        for kind in [Kind::FastFair, Kind::PdlArt] {
+            let name = format!("fig04-{}-{:?}", kind.name(), space);
+            let idx = AnyIndex::create(kind, &name, space, &scale);
+            driver::populate(&idx, space, scale.keys, 4);
+            model::set_config(NvmModelConfig::optane_dilated(
+                CoherenceMode::Snoop,
+                scale.dilation,
+            ));
+            let w = Workload::zipfian(Mix::C, scale.keys);
+            let cfg = DriverConfig {
+                threads,
+                ops: scale.ops,
+                dilation: scale.dilation,
+                ..Default::default()
+            };
+            let r = driver::run_workload(&idx, &w, space, &cfg);
+            model::set_config(NvmModelConfig::disabled());
+            rows.push((format!("{:?}/{}", space, kind.name()), r.mops, r.stats.read_gib()));
+            idx.destroy();
+        }
+    }
+
+    row("config", &["Mops/s".into(), "NVM read GiB".into()]);
+    for (label, m, gib) in &rows {
+        row(label, &[mops(*m), format!("{gib:.3}")]);
+    }
+    println!(
+        "-- string keys: FastFair reads {:.1}x more NVM than PDL-ART (paper: 7.7x); PDL-ART is {:.1}x faster (paper: 3.7x)",
+        rows[2].2 / rows[3].2.max(1e-9),
+        rows[3].1 / rows[2].1.max(1e-9),
+    );
+}

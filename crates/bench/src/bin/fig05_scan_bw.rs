@@ -1,0 +1,71 @@
+//! Figure 5: scan throughput and total NVM media reads, FastFair vs
+//! PDL-ART, integer keys.
+//!
+//! Paper result (GA5): FastFair's leaf nodes embed sorted pairs, so scans
+//! are sequential, prefetcher-friendly NVM reads — 1.5x faster with 1.6x
+//! fewer media reads than PDL-ART, which chases one out-of-node pointer per
+//! key.
+
+use bench::{banner, mops, row, AnyIndex, Kind, Scale};
+use pmem::model::{self, CoherenceMode, NvmModelConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ycsb::{driver, KeySpace, RangeIndex};
+
+fn main() {
+    let scale = Scale::from_env();
+    banner(
+        "Figure 5",
+        "Scan throughput + NVM media reads (FastFair vs PDL-ART, integer)",
+        &scale,
+    );
+    let threads = scale.max_threads().min(28);
+    let scan_len = 100usize;
+    let scans = scale.ops / 10; // each scan visits ~100 pairs
+
+    let mut rows: Vec<(&'static str, f64, f64)> = Vec::new();
+    for kind in [Kind::FastFair, Kind::PdlArt] {
+        let name = format!("fig05-{}", kind.name());
+        let idx = AnyIndex::create(kind, &name, KeySpace::Integer, &scale);
+        driver::populate(&idx, KeySpace::Integer, scale.keys, 4);
+        model::set_config(NvmModelConfig::optane_dilated(
+            CoherenceMode::Snoop,
+            scale.dilation,
+        ));
+        let before = pmem::stats::global().snapshot();
+        let start = std::time::Instant::now();
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let idx = idx.clone();
+                s.spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(t as u64 + 5);
+                    for _ in 0..scans / threads as u64 {
+                        let id: u64 = rng.gen_range(0..scale.keys);
+                        std::hint::black_box(
+                            idx.scan(&KeySpace::Integer.encode(id), scan_len),
+                        );
+                    }
+                });
+            }
+        });
+        let secs = start.elapsed().as_secs_f64() / scale.dilation;
+        let delta = pmem::stats::global().snapshot().since(&before);
+        model::set_config(NvmModelConfig::disabled());
+        rows.push((
+            kind.name(),
+            scans as f64 / secs / 1e6,
+            delta.read_gib(),
+        ));
+        idx.destroy();
+    }
+
+    row("index", &["scan Mops/s".into(), "NVM read GiB".into()]);
+    for (label, m, gib) in &rows {
+        row(label, &[mops(*m), format!("{gib:.3}")]);
+    }
+    println!(
+        "-- FastFair scans {:.2}x faster with {:.2}x fewer reads (paper: 1.5x / 1.6x)",
+        rows[0].1 / rows[1].1.max(1e-9),
+        rows[1].2 / rows[0].2.max(1e-9),
+    );
+}

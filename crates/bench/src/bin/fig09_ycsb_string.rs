@@ -1,0 +1,25 @@
+//! Figure 9: YCSB string keys (Zipfian), all workloads, thread sweep,
+//! PACTree vs PDL-ART vs BzTree vs FastFair (FPTree has no string keys).
+//!
+//! Paper result: PACTree wins every workload — up to 4x on write-intensive
+//! mixes (async SMOs off the critical path) and up to 3.2x on read-heavy
+//! mixes (trie search layer saves NVM read bandwidth). FastFair drops ~3x
+//! vs its integer-key numbers because string keys live out of node.
+
+use bench::{banner, ycsb_comparison, Kind, Scale};
+use pmem::model::{CoherenceMode, NvmModelConfig};
+use ycsb::{Distribution, KeySpace};
+
+fn main() {
+    pmem::numa::set_topology(2);
+    let scale = Scale::from_env();
+    banner("Figure 9", "YCSB string keys, Zipfian", &scale);
+    ycsb_comparison(
+        "fig09",
+        &Kind::string_capable(),
+        KeySpace::String,
+        &scale,
+        Distribution::Zipfian(0.99),
+        &|| NvmModelConfig::optane_dilated(CoherenceMode::Snoop, Scale::from_env().dilation),
+    );
+}

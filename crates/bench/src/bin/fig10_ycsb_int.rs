@@ -1,0 +1,25 @@
+//! Figure 10: YCSB integer keys (Zipfian), all workloads, thread sweep, all
+//! five indexes.
+//!
+//! Paper result: same ordering as Figure 9 with FPTree added — FPTree
+//! tracks PACTree on read-only C but slumps at high thread counts on every
+//! mix with writes (HTM aborts), and FastFair recovers ground on scans
+//! (embedded integer pairs scan sequentially).
+
+use bench::{banner, ycsb_comparison, Kind, Scale};
+use pmem::model::{CoherenceMode, NvmModelConfig};
+use ycsb::{Distribution, KeySpace};
+
+fn main() {
+    pmem::numa::set_topology(2);
+    let scale = Scale::from_env();
+    banner("Figure 10", "YCSB integer keys, Zipfian", &scale);
+    ycsb_comparison(
+        "fig10",
+        &Kind::all(),
+        KeySpace::Integer,
+        &scale,
+        Distribution::Zipfian(0.99),
+        &|| NvmModelConfig::optane_dilated(CoherenceMode::Snoop, Scale::from_env().dilation),
+    );
+}

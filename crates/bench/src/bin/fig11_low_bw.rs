@@ -1,0 +1,30 @@
+//! Figure 11: the low-bandwidth NVM machine (about 3x less cumulative NVM
+//! bandwidth), uniform distribution, fixed thread count.
+//!
+//! Paper result: with less bandwidth headroom, PACTree's bandwidth-frugal
+//! design matters more — its lead over PDL-ART grows by up to 0.5x on
+//! write-intensive and 1.5x on read-intensive workloads.
+
+use bench::{banner, ycsb_comparison, Kind, Scale};
+use pmem::model::NvmModelConfig;
+use ycsb::{Distribution, KeySpace};
+
+fn main() {
+    pmem::numa::set_topology(2);
+    let mut scale = Scale::from_env();
+    let t = scale.max_threads().min(32);
+    scale.threads = vec![t];
+    banner("Figure 11", "low-bandwidth machine, uniform integer keys", &scale);
+    ycsb_comparison(
+        "fig11",
+        &Kind::all(),
+        KeySpace::Integer,
+        &scale,
+        Distribution::Uniform,
+        &|| {
+            let mut c = NvmModelConfig::low_bandwidth();
+            c.time_dilation = Scale::from_env().dilation;
+            c
+        },
+    );
+}

@@ -1,0 +1,134 @@
+//! Figure 12: factor analysis of the PACTree design — start from PDL-ART
+//! and add one design feature at a time.
+//!
+//! Paper ladder: ART(SC) → +Per-NUMA pool → +Slotted leaf → +Selective
+//! persistence → +Async update → (reference) DRAM search layer. Our ladder
+//! introduces the slotted data layer first (it is what separates PDL-ART
+//! from PACTree structurally), then per-NUMA pools, selective persistence,
+//! async updates, and the DRAM search layer — the same factors, measured
+//! cumulatively.
+//!
+//! Paper result: per-NUMA pools ~2x on writes; slotted leaves ~2.5x
+//! everywhere except read-only C (slight dip); selective persistence +11%
+//! on scans; async update +30% on writes; DRAM search layer <10%.
+
+use bench::{banner, mops, row, Scale};
+use pactree::{PacTree, PacTreeConfig};
+use pdl_art::{PdlArt, PdlArtConfig};
+use pmem::model::{self, CoherenceMode, NvmModelConfig};
+use ycsb::{driver, DriverConfig, KeySpace, Mix, RangeIndex, Workload};
+
+fn run_step(
+    label: &str,
+    idx: &(impl RangeIndex + Clone + 'static),
+    scale: &Scale,
+    threads: usize,
+    results: &mut Vec<(String, Vec<f64>)>,
+) {
+    let mut series = Vec::new();
+    for mix in Mix::all() {
+        model::set_config(NvmModelConfig::optane_dilated(
+            CoherenceMode::Snoop,
+            scale.dilation,
+        ));
+        let w = Workload::zipfian(mix, scale.keys);
+        let cfg = DriverConfig {
+            threads,
+            ops: scale.ops / 2,
+            dilation: scale.dilation,
+            ..Default::default()
+        };
+        let r = driver::run_workload(idx, &w, KeySpace::String, &cfg);
+        model::set_config(NvmModelConfig::disabled());
+        series.push(r.mops);
+    }
+    results.push((label.to_string(), series));
+}
+
+fn pactree_step(
+    label: &str,
+    cfg: PacTreeConfig,
+    scale: &Scale,
+    threads: usize,
+    results: &mut Vec<(String, Vec<f64>)>,
+) {
+    let tree = PacTree::create(cfg).expect("create");
+    driver::populate(&tree, KeySpace::String, scale.keys, 4);
+    run_step(label, &tree, scale, threads, results);
+    tree.destroy();
+}
+
+fn main() {
+    pmem::numa::set_topology(2);
+    let scale = Scale::from_env();
+    let threads = scale.max_threads().min(28);
+    banner(
+        "Figure 12",
+        "factor analysis (Zipfian string keys, cumulative design features)",
+        &scale,
+    );
+
+    let mut results: Vec<(String, Vec<f64>)> = Vec::new();
+
+    // Rung 0: ART(SC) — PDL-ART itself (kv pairs out of node, everything
+    // synchronous, single pool).
+    {
+        let idx = PdlArt::create(
+            PdlArtConfig::named("fig12-artsc").with_pool_size(scale.pool_size),
+        )
+        .expect("create");
+        driver::populate(&idx, KeySpace::String, scale.keys, 4);
+        run_step("ART(SC)", &idx, &scale, threads, &mut results);
+        idx.destroy();
+    }
+
+    let base = PacTreeConfig::named("fig12-slotted")
+        .with_pool_size(scale.pool_size)
+        .with_numa_pools(1)
+        .with_async_smo(false);
+
+    // Rung 1: +Slotted leaf (PACTree data layer, sync SMOs, 1 pool,
+    // permutation persisted).
+    let mut cfg = base.clone();
+    cfg.persist_permutation = true;
+    pactree_step("+Slotted Leaf", cfg, &scale, threads, &mut results);
+
+    // Rung 2: +Per-NUMA pools.
+    let mut cfg = base.clone();
+    cfg.name = "fig12-numa".into();
+    cfg.persist_permutation = true;
+    cfg.numa_pools = 2;
+    pactree_step("+Per-NUMA Pool", cfg, &scale, threads, &mut results);
+
+    // Rung 3: +Selective persistence (stop persisting the permutation).
+    let mut cfg = base.clone();
+    cfg.name = "fig12-selpersist".into();
+    cfg.numa_pools = 2;
+    cfg.persist_permutation = false;
+    pactree_step("+Selective Persist", cfg, &scale, threads, &mut results);
+
+    // Rung 4: +Asynchronous search-layer update (full PACTree).
+    let mut cfg = base.clone();
+    cfg.name = "fig12-async".into();
+    cfg.numa_pools = 2;
+    cfg.persist_permutation = false;
+    cfg.async_smo = true;
+    pactree_step("+Async Update", cfg, &scale, threads, &mut results);
+
+    // Reference: DRAM search layer.
+    let mut cfg = base.clone();
+    cfg.name = "fig12-dram".into();
+    cfg.numa_pools = 2;
+    cfg.persist_permutation = false;
+    cfg.async_smo = true;
+    cfg.search_layer_dram = true;
+    pactree_step("DRAM Search Layer", cfg, &scale, threads, &mut results);
+
+    row(
+        "configuration",
+        &Mix::all().iter().map(|m| m.short_name().to_string()).collect::<Vec<_>>(),
+    );
+    for (label, series) in &results {
+        row(label, &series.iter().map(|&v| mops(v)).collect::<Vec<_>>());
+    }
+}

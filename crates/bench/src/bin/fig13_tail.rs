@@ -1,0 +1,52 @@
+//! Figure 13: tail latency (p90-p99.99) per workload, all indexes, uniform
+//! integer keys at high thread count.
+//!
+//! Paper result: PACTree's 99.99th percentile is up to 20x lower on
+//! write-intensive workloads (no SMO ever blocks the critical path, and
+//! slotted leaves amortize allocation); BzTree and PDL-ART spike from
+//! allocation storms; FPTree's scans are worst (sort+filter per leaf).
+
+use bench::{banner, row, AnyIndex, Kind, Scale};
+use pmem::model::{self, CoherenceMode, NvmModelConfig};
+use ycsb::{driver, DriverConfig, KeySpace, Mix, Workload};
+
+fn main() {
+    pmem::numa::set_topology(2);
+    let scale = Scale::from_env();
+    let threads = scale.max_threads().min(56);
+    banner("Figure 13", "tail latency, uniform integer keys", &scale);
+
+    for mix in [Mix::A, Mix::B, Mix::C, Mix::E] {
+        println!("-- {}", mix.short_name());
+        row(
+            "index",
+            &["p50".into(), "p90".into(), "p99".into(), "p99.9".into(), "p99.99".into()],
+        );
+        for kind in Kind::all() {
+            let name = format!("fig13-{}-{}", mix.short_name(), kind.name());
+            let idx = AnyIndex::create(kind, &name, KeySpace::Integer, &scale);
+            driver::populate(&idx, KeySpace::Integer, scale.keys, 4);
+            model::set_config(NvmModelConfig::optane_dilated(
+                CoherenceMode::Snoop,
+                scale.dilation,
+            ));
+            let w = Workload::uniform(mix, scale.keys);
+            let cfg = DriverConfig {
+                threads,
+                ops: scale.ops,
+                dilation: scale.dilation,
+                ..Default::default()
+            };
+            let r = driver::run_workload(&idx, &w, KeySpace::Integer, &cfg);
+            model::set_config(NvmModelConfig::disabled());
+            row(
+                kind.name(),
+                &r.latency_us
+                    .iter()
+                    .map(|(_, v)| format!("{v:.1}us"))
+                    .collect::<Vec<_>>(),
+            );
+            idx.destroy();
+        }
+    }
+}

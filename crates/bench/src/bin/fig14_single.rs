@@ -1,0 +1,53 @@
+//! Figure 14: single-threaded throughput, integer and string keys, all
+//! workloads, all indexes.
+//!
+//! Paper result: PACTree is on par or up to 3x faster even without
+//! concurrency — its optimistic version locks cost nothing uncontended,
+//! while BzTree pays PMwCAS overheads and PDL-ART pays per-insert
+//! allocation regardless of thread count.
+
+use bench::{banner, mops, row, AnyIndex, Kind, Scale};
+use pmem::model::{self, CoherenceMode, NvmModelConfig};
+use ycsb::{driver, DriverConfig, KeySpace, Mix, Workload};
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("Figure 14", "single-threaded throughput", &scale);
+
+    for space in [KeySpace::Integer, KeySpace::String] {
+        println!("-- {:?} keys", space);
+        row(
+            "index",
+            &Mix::all().iter().map(|m| m.short_name().to_string()).collect::<Vec<_>>(),
+        );
+        let kinds: Vec<Kind> = if space.is_integer() {
+            Kind::all().to_vec()
+        } else {
+            Kind::string_capable().to_vec()
+        };
+        for kind in kinds {
+            let name = format!("fig14-{:?}-{}", space, kind.name());
+            let idx = AnyIndex::create(kind, &name, space, &scale);
+            driver::populate(&idx, space, scale.keys, 4);
+            let mut cols = Vec::new();
+            for mix in Mix::all() {
+                model::set_config(NvmModelConfig::optane_dilated(
+                    CoherenceMode::Snoop,
+                    scale.dilation,
+                ));
+                let w = Workload::zipfian(mix, scale.keys);
+                let cfg = DriverConfig {
+                    threads: 1,
+                    ops: scale.ops / 4,
+                    dilation: scale.dilation,
+                    ..Default::default()
+                };
+                let r = driver::run_workload(&idx, &w, space, &cfg);
+                model::set_config(NvmModelConfig::disabled());
+                cols.push(mops(r.mops));
+            }
+            row(kind.name(), &cols);
+            idx.destroy();
+        }
+    }
+}

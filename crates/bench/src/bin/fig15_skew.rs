@@ -1,0 +1,51 @@
+//! Figure 15: PACTree under varying Zipfian skew, 50% lookup + 50% update
+//! and 50% lookup + 50% insert, at two thread counts.
+//!
+//! Paper result: the update mix *gains* with skew (hot data nodes stay
+//! cache-resident; updates have a short critical path); the insert mix is
+//! flat (async search-layer updates absorb the split pressure).
+
+use bench::{banner, mops, row, AnyIndex, Kind, Scale};
+use pmem::model::{self, CoherenceMode, NvmModelConfig};
+use ycsb::{driver, Distribution, DriverConfig, KeySpace, Mix, Workload};
+
+fn main() {
+    pmem::numa::set_topology(2);
+    let scale = Scale::from_env();
+    banner("Figure 15", "PACTree skew sensitivity (Zipfian coefficient sweep)", &scale);
+    let thetas = [0.5, 0.6, 0.7, 0.8, 0.9, 0.99];
+    let t_low = (scale.max_threads() / 2).max(1);
+    let t_high = scale.max_threads();
+
+    for (label, mix) in [("50% lookup + 50% update", Mix::A), ("50% lookup + 50% insert", Mix::ReadInsert)] {
+        println!("-- {label}");
+        row(
+            "theta",
+            &thetas.iter().map(|t| format!("{t}")).collect::<Vec<_>>(),
+        );
+        for threads in [t_low, t_high] {
+            let name = format!("fig15-{}-{threads}", mix.short_name());
+            let idx = AnyIndex::create(Kind::PacTree, &name, KeySpace::Integer, &scale);
+            driver::populate(&idx, KeySpace::Integer, scale.keys, 4);
+            let mut cols = Vec::new();
+            for &theta in &thetas {
+                model::set_config(NvmModelConfig::optane_dilated(
+                    CoherenceMode::Snoop,
+                    scale.dilation,
+                ));
+                let w = Workload::new(mix, Distribution::Zipfian(theta), scale.keys);
+                let cfg = DriverConfig {
+                    threads,
+                    ops: scale.ops / 2,
+                    dilation: scale.dilation,
+                    ..Default::default()
+                };
+                let r = driver::run_workload(&idx, &w, KeySpace::Integer, &cfg);
+                model::set_config(NvmModelConfig::disabled());
+                cols.push(mops(r.mops));
+            }
+            row(&format!("{threads} threads"), &cols);
+            idx.destroy();
+        }
+    }
+}

@@ -1,0 +1,374 @@
+//! Shared harness for the figure-reproduction binaries.
+//!
+//! Every figure/table of the paper's evaluation (§6) has a binary in
+//! `src/bin/` that prints the same rows/series the paper plots. Because the
+//! original experiments ran on a 2-socket, 112-thread Optane machine with
+//! 64M-key workloads and ours run in an emulated environment, the harness:
+//!
+//! * scales workload sizes via environment variables (`PAC_KEYS`,
+//!   `PAC_OPS`, `PAC_THREADS`, `PAC_DILATION`, `PAC_POOL_MB`);
+//! * drives the NVM performance model time-dilated
+//!   ([`pmem::model::NvmModelConfig::optane_dilated`]) so that concurrent
+//!   threads genuinely overlap their modeled NVM stalls even on a small
+//!   host — that is what makes thread-sweep scalability *shapes*
+//!   reproducible;
+//! * reports dilation-corrected throughput (model-time Mops/s).
+//!
+//! Absolute numbers are not comparable with the paper's hardware; the
+//! relative ordering and curve shapes are the reproduction target (see
+//! EXPERIMENTS.md).
+
+use std::sync::Arc;
+
+use baselines::bztree::BzTree;
+use baselines::fastfair::{FastFair, KeyMode};
+use baselines::fptree::FpTree;
+use pactree::{PacTree, PacTreeConfig};
+use pdl_art::{PdlArt, PdlArtConfig};
+use ycsb::{KeySpace, RangeIndex};
+
+/// Workload scale, read from the environment with laptop-friendly defaults.
+#[derive(Debug, Clone)]
+pub struct Scale {
+    /// Keys loaded before the measured phase (paper: 64M).
+    pub keys: u64,
+    /// Measured operations (paper: 64M).
+    pub ops: u64,
+    /// Thread counts for sweep figures (paper: up to 112).
+    pub threads: Vec<usize>,
+    /// Time-dilation factor for the NVM model.
+    pub dilation: f64,
+    /// Pool size per pool.
+    pub pool_size: usize,
+}
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+impl Scale {
+    /// Reads `PAC_KEYS`, `PAC_OPS`, `PAC_THREADS` (max of the sweep),
+    /// `PAC_DILATION`, `PAC_POOL_MB` from the environment.
+    pub fn from_env() -> Scale {
+        let keys = env_u64("PAC_KEYS", 100_000);
+        let ops = env_u64("PAC_OPS", 30_000);
+        let max_threads = env_u64("PAC_THREADS", 16) as usize;
+        let dilation = env_u64("PAC_DILATION", 192) as f64;
+        let mut threads = vec![1, 2, 4, 8, 16, 28, 56, 112];
+        threads.retain(|&t| t <= max_threads);
+        if threads.is_empty() {
+            threads.push(max_threads.max(1));
+        }
+        let pool_mb = env_u64("PAC_POOL_MB", (keys / 256).clamp(256, 4096));
+        Scale {
+            keys,
+            ops,
+            threads,
+            dilation,
+            pool_size: (pool_mb as usize) << 20,
+        }
+    }
+
+    /// A tiny scale for criterion smoke benches.
+    pub fn tiny() -> Scale {
+        Scale {
+            keys: 5_000,
+            ops: 2_000,
+            threads: vec![2],
+            dilation: 1.0,
+            pool_size: 128 << 20,
+        }
+    }
+
+    /// Max thread count of the sweep.
+    pub fn max_threads(&self) -> usize {
+        *self.threads.last().unwrap_or(&1)
+    }
+}
+
+/// The indexes compared in the evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    PacTree,
+    PdlArt,
+    BzTree,
+    FastFair,
+    FpTree,
+}
+
+impl Kind {
+    /// Every index (Figure 10's integer-key lineup).
+    pub fn all() -> [Kind; 5] {
+        [
+            Kind::PacTree,
+            Kind::PdlArt,
+            Kind::BzTree,
+            Kind::FastFair,
+            Kind::FpTree,
+        ]
+    }
+
+    /// The string-key lineup (Figure 9: FPTree's binary has no
+    /// variable-length keys).
+    pub fn string_capable() -> [Kind; 4] {
+        [Kind::PacTree, Kind::PdlArt, Kind::BzTree, Kind::FastFair]
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Kind::PacTree => "PACTree",
+            Kind::PdlArt => "PDL-ART",
+            Kind::BzTree => "BzTree",
+            Kind::FastFair => "FastFair",
+            Kind::FpTree => "FPTree",
+        }
+    }
+}
+
+/// A uniform handle over every index type (cloneable for the driver).
+#[derive(Clone)]
+pub enum AnyIndex {
+    Pac(Arc<PacTree>),
+    Pdl(Arc<PdlArt>),
+    Bz(Arc<BzTree>),
+    Ff(Arc<FastFair>),
+    Fp(Arc<FpTree>),
+}
+
+impl AnyIndex {
+    /// Creates an index of `kind` named `name`.
+    pub fn create(kind: Kind, name: &str, space: KeySpace, scale: &Scale) -> AnyIndex {
+        let sz = scale.pool_size;
+        match kind {
+            Kind::PacTree => AnyIndex::Pac(
+                PacTree::create(
+                    PacTreeConfig::named(name)
+                        .with_pool_size(sz)
+                        .with_numa_pools(pmem::numa::nodes()),
+                )
+                .expect("create pactree"),
+            ),
+            Kind::PdlArt => AnyIndex::Pdl(
+                PdlArt::create(PdlArtConfig::named(name).with_pool_size(sz))
+                    .expect("create pdl-art"),
+            ),
+            Kind::BzTree => {
+                AnyIndex::Bz(BzTree::create(name, sz, key_mode(space)).expect("create bztree"))
+            }
+            Kind::FastFair => {
+                AnyIndex::Ff(FastFair::create(name, sz, key_mode(space)).expect("create fastfair"))
+            }
+            Kind::FpTree => AnyIndex::Fp(FpTree::create(name, sz).expect("create fptree")),
+        }
+    }
+
+    /// Destroys the index and unregisters its pools.
+    pub fn destroy(self) {
+        match self {
+            AnyIndex::Pac(t) => t.destroy(),
+            AnyIndex::Pdl(t) => t.destroy(),
+            AnyIndex::Bz(t) => t.destroy(),
+            AnyIndex::Ff(t) => t.destroy(),
+            AnyIndex::Fp(t) => t.destroy(),
+        }
+    }
+
+    /// The PACTree handle, when this is one (factor analysis, skew,
+    /// jump-distance experiments).
+    pub fn as_pactree(&self) -> Option<&Arc<PacTree>> {
+        match self {
+            AnyIndex::Pac(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// The FPTree handle, when this is one (HTM statistics).
+    pub fn as_fptree(&self) -> Option<&Arc<FpTree>> {
+        match self {
+            AnyIndex::Fp(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+fn key_mode(space: KeySpace) -> KeyMode {
+    match space {
+        KeySpace::Integer => KeyMode::Integer,
+        KeySpace::String => KeyMode::String,
+    }
+}
+
+impl RangeIndex for AnyIndex {
+    fn name(&self) -> &'static str {
+        match self {
+            AnyIndex::Pac(t) => t.name(),
+            AnyIndex::Pdl(t) => t.name(),
+            AnyIndex::Bz(t) => t.name(),
+            AnyIndex::Ff(t) => t.name(),
+            AnyIndex::Fp(t) => t.name(),
+        }
+    }
+
+    fn insert(&self, key: &[u8], value: u64) {
+        match self {
+            AnyIndex::Pac(t) => t.insert(key, value),
+            AnyIndex::Pdl(t) => t.insert(key, value),
+            AnyIndex::Bz(t) => t.insert(key, value),
+            AnyIndex::Ff(t) => t.insert(key, value),
+            AnyIndex::Fp(t) => t.insert(key, value),
+        }
+    }
+
+    fn update(&self, key: &[u8], value: u64) {
+        match self {
+            AnyIndex::Pac(t) => t.update(key, value),
+            other => other.insert(key, value),
+        }
+    }
+
+    fn lookup(&self, key: &[u8]) -> Option<u64> {
+        match self {
+            AnyIndex::Pac(t) => t.lookup(key),
+            AnyIndex::Pdl(t) => t.lookup(key),
+            AnyIndex::Bz(t) => t.lookup(key),
+            AnyIndex::Ff(t) => t.lookup(key),
+            AnyIndex::Fp(t) => t.lookup(key),
+        }
+    }
+
+    fn remove(&self, key: &[u8]) -> Option<u64> {
+        match self {
+            AnyIndex::Pac(t) => RangeIndex::remove(t, key),
+            AnyIndex::Pdl(t) => RangeIndex::remove(t, key),
+            AnyIndex::Bz(t) => RangeIndex::remove(t, key),
+            AnyIndex::Ff(t) => RangeIndex::remove(t, key),
+            AnyIndex::Fp(t) => RangeIndex::remove(t, key),
+        }
+    }
+
+    fn scan(&self, start: &[u8], count: usize) -> usize {
+        match self {
+            AnyIndex::Pac(t) => RangeIndex::scan(t, start, count),
+            AnyIndex::Pdl(t) => RangeIndex::scan(t, start, count),
+            AnyIndex::Bz(t) => RangeIndex::scan(t, start, count),
+            AnyIndex::Ff(t) => RangeIndex::scan(t, start, count),
+            AnyIndex::Fp(t) => RangeIndex::scan(t, start, count),
+        }
+    }
+
+    fn supports_strings(&self) -> bool {
+        !matches!(self, AnyIndex::Fp(_))
+    }
+}
+
+/// Prints a standard figure header.
+pub fn banner(figure: &str, what: &str, scale: &Scale) {
+    println!("== {figure}: {what}");
+    println!(
+        "   scale: {} keys, {} ops, threads {:?}, dilation {}x (paper: 64M keys/ops, up to 112 threads)",
+        scale.keys, scale.ops, scale.threads, scale.dilation
+    );
+}
+
+/// Prints one table row: a label plus right-aligned columns.
+pub fn row(label: &str, cols: &[String]) {
+    print!("{label:<22}");
+    for c in cols {
+        print!(" {c:>12}");
+    }
+    println!();
+}
+
+/// Formats a Mops number.
+pub fn mops(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_env_defaults() {
+        let s = Scale::from_env();
+        assert!(s.keys > 0 && s.ops > 0 && !s.threads.is_empty());
+    }
+
+    #[test]
+    fn any_index_roundtrip_every_kind() {
+        let scale = Scale::tiny();
+        for kind in Kind::all() {
+            let name = format!("bench-any-{}", kind.name());
+            let idx = AnyIndex::create(kind, &name, KeySpace::Integer, &scale);
+            let k = 77u64.to_be_bytes();
+            idx.insert(&k, 1);
+            assert_eq!(idx.lookup(&k), Some(1), "{}", kind.name());
+            idx.update(&k, 2);
+            assert_eq!(idx.lookup(&k), Some(2));
+            assert_eq!(RangeIndex::scan(&idx, &k, 10), 1);
+            assert_eq!(RangeIndex::remove(&idx, &k), Some(2));
+            assert_eq!(idx.lookup(&k), None);
+            idx.destroy();
+        }
+    }
+}
+
+/// Runs the full YCSB comparison of `kinds` over all five mixes with a
+/// thread sweep, printing one table per mix (the Figure 9/10/11 harness).
+///
+/// `model_for_run` builds the NVM model configuration for the measured
+/// phases (population runs with the model disabled for speed).
+pub fn ycsb_comparison(
+    figure: &str,
+    kinds: &[Kind],
+    space: KeySpace,
+    scale: &Scale,
+    distribution: ycsb::Distribution,
+    model_for_run: &dyn Fn() -> pmem::model::NvmModelConfig,
+) {
+    use ycsb::{driver, DriverConfig, Mix, Workload};
+
+    // One index instance per kind, loaded once; mixes run back-to-back like
+    // the paper's harness.
+    let mut indexes = Vec::new();
+    for &kind in kinds {
+        let name = format!("{figure}-{}", kind.name());
+        let idx = AnyIndex::create(kind, &name, space, scale);
+        driver::populate(&idx, space, scale.keys, 4);
+        indexes.push((kind, idx));
+    }
+
+    for mix in Mix::all() {
+        // L-A is measured on fresh trees in the paper; approximate by
+        // inserting fresh keys beyond the populated range.
+        println!("-- {} ({:?} keys, {:?})", mix.short_name(), space, distribution);
+        row(
+            "threads",
+            &scale.threads.iter().map(|t| t.to_string()).collect::<Vec<_>>(),
+        );
+        for (kind, idx) in &indexes {
+            let mut cols = Vec::new();
+            for &t in &scale.threads {
+                pmem::model::set_config(model_for_run());
+                let w = Workload::new(mix, distribution, scale.keys);
+                let cfg = DriverConfig {
+                    threads: t,
+                    ops: scale.ops,
+                    dilation: scale.dilation,
+                    ..Default::default()
+                };
+                let r = driver::run_workload(idx, &w, space, &cfg);
+                pmem::model::set_config(pmem::model::NvmModelConfig::disabled());
+                cols.push(mops(r.mops));
+            }
+            row(kind.name(), &cols);
+        }
+    }
+    for (_, idx) in indexes {
+        idx.destroy();
+    }
+}

@@ -1,0 +1,217 @@
+//! PDL-ART floor (predecessor) search.
+//!
+//! PACTree's search layer must find the data node whose anchor-key range
+//! covers a search key, i.e. the *greatest anchor key ≤ search key* (§5.3).
+//! This module implements that predecessor lookup directly on the trie:
+//! descend matching the key; wherever the key diverges, either the whole
+//! subtree is smaller (take its maximum leaf) or larger (backtrack to the
+//! largest smaller sibling, or the node's end child).
+//!
+//! The result is used as a *jump node* hint: PACTree tolerates a slightly
+//! stale answer (the data layer walk corrects it), but the returned leaf is
+//! always one that was reachable during the call.
+
+use std::cmp::Ordering as CmpOrdering;
+use std::sync::atomic::Ordering;
+
+use super::insert::leaf_ref;
+use super::node::{header_of, is_leaf};
+use super::{collect_children, find_child, Art, MAX_RESTARTS};
+
+/// Internal outcome of a floor descent.
+enum FloorOut {
+    /// Found the floor leaf (raw pointer).
+    Found(u64),
+    /// No key ≤ the bound exists in this subtree.
+    Empty,
+    /// Version conflict: restart the whole query.
+    Restart,
+}
+
+impl Art {
+    /// Returns the value of the greatest key ≤ `key`, if any.
+    pub fn floor(&self, key: &[u8]) -> Option<u64> {
+        self.floor_entry(key).map(|(_, v)| v)
+    }
+
+    /// Returns `(key, value)` of the greatest key ≤ `key`, if any.
+    pub fn floor_entry(&self, key: &[u8]) -> Option<(Vec<u8>, u64)> {
+        let _guard = self.collector().pin();
+        let mut backoff = super::Backoff::new();
+        for _ in 0..MAX_RESTARTS {
+            let root = self.root_cell().load(Ordering::Acquire);
+            match self.floor_rec(root, key, 0) {
+                FloorOut::Found(leaf_raw) => {
+                    // SAFETY: leaf reached through validated reads and
+                    // epoch-pinned; keys immutable, value atomic.
+                    let leaf = unsafe { leaf_ref(leaf_raw) };
+                    // SAFETY: initialized leaf.
+                    let k = unsafe { leaf.key() }.to_vec();
+                    let v = leaf.value.load(Ordering::Acquire);
+                    return Some((k, v));
+                }
+                FloorOut::Empty => return None,
+                FloorOut::Restart => backoff.pause(),
+            }
+        }
+        unreachable!("floor livelocked");
+    }
+
+    /// Returns the entry with the greatest key in the tree, if any.
+    pub fn max_entry(&self) -> Option<(Vec<u8>, u64)> {
+        let _guard = self.collector().pin();
+        let mut backoff = super::Backoff::new();
+        for _ in 0..MAX_RESTARTS {
+            let root = self.root_cell().load(Ordering::Acquire);
+            match self.max_leaf(root) {
+                FloorOut::Found(leaf_raw) => {
+                    // SAFETY: as in `floor_entry`.
+                    let leaf = unsafe { leaf_ref(leaf_raw) };
+                    // SAFETY: initialized leaf.
+                    let k = unsafe { leaf.key() }.to_vec();
+                    return Some((k, leaf.value.load(Ordering::Acquire)));
+                }
+                FloorOut::Empty => return None,
+                FloorOut::Restart => backoff.pause(),
+            }
+        }
+        unreachable!("max livelocked");
+    }
+
+    fn floor_rec(&self, raw: u64, key: &[u8], depth: usize) -> FloorOut {
+        if raw == 0 {
+            return FloorOut::Empty;
+        }
+        self.charge_read(raw, 128);
+        // SAFETY: reachable node, epoch-pinned by the public entry points.
+        if unsafe { is_leaf(raw) } {
+            // SAFETY: leaf keys are immutable.
+            let lkey = unsafe { leaf_ref(raw).key() };
+            return if lkey <= key {
+                FloorOut::Found(raw)
+            } else {
+                FloorOut::Empty
+            };
+        }
+        // SAFETY: inner node.
+        let hdr = unsafe { header_of(raw) };
+        let Some(token) = hdr.lock.read_begin() else {
+            return FloorOut::Restart;
+        };
+        let (_, _, plen) = hdr.meta3();
+        let plen = plen as usize;
+        let mut prefix = [0u8; super::node::PREFIX_CAP];
+        prefix[..plen].copy_from_slice(&hdr.prefix[..plen]);
+        if !hdr.lock.read_validate(token) {
+            return FloorOut::Restart;
+        }
+        let prefix = &prefix[..plen];
+        let rest = &key[depth..];
+        let l = plen.min(rest.len());
+
+        match prefix[..l].cmp(&rest[..l]) {
+            CmpOrdering::Less => {
+                // Every key below this node is smaller than the bound.
+                self.max_leaf(raw)
+            }
+            CmpOrdering::Greater => FloorOut::Empty,
+            CmpOrdering::Equal => {
+                if rest.len() < plen {
+                    // The bound is a proper prefix of every key below here,
+                    // so every key below here is greater.
+                    return FloorOut::Empty;
+                }
+                let depth2 = depth + plen;
+                if depth2 == key.len() {
+                    // The bound ends exactly at this node: only its end
+                    // child (the key equal to the bound) can qualify.
+                    let ec = hdr.end_child.load(Ordering::Acquire);
+                    if !hdr.lock.read_validate(token) {
+                        return FloorOut::Restart;
+                    }
+                    return if ec != 0 {
+                        FloorOut::Found(ec)
+                    } else {
+                        FloorOut::Empty
+                    };
+                }
+                let b = key[depth2];
+                // SAFETY: live inner node.
+                let found = unsafe { find_child(raw, b) };
+                if !hdr.lock.read_validate(token) {
+                    return FloorOut::Restart;
+                }
+                if let Some((child, _)) = found {
+                    match self.floor_rec(child, key, depth2 + 1) {
+                        FloorOut::Found(l) => return FloorOut::Found(l),
+                        FloorOut::Restart => return FloorOut::Restart,
+                        FloorOut::Empty => {
+                            if !hdr.lock.read_validate(token) {
+                                return FloorOut::Restart;
+                            }
+                        }
+                    }
+                }
+                // Largest child strictly below `b`, in descending order.
+                // SAFETY: live inner node.
+                let mut siblings = unsafe { collect_children(raw) };
+                if !hdr.lock.read_validate(token) {
+                    return FloorOut::Restart;
+                }
+                siblings.retain(|&(cb, _)| cb < b);
+                for &(_, c) in siblings.iter().rev() {
+                    match self.max_leaf(c) {
+                        FloorOut::Found(l) => return FloorOut::Found(l),
+                        FloorOut::Restart => return FloorOut::Restart,
+                        FloorOut::Empty => continue, // husk subtree
+                    }
+                }
+                // Finally the end child (key ending at this node < bound).
+                let ec = hdr.end_child.load(Ordering::Acquire);
+                if !hdr.lock.read_validate(token) {
+                    return FloorOut::Restart;
+                }
+                if ec != 0 {
+                    FloorOut::Found(ec)
+                } else {
+                    FloorOut::Empty
+                }
+            }
+        }
+    }
+
+    /// Maximum (rightmost) leaf in the subtree.
+    fn max_leaf(&self, raw: u64) -> FloorOut {
+        if raw == 0 {
+            return FloorOut::Empty;
+        }
+        self.charge_read(raw, 128);
+        // SAFETY: reachable node, epoch-pinned by callers.
+        if unsafe { is_leaf(raw) } {
+            return FloorOut::Found(raw);
+        }
+        // SAFETY: inner node.
+        let hdr = unsafe { header_of(raw) };
+        let Some(token) = hdr.lock.read_begin() else {
+            return FloorOut::Restart;
+        };
+        // SAFETY: live inner node.
+        let children = unsafe { collect_children(raw) };
+        let ec = hdr.end_child.load(Ordering::Acquire);
+        if !hdr.lock.read_validate(token) {
+            return FloorOut::Restart;
+        }
+        for &(_, c) in children.iter().rev() {
+            match self.max_leaf(c) {
+                FloorOut::Found(l) => return FloorOut::Found(l),
+                FloorOut::Restart => return FloorOut::Restart,
+                FloorOut::Empty => continue,
+            }
+        }
+        if ec != 0 {
+            FloorOut::Found(ec)
+        } else {
+            FloorOut::Empty
+        }
+    }
+}

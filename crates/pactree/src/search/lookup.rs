@@ -1,0 +1,109 @@
+//! PDL-ART exact lookup.
+//!
+//! Readers never write NVM (GA2): traversal is fully optimistic with
+//! per-node version validation, restarting on any conflict. A validated
+//! read can only have observed data a writer already persisted (writers
+//! persist before unlocking), which is what makes lookups durably
+//! linearizable.
+
+use std::sync::atomic::Ordering;
+
+use super::insert::leaf_ref;
+use super::node::{header_of, is_leaf};
+use super::{find_child, lcp_len, Art, Step, MAX_RESTARTS};
+
+impl Art {
+    /// Looks up `key`; returns its value if present.
+    pub fn get(&self, key: &[u8]) -> Option<u64> {
+        let _guard = self.collector().pin();
+        let mut backoff = super::Backoff::new();
+        for _ in 0..MAX_RESTARTS {
+            match self.try_get(key) {
+                Step::Done(v) => return v,
+                Step::Restart => backoff.pause(),
+            }
+        }
+        unreachable!("get livelocked");
+    }
+
+    fn try_get(&self, key: &[u8]) -> Step<Option<u64>> {
+        let root_token = match self.root_lock.read_begin() {
+            Some(t) => t,
+            None => return Step::Restart,
+        };
+        let mut raw = self.root_cell().load(Ordering::Acquire);
+        if !self.root_lock.read_validate(root_token) {
+            return Step::Restart;
+        }
+        let mut depth = 0usize;
+
+        loop {
+            self.charge_read(raw, 128);
+            // SAFETY: `raw` is a reachable inner node and we are pinned.
+            let hdr = unsafe { header_of(raw) };
+            let token = match hdr.lock.read_begin() {
+                Some(t) => t,
+                None => return Step::Restart,
+            };
+            let (_, _, plen) = hdr.meta3();
+            let plen = plen as usize;
+            let mut prefix = [0u8; super::node::PREFIX_CAP];
+            prefix[..plen].copy_from_slice(&hdr.prefix[..plen]);
+            if !hdr.lock.read_validate(token) {
+                return Step::Restart;
+            }
+            let rest = &key[depth..];
+            if lcp_len(&prefix[..plen], rest) < plen {
+                return Step::Done(None);
+            }
+            depth += plen;
+
+            if depth == key.len() {
+                let ec = hdr.end_child.load(Ordering::Acquire);
+                if ec == 0 {
+                    if !hdr.lock.read_validate(token) {
+                        return Step::Restart;
+                    }
+                    return Step::Done(None);
+                }
+                // SAFETY: read under the token we are about to validate;
+                // epoch pin keeps the leaf alive.
+                let value = unsafe { leaf_ref(ec) }.value.load(Ordering::Acquire);
+                if !hdr.lock.read_validate(token) {
+                    return Step::Restart;
+                }
+                return Step::Done(Some(value));
+            }
+
+            let b = key[depth];
+            // SAFETY: live inner node, epoch-pinned.
+            let found = unsafe { find_child(raw, b) };
+            if !hdr.lock.read_validate(token) {
+                return Step::Restart;
+            }
+            let Some((child, _)) = found else {
+                return Step::Done(None);
+            };
+            // SAFETY: child read under validated token; epoch-pinned.
+            if unsafe { is_leaf(child) } {
+                // SAFETY: as above; leaf keys are immutable.
+                let leaf = unsafe { leaf_ref(child) };
+                self.charge_read(child, 64 + key.len());
+                // SAFETY: leaf is initialized and alive.
+                let matches = unsafe { leaf.key() } == key;
+                let value = leaf.value.load(Ordering::Acquire);
+                if !hdr.lock.read_validate(token) {
+                    return Step::Restart;
+                }
+                return Step::Done(matches.then_some(value));
+            }
+            raw = child;
+            depth += 1;
+        }
+    }
+
+    /// Whether `key` is present.
+    pub fn contains(&self, key: &[u8]) -> bool {
+        self.get(key).is_some()
+    }
+}

@@ -1,0 +1,512 @@
+//! PDL-ART unit and property tests, checked against `BTreeMap` models.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use pmem::epoch::Collector;
+use pmem::pool::{destroy_pool, PmemPool, PoolConfig};
+use proptest::prelude::*;
+
+use super::Art;
+
+fn mk_art(name: &str) -> (Arc<PmemPool>, Art) {
+    let pool = PmemPool::create(PoolConfig::volatile(name, 64 << 20)).unwrap();
+    let art = Art::create(Arc::clone(&pool), 0, Arc::new(Collector::new())).unwrap();
+    (pool, art)
+}
+
+fn mk_art_durable(name: &str) -> (Arc<PmemPool>, Art) {
+    let pool = PmemPool::create(PoolConfig::durable(name, 64 << 20)).unwrap();
+    let art = Art::create(Arc::clone(&pool), 0, Arc::new(Collector::new())).unwrap();
+    (pool, art)
+}
+
+#[test]
+fn empty_tree_behaviour() {
+    let (pool, art) = mk_art("art-empty");
+    assert_eq!(art.get(b"missing"), None);
+    assert_eq!(art.floor(b"anything"), None);
+    assert_eq!(art.max_entry(), None);
+    assert!(art.scan(b"", 10).is_empty());
+    assert_eq!(art.remove(b"missing").unwrap(), None);
+    assert_eq!(art.count_entries(), 0);
+    destroy_pool(pool.id());
+}
+
+#[test]
+fn insert_get_roundtrip() {
+    let (pool, art) = mk_art("art-basic");
+    assert_eq!(art.insert(b"hello", 1).unwrap(), None);
+    assert_eq!(art.insert(b"help", 2).unwrap(), None);
+    assert_eq!(art.insert(b"he", 3).unwrap(), None);
+    assert_eq!(art.insert(b"world", 4).unwrap(), None);
+    assert_eq!(art.get(b"hello"), Some(1));
+    assert_eq!(art.get(b"help"), Some(2));
+    assert_eq!(art.get(b"he"), Some(3));
+    assert_eq!(art.get(b"world"), Some(4));
+    assert_eq!(art.get(b"hel"), None);
+    assert_eq!(art.get(b"hello!"), None);
+    assert_eq!(art.get(b""), None);
+    assert_eq!(art.count_entries(), 4);
+    destroy_pool(pool.id());
+}
+
+#[test]
+fn empty_key_is_legal() {
+    let (pool, art) = mk_art("art-empty-key");
+    assert_eq!(art.insert(b"", 42).unwrap(), None);
+    assert_eq!(art.get(b""), Some(42));
+    assert_eq!(art.floor(b"anything"), Some(42), "empty key floors everything");
+    assert_eq!(art.remove(b"").unwrap(), Some(42));
+    assert_eq!(art.get(b""), None);
+    destroy_pool(pool.id());
+}
+
+#[test]
+fn upsert_returns_old_value() {
+    let (pool, art) = mk_art("art-upsert");
+    assert_eq!(art.insert(b"k", 1).unwrap(), None);
+    assert_eq!(art.insert(b"k", 2).unwrap(), Some(1));
+    assert_eq!(art.insert(b"k", 3).unwrap(), Some(2));
+    assert_eq!(art.get(b"k"), Some(3));
+    assert_eq!(art.count_entries(), 1);
+    destroy_pool(pool.id());
+}
+
+#[test]
+fn node_growth_through_all_arities() {
+    let (pool, art) = mk_art("art-grow");
+    // 256 distinct first bytes forces Node4 -> 16 -> 48 -> 256 growth.
+    for b in 0..=255u8 {
+        art.insert(&[b, 1], (b as u64) + 1).unwrap();
+    }
+    for b in 0..=255u8 {
+        assert_eq!(art.get(&[b, 1]), Some((b as u64) + 1), "byte {b}");
+    }
+    assert_eq!(art.count_entries(), 256);
+    destroy_pool(pool.id());
+}
+
+#[test]
+fn removal_and_shrink() {
+    let (pool, art) = mk_art("art-shrink");
+    for b in 0..=255u8 {
+        art.insert(&[b], (b as u64) + 1).unwrap();
+    }
+    for b in 0..=255u8 {
+        assert_eq!(art.remove(&[b]).unwrap(), Some((b as u64) + 1));
+        assert_eq!(art.get(&[b]), None);
+    }
+    assert_eq!(art.count_entries(), 0);
+    // Tree still usable afterwards.
+    art.insert(b"again", 7).unwrap();
+    assert_eq!(art.get(b"again"), Some(7));
+    destroy_pool(pool.id());
+}
+
+#[test]
+fn long_common_prefixes_chain() {
+    let (pool, art) = mk_art("art-longprefix");
+    let base = vec![7u8; 200];
+    let mut k1 = base.clone();
+    k1.push(1);
+    let mut k2 = base.clone();
+    k2.push(2);
+    art.insert(&k1, 11).unwrap();
+    art.insert(&k2, 22).unwrap();
+    assert_eq!(art.get(&k1), Some(11));
+    assert_eq!(art.get(&k2), Some(22));
+    assert_eq!(art.get(&base), None);
+    // A third key diverging mid-prefix.
+    let mut k3 = base[..100].to_vec();
+    k3.push(9);
+    art.insert(&k3, 33).unwrap();
+    assert_eq!(art.get(&k3), Some(33));
+    assert_eq!(art.get(&k1), Some(11));
+    destroy_pool(pool.id());
+}
+
+#[test]
+fn key_prefix_of_other_key() {
+    let (pool, art) = mk_art("art-prefixkeys");
+    art.insert(b"a", 1).unwrap();
+    art.insert(b"ab", 2).unwrap();
+    art.insert(b"abc", 3).unwrap();
+    art.insert(b"abcd", 4).unwrap();
+    for (k, v) in [(b"a" as &[u8], 1), (b"ab", 2), (b"abc", 3), (b"abcd", 4)] {
+        assert_eq!(art.get(k), Some(v));
+    }
+    assert_eq!(art.remove(b"ab").unwrap(), Some(2));
+    assert_eq!(art.get(b"a"), Some(1));
+    assert_eq!(art.get(b"abc"), Some(3));
+    destroy_pool(pool.id());
+}
+
+#[test]
+fn floor_semantics() {
+    let (pool, art) = mk_art("art-floor");
+    for v in [10u64, 20, 30, 40] {
+        art.insert(&v.to_be_bytes(), v).unwrap();
+    }
+    assert_eq!(art.floor(&5u64.to_be_bytes()), None);
+    assert_eq!(art.floor(&10u64.to_be_bytes()), Some(10), "exact match");
+    assert_eq!(art.floor(&15u64.to_be_bytes()), Some(10));
+    assert_eq!(art.floor(&30u64.to_be_bytes()), Some(30));
+    assert_eq!(art.floor(&99u64.to_be_bytes()), Some(40));
+    assert_eq!(art.max_entry().map(|(_, v)| v), Some(40));
+    destroy_pool(pool.id());
+}
+
+#[test]
+fn scan_in_order_from_bound() {
+    let (pool, art) = mk_art("art-scan");
+    for v in (0..100u64).rev() {
+        art.insert(&(v * 3).to_be_bytes(), v * 3 + 1).unwrap();
+    }
+    let got = art.scan(&10u64.to_be_bytes(), 5);
+    let keys: Vec<u64> = got
+        .iter()
+        .map(|(k, _)| u64::from_be_bytes(k.as_slice().try_into().unwrap()))
+        .collect();
+    assert_eq!(keys, vec![12, 15, 18, 21, 24]);
+    for (k, v) in &got {
+        let kk = u64::from_be_bytes(k.as_slice().try_into().unwrap());
+        assert_eq!(*v, kk + 1);
+    }
+    // Scan beyond the end.
+    assert!(art.scan(&1000u64.to_be_bytes(), 5).is_empty());
+    // Scan everything.
+    assert_eq!(art.scan(b"", 1000).len(), 100);
+    destroy_pool(pool.id());
+}
+
+#[test]
+fn dense_u64_keys_model_check() {
+    let (pool, art) = mk_art("art-dense");
+    let mut model = BTreeMap::new();
+    for i in 0..4096u64 {
+        let k = (i * 2654435761) % 8192; // pseudo-random with collisions
+        let kb = k.to_be_bytes();
+        let old_m = model.insert(k, i + 1);
+        let old_a = art.insert(&kb, i + 1).unwrap();
+        assert_eq!(old_a, old_m, "upsert old value for key {k}");
+    }
+    for (&k, &v) in &model {
+        assert_eq!(art.get(&k.to_be_bytes()), Some(v));
+    }
+    assert_eq!(art.count_entries(), model.len());
+    destroy_pool(pool.id());
+}
+
+#[test]
+fn concurrent_disjoint_inserts() {
+    let (pool, art) = mk_art("art-conc-ins");
+    let art = Arc::new(art);
+    let mut handles = Vec::new();
+    for t in 0..8u64 {
+        let art = Arc::clone(&art);
+        handles.push(std::thread::spawn(move || {
+            for i in 0..2000u64 {
+                let k = (t << 32) | i;
+                art.insert(&k.to_be_bytes(), k + 1).unwrap();
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    for t in 0..8u64 {
+        for i in 0..2000u64 {
+            let k = (t << 32) | i;
+            assert_eq!(art.get(&k.to_be_bytes()), Some(k + 1));
+        }
+    }
+    assert_eq!(art.count_entries(), 16000);
+    destroy_pool(pool.id());
+}
+
+#[test]
+fn concurrent_mixed_readers_writers() {
+    let (pool, art) = mk_art("art-conc-mix");
+    let art = Arc::new(art);
+    for i in 0..1000u64 {
+        art.insert(&i.to_be_bytes(), i + 1).unwrap();
+    }
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let mut handles = Vec::new();
+    // Writers churn a disjoint key range.
+    for t in 0..4u64 {
+        let art = Arc::clone(&art);
+        let stop = Arc::clone(&stop);
+        handles.push(std::thread::spawn(move || {
+            let mut i = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let k = 10_000 + (t << 20) + (i % 500);
+                art.insert(&k.to_be_bytes(), k + 1).unwrap();
+                if i % 3 == 0 {
+                    art.remove(&k.to_be_bytes()).unwrap();
+                }
+                i += 1;
+            }
+        }));
+    }
+    // Readers verify the stable range remains intact.
+    for _ in 0..4 {
+        let art = Arc::clone(&art);
+        let stop = Arc::clone(&stop);
+        handles.push(std::thread::spawn(move || {
+            let mut rounds = 0;
+            while !stop.load(Ordering::Relaxed) {
+                for i in (0..1000u64).step_by(37) {
+                    assert_eq!(art.get(&i.to_be_bytes()), Some(i + 1));
+                    let f = art.floor(&i.to_be_bytes());
+                    assert_eq!(f, Some(i + 1));
+                }
+                rounds += 1;
+                if rounds > 50 {
+                    break;
+                }
+            }
+        }));
+    }
+    std::thread::sleep(std::time::Duration::from_millis(300));
+    stop.store(true, Ordering::Relaxed);
+    for h in handles {
+        h.join().unwrap();
+    }
+    for i in 0..1000u64 {
+        assert_eq!(art.get(&i.to_be_bytes()), Some(i + 1));
+    }
+    art.collector().flush();
+    destroy_pool(pool.id());
+}
+
+#[test]
+fn crash_recovery_preserves_persisted_inserts() {
+    let (pool, art) = mk_art_durable("art-crash1");
+    for i in 0..500u64 {
+        art.insert(&i.to_be_bytes(), i + 1).unwrap();
+    }
+    pool.simulate_crash(false);
+    crate::lock::bump_global_generation();
+    pool.allocator().recover_logs();
+    let art2 = Art::create(Arc::clone(&pool), 0, Arc::new(Collector::new())).unwrap();
+    art2.recover();
+    for i in 0..500u64 {
+        assert_eq!(art2.get(&i.to_be_bytes()), Some(i + 1), "key {i} lost");
+    }
+    destroy_pool(pool.id());
+}
+
+#[test]
+fn crash_recovery_after_moved_base() {
+    let (pool, art) = mk_art_durable("art-crash2");
+    for i in 0..300u64 {
+        art.insert(&(i * 7).to_be_bytes(), i + 1).unwrap();
+    }
+    pool.simulate_crash(true); // remount at a different address
+    crate::lock::bump_global_generation();
+    pool.allocator().recover_logs();
+    let art2 = Art::create(Arc::clone(&pool), 0, Arc::new(Collector::new())).unwrap();
+    art2.recover();
+    for i in 0..300u64 {
+        assert_eq!(art2.get(&(i * 7).to_be_bytes()), Some(i + 1));
+    }
+    // And the tree is still writable.
+    art2.insert(b"post-crash", 9).unwrap();
+    assert_eq!(art2.get(b"post-crash"), Some(9));
+    destroy_pool(pool.id());
+}
+
+// ---------------------------------------------------------------------------
+// Property tests against a BTreeMap model
+// ---------------------------------------------------------------------------
+
+static PROP_POOL_ID: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+
+fn fresh_name(prefix: &str) -> String {
+    format!(
+        "{prefix}-{}",
+        PROP_POOL_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn prop_matches_btreemap(ops in proptest::collection::vec(
+        (proptest::collection::vec(any::<u8>(), 0..12), 1..4u8), 1..300)
+    ) {
+        let (pool, art) = mk_art(&fresh_name("art-prop"));
+        let mut model: BTreeMap<Vec<u8>, u64> = BTreeMap::new();
+        let mut val = 1u64;
+        for (key, op) in ops {
+            match op {
+                1 | 3 => {
+                    val += 1;
+                    let old_a = art.insert(&key, val).unwrap();
+                    let old_m = model.insert(key, val);
+                    prop_assert_eq!(old_a, old_m);
+                }
+                _ => {
+                    let old_a = art.remove(&key).unwrap();
+                    let old_m = model.remove(&key);
+                    prop_assert_eq!(old_a, old_m);
+                }
+            }
+        }
+        for (k, v) in &model {
+            prop_assert_eq!(art.get(k), Some(*v));
+        }
+        prop_assert_eq!(art.count_entries(), model.len());
+        destroy_pool(pool.id());
+    }
+
+    #[test]
+    fn prop_floor_matches_btreemap(
+        keys in proptest::collection::btree_set(
+            proptest::collection::vec(any::<u8>(), 0..10), 1..100),
+        queries in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..10), 1..50),
+    ) {
+        let (pool, art) = mk_art(&fresh_name("art-prop-floor"));
+        let mut model: BTreeMap<Vec<u8>, u64> = BTreeMap::new();
+        for (i, k) in keys.iter().enumerate() {
+            art.insert(k, i as u64 + 1).unwrap();
+            model.insert(k.clone(), i as u64 + 1);
+        }
+        for q in &queries {
+            let expect = model.range::<Vec<u8>, _>(..=q.clone()).next_back()
+                .map(|(k, v)| (k.clone(), *v));
+            let got = art.floor_entry(q);
+            prop_assert_eq!(got, expect, "floor({:?})", q);
+        }
+        destroy_pool(pool.id());
+    }
+
+    #[test]
+    fn prop_scan_matches_btreemap(
+        keys in proptest::collection::btree_set(
+            proptest::collection::vec(any::<u8>(), 0..8), 1..120),
+        start in proptest::collection::vec(any::<u8>(), 0..8),
+        limit in 1..40usize,
+    ) {
+        let (pool, art) = mk_art(&fresh_name("art-prop-scan"));
+        let mut model: BTreeMap<Vec<u8>, u64> = BTreeMap::new();
+        for (i, k) in keys.iter().enumerate() {
+            art.insert(k, i as u64 + 1).unwrap();
+            model.insert(k.clone(), i as u64 + 1);
+        }
+        let expect: Vec<(Vec<u8>, u64)> = model
+            .range::<Vec<u8>, _>(start.clone()..)
+            .take(limit)
+            .map(|(k, v)| (k.clone(), *v))
+            .collect();
+        let got = art.scan(&start, limit);
+        prop_assert_eq!(got, expect);
+        destroy_pool(pool.id());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Structural tests: arity transitions, shrink, splice, husk cleanup
+// ---------------------------------------------------------------------------
+
+#[test]
+fn census_tracks_growth_and_shrink() {
+    let (pool, art) = mk_art("art-census");
+    // 200 children under the root forces Node4 -> 16 -> 48 -> 256.
+    for b in 0..200u8 {
+        art.insert(&[b, 0], b as u64 + 1).unwrap();
+    }
+    let (leaves, _, _, _, n256) = art.node_census();
+    assert_eq!(leaves, 200);
+    assert!(n256 >= 1, "root should have grown to Node256");
+    // Remove most children: shrink transitions bring the arity back down.
+    for b in 0..195u8 {
+        art.remove(&[b, 0]).unwrap();
+    }
+    art.collector().flush();
+    let (leaves, n4, n16, _, n256) = art.node_census();
+    assert_eq!(leaves, 5);
+    assert_eq!(n256, 0, "Node256 must have shrunk away");
+    assert!(n4 + n16 >= 1);
+    destroy_pool(pool.id());
+}
+
+#[test]
+fn splice_removes_single_child_chains() {
+    let (pool, art) = mk_art("art-splice");
+    // Two keys with a long shared prefix create an inner node; removing one
+    // leaves a single-child node that must be spliced away.
+    art.insert(b"shared-prefix-alpha", 1).unwrap();
+    art.insert(b"shared-prefix-beta", 2).unwrap();
+    let before = art.node_census();
+    art.remove(b"shared-prefix-beta").unwrap();
+    art.collector().flush();
+    let after = art.node_census();
+    assert_eq!(after.0, 1, "one leaf left");
+    // The inner node joining the two keys must be gone (leaf promoted).
+    assert!(
+        after.1 + after.2 + after.3 + after.4 < before.1 + before.2 + before.3 + before.4,
+        "inner nodes must shrink: {before:?} -> {after:?}"
+    );
+    assert_eq!(art.get(b"shared-prefix-alpha"), Some(1));
+    destroy_pool(pool.id());
+}
+
+#[test]
+fn oplog_abort_frees_orphans() {
+    // A failed optimistic attempt must free its trial allocations: churn
+    // under contention and verify the allocator balance afterwards.
+    let (pool, art) = mk_art("art-oplog-balance");
+    let art = Arc::new(art);
+    let mut handles = Vec::new();
+    for t in 0..4u64 {
+        let art = Arc::clone(&art);
+        handles.push(std::thread::spawn(move || {
+            // Overlapping key ranges maximize conflicts (and thus aborted
+            // attempts with allocated-but-unlinked nodes).
+            for i in 0..3000u64 {
+                let k = (i % 512).to_be_bytes();
+                art.insert(&k, t * 10_000 + i + 1).unwrap();
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    art.collector().flush();
+    // Recovery sweep finds nothing to reclaim: every logged allocation was
+    // either linked or freed by its OpLog.
+    assert_eq!(art.recover(), 0, "no leaked trial allocations");
+    for i in 0..512u64 {
+        assert!(art.get(&i.to_be_bytes()).is_some());
+    }
+    destroy_pool(pool.id());
+}
+
+#[test]
+fn node48_index_paths() {
+    let (pool, art) = mk_art("art-n48");
+    // Fill to Node48 range (17..=48 children), then delete and reinsert to
+    // exercise index tombstones and slot reuse.
+    for b in 0..40u8 {
+        art.insert(&[b], b as u64 + 1).unwrap();
+    }
+    let (_, _, _, n48, _) = art.node_census();
+    assert!(n48 >= 1, "root should be a Node48");
+    for b in (0..40u8).step_by(2) {
+        assert_eq!(art.remove(&[b]).unwrap(), Some(b as u64 + 1));
+    }
+    for b in (0..40u8).step_by(2) {
+        art.insert(&[b], b as u64 + 100).unwrap();
+    }
+    for b in 0..40u8 {
+        let expect = if b % 2 == 0 { b as u64 + 100 } else { b as u64 + 1 };
+        assert_eq!(art.get(&[b]), Some(expect), "byte {b}");
+    }
+    destroy_pool(pool.id());
+}

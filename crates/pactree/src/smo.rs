@@ -1,0 +1,275 @@
+//! Per-thread persistent SMO (structural modification operation) logs
+//! (paper §4.3, §5.6).
+//!
+//! When an insert splits a data node, or a delete merges two, the writer
+//! records the fact in its per-thread SMO log *before* touching the data
+//! layer and returns without updating the search layer; the background
+//! updater thread replays log entries in timestamp order to synchronize the
+//! search layer (asynchronous SMO, the paper's core GC2 mechanism).
+//!
+//! A log entry also serves as the crash-consistency anchor of the whole
+//! split/merge protocol (§5.9): the new node of a split is allocated with
+//! *malloc-to* semantics directly into the entry's placeholder field, so a
+//! crash anywhere in the protocol either finds enough state in the entry to
+//! complete the operation or proves it never started.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use pmem::persist;
+use pmem::pool::PmemPool;
+use pmem::pptr::PmPtr;
+use pmem::Result;
+
+/// SMO kinds recorded in a log entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u64)]
+pub enum SmoKind {
+    /// `node` split; the new right node lives in `aux`.
+    Split = 1,
+    /// `aux` (the right node) merged into `node` (the left node).
+    Merge = 2,
+}
+
+/// Entry states.
+const STATE_FREE: u64 = 0;
+/// The data-layer part is (being) executed; the search layer may lag.
+const STATE_PENDING: u64 = 1;
+
+/// 8-byte words per entry: `[seq, kind, node, aux, state, pad, pad, pad]`
+/// (padded to a cache line so entries flush independently).
+const ENTRY_WORDS: usize = 8;
+const W_SEQ: usize = 0;
+const W_KIND: usize = 1;
+const W_NODE: usize = 2;
+const W_AUX: usize = 3;
+const W_STATE: usize = 4;
+
+/// Entries per thread ring.
+pub const ENTRIES_PER_THREAD: usize = 64;
+/// Number of per-thread rings.
+pub const LOG_THREADS: usize = 256;
+
+/// Bytes of the whole log area.
+pub const LOG_AREA_SIZE: usize = LOG_THREADS * ENTRIES_PER_THREAD * ENTRY_WORDS * 8;
+
+static NEXT_SMO_THREAD: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static SMO_THREAD_SLOT: std::cell::Cell<usize> = const { std::cell::Cell::new(usize::MAX) };
+}
+
+fn smo_thread_slot() -> usize {
+    SMO_THREAD_SLOT.with(|s| {
+        if s.get() == usize::MAX {
+            s.set(NEXT_SMO_THREAD.fetch_add(1, Ordering::Relaxed) % LOG_THREADS);
+        }
+        s.get()
+    })
+}
+
+/// A decoded, pending SMO log entry.
+#[derive(Debug, Clone, Copy)]
+pub struct SmoRecord {
+    pub seq: u64,
+    pub kind: SmoKind,
+    /// The split/left node.
+    pub node: u64,
+    /// The new node (split) or merged-away victim (merge).
+    pub aux: u64,
+    /// Location for clearing.
+    pub thread: usize,
+    pub index: usize,
+}
+
+/// Handle over the persistent SMO log area of one tree.
+pub struct SmoLog {
+    /// Raw `PmPtr` to the log area.
+    area: PmPtr<AtomicU64>,
+    /// Global timestamp source.
+    seq: AtomicU64,
+}
+
+impl SmoLog {
+    /// Creates (or attaches to) the log area anchored at root-directory cell
+    /// `cell` of `pool`.
+    pub fn create(pool: &PmemPool, cell: &AtomicU64) -> Result<SmoLog> {
+        if cell.load(Ordering::Acquire) == 0 {
+            pool.allocator().malloc_to(LOG_AREA_SIZE, cell, |raw| {
+                // SAFETY: fresh allocation of LOG_AREA_SIZE bytes.
+                unsafe { raw.write_bytes(0, LOG_AREA_SIZE) };
+            })?;
+        }
+        let area = PmPtr::<AtomicU64>::from_raw(cell.load(Ordering::Acquire));
+        let log = SmoLog {
+            area,
+            seq: AtomicU64::new(1),
+        };
+        // Resume the timestamp above any surviving entry.
+        let max_seq = log.pending().iter().map(|r| r.seq).max().unwrap_or(0);
+        log.seq.store(max_seq + 1, Ordering::Release);
+        Ok(log)
+    }
+
+    fn word(&self, thread: usize, index: usize, w: usize) -> &AtomicU64 {
+        debug_assert!(thread < LOG_THREADS && index < ENTRIES_PER_THREAD && w < ENTRY_WORDS);
+        let off = (((thread * ENTRIES_PER_THREAD + index) * ENTRY_WORDS + w) * 8) as u64;
+        // SAFETY: in bounds of the LOG_AREA_SIZE allocation; 8-byte aligned.
+        unsafe { &*self.area.byte_add(off).as_ptr() }
+    }
+
+    /// Claims a free entry in the calling thread's ring and records a split
+    /// or merge intention; returns the entry handle. Spins (with the caller
+    /// expected to be rare) when the ring is full — natural back-pressure on
+    /// writers when the updater falls behind.
+    pub fn append(&self, kind: SmoKind, node: u64) -> SmoTicket<'_> {
+        let thread = smo_thread_slot();
+        loop {
+            for index in 0..ENTRIES_PER_THREAD {
+                if self.word(thread, index, W_STATE).load(Ordering::Acquire) == STATE_FREE {
+                    let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+                    self.word(thread, index, W_SEQ).store(seq, Ordering::Relaxed);
+                    self.word(thread, index, W_KIND)
+                        .store(kind as u64, Ordering::Relaxed);
+                    self.word(thread, index, W_NODE).store(node, Ordering::Relaxed);
+                    self.word(thread, index, W_AUX).store(0, Ordering::Relaxed);
+                    self.word(thread, index, W_STATE)
+                        .store(STATE_PENDING, Ordering::Release);
+                    persist::persist(
+                        self.word(thread, index, 0) as *const AtomicU64 as *const u8,
+                        ENTRY_WORDS * 8,
+                    );
+                    persist::fence();
+                    return SmoTicket {
+                        log: self,
+                        thread,
+                        index,
+                        seq,
+                    };
+                }
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    /// Clears an entry (the SMO is fully reflected in the search layer).
+    pub fn clear(&self, thread: usize, index: usize) {
+        self.word(thread, index, W_STATE)
+            .store(STATE_FREE, Ordering::Release);
+        persist::persist_obj_fenced(self.word(thread, index, W_STATE));
+    }
+
+    /// Snapshot of all pending entries, sorted by timestamp (the updater's
+    /// replay order, §5.6).
+    pub fn pending(&self) -> Vec<SmoRecord> {
+        let mut out = Vec::new();
+        for t in 0..LOG_THREADS {
+            for i in 0..ENTRIES_PER_THREAD {
+                if self.word(t, i, W_STATE).load(Ordering::Acquire) != STATE_PENDING {
+                    continue;
+                }
+                let kind = match self.word(t, i, W_KIND).load(Ordering::Acquire) {
+                    1 => SmoKind::Split,
+                    2 => SmoKind::Merge,
+                    _ => continue, // torn entry: state persisted last, skip
+                };
+                out.push(SmoRecord {
+                    seq: self.word(t, i, W_SEQ).load(Ordering::Acquire),
+                    kind,
+                    node: self.word(t, i, W_NODE).load(Ordering::Acquire),
+                    aux: self.word(t, i, W_AUX).load(Ordering::Acquire),
+                    thread: t,
+                    index: i,
+                });
+            }
+        }
+        out.sort_by_key(|r| r.seq);
+        out
+    }
+
+    /// Number of pending entries (diagnostics, back-pressure tests).
+    pub fn pending_count(&self) -> usize {
+        self.pending().len()
+    }
+}
+
+/// A claimed, persisted SMO log entry being executed by a writer.
+pub struct SmoTicket<'a> {
+    log: &'a SmoLog,
+    pub thread: usize,
+    pub index: usize,
+    pub seq: u64,
+}
+
+impl SmoTicket<'_> {
+    /// The entry's `aux` cell — the malloc-to destination for a split's new
+    /// node, or the victim pointer cell for a merge.
+    pub fn aux_cell(&self) -> &AtomicU64 {
+        self.log.word(self.thread, self.index, W_AUX)
+    }
+
+    /// Records the merge victim (persisted immediately).
+    pub fn set_aux(&self, raw: u64) {
+        self.aux_cell().store(raw, Ordering::Release);
+        persist::persist_obj_fenced(self.aux_cell());
+    }
+
+    /// Abandons the ticket (the SMO turned out unnecessary): frees the slot.
+    pub fn cancel(self) {
+        self.log.clear(self.thread, self.index);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmem::pool::{destroy_pool, PmemPool, PoolConfig};
+
+    #[test]
+    fn append_pending_clear_cycle() {
+        let pool = PmemPool::create(PoolConfig::volatile("smo-basic", 64 << 20)).unwrap();
+        let log = SmoLog::create(&pool, pool.allocator().root(0)).unwrap();
+        assert_eq!(log.pending_count(), 0);
+        let t1 = log.append(SmoKind::Split, 111);
+        let t2 = log.append(SmoKind::Merge, 222);
+        t2.set_aux(333);
+        let pending = log.pending();
+        assert_eq!(pending.len(), 2);
+        assert!(pending[0].seq < pending[1].seq, "sorted by timestamp");
+        assert_eq!(pending[0].kind, SmoKind::Split);
+        assert_eq!(pending[0].node, 111);
+        assert_eq!(pending[1].aux, 333);
+        log.clear(t1.thread, t1.index);
+        log.clear(t2.thread, t2.index);
+        assert_eq!(log.pending_count(), 0);
+        destroy_pool(pool.id());
+    }
+
+    #[test]
+    fn survives_crash_and_resumes_seq() {
+        let pool = PmemPool::create(PoolConfig::durable("smo-crash", 64 << 20)).unwrap();
+        let log = SmoLog::create(&pool, pool.allocator().root(0)).unwrap();
+        let t = log.append(SmoKind::Split, 42);
+        let seq_before = t.seq;
+        pool.simulate_crash(false);
+        // Reattach.
+        let log2 = SmoLog::create(&pool, pool.allocator().root(0)).unwrap();
+        let pending = log2.pending();
+        assert_eq!(pending.len(), 1);
+        assert_eq!(pending[0].node, 42);
+        assert_eq!(pending[0].seq, seq_before);
+        // New timestamps continue above the survivor.
+        let t2 = log2.append(SmoKind::Merge, 1);
+        assert!(t2.seq > seq_before);
+        destroy_pool(pool.id());
+    }
+
+    #[test]
+    fn cancel_frees_slot() {
+        let pool = PmemPool::create(PoolConfig::volatile("smo-cancel", 64 << 20)).unwrap();
+        let log = SmoLog::create(&pool, pool.allocator().root(0)).unwrap();
+        let t = log.append(SmoKind::Split, 7);
+        t.cancel();
+        assert_eq!(log.pending_count(), 0);
+        destroy_pool(pool.id());
+    }
+}

@@ -1,0 +1,1121 @@
+//! The PACTree index (paper §4-§5).
+//!
+//! [`PacTree`] glues the layers together:
+//!
+//! * **locate** — traverse the PDL-ART search layer to a *jump node*, then
+//!   walk the data-layer doubly linked list, comparing anchor keys, until
+//!   the node whose range covers the key is found (§5.3). The walk distance
+//!   is recorded for the §6.7 experiment.
+//! * **lookup/scan** — optimistic reads against data nodes (§5.3-§5.4).
+//! * **insert/update/delete** — write-locked data-node slot protocols with
+//!   the bitmap as linearization point (§5.5), triggering asynchronous
+//!   split/merge SMOs (§5.6).
+//! * **recovery** — generation bump, allocator and PDL-ART log recovery,
+//!   and idempotent SMO log replay (§5.9).
+//!
+//! Pools: the search layer, data layer, and logs each get their own pool
+//! set, with one data pool per logical NUMA node (§5.8); allocation is
+//! NUMA-local.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use pmem::epoch::Collector;
+use pmem::model;
+use pmem::persist;
+use pmem::pool::{self, PmemPool, PoolConfig};
+use pmem::pptr::PmPtr;
+use pmem::{AllocMode, PmemError, Result};
+
+use crate::data::{node_ref, DataNode, Pair, DATA_NODE_SIZE, MERGE_THRESHOLD, NODE_SLOTS};
+use crate::search::Art;
+use crate::smo::{SmoKind, SmoLog, SmoRecord};
+use crate::stats::TreeStats;
+use crate::updater::Updater;
+
+/// Escalating backoff for the optimistic retry loops: free on the first
+/// pass, then spins, yields, and finally sleeps, so retries don't burn the
+/// host CPU while a lock holder sleeps through time-dilated NVM stalls.
+struct RetryBackoff(u32);
+
+impl RetryBackoff {
+    fn new() -> RetryBackoff {
+        RetryBackoff(0)
+    }
+
+    fn pause_if_retrying(&mut self) {
+        let n = self.0;
+        self.0 = self.0.saturating_add(1);
+        match n {
+            0 => {}
+            1..=8 => std::hint::spin_loop(),
+            9..=64 => std::thread::yield_now(),
+            _ => std::thread::sleep(std::time::Duration::from_micros(50)),
+        }
+    }
+}
+
+/// Root-directory slots used by PACTree inside its pools.
+const ROOT_ART: usize = 0; // search pool: ART root (slot 1 = ART alloc log)
+const ROOT_HEAD: usize = 0; // data pool 0: head data node
+const ROOT_SMO: usize = 0; // log pool: SMO log area
+
+/// Configuration for creating or recovering a [`PacTree`].
+#[derive(Debug, Clone)]
+pub struct PacTreeConfig {
+    /// Pool name prefix (pools are `{name}-search`, `{name}-data{n}`,
+    /// `{name}-log`).
+    pub name: String,
+    /// Data pool count = logical NUMA nodes to spread over (GS2).
+    pub numa_pools: u16,
+    /// Size of each pool in bytes.
+    pub pool_size: usize,
+    /// Keep media images for crash simulation.
+    pub crash_sim: bool,
+    /// Allocator mode for all pools.
+    pub alloc_mode: AllocMode,
+    /// Replay SMOs in a background thread (the paper's asynchronous
+    /// search-layer update). When false, writers replay synchronously in
+    /// the critical path (the Figure 12 "+Async Update" ablation's off
+    /// state).
+    pub async_smo: bool,
+    /// Persist the permutation array on rebuild (paper: *off* — selective
+    /// persistence §4.4; the Figure 12 ablation turns it on to measure).
+    pub persist_permutation: bool,
+    /// Place the search layer in emulated DRAM (no NVM model charging),
+    /// like FPTree-style hybrids; the paper measures <10% gain (§6.3).
+    pub search_layer_dram: bool,
+}
+
+impl PacTreeConfig {
+    /// Reasonable defaults for tests and examples: one NUMA pool, crash
+    /// simulation off, asynchronous SMOs on.
+    pub fn named(name: &str) -> Self {
+        PacTreeConfig {
+            name: name.to_string(),
+            numa_pools: 1,
+            pool_size: 256 << 20,
+            crash_sim: false,
+            alloc_mode: AllocMode::Transient,
+            async_smo: true,
+            persist_permutation: false,
+            search_layer_dram: false,
+        }
+    }
+
+    /// Paper-faithful durable configuration: crash simulation, crash
+    /// consistent allocation, per-NUMA data pools.
+    pub fn durable(name: &str) -> Self {
+        PacTreeConfig {
+            crash_sim: true,
+            alloc_mode: AllocMode::CrashConsistent,
+            numa_pools: pmem::numa::nodes(),
+            ..Self::named(name)
+        }
+    }
+
+    /// Sets the per-pool size.
+    pub fn with_pool_size(mut self, bytes: usize) -> Self {
+        self.pool_size = bytes;
+        self
+    }
+
+    /// Sets the number of per-NUMA data pools.
+    pub fn with_numa_pools(mut self, n: u16) -> Self {
+        self.numa_pools = n.max(1);
+        self
+    }
+
+    /// Toggles asynchronous SMO replay.
+    pub fn with_async_smo(mut self, on: bool) -> Self {
+        self.async_smo = on;
+        self
+    }
+}
+
+/// The PACTree persistent range index. Thread-safe; share via `Arc`.
+pub struct PacTree {
+    config: PacTreeConfig,
+    search_pool: Arc<PmemPool>,
+    data_pools: Vec<Arc<PmemPool>>,
+    log_pool: Arc<PmemPool>,
+    pub(crate) art: Art,
+    pub(crate) smo: SmoLog,
+    collector: Arc<Collector>,
+    stats: TreeStats,
+    updater: Updater,
+    /// Sum of pool crash counts at assembly; used to detect that a crash
+    /// was simulated underneath this instance (its deferred frees are then
+    /// invalid and must be discarded, not run).
+    birth_crash_count: u64,
+}
+
+impl PacTree {
+    /// Creates a fresh PACTree (fails if pools with these names exist).
+    pub fn create(config: PacTreeConfig) -> Result<Arc<PacTree>> {
+        let mk = |suffix: &str, node: u16, dram: bool| {
+            let mut pc = PoolConfig {
+                name: format!("{}-{}", config.name, suffix),
+                size: config.pool_size,
+                numa_node: node,
+                crash_sim: config.crash_sim,
+                alloc_mode: config.alloc_mode,
+            };
+            if dram {
+                pc.crash_sim = false;
+                pc.alloc_mode = AllocMode::Transient;
+            }
+            PmemPool::create(pc).map(|p| {
+                if dram {
+                    pool::set_dram(p.id(), true);
+                }
+                p
+            })
+        };
+        let search_pool = mk("search", 0, config.search_layer_dram)?;
+        let mut data_pools = Vec::new();
+        for n in 0..config.numa_pools {
+            data_pools.push(mk(&format!("data{n}"), n, false)?);
+        }
+        let log_pool = mk("log", 0, false)?;
+        Self::assemble(config, search_pool, data_pools, log_pool, true)
+    }
+
+    /// Reattaches to existing pools after a (simulated) crash: bumps the
+    /// lock generation, recovers allocator and ART allocation logs, replays
+    /// pending SMO log entries, and resumes (§5.9).
+    pub fn recover(config: PacTreeConfig) -> Result<Arc<PacTree>> {
+        crate::lock::bump_global_generation();
+        let get = |suffix: &str| {
+            pool::pool_by_name(&format!("{}-{}", config.name, suffix))
+                .ok_or_else(|| PmemError::PoolNotFound(format!("{}-{}", config.name, suffix)))
+        };
+        let search_pool = get("search")?;
+        let mut data_pools = Vec::new();
+        for n in 0..config.numa_pools {
+            data_pools.push(get(&format!("data{n}"))?);
+        }
+        let log_pool = get("log")?;
+        for p in std::iter::once(&search_pool)
+            .chain(data_pools.iter())
+            .chain(std::iter::once(&log_pool))
+        {
+            p.allocator().recover_logs();
+        }
+        Self::assemble(config, search_pool, data_pools, log_pool, false)
+    }
+
+    fn assemble(
+        config: PacTreeConfig,
+        search_pool: Arc<PmemPool>,
+        data_pools: Vec<Arc<PmemPool>>,
+        log_pool: Arc<PmemPool>,
+        fresh: bool,
+    ) -> Result<Arc<PacTree>> {
+        let collector = Arc::new(Collector::new());
+        let art = Art::create(Arc::clone(&search_pool), ROOT_ART, Arc::clone(&collector))?;
+        let smo = SmoLog::create(&log_pool, log_pool.allocator().root(ROOT_SMO))?;
+
+        if fresh {
+            // The head data node covers the whole key space with the empty
+            // anchor and is indexed by the search layer from the start, so
+            // `locate` always finds a jump node.
+            let head_cell = data_pools[0].allocator().root(ROOT_HEAD);
+            let dp = Arc::clone(&data_pools[0]);
+            data_pools[0].allocator().malloc_to(DATA_NODE_SIZE, head_cell, |raw| {
+                // SAFETY: fresh DATA_NODE_SIZE allocation.
+                unsafe {
+                    DataNode::init(raw, b"", &dp, false).expect("head node init");
+                }
+            })?;
+            art.insert(b"", head_cell.load(Ordering::Acquire))?;
+        } else {
+            art.recover();
+        }
+
+        let birth_crash_count = std::iter::once(&search_pool)
+            .chain(data_pools.iter())
+            .chain(std::iter::once(&log_pool))
+            .map(|p| p.crash_count())
+            .sum();
+        let tree = Arc::new(PacTree {
+            config,
+            search_pool,
+            data_pools,
+            log_pool,
+            art,
+            smo,
+            collector,
+            stats: TreeStats::default(),
+            updater: Updater::new(),
+            birth_crash_count,
+        });
+
+        if !fresh {
+            tree.replay_pending_smos_inner(false);
+        }
+        if tree.config.async_smo {
+            tree.updater.start(Arc::downgrade(&tree));
+        }
+        Ok(tree)
+    }
+
+    /// The tree's configuration.
+    pub fn config(&self) -> &PacTreeConfig {
+        &self.config
+    }
+
+    /// Operation statistics (jump distances, SMO counts).
+    pub fn stats(&self) -> &TreeStats {
+        &self.stats
+    }
+
+    /// The epoch collector (exposed for tests).
+    pub fn collector(&self) -> &Arc<Collector> {
+        &self.collector
+    }
+
+    /// SMO log entries not yet replayed into the search layer.
+    pub fn pending_smo_count(&self) -> usize {
+        self.smo.pending_count()
+    }
+
+    /// Stops the background updater without draining the SMO log. Crash
+    /// tests call this before simulating a power failure so no thread of the
+    /// pre-crash instance touches the remounted pools (a real crash kills
+    /// the process; a simulated one cannot kill threads).
+    pub fn stop_updater(&self) {
+        self.updater.stop();
+    }
+
+    /// Fraction of locates that reached the target node directly (§6.7).
+    pub fn direct_hit_ratio(&self) -> f64 {
+        self.stats.direct_hit_ratio()
+    }
+
+    /// All pools backing this tree (search, data..., log).
+    pub fn pools(&self) -> Vec<Arc<PmemPool>> {
+        let mut v = vec![Arc::clone(&self.search_pool)];
+        v.extend(self.data_pools.iter().cloned());
+        v.push(Arc::clone(&self.log_pool));
+        v
+    }
+
+    /// Stops the updater and unregisters every pool. Consumes the tree
+    /// handle; persistent pointers into the pools dangle afterwards.
+    pub fn destroy(self: Arc<Self>) {
+        self.updater.stop();
+        let ids: Vec<_> = self.pools().iter().map(|p| p.id()).collect();
+        drop(self);
+        for id in ids {
+            pool::destroy_pool(id);
+        }
+    }
+
+    /// NUMA-local data pool for the calling thread (GS2).
+    fn my_data_pool(&self) -> &Arc<PmemPool> {
+        let node = pmem::numa::current_node() as usize;
+        &self.data_pools[node % self.data_pools.len()]
+    }
+
+    fn head_raw(&self) -> u64 {
+        self.data_pools[0].allocator().root(ROOT_HEAD).load(Ordering::Acquire)
+    }
+
+    // -- Locate (§5.3) -------------------------------------------------------
+
+    /// Finds the data node whose range covers `key`: search-layer floor to a
+    /// jump node, then an anchor-guided walk of the data-layer list.
+    fn locate(&self, key: &[u8]) -> u64 {
+        let jump = self.art.floor(key).unwrap_or_else(|| self.head_raw());
+        let mut raw = jump;
+        let mut hops = 0usize;
+        loop {
+            // SAFETY: data nodes are epoch-protected; callers pin before
+            // calling locate.
+            let node = unsafe { node_ref(raw) };
+            if node.deleted.load(Ordering::Acquire) != 0 {
+                // Merged away: its prev pointer still leads back into the
+                // list (§5.6).
+                let prev = node.prev.load(Ordering::Acquire);
+                raw = if prev != 0 { prev } else { self.head_raw() };
+                hops += 1;
+                continue;
+            }
+            if node.key_below_anchor(key) {
+                let prev = node.prev.load(Ordering::Acquire);
+                if prev == 0 {
+                    break; // head node covers everything below
+                }
+                raw = prev;
+                hops += 1;
+                continue;
+            }
+            let next = node.next.load(Ordering::Acquire);
+            if next != 0 {
+                // SAFETY: sibling pointers lead to initialized nodes.
+                let next_node = unsafe { node_ref(next) };
+                if next_node.key_in_or_after(key) {
+                    // key >= next.anchor: target is further right.
+                    raw = next;
+                    hops += 1;
+                    continue;
+                }
+            }
+            break;
+        }
+        self.stats.record_jump(hops);
+        raw
+    }
+
+    /// Charges a data-node read to the NVM model.
+    #[inline]
+    fn charge_node_read(&self, raw: u64, bytes: usize) {
+        let p = PmPtr::<u8>::from_raw(raw);
+        model::on_read(p.pool_id(), p.offset(), bytes);
+    }
+
+    // -- Reads ---------------------------------------------------------------
+
+    /// Point lookup (§5.3).
+    pub fn lookup(&self, key: &[u8]) -> Option<u64> {
+        let _g = self.collector.pin();
+        let mut backoff = RetryBackoff::new();
+        loop {
+            backoff.pause_if_retrying();
+            let raw = self.locate(key);
+            // SAFETY: epoch-pinned.
+            let node = unsafe { node_ref(raw) };
+            let Some(token) = node.lock.read_begin() else {
+                self.stats.retries.fetch_add(1, Ordering::Relaxed);
+                continue;
+            };
+            // Range re-check under the token: a concurrent split may have
+            // moved the key range.
+            if node.deleted.load(Ordering::Acquire) != 0 || node.key_below_anchor(key) {
+                self.stats.retries.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            let next = node.next.load(Ordering::Acquire);
+            if next != 0 {
+                // SAFETY: epoch-pinned sibling.
+                if !unsafe { node_ref(next) }.key_below_anchor(key) {
+                    // key >= next anchor: relocate.
+                    if !node.lock.read_validate(token) {
+                        self.stats.retries.fetch_add(1, Ordering::Relaxed);
+                    }
+                    continue;
+                }
+            }
+            // Header + fingerprint line + a couple of candidate slots.
+            self.charge_node_read(raw, 192 + key.len().min(64));
+            let result = node.find(key).map(|slot| node.value_at(slot));
+            if node.lock.read_validate(token) {
+                return result;
+            }
+            self.stats.retries.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Range scan: up to `count` pairs with keys ≥ `start`, sorted (§5.4).
+    pub fn scan(&self, start: &[u8], count: usize) -> Vec<Pair> {
+        let _g = self.collector.pin();
+        let mut out: Vec<Pair> = Vec::with_capacity(count.min(4096));
+        if count == 0 {
+            return out;
+        }
+        'relocate: loop {
+            out.clear();
+            let mut raw = self.locate(start);
+            loop {
+                // SAFETY: epoch-pinned.
+                let node = unsafe { node_ref(raw) };
+                let Some(token) = node.lock.read_begin() else {
+                    continue 'relocate;
+                };
+                if node.deleted.load(Ordering::Acquire) != 0 {
+                    continue 'relocate;
+                }
+                // Whole-node sequential read (GA5): data nodes scan at
+                // XPLine-friendly granularity.
+                self.charge_node_read(raw, DATA_NODE_SIZE);
+                let order = node.sorted_slots(token.version_hint(), self.config.persist_permutation);
+                let mut page: Vec<Pair> = Vec::with_capacity(order.len());
+                for slot in order {
+                    let p = node.pair_at(slot);
+                    if p.key.as_slice() >= start {
+                        page.push(p);
+                    }
+                }
+                let next = node.next.load(Ordering::Acquire);
+                if !node.lock.read_validate(token) {
+                    continue 'relocate;
+                }
+                for p in page {
+                    out.push(p);
+                    if out.len() >= count {
+                        return out;
+                    }
+                }
+                if next == 0 {
+                    return out;
+                }
+                raw = next;
+            }
+        }
+    }
+
+    // -- Writes (§5.5) --------------------------------------------------------
+
+    /// Inserts or updates `key -> value`; returns the previous value if the
+    /// key existed.
+    pub fn insert(&self, key: &[u8], value: u64) -> Result<Option<u64>> {
+        self.write_op(key, value, true)
+    }
+
+    /// Updates an existing key; returns the previous value, or `None` if the
+    /// key is absent (no insertion happens).
+    pub fn update(&self, key: &[u8], value: u64) -> Result<Option<u64>> {
+        self.write_op(key, value, false)
+    }
+
+    fn write_op(&self, key: &[u8], value: u64, insert_if_absent: bool) -> Result<Option<u64>> {
+        let guard = self.collector.pin();
+        let mut backoff = RetryBackoff::new();
+        loop {
+            backoff.pause_if_retrying();
+            let raw = self.locate(key);
+            // SAFETY: epoch-pinned.
+            let node = unsafe { node_ref(raw) };
+            let Some(wg) = node.lock.try_write_lock() else {
+                self.stats.retries.fetch_add(1, Ordering::Relaxed);
+                std::thread::yield_now();
+                continue;
+            };
+            if node.deleted.load(Ordering::Acquire) != 0 || node.key_below_anchor(key) {
+                drop(wg);
+                self.stats.retries.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            let next = node.next.load(Ordering::Acquire);
+            if next != 0 {
+                // SAFETY: epoch-pinned sibling; anchors immutable.
+                if !unsafe { node_ref(next) }.key_below_anchor(key) {
+                    drop(wg);
+                    self.stats.retries.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+            }
+            self.charge_node_read(raw, 192 + key.len().min(64));
+
+            let existing = node.find(key);
+            if let Some(old_slot) = existing {
+                let old_value = node.value_at(old_slot);
+                // Update protocol (§5.5): new pair into a free slot, then
+                // one atomic bitmap store swaps old for new.
+                let Some(slot) = node.free_slot() else {
+                    // Full node: split first, then retry against the halves.
+                    self.split(raw, node, &wg, &guard)?;
+                    drop(wg);
+                    continue;
+                };
+                node.write_slot(slot, key, value, self.my_data_pool())?;
+                node.publish(1 << slot, 1 << old_slot);
+                self.defer_overflow_free(node, old_slot, &guard);
+                drop(wg);
+                return Ok(Some(old_value));
+            }
+            if !insert_if_absent {
+                drop(wg);
+                return Ok(None);
+            }
+            let Some(slot) = node.free_slot() else {
+                self.split(raw, node, &wg, &guard)?;
+                drop(wg);
+                continue;
+            };
+            node.write_slot(slot, key, value, self.my_data_pool())?;
+            node.publish(1 << slot, 0);
+            drop(wg);
+            return Ok(None);
+        }
+    }
+
+    /// Removes `key`; returns its value if it was present.
+    pub fn remove(&self, key: &[u8]) -> Result<Option<u64>> {
+        let guard = self.collector.pin();
+        let mut backoff = RetryBackoff::new();
+        loop {
+            backoff.pause_if_retrying();
+            let raw = self.locate(key);
+            // SAFETY: epoch-pinned.
+            let node = unsafe { node_ref(raw) };
+            let Some(wg) = node.lock.try_write_lock() else {
+                self.stats.retries.fetch_add(1, Ordering::Relaxed);
+                std::thread::yield_now();
+                continue;
+            };
+            if node.deleted.load(Ordering::Acquire) != 0 || node.key_below_anchor(key) {
+                drop(wg);
+                self.stats.retries.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            let next = node.next.load(Ordering::Acquire);
+            if next != 0 {
+                // SAFETY: epoch-pinned sibling.
+                if !unsafe { node_ref(next) }.key_below_anchor(key) {
+                    drop(wg);
+                    self.stats.retries.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+            }
+            self.charge_node_read(raw, 192 + key.len().min(64));
+            let Some(slot) = node.find(key) else {
+                drop(wg);
+                return Ok(None);
+            };
+            let old = node.value_at(slot);
+            // Delete protocol (§5.5): one atomic bitmap clear.
+            node.publish(0, 1 << slot);
+            self.defer_overflow_free(node, slot, &guard);
+
+            // Merge check (§5.6): combined occupancy at most half capacity.
+            // Try the right neighbour first (keeps the rightward lock
+            // order), then opportunistically the left one.
+            let mut merged = false;
+            if next != 0 {
+                // SAFETY: epoch-pinned sibling.
+                let right = unsafe { node_ref(next) };
+                if node.live_count() + right.live_count() <= MERGE_THRESHOLD {
+                    // Lock order is strictly rightward: we hold `node`.
+                    if let Some(rg) = right.lock.try_write_lock() {
+                        if right.deleted.load(Ordering::Acquire) == 0
+                            && node.next.load(Ordering::Acquire) == next
+                        {
+                            self.merge(raw, node, next, right)?;
+                            merged = true;
+                        }
+                        drop(rg);
+                    }
+                }
+            }
+            let prev = node.prev.load(Ordering::Acquire);
+            if !merged && prev != 0 {
+                // SAFETY: epoch-pinned sibling.
+                let left = unsafe { node_ref(prev) };
+                if left.live_count() + node.live_count() <= MERGE_THRESHOLD {
+                    // Left-of-held-lock acquisition must stay non-blocking
+                    // (all writers use try-locks, so no deadlock — a failed
+                    // try just skips the merge).
+                    if let Some(lg) = left.lock.try_write_lock() {
+                        if left.deleted.load(Ordering::Acquire) == 0
+                            && left.next.load(Ordering::Acquire) == raw
+                        {
+                            // `node` becomes the merge victim.
+                            self.merge(prev, left, raw, node)?;
+                        }
+                        drop(lg);
+                    }
+                }
+            }
+            drop(wg);
+            return Ok(Some(old));
+        }
+    }
+
+    fn defer_overflow_free(&self, node: &DataNode, slot: usize, guard: &pmem::epoch::Guard<'_>) {
+        if let Some((ov, len)) = node.overflow_of(slot) {
+            let pool_id = ov.pool_id();
+            self.collector.defer(guard, move || {
+                if let Some(p) = pool::pool_by_id(pool_id) {
+                    p.allocator().free(ov, len);
+                }
+            });
+        }
+    }
+
+    // -- Split (§5.6) ---------------------------------------------------------
+
+    /// Splits a full, write-locked data node. On return the data layer holds
+    /// both halves; the search-layer update is deferred to the SMO log.
+    fn split(
+        &self,
+        raw: u64,
+        node: &DataNode,
+        _wg: &crate::lock::WriteGuard<'_>,
+        _guard: &pmem::epoch::Guard<'_>,
+    ) -> Result<()> {
+        // 1. Persist the split intention.
+        let ticket = self.smo.append(SmoKind::Split, raw);
+
+        // 2. Allocate the new right node via malloc-to into the log entry's
+        //    placeholder (leak freedom): it is born locked and fully
+        //    populated with the upper half.
+        let sorted = node.sorted_pairs_raw();
+        debug_assert_eq!(sorted.len(), NODE_SLOTS);
+        let moved = &sorted[NODE_SLOTS / 2..];
+        let anchor = moved[0].0.clone();
+        let pool = self.my_data_pool();
+        let old_next = node.next.load(Ordering::Acquire);
+        {
+            let pool2 = Arc::clone(pool);
+            let moved_slots: Vec<usize> = moved.iter().map(|&(_, s)| s).collect();
+            pool.allocator().malloc_to(DATA_NODE_SIZE, ticket.aux_cell(), |ptr| {
+                // SAFETY: fresh DATA_NODE_SIZE allocation.
+                unsafe {
+                    DataNode::init(ptr, &anchor, &pool2, true).expect("split node init");
+                    let new_node = &*(ptr as *const DataNode);
+                    for (i, &src_slot) in moved_slots.iter().enumerate() {
+                        new_node.copy_slot_from(i, node, src_slot);
+                    }
+                    let mask = (1u64 << moved_slots.len()) - 1;
+                    new_node.bitmap.store(mask, Ordering::Release);
+                    new_node.next.store(old_next, Ordering::Release);
+                    new_node.prev.store(raw, Ordering::Release);
+                }
+            })?;
+        }
+        let new_raw = ticket.aux_cell().load(Ordering::Acquire);
+        // SAFETY: just initialized by malloc_to.
+        let new_node = unsafe { node_ref(new_raw) };
+
+        // 3. Link the new node to the right of the splitting node; this is
+        //    the point where it becomes reachable.
+        node.next.store(new_raw, Ordering::Release);
+        persist::persist_obj_fenced(&node.next);
+
+        // 4. Drop the moved pairs from the splitting node with one atomic
+        //    bitmap update.
+        let clear_mask: u64 = moved.iter().map(|&(_, s)| 1u64 << s).sum();
+        node.publish(0, clear_mask);
+
+        // 5. Fix the right neighbour's back pointer.
+        if old_next != 0 {
+            // SAFETY: epoch-pinned sibling.
+            let right = unsafe { node_ref(old_next) };
+            right.prev.store(new_raw, Ordering::Release);
+            persist::persist_obj_fenced(&right.prev);
+        }
+
+        // 6. Open the new node for business; the SMO log entry stays until
+        //    the updater inserts the anchor into the search layer.
+        new_node.unlock_initial();
+        self.stats.splits.fetch_add(1, Ordering::Relaxed);
+
+        if self.config.async_smo {
+            self.updater.nudge();
+        } else {
+            self.art.insert(&anchor, new_raw)?;
+            self.smo.clear(ticket.thread, ticket.index);
+            self.stats.smo_replayed.fetch_add(1, Ordering::Relaxed);
+        }
+        std::mem::forget(ticket); // entry ownership moved to the updater
+        Ok(())
+    }
+
+    // -- Merge (§5.6) ----------------------------------------------------------
+
+    /// Merges `right` (locked) into `node` (locked): copies live pairs,
+    /// marks `right` logically deleted, unlinks it, and defers the
+    /// search-layer removal and physical free to the SMO log/updater.
+    fn merge(&self, raw: u64, node: &DataNode, right_raw: u64, right: &DataNode) -> Result<()> {
+        // 1. Persist the merge intention.
+        let ticket = self.smo.append(SmoKind::Merge, raw);
+        ticket.set_aux(right_raw);
+
+        // 2. Copy the right node's live pairs into free slots, publish all
+        //    of them with one bitmap update.
+        let mut set_mask = 0u64;
+        let bm = right.bitmap.load(Ordering::Acquire);
+        let mut bits = bm;
+        let mut buf = Vec::new();
+        while bits != 0 {
+            let src = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            right.read_key(src, &mut buf);
+            if node.find(&buf).is_some() {
+                continue; // idempotent re-copy during recovery
+            }
+            let dst = (node.bitmap.load(Ordering::Acquire) | set_mask).trailing_ones() as usize;
+            debug_assert!(dst < NODE_SLOTS, "merge target has room by precondition");
+            node.copy_slot_from(dst, right, src);
+            set_mask |= 1 << dst;
+        }
+        node.publish(set_mask, 0);
+
+        // 3. Logically delete the right node.
+        right.deleted.store(1, Ordering::Release);
+        persist::persist_obj_fenced(&right.deleted);
+
+        // 4. Unlink it from the list.
+        let rr = right.next.load(Ordering::Acquire);
+        node.next.store(rr, Ordering::Release);
+        persist::persist_obj_fenced(&node.next);
+        if rr != 0 {
+            // SAFETY: epoch-pinned sibling.
+            let rr_node = unsafe { node_ref(rr) };
+            rr_node.prev.store(raw, Ordering::Release);
+            persist::persist_obj_fenced(&rr_node.prev);
+        }
+        self.stats.merges.fetch_add(1, Ordering::Relaxed);
+
+        // 5. Search-layer removal + physical free via the updater.
+        if self.config.async_smo {
+            self.updater.nudge();
+        } else {
+            self.finish_merge_smo(right_raw)?;
+            self.smo.clear(ticket.thread, ticket.index);
+            self.stats.smo_replayed.fetch_add(1, Ordering::Relaxed);
+        }
+        std::mem::forget(ticket);
+        Ok(())
+    }
+
+    /// Removes the merged node's anchor from the search layer and defers its
+    /// physical free by two epochs (§5.6).
+    fn finish_merge_smo(&self, victim_raw: u64) -> Result<()> {
+        // SAFETY: victim is logically deleted but not freed (we free it
+        // below, after two epochs).
+        let victim = unsafe { node_ref(victim_raw) };
+        let anchor = victim.anchor();
+        self.art.remove(&anchor)?;
+        let guard = self.collector.pin();
+        let ptr = PmPtr::<u8>::from_raw(victim_raw);
+        let pool_id = ptr.pool_id();
+        self.collector.defer(&guard, move || {
+            if let Some(p) = pool::pool_by_id(pool_id) {
+                p.allocator().free(ptr, DATA_NODE_SIZE);
+            }
+        });
+        Ok(())
+    }
+
+    // -- SMO replay (updater thread & recovery, §5.6/§5.9) ---------------------
+
+    /// Replays every pending SMO log entry in timestamp order. Called by the
+    /// background updater (`live = true`) and during single-threaded
+    /// recovery (`live = false`). Returns entries processed.
+    pub(crate) fn replay_pending_smos_inner(&self, live: bool) -> usize {
+        let pending = self.smo.pending();
+        let n = pending.len();
+        for rec in pending {
+            match self.replay_one(&rec, live) {
+                Ok(true) => {
+                    self.smo.clear(rec.thread, rec.index);
+                    self.stats.smo_replayed.fetch_add(1, Ordering::Relaxed);
+                }
+                Ok(false) => {} // in flight; a later pass retries silently
+                Err(e) => {
+                    if !live {
+                        eprintln!("pactree: SMO recovery deferred: {e}");
+                    }
+                }
+            }
+        }
+        self.collector.try_advance();
+        n
+    }
+
+    /// Live-updater entry point.
+    pub(crate) fn replay_pending_smos(&self) -> usize {
+        self.replay_pending_smos_inner(true)
+    }
+
+    /// Returns `Ok(true)` when the entry is fully reflected and may be
+    /// cleared, `Ok(false)` when the owning writer is still executing the
+    /// SMO (live mode only).
+    fn replay_one(&self, rec: &SmoRecord, live: bool) -> Result<bool> {
+        match rec.kind {
+            SmoKind::Split => {
+                if rec.aux == 0 {
+                    // Live: the writer persisted the intent but has not yet
+                    // allocated the new node — still in flight, do not touch
+                    // the entry. Recovery: the split never happened and the
+                    // insert was never acknowledged — discard.
+                    return Ok(!live);
+                }
+                // SAFETY: aux was published by malloc_to, so the node is
+                // fully initialized; it is reachable or about to be.
+                let new_node = unsafe { node_ref(rec.aux) };
+                if live && new_node.lock.is_locked() {
+                    // The writer still holds the construction lock: the
+                    // data-layer steps are not finished. Wait for the next
+                    // pass.
+                    return Ok(false);
+                }
+                // SAFETY: the splitting node is never freed by a split.
+                let old_node = unsafe { node_ref(rec.node) };
+                // Recovery path: complete any unfinished data-layer steps
+                // idempotently (§5.9).
+                if old_node.next.load(Ordering::Acquire) != rec.aux
+                    && new_node.prev.load(Ordering::Acquire) == rec.node
+                    && old_node.deleted.load(Ordering::Acquire) == 0
+                {
+                    // Crash between allocation and linking.
+                    old_node.next.store(rec.aux, Ordering::Release);
+                    persist::persist_obj_fenced(&old_node.next);
+                }
+                // Trim moved keys from the old node (idempotent: clears the
+                // bits of keys at or above the new anchor). The mask must be
+                // computed under the node's write lock — a concurrent writer
+                // could be rewriting a reused slot, and a torn key read here
+                // would clear a live pair. The optimistic pre-check keeps
+                // the common (nothing to trim) path lock-free.
+                let anchor = new_node.anchor();
+                let stale = {
+                    let Some(token) = old_node.lock.read_begin() else {
+                        return Err(PmemError::Corruption("split node busy"));
+                    };
+                    let any = old_node
+                        .sorted_pairs_raw()
+                        .iter()
+                        .any(|(k, _)| k.as_slice() >= anchor.as_slice());
+                    if !old_node.lock.read_validate(token) {
+                        return Err(PmemError::Corruption("split node contended"));
+                    }
+                    any
+                };
+                if stale {
+                    let Some(g) = old_node.lock.try_write_lock() else {
+                        return Err(PmemError::Corruption("split node busy"));
+                    };
+                    let mut clear = 0u64;
+                    for (k, slot) in old_node.sorted_pairs_raw() {
+                        if k.as_slice() >= anchor.as_slice() {
+                            clear |= 1 << slot;
+                        }
+                    }
+                    if clear != 0 {
+                        old_node.publish(0, clear);
+                    }
+                    drop(g);
+                }
+                // Fix the right neighbour's back pointer.
+                let rr = new_node.next.load(Ordering::Acquire);
+                if rr != 0 {
+                    // SAFETY: epoch-protected sibling.
+                    let rr_node = unsafe { node_ref(rr) };
+                    if rr_node.prev.load(Ordering::Acquire) == rec.node {
+                        rr_node.prev.store(rec.aux, Ordering::Release);
+                        persist::persist_obj_fenced(&rr_node.prev);
+                    }
+                }
+                if new_node.lock.is_locked() {
+                    // Crash while the split held the construction lock; the
+                    // generation bump already voided it, nothing to do.
+                }
+                // Finally make it reachable from the search layer.
+                self.art.insert(&anchor, rec.aux)?;
+                Ok(true)
+            }
+            SmoKind::Merge => {
+                if rec.aux == 0 {
+                    // Same in-flight rule as splits.
+                    return Ok(!live);
+                }
+                // SAFETY: the victim is freed only after this entry clears.
+                let victim = unsafe { node_ref(rec.aux) };
+                // SAFETY: left node outlives the merge.
+                let left = unsafe { node_ref(rec.node) };
+                if live && victim.deleted.load(Ordering::Acquire) == 0 {
+                    // The writer is still mid-merge (it holds both node
+                    // locks until the protocol completes).
+                    return Ok(false);
+                }
+                if victim.deleted.load(Ordering::Acquire) == 0 {
+                    // Crash mid-copy (recovery path): redo the copy under
+                    // locks, then finish the protocol.
+                    if let Some(lg) = left.lock.try_write_lock() {
+                        let mut set_mask = 0u64;
+                        let mut buf = Vec::new();
+                        let mut bits = victim.bitmap.load(Ordering::Acquire);
+                        while bits != 0 {
+                            let src = bits.trailing_zeros() as usize;
+                            bits &= bits - 1;
+                            victim.read_key(src, &mut buf);
+                            if left.find(&buf).is_some() {
+                                continue;
+                            }
+                            let dst = (left.bitmap.load(Ordering::Acquire) | set_mask)
+                                .trailing_ones() as usize;
+                            if dst >= NODE_SLOTS {
+                                // No room (writers raced in): abandon the
+                                // merge; the entry clears and the victim
+                                // stays live.
+                                drop(lg);
+                                return Ok(true);
+                            }
+                            left.copy_slot_from(dst, victim, src);
+                            set_mask |= 1 << dst;
+                        }
+                        left.publish(set_mask, 0);
+                        victim.deleted.store(1, Ordering::Release);
+                        persist::persist_obj_fenced(&victim.deleted);
+                        drop(lg);
+                    } else {
+                        return Err(PmemError::Corruption("merge left node busy"));
+                    }
+                }
+                // Unlink idempotently.
+                if left.next.load(Ordering::Acquire) == rec.aux {
+                    let rr = victim.next.load(Ordering::Acquire);
+                    left.next.store(rr, Ordering::Release);
+                    persist::persist_obj_fenced(&left.next);
+                    if rr != 0 {
+                        // SAFETY: epoch-protected sibling.
+                        let rr_node = unsafe { node_ref(rr) };
+                        if rr_node.prev.load(Ordering::Acquire) == rec.aux {
+                            rr_node.prev.store(rec.node, Ordering::Release);
+                            persist::persist_obj_fenced(&rr_node.prev);
+                        }
+                    }
+                }
+                self.finish_merge_smo(rec.aux)?;
+                Ok(true)
+            }
+        }
+    }
+
+    // -- Convenience API ---------------------------------------------------------
+
+    /// Scans the half-open key range `[start, end)`, up to `limit` pairs.
+    pub fn range(&self, start: &[u8], end: &[u8], limit: usize) -> Vec<Pair> {
+        let mut out = self.scan(start, limit);
+        if let Some(cut) = out.iter().position(|p| p.key.as_slice() >= end) {
+            out.truncate(cut);
+        }
+        out
+    }
+
+    /// The smallest pair in the index, if any.
+    pub fn first(&self) -> Option<Pair> {
+        self.scan(b"", 1).into_iter().next()
+    }
+
+    /// The largest pair in the index, if any (walks the data-layer list to
+    /// the tail; O(nodes), intended for diagnostics and tail consumers).
+    pub fn last(&self) -> Option<Pair> {
+        let _g = self.collector.pin();
+        loop {
+            // Jump near the tail via the search layer's maximum anchor.
+            let mut raw = self
+                .art
+                .max_entry()
+                .map(|(_, v)| v)
+                .unwrap_or_else(|| self.head_raw());
+            // Walk right to the true tail, then take the last sorted pair of
+            // the rightmost non-empty node.
+            let mut best: Option<Pair> = None;
+            loop {
+                // SAFETY: epoch-pinned list walk.
+                let node = unsafe { node_ref(raw) };
+                let Some(token) = node.lock.read_begin() else {
+                    break;
+                };
+                if node.deleted.load(Ordering::Acquire) != 0 {
+                    break;
+                }
+                let pairs = node.sorted_pairs_raw();
+                let next = node.next.load(Ordering::Acquire);
+                if !node.lock.read_validate(token) {
+                    break;
+                }
+                if let Some((k, slot)) = pairs.last() {
+                    best = Some(Pair {
+                        key: k.clone(),
+                        value: node.value_at(*slot),
+                    });
+                }
+                if next == 0 {
+                    return best;
+                }
+                raw = next;
+            }
+            self.stats.retries.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Whether the index holds no pairs — O(nodes).
+    pub fn is_empty(&self) -> bool {
+        self.count_pairs() == 0
+    }
+
+    // -- Diagnostics -----------------------------------------------------------
+
+    /// Walks the data layer counting live pairs (O(n); tests only).
+    pub fn count_pairs(&self) -> usize {
+        let _g = self.collector.pin();
+        let mut raw = self.head_raw();
+        let mut n = 0;
+        while raw != 0 {
+            // SAFETY: epoch-pinned list walk.
+            let node = unsafe { node_ref(raw) };
+            n += node.live_count();
+            raw = node.next.load(Ordering::Acquire);
+        }
+        n
+    }
+
+    /// Number of data nodes in the list (tests only).
+    pub fn node_count(&self) -> usize {
+        let _g = self.collector.pin();
+        let mut raw = self.head_raw();
+        let mut n = 0;
+        while raw != 0 {
+            n += 1;
+            // SAFETY: epoch-pinned list walk.
+            raw = unsafe { node_ref(raw) }.next.load(Ordering::Acquire);
+        }
+        n
+    }
+
+    /// Verifies data-layer invariants (anchors ascending, pairs in range,
+    /// back pointers consistent); panics on violation. Tests only.
+    pub fn check_invariants(&self) {
+        let _g = self.collector.pin();
+        let mut raw = self.head_raw();
+        let mut prev_raw = 0u64;
+        let mut prev_anchor: Option<Vec<u8>> = None;
+        while raw != 0 {
+            // SAFETY: epoch-pinned walk.
+            let node = unsafe { node_ref(raw) };
+            assert_eq!(node.deleted.load(Ordering::Acquire), 0, "live list has deleted node");
+            let anchor = node.anchor();
+            if let Some(pa) = &prev_anchor {
+                assert!(pa < &anchor, "anchors must ascend");
+            }
+            assert_eq!(node.prev.load(Ordering::Acquire), prev_raw, "prev link broken");
+            for (k, _) in node.sorted_pairs_raw() {
+                assert!(k >= anchor, "pair below anchor");
+            }
+            let next = node.next.load(Ordering::Acquire);
+            if next != 0 {
+                // SAFETY: epoch-pinned.
+                let na = unsafe { node_ref(next) }.anchor();
+                for (k, _) in node.sorted_pairs_raw() {
+                    assert!(k < na, "pair at or above next anchor");
+                }
+            }
+            prev_anchor = Some(anchor);
+            prev_raw = raw;
+            raw = next;
+        }
+    }
+}
+
+impl Drop for PacTree {
+    fn drop(&mut self) {
+        self.updater.stop();
+        // Pending SMOs are deliberately left in the log: the next
+        // [`PacTree::recover`] replays them, exactly like restart after a
+        // real crash (§5.9).
+        let now: u64 = self.pools().iter().map(|p| p.crash_count()).sum();
+        if now != self.birth_crash_count {
+            // A crash was simulated underneath this instance: deferred
+            // frees refer to pre-crash state the remount resurrected.
+            self.collector.discard_all();
+        } else {
+            self.collector.flush();
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! Crash-injection harness (paper §6.8).
+//!
+//! The paper validates recovery by killing the process 100 times and
+//! checking that every previously written key survives. We cannot `SIGKILL`
+//! a thread mid-operation and keep the test process alive, so we simulate at
+//! the persistence layer instead: a *crash point* discards every byte that
+//! was never explicitly persisted (see [`crate::pool::PmemPool::simulate_crash`]),
+//! which is exactly what an ADR-mode power failure does to CPU caches.
+//!
+//! Two ingredients make the simulated crash adversarial:
+//!
+//! * [`CrashScheduler`] — a countdown that triggers a simulated crash after
+//!   a randomized number of persist operations, so crashes land *inside*
+//!   multi-step protocols (split, merge, malloc-to), not just between ops.
+//! * random cache evictions — [`evict_random_lines`] persists arbitrary
+//!   cache lines the program never flushed, modelling spontaneous cache
+//!   writebacks that real hardware performs.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use rand::Rng;
+
+use crate::pool::PmemPool;
+
+/// A countdown-based crash trigger.
+///
+/// Register it with `arm`, then call [`tick`](Self::tick) at interesting
+/// instants (the PACTree test-suite ticks on every persist). When the
+/// countdown hits zero the scheduler flips to *tripped* and the harness
+/// performs the actual pool crash at a safe join point.
+#[derive(Debug, Default)]
+pub struct CrashScheduler {
+    countdown: AtomicU64,
+    armed: AtomicBool,
+    tripped: AtomicBool,
+}
+
+impl CrashScheduler {
+    /// Creates a disarmed scheduler.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Arms the scheduler to trip after `after_ticks` ticks.
+    pub fn arm(&self, after_ticks: u64) {
+        self.countdown.store(after_ticks, Ordering::SeqCst);
+        self.tripped.store(false, Ordering::SeqCst);
+        self.armed.store(true, Ordering::SeqCst);
+    }
+
+    /// Disarms without tripping.
+    pub fn disarm(&self) {
+        self.armed.store(false, Ordering::SeqCst);
+    }
+
+    /// Advances the countdown; returns true exactly once when it fires.
+    pub fn tick(&self) -> bool {
+        if !self.armed.load(Ordering::Relaxed) {
+            return false;
+        }
+        let prev = self.countdown.fetch_sub(1, Ordering::SeqCst);
+        if prev == 1 {
+            self.armed.store(false, Ordering::SeqCst);
+            self.tripped.store(true, Ordering::SeqCst);
+            return true;
+        }
+        if prev == 0 {
+            // Raced past zero; restore and report not-fired.
+            self.countdown.store(0, Ordering::SeqCst);
+        }
+        false
+    }
+
+    /// Whether the scheduler has fired since the last arm.
+    pub fn tripped(&self) -> bool {
+        self.tripped.load(Ordering::SeqCst)
+    }
+}
+
+/// Persists `count` random cache lines of the pool, simulating spontaneous
+/// CPU cache evictions before a crash.
+pub fn evict_random_lines(pool: &PmemPool, count: usize, rng: &mut impl Rng) {
+    let lines = pool.size() / crate::CACHE_LINE;
+    for _ in 0..count {
+        let line = rng.gen_range(0..lines) as u64;
+        pool.evict_line(line * crate::CACHE_LINE as u64);
+    }
+}
+
+/// Crashes a set of pools together (a whole-machine power failure) and
+/// remounts them, optionally at moved base addresses.
+pub fn crash_all(pools: &[Arc<PmemPool>], move_base: bool) {
+    for p in pools {
+        p.simulate_crash(move_base);
+    }
+    for p in pools {
+        p.allocator().recover_logs();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::{destroy_pool, PoolConfig};
+    use rand::SeedableRng;
+
+    #[test]
+    fn scheduler_fires_once() {
+        let s = CrashScheduler::new();
+        s.arm(3);
+        assert!(!s.tick());
+        assert!(!s.tick());
+        assert!(s.tick());
+        assert!(s.tripped());
+        assert!(!s.tick(), "fires exactly once");
+    }
+
+    #[test]
+    fn disarm_prevents_fire() {
+        let s = CrashScheduler::new();
+        s.arm(2);
+        s.disarm();
+        assert!(!s.tick());
+        assert!(!s.tick());
+        assert!(!s.tripped());
+    }
+
+    #[test]
+    fn random_evictions_persist_data() {
+        let pool = PmemPool::create(PoolConfig::durable("t-evict-rand", 1 << 20)).unwrap();
+        let off = pool.allocator().alloc(64).unwrap().offset();
+        // SAFETY: freshly allocated 64 bytes.
+        unsafe { pool.at(off).write_bytes(0x99, 64) };
+        // Evict every line; the written one must reach media.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        evict_random_lines(&pool, pool.size() / crate::CACHE_LINE * 4, &mut rng);
+        pool.simulate_crash(false);
+        // SAFETY: offset in bounds after remount.
+        unsafe { assert_eq!(*pool.at(off), 0x99) };
+        destroy_pool(pool.id());
+    }
+
+    #[test]
+    fn crash_all_recovers_logs() {
+        let p1 = PmemPool::create(PoolConfig::durable("t-ca-1", 1 << 20)).unwrap();
+        let p2 = PmemPool::create(PoolConfig::durable("t-ca-2", 1 << 20)).unwrap();
+        crash_all(&[p1.clone(), p2.clone()], false);
+        assert_eq!(p1.crash_count(), 1);
+        assert_eq!(p2.crash_count(), 1);
+        destroy_pool(p1.id());
+        destroy_pool(p2.id());
+    }
+}

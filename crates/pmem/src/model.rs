@@ -1,0 +1,762 @@
+//! Optane NVM performance model.
+//!
+//! We do not have DCPMM hardware, so this module models the performance
+//! properties the paper's analysis (§2.1, §3.1) depends on:
+//!
+//! * **XPLine granularity** — media traffic is accounted in 256-byte units;
+//!   a 64-byte cache-line access costs a full XPLine on the media.
+//! * **XPBuffer write combining** — a small LRU of XPLine tags per NUMA
+//!   node; flushing adjacent cache lines back-to-back combines into one
+//!   media write (sequential writes are cheap, random writes amplify).
+//! * **CPU cache filtering** — a per-thread direct-mapped cache of line tags
+//!   decides which logical reads actually reach the media.
+//! * **Bandwidth throttling** — token buckets per NUMA node for read and
+//!   write traffic produce the paper's plateauing scalability curves once
+//!   the (write-first) bandwidth saturates.
+//! * **Latency injection** — calibrated spin delays for media reads,
+//!   flushes, fences, and remote access.
+//! * **Coherence modes** — in [`CoherenceMode::Directory`] every remote read
+//!   issues a 64-byte directory write to the media (the paper's FH5 finding,
+//!   the root cause of the cross-NUMA bandwidth meltdown); in
+//!   [`CoherenceMode::Snoop`] remote reads only pay extra latency.
+//!
+//! Indexes report accesses at node granularity via [`on_read`]; writes are
+//! charged at [`crate::persist::persist`] time via [`on_flush`]. The model is
+//! disabled by default so unit tests run at full speed.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+use parking_lot::{Mutex, RwLock};
+
+use crate::numa::{self, MAX_NODES};
+use crate::pool::{self, PoolId};
+use crate::stats;
+use crate::{CACHE_LINE, XPLINE};
+
+/// Cache coherence protocol across NUMA domains (paper §3.1.1, Figure 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoherenceMode {
+    /// Directory protocol: remote reads write directory state to the media.
+    Directory,
+    /// Snoop protocol: remote reads pay latency but no media writes.
+    Snoop,
+}
+
+/// Configuration of the NVM performance model.
+#[derive(Debug, Clone)]
+pub struct NvmModelConfig {
+    /// Master switch; when false every hook is a no-op.
+    pub enabled: bool,
+    /// Inject real wall-clock delays (spin) for modeled latencies.
+    pub inject_latency: bool,
+    /// Enforce bandwidth limits with token buckets.
+    pub throttle: bool,
+    /// Media read latency per XPLine miss, in nanoseconds.
+    pub read_ns: u64,
+    /// Cost of a cache-line flush reaching the WPQ, in nanoseconds.
+    pub flush_ns: u64,
+    /// Cost of an ordering fence, in nanoseconds.
+    pub fence_ns: u64,
+    /// Extra latency for crossing a NUMA boundary, in nanoseconds.
+    pub remote_extra_ns: u64,
+    /// Per-node media read bandwidth, bytes/second.
+    pub read_bw: u64,
+    /// Per-node media write bandwidth, bytes/second.
+    pub write_bw: u64,
+    /// Coherence protocol.
+    pub coherence: CoherenceMode,
+    /// XPBuffer entries (XPLines) per NUMA node.
+    pub xpbuffer_lines: usize,
+    /// Per-thread simulated CPU cache size, in cache lines (power of two);
+    /// 0 disables read filtering (every read hits the media).
+    pub cpu_cache_lines: usize,
+    /// eADR mode (paper §3.5): CPU caches are part of the persistence
+    /// domain, so cache-line flushes cost no synchronous latency (the store
+    /// traffic still reaches the media eventually and consumes write
+    /// bandwidth). Crash-consistency semantics are unchanged in the
+    /// emulation: persists still mark data durable.
+    pub eadr: bool,
+    /// Time dilation factor: all injected latencies are multiplied by this
+    /// and bandwidth is divided by it. With dilation large enough that
+    /// stalls exceed the OS sleep granularity, waits become `thread::sleep`
+    /// so *concurrent threads overlap their modeled NVM stalls even on a
+    /// single-core host* — this is what makes thread-sweep scalability
+    /// curves meaningful in an emulated environment.
+    pub time_dilation: f64,
+}
+
+impl NvmModelConfig {
+    /// Model fully disabled (the default; unit tests run with this).
+    pub fn disabled() -> Self {
+        NvmModelConfig {
+            enabled: false,
+            inject_latency: false,
+            throttle: false,
+            read_ns: 0,
+            flush_ns: 0,
+            fence_ns: 0,
+            remote_extra_ns: 0,
+            read_bw: u64::MAX,
+            write_bw: u64::MAX,
+            coherence: CoherenceMode::Snoop,
+            xpbuffer_lines: 16,
+            cpu_cache_lines: 1 << 14,
+            eadr: false,
+            time_dilation: 1.0,
+        }
+    }
+
+    /// Accounting only: media counters are maintained but no delays are
+    /// injected and no throttling happens. Used by the bandwidth figures
+    /// (Figures 4, 5) and unit tests of the model itself.
+    pub fn accounting() -> Self {
+        NvmModelConfig {
+            enabled: true,
+            ..Self::disabled()
+        }
+    }
+
+    /// The paper's default two-socket Optane machine (§6), scaled for an
+    /// emulated environment: latency and bandwidth ratios follow the Optane
+    /// characterizations cited by the paper (read ~300 ns, write-combined
+    /// flush ~200 ns, 3-5x read/write bandwidth asymmetry).
+    pub fn optane(coherence: CoherenceMode) -> Self {
+        NvmModelConfig {
+            enabled: true,
+            inject_latency: true,
+            throttle: true,
+            read_ns: 300,
+            flush_ns: 200,
+            fence_ns: 80,
+            remote_extra_ns: 250,
+            read_bw: 12_000_000_000,
+            write_bw: 3_500_000_000,
+            coherence,
+            xpbuffer_lines: 16,
+            cpu_cache_lines: 1 << 14,
+            eadr: false,
+            time_dilation: 1.0,
+        }
+    }
+
+    /// eADR variant of the Optane model: flush/fence latency disappears from
+    /// the critical path, but media write bandwidth is still consumed.
+    pub fn optane_eadr_dilated(coherence: CoherenceMode, dilation: f64) -> Self {
+        let mut c = Self::optane_dilated(coherence, dilation);
+        c.eadr = true;
+        c
+    }
+
+    /// Time-dilated Optane model for thread-sweep benchmarks: latencies are
+    /// stretched until they exceed the OS sleep granularity, so modeled NVM
+    /// stalls are spent sleeping and N worker threads genuinely overlap
+    /// their stalls regardless of host core count. Bandwidth shrinks by the
+    /// same factor, preserving the latency/bandwidth balance. Throughputs
+    /// measured under this config are reported after multiplying by the
+    /// dilation factor.
+    pub fn optane_dilated(coherence: CoherenceMode, dilation: f64) -> Self {
+        let mut c = Self::optane(coherence);
+        c.time_dilation = dilation;
+        c
+    }
+
+    /// The low-bandwidth second evaluation machine (§6.2): about 3x less
+    /// cumulative NVM bandwidth than the default platform.
+    pub fn low_bandwidth() -> Self {
+        let mut c = Self::optane(CoherenceMode::Snoop);
+        c.read_bw /= 3;
+        c.write_bw /= 3;
+        c
+    }
+}
+
+impl Default for NvmModelConfig {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+/// A token bucket enforcing a byte/second rate.
+struct TokenBucket {
+    tokens: AtomicI64,
+    last_refill_ns: AtomicU64,
+    rate_per_ns: f64,
+    burst: i64,
+}
+
+impl TokenBucket {
+    fn new(rate_bytes_per_sec: u64) -> Self {
+        let burst = (rate_bytes_per_sec / 1000).max(64 * 1024) as i64; // ~1 ms worth
+        TokenBucket {
+            tokens: AtomicI64::new(burst),
+            last_refill_ns: AtomicU64::new(0),
+            rate_per_ns: rate_bytes_per_sec as f64 / 1e9,
+            burst,
+        }
+    }
+
+    /// Blocks (spins) until `bytes` tokens are available, then consumes them.
+    fn acquire(&self, bytes: u64, origin: &Instant) {
+        if self.rate_per_ns >= 1e9 {
+            return; // effectively unlimited
+        }
+        let need = bytes as i64;
+        loop {
+            self.refill(origin);
+            let cur = self.tokens.load(Ordering::Relaxed);
+            if cur >= need {
+                if self
+                    .tokens
+                    .compare_exchange_weak(cur, cur - need, Ordering::Relaxed, Ordering::Relaxed)
+                    .is_ok()
+                {
+                    return;
+                }
+            } else {
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    fn refill(&self, origin: &Instant) {
+        let now = origin.elapsed().as_nanos() as u64;
+        let last = self.last_refill_ns.load(Ordering::Relaxed);
+        if now <= last {
+            return;
+        }
+        if self
+            .last_refill_ns
+            .compare_exchange(last, now, Ordering::Relaxed, Ordering::Relaxed)
+            .is_ok()
+        {
+            let add = ((now - last) as f64 * self.rate_per_ns) as i64;
+            let cur = self.tokens.load(Ordering::Relaxed);
+            let new = (cur + add).min(self.burst);
+            if new > cur {
+                self.tokens.fetch_add(new - cur, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// A small LRU set of XPLine tags modeling the write-combining XPBuffer.
+struct XpBuffer {
+    tags: Vec<u64>,
+    stamps: Vec<u64>,
+    clock: u64,
+}
+
+impl XpBuffer {
+    fn new(lines: usize) -> Self {
+        XpBuffer {
+            tags: vec![u64::MAX; lines],
+            stamps: vec![0; lines],
+            clock: 0,
+        }
+    }
+
+    /// Returns true if the XPLine was already buffered (write combined).
+    fn touch(&mut self, tag: u64) -> bool {
+        self.clock += 1;
+        let mut victim = 0;
+        let mut victim_stamp = u64::MAX;
+        for i in 0..self.tags.len() {
+            if self.tags[i] == tag {
+                self.stamps[i] = self.clock;
+                return true;
+            }
+            if self.stamps[i] < victim_stamp {
+                victim_stamp = self.stamps[i];
+                victim = i;
+            }
+        }
+        self.tags[victim] = tag;
+        self.stamps[victim] = self.clock;
+        false
+    }
+}
+
+/// Per-NUMA-node model state.
+struct NodeState {
+    read_bucket: TokenBucket,
+    write_bucket: TokenBucket,
+    xpbuffer: Mutex<XpBuffer>,
+}
+
+/// The live model runtime built from a config.
+struct Runtime {
+    config: NvmModelConfig,
+    nodes: Vec<NodeState>,
+    origin: Instant,
+    epoch: u64,
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static RUNTIME: OnceLock<RwLock<Arc<Runtime>>> = OnceLock::new();
+static EPOCH: AtomicU64 = AtomicU64::new(0);
+
+fn runtime_cell() -> &'static RwLock<Arc<Runtime>> {
+    RUNTIME.get_or_init(|| RwLock::new(Arc::new(build_runtime(NvmModelConfig::disabled()))))
+}
+
+fn build_runtime(config: NvmModelConfig) -> Runtime {
+    let dilation = config.time_dilation.max(1.0);
+    let read_bw = (config.read_bw as f64 / dilation) as u64;
+    let write_bw = (config.write_bw as f64 / dilation) as u64;
+    let nodes = (0..MAX_NODES)
+        .map(|_| NodeState {
+            read_bucket: TokenBucket::new(read_bw.max(1)),
+            write_bucket: TokenBucket::new(write_bw.max(1)),
+            xpbuffer: Mutex::new(XpBuffer::new(config.xpbuffer_lines.max(1))),
+        })
+        .collect();
+    Runtime {
+        config,
+        nodes,
+        origin: Instant::now(),
+        epoch: EPOCH.fetch_add(1, Ordering::Relaxed) + 1,
+    }
+}
+
+/// Installs a new model configuration (replaces the previous one globally).
+pub fn set_config(config: NvmModelConfig) {
+    ENABLED.store(config.enabled, Ordering::Release);
+    *runtime_cell().write() = Arc::new(build_runtime(config));
+}
+
+/// Returns a copy of the active configuration.
+pub fn config() -> NvmModelConfig {
+    runtime_cell().read().config.clone()
+}
+
+/// Whether the model currently does anything.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Acquire)
+}
+
+fn with_runtime<R>(f: impl FnOnce(&Runtime) -> R) -> R {
+    let rt = runtime_cell().read().clone();
+    f(&rt)
+}
+
+// Per-thread direct-mapped CPU cache simulation: tag array indexed by line id.
+thread_local! {
+    static CPU_CACHE: RefCell<CpuCache> = const { RefCell::new(CpuCache::empty()) };
+}
+
+struct CpuCache {
+    tags: Vec<u64>,
+    mask: u64,
+    epoch: u64,
+}
+
+impl CpuCache {
+    const fn empty() -> Self {
+        CpuCache {
+            tags: Vec::new(),
+            mask: 0,
+            epoch: 0,
+        }
+    }
+
+    fn ensure(&mut self, lines: usize, epoch: u64) {
+        if self.tags.len() != lines || self.epoch != epoch {
+            self.tags = vec![u64::MAX; lines];
+            self.mask = lines as u64 - 1;
+            self.epoch = epoch;
+        }
+    }
+
+    /// Returns true on hit.
+    fn access(&mut self, line: u64) -> bool {
+        let idx = (line & self.mask) as usize;
+        if self.tags[idx] == line {
+            true
+        } else {
+            self.tags[idx] = line;
+            false
+        }
+    }
+}
+
+/// Busy-waits approximately `ns` nanoseconds.
+#[inline]
+pub fn spin_ns(ns: u64) {
+    if ns == 0 {
+        return;
+    }
+    let start = Instant::now();
+    while (start.elapsed().as_nanos() as u64) < ns {
+        std::hint::spin_loop();
+    }
+}
+
+/// Minimum dilated wait that is worth a real `thread::sleep` (below this the
+/// OS timer slack dominates).
+const SLEEP_THRESHOLD_NS: u64 = 100_000;
+
+thread_local! {
+    /// Accumulated dilated stall not yet slept (time-dilated mode).
+    static PENDING_STALL_NS: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// Waits `ns` nanoseconds of *model time*.
+///
+/// Without dilation this spins. With dilation, stalls accumulate per thread
+/// and are paid as real `thread::sleep`s once they exceed the OS timer
+/// granularity — so every modeled stall costs proportional wall time (cost
+/// ratios stay exact) while concurrent threads genuinely overlap their
+/// stalls even on a single-core host. The deferral window is bounded by
+/// [`SLEEP_THRESHOLD_NS`] of wall time.
+#[inline]
+fn model_wait(cfg: &NvmModelConfig, ns: u64) {
+    if ns == 0 {
+        return;
+    }
+    let dilation = cfg.time_dilation.max(1.0);
+    if dilation <= 1.0 {
+        spin_ns(ns);
+        return;
+    }
+    let dilated = (ns as f64 * dilation) as u64;
+    PENDING_STALL_NS.with(|p| {
+        let total = p.get() + dilated;
+        if total >= SLEEP_THRESHOLD_NS {
+            p.set(0);
+            std::thread::sleep(std::time::Duration::from_nanos(total));
+        } else {
+            p.set(total);
+        }
+    });
+}
+
+/// Reports that the running thread read `len` bytes starting at `offset` of
+/// pool `pool`.
+///
+/// Charges media reads for XPLines missed by the simulated CPU cache,
+/// directory writes in [`CoherenceMode::Directory`] when the access is
+/// remote, throttles against the node's read bandwidth, and injects read
+/// latency.
+#[inline]
+pub fn on_read(pool: PoolId, offset: u64, len: usize) {
+    if !enabled() || len == 0 || pool::is_dram(pool) {
+        return;
+    }
+    on_read_slow(pool, offset, len);
+}
+
+#[cold]
+fn on_read_slow(pool: PoolId, offset: u64, len: usize) {
+    with_runtime(|rt| {
+        let cfg = &rt.config;
+        let pool_node = pool::node_of(pool) as usize;
+        let my_node = numa::current_node() as usize;
+        let remote = pool_node != my_node;
+
+        // Count distinct cache lines and XPLines missed by the CPU cache.
+        let first_line = offset / CACHE_LINE as u64;
+        let last_line = (offset + len as u64 - 1) / CACHE_LINE as u64;
+        let mut missed_lines = 0u64;
+        let mut missed_xplines = 0u64;
+        let mut last_xp = u64::MAX;
+        CPU_CACHE.with(|c| {
+            let mut c = c.borrow_mut();
+            if cfg.cpu_cache_lines > 0 {
+                c.ensure(cfg.cpu_cache_lines, rt.epoch);
+            }
+            for line in first_line..=last_line {
+                let global_line = ((pool as u64) << 48) | line;
+                let hit = cfg.cpu_cache_lines > 0 && c.access(global_line);
+                if !hit {
+                    missed_lines += 1;
+                    let xp = line / (XPLINE / CACHE_LINE) as u64;
+                    if xp != last_xp {
+                        missed_xplines += 1;
+                        last_xp = xp;
+                    }
+                }
+            }
+        });
+        if missed_lines == 0 {
+            return;
+        }
+
+        let read_bytes = missed_xplines * XPLINE as u64;
+        let pstats = pool::pool_by_id(pool);
+        if let Some(p) = &pstats {
+            p.stats().media_read_bytes.fetch_add(read_bytes, Ordering::Relaxed);
+        }
+        stats::global()
+            .media_read_bytes
+            .fetch_add(read_bytes, Ordering::Relaxed);
+
+        // FH5: directory coherence turns remote reads into media writes.
+        let mut dir_bytes = 0;
+        if remote && cfg.coherence == CoherenceMode::Directory {
+            dir_bytes = missed_lines * CACHE_LINE as u64;
+            if let Some(p) = &pstats {
+                p.stats()
+                    .directory_write_bytes
+                    .fetch_add(dir_bytes, Ordering::Relaxed);
+            }
+            stats::global()
+                .directory_write_bytes
+                .fetch_add(dir_bytes, Ordering::Relaxed);
+        }
+
+        if cfg.throttle {
+            let node = &rt.nodes[pool_node.min(MAX_NODES - 1)];
+            node.read_bucket.acquire(read_bytes, &rt.origin);
+            if dir_bytes > 0 {
+                node.write_bucket.acquire(dir_bytes, &rt.origin);
+            }
+        }
+        if cfg.inject_latency {
+            let mut ns = cfg.read_ns * missed_xplines;
+            if remote {
+                ns += cfg.remote_extra_ns;
+            }
+            model_wait(cfg, ns);
+        }
+    });
+}
+
+/// Reports a cache-line flush of `[offset, offset+len)` in pool `pool`
+/// (called from [`crate::persist::persist`]).
+#[inline]
+pub fn on_flush(pool: PoolId, offset: u64, len: usize) {
+    if !enabled() || len == 0 || pool::is_dram(pool) {
+        return;
+    }
+    on_flush_slow(pool, offset, len);
+}
+
+#[cold]
+fn on_flush_slow(pool: PoolId, offset: u64, len: usize) {
+    with_runtime(|rt| {
+        let cfg = &rt.config;
+        let pool_node = pool::node_of(pool) as usize;
+        let my_node = numa::current_node() as usize;
+        let remote = pool_node != my_node;
+
+        let first_line = offset / CACHE_LINE as u64;
+        let last_line = (offset + len as u64 - 1) / CACHE_LINE as u64;
+        let n_lines = last_line - first_line + 1;
+
+        // The current-generation clwb also invalidates the line (FH4): the
+        // next read of it will miss. Model by evicting from the CPU cache sim.
+        if cfg.cpu_cache_lines > 0 {
+            CPU_CACHE.with(|c| {
+                let mut c = c.borrow_mut();
+                c.ensure(cfg.cpu_cache_lines, rt.epoch);
+                for line in first_line..=last_line {
+                    let global_line = ((pool as u64) << 48) | line;
+                    let idx = (global_line & c.mask) as usize;
+                    if c.tags[idx] == global_line {
+                        c.tags[idx] = u64::MAX;
+                    }
+                }
+            });
+        }
+
+        // XPBuffer write combining: count XPLines not already buffered.
+        let node = &rt.nodes[pool_node.min(MAX_NODES - 1)];
+        let mut media_lines = 0u64;
+        {
+            let mut buf = node.xpbuffer.lock();
+            let first_xp = first_line / (XPLINE / CACHE_LINE) as u64;
+            let last_xp = last_line / (XPLINE / CACHE_LINE) as u64;
+            for xp in first_xp..=last_xp {
+                let tag = ((pool as u64) << 48) | xp;
+                if !buf.touch(tag) {
+                    media_lines += 1;
+                }
+            }
+        }
+        let write_bytes = media_lines * XPLINE as u64;
+
+        let pstats = pool::pool_by_id(pool);
+        if let Some(p) = &pstats {
+            p.stats().flushes.fetch_add(n_lines, Ordering::Relaxed);
+            p.stats()
+                .media_write_bytes
+                .fetch_add(write_bytes, Ordering::Relaxed);
+        }
+        stats::global().flushes.fetch_add(n_lines, Ordering::Relaxed);
+        stats::global()
+            .media_write_bytes
+            .fetch_add(write_bytes, Ordering::Relaxed);
+
+        if cfg.throttle && write_bytes > 0 {
+            node.write_bucket.acquire(write_bytes, &rt.origin);
+        }
+        if cfg.inject_latency && !cfg.eadr {
+            let mut ns = cfg.flush_ns * n_lines;
+            if remote {
+                ns += cfg.remote_extra_ns;
+            }
+            model_wait(cfg, ns);
+        }
+    });
+}
+
+/// Reports a store that dirties NVM without an explicit flush (e.g. lock
+/// state mutated by readers, GA2): the line will be written back by cache
+/// eviction eventually, consuming write bandwidth but adding no synchronous
+/// latency.
+#[inline]
+pub fn on_dirty(pool: PoolId, offset: u64, len: usize) {
+    if !enabled() || len == 0 || pool::is_dram(pool) {
+        return;
+    }
+    on_dirty_slow(pool, offset, len);
+}
+
+#[cold]
+fn on_dirty_slow(pool: PoolId, offset: u64, len: usize) {
+    with_runtime(|rt| {
+        let cfg = &rt.config;
+        let pool_node = pool::node_of(pool) as usize;
+        let node = &rt.nodes[pool_node.min(MAX_NODES - 1)];
+        let first_xp = offset / XPLINE as u64;
+        let last_xp = (offset + len as u64 - 1) / XPLINE as u64;
+        let mut media_lines = 0u64;
+        {
+            let mut buf = node.xpbuffer.lock();
+            for xp in first_xp..=last_xp {
+                if !buf.touch(((pool as u64) << 48) | xp) {
+                    media_lines += 1;
+                }
+            }
+        }
+        let bytes = media_lines * XPLINE as u64;
+        if bytes == 0 {
+            return;
+        }
+        if let Some(p) = pool::pool_by_id(pool) {
+            p.stats().media_write_bytes.fetch_add(bytes, Ordering::Relaxed);
+        }
+        stats::global()
+            .media_write_bytes
+            .fetch_add(bytes, Ordering::Relaxed);
+        if cfg.throttle {
+            node.write_bucket.acquire(bytes, &rt.origin);
+        }
+    });
+}
+
+/// Reports an ordering fence (`sfence` equivalent).
+#[inline]
+pub fn on_fence() {
+    if !enabled() {
+        return;
+    }
+    stats::global().fences.fetch_add(1, Ordering::Relaxed);
+    with_runtime(|rt| {
+        if rt.config.inject_latency && !rt.config.eadr {
+            model_wait(&rt.config, rt.config.fence_ns);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::{destroy_pool, PmemPool, PoolConfig};
+
+    fn with_accounting<R>(f: impl FnOnce() -> R) -> R {
+        set_config(NvmModelConfig::accounting());
+        let r = f();
+        set_config(NvmModelConfig::disabled());
+        r
+    }
+
+    #[test]
+    fn read_charges_xpline_granularity() {
+        with_accounting(|| {
+            let pool = PmemPool::create(PoolConfig::volatile("t-model-read", 1 << 20)).unwrap();
+            let before = stats::global().snapshot();
+            on_read(pool.id(), 4096, 64); // one cold cache line
+            let after = stats::global().snapshot();
+            assert_eq!(after.since(&before).media_read_bytes, XPLINE as u64);
+            // Second read of the same line hits the simulated CPU cache.
+            let before = stats::global().snapshot();
+            on_read(pool.id(), 4096, 64);
+            let after = stats::global().snapshot();
+            assert_eq!(after.since(&before).media_read_bytes, 0);
+            destroy_pool(pool.id());
+        });
+    }
+
+    #[test]
+    fn sequential_flushes_write_combine() {
+        with_accounting(|| {
+            let pool = PmemPool::create(PoolConfig::volatile("t-model-wc", 1 << 20)).unwrap();
+            let before = pool.stats().snapshot();
+            // Four consecutive cache lines inside one XPLine: one media write.
+            for i in 0..4u64 {
+                on_flush(pool.id(), 8192 + i * 64, 64);
+            }
+            let d = pool.stats().snapshot().since(&before);
+            assert_eq!(d.media_write_bytes, XPLINE as u64);
+            assert_eq!(d.flushes, 4);
+            destroy_pool(pool.id());
+        });
+    }
+
+    #[test]
+    fn scattered_flushes_amplify() {
+        with_accounting(|| {
+            let pool = PmemPool::create(PoolConfig::volatile("t-model-amp", 1 << 20)).unwrap();
+            let before = pool.stats().snapshot();
+            // 64 lines spread over 64 distinct XPLines, far enough apart to
+            // defeat the 16-entry XPBuffer.
+            for i in 0..64u64 {
+                on_flush(pool.id(), i * 4096, 64);
+            }
+            let d = pool.stats().snapshot().since(&before);
+            assert_eq!(d.media_write_bytes, 64 * XPLINE as u64);
+            destroy_pool(pool.id());
+        });
+    }
+
+    #[test]
+    fn directory_mode_charges_remote_reads() {
+        let mut cfg = NvmModelConfig::accounting();
+        cfg.coherence = CoherenceMode::Directory;
+        cfg.cpu_cache_lines = 0; // every read reaches the media
+        set_config(cfg);
+        let pool = PmemPool::create(PoolConfig::volatile("t-model-dir", 1 << 20).on_node(1))
+            .unwrap();
+        numa::pin_thread(0); // thread on node 0, pool on node 1 => remote
+        let before = pool.stats().snapshot();
+        on_read(pool.id(), 0, 64);
+        let d = pool.stats().snapshot().since(&before);
+        assert_eq!(d.media_read_bytes, XPLINE as u64);
+        assert_eq!(d.directory_write_bytes, CACHE_LINE as u64);
+        set_config(NvmModelConfig::disabled());
+        destroy_pool(pool.id());
+    }
+
+    #[test]
+    fn token_bucket_enforces_rate() {
+        let origin = Instant::now();
+        let bucket = TokenBucket::new(1_000_000_000); // 1 GB/s => 1 byte/ns
+        let start = Instant::now();
+        // Drain the burst, then 2 MB more must take ~2 ms.
+        bucket.acquire(bucket.burst as u64, &origin);
+        bucket.acquire(2_000_000, &origin);
+        assert!(start.elapsed().as_micros() >= 1500, "throttle too permissive");
+    }
+
+    #[test]
+    fn spin_ns_waits() {
+        let t = Instant::now();
+        spin_ns(100_000);
+        assert!(t.elapsed().as_nanos() >= 100_000);
+    }
+}

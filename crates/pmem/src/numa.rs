@@ -1,0 +1,81 @@
+//! Logical NUMA topology.
+//!
+//! The paper's machine has two sockets; cross-socket NVM access suffers a
+//! bandwidth meltdown under the directory coherence protocol (FH5) and
+//! NUMA-local allocation is a first-class design rule (GS2). We model NUMA
+//! logically: every thread carries a node id (set with [`pin_thread`]) and
+//! every pool belongs to a node; the [`crate::model`] charges remote cost to
+//! accesses that cross node ids.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU16, AtomicUsize, Ordering};
+
+/// Maximum number of logical NUMA nodes.
+pub const MAX_NODES: usize = 8;
+
+static TOPOLOGY_NODES: AtomicU16 = AtomicU16::new(2);
+static NEXT_RR: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static CURRENT_NODE: Cell<u16> = const { Cell::new(0) };
+}
+
+/// Sets the number of logical NUMA nodes in the emulated machine.
+///
+/// # Panics
+///
+/// Panics if `nodes` is zero or exceeds [`MAX_NODES`].
+pub fn set_topology(nodes: u16) {
+    assert!(nodes >= 1 && (nodes as usize) <= MAX_NODES);
+    TOPOLOGY_NODES.store(nodes, Ordering::Release);
+}
+
+/// Number of logical NUMA nodes.
+pub fn nodes() -> u16 {
+    TOPOLOGY_NODES.load(Ordering::Acquire)
+}
+
+/// Pins the calling thread to a logical node.
+pub fn pin_thread(node: u16) {
+    CURRENT_NODE.with(|c| c.set(node % nodes()));
+}
+
+/// Pins the calling thread round-robin across the topology and returns the
+/// chosen node. Worker pools use this to spread threads like `numactl -i`.
+pub fn pin_thread_round_robin() -> u16 {
+    let node = (NEXT_RR.fetch_add(1, Ordering::Relaxed) % nodes() as usize) as u16;
+    pin_thread(node);
+    node
+}
+
+/// The calling thread's logical node.
+#[inline]
+pub fn current_node() -> u16 {
+    CURRENT_NODE.with(|c| c.get())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pin_and_query() {
+        set_topology(4);
+        pin_thread(3);
+        assert_eq!(current_node(), 3);
+        pin_thread(9); // wraps
+        assert_eq!(current_node(), 1);
+        set_topology(2);
+    }
+
+    #[test]
+    fn round_robin_spreads() {
+        set_topology(2);
+        let mut seen = [false; 2];
+        for _ in 0..4 {
+            let handle = std::thread::spawn(|| pin_thread_round_robin());
+            seen[handle.join().unwrap() as usize] = true;
+        }
+        assert!(seen[0] && seen[1]);
+    }
+}

@@ -1,0 +1,155 @@
+//! PMWatch-equivalent media counters.
+//!
+//! The paper measures NVM media traffic (e.g. Figures 4 and 5 report "total
+//! NVM read (GB)") with Intel PMWatch. Our [`crate::model`] feeds the same
+//! kind of counters: media-level reads/writes at XPLine granularity, plus
+//! persistence-instruction counts and allocator activity.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotonically increasing set of media counters.
+///
+/// One instance exists per pool ([`crate::pool::PmemPool::stats`]) and one
+/// global instance aggregates everything ([`global`]).
+#[derive(Default, Debug)]
+pub struct PoolStats {
+    /// Bytes read from the media (XPLine granularity).
+    pub media_read_bytes: AtomicU64,
+    /// Bytes written to the media (XPLine granularity, after XPBuffer
+    /// write combining).
+    pub media_write_bytes: AtomicU64,
+    /// Directory-coherence bookkeeping writes caused by remote reads.
+    pub directory_write_bytes: AtomicU64,
+    /// Number of cache-line flush instructions (`clwb` equivalents).
+    pub flushes: AtomicU64,
+    /// Number of ordering fences (`sfence` equivalents).
+    pub fences: AtomicU64,
+    /// Allocations served.
+    pub allocs: AtomicU64,
+    /// Frees served.
+    pub frees: AtomicU64,
+    /// Nanoseconds spent inside the allocator (for the GA3 experiment).
+    pub alloc_ns: AtomicU64,
+}
+
+impl PoolStats {
+    /// Takes a point-in-time snapshot.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            media_read_bytes: self.media_read_bytes.load(Ordering::Relaxed),
+            media_write_bytes: self.media_write_bytes.load(Ordering::Relaxed),
+            directory_write_bytes: self.directory_write_bytes.load(Ordering::Relaxed),
+            flushes: self.flushes.load(Ordering::Relaxed),
+            fences: self.fences.load(Ordering::Relaxed),
+            allocs: self.allocs.load(Ordering::Relaxed),
+            frees: self.frees.load(Ordering::Relaxed),
+            alloc_ns: self.alloc_ns.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets every counter to zero.
+    pub fn reset(&self) {
+        self.media_read_bytes.store(0, Ordering::Relaxed);
+        self.media_write_bytes.store(0, Ordering::Relaxed);
+        self.directory_write_bytes.store(0, Ordering::Relaxed);
+        self.flushes.store(0, Ordering::Relaxed);
+        self.fences.store(0, Ordering::Relaxed);
+        self.allocs.store(0, Ordering::Relaxed);
+        self.frees.store(0, Ordering::Relaxed);
+        self.alloc_ns.store(0, Ordering::Relaxed);
+    }
+}
+
+/// An owned copy of the counters at one instant.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    pub media_read_bytes: u64,
+    pub media_write_bytes: u64,
+    pub directory_write_bytes: u64,
+    pub flushes: u64,
+    pub fences: u64,
+    pub allocs: u64,
+    pub frees: u64,
+    pub alloc_ns: u64,
+}
+
+impl StatsSnapshot {
+    /// Counter deltas `self - earlier` (saturating).
+    pub fn since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            media_read_bytes: self.media_read_bytes.saturating_sub(earlier.media_read_bytes),
+            media_write_bytes: self
+                .media_write_bytes
+                .saturating_sub(earlier.media_write_bytes),
+            directory_write_bytes: self
+                .directory_write_bytes
+                .saturating_sub(earlier.directory_write_bytes),
+            flushes: self.flushes.saturating_sub(earlier.flushes),
+            fences: self.fences.saturating_sub(earlier.fences),
+            allocs: self.allocs.saturating_sub(earlier.allocs),
+            frees: self.frees.saturating_sub(earlier.frees),
+            alloc_ns: self.alloc_ns.saturating_sub(earlier.alloc_ns),
+        }
+    }
+
+    /// Media reads in GiB.
+    pub fn read_gib(&self) -> f64 {
+        self.media_read_bytes as f64 / (1u64 << 30) as f64
+    }
+
+    /// Media writes (including directory writes) in GiB.
+    pub fn write_gib(&self) -> f64 {
+        (self.media_write_bytes + self.directory_write_bytes) as f64 / (1u64 << 30) as f64
+    }
+}
+
+impl std::fmt::Display for StatsSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "read {:.3} GiB, write {:.3} GiB (dir {:.3} GiB), {} flushes, {} fences, {} allocs, {} frees",
+            self.read_gib(),
+            self.media_write_bytes as f64 / (1u64 << 30) as f64,
+            self.directory_write_bytes as f64 / (1u64 << 30) as f64,
+            self.flushes,
+            self.fences,
+            self.allocs,
+            self.frees,
+        )
+    }
+}
+
+/// Global counters aggregated across all pools.
+pub fn global() -> &'static PoolStats {
+    static GLOBAL: PoolStats = PoolStats {
+        media_read_bytes: AtomicU64::new(0),
+        media_write_bytes: AtomicU64::new(0),
+        directory_write_bytes: AtomicU64::new(0),
+        flushes: AtomicU64::new(0),
+        fences: AtomicU64::new(0),
+        allocs: AtomicU64::new(0),
+        frees: AtomicU64::new(0),
+        alloc_ns: AtomicU64::new(0),
+    };
+    &GLOBAL
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_delta() {
+        let s = PoolStats::default();
+        s.media_read_bytes.store(100, Ordering::Relaxed);
+        let a = s.snapshot();
+        s.media_read_bytes.fetch_add(400, Ordering::Relaxed);
+        s.flushes.fetch_add(3, Ordering::Relaxed);
+        let b = s.snapshot();
+        let d = b.since(&a);
+        assert_eq!(d.media_read_bytes, 400);
+        assert_eq!(d.flushes, 3);
+        s.reset();
+        assert_eq!(s.snapshot(), StatsSnapshot::default());
+    }
+}

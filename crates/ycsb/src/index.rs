@@ -1,0 +1,168 @@
+//! The common index interface the driver runs against.
+//!
+//! Update handling follows the paper: "since most of the prior indexes do
+//! not support the update operation, we replace the update operation with
+//! insert" — the default [`RangeIndex::update`] forwards to insert; PACTree
+//! overrides it with its native update protocol.
+
+use std::sync::Arc;
+
+use baselines::bztree::BzTree;
+use baselines::fastfair::FastFair;
+use baselines::fptree::FpTree;
+use pactree::PacTree;
+use pdl_art::PdlArt;
+
+/// A key-value range index driven by the YCSB executor.
+pub trait RangeIndex: Send + Sync {
+    /// Index name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Inserts (upserts) a pair.
+    fn insert(&self, key: &[u8], value: u64);
+
+    /// Updates a key; default substitutes insert (paper §6).
+    fn update(&self, key: &[u8], value: u64) {
+        self.insert(key, value);
+    }
+
+    /// Point lookup.
+    fn lookup(&self, key: &[u8]) -> Option<u64>;
+
+    /// Removes a key; returns its value.
+    fn remove(&self, key: &[u8]) -> Option<u64>;
+
+    /// Scans up to `count` pairs from `start`; returns how many were seen.
+    fn scan(&self, start: &[u8], count: usize) -> usize;
+
+    /// Whether variable-length string keys are supported (FPTree's authors'
+    /// binary does not support them; neither does our reimplementation).
+    fn supports_strings(&self) -> bool {
+        true
+    }
+}
+
+impl RangeIndex for Arc<PacTree> {
+    fn name(&self) -> &'static str {
+        "PACTree"
+    }
+
+    fn insert(&self, key: &[u8], value: u64) {
+        PacTree::insert(self, key, value).expect("pactree insert");
+    }
+
+    fn update(&self, key: &[u8], value: u64) {
+        // Native update path (§5.5); inserts if the key vanished.
+        if PacTree::update(self, key, value).expect("pactree update").is_none() {
+            PacTree::insert(self, key, value).expect("pactree insert");
+        }
+    }
+
+    fn lookup(&self, key: &[u8]) -> Option<u64> {
+        PacTree::lookup(self, key)
+    }
+
+    fn remove(&self, key: &[u8]) -> Option<u64> {
+        PacTree::remove(self, key).expect("pactree remove")
+    }
+
+    fn scan(&self, start: &[u8], count: usize) -> usize {
+        PacTree::scan(self, start, count).len()
+    }
+}
+
+impl RangeIndex for Arc<PdlArt> {
+    fn name(&self) -> &'static str {
+        "PDL-ART"
+    }
+
+    fn insert(&self, key: &[u8], value: u64) {
+        PdlArt::insert(self, key, value).expect("pdl-art insert");
+    }
+
+    fn lookup(&self, key: &[u8]) -> Option<u64> {
+        PdlArt::lookup(self, key)
+    }
+
+    fn remove(&self, key: &[u8]) -> Option<u64> {
+        PdlArt::remove(self, key).expect("pdl-art remove")
+    }
+
+    fn scan(&self, start: &[u8], count: usize) -> usize {
+        PdlArt::scan(self, start, count).len()
+    }
+}
+
+impl RangeIndex for Arc<FastFair> {
+    fn name(&self) -> &'static str {
+        "FastFair"
+    }
+
+    fn insert(&self, key: &[u8], value: u64) {
+        FastFair::insert(self, key, value).expect("fastfair insert");
+    }
+
+    fn lookup(&self, key: &[u8]) -> Option<u64> {
+        FastFair::lookup(self, key)
+    }
+
+    fn remove(&self, key: &[u8]) -> Option<u64> {
+        FastFair::remove(self, key).expect("fastfair remove")
+    }
+
+    fn scan(&self, start: &[u8], count: usize) -> usize {
+        FastFair::scan(self, start, count).len()
+    }
+}
+
+impl RangeIndex for Arc<BzTree> {
+    fn name(&self) -> &'static str {
+        "BzTree"
+    }
+
+    fn insert(&self, key: &[u8], value: u64) {
+        BzTree::insert(self, key, value).expect("bztree insert");
+    }
+
+    fn lookup(&self, key: &[u8]) -> Option<u64> {
+        BzTree::lookup(self, key)
+    }
+
+    fn remove(&self, key: &[u8]) -> Option<u64> {
+        BzTree::remove(self, key).expect("bztree remove")
+    }
+
+    fn scan(&self, start: &[u8], count: usize) -> usize {
+        BzTree::scan(self, start, count).len()
+    }
+}
+
+fn as_u64(key: &[u8]) -> u64 {
+    u64::from_be_bytes(key.try_into().expect("FPTree needs 8-byte integer keys"))
+}
+
+impl RangeIndex for Arc<FpTree> {
+    fn name(&self) -> &'static str {
+        "FPTree"
+    }
+
+    fn insert(&self, key: &[u8], value: u64) {
+        FpTree::insert(self, as_u64(key), value).expect("fptree insert");
+    }
+
+    fn lookup(&self, key: &[u8]) -> Option<u64> {
+        FpTree::lookup(self, as_u64(key))
+    }
+
+    fn remove(&self, key: &[u8]) -> Option<u64> {
+        FpTree::remove(self, as_u64(key)).expect("fptree remove")
+    }
+
+    fn scan(&self, start: &[u8], count: usize) -> usize {
+        FpTree::scan(self, as_u64(start), count).len()
+    }
+
+    fn supports_strings(&self) -> bool {
+        false
+    }
+}

@@ -1,0 +1,62 @@
+//! Key spaces: 8-byte integers and ~23-byte strings (paper §6).
+
+use crate::zipfian::fnv_hash;
+
+/// How logical key ids map to index keys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KeySpace {
+    /// 8-byte big-endian integers (scattered by FNV so inserts are not
+    /// fully sequential, like index-microbench's randint).
+    Integer,
+    /// `user` + 19 zero-padded digits: 23 bytes, the paper's string keys.
+    String,
+}
+
+impl KeySpace {
+    /// Encodes logical id `i` into key bytes.
+    pub fn encode(&self, i: u64) -> Vec<u8> {
+        match self {
+            KeySpace::Integer => fnv_hash(i).to_be_bytes().to_vec(),
+            KeySpace::String => format!("user{:019}", fnv_hash(i)).into_bytes(),
+        }
+    }
+
+    /// Average encoded length in bytes.
+    pub fn key_len(&self) -> usize {
+        match self {
+            KeySpace::Integer => 8,
+            KeySpace::String => 23,
+        }
+    }
+
+    /// Whether this key space is integer (FPTree only supports these).
+    pub fn is_integer(&self) -> bool {
+        matches!(self, KeySpace::Integer)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lengths_match_paper() {
+        assert_eq!(KeySpace::Integer.encode(42).len(), 8);
+        assert_eq!(KeySpace::String.encode(42).len(), 23);
+        assert_eq!(KeySpace::String.key_len(), 23);
+    }
+
+    #[test]
+    fn keys_are_distinct() {
+        let mut set = std::collections::HashSet::new();
+        for i in 0..100_000u64 {
+            assert!(set.insert(KeySpace::Integer.encode(i)), "collision at {i}");
+        }
+    }
+
+    #[test]
+    fn string_keys_have_prefix() {
+        let k = KeySpace::String.encode(7);
+        assert!(k.starts_with(b"user"));
+    }
+}

@@ -1,0 +1,223 @@
+//! YCSB workload mixes (paper §6 "Workload configuration").
+
+use rand::Rng;
+
+use crate::zipfian::{ScrambledZipfian, DEFAULT_THETA};
+
+/// Request-key distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Distribution {
+    Uniform,
+    /// Zipfian with the given theta (0.99 is the YCSB default).
+    Zipfian(f64),
+}
+
+/// One operation drawn from a workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Point lookup of key id.
+    Read(u64),
+    /// Insert of a *new* key id (beyond the loaded range).
+    Insert(u64),
+    /// Update of an existing key id.
+    Update(u64),
+    /// Scan starting at key id, for this many keys (max 100, YCSB-E).
+    Scan(u64, usize),
+}
+
+/// The standard workload mixes used by the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mix {
+    /// Load A: 100% inserts (L-A).
+    LoadA,
+    /// Workload A: 50% reads, 50% updates (W-A).
+    A,
+    /// Workload B: 95% reads, 5% updates (W-B).
+    B,
+    /// Workload C: 100% reads (W-C).
+    C,
+    /// Workload E: 95% scans (1-100 keys), 5% inserts (W-E).
+    E,
+    /// 50% lookups + 50% inserts of fresh keys (the paper's Figure 15 skew
+    /// test's second variant).
+    ReadInsert,
+}
+
+impl Mix {
+    /// Paper-style short name.
+    pub fn short_name(&self) -> &'static str {
+        match self {
+            Mix::LoadA => "L-A",
+            Mix::A => "W-A",
+            Mix::B => "W-B",
+            Mix::C => "W-C",
+            Mix::E => "W-E",
+            Mix::ReadInsert => "R+I",
+        }
+    }
+
+    /// All mixes evaluated in Figures 9-12.
+    pub fn all() -> [Mix; 5] {
+        [Mix::LoadA, Mix::A, Mix::B, Mix::C, Mix::E]
+    }
+}
+
+/// A workload: a mix plus its key distribution over a loaded population.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    pub mix: Mix,
+    pub distribution: Distribution,
+    /// Keys loaded before the measured phase.
+    pub populated: u64,
+    zipf: Option<ScrambledZipfian>,
+}
+
+impl Workload {
+    /// Builds a workload over `populated` pre-loaded keys.
+    pub fn new(mix: Mix, distribution: Distribution, populated: u64) -> Workload {
+        let zipf = match distribution {
+            Distribution::Zipfian(theta) => Some(ScrambledZipfian::new(populated.max(1), theta)),
+            Distribution::Uniform => None,
+        };
+        Workload {
+            mix,
+            distribution,
+            populated,
+            zipf,
+        }
+    }
+
+    /// Convenience: Zipfian with the YCSB default theta.
+    pub fn zipfian(mix: Mix, populated: u64) -> Workload {
+        Workload::new(mix, Distribution::Zipfian(DEFAULT_THETA), populated)
+    }
+
+    /// Convenience: uniform.
+    pub fn uniform(mix: Mix, populated: u64) -> Workload {
+        Workload::new(mix, Distribution::Uniform, populated)
+    }
+
+    /// Draws a key id from the request distribution.
+    fn draw_key(&self, rng: &mut impl Rng) -> u64 {
+        match (&self.zipf, self.distribution) {
+            (Some(z), _) => z.next(rng),
+            (None, _) => rng.gen_range(0..self.populated.max(1)),
+        }
+    }
+
+    /// Draws the next operation. `insert_seq` hands out fresh key ids for
+    /// inserts (the caller provides a per-thread disjoint sequence).
+    pub fn next_op(&self, rng: &mut impl Rng, insert_seq: &mut impl FnMut() -> u64) -> Op {
+        let p: u32 = rng.gen_range(0..100);
+        match self.mix {
+            Mix::LoadA => Op::Insert(insert_seq()),
+            Mix::A => {
+                if p < 50 {
+                    Op::Read(self.draw_key(rng))
+                } else {
+                    Op::Update(self.draw_key(rng))
+                }
+            }
+            Mix::B => {
+                if p < 95 {
+                    Op::Read(self.draw_key(rng))
+                } else {
+                    Op::Update(self.draw_key(rng))
+                }
+            }
+            Mix::C => Op::Read(self.draw_key(rng)),
+            Mix::E => {
+                if p < 95 {
+                    Op::Scan(self.draw_key(rng), rng.gen_range(1..=100))
+                } else {
+                    Op::Insert(insert_seq())
+                }
+            }
+            Mix::ReadInsert => {
+                if p < 50 {
+                    Op::Read(self.draw_key(rng))
+                } else {
+                    Op::Insert(insert_seq())
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn mix_fractions(mix: Mix) -> (f64, f64, f64, f64) {
+        let w = Workload::uniform(mix, 10_000);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut seq = 10_000u64;
+        let (mut r, mut i, mut u, mut s) = (0u32, 0u32, 0u32, 0u32);
+        for _ in 0..20_000 {
+            match w.next_op(&mut rng, &mut || {
+                seq += 1;
+                seq
+            }) {
+                Op::Read(_) => r += 1,
+                Op::Insert(_) => i += 1,
+                Op::Update(_) => u += 1,
+                Op::Scan(_, len) => {
+                    assert!((1..=100).contains(&len));
+                    s += 1;
+                }
+            }
+        }
+        let t = 20_000.0;
+        (r as f64 / t, i as f64 / t, u as f64 / t, s as f64 / t)
+    }
+
+    #[test]
+    fn mix_ratios_match_ycsb() {
+        let (r, i, u, s) = mix_fractions(Mix::LoadA);
+        assert_eq!((r, u, s), (0.0, 0.0, 0.0));
+        assert_eq!(i, 1.0);
+
+        let (r, _, u, _) = mix_fractions(Mix::A);
+        assert!((r - 0.5).abs() < 0.02 && (u - 0.5).abs() < 0.02);
+
+        let (r, _, u, _) = mix_fractions(Mix::B);
+        assert!((r - 0.95).abs() < 0.01 && (u - 0.05).abs() < 0.01);
+
+        let (r, i, u, s) = mix_fractions(Mix::C);
+        assert_eq!((i, u, s), (0.0, 0.0, 0.0));
+        assert_eq!(r, 1.0);
+
+        let (_, i, _, s) = mix_fractions(Mix::E);
+        assert!((s - 0.95).abs() < 0.01 && (i - 0.05).abs() < 0.01);
+    }
+
+    #[test]
+    fn zipfian_requests_hit_hot_keys() {
+        let w = Workload::zipfian(Mix::C, 100_000);
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..50_000 {
+            if let Op::Read(k) = w.next_op(&mut rng, &mut || 0) {
+                *counts.entry(k).or_insert(0u32) += 1;
+            }
+        }
+        let max = counts.values().max().copied().unwrap();
+        assert!(max > 500, "hot key should repeat a lot, got {max}");
+    }
+
+    #[test]
+    fn insert_sequence_is_honoured() {
+        let w = Workload::uniform(Mix::LoadA, 0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut next = 100u64;
+        for expect in 101..110 {
+            let op = w.next_op(&mut rng, &mut || {
+                next += 1;
+                next
+            });
+            assert_eq!(op, Op::Insert(expect));
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! Zipfian-distributed random numbers (Gray et al., "Quickly Generating
+//! Billion-Record Synthetic Databases", SIGMOD'94) — the generator YCSB and
+//! index-microbench use.
+
+use rand::Rng;
+
+/// Default YCSB Zipfian constant.
+pub const DEFAULT_THETA: f64 = 0.99;
+
+/// A Zipfian generator over `0..n`.
+///
+/// `theta` is the skew (0 = uniform-ish, 0.99 = YCSB default, higher =
+/// more skewed). Items are ranked: rank 0 is the most popular.
+#[derive(Debug, Clone)]
+pub struct Zipfian {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+}
+
+impl Zipfian {
+    /// Builds a generator for `0..n` with skew `theta` (0 < theta < 1 or
+    /// theta > 1; theta == 1 is approximated with 0.999...).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: u64, theta: f64) -> Zipfian {
+        assert!(n > 0);
+        let theta = if (theta - 1.0).abs() < 1e-9 { 0.99999 } else { theta };
+        let zetan = zeta(n, theta);
+        let zeta2 = zeta(2, theta);
+        Zipfian {
+            n,
+            theta,
+            alpha: 1.0 / (1.0 - theta),
+            zetan,
+            eta: (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan),
+        }
+    }
+
+    /// Draws the next rank (0 = hottest).
+    pub fn next(&self, rng: &mut impl Rng) -> u64 {
+        let u: f64 = rng.gen();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let v = ((self.eta * u - self.eta + 1.0).powf(self.alpha) * self.n as f64) as u64;
+        v.min(self.n - 1)
+    }
+
+    /// The population size.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+}
+
+/// A scrambled Zipfian: ranks are spread over the key space by hashing, so
+/// hot keys are not clustered (YCSB's `ScrambledZipfianGenerator`).
+#[derive(Debug, Clone)]
+pub struct ScrambledZipfian {
+    inner: Zipfian,
+}
+
+impl ScrambledZipfian {
+    /// Builds a scrambled generator over `0..n`.
+    pub fn new(n: u64, theta: f64) -> ScrambledZipfian {
+        ScrambledZipfian {
+            inner: Zipfian::new(n, theta),
+        }
+    }
+
+    /// Draws the next item in `0..n` (hash-scattered).
+    pub fn next(&self, rng: &mut impl Rng) -> u64 {
+        let rank = self.inner.next(rng);
+        fnv_hash(rank) % self.inner.n
+    }
+}
+
+/// FNV-1a over the 8 bytes of `v`.
+pub fn fnv_hash(v: u64) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in v.to_le_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+fn zeta(n: u64, theta: f64) -> f64 {
+    // Exact for small n; integral approximation beyond (indistinguishable
+    // for the distribution while keeping construction O(1)-ish).
+    const EXACT_LIMIT: u64 = 10_000_000;
+    if n <= EXACT_LIMIT {
+        (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+    } else {
+        let head: f64 = (1..=EXACT_LIMIT).map(|i| 1.0 / (i as f64).powf(theta)).sum();
+        // integral of x^-theta from EXACT_LIMIT to n
+        let a = 1.0 - theta;
+        head + ((n as f64).powf(a) - (EXACT_LIMIT as f64).powf(a)) / a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zipfian_skews_toward_low_ranks() {
+        let z = Zipfian::new(1000, 0.99);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = vec![0u32; 1000];
+        for _ in 0..100_000 {
+            counts[z.next(&mut rng) as usize] += 1;
+        }
+        // Rank 0 dominates and the tail is thin.
+        assert!(counts[0] > counts[10] && counts[10] > counts[500]);
+        assert!(counts[0] as f64 / 100_000.0 > 0.05);
+        // All draws in range (no panic happened) and every decile populated.
+        assert!(counts.iter().take(100).all(|&c| c > 0));
+    }
+
+    #[test]
+    fn higher_theta_is_more_skewed() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let frac = |theta: f64, rng: &mut StdRng| {
+            let z = Zipfian::new(10_000, theta);
+            let hot = (0..50_000).filter(|_| z.next(rng) < 10).count();
+            hot as f64 / 50_000.0
+        };
+        let low = frac(0.5, &mut rng);
+        let high = frac(0.99, &mut rng);
+        assert!(high > low * 2.0, "theta 0.99 ({high}) vs 0.5 ({low})");
+    }
+
+    #[test]
+    fn scrambled_spreads_hot_keys() {
+        let z = ScrambledZipfian::new(1_000_000, 0.99);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..1000 {
+            seen.insert(z.next(&mut rng));
+        }
+        // The hot set is scattered across the space, not clustered at 0.
+        let below_thousand = seen.iter().filter(|&&v| v < 1000).count();
+        assert!(below_thousand < seen.len() / 4);
+    }
+
+    #[test]
+    fn draws_stay_in_range() {
+        let z = Zipfian::new(7, 0.8);
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..10_000 {
+            assert!(z.next(&mut rng) < 7);
+        }
+    }
+}

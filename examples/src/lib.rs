@@ -1,0 +1,2 @@
+//! Shared nothing: this crate exists to host the runnable example binaries
+//! (`quickstart`, `kvstore`, `crash_recovery`, `numa_bandwidth`).

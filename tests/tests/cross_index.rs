@@ -1,0 +1,147 @@
+//! Cross-index equivalence: every index in the workspace must agree with a
+//! `BTreeMap` (and therefore with each other) on identical operation
+//! sequences — the strongest cheap correctness check we have across five
+//! very different implementations.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use baselines::bztree::BzTree;
+use baselines::fastfair::{FastFair, KeyMode};
+use baselines::fptree::FpTree;
+use pactree::{PacTree, PacTreeConfig};
+use pdl_art::{PdlArt, PdlArtConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ycsb::RangeIndex;
+
+const POOL: usize = 512 << 20;
+
+fn indexes(tag: &str) -> Vec<Box<dyn RangeIndexObj>> {
+    vec![
+        Box::new(PacTree::create(PacTreeConfig::named(&format!("xidx-{tag}-pac")).with_pool_size(POOL)).unwrap()),
+        Box::new(PdlArt::create(PdlArtConfig::named(&format!("xidx-{tag}-pdl")).with_pool_size(POOL)).unwrap()),
+        Box::new(FastFair::create(&format!("xidx-{tag}-ff"), POOL, KeyMode::Integer).unwrap()),
+        Box::new(BzTree::create(&format!("xidx-{tag}-bz"), POOL, KeyMode::Integer).unwrap()),
+        Box::new(FpTree::create(&format!("xidx-{tag}-fp"), POOL).unwrap()),
+    ]
+}
+
+/// Object-safe shim over the driver trait plus destruction.
+trait RangeIndexObj {
+    fn name(&self) -> &'static str;
+    fn insert(&self, key: &[u8], value: u64);
+    fn lookup(&self, key: &[u8]) -> Option<u64>;
+    fn remove(&self, key: &[u8]) -> Option<u64>;
+    fn scan_keys(&self, start: &[u8], count: usize) -> usize;
+    fn finish(self: Box<Self>);
+}
+
+macro_rules! impl_obj {
+    ($ty:ty) => {
+        impl RangeIndexObj for Arc<$ty> {
+            fn name(&self) -> &'static str {
+                RangeIndex::name(self)
+            }
+            fn insert(&self, key: &[u8], value: u64) {
+                RangeIndex::insert(self, key, value)
+            }
+            fn lookup(&self, key: &[u8]) -> Option<u64> {
+                RangeIndex::lookup(self, key)
+            }
+            fn remove(&self, key: &[u8]) -> Option<u64> {
+                RangeIndex::remove(self, key)
+            }
+            fn scan_keys(&self, start: &[u8], count: usize) -> usize {
+                RangeIndex::scan(self, start, count)
+            }
+            fn finish(self: Box<Self>) {
+                (*self).destroy()
+            }
+        }
+    };
+}
+impl_obj!(PacTree);
+impl_obj!(PdlArt);
+impl_obj!(FastFair);
+impl_obj!(BzTree);
+impl_obj!(FpTree);
+
+#[test]
+fn all_indexes_agree_with_model() {
+    let idxs = indexes("agree");
+    let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut rng = StdRng::seed_from_u64(0xABCD);
+
+    for step in 0..8_000u64 {
+        let k: u64 = rng.gen_range(1..4000);
+        let kb = k.to_be_bytes();
+        match rng.gen_range(0..10) {
+            0..=5 => {
+                model.insert(k, step);
+                for idx in &idxs {
+                    idx.insert(&kb, step);
+                }
+            }
+            6..=7 => {
+                let expect = model.remove(&k);
+                for idx in &idxs {
+                    assert_eq!(idx.remove(&kb), expect, "{} remove {k}", idx.name());
+                }
+            }
+            _ => {
+                let expect = model.get(&k).copied();
+                for idx in &idxs {
+                    assert_eq!(idx.lookup(&kb), expect, "{} lookup {k}", idx.name());
+                }
+            }
+        }
+    }
+    // Final sweep: every key agrees; scans agree on counts.
+    for (&k, &v) in &model {
+        for idx in &idxs {
+            assert_eq!(idx.lookup(&k.to_be_bytes()), Some(v), "{}", idx.name());
+        }
+    }
+    for idx in &idxs {
+        assert_eq!(
+            idx.scan_keys(&0u64.to_be_bytes(), usize::MAX >> 1),
+            model.len(),
+            "{} full scan count",
+            idx.name()
+        );
+    }
+    for idx in idxs {
+        idx.finish();
+    }
+}
+
+#[test]
+fn scan_windows_agree() {
+    let idxs = indexes("scanwin");
+    let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+    for i in 0..3000u64 {
+        let k = i * 7 % 5000;
+        model.insert(k, i);
+        for idx in &idxs {
+            idx.insert(&k.to_be_bytes(), i);
+        }
+    }
+    let mut rng = StdRng::seed_from_u64(99);
+    for _ in 0..200 {
+        let start: u64 = rng.gen_range(0..5000);
+        let len: usize = rng.gen_range(1..100);
+        let expect = model.range(start..).take(len).count();
+        for idx in &idxs {
+            assert_eq!(
+                idx.scan_keys(&start.to_be_bytes(), len),
+                expect,
+                "{} scan from {start} len {len}",
+                idx.name()
+            );
+        }
+    }
+    for idx in idxs {
+        idx.finish();
+    }
+}
