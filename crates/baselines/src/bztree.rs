@@ -221,7 +221,6 @@ impl BzTree {
         }
     }
 
-
     // -- Traversal ------------------------------------------------------------
 
     /// Descends to the leaf covering `key`, recording `(inner, child_idx)`
@@ -309,7 +308,10 @@ impl BzTree {
             let s2 = st_with_count(s, n + 1);
             if !self.mwcas.execute(
                 &guard,
-                &[(&leaf.status, s, s2), (&leaf.records[n][0], 0, META_RESERVED)],
+                &[
+                    (&leaf.status, s, s2),
+                    (&leaf.records[n][0], 0, META_RESERVED),
+                ],
             )? {
                 continue;
             }
@@ -354,7 +356,12 @@ impl BzTree {
                 return Ok(None);
             }
             if leaf.records[slot][0]
-                .compare_exchange(meta, meta | META_DELETED, Ordering::AcqRel, Ordering::Acquire)
+                .compare_exchange(
+                    meta,
+                    meta | META_DELETED,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                )
                 .is_ok()
             {
                 persist::persist_obj_fenced(&leaf.records[slot][0]);
@@ -374,6 +381,9 @@ impl BzTree {
         out
     }
 
+    // `guard` witnesses that the caller holds an epoch pin for the whole
+    // recursive descent; it is only threaded through, hence the allow.
+    #[allow(clippy::only_used_in_recursion)]
     fn scan_rec(
         &self,
         guard: &Guard<'_>,
@@ -407,8 +417,8 @@ impl BzTree {
                 if seen.iter().any(|(sk, _)| sk == &k) {
                     continue;
                 }
-                let v = (meta & META_DELETED == 0)
-                    .then(|| leaf.records[i][2].load(Ordering::Acquire));
+                let v =
+                    (meta & META_DELETED == 0).then(|| leaf.records[i][2].load(Ordering::Acquire));
                 seen.push((k, v));
             }
             seen.sort();
@@ -476,7 +486,9 @@ impl BzTree {
         // Collect live records: newest wins, tombstones drop out.
         let n = st_count(s);
         // Newest record wins per key; deleted newest drops the key.
-        let mut newest: Vec<(Vec<u8>, Option<(u64, u64)>)> = Vec::new();
+        // Key bytes -> Some((key word, value)) for live, None for tombstoned.
+        type Newest = Vec<(Vec<u8>, Option<(u64, u64)>)>;
+        let mut newest: Newest = Vec::new();
         for i in (0..n).rev() {
             let meta = leaf.records[i][0].load(Ordering::Acquire);
             if meta & META_VISIBLE == 0 {
@@ -563,7 +575,10 @@ impl BzTree {
             None => {
                 // Root leaf split: new root inner node.
                 let root = self.build_inner(&[sep], &[left, right])?;
-                if self.mwcas.execute(guard, &[(self.root_cell(), old, root)])? {
+                if self
+                    .mwcas
+                    .execute(guard, &[(self.root_cell(), old, root)])?
+                {
                     self.retire_node(guard, old);
                 } else {
                     self.free_node_now(left);
@@ -782,7 +797,11 @@ mod tests {
         }
         for i in (0..500u64).step_by(3) {
             assert_eq!(t.remove(&i.to_be_bytes()).unwrap(), Some(i));
-            assert_eq!(t.remove(&i.to_be_bytes()).unwrap(), None, "double delete {i}");
+            assert_eq!(
+                t.remove(&i.to_be_bytes()).unwrap(),
+                None,
+                "double delete {i}"
+            );
         }
         for i in 0..500u64 {
             let expect = (i % 3 != 0).then_some(i);

@@ -173,10 +173,12 @@ impl FastFair {
         let tree = FastFair { pool, mode };
         let root_cell = tree.pool.allocator().root(0);
         let pid = tree.pool.id();
-        tree.pool.allocator().malloc_to(NODE_SIZE, root_cell, |raw| {
-            // SAFETY: fresh NODE_SIZE allocation.
-            unsafe { init_node(raw, true) };
-        })?;
+        tree.pool
+            .allocator()
+            .malloc_to(NODE_SIZE, root_cell, |raw| {
+                // SAFETY: fresh NODE_SIZE allocation.
+                unsafe { init_node(raw, true) };
+            })?;
         let _ = pid;
         Ok(Arc::new(tree))
     }
@@ -218,11 +220,7 @@ impl FastFair {
                 // SAFETY: fresh allocation of 4 + len bytes.
                 unsafe {
                     (ptr.as_mut_ptr() as *mut u32).write(key.len() as u32);
-                    std::ptr::copy_nonoverlapping(
-                        key.as_ptr(),
-                        ptr.as_mut_ptr().add(4),
-                        key.len(),
-                    );
+                    std::ptr::copy_nonoverlapping(key.as_ptr(), ptr.as_mut_ptr().add(4), key.len());
                 }
                 persist::persist(ptr.as_ptr(), 4 + key.len());
                 Ok(ptr.raw())
@@ -273,7 +271,8 @@ impl FastFair {
         let mut raw = self.root_raw();
         // SAFETY: root always exists.
         let mut node = unsafe { nref(raw) };
-        node.lock.read_lock(pid, PmPtr::<u8>::from_raw(raw).offset());
+        node.lock
+            .read_lock(pid, PmPtr::<u8>::from_raw(raw).offset());
         loop {
             model::on_read(pid, PmPtr::<u8>::from_raw(raw).offset(), NODE_SIZE.min(512));
             if node.is_leaf() {
@@ -282,8 +281,11 @@ impl FastFair {
             let child = self.child_for(node, key);
             // SAFETY: children of a locked node are initialized.
             let cnode = unsafe { nref(child) };
-            cnode.lock.read_lock(pid, PmPtr::<u8>::from_raw(child).offset());
-            node.lock.read_unlock(pid, PmPtr::<u8>::from_raw(raw).offset());
+            cnode
+                .lock
+                .read_lock(pid, PmPtr::<u8>::from_raw(child).offset());
+            node.lock
+                .read_unlock(pid, PmPtr::<u8>::from_raw(raw).offset());
             raw = child;
             node = cnode;
         }
@@ -335,7 +337,8 @@ impl FastFair {
         // SAFETY: locked leaf.
         let leaf = unsafe { nref(leaf_raw) };
         let res = self.search_node(leaf, key).ok().map(|i| leaf.value(i));
-        leaf.lock.read_unlock(pid, PmPtr::<u8>::from_raw(leaf_raw).offset());
+        leaf.lock
+            .read_unlock(pid, PmPtr::<u8>::from_raw(leaf_raw).offset());
         res
     }
 
@@ -356,19 +359,24 @@ impl FastFair {
             for i in from..leaf.count() {
                 out.push((self.decode_key(leaf.key_word(i)), leaf.value(i)));
                 if out.len() >= count {
-                    leaf.lock.read_unlock(pid, PmPtr::<u8>::from_raw(raw).offset());
+                    leaf.lock
+                        .read_unlock(pid, PmPtr::<u8>::from_raw(raw).offset());
                     return out;
                 }
             }
             let sib = leaf.sibling.load(Ordering::Acquire);
             if sib == 0 {
-                leaf.lock.read_unlock(pid, PmPtr::<u8>::from_raw(raw).offset());
+                leaf.lock
+                    .read_unlock(pid, PmPtr::<u8>::from_raw(raw).offset());
                 return out;
             }
             // SAFETY: sibling is initialized.
             let snode = unsafe { nref(sib) };
-            snode.lock.read_lock(pid, PmPtr::<u8>::from_raw(sib).offset());
-            leaf.lock.read_unlock(pid, PmPtr::<u8>::from_raw(raw).offset());
+            snode
+                .lock
+                .read_lock(pid, PmPtr::<u8>::from_raw(sib).offset());
+            leaf.lock
+                .read_unlock(pid, PmPtr::<u8>::from_raw(raw).offset());
             raw = sib;
         }
     }
@@ -379,31 +387,32 @@ impl FastFair {
     /// while the split cascades (the paper's GC2 critique).
     pub fn insert(&self, key: &[u8], value: u64) -> Result<Option<u64>> {
         let pid = self.pool.id();
-        loop {
-            // Optimistic single-leaf attempt under the write lock.
-            let leaf_raw = self.find_leaf_write(key);
-            // SAFETY: write-locked leaf.
-            let leaf = unsafe { nref(leaf_raw) };
-            match self.search_node(leaf, key) {
-                Ok(i) => {
-                    let old = leaf.value(i);
-                    leaf.entries[i][1].store(value, Ordering::Release);
-                    persist::persist_obj_fenced(&leaf.entries[i][1]);
-                    leaf.lock.write_unlock(pid, PmPtr::<u8>::from_raw(leaf_raw).offset());
-                    return Ok(Some(old));
-                }
-                Err(pos) => {
-                    if leaf.count() < FF_SLOTS {
-                        let word = self.encode_key(key)?;
-                        self.shift_insert(leaf, pos, word, value);
-                        leaf.lock.write_unlock(pid, PmPtr::<u8>::from_raw(leaf_raw).offset());
-                        return Ok(None);
-                    }
-                    // Full: release and redo with a full-path write descent.
-                    leaf.lock.write_unlock(pid, PmPtr::<u8>::from_raw(leaf_raw).offset());
-                    self.insert_with_split(key, value)?;
+        // Optimistic single-leaf attempt under the write lock.
+        let leaf_raw = self.find_leaf_write(key);
+        // SAFETY: write-locked leaf.
+        let leaf = unsafe { nref(leaf_raw) };
+        match self.search_node(leaf, key) {
+            Ok(i) => {
+                let old = leaf.value(i);
+                leaf.entries[i][1].store(value, Ordering::Release);
+                persist::persist_obj_fenced(&leaf.entries[i][1]);
+                leaf.lock
+                    .write_unlock(pid, PmPtr::<u8>::from_raw(leaf_raw).offset());
+                Ok(Some(old))
+            }
+            Err(pos) => {
+                if leaf.count() < FF_SLOTS {
+                    let word = self.encode_key(key)?;
+                    self.shift_insert(leaf, pos, word, value);
+                    leaf.lock
+                        .write_unlock(pid, PmPtr::<u8>::from_raw(leaf_raw).offset());
                     return Ok(None);
                 }
+                // Full: release and redo with a full-path write descent.
+                leaf.lock
+                    .write_unlock(pid, PmPtr::<u8>::from_raw(leaf_raw).offset());
+                self.insert_with_split(key, value)?;
+                Ok(None)
             }
         }
     }
@@ -432,7 +441,8 @@ impl FastFair {
             }
             Err(_) => None,
         };
-        leaf.lock.write_unlock(pid, PmPtr::<u8>::from_raw(leaf_raw).offset());
+        leaf.lock
+            .write_unlock(pid, PmPtr::<u8>::from_raw(leaf_raw).offset());
         Ok(res)
     }
 
@@ -445,26 +455,33 @@ impl FastFair {
             let mut raw = self.root_raw();
             // SAFETY: root exists.
             let mut node = unsafe { nref(raw) };
-            node.lock.read_lock(pid, PmPtr::<u8>::from_raw(raw).offset());
+            node.lock
+                .read_lock(pid, PmPtr::<u8>::from_raw(raw).offset());
             loop {
                 model::on_read(pid, PmPtr::<u8>::from_raw(raw).offset(), NODE_SIZE.min(512));
                 if node.is_leaf() {
                     // Upgrade by re-acquiring: release shared, take exclusive,
                     // re-validate that this leaf still covers the key (the
                     // tree may have split meanwhile).
-                    node.lock.read_unlock(pid, PmPtr::<u8>::from_raw(raw).offset());
-                    node.lock.write_lock(pid, PmPtr::<u8>::from_raw(raw).offset());
+                    node.lock
+                        .read_unlock(pid, PmPtr::<u8>::from_raw(raw).offset());
+                    node.lock
+                        .write_lock(pid, PmPtr::<u8>::from_raw(raw).offset());
                     if self.leaf_covers(node, key) {
                         return raw;
                     }
-                    node.lock.write_unlock(pid, PmPtr::<u8>::from_raw(raw).offset());
+                    node.lock
+                        .write_unlock(pid, PmPtr::<u8>::from_raw(raw).offset());
                     break; // restart descent
                 }
                 let child = self.child_for(node, key);
                 // SAFETY: child initialized.
                 let cnode = unsafe { nref(child) };
-                cnode.lock.read_lock(pid, PmPtr::<u8>::from_raw(child).offset());
-                node.lock.read_unlock(pid, PmPtr::<u8>::from_raw(raw).offset());
+                cnode
+                    .lock
+                    .read_lock(pid, PmPtr::<u8>::from_raw(child).offset());
+                node.lock
+                    .read_unlock(pid, PmPtr::<u8>::from_raw(raw).offset());
                 raw = child;
                 node = cnode;
             }
@@ -513,7 +530,8 @@ impl FastFair {
         loop {
             // SAFETY: nodes on the path are initialized.
             let node = unsafe { nref(raw) };
-            node.lock.write_lock(pid, PmPtr::<u8>::from_raw(raw).offset());
+            node.lock
+                .write_lock(pid, PmPtr::<u8>::from_raw(raw).offset());
             path.push(raw);
             if node.is_leaf() {
                 break;
@@ -523,7 +541,9 @@ impl FastFair {
         let unlock_all = |path: &[u64]| {
             for &r in path.iter().rev() {
                 // SAFETY: locked above.
-                unsafe { nref(r) }.lock.write_unlock(pid, PmPtr::<u8>::from_raw(r).offset());
+                unsafe { nref(r) }
+                    .lock
+                    .write_unlock(pid, PmPtr::<u8>::from_raw(r).offset());
             }
         };
 
@@ -585,17 +605,19 @@ impl FastFair {
                 // Split the root: allocate a new root.
                 let root_cell = self.pool.allocator().root(0);
                 let old_root = nraw;
-                self.pool.allocator().malloc_to(NODE_SIZE, root_cell, |rp| {
-                    // SAFETY: fresh NODE_SIZE allocation.
-                    unsafe {
-                        init_node(rp, false);
-                        let r = &*(rp as *const Node);
-                        r.leftmost.store(old_root, Ordering::Relaxed);
-                        r.entries[0][0].store(sep_word, Ordering::Relaxed);
-                        r.entries[0][1].store(new_raw, Ordering::Relaxed);
-                        r.meta.store(1 << 1, Ordering::Relaxed);
-                    }
-                })?;
+                self.pool
+                    .allocator()
+                    .malloc_to(NODE_SIZE, root_cell, |rp| {
+                        // SAFETY: fresh NODE_SIZE allocation.
+                        unsafe {
+                            init_node(rp, false);
+                            let r = &*(rp as *const Node);
+                            r.leftmost.store(old_root, Ordering::Relaxed);
+                            r.entries[0][0].store(sep_word, Ordering::Relaxed);
+                            r.entries[0][1].store(new_raw, Ordering::Relaxed);
+                            r.meta.store(1 << 1, Ordering::Relaxed);
+                        }
+                    })?;
                 break;
             }
             // Cascade: the separator goes into the parent as (sep, new_raw).
@@ -721,7 +743,9 @@ mod tests {
         let mut model = BTreeMap::new();
         let mut x = 99u64;
         for i in 0..20_000u64 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let k = x % 10_000;
             let old = t.insert(&k.to_be_bytes(), i).unwrap();
             assert_eq!(old, model.insert(k, i), "insert {k}");
@@ -744,7 +768,9 @@ mod tests {
     #[test]
     fn string_mode_roundtrip() {
         let t = FastFair::create("ff-str", 256 << 20, KeyMode::String).unwrap();
-        let keys: Vec<String> = (0..2000).map(|i| format!("user{:06}", i * 7 % 3000)).collect();
+        let keys: Vec<String> = (0..2000)
+            .map(|i| format!("user{:06}", i * 7 % 3000))
+            .collect();
         let mut model = BTreeMap::new();
         for (i, k) in keys.iter().enumerate() {
             let old = t.insert(k.as_bytes(), i as u64).unwrap();

@@ -63,15 +63,11 @@ impl FpLeaf {
     fn find(&self, key: u64) -> Option<usize> {
         let fp = fp_of(key);
         let bm = self.live();
-        for i in 0..FP_LEAF_CAP {
-            if bm & (1 << i) != 0
+        (0..FP_LEAF_CAP).find(|&i| {
+            bm & (1 << i) != 0
                 && self.fingerprints[i].load(Ordering::Acquire) == fp
                 && self.entries[i][0].load(Ordering::Acquire) == key
-            {
-                return Some(i);
-            }
-        }
-        None
+        })
     }
 
     fn free_slot(&self) -> Option<usize> {
@@ -154,8 +150,8 @@ impl FpTree {
     /// indexes ("the internal nodes have to be rebuilt at every startup").
     pub fn recover(name: &str) -> Result<Arc<FpTree>> {
         pactree::lock::bump_global_generation();
-        let pool = pool::pool_by_name(name)
-            .ok_or_else(|| PmemError::PoolNotFound(name.to_string()))?;
+        let pool =
+            pool::pool_by_name(name).ok_or_else(|| PmemError::PoolNotFound(name.to_string()))?;
         pool.allocator().recover_logs();
         let head = pool.allocator().root(0).load(Ordering::Acquire);
         let tree = FpTree {
@@ -250,7 +246,9 @@ impl FpTree {
                 192,
             );
             let token = leaf.lock.read_begin().ok_or(Conflict)?;
-            let res = leaf.find(key).map(|i| leaf.entries[i][1].load(Ordering::Acquire));
+            let res = leaf
+                .find(key)
+                .map(|i| leaf.entries[i][1].load(Ordering::Acquire));
             if !leaf.lock.read_validate(token) {
                 return Err(Conflict);
             }
@@ -388,49 +386,50 @@ impl FpTree {
     /// Ordered scan: walks the leaf chain, sorting and filtering each leaf
     /// (FPTree's scan overhead, Figure 13).
     pub fn scan(&self, start: u64, count: usize) -> Vec<(u64, u64)> {
-        self.htm.run(self.footprint() + count.min(65_536) * 16, |in_fallback| {
-            let inner = if in_fallback {
-                self.inner.read()
-            } else {
-                self.inner.try_read().ok_or(Conflict)?
-            };
-            let mut raw = Self::locate(&inner, start);
-            drop(inner);
-            let mut out: Vec<(u64, u64)> = Vec::with_capacity(count.min(4096));
-            while raw != 0 {
-                // SAFETY: live leaf chain.
-                let leaf = unsafe { leaf_of(raw) };
-                pmem::model::on_read(
-                    PmPtr::<u8>::from_raw(raw).pool_id(),
-                    PmPtr::<u8>::from_raw(raw).offset(),
-                    LEAF_SIZE,
-                );
-                let token = leaf.lock.read_begin().ok_or(Conflict)?;
-                let mut page: Vec<(u64, u64)> = Vec::new();
-                let bm = leaf.live();
-                for i in 0..FP_LEAF_CAP {
-                    if bm & (1 << i) != 0 {
-                        let k = leaf.entries[i][0].load(Ordering::Acquire);
-                        if k >= start {
-                            page.push((k, leaf.entries[i][1].load(Ordering::Acquire)));
+        self.htm
+            .run(self.footprint() + count.min(65_536) * 16, |in_fallback| {
+                let inner = if in_fallback {
+                    self.inner.read()
+                } else {
+                    self.inner.try_read().ok_or(Conflict)?
+                };
+                let mut raw = Self::locate(&inner, start);
+                drop(inner);
+                let mut out: Vec<(u64, u64)> = Vec::with_capacity(count.min(4096));
+                while raw != 0 {
+                    // SAFETY: live leaf chain.
+                    let leaf = unsafe { leaf_of(raw) };
+                    pmem::model::on_read(
+                        PmPtr::<u8>::from_raw(raw).pool_id(),
+                        PmPtr::<u8>::from_raw(raw).offset(),
+                        LEAF_SIZE,
+                    );
+                    let token = leaf.lock.read_begin().ok_or(Conflict)?;
+                    let mut page: Vec<(u64, u64)> = Vec::new();
+                    let bm = leaf.live();
+                    for i in 0..FP_LEAF_CAP {
+                        if bm & (1 << i) != 0 {
+                            let k = leaf.entries[i][0].load(Ordering::Acquire);
+                            if k >= start {
+                                page.push((k, leaf.entries[i][1].load(Ordering::Acquire)));
+                            }
                         }
                     }
-                }
-                let next = leaf.next.load(Ordering::Acquire);
-                if !leaf.lock.read_validate(token) {
-                    return Err(Conflict);
-                }
-                page.sort_unstable();
-                for p in page {
-                    out.push(p);
-                    if out.len() >= count {
-                        return Ok(out);
+                    let next = leaf.next.load(Ordering::Acquire);
+                    if !leaf.lock.read_validate(token) {
+                        return Err(Conflict);
                     }
+                    page.sort_unstable();
+                    for p in page {
+                        out.push(p);
+                        if out.len() >= count {
+                            return Ok(out);
+                        }
+                    }
+                    raw = next;
                 }
-                raw = next;
-            }
-            Ok(out)
-        })
+                Ok(out)
+            })
     }
 
     /// Live pairs — O(n), tests only.

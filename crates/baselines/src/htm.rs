@@ -125,11 +125,7 @@ impl Htm {
     /// `Err(Conflict)` to signal a data conflict (try-lock failure, version
     /// mismatch), which aborts and retries; after [`MAX_RETRIES`] aborts the
     /// body runs under the global fallback lock (`in_fallback = true`).
-    pub fn run<R>(
-        &self,
-        footprint: usize,
-        mut body: impl FnMut(bool) -> Result<R, Conflict>,
-    ) -> R {
+    pub fn run<R>(&self, footprint: usize, mut body: impl FnMut(bool) -> Result<R, Conflict>) -> R {
         self.stats.transactions.fetch_add(1, Ordering::Relaxed);
         let _in_run = InRun::enter(&self.in_run);
         for _ in 0..MAX_RETRIES {

@@ -71,11 +71,7 @@ impl PmwCasRunner {
     ///
     /// Panics if any `new`/`expected` value has bit 0 set, or more than
     /// [`MAX_WORDS`] entries are passed.
-    pub fn execute(
-        &self,
-        guard: &Guard<'_>,
-        entries: &[(&AtomicU64, u64, u64)],
-    ) -> Result<bool> {
+    pub fn execute(&self, guard: &Guard<'_>, entries: &[(&AtomicU64, u64, u64)]) -> Result<bool> {
         assert!(entries.len() <= MAX_WORDS && !entries.is_empty());
         for &(_, old, new) in entries {
             assert_eq!(old & MARK, 0, "expected value uses the mark bit");
@@ -104,7 +100,8 @@ impl PmwCasRunner {
         // still hold the marked pointer.
         let pool = Arc::clone(&self.pool);
         self.collector.defer(guard, move || {
-            pool.allocator().free(PmPtr::from_raw(marked & !MARK), DESC_SIZE);
+            pool.allocator()
+                .free(PmPtr::from_raw(marked & !MARK), DESC_SIZE);
         });
         Ok(ok)
     }
@@ -183,9 +180,12 @@ fn help(desc: &Descriptor, marked: u64) -> bool {
     }
     persist::fence();
     // Decide.
-    let _ = desc
-        .status
-        .compare_exchange(ST_UNDECIDED, status_goal, Ordering::AcqRel, Ordering::Acquire);
+    let _ = desc.status.compare_exchange(
+        ST_UNDECIDED,
+        status_goal,
+        Ordering::AcqRel,
+        Ordering::Acquire,
+    );
     persist::persist_obj_fenced(&desc.status);
     let succeeded = desc.status.load(Ordering::Acquire) == ST_SUCCEEDED;
 

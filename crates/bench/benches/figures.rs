@@ -2,8 +2,8 @@
 //! `cargo bench` exercises every figure pipeline end-to-end. The real
 //! figures come from the `src/bin/fig*` binaries (see EXPERIMENTS.md).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use bench::{AnyIndex, Kind, Scale};
+use criterion::{criterion_group, criterion_main, Criterion};
 use pmem::model::{self, CoherenceMode, NvmModelConfig};
 use ycsb::{driver, Distribution, DriverConfig, KeySpace, Mix, Workload};
 
@@ -27,7 +27,12 @@ fn figure_smokes(c: &mut Criterion) {
 
     // Figure 9/10 pipeline: every index through every mix.
     for kind in Kind::all() {
-        let idx = AnyIndex::create(kind, &format!("figbench-{}", kind.name()), KeySpace::Integer, &scale);
+        let idx = AnyIndex::create(
+            kind,
+            &format!("figbench-{}", kind.name()),
+            KeySpace::Integer,
+            &scale,
+        );
         driver::populate(&idx, KeySpace::Integer, scale.keys, 2);
         group.bench_function(format!("ycsb-a/{}", kind.name()), |b| {
             b.iter(|| run_mix(&idx, Mix::A, scale.keys, 2))

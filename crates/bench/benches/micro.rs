@@ -1,8 +1,8 @@
 //! Criterion micro-benchmarks: single-operation costs per index
 //! (lookup / insert / scan), model disabled — raw implementation overhead.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use bench::{AnyIndex, Kind, Scale};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ycsb::{KeySpace, RangeIndex};
 
 fn op_benches(c: &mut Criterion) {

@@ -1,0 +1,126 @@
+//! Microbenchmark of the NVM model's own bookkeeping overhead.
+//!
+//! Every modeled access from every index funnels through
+//! `pmem::model::{on_read, on_flush}`, so the model's internal
+//! synchronization is a throughput ceiling for the whole benchmark suite.
+//! This binary measures that ceiling directly: ns/op single-threaded and
+//! aggregate Mops/s for a thread sweep, with the model in pure accounting
+//! mode (no injected latency, no throttling — only the bookkeeping path).
+//!
+//! Reported numbers go to EXPERIMENTS.md ("model overhead" section). The
+//! interesting comparison is multi-thread scaling: with lock-free sharded
+//! bookkeeping the aggregate rate should grow near-linearly with threads
+//! instead of plateauing on a global lock.
+//!
+//! Env knobs: `PAC_MODEL_OPS` (ops per thread per measurement, default 2M),
+//! `PAC_THREADS` (max sweep point, default 8).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Barrier;
+use std::time::Instant;
+
+use pmem::model::{self, NvmModelConfig};
+use pmem::pool::{destroy_pool, PmemPool, PoolConfig};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+const POOL_SIZE: usize = 64 << 20;
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// One measured phase: every thread runs `ops` calls of `op`, returns
+/// aggregate Mops/s.
+fn run_phase(threads: usize, ops: u64, op: impl Fn(&mut StdRng, u64) + Sync) -> f64 {
+    let barrier = Barrier::new(threads + 1);
+    let total_ns = AtomicU64::new(0);
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let barrier = &barrier;
+            let total_ns = &total_ns;
+            let op = &op;
+            s.spawn(move || {
+                pmem::numa::pin_thread(0);
+                let mut rng = StdRng::seed_from_u64(0xC0FFEE ^ t as u64);
+                barrier.wait();
+                let start = Instant::now();
+                for i in 0..ops {
+                    op(&mut rng, i);
+                }
+                total_ns.fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            });
+        }
+        barrier.wait();
+    });
+    // Aggregate rate: total ops / mean per-thread wall time.
+    let mean_ns = total_ns.load(Ordering::Relaxed) as f64 / threads as f64;
+    (threads as u64 * ops) as f64 * 1e3 / mean_ns
+}
+
+fn main() {
+    let ops = env_u64("PAC_MODEL_OPS", 2_000_000);
+    let max_threads = env_u64("PAC_THREADS", 8) as usize;
+    let mut sweep = vec![1usize, 2, 4, 8, 16];
+    sweep.retain(|&t| t <= max_threads);
+
+    println!("== model overhead: on_read/on_flush bookkeeping cost (accounting mode)");
+    println!("   {ops} ops/thread, threads {sweep:?}");
+
+    let pool =
+        PmemPool::create(PoolConfig::volatile("bench-model-ovh", POOL_SIZE)).expect("create pool");
+    let id = pool.id();
+    let span = (POOL_SIZE as u64 / 64) - 64; // offsets in cache lines
+
+    model::set_config(NvmModelConfig::accounting());
+
+    println!(
+        "{:<14} {:>10} {:>12} {:>12} {:>12}",
+        "op", "threads", "Mops/s", "ns/op", "scaling"
+    );
+    for (label, pattern) in [("on_read/rand", 0u8), ("on_flush/seq", 1u8), ("mixed", 2u8)] {
+        let mut base = 0.0f64;
+        for &t in &sweep {
+            let mops = run_phase(t, ops, |rng, i| match pattern {
+                0 => {
+                    let off = rng.gen_range(0..span) * 64;
+                    model::on_read(id, off, 64);
+                }
+                1 => {
+                    // Sequential flushes: exercises the write-combining
+                    // XPBuffer hit path.
+                    let off = (i % span) * 64;
+                    model::on_flush(id, off, 64);
+                }
+                _ => {
+                    let off = rng.gen_range(0..span) * 64;
+                    model::on_read(id, off, 64);
+                    model::on_flush(id, off, 64);
+                }
+            });
+            if t == 1 {
+                base = mops;
+            }
+            println!(
+                "{:<14} {:>10} {:>12.3} {:>12.1} {:>11.2}x",
+                label,
+                t,
+                mops,
+                1e3 / mops * t as f64, // aggregate ns per op across threads
+                mops / base.max(1e-9),
+            );
+        }
+    }
+
+    model::set_config(NvmModelConfig::disabled());
+    let snap = pmem::stats::global().snapshot();
+    println!(
+        "-- accounted: read {:.2} GiB, write {:.2} GiB, {} flushes",
+        snap.read_gib(),
+        snap.write_gib(),
+        snap.flushes
+    );
+    destroy_pool(id);
+}

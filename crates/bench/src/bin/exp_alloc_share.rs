@@ -9,10 +9,17 @@ use ycsb::{driver, DriverConfig, KeySpace, Mix, Workload};
 
 fn main() {
     let scale = Scale::from_env();
-    banner("GA3", "time share spent in the allocator (insert-only)", &scale);
+    banner(
+        "GA3",
+        "time share spent in the allocator (insert-only)",
+        &scale,
+    );
     let threads = scale.max_threads().min(28);
 
-    row("index", &["alloc-time %".into(), "allocs/op".into(), "Mops/s".into()]);
+    row(
+        "index",
+        &["alloc-time %".into(), "allocs/op".into(), "Mops/s".into()],
+    );
     for kind in [Kind::FastFair, Kind::PdlArt, Kind::BzTree, Kind::PacTree] {
         let name = format!("exp-alloc-{}", kind.name());
         let idx = AnyIndex::create(kind, &name, KeySpace::Integer, &scale);

@@ -16,7 +16,10 @@ fn main() {
     banner("§3.5", "ADR vs eADR (YCSB-A, integer keys)", &scale);
     let threads = scale.max_threads().min(16);
 
-    row("index", &["ADR Mops/s".into(), "eADR Mops/s".into(), "speedup".into()]);
+    row(
+        "index",
+        &["ADR Mops/s".into(), "eADR Mops/s".into(), "speedup".into()],
+    );
     for kind in [Kind::PacTree, Kind::FastFair, Kind::PdlArt] {
         let mut cols = Vec::new();
         let mut results = Vec::new();

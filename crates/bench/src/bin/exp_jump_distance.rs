@@ -11,7 +11,11 @@ use ycsb::{driver, DriverConfig, KeySpace, Mix, Workload};
 fn main() {
     pmem::numa::set_topology(2);
     let scale = Scale::from_env();
-    banner("§6.7", "jump-node distance under write-intensive load", &scale);
+    banner(
+        "§6.7",
+        "jump-node distance under write-intensive load",
+        &scale,
+    );
 
     let idx = AnyIndex::create(Kind::PacTree, "exp-jump", KeySpace::Integer, &scale);
     driver::populate(&idx, KeySpace::Integer, scale.keys, 4);
@@ -34,7 +38,10 @@ fn main() {
 
     let hist = tree.stats().jump_histogram();
     let total: u64 = hist.iter().map(|&(_, c)| c).sum();
-    row("hops", &hist.iter().map(|(h, _)| h.to_string()).collect::<Vec<_>>());
+    row(
+        "hops",
+        &hist.iter().map(|(h, _)| h.to_string()).collect::<Vec<_>>(),
+    );
     row(
         "% of locates",
         &hist

@@ -26,7 +26,10 @@ fn main() {
     let t0 = Instant::now();
     let t = PacTree::recover(cfg).unwrap();
     let pac_ms = t0.elapsed().as_secs_f64() * 1e3;
-    assert_eq!(t.lookup(&KeySpace::Integer.encode(keys / 2)), Some(keys / 2 + 1));
+    assert_eq!(
+        t.lookup(&KeySpace::Integer.encode(keys / 2)),
+        Some(keys / 2 + 1)
+    );
     t.destroy();
 
     // FPTree: same data volume, inner structure rebuilt from the leaf chain.
@@ -37,10 +40,18 @@ fn main() {
     let t0 = Instant::now();
     let fp = FpTree::recover(pool_name).unwrap();
     let fp_ms = t0.elapsed().as_secs_f64() * 1e3;
-    assert_eq!(fp.lookup(u64::from_be_bytes(KeySpace::Integer.encode(keys / 2).try_into().unwrap())), Some(keys / 2 + 1));
+    assert_eq!(
+        fp.lookup(u64::from_be_bytes(
+            KeySpace::Integer.encode(keys / 2).try_into().unwrap()
+        )),
+        Some(keys / 2 + 1)
+    );
     fp.destroy();
 
     println!("PACTree recover: {pac_ms:8.2} ms (NVM search layer: replay + generation bump)");
     println!("FPTree  recover: {fp_ms:8.2} ms (DRAM inner rebuild: walks every leaf)");
-    println!("-- FPTree pays {:.1}x more, growing with data size", fp_ms / pac_ms.max(1e-6));
+    println!(
+        "-- FPTree pays {:.1}x more, growing with data size",
+        fp_ms / pac_ms.max(1e-6)
+    );
 }

@@ -43,7 +43,11 @@ fn main() {
 
     row(
         "threads",
-        &scale.threads.iter().map(|t| t.to_string()).collect::<Vec<_>>(),
+        &scale
+            .threads
+            .iter()
+            .map(|t| t.to_string())
+            .collect::<Vec<_>>(),
     );
     for (coherence, series) in &results {
         row(

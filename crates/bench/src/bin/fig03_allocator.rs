@@ -43,7 +43,11 @@ fn main() {
         };
         let r = driver::run_workload(&idx, &w, KeySpace::Integer, &cfg);
         model::set_config(NvmModelConfig::disabled());
-        println!("{label:<10} {} Mops/s  ({} flushes)", mops(r.mops), r.stats.flushes);
+        println!(
+            "{label:<10} {} Mops/s  ({} flushes)",
+            mops(r.mops),
+            r.stats.flushes
+        );
         out.push(r.mops);
         idx.destroy();
     }

@@ -38,7 +38,11 @@ fn main() {
             };
             let r = driver::run_workload(&idx, &w, space, &cfg);
             model::set_config(NvmModelConfig::disabled());
-            rows.push((format!("{:?}/{}", space, kind.name()), r.mops, r.stats.read_gib()));
+            rows.push((
+                format!("{:?}/{}", space, kind.name()),
+                r.mops,
+                r.stats.read_gib(),
+            ));
             idx.destroy();
         }
     }

@@ -41,9 +41,7 @@ fn main() {
                     let mut rng = StdRng::seed_from_u64(t as u64 + 5);
                     for _ in 0..scans / threads as u64 {
                         let id: u64 = rng.gen_range(0..scale.keys);
-                        std::hint::black_box(
-                            idx.scan(&KeySpace::Integer.encode(id), scan_len),
-                        );
+                        std::hint::black_box(idx.scan(&KeySpace::Integer.encode(id), scan_len));
                     }
                 });
             }
@@ -51,11 +49,7 @@ fn main() {
         let secs = start.elapsed().as_secs_f64() / scale.dilation;
         let delta = pmem::stats::global().snapshot().since(&before);
         model::set_config(NvmModelConfig::disabled());
-        rows.push((
-            kind.name(),
-            scans as f64 / secs / 1e6,
-            delta.read_gib(),
-        ));
+        rows.push((kind.name(), scans as f64 / secs / 1e6, delta.read_gib()));
         idx.destroy();
     }
 

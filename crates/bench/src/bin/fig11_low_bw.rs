@@ -14,7 +14,11 @@ fn main() {
     let mut scale = Scale::from_env();
     let t = scale.max_threads().min(32);
     scale.threads = vec![t];
-    banner("Figure 11", "low-bandwidth machine, uniform integer keys", &scale);
+    banner(
+        "Figure 11",
+        "low-bandwidth machine, uniform integer keys",
+        &scale,
+    );
     ycsb_comparison(
         "fig11",
         &Kind::all(),

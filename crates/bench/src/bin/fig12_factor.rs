@@ -73,10 +73,9 @@ fn main() {
     // Rung 0: ART(SC) — PDL-ART itself (kv pairs out of node, everything
     // synchronous, single pool).
     {
-        let idx = PdlArt::create(
-            PdlArtConfig::named("fig12-artsc").with_pool_size(scale.pool_size),
-        )
-        .expect("create");
+        let idx =
+            PdlArt::create(PdlArtConfig::named("fig12-artsc").with_pool_size(scale.pool_size))
+                .expect("create");
         driver::populate(&idx, KeySpace::String, scale.keys, 4);
         run_step("ART(SC)", &idx, &scale, threads, &mut results);
         idx.destroy();
@@ -126,7 +125,10 @@ fn main() {
 
     row(
         "configuration",
-        &Mix::all().iter().map(|m| m.short_name().to_string()).collect::<Vec<_>>(),
+        &Mix::all()
+            .iter()
+            .map(|m| m.short_name().to_string())
+            .collect::<Vec<_>>(),
     );
     for (label, series) in &results {
         row(label, &series.iter().map(|&v| mops(v)).collect::<Vec<_>>());

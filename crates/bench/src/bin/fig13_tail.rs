@@ -20,7 +20,13 @@ fn main() {
         println!("-- {}", mix.short_name());
         row(
             "index",
-            &["p50".into(), "p90".into(), "p99".into(), "p99.9".into(), "p99.99".into()],
+            &[
+                "p50".into(),
+                "p90".into(),
+                "p99".into(),
+                "p99.9".into(),
+                "p99.99".into(),
+            ],
         );
         for kind in Kind::all() {
             let name = format!("fig13-{}-{}", mix.short_name(), kind.name());

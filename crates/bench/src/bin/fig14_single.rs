@@ -18,7 +18,10 @@ fn main() {
         println!("-- {:?} keys", space);
         row(
             "index",
-            &Mix::all().iter().map(|m| m.short_name().to_string()).collect::<Vec<_>>(),
+            &Mix::all()
+                .iter()
+                .map(|m| m.short_name().to_string())
+                .collect::<Vec<_>>(),
         );
         let kinds: Vec<Kind> = if space.is_integer() {
             Kind::all().to_vec()

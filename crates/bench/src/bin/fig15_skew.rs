@@ -12,12 +12,19 @@ use ycsb::{driver, Distribution, DriverConfig, KeySpace, Mix, Workload};
 fn main() {
     pmem::numa::set_topology(2);
     let scale = Scale::from_env();
-    banner("Figure 15", "PACTree skew sensitivity (Zipfian coefficient sweep)", &scale);
+    banner(
+        "Figure 15",
+        "PACTree skew sensitivity (Zipfian coefficient sweep)",
+        &scale,
+    );
     let thetas = [0.5, 0.6, 0.7, 0.8, 0.9, 0.99];
     let t_low = (scale.max_threads() / 2).max(1);
     let t_high = scale.max_threads();
 
-    for (label, mix) in [("50% lookup + 50% update", Mix::A), ("50% lookup + 50% insert", Mix::ReadInsert)] {
+    for (label, mix) in [
+        ("50% lookup + 50% update", Mix::A),
+        ("50% lookup + 50% insert", Mix::ReadInsert),
+    ] {
         println!("-- {label}");
         row(
             "theta",

@@ -288,35 +288,6 @@ pub fn mops(v: f64) -> String {
     format!("{v:.3}")
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn scale_env_defaults() {
-        let s = Scale::from_env();
-        assert!(s.keys > 0 && s.ops > 0 && !s.threads.is_empty());
-    }
-
-    #[test]
-    fn any_index_roundtrip_every_kind() {
-        let scale = Scale::tiny();
-        for kind in Kind::all() {
-            let name = format!("bench-any-{}", kind.name());
-            let idx = AnyIndex::create(kind, &name, KeySpace::Integer, &scale);
-            let k = 77u64.to_be_bytes();
-            idx.insert(&k, 1);
-            assert_eq!(idx.lookup(&k), Some(1), "{}", kind.name());
-            idx.update(&k, 2);
-            assert_eq!(idx.lookup(&k), Some(2));
-            assert_eq!(RangeIndex::scan(&idx, &k, 10), 1);
-            assert_eq!(RangeIndex::remove(&idx, &k), Some(2));
-            assert_eq!(idx.lookup(&k), None);
-            idx.destroy();
-        }
-    }
-}
-
 /// Runs the full YCSB comparison of `kinds` over all five mixes with a
 /// thread sweep, printing one table per mix (the Figure 9/10/11 harness).
 ///
@@ -345,10 +316,19 @@ pub fn ycsb_comparison(
     for mix in Mix::all() {
         // L-A is measured on fresh trees in the paper; approximate by
         // inserting fresh keys beyond the populated range.
-        println!("-- {} ({:?} keys, {:?})", mix.short_name(), space, distribution);
+        println!(
+            "-- {} ({:?} keys, {:?})",
+            mix.short_name(),
+            space,
+            distribution
+        );
         row(
             "threads",
-            &scale.threads.iter().map(|t| t.to_string()).collect::<Vec<_>>(),
+            &scale
+                .threads
+                .iter()
+                .map(|t| t.to_string())
+                .collect::<Vec<_>>(),
         );
         for (kind, idx) in &indexes {
             let mut cols = Vec::new();
@@ -370,5 +350,34 @@ pub fn ycsb_comparison(
     }
     for (_, idx) in indexes {
         idx.destroy();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_env_defaults() {
+        let s = Scale::from_env();
+        assert!(s.keys > 0 && s.ops > 0 && !s.threads.is_empty());
+    }
+
+    #[test]
+    fn any_index_roundtrip_every_kind() {
+        let scale = Scale::tiny();
+        for kind in Kind::all() {
+            let name = format!("bench-any-{}", kind.name());
+            let idx = AnyIndex::create(kind, &name, KeySpace::Integer, &scale);
+            let k = 77u64.to_be_bytes();
+            idx.insert(&k, 1);
+            assert_eq!(idx.lookup(&k), Some(1), "{}", kind.name());
+            idx.update(&k, 2);
+            assert_eq!(idx.lookup(&k), Some(2));
+            assert_eq!(RangeIndex::scan(&idx, &k, 10), 1);
+            assert_eq!(RangeIndex::remove(&idx, &k), Some(2));
+            assert_eq!(idx.lookup(&k), None);
+            idx.destroy();
+        }
     }
 }

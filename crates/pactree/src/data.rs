@@ -463,8 +463,10 @@ mod tests {
 
     #[test]
     fn node_size_fits_allocator_class() {
-        assert!(DATA_NODE_SIZE <= 4096, "node is {DATA_NODE_SIZE} bytes");
-        assert!(DATA_NODE_SIZE >= 3000, "node unexpectedly small");
+        const {
+            assert!(DATA_NODE_SIZE <= 4096, "node too big for allocator class");
+            assert!(DATA_NODE_SIZE >= 3000, "node unexpectedly small");
+        }
     }
 
     #[test]

@@ -137,7 +137,7 @@ impl VersionLock {
                 return t;
             }
             spins += 1;
-            if spins % 64 == 0 {
+            if spins.is_multiple_of(64) {
                 std::thread::yield_now();
             } else {
                 std::hint::spin_loop();
@@ -178,7 +178,7 @@ impl VersionLock {
                 return g;
             }
             spins += 1;
-            if spins % 64 == 0 {
+            if spins.is_multiple_of(64) {
                 std::thread::yield_now();
             } else {
                 std::hint::spin_loop();
@@ -215,7 +215,8 @@ impl VersionLock {
         let w = self.word.load(Ordering::Relaxed);
         let (g, v) = unpack(w);
         debug_assert_eq!(v & 1, 1, "unlocking an unlocked lock");
-        self.word.store(pack(g, v.wrapping_add(1)), Ordering::Release);
+        self.word
+            .store(pack(g, v.wrapping_add(1)), Ordering::Release);
     }
 
     /// Releases a lock whose guard was intentionally leaked (split-created
@@ -302,7 +303,9 @@ mod tests {
         bump_global_generation();
         // The stale lock resets lazily; readers and writers proceed.
         assert!(l.read_begin().is_some());
-        let _w = l.try_write_lock().expect("lock usable after generation bump");
+        let _w = l
+            .try_write_lock()
+            .expect("lock usable after generation bump");
     }
 
     #[test]

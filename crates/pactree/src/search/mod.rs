@@ -47,8 +47,8 @@ use pmem::{PmemError, Result};
 
 use crate::lock::{ReadToken, VersionLock};
 use node::{
-    classify, header_of, inner_alloc_size, pack_meta, ArtLeaf, Node4, Node48, NodeHeader,
-    NodeRef, NodeType, N48_EMPTY, PREFIX_CAP,
+    classify, header_of, inner_alloc_size, pack_meta, ArtLeaf, Node4, Node48, NodeHeader, NodeRef,
+    NodeType, N48_EMPTY, PREFIX_CAP,
 };
 
 /// Per-thread allocation-log capacity (covers the deepest prefix chain a
@@ -324,7 +324,10 @@ impl Art {
         // SAFETY: caller guarantees `old_raw` is a live, locked inner node.
         let (children, end_child) = unsafe {
             let hdr = header_of(old_raw);
-            (collect_children(old_raw), hdr.end_child.load(Ordering::Acquire))
+            (
+                collect_children(old_raw),
+                hdr.end_child.load(Ordering::Acquire),
+            )
         };
         entries.extend(children);
         assert!(
@@ -501,7 +504,9 @@ impl OpLog<'_> {
     /// Clears the log: the allocations are now owned by the tree.
     fn commit(mut self) {
         for i in 0..self.used {
-            self.art.log_entry(self.thread, i).store(0, Ordering::Relaxed);
+            self.art
+                .log_entry(self.thread, i)
+                .store(0, Ordering::Relaxed);
             self.art
                 .log_entry_size(self.thread, i)
                 .store(0, Ordering::Relaxed);

@@ -117,11 +117,7 @@ impl Art {
         unreachable!("remove livelocked");
     }
 
-    fn try_remove(
-        &self,
-        key: &[u8],
-        guard: &pmem::epoch::Guard<'_>,
-    ) -> Result<Step<Option<u64>>> {
+    fn try_remove(&self, key: &[u8], guard: &pmem::epoch::Guard<'_>) -> Result<Step<Option<u64>>> {
         let mut oplog = self.oplog();
         let root_cell = self.root_cell();
         let root_token = match self.root_lock.read_begin() {
@@ -306,13 +302,8 @@ impl Art {
             let Some(_pg) = parent.lock.try_upgrade(parent.token) else {
                 return Ok(());
             };
-            let smaller = self.alloc_inner_with(
-                oplog,
-                target,
-                &hdr.prefix[..plen as usize],
-                &children,
-                end,
-            )?;
+            let smaller =
+                self.alloc_inner_with(oplog, target, &hdr.prefix[..plen as usize], &children, end)?;
             self.link(parent.slot, smaller);
             self.retire(raw, guard);
         }

@@ -57,7 +57,11 @@ fn empty_key_is_legal() {
     let (pool, art) = mk_art("art-empty-key");
     assert_eq!(art.insert(b"", 42).unwrap(), None);
     assert_eq!(art.get(b""), Some(42));
-    assert_eq!(art.floor(b"anything"), Some(42), "empty key floors everything");
+    assert_eq!(
+        art.floor(b"anything"),
+        Some(42),
+        "empty key floors everything"
+    );
     assert_eq!(art.remove(b"").unwrap(), Some(42));
     assert_eq!(art.get(b""), None);
     destroy_pool(pool.id());
@@ -244,7 +248,7 @@ fn concurrent_mixed_readers_writers() {
             while !stop.load(Ordering::Relaxed) {
                 let k = 10_000 + (t << 20) + (i % 500);
                 art.insert(&k.to_be_bytes(), k + 1).unwrap();
-                if i % 3 == 0 {
+                if i.is_multiple_of(3) {
                     art.remove(&k.to_be_bytes()).unwrap();
                 }
                 i += 1;
@@ -505,7 +509,11 @@ fn node48_index_paths() {
         art.insert(&[b], b as u64 + 100).unwrap();
     }
     for b in 0..40u8 {
-        let expect = if b % 2 == 0 { b as u64 + 100 } else { b as u64 + 1 };
+        let expect = if b % 2 == 0 {
+            b as u64 + 100
+        } else {
+            b as u64 + 1
+        };
         assert_eq!(art.get(&[b]), Some(expect), "byte {b}");
     }
     destroy_pool(pool.id());

@@ -127,10 +127,12 @@ impl SmoLog {
             for index in 0..ENTRIES_PER_THREAD {
                 if self.word(thread, index, W_STATE).load(Ordering::Acquire) == STATE_FREE {
                     let seq = self.seq.fetch_add(1, Ordering::Relaxed);
-                    self.word(thread, index, W_SEQ).store(seq, Ordering::Relaxed);
+                    self.word(thread, index, W_SEQ)
+                        .store(seq, Ordering::Relaxed);
                     self.word(thread, index, W_KIND)
                         .store(kind as u64, Ordering::Relaxed);
-                    self.word(thread, index, W_NODE).store(node, Ordering::Relaxed);
+                    self.word(thread, index, W_NODE)
+                        .store(node, Ordering::Relaxed);
                     self.word(thread, index, W_AUX).store(0, Ordering::Relaxed);
                     self.word(thread, index, W_STATE)
                         .store(STATE_PENDING, Ordering::Release);

@@ -165,11 +165,10 @@ impl PacTree {
                 pc.crash_sim = false;
                 pc.alloc_mode = AllocMode::Transient;
             }
-            PmemPool::create(pc).map(|p| {
+            PmemPool::create(pc).inspect(|p| {
                 if dram {
                     pool::set_dram(p.id(), true);
                 }
-                p
             })
         };
         let search_pool = mk("search", 0, config.search_layer_dram)?;
@@ -222,12 +221,14 @@ impl PacTree {
             // `locate` always finds a jump node.
             let head_cell = data_pools[0].allocator().root(ROOT_HEAD);
             let dp = Arc::clone(&data_pools[0]);
-            data_pools[0].allocator().malloc_to(DATA_NODE_SIZE, head_cell, |raw| {
-                // SAFETY: fresh DATA_NODE_SIZE allocation.
-                unsafe {
-                    DataNode::init(raw, b"", &dp, false).expect("head node init");
-                }
-            })?;
+            data_pools[0]
+                .allocator()
+                .malloc_to(DATA_NODE_SIZE, head_cell, |raw| {
+                    // SAFETY: fresh DATA_NODE_SIZE allocation.
+                    unsafe {
+                        DataNode::init(raw, b"", &dp, false).expect("head node init");
+                    }
+                })?;
             art.insert(b"", head_cell.load(Ordering::Acquire))?;
         } else {
             art.recover();
@@ -319,7 +320,10 @@ impl PacTree {
     }
 
     fn head_raw(&self) -> u64 {
-        self.data_pools[0].allocator().root(ROOT_HEAD).load(Ordering::Acquire)
+        self.data_pools[0]
+            .allocator()
+            .root(ROOT_HEAD)
+            .load(Ordering::Acquire)
     }
 
     // -- Locate (§5.3) -------------------------------------------------------
@@ -439,7 +443,8 @@ impl PacTree {
                 // Whole-node sequential read (GA5): data nodes scan at
                 // XPLine-friendly granularity.
                 self.charge_node_read(raw, DATA_NODE_SIZE);
-                let order = node.sorted_slots(token.version_hint(), self.config.persist_permutation);
+                let order =
+                    node.sorted_slots(token.version_hint(), self.config.persist_permutation);
                 let mut page: Vec<Pair> = Vec::with_capacity(order.len());
                 for slot in order {
                     let p = node.pair_at(slot);
@@ -627,9 +632,7 @@ impl PacTree {
         if let Some((ov, len)) = node.overflow_of(slot) {
             let pool_id = ov.pool_id();
             self.collector.defer(guard, move || {
-                if let Some(p) = pool::pool_by_id(pool_id) {
-                    p.allocator().free(ov, len);
-                }
+                pool::with_pool(pool_id, |p| p.allocator().free(ov, len));
             });
         }
     }
@@ -660,20 +663,21 @@ impl PacTree {
         {
             let pool2 = Arc::clone(pool);
             let moved_slots: Vec<usize> = moved.iter().map(|&(_, s)| s).collect();
-            pool.allocator().malloc_to(DATA_NODE_SIZE, ticket.aux_cell(), |ptr| {
-                // SAFETY: fresh DATA_NODE_SIZE allocation.
-                unsafe {
-                    DataNode::init(ptr, &anchor, &pool2, true).expect("split node init");
-                    let new_node = &*(ptr as *const DataNode);
-                    for (i, &src_slot) in moved_slots.iter().enumerate() {
-                        new_node.copy_slot_from(i, node, src_slot);
+            pool.allocator()
+                .malloc_to(DATA_NODE_SIZE, ticket.aux_cell(), |ptr| {
+                    // SAFETY: fresh DATA_NODE_SIZE allocation.
+                    unsafe {
+                        DataNode::init(ptr, &anchor, &pool2, true).expect("split node init");
+                        let new_node = &*(ptr as *const DataNode);
+                        for (i, &src_slot) in moved_slots.iter().enumerate() {
+                            new_node.copy_slot_from(i, node, src_slot);
+                        }
+                        let mask = (1u64 << moved_slots.len()) - 1;
+                        new_node.bitmap.store(mask, Ordering::Release);
+                        new_node.next.store(old_next, Ordering::Release);
+                        new_node.prev.store(raw, Ordering::Release);
                     }
-                    let mask = (1u64 << moved_slots.len()) - 1;
-                    new_node.bitmap.store(mask, Ordering::Release);
-                    new_node.next.store(old_next, Ordering::Release);
-                    new_node.prev.store(raw, Ordering::Release);
-                }
-            })?;
+                })?;
         }
         let new_raw = ticket.aux_cell().load(Ordering::Acquire);
         // SAFETY: just initialized by malloc_to.
@@ -709,7 +713,10 @@ impl PacTree {
             self.smo.clear(ticket.thread, ticket.index);
             self.stats.smo_replayed.fetch_add(1, Ordering::Relaxed);
         }
-        std::mem::forget(ticket); // entry ownership moved to the updater
+        // Entry ownership moved to the updater; forget keeps that explicit even
+        // though the ticket has no Drop today.
+        #[allow(clippy::forget_non_drop)]
+        std::mem::forget(ticket);
         Ok(())
     }
 
@@ -767,6 +774,7 @@ impl PacTree {
             self.smo.clear(ticket.thread, ticket.index);
             self.stats.smo_replayed.fetch_add(1, Ordering::Relaxed);
         }
+        #[allow(clippy::forget_non_drop)]
         std::mem::forget(ticket);
         Ok(())
     }
@@ -783,9 +791,7 @@ impl PacTree {
         let ptr = PmPtr::<u8>::from_raw(victim_raw);
         let pool_id = ptr.pool_id();
         self.collector.defer(&guard, move || {
-            if let Some(p) = pool::pool_by_id(pool_id) {
-                p.allocator().free(ptr, DATA_NODE_SIZE);
-            }
+            pool::with_pool(pool_id, |p| p.allocator().free(ptr, DATA_NODE_SIZE));
         });
         Ok(())
     }
@@ -1079,12 +1085,20 @@ impl PacTree {
         while raw != 0 {
             // SAFETY: epoch-pinned walk.
             let node = unsafe { node_ref(raw) };
-            assert_eq!(node.deleted.load(Ordering::Acquire), 0, "live list has deleted node");
+            assert_eq!(
+                node.deleted.load(Ordering::Acquire),
+                0,
+                "live list has deleted node"
+            );
             let anchor = node.anchor();
             if let Some(pa) = &prev_anchor {
                 assert!(pa < &anchor, "anchors must ascend");
             }
-            assert_eq!(node.prev.load(Ordering::Acquire), prev_raw, "prev link broken");
+            assert_eq!(
+                node.prev.load(Ordering::Acquire),
+                prev_raw,
+                "prev link broken"
+            );
             for (k, _) in node.sorted_pairs_raw() {
                 assert!(k >= anchor, "pair below anchor");
             }

@@ -116,12 +116,12 @@ fn scan_flushes(name: &str, persist_perm: bool) -> u64 {
 
 #[test]
 fn long_keys_through_the_full_tree() {
-    let t = PacTree::create(PacTreeConfig::named("cfg-longkeys").with_pool_size(256 << 20)).unwrap();
+    let t =
+        PacTree::create(PacTreeConfig::named("cfg-longkeys").with_pool_size(256 << 20)).unwrap();
     // Keys above the 32-byte inline limit spill to overflow blocks; splits
     // must carry them correctly and anchors may themselves overflow.
     let key = |i: u64| -> Vec<u8> {
-        format!("long-prefix-{}-{}", "x".repeat(60), i * 37 % 1000)
-            .into_bytes()
+        format!("long-prefix-{}-{}", "x".repeat(60), i * 37 % 1000).into_bytes()
     };
     let mut model = std::collections::BTreeMap::new();
     for i in 0..1000u64 {

@@ -86,7 +86,11 @@ fn crash_mid_churn_preserves_acknowledged_writes() {
 
     let t2 = PacTree::recover(cfg).unwrap();
     for i in 0..3000u64 {
-        let expect = if (500..700).contains(&i) { None } else { Some(i + 7) };
+        let expect = if (500..700).contains(&i) {
+            None
+        } else {
+            Some(i + 7)
+        };
         assert_eq!(t2.lookup(&i.to_be_bytes()), expect, "key {i}");
     }
     t2.check_invariants();

@@ -11,7 +11,8 @@ fn smo_log_drains_under_sustained_split_pressure() {
     // Hammer inserts from several threads so splits outpace the updater for
     // a while; the ring must absorb the burst (or back-pressure writers)
     // and fully drain afterwards.
-    let t = PacTree::create(PacTreeConfig::named("smo-pressure").with_pool_size(512 << 20)).unwrap();
+    let t =
+        PacTree::create(PacTreeConfig::named("smo-pressure").with_pool_size(512 << 20)).unwrap();
     let mut handles = Vec::new();
     for tid in 0..4u64 {
         let t = Arc::clone(&t);

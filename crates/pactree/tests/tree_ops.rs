@@ -61,7 +61,11 @@ fn splits_create_nodes_and_search_layer_catches_up() {
     for i in 0..1000u64 {
         t.insert(&i.to_be_bytes(), i).unwrap();
     }
-    assert!(t.node_count() > 8, "splits happened: {} nodes", t.node_count());
+    assert!(
+        t.node_count() > 8,
+        "splits happened: {} nodes",
+        t.node_count()
+    );
     assert!(t.stats().splits.load(Ordering::Relaxed) >= 8);
     for i in 0..1000u64 {
         assert_eq!(t.lookup(&i.to_be_bytes()), Some(i));
@@ -111,7 +115,10 @@ fn deletes_trigger_merges() {
         }
         std::thread::sleep(std::time::Duration::from_millis(5));
     }
-    assert!(t.stats().merges.load(Ordering::Relaxed) > 0, "merges happened");
+    assert!(
+        t.stats().merges.load(Ordering::Relaxed) > 0,
+        "merges happened"
+    );
     assert!(t.node_count() < nodes_before, "list shrank");
     for i in 0..2000u64 {
         let expect = (i % 8 == 0).then_some(i);
@@ -150,7 +157,11 @@ fn string_keys_and_long_keys() {
     let t = mk("pt-strings");
     let mut model = BTreeMap::new();
     for i in 0..300u64 {
-        let key = format!("user{:08}additional-padding-{}", i * 37 % 1000, "x".repeat((i % 50) as usize));
+        let key = format!(
+            "user{:08}additional-padding-{}",
+            i * 37 % 1000,
+            "x".repeat((i % 50) as usize)
+        );
         model.insert(key.clone().into_bytes(), i);
         t.insert(key.as_bytes(), i).unwrap();
     }
@@ -158,8 +169,16 @@ fn string_keys_and_long_keys() {
         assert_eq!(t.lookup(k), Some(*v));
     }
     let start = b"user0000".to_vec();
-    let expect: Vec<_> = model.range(start.clone()..).take(10).map(|(k, v)| (k.clone(), *v)).collect();
-    let got: Vec<_> = t.scan(&start, 10).into_iter().map(|p| (p.key, p.value)).collect();
+    let expect: Vec<_> = model
+        .range(start.clone()..)
+        .take(10)
+        .map(|(k, v)| (k.clone(), *v))
+        .collect();
+    let got: Vec<_> = t
+        .scan(&start, 10)
+        .into_iter()
+        .map(|p| (p.key, p.value))
+        .collect();
     assert_eq!(got, expect);
     t.destroy();
 }
@@ -280,7 +299,11 @@ fn concurrent_mixed_workload() {
     for h in handles {
         h.join().unwrap();
     }
-    assert_eq!(errors.load(Ordering::Relaxed), 0, "readers saw inconsistent data");
+    assert_eq!(
+        errors.load(Ordering::Relaxed),
+        0,
+        "readers saw inconsistent data"
+    );
     for i in 0..5000u64 {
         assert_eq!(t.lookup(&i.to_be_bytes()), Some(i));
     }
@@ -365,9 +388,15 @@ fn range_first_last_api() {
     }
     assert!(!t.is_empty());
     let first = t.first().unwrap();
-    assert_eq!(u64::from_be_bytes(first.key.as_slice().try_into().unwrap()), 10);
+    assert_eq!(
+        u64::from_be_bytes(first.key.as_slice().try_into().unwrap()),
+        10
+    );
     let last = t.last().unwrap();
-    assert_eq!(u64::from_be_bytes(last.key.as_slice().try_into().unwrap()), 4990);
+    assert_eq!(
+        u64::from_be_bytes(last.key.as_slice().try_into().unwrap()),
+        4990
+    );
 
     let r = t.range(&100u64.to_be_bytes(), &200u64.to_be_bytes(), 1000);
     let keys: Vec<u64> = r
@@ -376,8 +405,14 @@ fn range_first_last_api() {
         .collect();
     assert_eq!(keys, (100..200).step_by(10).collect::<Vec<u64>>());
     // Limit applies before the end bound.
-    assert_eq!(t.range(&0u64.to_be_bytes(), &10_000u64.to_be_bytes(), 7).len(), 7);
+    assert_eq!(
+        t.range(&0u64.to_be_bytes(), &10_000u64.to_be_bytes(), 7)
+            .len(),
+        7
+    );
     // Empty range.
-    assert!(t.range(&300u64.to_be_bytes(), &300u64.to_be_bytes(), 10).is_empty());
+    assert!(t
+        .range(&300u64.to_be_bytes(), &300u64.to_be_bytes(), 10)
+        .is_empty());
     t.destroy();
 }

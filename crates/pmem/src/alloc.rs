@@ -86,7 +86,7 @@ struct LogEntry {
 }
 
 thread_local! {
-    static THREAD_SLOT: Cell<usize> = Cell::new(usize::MAX);
+    static THREAD_SLOT: Cell<usize> = const { Cell::new(usize::MAX) };
 }
 
 static NEXT_SLOT: AtomicUsize = AtomicUsize::new(0);
@@ -138,7 +138,11 @@ impl PmemAllocator {
             (pool.at(HDR_MODE) as *mut u64).write(self.mode as u64);
             (pool.at(HDR_BUMP) as *mut u64).write(DATA_START);
         }
-        persist::persist(pool.at(0), DATA_START as usize);
+        // Persist the header directly: `create` calls this before the pool
+        // is registered (and while holding the registry lock), so the global
+        // address-based `persist::persist` would neither find the pool nor
+        // be safe to call here.
+        pool.persist_range(0, DATA_START as usize);
         persist::fence();
     }
 
@@ -189,7 +193,9 @@ impl PmemAllocator {
         let base = crate::pool::base_of(self.pool_id);
         debug_assert!(!base.is_null());
         // SAFETY: the log area is in bounds and entries are 8-byte aligned.
-        unsafe { &*(base.add((LOG_BASE + slot as u64 * LOG_ENTRY_SIZE) as usize) as *const LogEntry) }
+        unsafe {
+            &*(base.add((LOG_BASE + slot as u64 * LOG_ENTRY_SIZE) as usize) as *const LogEntry)
+        }
     }
 
     /// Returns the persistent root slot `idx` (an 8-byte cell applications
@@ -267,14 +273,13 @@ impl PmemAllocator {
             }
         }
         let stats_scope = |s: &stats::PoolStats| {
+            let s = s.local();
             s.allocs.fetch_add(1, Ordering::Relaxed);
             s.alloc_ns
                 .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
         };
         stats_scope(stats::global());
-        if let Some(p) = crate::pool::pool_by_id(self.pool_id) {
-            stats_scope(p.stats());
-        }
+        stats_scope(crate::pool::stats_of(self.pool_id));
         Ok(PmPtr::new(self.pool_id, off))
     }
 
@@ -345,14 +350,13 @@ impl PmemAllocator {
             persist::fence();
         }
         let stats_scope = |s: &stats::PoolStats| {
+            let s = s.local();
             s.frees.fetch_add(1, Ordering::Relaxed);
             s.alloc_ns
                 .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
         };
         stats_scope(stats::global());
-        if let Some(p) = crate::pool::pool_by_id(self.pool_id) {
-            stats_scope(p.stats());
-        }
+        stats_scope(crate::pool::stats_of(self.pool_id));
     }
 
     /// Replays pending allocation-log entries after a crash, freeing every
@@ -373,8 +377,8 @@ impl PmemAllocator {
                 let dest = PmPtr::<AtomicU64>::from_raw(dest_raw);
                 // SAFETY: the log recorded a valid destination cell; after a
                 // crash recovery runs single-threaded.
-                let linked = !dest.is_null()
-                    && unsafe { dest.deref() }.load(Ordering::Relaxed) == ptr_raw;
+                let linked =
+                    !dest.is_null() && unsafe { dest.deref() }.load(Ordering::Relaxed) == ptr_raw;
                 if !linked {
                     self.free(ptr, entry.size.load(Ordering::Relaxed) as usize);
                     reclaimed += 1;

@@ -49,6 +49,9 @@ pub fn pin_thread_round_robin() -> u16 {
 }
 
 /// The calling thread's logical node.
+///
+/// A single thread-local `Cell` read — the model's hot path calls this on
+/// every access, so it must stay lock-free and syscall-free.
 #[inline]
 pub fn current_node() -> u16 {
     CURRENT_NODE.with(|c| c.get())
@@ -73,7 +76,7 @@ mod tests {
         set_topology(2);
         let mut seen = [false; 2];
         for _ in 0..4 {
-            let handle = std::thread::spawn(|| pin_thread_round_robin());
+            let handle = std::thread::spawn(pin_thread_round_robin);
             seen[handle.join().unwrap() as usize] = true;
         }
         assert!(seen[0] && seen[1]);

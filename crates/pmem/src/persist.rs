@@ -31,9 +31,9 @@ pub fn persist(ptr: *const u8, len: usize) {
     // Compiler barrier standing in for the store->clwb ordering.
     cpu_fence(Ordering::Release);
     if let Some((id, offset)) = pool::lookup_addr(ptr) {
-        if let Some(p) = pool::pool_by_id(id) {
-            p.persist_range(offset, len);
-        }
+        // Lock-free steady state: `with_pool` resolves the handle through a
+        // per-thread cache instead of the registry mutex.
+        pool::with_pool(id, |p| p.persist_range(offset, len));
         model::on_flush(id, offset, len);
     }
 }

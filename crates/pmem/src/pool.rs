@@ -13,6 +13,7 @@
 //! array.
 
 use std::alloc::{alloc_zeroed, dealloc, Layout};
+use std::cell::{Cell, RefCell};
 use std::ptr::NonNull;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -131,7 +132,6 @@ pub struct PmemPool {
     base: AtomicUsize,
     media: Option<Image>,
     allocator: PmemAllocator,
-    stats: PoolStats,
     /// Monotonic count of simulated crashes survived by this pool.
     crash_count: AtomicU64,
 }
@@ -153,7 +153,10 @@ impl PmemPool {
     ///
     /// Returns an error if the name is already taken or the registry is full.
     pub fn create(config: PoolConfig) -> Result<Arc<PmemPool>> {
-        let size = config.size.max(PmemAllocator::MIN_POOL_SIZE).next_multiple_of(POOL_ALIGN);
+        let size = config
+            .size
+            .max(PmemAllocator::MIN_POOL_SIZE)
+            .next_multiple_of(POOL_ALIGN);
         let volatile = Image::new_zeroed(size);
         let media = config.crash_sim.then(|| Image::new_zeroed(size));
         let base = volatile.base() as usize;
@@ -178,15 +181,18 @@ impl PmemPool {
             base: AtomicUsize::new(base),
             media,
             allocator,
-            stats: PoolStats::default(),
-        crash_count: AtomicU64::new(0),
+            crash_count: AtomicU64::new(0),
         });
+        // The slot's counter bank outlives individual pools; a reused slot
+        // must start from zero.
+        POOL_STATS[slot].reset();
         pool.allocator.format(&pool);
         BASES[slot].store(base, Ordering::Release);
         SIZES[slot].store(size, Ordering::Release);
         NODES[slot].store(config.numa_node as usize, Ordering::Release);
         reg[slot] = Some(Arc::clone(&pool));
         POOL_HIGH_WATER.fetch_max(slot + 1, Ordering::Release);
+        REGISTRY_GEN.fetch_add(1, Ordering::Release);
         Ok(pool)
     }
 
@@ -230,9 +236,9 @@ impl PmemPool {
         &self.allocator
     }
 
-    /// Per-pool media statistics.
-    pub fn stats(&self) -> &PoolStats {
-        &self.stats
+    /// Per-pool media statistics (the static counter bank for this slot).
+    pub fn stats(&self) -> &'static PoolStats {
+        stats_of(self.id)
     }
 
     /// Returns the offset of `ptr` within the pool, if it points inside it.
@@ -248,7 +254,10 @@ impl PmemPool {
     ///
     /// Panics if `offset` is out of bounds.
     pub fn at(&self, offset: u64) -> *mut u8 {
-        assert!((offset as usize) < self.size, "offset {offset} out of pool bounds");
+        assert!(
+            (offset as usize) < self.size,
+            "offset {offset} out of pool bounds"
+        );
         // SAFETY: bounds-checked above; base is a live allocation of `size` bytes.
         unsafe { self.base().add(offset as usize) }
     }
@@ -348,18 +357,42 @@ impl Drop for PmemPool {
 // Global registry
 // ---------------------------------------------------------------------------
 
-const ZERO_USIZE: AtomicUsize = AtomicUsize::new(0);
-
 /// Base address of each registered pool's volatile image (0 = unregistered).
-static BASES: [AtomicUsize; MAX_POOLS] = [ZERO_USIZE; MAX_POOLS];
+static BASES: [AtomicUsize; MAX_POOLS] = [const { AtomicUsize::new(0) }; MAX_POOLS];
 /// Size of each registered pool.
-static SIZES: [AtomicUsize; MAX_POOLS] = [ZERO_USIZE; MAX_POOLS];
+static SIZES: [AtomicUsize; MAX_POOLS] = [const { AtomicUsize::new(0) }; MAX_POOLS];
 /// NUMA node of each registered pool.
-static NODES: [AtomicUsize; MAX_POOLS] = [ZERO_USIZE; MAX_POOLS];
+static NODES: [AtomicUsize; MAX_POOLS] = [const { AtomicUsize::new(0) }; MAX_POOLS];
 /// Whether a pool models DRAM (performance model skips it entirely).
-static DRAM: [AtomicUsize; MAX_POOLS] = [ZERO_USIZE; MAX_POOLS];
+static DRAM: [AtomicUsize; MAX_POOLS] = [const { AtomicUsize::new(0) }; MAX_POOLS];
 /// One past the highest registered slot; bounds registry scans.
 static POOL_HIGH_WATER: AtomicUsize = AtomicUsize::new(0);
+
+/// Per-slot media counter banks.
+///
+/// Static (rather than owned by [`PmemPool`]) so the model's hot path can
+/// reach a pool's counters with one array index — no registry lock, no `Arc`
+/// refcount traffic. Reset when a slot is (re)used by [`PmemPool::create`].
+static POOL_STATS: [PoolStats; MAX_POOLS] = [const { PoolStats::new() }; MAX_POOLS];
+
+/// Bumped on every registry mutation (create/destroy); validates the
+/// per-thread pool-handle cache used by [`with_pool`].
+static REGISTRY_GEN: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    /// Per-thread cache of pool handles, validated against [`REGISTRY_GEN`].
+    static POOL_CACHE: RefCell<PoolCache> = const {
+        RefCell::new(PoolCache {
+            gen: u64::MAX,
+            pools: [const { None }; MAX_POOLS],
+        })
+    };
+}
+
+struct PoolCache {
+    gen: u64,
+    pools: [Option<Arc<PmemPool>>; MAX_POOLS],
+}
 
 fn registry() -> &'static Mutex<Vec<Option<Arc<PmemPool>>>> {
     static REGISTRY: std::sync::OnceLock<Mutex<Vec<Option<Arc<PmemPool>>>>> =
@@ -377,8 +410,47 @@ pub fn base_of(id: PoolId) -> *mut u8 {
 }
 
 /// Returns the registered pool with this id, if any.
+///
+/// Takes the registry lock; cold-path only. Steady-state code should use
+/// [`with_pool`], which caches handles per thread.
 pub fn pool_by_id(id: PoolId) -> Option<Arc<PmemPool>> {
     registry().lock().get(id as usize)?.clone()
+}
+
+/// Per-slot media counters, without any lock.
+///
+/// Valid for any id below [`MAX_POOLS`]; an unregistered slot's counters are
+/// simply dormant (the bank is reset when the slot is next used).
+#[inline]
+pub fn stats_of(id: PoolId) -> &'static PoolStats {
+    &POOL_STATS[id as usize]
+}
+
+/// Runs `f` on the registered pool with this id, resolving the handle
+/// through a per-thread cache.
+///
+/// The steady state costs one atomic generation load plus a TLS array index;
+/// the registry mutex is only taken when the cache misses (first use on this
+/// thread, or after any pool was created/destroyed). The cached `Arc` keeps
+/// the pool's images alive even if another thread destroys it mid-call, so
+/// `f` never observes a freed pool.
+///
+/// `f` must not reenter `with_pool` on the same thread.
+#[inline]
+pub fn with_pool<R>(id: PoolId, f: impl FnOnce(&PmemPool) -> R) -> Option<R> {
+    POOL_CACHE.with(|c| {
+        let mut c = c.borrow_mut();
+        let gen = REGISTRY_GEN.load(Ordering::Acquire);
+        if c.gen != gen {
+            c.pools = [const { None }; MAX_POOLS];
+            c.gen = gen;
+        }
+        let slot = c.pools.get_mut(id as usize)?;
+        if slot.is_none() {
+            *slot = pool_by_id(id);
+        }
+        slot.as_deref().map(f)
+    })
 }
 
 /// Returns the registered pool with this name, if any.
@@ -392,18 +464,39 @@ pub fn pool_by_name(name: &str) -> Option<Arc<PmemPool>> {
 }
 
 /// Finds which pool an address belongs to; returns `(pool_id, offset)`.
+///
+/// Lock-free: scans the base/size tables up to the high-water mark, trying
+/// the calling thread's last hit first (persist streams overwhelmingly
+/// target one pool at a time).
 #[inline]
 pub fn lookup_addr(ptr: *const u8) -> Option<(PoolId, u64)> {
-    let p = ptr as usize;
-    let hw = POOL_HIGH_WATER.load(Ordering::Acquire);
-    for slot in 0..hw {
+    thread_local! {
+        static LAST_HIT: Cell<usize> = const { Cell::new(0) };
+    }
+    #[inline]
+    fn slot_contains(slot: usize, p: usize) -> Option<(PoolId, u64)> {
         let base = BASES[slot].load(Ordering::Acquire);
         if base == 0 {
-            continue;
+            return None;
         }
         let size = SIZES[slot].load(Ordering::Acquire);
-        if p >= base && p < base + size {
-            return Some((slot as PoolId, (p - base) as u64));
+        (p >= base && p < base + size).then(|| (slot as PoolId, (p - base) as u64))
+    }
+    let p = ptr as usize;
+    let hint = LAST_HIT.with(Cell::get);
+    let hw = POOL_HIGH_WATER.load(Ordering::Acquire);
+    if hint < hw {
+        if let Some(hit) = slot_contains(hint, p) {
+            return Some(hit);
+        }
+    }
+    for slot in 0..hw {
+        if slot == hint {
+            continue;
+        }
+        if let Some(hit) = slot_contains(slot, p) {
+            LAST_HIT.with(|c| c.set(slot));
+            return Some(hit);
         }
     }
     None
@@ -434,6 +527,7 @@ pub fn destroy_pool(id: PoolId) {
         BASES[id as usize].store(0, Ordering::Release);
         SIZES[id as usize].store(0, Ordering::Release);
         *slot = None;
+        REGISTRY_GEN.fetch_add(1, Ordering::Release);
     }
 }
 

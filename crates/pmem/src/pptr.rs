@@ -47,7 +47,12 @@ impl<T> std::fmt::Debug for PmPtr<T> {
         if self.is_null() {
             write!(f, "PmPtr(null)")
         } else {
-            write!(f, "PmPtr(pool={}, off={:#x})", self.pool_id(), self.offset())
+            write!(
+                f,
+                "PmPtr(pool={}, off={:#x})",
+                self.pool_id(),
+                self.offset()
+            )
         }
     }
 }

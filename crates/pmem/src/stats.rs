@@ -4,15 +4,31 @@
 //! NVM read (GB)") with Intel PMWatch. Our [`crate::model`] feeds the same
 //! kind of counters: media-level reads/writes at XPLine granularity, plus
 //! persistence-instruction counts and allocator activity.
+//!
+//! Counters are *striped*: a [`PoolStats`] is a bank of cache-line-padded
+//! [`StatShard`]s, and each thread increments only its own shard (picked
+//! round-robin on first use), so the model's hot path never write-shares a
+//! cache line between threads. Readers aggregate with [`PoolStats::snapshot`];
+//! all reporting (figure binaries, the YCSB driver) goes through snapshots,
+//! so striping is invisible outside this module.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
-/// A monotonically increasing set of media counters.
+/// Number of counter stripes per [`PoolStats`].
 ///
-/// One instance exists per pool ([`crate::pool::PmemPool::stats`]) and one
-/// global instance aggregates everything ([`global`]).
+/// Threads map onto stripes round-robin, so this only needs to be large
+/// enough that concurrently *hot* threads rarely collide; collisions cost
+/// cache-line bouncing, not correctness.
+pub const STAT_SHARDS: usize = 32;
+
+/// One cache-line-padded stripe of media counters.
+///
+/// Padded to 128 bytes (two cache lines) so adjacent-stripe writes never
+/// false-share, including on CPUs that prefetch line pairs.
+#[repr(align(128))]
 #[derive(Default, Debug)]
-pub struct PoolStats {
+pub struct StatShard {
     /// Bytes read from the media (XPLine granularity).
     pub media_read_bytes: AtomicU64,
     /// Bytes written to the media (XPLine granularity, after XPBuffer
@@ -32,23 +48,21 @@ pub struct PoolStats {
     pub alloc_ns: AtomicU64,
 }
 
-impl PoolStats {
-    /// Takes a point-in-time snapshot.
-    pub fn snapshot(&self) -> StatsSnapshot {
-        StatsSnapshot {
-            media_read_bytes: self.media_read_bytes.load(Ordering::Relaxed),
-            media_write_bytes: self.media_write_bytes.load(Ordering::Relaxed),
-            directory_write_bytes: self.directory_write_bytes.load(Ordering::Relaxed),
-            flushes: self.flushes.load(Ordering::Relaxed),
-            fences: self.fences.load(Ordering::Relaxed),
-            allocs: self.allocs.load(Ordering::Relaxed),
-            frees: self.frees.load(Ordering::Relaxed),
-            alloc_ns: self.alloc_ns.load(Ordering::Relaxed),
+impl StatShard {
+    const fn new() -> Self {
+        StatShard {
+            media_read_bytes: AtomicU64::new(0),
+            media_write_bytes: AtomicU64::new(0),
+            directory_write_bytes: AtomicU64::new(0),
+            flushes: AtomicU64::new(0),
+            fences: AtomicU64::new(0),
+            allocs: AtomicU64::new(0),
+            frees: AtomicU64::new(0),
+            alloc_ns: AtomicU64::new(0),
         }
     }
 
-    /// Resets every counter to zero.
-    pub fn reset(&self) {
+    fn reset(&self) {
         self.media_read_bytes.store(0, Ordering::Relaxed);
         self.media_write_bytes.store(0, Ordering::Relaxed);
         self.directory_write_bytes.store(0, Ordering::Relaxed);
@@ -57,6 +71,78 @@ impl PoolStats {
         self.allocs.store(0, Ordering::Relaxed);
         self.frees.store(0, Ordering::Relaxed);
         self.alloc_ns.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Stripe index of the calling thread.
+///
+/// Assigned round-robin from a global counter the first time a thread
+/// touches any counter, then cached in TLS: the steady state is one plain
+/// TLS read.
+#[inline]
+fn my_shard() -> usize {
+    thread_local! {
+        static SHARD: Cell<usize> = const { Cell::new(usize::MAX) };
+    }
+    SHARD.with(|s| {
+        let mut idx = s.get();
+        if idx == usize::MAX {
+            static NEXT: AtomicUsize = AtomicUsize::new(0);
+            idx = NEXT.fetch_add(1, Ordering::Relaxed) % STAT_SHARDS;
+            s.set(idx);
+        }
+        idx
+    })
+}
+
+/// A monotonically increasing, striped set of media counters.
+///
+/// One instance exists per pool slot ([`crate::pool::stats_of`]) and one
+/// global instance aggregates everything ([`global`]).
+#[derive(Default, Debug)]
+pub struct PoolStats {
+    shards: [StatShard; STAT_SHARDS],
+}
+
+impl PoolStats {
+    /// A zeroed counter bank, const so it can live in statics.
+    pub const fn new() -> Self {
+        PoolStats {
+            shards: [const { StatShard::new() }; STAT_SHARDS],
+        }
+    }
+
+    /// The calling thread's stripe; increment counters through this.
+    #[inline]
+    pub fn local(&self) -> &StatShard {
+        &self.shards[my_shard()]
+    }
+
+    /// Takes a point-in-time snapshot (sums all stripes).
+    ///
+    /// Counters are monotonic between [`reset`](Self::reset)s, so a snapshot
+    /// taken concurrently with writers is a consistent lower bound per field.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let mut s = StatsSnapshot::default();
+        for shard in &self.shards {
+            s.media_read_bytes += shard.media_read_bytes.load(Ordering::Relaxed);
+            s.media_write_bytes += shard.media_write_bytes.load(Ordering::Relaxed);
+            s.directory_write_bytes += shard.directory_write_bytes.load(Ordering::Relaxed);
+            s.flushes += shard.flushes.load(Ordering::Relaxed);
+            s.fences += shard.fences.load(Ordering::Relaxed);
+            s.allocs += shard.allocs.load(Ordering::Relaxed);
+            s.frees += shard.frees.load(Ordering::Relaxed);
+            s.alloc_ns += shard.alloc_ns.load(Ordering::Relaxed);
+        }
+        s
+    }
+
+    /// Resets every counter to zero (not atomic with concurrent writers,
+    /// same as the pre-striping behaviour — reset between measurement runs).
+    pub fn reset(&self) {
+        for shard in &self.shards {
+            shard.reset();
+        }
     }
 }
 
@@ -77,7 +163,9 @@ impl StatsSnapshot {
     /// Counter deltas `self - earlier` (saturating).
     pub fn since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
         StatsSnapshot {
-            media_read_bytes: self.media_read_bytes.saturating_sub(earlier.media_read_bytes),
+            media_read_bytes: self
+                .media_read_bytes
+                .saturating_sub(earlier.media_read_bytes),
             media_write_bytes: self
                 .media_write_bytes
                 .saturating_sub(earlier.media_write_bytes),
@@ -121,16 +209,7 @@ impl std::fmt::Display for StatsSnapshot {
 
 /// Global counters aggregated across all pools.
 pub fn global() -> &'static PoolStats {
-    static GLOBAL: PoolStats = PoolStats {
-        media_read_bytes: AtomicU64::new(0),
-        media_write_bytes: AtomicU64::new(0),
-        directory_write_bytes: AtomicU64::new(0),
-        flushes: AtomicU64::new(0),
-        fences: AtomicU64::new(0),
-        allocs: AtomicU64::new(0),
-        frees: AtomicU64::new(0),
-        alloc_ns: AtomicU64::new(0),
-    };
+    static GLOBAL: PoolStats = PoolStats::new();
     &GLOBAL
 }
 
@@ -140,16 +219,37 @@ mod tests {
 
     #[test]
     fn snapshot_delta() {
-        let s = PoolStats::default();
-        s.media_read_bytes.store(100, Ordering::Relaxed);
+        let s = PoolStats::new();
+        s.local().media_read_bytes.store(100, Ordering::Relaxed);
         let a = s.snapshot();
-        s.media_read_bytes.fetch_add(400, Ordering::Relaxed);
-        s.flushes.fetch_add(3, Ordering::Relaxed);
+        s.local().media_read_bytes.fetch_add(400, Ordering::Relaxed);
+        s.local().flushes.fetch_add(3, Ordering::Relaxed);
         let b = s.snapshot();
         let d = b.since(&a);
         assert_eq!(d.media_read_bytes, 400);
         assert_eq!(d.flushes, 3);
         s.reset();
         assert_eq!(s.snapshot(), StatsSnapshot::default());
+    }
+
+    #[test]
+    fn stripes_aggregate_across_threads() {
+        let s = PoolStats::new();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    for _ in 0..1000 {
+                        s.local().flushes.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        assert_eq!(s.snapshot().flushes, 8000);
+    }
+
+    #[test]
+    fn shard_is_padded() {
+        assert!(std::mem::size_of::<StatShard>() >= 128);
+        assert_eq!(std::mem::align_of::<StatShard>(), 128);
     }
 }

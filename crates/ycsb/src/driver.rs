@@ -98,7 +98,12 @@ impl std::fmt::Display for Report {
 }
 
 /// Loads `n` keys (ids `0..n`) into the index from `threads` workers.
-pub fn populate(index: &(impl RangeIndex + Clone + 'static), space: KeySpace, n: u64, threads: usize) {
+pub fn populate(
+    index: &(impl RangeIndex + Clone + 'static),
+    space: KeySpace,
+    n: u64,
+    threads: usize,
+) {
     let threads = threads.max(1);
     std::thread::scope(|s| {
         for t in 0..threads {
@@ -156,9 +161,8 @@ pub fn run_workload(
                 } else {
                     u64::MAX
                 };
-                let mut samples = Vec::with_capacity(
-                    (ops_per_thread / sample_every.max(1) + 1) as usize,
-                );
+                let mut samples =
+                    Vec::with_capacity((ops_per_thread / sample_every.max(1) + 1) as usize);
                 for i in 0..ops_per_thread {
                     let op = workload.next_op(&mut rng, &mut || {
                         next_insert += 1;

@@ -53,7 +53,10 @@ impl RangeIndex for Arc<PacTree> {
 
     fn update(&self, key: &[u8], value: u64) {
         // Native update path (§5.5); inserts if the key vanished.
-        if PacTree::update(self, key, value).expect("pactree update").is_none() {
+        if PacTree::update(self, key, value)
+            .expect("pactree update")
+            .is_none()
+        {
             PacTree::insert(self, key, value).expect("pactree insert");
         }
     }

@@ -5,10 +5,10 @@
 //! * [`keys`] — 8-byte integer keys and ~23-byte string keys
 //!   (`user` + zero-padded scrambled id, like index-microbench).
 //! * [`workload`] — the paper's mixes: Load A (insert-only), A (50/50
-//!   read/update), B (95/5), C (read-only), E (95% scans of up to 100 keys
-//!   + 5% inserts). As in the paper, *update* operations are replaced by
-//!   inserts for indexes without native update support, and PACTree's own
-//!   update path is exercised where available.
+//!   read/update), B (95/5), C (read-only), E (95% scans of up to 100
+//!   keys plus 5% inserts). As in the paper, *update* operations are
+//!   replaced by inserts for indexes without native update support, and
+//!   PACTree's own update path is exercised where available.
 //! * [`index`] — the [`index::RangeIndex`] trait adapting every index in the
 //!   workspace to the driver.
 //! * [`driver`] — a multithreaded executor with per-operation latency

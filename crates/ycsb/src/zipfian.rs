@@ -29,7 +29,11 @@ impl Zipfian {
     /// Panics if `n == 0`.
     pub fn new(n: u64, theta: f64) -> Zipfian {
         assert!(n > 0);
-        let theta = if (theta - 1.0).abs() < 1e-9 { 0.99999 } else { theta };
+        let theta = if (theta - 1.0).abs() < 1e-9 {
+            0.99999
+        } else {
+            theta
+        };
         let zetan = zeta(n, theta);
         let zeta2 = zeta(2, theta);
         Zipfian {
@@ -100,7 +104,9 @@ fn zeta(n: u64, theta: f64) -> f64 {
     if n <= EXACT_LIMIT {
         (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
     } else {
-        let head: f64 = (1..=EXACT_LIMIT).map(|i| 1.0 / (i as f64).powf(theta)).sum();
+        let head: f64 = (1..=EXACT_LIMIT)
+            .map(|i| 1.0 / (i as f64).powf(theta))
+            .sum();
         // integral of x^-theta from EXACT_LIMIT to n
         let a = 1.0 - theta;
         head + ((n as f64).powf(a) - (EXACT_LIMIT as f64).powf(a)) / a

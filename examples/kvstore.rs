@@ -24,7 +24,11 @@ struct ValueHeap {
 
 impl ValueHeap {
     fn write(&self, bytes: &[u8]) -> PmPtr<u8> {
-        let blob = self.pool.allocator().alloc(8 + bytes.len()).expect("alloc value");
+        let blob = self
+            .pool
+            .allocator()
+            .alloc(8 + bytes.len())
+            .expect("alloc value");
         // SAFETY: fresh allocation of 8 + len bytes.
         unsafe {
             (blob.as_mut_ptr() as *mut u64).write(bytes.len() as u64);
@@ -52,8 +56,8 @@ struct KvStore {
 
 impl KvStore {
     fn open(name: &str) -> KvStore {
-        let index = PacTree::create(PacTreeConfig::named(&format!("{name}-idx")))
-            .expect("create index");
+        let index =
+            PacTree::create(PacTreeConfig::named(&format!("{name}-idx"))).expect("create index");
         let pool = PmemPool::create(PoolConfig::volatile(&format!("{name}-vals"), 256 << 20))
             .expect("create value pool");
         KvStore {
@@ -106,10 +110,7 @@ fn main() {
 
     // A user-profile table, the classic YCSB shape.
     for i in 0..2000 {
-        store.put(
-            &format!("user:{i:05}:name"),
-            &format!("User Number {i}"),
-        );
+        store.put(&format!("user:{i:05}:name"), &format!("User Number {i}"));
         store.put(
             &format!("user:{i:05}:email"),
             &format!("user{i}@example.com"),

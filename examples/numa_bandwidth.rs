@@ -49,7 +49,9 @@ fn main() {
             r.mops,
         );
     }
-    println!("-- the directory protocol's remote reads update coherence state ON the NVM media (FH5);");
+    println!(
+        "-- the directory protocol's remote reads update coherence state ON the NVM media (FH5);"
+    );
     println!("   snoop mode removes that write traffic entirely, which is why the paper's testbed uses it.");
     tree.destroy();
 }

@@ -44,7 +44,9 @@ fn main() {
         "tree holds {} pairs in {} data nodes; splits so far: {}",
         tree.count_pairs(),
         tree.node_count(),
-        tree.stats().splits.load(std::sync::atomic::Ordering::Relaxed),
+        tree.stats()
+            .splits
+            .load(std::sync::atomic::Ordering::Relaxed),
     );
     tree.destroy();
 }

@@ -19,8 +19,14 @@ const POOL: usize = 512 << 20;
 
 fn indexes(tag: &str) -> Vec<Box<dyn RangeIndexObj>> {
     vec![
-        Box::new(PacTree::create(PacTreeConfig::named(&format!("xidx-{tag}-pac")).with_pool_size(POOL)).unwrap()),
-        Box::new(PdlArt::create(PdlArtConfig::named(&format!("xidx-{tag}-pdl")).with_pool_size(POOL)).unwrap()),
+        Box::new(
+            PacTree::create(PacTreeConfig::named(&format!("xidx-{tag}-pac")).with_pool_size(POOL))
+                .unwrap(),
+        ),
+        Box::new(
+            PdlArt::create(PdlArtConfig::named(&format!("xidx-{tag}-pdl")).with_pool_size(POOL))
+                .unwrap(),
+        ),
         Box::new(FastFair::create(&format!("xidx-{tag}-ff"), POOL, KeyMode::Integer).unwrap()),
         Box::new(BzTree::create(&format!("xidx-{tag}-bz"), POOL, KeyMode::Integer).unwrap()),
         Box::new(FpTree::create(&format!("xidx-{tag}-fp"), POOL).unwrap()),

@@ -111,7 +111,10 @@ fn read_write_bandwidth_asymmetry_configured() {
         "Optane's 3-5x read/write asymmetry must be modeled"
     );
     let low = NvmModelConfig::low_bandwidth();
-    assert!(low.read_bw <= cfg.read_bw / 2, "low-bandwidth machine is ~3x slower");
+    assert!(
+        low.read_bw <= cfg.read_bw / 2,
+        "low-bandwidth machine is ~3x slower"
+    );
 }
 
 #[test]

@@ -25,10 +25,9 @@ fn ga1_trie_reads_less_than_btree() {
         baselines::fastfair::KeyMode::String,
     )
     .unwrap();
-    let art = pdl_art::PdlArt::create(
-        pdl_art::PdlArtConfig::named("ga1-art").with_pool_size(512 << 20),
-    )
-    .unwrap();
+    let art =
+        pdl_art::PdlArt::create(pdl_art::PdlArtConfig::named("ga1-art").with_pool_size(512 << 20))
+            .unwrap();
     driver::populate(&ff, KeySpace::String, keys, 2);
     driver::populate(&art, KeySpace::String, keys, 2);
 
@@ -122,10 +121,9 @@ fn ga3_allocation_profiles() {
     });
     pac.destroy();
 
-    let art = pdl_art::PdlArt::create(
-        pdl_art::PdlArtConfig::named("ga3-art").with_pool_size(256 << 20),
-    )
-    .unwrap();
+    let art =
+        pdl_art::PdlArt::create(pdl_art::PdlArtConfig::named("ga3-art").with_pool_size(256 << 20))
+            .unwrap();
     let art_rate = alloc_per_op("pdl-art", &|i| {
         art.insert(&i.to_be_bytes(), i);
     });
@@ -187,7 +185,10 @@ fn ga4_flushes_per_insert() {
 
     println!("flushes/insert: pactree {pac_f:.1}, bztree {bz_f:.1}");
     assert!(bz_f >= 10.0, "BzTree flush storm: {bz_f}");
-    assert!(pac_f < bz_f / 2.0, "PACTree flushes less: {pac_f} vs {bz_f}");
+    assert!(
+        pac_f < bz_f / 2.0,
+        "PACTree flushes less: {pac_f} vs {bz_f}"
+    );
 }
 
 /// FH5: directory coherence turns remote reads into media writes.

@@ -1,0 +1,224 @@
+//! Minimal offline stand-in for the `criterion` crate.
+//!
+//! Provides the macro/builder API surface the workspace's benches use
+//! (`criterion_group!`, `criterion_main!`, `Criterion::benchmark_group`,
+//! `BenchmarkGroup::bench_function`, `Bencher::iter`, `BenchmarkId`) with a
+//! straightforward warm-up + timed-samples loop that prints mean and
+//! median ns/iter. No plots, no statistics beyond that.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Re-export matching criterion's `black_box`.
+pub use std::hint::black_box;
+
+/// Top-level harness handle.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(1),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            warm_up_time: self.warm_up_time,
+            _parent: self,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let (n, m, w) = (self.sample_size, self.measurement_time, self.warm_up_time);
+        run_bench(&id.into().0, n, m, w, &mut f);
+        self
+    }
+}
+
+/// A named set of related benchmarks sharing timing settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into().0);
+        run_bench(
+            &label,
+            self.sample_size,
+            self.measurement_time,
+            self.warm_up_time,
+            &mut f,
+        );
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Identifier accepted by `bench_function`.
+pub struct BenchId(String);
+
+impl From<&str> for BenchId {
+    fn from(s: &str) -> BenchId {
+        BenchId(s.to_string())
+    }
+}
+
+impl From<String> for BenchId {
+    fn from(s: String) -> BenchId {
+        BenchId(s)
+    }
+}
+
+impl From<BenchmarkId> for BenchId {
+    fn from(id: BenchmarkId) -> BenchId {
+        BenchId(id.0)
+    }
+}
+
+/// `function_name/parameter` style id.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn new(function: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{function}/{parameter}"))
+    }
+}
+
+/// Passed to the closure under measurement; `iter` runs the timing loop.
+pub struct Bencher {
+    iters_per_sample: u64,
+    /// ns/iter of each measured sample.
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters_per_sample {
+            black_box(f());
+        }
+        let ns = start.elapsed().as_nanos() as f64 / self.iters_per_sample as f64;
+        self.samples.push(ns);
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(
+    label: &str,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    f: &mut F,
+) {
+    // Warm-up: also calibrates iterations per sample.
+    let warm_start = Instant::now();
+    let mut warm_iters = 0u64;
+    while warm_start.elapsed() < warm_up_time {
+        let mut b = Bencher { iters_per_sample: 1, samples: Vec::new() };
+        f(&mut b);
+        warm_iters += 1;
+    }
+    let per_iter = warm_up_time.as_nanos() as f64 / warm_iters.max(1) as f64;
+    let budget = measurement_time.as_nanos() as f64 / sample_size.max(1) as f64;
+    let iters_per_sample = ((budget / per_iter.max(1.0)) as u64).clamp(1, 1 << 24);
+
+    let mut b = Bencher { iters_per_sample, samples: Vec::new() };
+    for _ in 0..sample_size {
+        f(&mut b);
+    }
+    let mut sorted = b.samples.clone();
+    sorted.sort_by(|a, c| a.partial_cmp(c).expect("non-NaN timing"));
+    let median = sorted[sorted.len() / 2];
+    let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+    let mut line = String::new();
+    let _ = write!(
+        line,
+        "{label:<40} median {median:>12.1} ns/iter   mean {mean:>12.1} ns/iter   ({} samples x {} iters)",
+        sorted.len(),
+        iters_per_sample
+    );
+    println!("{line}");
+}
+
+/// Declares a function running each benchmark target in sequence.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_times() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.sample_size(3)
+            .measurement_time(Duration::from_millis(30))
+            .warm_up_time(Duration::from_millis(5));
+        let mut count = 0u64;
+        g.bench_function(BenchmarkId::new("inc", 1), |b| {
+            b.iter(|| {
+                count += 1;
+                count
+            })
+        });
+        g.finish();
+        assert!(count > 0);
+    }
+}
