@@ -1,0 +1,11 @@
+// repro: with_pool + crash-consistent free reentrancy
+use pmem::pool::{self, PmemPool, PoolConfig};
+
+fn main() {
+    let p = PmemPool::create(PoolConfig::durable("repro", 1 << 20)).unwrap();
+    let ptr = p.allocator().alloc(64).unwrap();
+    let id = p.id();
+    // mirrors pactree's deferred free: tree.rs remove/retire paths
+    pool::with_pool(id, |pl| pl.allocator().free(ptr, 64));
+    println!("no panic");
+}
