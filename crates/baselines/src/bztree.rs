@@ -135,6 +135,99 @@ impl BzTree {
         Ok(Arc::new(tree))
     }
 
+    /// Creates a BzTree in a fresh pool with crash simulation enabled.
+    pub fn create_durable(name: &str, pool_size: usize, mode: KeyMode) -> Result<Arc<BzTree>> {
+        let pool = PmemPool::create(PoolConfig {
+            name: name.to_string(),
+            size: pool_size,
+            numa_node: pmem::numa::current_node(),
+            crash_sim: true,
+            alloc_mode: AllocMode::CrashConsistent,
+        })?;
+        let collector = Arc::new(Collector::new());
+        let tree = BzTree {
+            mwcas: PmwCasRunner::new(Arc::clone(&pool), Arc::clone(&collector)),
+            pool,
+            mode,
+            collector,
+        };
+        let root = tree.alloc_leaf()?;
+        tree.pool.allocator().root(0).store(root, Ordering::Release);
+        persist::persist_obj_fenced(tree.pool.allocator().root(0));
+        Ok(Arc::new(tree))
+    }
+
+    /// Reattaches to a crashed-and-remounted pool, completing every PMwCAS
+    /// the crash interrupted: any word still holding a marked descriptor
+    /// pointer is rolled forward (status `SUCCEEDED`) or back (undecided or
+    /// failed) via [`crate::pmwcas::recover_word`]. Descriptors that never
+    /// finished are abandoned in place (their space leaks until an offline
+    /// sweep, like pre-crash freelist contents — see DESIGN.md).
+    pub fn recover(name: &str, mode: KeyMode) -> Result<Arc<BzTree>> {
+        let pool =
+            pool::pool_by_name(name).ok_or_else(|| PmemError::PoolNotFound(name.to_string()))?;
+        pool.allocator().recover_logs();
+        let collector = Arc::new(Collector::new());
+        let tree = BzTree {
+            mwcas: PmwCasRunner::new(Arc::clone(&pool), Arc::clone(&collector)),
+            pool,
+            mode,
+            collector,
+        };
+        tree.scrub_descriptors();
+        Ok(Arc::new(tree))
+    }
+
+    /// Walks the tree scrubbing every PMwCAS-managed word (root cell, inner
+    /// child pointers, leaf status and record metadata). Defensive against
+    /// torn crash images: node pointers are bounds-checked, counts clamped.
+    fn scrub_descriptors(&self) {
+        let root = crate::pmwcas::recover_word(&self.pool, self.root_cell());
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![root];
+        while let Some(raw) = stack.pop() {
+            if raw == 0 || !seen.insert(raw) {
+                continue;
+            }
+            match self.checked_kind(raw) {
+                Some(KIND_LEAF) => {
+                    // SAFETY: bounds-checked by `checked_kind`.
+                    let leaf = unsafe { leaf_of(raw) };
+                    crate::pmwcas::recover_word(&self.pool, &leaf.status);
+                    for i in 0..LEAF_CAP {
+                        crate::pmwcas::recover_word(&self.pool, &leaf.records[i][0]);
+                    }
+                }
+                Some(KIND_INNER) => {
+                    // SAFETY: bounds-checked by `checked_kind`.
+                    let inner = unsafe { inner_of(raw) };
+                    let n = (inner.count as usize).min(INNER_CAP);
+                    for i in 0..=n {
+                        stack.push(crate::pmwcas::recover_word(&self.pool, &inner.children[i]));
+                    }
+                }
+                _ => {} // garbage pointer or torn node: unreachable data
+            }
+        }
+        persist::fence();
+    }
+
+    /// Reads a node's kind tag if `raw` points at a plausible node of this
+    /// pool (either node type fits in bounds).
+    fn checked_kind(&self, raw: u64) -> Option<u64> {
+        let p = PmPtr::<u64>::from_raw(raw);
+        if p.is_null() || p.pool_id() != self.pool.id() {
+            return None;
+        }
+        let off = p.offset();
+        let max = LEAF_SIZE.max(INNER_SIZE) as u64;
+        if !off.is_multiple_of(8) || off + max > self.pool.size() as u64 {
+            return None;
+        }
+        // SAFETY: bounds-checked above.
+        Some(unsafe { *p.as_ptr() })
+    }
+
     /// The backing pool.
     pub fn pool(&self) -> &Arc<PmemPool> {
         &self.pool

@@ -183,6 +183,84 @@ impl FastFair {
         Ok(Arc::new(tree))
     }
 
+    /// Creates a FastFair tree in a fresh pool with crash simulation enabled
+    /// (a media image), so the tree can be crash-tested and recovered.
+    pub fn create_durable(name: &str, pool_size: usize, mode: KeyMode) -> Result<Arc<FastFair>> {
+        let pool = PmemPool::create(PoolConfig {
+            name: name.to_string(),
+            size: pool_size,
+            numa_node: pmem::numa::current_node(),
+            crash_sim: true,
+            alloc_mode: AllocMode::CrashConsistent,
+        })?;
+        let tree = FastFair { pool, mode };
+        let root_cell = tree.pool.allocator().root(0);
+        tree.pool
+            .allocator()
+            .malloc_to(NODE_SIZE, root_cell, |raw| {
+                // SAFETY: fresh NODE_SIZE allocation.
+                unsafe { init_node(raw, true) };
+            })?;
+        Ok(Arc::new(tree))
+    }
+
+    /// Reattaches to a crashed-and-remounted pool.
+    ///
+    /// FastFair keeps its reader/writer lock word *inside* the NVM node, so
+    /// a crash can leave persisted lock words non-zero; recovery walks the
+    /// tree and clears them (the FAST/FAIR paper's "lock initialization
+    /// during recovery"), after replaying the allocation logs.
+    pub fn recover(name: &str, mode: KeyMode) -> Result<Arc<FastFair>> {
+        let pool =
+            pool::pool_by_name(name).ok_or_else(|| PmemError::PoolNotFound(name.to_string()))?;
+        pool.allocator().recover_logs();
+        let tree = FastFair { pool, mode };
+        tree.clear_locks();
+        Ok(Arc::new(tree))
+    }
+
+    /// Clears every reachable node's lock word after a crash. The walk is
+    /// defensive: a torn crash image may hold garbage child pointers, so
+    /// every pointer is bounds-checked and counts are clamped.
+    fn clear_locks(&self) {
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![self.root_raw()];
+        while let Some(raw) = stack.pop() {
+            if raw == 0 || !seen.insert(raw) {
+                continue;
+            }
+            let Some(node) = self.checked_node(raw) else {
+                continue;
+            };
+            node.lock.state.store(0, Ordering::Release);
+            persist::persist_obj(&node.lock.state);
+            stack.push(node.sibling.load(Ordering::Acquire));
+            if !node.is_leaf() {
+                stack.push(node.leftmost.load(Ordering::Acquire));
+                for i in 0..node.count().min(FF_SLOTS) {
+                    stack.push(node.value(i));
+                }
+            }
+        }
+        persist::fence();
+    }
+
+    /// Bounds-checks a node pointer against the backing pool before
+    /// dereferencing it; crash images can contain garbage words.
+    fn checked_node(&self, raw: u64) -> Option<&Node> {
+        let p = PmPtr::<Node>::from_raw(raw);
+        if p.is_null() || p.pool_id() != self.pool.id() {
+            return None;
+        }
+        let off = p.offset();
+        if !off.is_multiple_of(8) || off + NODE_SIZE as u64 > self.pool.size() as u64 {
+            return None;
+        }
+        // SAFETY: in bounds of the live pool; Node is all-atomic words, so
+        // any bit pattern is a valid (if semantically torn) Node.
+        Some(unsafe { &*p.as_ptr() })
+    }
+
     /// The backing pool.
     pub fn pool(&self) -> &Arc<PmemPool> {
         &self.pool
@@ -357,7 +435,15 @@ impl FastFair {
                 Err(i) => i,
             };
             for i in from..leaf.count() {
-                out.push((self.decode_key(leaf.key_word(i)), leaf.value(i)));
+                let pair = (self.decode_key(leaf.key_word(i)), leaf.value(i));
+                // FAST readers ignore duplicates: an interrupted shift (or a
+                // crash between a split's copy and the count update) can
+                // leave the same entry twice, adjacent in key order, and
+                // that is tolerated rather than repaired (FAST'18 §4.1).
+                if out.last().map(|p: &(Vec<u8>, u64)| &p.0) == Some(&pair.0) {
+                    continue;
+                }
+                out.push(pair);
                 if out.len() >= count {
                     leaf.lock
                         .read_unlock(pid, PmPtr::<u8>::from_raw(raw).offset());

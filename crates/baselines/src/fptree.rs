@@ -144,6 +144,29 @@ impl FpTree {
         Ok(Arc::new(tree))
     }
 
+    /// Creates an FPTree in a fresh crash-simulating pool (dual-image NVM
+    /// emulation), for crash-recovery tests and the crashcheck harness.
+    pub fn create_durable(name: &str, pool_size: usize) -> Result<Arc<FpTree>> {
+        let pool = PmemPool::create(PoolConfig {
+            name: name.to_string(),
+            size: pool_size,
+            numa_node: pmem::numa::current_node(),
+            crash_sim: true,
+            alloc_mode: AllocMode::CrashConsistent,
+        })?;
+        let tree = FpTree {
+            htm: Htm::new(),
+            inner: RwLock::new(BTreeMap::new()),
+            approx_len: AtomicUsize::new(0),
+            pool,
+        };
+        let head = tree.alloc_leaf()?;
+        tree.inner.write().insert(0, head);
+        tree.pool.allocator().root(0).store(head, Ordering::Release);
+        persist::persist_obj_fenced(tree.pool.allocator().root(0));
+        Ok(Arc::new(tree))
+    }
+
     /// Reattaches to an existing pool after a restart, rebuilding the DRAM
     /// inner structure by walking the persistent leaf chain — the startup
     /// cost the PACTree paper's GC2 discussion attributes to DRAM-hybrid
@@ -160,6 +183,7 @@ impl FpTree {
             approx_len: AtomicUsize::new(0),
             pool,
         };
+        tree.complete_torn_splits(head);
         {
             let mut inner = tree.inner.write();
             let mut raw = head;
@@ -185,6 +209,53 @@ impl FpTree {
             tree.approx_len.store(total, Ordering::Relaxed);
         }
         Ok(Arc::new(tree))
+    }
+
+    /// Completes splits a crash tore in half (FPTree's µlog recovery duty).
+    ///
+    /// A split persists the new leaf, links it via `next`, and only then
+    /// clears the moved slots from the old leaf's bitmap — three separately
+    /// fenced steps. A crash between the link and the bitmap clear leaves
+    /// the moved keys live in *both* leaves, which breaks scan order and
+    /// duplicates lookups. The chain invariant is that every key in a leaf
+    /// is smaller than every live key downstream, so walking the chain from
+    /// the tail with a running suffix-minimum and clearing any slot at or
+    /// above it finishes exactly the interrupted splits (the downstream
+    /// copy is the split's destination and carries the newest value) and is
+    /// a no-op on a consistent chain.
+    fn complete_torn_splits(&self, head: u64) {
+        let mut chain = Vec::new();
+        let mut raw = head;
+        while raw != 0 {
+            chain.push(raw);
+            // SAFETY: the persistent leaf chain is intact across restarts.
+            raw = unsafe { leaf_of(raw) }.next.load(Ordering::Acquire);
+        }
+        let mut suffix_min = u64::MAX;
+        for &raw in chain.iter().rev() {
+            // SAFETY: chain member.
+            let leaf = unsafe { leaf_of(raw) };
+            let bm = leaf.live();
+            let mut stale = 0u64;
+            // Slots within one leaf are unsorted peers: compare them only
+            // against the *downstream* minimum, never against each other.
+            let mut my_min = u64::MAX;
+            for i in 0..FP_LEAF_CAP {
+                if bm & (1 << i) != 0 {
+                    let k = leaf.entries[i][0].load(Ordering::Acquire);
+                    if k >= suffix_min {
+                        stale |= 1 << i;
+                    } else {
+                        my_min = my_min.min(k);
+                    }
+                }
+            }
+            if stale != 0 {
+                leaf.bitmap.store(bm & !stale, Ordering::Release);
+                persist::persist_obj_fenced(&leaf.bitmap);
+            }
+            suffix_min = suffix_min.min(my_min);
+        }
     }
 
     /// The backing pool.

@@ -208,6 +208,52 @@ fn help(desc: &Descriptor, marked: u64) -> bool {
     succeeded
 }
 
+/// Post-crash scrub of one PMwCAS-managed word: if the word holds a marked
+/// descriptor pointer, roll it forward (descriptor decided `SUCCEEDED`) or
+/// back (undecided/failed) to a plain value, persist, and return it.
+///
+/// Sound against crash states reachable between fences: the descriptor is
+/// fully persisted and fenced *before* any marked pointer is installed, and
+/// a descriptor is only retired (and its memory possibly reused) two epochs
+/// after phase 2 replaced every marked pointer — whose replacement stores
+/// are flushed and fenced immediately. So any marked pointer found on media
+/// after a crash refers to a descriptor whose media content is intact.
+/// Out-of-bounds descriptor pointers (impossible by that argument, but crash
+/// images are adversarial) degrade to storing 0 rather than faulting.
+///
+/// Only valid before new PMwCAS traffic starts and while pool base addresses
+/// are unchanged since the crash: descriptors record target cells by raw
+/// address.
+pub fn recover_word(pool: &PmemPool, cell: &AtomicU64) -> u64 {
+    let v = cell.load(Ordering::Acquire);
+    if v & MARK == 0 {
+        return v;
+    }
+    let p = PmPtr::<Descriptor>::from_raw(v & !MARK);
+    let mut final_v = 0;
+    if !p.is_null()
+        && p.pool_id() == pool.id()
+        && p.offset().is_multiple_of(8)
+        && p.offset() + DESC_SIZE as u64 <= pool.size() as u64
+    {
+        // SAFETY: bounds-checked above; all-atomic-word struct, so any bit
+        // pattern is readable.
+        let desc = unsafe { p.deref() };
+        let succeeded = desc.status.load(Ordering::Acquire) == ST_SUCCEEDED;
+        let count = (desc.count.load(Ordering::Acquire) as usize).min(MAX_WORDS);
+        let addr = cell as *const AtomicU64 as u64;
+        for i in 0..count {
+            if desc.words[i][0].load(Ordering::Acquire) == addr {
+                final_v = desc.words[i][if succeeded { 2 } else { 1 }].load(Ordering::Acquire);
+                break;
+            }
+        }
+    }
+    cell.store(final_v, Ordering::Release);
+    persist::persist_obj(cell);
+    final_v
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

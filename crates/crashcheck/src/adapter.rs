@@ -1,0 +1,261 @@
+//! Uniform adapter over every index in the workspace.
+//!
+//! The checker drives all five indexes through one trait with `u64` keys
+//! (encoded big-endian for the byte-keyed indexes, so integer order and
+//! byte order agree). Each [`IndexKind`] knows how to create a fresh
+//! crash-simulating instance and how to re-attach to the surviving pools
+//! after a simulated crash — the exact code path a real restart would run.
+
+use std::sync::Arc;
+
+use baselines::bztree::BzTree;
+use baselines::fastfair::FastFair;
+use baselines::fastfair::KeyMode;
+use baselines::fptree::FpTree;
+use pactree::tree::{PacTree, PacTreeConfig};
+use pdl_art::{PdlArt, PdlArtConfig};
+use pmem::pool::{self, PmemPool};
+use pmem::{AllocMode, Result};
+
+/// A checkable index instance: `u64` keys, `u64` values.
+pub trait CheckableIndex: Send + Sync {
+    /// Every pool backing the instance, in a stable order.
+    fn pools(&self) -> Vec<Arc<PmemPool>>;
+    /// Upsert; returns the previous value if the key existed.
+    fn insert(&self, key: u64, value: u64) -> Result<Option<u64>>;
+    /// Delete; returns the removed value if the key existed.
+    fn remove(&self, key: u64) -> Result<Option<u64>>;
+    /// Point lookup.
+    fn lookup(&self, key: u64) -> Option<u64>;
+    /// Full ordered scan (up to `cap` pairs).
+    fn scan_all(&self, cap: usize) -> Vec<(u64, u64)>;
+    /// Finishes background work so a final fence closes the trace cleanly.
+    fn quiesce(&self) {}
+}
+
+/// The five indexes the checker knows how to drive.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IndexKind {
+    PacTree,
+    PdlArt,
+    FastFair,
+    BzTree,
+    FpTree,
+}
+
+impl IndexKind {
+    /// All kinds, in the order campaigns run them.
+    pub fn all() -> [IndexKind; 5] {
+        [
+            IndexKind::PacTree,
+            IndexKind::PdlArt,
+            IndexKind::FastFair,
+            IndexKind::BzTree,
+            IndexKind::FpTree,
+        ]
+    }
+
+    /// Stable lowercase name (used in CLI args, replay files, JSON).
+    pub fn name(self) -> &'static str {
+        match self {
+            IndexKind::PacTree => "pactree",
+            IndexKind::PdlArt => "pdl-art",
+            IndexKind::FastFair => "fastfair",
+            IndexKind::BzTree => "bztree",
+            IndexKind::FpTree => "fptree",
+        }
+    }
+
+    /// Parses a [`name`](Self::name) back to a kind.
+    pub fn parse(s: &str) -> Option<IndexKind> {
+        IndexKind::all().into_iter().find(|k| k.name() == s)
+    }
+
+    /// Creates a fresh crash-simulating instance backed by pools named after
+    /// `name`. Single data pool, synchronous SMOs: the checker needs a
+    /// deterministic, single-threaded execution.
+    pub fn create(self, name: &str, pool_size: usize) -> Result<Box<dyn CheckableIndex>> {
+        Ok(match self {
+            IndexKind::PacTree => Box::new(PacTreeAdapter(PacTree::create(Self::pactree_config(
+                name, pool_size,
+            ))?)),
+            IndexKind::PdlArt => Box::new(PdlArtAdapter(PdlArt::create(PdlArtConfig {
+                name: name.to_string(),
+                pool_size,
+                crash_sim: true,
+                alloc_mode: AllocMode::CrashConsistent,
+            })?)),
+            IndexKind::FastFair => Box::new(FastFairAdapter(FastFair::create_durable(
+                name,
+                pool_size,
+                KeyMode::Integer,
+            )?)),
+            IndexKind::BzTree => Box::new(BzTreeAdapter(BzTree::create_durable(
+                name,
+                pool_size,
+                KeyMode::Integer,
+            )?)),
+            IndexKind::FpTree => Box::new(FpTreeAdapter(FpTree::create_durable(name, pool_size)?)),
+        })
+    }
+
+    /// Re-attaches to the (crashed-and-remounted) pools of `name`, running
+    /// the index's own recovery procedure.
+    pub fn recover(self, name: &str, pool_size: usize) -> Result<Box<dyn CheckableIndex>> {
+        Ok(match self {
+            IndexKind::PacTree => Box::new(PacTreeAdapter(PacTree::recover(
+                Self::pactree_config(name, pool_size),
+            )?)),
+            IndexKind::PdlArt => Box::new(PdlArtAdapter(PdlArt::recover(name)?)),
+            IndexKind::FastFair => {
+                Box::new(FastFairAdapter(FastFair::recover(name, KeyMode::Integer)?))
+            }
+            IndexKind::BzTree => Box::new(BzTreeAdapter(BzTree::recover(name, KeyMode::Integer)?)),
+            IndexKind::FpTree => Box::new(FpTreeAdapter(FpTree::recover(name)?)),
+        })
+    }
+
+    fn pactree_config(name: &str, pool_size: usize) -> PacTreeConfig {
+        PacTreeConfig {
+            crash_sim: true,
+            alloc_mode: AllocMode::CrashConsistent,
+            ..PacTreeConfig::named(name)
+        }
+        .with_pool_size(pool_size)
+        .with_numa_pools(1)
+        .with_async_smo(false)
+    }
+}
+
+/// Unregisters every pool in `pools` (end of a campaign episode).
+pub fn destroy_pools(pools: &[Arc<PmemPool>]) {
+    for p in pools {
+        pool::destroy_pool(p.id());
+    }
+}
+
+fn be(key: u64) -> [u8; 8] {
+    key.to_be_bytes()
+}
+
+fn un_be(key: &[u8]) -> Option<u64> {
+    key.try_into().ok().map(u64::from_be_bytes)
+}
+
+/// Decodes byte-keyed scan output; a key that is not 8 bytes maps to
+/// `u64::MAX` so the oracle flags it as a phantom instead of panicking.
+fn decode_pairs(pairs: Vec<(Vec<u8>, u64)>) -> Vec<(u64, u64)> {
+    pairs
+        .into_iter()
+        .map(|(k, v)| (un_be(&k).unwrap_or(u64::MAX), v))
+        .collect()
+}
+
+struct PacTreeAdapter(Arc<PacTree>);
+
+impl CheckableIndex for PacTreeAdapter {
+    fn pools(&self) -> Vec<Arc<PmemPool>> {
+        self.0.pools()
+    }
+    fn insert(&self, key: u64, value: u64) -> Result<Option<u64>> {
+        self.0.insert(&be(key), value)
+    }
+    fn remove(&self, key: u64) -> Result<Option<u64>> {
+        self.0.remove(&be(key))
+    }
+    fn lookup(&self, key: u64) -> Option<u64> {
+        self.0.lookup(&be(key))
+    }
+    fn scan_all(&self, cap: usize) -> Vec<(u64, u64)> {
+        decode_pairs(
+            self.0
+                .scan(&[], cap)
+                .into_iter()
+                .map(|p| (p.key, p.value))
+                .collect(),
+        )
+    }
+    fn quiesce(&self) {
+        self.0.stop_updater();
+    }
+}
+
+struct PdlArtAdapter(Arc<PdlArt>);
+
+impl CheckableIndex for PdlArtAdapter {
+    fn pools(&self) -> Vec<Arc<PmemPool>> {
+        vec![Arc::clone(self.0.pool())]
+    }
+    fn insert(&self, key: u64, value: u64) -> Result<Option<u64>> {
+        self.0.insert(&be(key), value)
+    }
+    fn remove(&self, key: u64) -> Result<Option<u64>> {
+        self.0.remove(&be(key))
+    }
+    fn lookup(&self, key: u64) -> Option<u64> {
+        self.0.lookup(&be(key))
+    }
+    fn scan_all(&self, cap: usize) -> Vec<(u64, u64)> {
+        decode_pairs(self.0.scan(&[], cap))
+    }
+}
+
+struct FastFairAdapter(Arc<FastFair>);
+
+impl CheckableIndex for FastFairAdapter {
+    fn pools(&self) -> Vec<Arc<PmemPool>> {
+        vec![Arc::clone(self.0.pool())]
+    }
+    fn insert(&self, key: u64, value: u64) -> Result<Option<u64>> {
+        self.0.insert(&be(key), value)
+    }
+    fn remove(&self, key: u64) -> Result<Option<u64>> {
+        self.0.remove(&be(key))
+    }
+    fn lookup(&self, key: u64) -> Option<u64> {
+        self.0.lookup(&be(key))
+    }
+    fn scan_all(&self, cap: usize) -> Vec<(u64, u64)> {
+        decode_pairs(self.0.scan(&be(0), cap))
+    }
+}
+
+struct BzTreeAdapter(Arc<BzTree>);
+
+impl CheckableIndex for BzTreeAdapter {
+    fn pools(&self) -> Vec<Arc<PmemPool>> {
+        vec![Arc::clone(self.0.pool())]
+    }
+    fn insert(&self, key: u64, value: u64) -> Result<Option<u64>> {
+        self.0.insert(&be(key), value)
+    }
+    fn remove(&self, key: u64) -> Result<Option<u64>> {
+        self.0.remove(&be(key))
+    }
+    fn lookup(&self, key: u64) -> Option<u64> {
+        self.0.lookup(&be(key))
+    }
+    fn scan_all(&self, cap: usize) -> Vec<(u64, u64)> {
+        decode_pairs(self.0.scan(&be(0), cap))
+    }
+}
+
+struct FpTreeAdapter(Arc<FpTree>);
+
+impl CheckableIndex for FpTreeAdapter {
+    fn pools(&self) -> Vec<Arc<PmemPool>> {
+        vec![Arc::clone(self.0.pool())]
+    }
+    fn insert(&self, key: u64, value: u64) -> Result<Option<u64>> {
+        self.0.insert(key, value)
+    }
+    fn remove(&self, key: u64) -> Result<Option<u64>> {
+        self.0.remove(key)
+    }
+    fn lookup(&self, key: u64) -> Option<u64> {
+        self.0.lookup(key)
+    }
+    fn scan_all(&self, cap: usize) -> Vec<(u64, u64)> {
+        self.0.scan(0, cap)
+    }
+}

@@ -1,0 +1,338 @@
+//! Crash-state enumeration by rewinding flush pre-images.
+//!
+//! ADR semantics: stores sit in the volatile cache until a `persist`
+//! (clwb) pushes the line toward media, and only a `fence` (sfence) makes
+//! previously pushed lines durable. A power failure between fence `F_a`
+//! and the next fence `F_b` therefore exposes:
+//!
+//! * everything fenced by `F_a` — durable for sure, and
+//! * for each cache line flushed inside the window, *one* of its
+//!   point-in-time snapshots: the line's content at `F_a`, or its content
+//!   at any flush of that line inside the window. A line is written to
+//!   media atomically, so within-line choices are snapshots, not arbitrary
+//!   byte mixes — but choices *across* different lines are independent,
+//!   which is exactly where torn multi-line protocols break.
+//!
+//! Each [`TraceEvent::Flush`] carries the media pre-image of its line, so
+//! a single traced execution suffices: starting from the final media image
+//! and walking the trace backwards, undoing flushes one by one, every
+//! window's baseline and every line's intermediate snapshots are
+//! recovered without re-running the workload.
+
+use std::collections::HashMap;
+
+use pmem::pool::PoolId;
+use pmem::trace::{Trace, TraceEvent};
+use pmem::CACHE_LINE;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The crash choices of one cache line inside one window.
+pub struct LineOpts {
+    /// Index of the pool in the run's pool order.
+    pub pool: usize,
+    /// Line-aligned pool offset.
+    pub line: u64,
+    /// Admissible media snapshots, oldest first; the last entry is the
+    /// line's fully flushed content at the window's end fence.
+    pub options: Vec<[u8; CACHE_LINE]>,
+}
+
+/// One crash window: the fence that closes the durable prefix plus the
+/// per-line choices a crash inside the window can leave on media.
+pub struct Window {
+    /// Sequence number of the window's *start* fence: the durable prefix.
+    pub fence_seq: u64,
+    /// Lines flushed inside the window (empty = only the trivial state).
+    pub lines: Vec<LineOpts>,
+}
+
+impl Window {
+    /// Number of distinct crash states (saturating).
+    pub fn state_count(&self) -> u128 {
+        self.lines
+            .iter()
+            .fold(1u128, |acc, l| acc.saturating_mul(l.options.len() as u128))
+    }
+
+    /// The fully flushed choice vector (one index per line).
+    pub fn last_choices(&self) -> Vec<u32> {
+        self.lines
+            .iter()
+            .map(|l| l.options.len() as u32 - 1)
+            .collect()
+    }
+
+    /// Advances `choices` as a mixed-radix counter; returns false after the
+    /// last combination wraps back to all-zero.
+    pub fn next_choices(&self, choices: &mut [u32]) -> bool {
+        for (c, l) in choices.iter_mut().zip(&self.lines) {
+            *c += 1;
+            if (*c as usize) < l.options.len() {
+                return true;
+            }
+            *c = 0;
+        }
+        false
+    }
+
+    /// Draws a uniformly random choice vector.
+    pub fn sample_choices(&self, rng: &mut StdRng) -> Vec<u32> {
+        self.lines
+            .iter()
+            .map(|l| rng.gen_range(0..l.options.len() as u64) as u32)
+            .collect()
+    }
+}
+
+/// Walks a trace backwards, yielding crash windows newest-first while
+/// rewinding working copies of the pool media images in lockstep.
+pub struct Rewinder {
+    /// Working media images, one per pool. After [`next_window`] returns
+    /// window `w`, these hold the media as of `w`'s *end* fence, so a crash
+    /// state is `images` with each chosen line patched in.
+    ///
+    /// [`next_window`]: Self::next_window
+    images: Vec<Vec<u8>>,
+    events: Vec<TraceEvent>,
+    /// Index into `events`: everything at or beyond has been rewound.
+    cursor: usize,
+    pool_index: HashMap<PoolId, usize>,
+    /// With ring overflow the oldest retained window may be missing events;
+    /// stop before it.
+    dropped: bool,
+    /// Event range of the last yielded window, whose flushes must be undone
+    /// before the next (older) window is built — deferred so that `images`
+    /// stays at the yielded window's end fence while states materialize.
+    pending_rewind: Option<(usize, usize)>,
+}
+
+impl Rewinder {
+    /// Takes the final media snapshots (taken after the closing fence) and
+    /// the trace that produced them. `pool_order[i]` owns `snapshots[i]`.
+    pub fn new(trace: &Trace, pool_order: &[PoolId], snapshots: Vec<Vec<u8>>) -> Rewinder {
+        assert_eq!(pool_order.len(), snapshots.len());
+        Rewinder {
+            images: snapshots,
+            cursor: trace.events.len(),
+            events: trace.events.clone(),
+            pool_index: pool_order
+                .iter()
+                .enumerate()
+                .map(|(i, &p)| (p, i))
+                .collect(),
+            dropped: trace.dropped > 0,
+            pending_rewind: None,
+        }
+    }
+
+    /// Media images at the end fence of the most recently yielded window.
+    pub fn images(&self) -> &[Vec<u8>] {
+        &self.images
+    }
+
+    /// Patches `choices` into the working images, hands them to `f`, then
+    /// restores the images — so enumeration can continue from clean state.
+    pub fn with_state<R>(
+        &mut self,
+        window: &Window,
+        choices: &[u32],
+        f: impl FnOnce(&[Vec<u8>]) -> R,
+    ) -> R {
+        let mut saved: Vec<(usize, u64, [u8; CACHE_LINE])> = Vec::new();
+        for (line, &choice) in window.lines.iter().zip(choices) {
+            let img = &mut self.images[line.pool];
+            let at = line.line as usize;
+            let mut orig = [0u8; CACHE_LINE];
+            orig.copy_from_slice(&img[at..at + CACHE_LINE]);
+            saved.push((line.pool, line.line, orig));
+            img[at..at + CACHE_LINE].copy_from_slice(&line.options[choice as usize]);
+        }
+        let res = f(&self.images);
+        for (pool, at, orig) in saved {
+            self.images[pool][at as usize..at as usize + CACHE_LINE].copy_from_slice(&orig);
+        }
+        res
+    }
+
+    /// Yields the next (older) crash window, rewinding past it, or `None`
+    /// when the trace start (or a ring-overflow gap) is reached.
+    pub fn next_window(&mut self) -> Option<Window> {
+        // Undo the previous window's flushes (newest first), bringing the
+        // images to that window's start fence = this window's end fence.
+        if let Some((begin, end)) = self.pending_rewind.take() {
+            for ev in self.events[begin..end].iter().rev() {
+                if let TraceEvent::Flush {
+                    pool, line, pre, ..
+                } = ev
+                {
+                    if let Some(&pi) = self.pool_index.get(pool) {
+                        let at = *line as usize;
+                        self.images[pi][at..at + CACHE_LINE].copy_from_slice(pre);
+                    }
+                }
+            }
+        }
+
+        // Find the fence pair delimiting the window that ends at `cursor`.
+        let end_fence = self.events[..self.cursor]
+            .iter()
+            .rposition(|e| matches!(e, TraceEvent::Fence { .. }))?;
+        let start_fence = self.events[..end_fence]
+            .iter()
+            .rposition(|e| matches!(e, TraceEvent::Fence { .. }));
+        let (begin, fence_seq) = match start_fence {
+            Some(i) => (i + 1, self.events[i].seq()),
+            // Events before the first retained fence are unreliable when the
+            // ring overflowed: the window's older flushes may be missing.
+            None if self.dropped => return None,
+            None => (0, 0),
+        };
+
+        // Per line (chronological): pre-images of each in-window flush, then
+        // the current (= end-fence) content.
+        let mut order: Vec<(usize, u64)> = Vec::new();
+        let mut pres: HashMap<(usize, u64), Vec<[u8; CACHE_LINE]>> = HashMap::new();
+        for ev in &self.events[begin..end_fence] {
+            if let TraceEvent::Flush {
+                pool, line, pre, ..
+            } = ev
+            {
+                let Some(&pi) = self.pool_index.get(pool) else {
+                    continue; // pool destroyed mid-run; not checkable
+                };
+                let key = (pi, *line);
+                let entry = pres.entry(key).or_insert_with(|| {
+                    order.push(key);
+                    Vec::new()
+                });
+                entry.push(*pre);
+            }
+        }
+        let mut lines = Vec::with_capacity(order.len());
+        for key in order {
+            let (pool, line) = key;
+            let mut options = pres.remove(&key).expect("inserted above");
+            let at = line as usize;
+            let mut last = [0u8; CACHE_LINE];
+            last.copy_from_slice(&self.images[pool][at..at + CACHE_LINE]);
+            options.push(last);
+            options.dedup();
+            lines.push(LineOpts {
+                pool,
+                line,
+                options,
+            });
+        }
+
+        // Rewinding this window's flushes waits until the next call, so the
+        // images stay at the end fence while states materialize. The next
+        // (older) window ends at this window's start fence, which sits at
+        // `begin - 1`; a cursor of `begin` makes it the last fence the next
+        // search sees (and 0 terminates the walk).
+        self.pending_rewind = Some((begin, end_fence));
+        self.cursor = begin;
+
+        Some(Window { fence_seq, lines })
+    }
+}
+
+/// Returns a seeded sampler for windows too large to enumerate.
+pub fn sampler(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmem::pool::{destroy_pool, PmemPool, PoolConfig};
+    use pmem::{persist, trace};
+
+    /// Three fenced generations of one line; the rewinder must reproduce
+    /// all three media states, newest window first.
+    #[test]
+    fn rewind_reproduces_generations() {
+        let _session = trace::session();
+        let pool = PmemPool::create(PoolConfig::durable("t-rew-gen", 1 << 20)).unwrap();
+        let off = pool.allocator().alloc(64).unwrap().offset();
+        let write = |b: u8| {
+            // SAFETY: allocated 64 bytes.
+            unsafe { pool.at(off).write_bytes(b, 64) };
+            persist::persist(pool.at(off), 64);
+            persist::fence();
+        };
+        write(0x00); // pre-trace baseline, fully fenced
+        trace::start(1 << 12);
+        write(0x11);
+        write(0x22);
+        write(0x33);
+        let tr = trace::stop();
+        let snap = pool.media_snapshot().unwrap();
+        assert_eq!(snap[off as usize], 0x33);
+
+        let mut rew = Rewinder::new(&tr, &[pool.id()], vec![snap]);
+
+        // Newest window: wrote 0x33 over 0x22.
+        let w = rew.next_window().unwrap();
+        assert_eq!(w.lines.len(), 1);
+        assert_eq!(w.lines[0].options.len(), 2);
+        assert_eq!(w.lines[0].options[0][0], 0x22);
+        assert_eq!(w.lines[0].options[1][0], 0x33);
+        assert_eq!(w.state_count(), 2);
+
+        let w = rew.next_window().unwrap();
+        assert_eq!(w.lines[0].options[0][0], 0x11);
+        assert_eq!(w.lines[0].options[1][0], 0x22);
+
+        let w = rew.next_window().unwrap();
+        assert_eq!(w.lines[0].options[0][0], 0x00);
+        assert_eq!(w.lines[0].options[1][0], 0x11);
+
+        destroy_pool(pool.id());
+    }
+
+    /// Two lines flushed in one window: 2×2 independent states; patching
+    /// and restoring leaves the working image intact.
+    #[test]
+    fn cross_line_choices_are_independent() {
+        let _session = trace::session();
+        let pool = PmemPool::create(PoolConfig::durable("t-rew-cross", 1 << 20)).unwrap();
+        let off = pool.allocator().alloc(128).unwrap().offset();
+        // SAFETY: allocated 128 bytes.
+        unsafe { pool.at(off).write_bytes(0xAA, 128) };
+        persist::persist(pool.at(off), 128);
+        persist::fence();
+        trace::start(1 << 12);
+        // SAFETY: same allocation.
+        unsafe { pool.at(off).write_bytes(0xBB, 128) };
+        persist::persist(pool.at(off), 128);
+        persist::fence();
+        let tr = trace::stop();
+        let snap = pool.media_snapshot().unwrap();
+
+        let mut rew = Rewinder::new(&tr, &[pool.id()], vec![snap]);
+        let w = rew.next_window().unwrap();
+        assert_eq!(w.lines.len(), 2);
+        assert_eq!(w.state_count(), 4);
+
+        let mut seen = Vec::new();
+        let mut choices = vec![0u32; 2];
+        loop {
+            let pair = rew.with_state(&w, &choices, |imgs| {
+                (imgs[0][off as usize], imgs[0][off as usize + 64])
+            });
+            seen.push(pair);
+            if !w.next_choices(&mut choices) {
+                break;
+            }
+        }
+        seen.sort_unstable();
+        assert_eq!(
+            seen,
+            vec![(0xAA, 0xAA), (0xAA, 0xBB), (0xBB, 0xAA), (0xBB, 0xBB)]
+        );
+        // Restoration: the working image is back to fully flushed.
+        assert_eq!(rew.images()[0][off as usize], 0xBB);
+        destroy_pool(pool.id());
+    }
+}

@@ -1,0 +1,155 @@
+//! Journal of acknowledged operations and the durable-linearizability
+//! expectation it induces at a crash point.
+//!
+//! Every workload operation is bracketed with the trace sequence counter:
+//! `start_seq` is read just before the call, `end_seq` just after it
+//! returns (= is acknowledged). Relative to a crash whose durable prefix is
+//! the fence with sequence number `fence_seq`:
+//!
+//! * **acked** (`end_seq <= fence_seq`): every flush and fence of the op is
+//!   inside the durable prefix, so its effect MUST survive recovery.
+//! * **in-flight** (everything else): the op's effect may be fully present,
+//!   fully absent, or — for the buggy index the checker exists to catch —
+//!   *torn*. The oracle allows old-or-new and flags anything else.
+//!
+//! This classification is deliberately conservative: an op that was acked
+//! *inside* the crash window is treated as in-flight even though some crash
+//! points within the window lie after its ack. A checker must never report
+//! a false positive, and the fully-flushed state of each window (always
+//! enumerated) still exercises the acked-exactly-at-crash case one window
+//! later.
+
+use std::collections::BTreeMap;
+
+/// One workload operation over `u64` keys.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// Upsert `key -> value`.
+    Insert { key: u64, value: u64 },
+    /// Delete `key`.
+    Remove { key: u64 },
+}
+
+impl Op {
+    /// The key the op touches.
+    pub fn key(&self) -> u64 {
+        match *self {
+            Op::Insert { key, .. } | Op::Remove { key } => key,
+        }
+    }
+
+    /// The key's value after the op (`None` = absent).
+    pub fn effect(&self) -> Option<u64> {
+        match *self {
+            Op::Insert { value, .. } => Some(value),
+            Op::Remove { .. } => None,
+        }
+    }
+}
+
+/// One acknowledged operation with its trace-sequence bracket.
+#[derive(Clone, Copy, Debug)]
+pub struct JournalEntry {
+    pub op: Op,
+    /// `pmem::trace::current_seq()` immediately before the call.
+    pub start_seq: u64,
+    /// `pmem::trace::current_seq()` immediately after the call returned.
+    pub end_seq: u64,
+}
+
+/// What recovery must (and may) observe for each key at one crash point.
+#[derive(Debug, Default)]
+pub struct Expectation {
+    /// Key state after applying exactly the acked prefix.
+    pub strict: BTreeMap<u64, Option<u64>>,
+    /// Per key, every admissible post-recovery state: the strict state plus
+    /// the effect of each in-flight op on that key.
+    pub allowed: BTreeMap<u64, Vec<Option<u64>>>,
+}
+
+impl Expectation {
+    /// Builds the expectation for a crash whose durable prefix is
+    /// `fence_seq`.
+    pub fn at(journal: &[JournalEntry], fence_seq: u64) -> Expectation {
+        let mut e = Expectation::default();
+        for entry in journal {
+            let key = entry.op.key();
+            if entry.end_seq <= fence_seq {
+                e.strict.insert(key, entry.op.effect());
+            }
+        }
+        for entry in journal {
+            let key = entry.op.key();
+            let strict = e.strict.get(&key).copied().unwrap_or(None);
+            let opts = e.allowed.entry(key).or_insert_with(|| vec![strict]);
+            if entry.end_seq > fence_seq {
+                let eff = entry.op.effect();
+                if !opts.contains(&eff) {
+                    opts.push(eff);
+                }
+            }
+        }
+        e
+    }
+
+    /// Whether `value` (`None` = absent) is admissible for `key`.
+    pub fn admits(&self, key: u64, value: Option<u64>) -> bool {
+        match self.allowed.get(&key) {
+            Some(opts) => opts.contains(&value),
+            // A key no journalled op ever touched must be absent.
+            None => value.is_none(),
+        }
+    }
+
+    /// Keys whose post-crash state is uniquely determined (single admissible
+    /// value): recovery must reproduce it exactly.
+    pub fn determined(&self) -> impl Iterator<Item = (u64, Option<u64>)> + '_ {
+        self.allowed
+            .iter()
+            .filter(|(_, opts)| opts.len() == 1)
+            .map(|(&k, opts)| (k, opts[0]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(op: Op, start_seq: u64, end_seq: u64) -> JournalEntry {
+        JournalEntry {
+            op,
+            start_seq,
+            end_seq,
+        }
+    }
+
+    #[test]
+    fn acked_strict_inflight_relaxed() {
+        let j = vec![
+            entry(Op::Insert { key: 1, value: 10 }, 0, 5),
+            entry(Op::Insert { key: 2, value: 20 }, 5, 9),
+            entry(Op::Insert { key: 1, value: 11 }, 9, 14),
+            entry(Op::Remove { key: 2 }, 14, 20),
+        ];
+        let e = Expectation::at(&j, 10);
+        // key 1: acked value 10; in-flight overwrite 11.
+        assert!(e.admits(1, Some(10)));
+        assert!(e.admits(1, Some(11)));
+        assert!(!e.admits(1, None), "acked insert must not vanish");
+        assert!(!e.admits(1, Some(99)), "torn value");
+        // key 2: acked value 20; in-flight remove.
+        assert!(e.admits(2, Some(20)));
+        assert!(e.admits(2, None));
+        // untouched keys must be absent.
+        assert!(e.admits(3, None));
+        assert!(!e.admits(3, Some(1)));
+        // only key 1 pre-overwrite is undetermined; nothing is singleton
+        // except... key 1 has {10, 11}, key 2 has {20, None}: none determined.
+        assert_eq!(e.determined().count(), 0);
+        // At a later fence everything is acked and determined.
+        let e = Expectation::at(&j, 20);
+        let det: BTreeMap<_, _> = e.determined().collect();
+        assert_eq!(det.get(&1), Some(&Some(11)));
+        assert_eq!(det.get(&2), Some(&None));
+    }
+}

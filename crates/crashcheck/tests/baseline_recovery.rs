@@ -1,0 +1,96 @@
+//! First crash-recovery coverage for the baseline indexes (FastFair,
+//! BzTree, FPTree): insert through the adapter, crash every backing pool
+//! with random cache-eviction noise, remount + recover, and verify every
+//! acknowledged key, scan order, and post-recovery writability.
+//!
+//! PACTree and PDL-ART get the same treatment here for symmetry, though
+//! they also have deeper coverage in `crates/pactree/tests/crash_recovery.rs`.
+
+use crashcheck::adapter::{destroy_pools, IndexKind};
+use pmem::crash::{crash_all, evict_random_lines};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn insert_crash_recover_verify(kind: IndexKind, seed: u64) {
+    let name = format!("bl-rec-{}", kind.name());
+    let idx = kind.create(&name, 4 << 20).expect("create");
+    let keys: Vec<u64> = (1..=200u64).collect();
+    for &k in &keys {
+        idx.insert(k, k * 2).expect("insert");
+    }
+    idx.quiesce();
+    let pools = idx.pools();
+    drop(idx);
+    pmem::persist::fence();
+
+    // Spontaneous cache writebacks before the power failure: persists lines
+    // the program never flushed, so recovery must tolerate them.
+    let mut rng = StdRng::seed_from_u64(seed);
+    for p in &pools {
+        evict_random_lines(p, 64, &mut rng);
+    }
+    crash_all(&pools, false);
+
+    let rec = kind.recover(&name, 4 << 20).expect("recover");
+    for &k in &keys {
+        assert_eq!(rec.lookup(k), Some(k * 2), "{}: key {k}", kind.name());
+    }
+    let scan = rec.scan_all(1024);
+    assert_eq!(scan.len(), keys.len(), "{}: scan count", kind.name());
+    assert!(
+        scan.windows(2).all(|w| w[0].0 < w[1].0),
+        "{}: scan sorted",
+        kind.name()
+    );
+    // The recovered index accepts new writes.
+    rec.insert(10_000, 7).expect("post-recovery insert");
+    assert_eq!(rec.lookup(10_000), Some(7));
+    drop(rec);
+    destroy_pools(&pools);
+}
+
+#[test]
+fn fastfair_insert_crash_recover() {
+    insert_crash_recover_verify(IndexKind::FastFair, 11);
+}
+
+#[test]
+fn bztree_insert_crash_recover() {
+    insert_crash_recover_verify(IndexKind::BzTree, 12);
+}
+
+#[test]
+fn fptree_insert_crash_recover() {
+    insert_crash_recover_verify(IndexKind::FpTree, 13);
+}
+
+#[test]
+fn pactree_insert_crash_recover() {
+    insert_crash_recover_verify(IndexKind::PacTree, 14);
+}
+
+#[test]
+fn pdl_art_insert_crash_recover() {
+    insert_crash_recover_verify(IndexKind::PdlArt, 15);
+}
+
+/// Recovery after a crash with *no* surviving unflushed data: a fresh
+/// index crashed immediately after setup must come back empty and usable.
+#[test]
+fn recover_empty_index() {
+    for kind in IndexKind::all() {
+        let name = format!("bl-empty-{}", kind.name());
+        let idx = kind.create(&name, 2 << 20).expect("create");
+        idx.quiesce();
+        let pools = idx.pools();
+        drop(idx);
+        pmem::persist::fence();
+        crash_all(&pools, false);
+        let rec = kind.recover(&name, 2 << 20).expect("recover");
+        assert_eq!(rec.scan_all(16), vec![], "{}", kind.name());
+        rec.insert(1, 2).expect("insert after empty recovery");
+        assert_eq!(rec.lookup(1), Some(2));
+        drop(rec);
+        destroy_pools(&pools);
+    }
+}

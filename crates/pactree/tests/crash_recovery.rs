@@ -11,6 +11,7 @@ use std::sync::Arc;
 
 use pactree::{PacTree, PacTreeConfig};
 use pmem::crash;
+use pmem::pool::PmemPool;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -19,6 +20,17 @@ fn durable_cfg(name: &str) -> PacTreeConfig {
     c.numa_pools = 1;
     c.pool_size = 128 << 20;
     c
+}
+
+/// Evict a batch of random cache lines before crashing so the media image
+/// diverges from the volatile one: without noise, a workload that fences
+/// eagerly leaves both images identical and the crash tests nothing. The
+/// seed is fixed per test so failures reproduce deterministically.
+fn evict_noise(pools: &[Arc<PmemPool>], seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    for p in pools {
+        crash::evict_random_lines(p, 64, &mut rng);
+    }
 }
 
 #[test]
@@ -30,6 +42,7 @@ fn simple_crash_recovery() {
     }
     let pools = t.pools();
     drop(t); // stops the updater, drains SMOs
+    evict_noise(&pools, 0xA11CE);
     crash::crash_all(&pools, false);
 
     let t2 = PacTree::recover(cfg).unwrap();
@@ -52,6 +65,7 @@ fn crash_with_moved_base_addresses() {
     }
     let pools = t.pools();
     drop(t);
+    evict_noise(&pools, 0xB0B);
     crash::crash_all(&pools, true); // remount at different addresses
 
     let t2 = PacTree::recover(cfg).unwrap();
@@ -81,6 +95,7 @@ fn crash_mid_churn_preserves_acknowledged_writes() {
     // Stop the pre-crash instance's threads, then crash with whatever SMOs
     // are still pending in the persistent log.
     t.stop_updater();
+    evict_noise(&pools, 0xC4A2);
     crash::crash_all(&pools, false);
     drop(t);
 
@@ -158,6 +173,7 @@ fn recovery_replays_pending_split_smo() {
     }
     let pools = t.pools();
     t.stop_updater(); // freeze the pre-crash instance (possibly behind)
+    evict_noise(&pools, 0x5310);
     crash::crash_all(&pools, false);
     drop(t);
     let t2 = PacTree::recover(cfg).unwrap();
@@ -182,6 +198,7 @@ fn torn_insert_never_visible() {
     }
     let pools = t.pools();
     t.stop_updater();
+    evict_noise(&pools, 0x7021);
     crash::crash_all(&pools, false);
     drop(t);
     let t2 = PacTree::recover(cfg).unwrap();

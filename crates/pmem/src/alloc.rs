@@ -280,6 +280,8 @@ impl PmemAllocator {
         };
         stats_scope(stats::global());
         stats_scope(crate::pool::stats_of(self.pool_id));
+        #[cfg(feature = "trace")]
+        crate::trace::on_alloc(self.pool_id, off, size as u64);
         Ok(PmPtr::new(self.pool_id, off))
     }
 
@@ -357,6 +359,8 @@ impl PmemAllocator {
         };
         stats_scope(stats::global());
         stats_scope(crate::pool::stats_of(self.pool_id));
+        #[cfg(feature = "trace")]
+        crate::trace::on_free(self.pool_id, ptr.offset(), size as u64);
     }
 
     /// Replays pending allocation-log entries after a crash, freeing every
@@ -375,10 +379,16 @@ impl PmemAllocator {
             if ptr_raw != 0 {
                 let ptr = PmPtr::<u8>::from_raw(ptr_raw);
                 let dest = PmPtr::<AtomicU64>::from_raw(dest_raw);
-                // SAFETY: the log recorded a valid destination cell; after a
-                // crash recovery runs single-threaded.
-                let linked =
-                    !dest.is_null() && unsafe { dest.deref() }.load(Ordering::Relaxed) == ptr_raw;
+                // The destination may live in a *different* pool, and that
+                // pool may have been destroyed (or never remounted) by the
+                // time recovery runs; dereferencing it would fault. Resolve
+                // it defensively and treat an unreachable destination as
+                // not-linked, which reclaims the block.
+                let linked = dest_cell_resolvable(dest)
+                    // SAFETY: resolvable ⇒ the cell is an in-bounds, 8-byte
+                    // aligned word of a registered pool; recovery runs
+                    // single-threaded after a crash.
+                    && unsafe { dest.deref() }.load(Ordering::Relaxed) == ptr_raw;
                 if !linked {
                     self.free(ptr, entry.size.load(Ordering::Relaxed) as usize);
                     reclaimed += 1;
@@ -392,6 +402,19 @@ impl PmemAllocator {
         persist::fence();
         reclaimed
     }
+}
+
+/// Whether a logged `malloc_to` destination can be dereferenced: non-null,
+/// its pool is currently registered, and the 8-byte cell is in bounds.
+fn dest_cell_resolvable(dest: PmPtr<AtomicU64>) -> bool {
+    if dest.is_null() {
+        return false;
+    }
+    if crate::pool::base_of(dest.pool_id()).is_null() {
+        return false;
+    }
+    crate::pool::pool_by_id(dest.pool_id())
+        .is_some_and(|p| dest.offset() + 8 <= p.size() as u64 && dest.offset().is_multiple_of(8))
 }
 
 #[cfg(test)]

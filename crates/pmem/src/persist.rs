@@ -33,7 +33,12 @@ pub fn persist(ptr: *const u8, len: usize) {
     if let Some((id, offset)) = pool::lookup_addr(ptr) {
         // Lock-free steady state: `with_pool` resolves the handle through a
         // per-thread cache instead of the registry mutex.
-        pool::with_pool(id, |p| p.persist_range(offset, len));
+        pool::with_pool(id, |p| {
+            // Pre-image capture must happen before the media copy.
+            #[cfg(feature = "trace")]
+            crate::trace::record_flush(p, offset, len);
+            p.persist_range(offset, len)
+        });
         model::on_flush(id, offset, len);
     }
 }
@@ -48,6 +53,8 @@ pub fn persist_obj<T>(obj: &T) {
 #[inline]
 pub fn fence() {
     cpu_fence(Ordering::SeqCst);
+    #[cfg(feature = "trace")]
+    crate::trace::on_fence();
     model::on_fence();
 }
 

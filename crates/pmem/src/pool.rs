@@ -329,6 +329,62 @@ impl PmemPool {
     pub fn persist_all(&self) {
         self.persist_range(0, self.size);
     }
+
+    /// Reads the current media content of the cache line containing `offset`.
+    ///
+    /// Returns `None` if crash simulation is disabled or the line is out of
+    /// bounds. Used by the trace layer to capture flush pre-images.
+    pub fn media_line(&self, offset: u64) -> Option<[u8; CACHE_LINE]> {
+        let media = self.media.as_ref()?;
+        let line = (offset as usize) & !(CACHE_LINE - 1);
+        if line + CACHE_LINE > self.size {
+            return None;
+        }
+        let mut out = [0u8; CACHE_LINE];
+        let mut off = 0;
+        while off < CACHE_LINE {
+            // SAFETY: in bounds (checked above), 8-byte aligned; atomic reads
+            // make racing flush writers defined behaviour.
+            let word = unsafe {
+                (*(media.base().add(line + off) as *const AtomicU64)).load(Ordering::Relaxed)
+            };
+            out[off..off + 8].copy_from_slice(&word.to_ne_bytes());
+            off += 8;
+        }
+        Some(out)
+    }
+
+    /// Copies the entire media image into a fresh buffer.
+    ///
+    /// Returns `None` if crash simulation is disabled. This is the checker's
+    /// end-of-run snapshot from which earlier crash states are rewound.
+    pub fn media_snapshot(&self) -> Option<Vec<u8>> {
+        let media = self.media.as_ref()?;
+        let mut out = vec![0u8; self.size];
+        copy_atomic_to_slice(media.base(), &mut out);
+        Some(out)
+    }
+
+    /// Installs `image` as both the media and volatile content of the pool —
+    /// i.e. remounts the pool as if a power failure had left exactly `image`
+    /// on media. Bumps the crash count and rebuilds allocator state, like
+    /// [`simulate_crash`](Self::simulate_crash).
+    ///
+    /// # Panics
+    ///
+    /// Panics if crash simulation is disabled or `image` has the wrong size.
+    pub fn load_crash_image(&self, image: &[u8]) {
+        let media = self.media.as_ref().expect("crash simulation not enabled");
+        assert_eq!(image.len(), self.size, "crash image size mismatch");
+        {
+            let guard = self.volatile.lock();
+            let vol = guard.as_ref().expect("pool is mounted").base();
+            copy_slice_atomic(image, media.base());
+            copy_slice_atomic(image, vol);
+        }
+        self.crash_count.fetch_add(1, Ordering::Relaxed);
+        self.allocator.remount(self);
+    }
 }
 
 fn copy_atomic(src: *const u8, dst: *mut u8, len: usize) {
@@ -342,6 +398,30 @@ fn copy_atomic(src: *const u8, dst: *mut u8, len: usize) {
             let d = &*(dst.add(off) as *const AtomicU64);
             d.store(s.load(Ordering::Relaxed), Ordering::Relaxed);
         }
+        off += 8;
+    }
+}
+
+fn copy_slice_atomic(src: &[u8], dst: *mut u8) {
+    debug_assert_eq!(src.len() % 8, 0);
+    let mut off = 0;
+    while off < src.len() {
+        let word = u64::from_ne_bytes(src[off..off + 8].try_into().expect("8-byte chunk"));
+        // SAFETY: `dst` is a live image of at least `src.len()` bytes,
+        // 8-byte aligned; atomic stores keep concurrent readers defined.
+        unsafe { (*(dst.add(off) as *const AtomicU64)).store(word, Ordering::Relaxed) };
+        off += 8;
+    }
+}
+
+fn copy_atomic_to_slice(src: *const u8, dst: &mut [u8]) {
+    debug_assert_eq!(dst.len() % 8, 0);
+    let mut off = 0;
+    while off < dst.len() {
+        // SAFETY: `src` is a live image of at least `dst.len()` bytes,
+        // 8-byte aligned; atomic loads keep concurrent writers defined.
+        let word = unsafe { (*(src.add(off) as *const AtomicU64)).load(Ordering::Relaxed) };
+        dst[off..off + 8].copy_from_slice(&word.to_ne_bytes());
         off += 8;
     }
 }
