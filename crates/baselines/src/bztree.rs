@@ -110,6 +110,8 @@ pub struct BzTree {
     mode: KeyMode,
     collector: Arc<Collector>,
     mwcas: PmwCasRunner,
+    /// Per-operation latency histograms (obsv recorder).
+    ops: obsv::OpHistograms,
 }
 
 impl BzTree {
@@ -128,6 +130,7 @@ impl BzTree {
             pool,
             mode,
             collector,
+            ops: obsv::OpHistograms::new(),
         };
         let root = tree.alloc_leaf()?;
         tree.pool.allocator().root(0).store(root, Ordering::Release);
@@ -150,6 +153,7 @@ impl BzTree {
             pool,
             mode,
             collector,
+            ops: obsv::OpHistograms::new(),
         };
         let root = tree.alloc_leaf()?;
         tree.pool.allocator().root(0).store(root, Ordering::Release);
@@ -173,6 +177,7 @@ impl BzTree {
             pool,
             mode,
             collector,
+            ops: obsv::OpHistograms::new(),
         };
         tree.scrub_descriptors();
         Ok(Arc::new(tree))
@@ -371,6 +376,13 @@ impl BzTree {
 
     /// Point lookup (lock-free).
     pub fn lookup(&self, key: &[u8]) -> Option<u64> {
+        let timer = obsv::OpTimer::start();
+        let result = self.lookup_inner(key);
+        self.ops.finish(obsv::OpKind::Lookup, timer, 0);
+        result
+    }
+
+    fn lookup_inner(&self, key: &[u8]) -> Option<u64> {
         let guard = self.collector.pin();
         let (_, leaf_raw) = self.descend(&guard, key);
         // SAFETY: live leaf.
@@ -380,6 +392,13 @@ impl BzTree {
 
     /// Inserts or updates; returns the previous value if present.
     pub fn insert(&self, key: &[u8], value: u64) -> Result<Option<u64>> {
+        let timer = obsv::OpTimer::start();
+        let result = self.insert_inner(key, value);
+        self.ops.finish(obsv::OpKind::Insert, timer, 0);
+        result
+    }
+
+    fn insert_inner(&self, key: &[u8], value: u64) -> Result<Option<u64>> {
         let guard = self.collector.pin();
         loop {
             let (path, leaf_raw) = self.descend(&guard, key);
@@ -430,6 +449,13 @@ impl BzTree {
     /// Removes `key`; returns its value if present (tombstones the newest
     /// visible record; space is reclaimed at consolidation).
     pub fn remove(&self, key: &[u8]) -> Result<Option<u64>> {
+        let timer = obsv::OpTimer::start();
+        let result = self.remove_inner(key);
+        self.ops.finish(obsv::OpKind::Remove, timer, 0);
+        result
+    }
+
+    fn remove_inner(&self, key: &[u8]) -> Result<Option<u64>> {
         let guard = self.collector.pin();
         loop {
             let (_, leaf_raw) = self.descend(&guard, key);
@@ -466,11 +492,13 @@ impl BzTree {
     /// Ordered scan: snapshots and sorts each leaf (the paper's BzTree scan
     /// overhead).
     pub fn scan(&self, start: &[u8], count: usize) -> Vec<(Vec<u8>, u64)> {
+        let timer = obsv::OpTimer::start();
         let guard = self.collector.pin();
         let mut out = Vec::with_capacity(count.min(4096));
         let root = read_word(self.root_cell());
         self.scan_rec(&guard, root, start, count, &mut out);
         out.truncate(count);
+        self.ops.finish(obsv::OpKind::Scan, timer, 0);
         out
     }
 
@@ -856,6 +884,12 @@ impl BzTree {
     /// Whether the tree is empty.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+}
+
+impl obsv::OpRecorder for BzTree {
+    fn op_histograms(&self) -> &obsv::OpHistograms {
+        &self.ops
     }
 }
 

@@ -158,6 +158,8 @@ unsafe fn nref<'a>(raw: u64) -> &'a Node {
 pub struct FastFair {
     pool: Arc<PmemPool>,
     mode: KeyMode,
+    /// Per-operation latency histograms (obsv recorder).
+    ops: obsv::OpHistograms,
 }
 
 impl FastFair {
@@ -170,7 +172,11 @@ impl FastFair {
             crash_sim: false,
             alloc_mode: AllocMode::CrashConsistent,
         })?;
-        let tree = FastFair { pool, mode };
+        let tree = FastFair {
+            pool,
+            mode,
+            ops: obsv::OpHistograms::new(),
+        };
         let root_cell = tree.pool.allocator().root(0);
         let pid = tree.pool.id();
         tree.pool
@@ -193,7 +199,11 @@ impl FastFair {
             crash_sim: true,
             alloc_mode: AllocMode::CrashConsistent,
         })?;
-        let tree = FastFair { pool, mode };
+        let tree = FastFair {
+            pool,
+            mode,
+            ops: obsv::OpHistograms::new(),
+        };
         let root_cell = tree.pool.allocator().root(0);
         tree.pool
             .allocator()
@@ -214,7 +224,11 @@ impl FastFair {
         let pool =
             pool::pool_by_name(name).ok_or_else(|| PmemError::PoolNotFound(name.to_string()))?;
         pool.allocator().recover_logs();
-        let tree = FastFair { pool, mode };
+        let tree = FastFair {
+            pool,
+            mode,
+            ops: obsv::OpHistograms::new(),
+        };
         tree.clear_locks();
         Ok(Arc::new(tree))
     }
@@ -410,6 +424,13 @@ impl FastFair {
 
     /// Point lookup.
     pub fn lookup(&self, key: &[u8]) -> Option<u64> {
+        let timer = obsv::OpTimer::start();
+        let result = self.lookup_inner(key);
+        self.ops.finish(obsv::OpKind::Lookup, timer, 0);
+        result
+    }
+
+    fn lookup_inner(&self, key: &[u8]) -> Option<u64> {
         let pid = self.pool.id();
         let leaf_raw = self.find_leaf_shared(key);
         // SAFETY: locked leaf.
@@ -423,6 +444,13 @@ impl FastFair {
     /// Range scan: up to `count` pairs with keys ≥ `start`, using the
     /// sibling chain (sequential embedded reads for integer keys — GA5).
     pub fn scan(&self, start: &[u8], count: usize) -> Vec<(Vec<u8>, u64)> {
+        let timer = obsv::OpTimer::start();
+        let result = self.scan_inner(start, count);
+        self.ops.finish(obsv::OpKind::Scan, timer, 0);
+        result
+    }
+
+    fn scan_inner(&self, start: &[u8], count: usize) -> Vec<(Vec<u8>, u64)> {
         let pid = self.pool.id();
         let mut out = Vec::with_capacity(count.min(4096));
         let mut raw = self.find_leaf_shared(start);
@@ -472,6 +500,13 @@ impl FastFair {
     /// Splits are synchronous: the whole root-to-leaf path is write-locked
     /// while the split cascades (the paper's GC2 critique).
     pub fn insert(&self, key: &[u8], value: u64) -> Result<Option<u64>> {
+        let timer = obsv::OpTimer::start();
+        let result = self.insert_inner(key, value);
+        self.ops.finish(obsv::OpKind::Insert, timer, 0);
+        result
+    }
+
+    fn insert_inner(&self, key: &[u8], value: u64) -> Result<Option<u64>> {
         let pid = self.pool.id();
         // Optimistic single-leaf attempt under the write lock.
         let leaf_raw = self.find_leaf_write(key);
@@ -506,6 +541,13 @@ impl FastFair {
     /// Removes `key`; returns its value if present. Underflow is tolerated
     /// (no merges), like common FastFair artifacts; YCSB has no deletes.
     pub fn remove(&self, key: &[u8]) -> Result<Option<u64>> {
+        let timer = obsv::OpTimer::start();
+        let result = self.remove_inner(key);
+        self.ops.finish(obsv::OpKind::Remove, timer, 0);
+        result
+    }
+
+    fn remove_inner(&self, key: &[u8]) -> Result<Option<u64>> {
         let pid = self.pool.id();
         let leaf_raw = self.find_leaf_write(key);
         // SAFETY: write-locked leaf.
@@ -801,6 +843,12 @@ impl FastFair {
     /// Whether the tree is empty.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+}
+
+impl obsv::OpRecorder for FastFair {
+    fn op_histograms(&self) -> &obsv::OpHistograms {
+        &self.ops
     }
 }
 

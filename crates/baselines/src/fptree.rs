@@ -120,6 +120,8 @@ pub struct FpTree {
     /// DRAM inner structure: separator (leaf's lower bound) → leaf pointer.
     inner: RwLock<BTreeMap<u64, u64>>,
     approx_len: AtomicUsize,
+    /// Per-operation latency histograms (obsv recorder).
+    ops: obsv::OpHistograms,
 }
 
 impl FpTree {
@@ -137,6 +139,7 @@ impl FpTree {
             inner: RwLock::new(BTreeMap::new()),
             approx_len: AtomicUsize::new(0),
             pool,
+            ops: obsv::OpHistograms::new(),
         };
         let head = tree.alloc_leaf()?;
         tree.inner.write().insert(0, head);
@@ -159,6 +162,7 @@ impl FpTree {
             inner: RwLock::new(BTreeMap::new()),
             approx_len: AtomicUsize::new(0),
             pool,
+            ops: obsv::OpHistograms::new(),
         };
         let head = tree.alloc_leaf()?;
         tree.inner.write().insert(0, head);
@@ -182,6 +186,7 @@ impl FpTree {
             inner: RwLock::new(BTreeMap::new()),
             approx_len: AtomicUsize::new(0),
             pool,
+            ops: obsv::OpHistograms::new(),
         };
         tree.complete_torn_splits(head);
         {
@@ -302,6 +307,13 @@ impl FpTree {
 
     /// Point lookup.
     pub fn lookup(&self, key: u64) -> Option<u64> {
+        let timer = obsv::OpTimer::start();
+        let result = self.lookup_inner(key);
+        self.ops.finish(obsv::OpKind::Lookup, timer, 0);
+        result
+    }
+
+    fn lookup_inner(&self, key: u64) -> Option<u64> {
         self.htm.run(self.footprint(), |in_fallback| {
             let inner = if in_fallback {
                 self.inner.read()
@@ -329,6 +341,13 @@ impl FpTree {
 
     /// Inserts or updates; returns the previous value if present.
     pub fn insert(&self, key: u64, value: u64) -> Result<Option<u64>> {
+        let timer = obsv::OpTimer::start();
+        let result = self.insert_inner(key, value);
+        self.ops.finish(obsv::OpKind::Insert, timer, 0);
+        result
+    }
+
+    fn insert_inner(&self, key: u64, value: u64) -> Result<Option<u64>> {
         // Fast path: room in the leaf, upsert under the leaf lock.
         let fast: Option<Option<u64>> = self.htm.run(self.footprint(), |in_fallback| {
             let inner = if in_fallback {
@@ -429,6 +448,13 @@ impl FpTree {
 
     /// Removes `key`; returns its value if present.
     pub fn remove(&self, key: u64) -> Result<Option<u64>> {
+        let timer = obsv::OpTimer::start();
+        let result = self.remove_inner(key);
+        self.ops.finish(obsv::OpKind::Remove, timer, 0);
+        result
+    }
+
+    fn remove_inner(&self, key: u64) -> Result<Option<u64>> {
         let res = self.htm.run(self.footprint(), |in_fallback| {
             let inner = if in_fallback {
                 self.inner.read()
@@ -457,6 +483,13 @@ impl FpTree {
     /// Ordered scan: walks the leaf chain, sorting and filtering each leaf
     /// (FPTree's scan overhead, Figure 13).
     pub fn scan(&self, start: u64, count: usize) -> Vec<(u64, u64)> {
+        let timer = obsv::OpTimer::start();
+        let result = self.scan_inner(start, count);
+        self.ops.finish(obsv::OpKind::Scan, timer, 0);
+        result
+    }
+
+    fn scan_inner(&self, start: u64, count: usize) -> Vec<(u64, u64)> {
         self.htm
             .run(self.footprint() + count.min(65_536) * 16, |in_fallback| {
                 let inner = if in_fallback {
@@ -505,12 +538,18 @@ impl FpTree {
 
     /// Live pairs — O(n), tests only.
     pub fn len(&self) -> usize {
-        self.scan(0, usize::MAX >> 1).len()
+        self.scan_inner(0, usize::MAX >> 1).len()
     }
 
     /// Whether the tree is empty.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+}
+
+impl obsv::OpRecorder for FpTree {
+    fn op_histograms(&self) -> &obsv::OpHistograms {
+        &self.ops
     }
 }
 

@@ -1,0 +1,211 @@
+//! Microbenchmark of the always-on observability layer's own cost.
+//!
+//! Every index operation pays one `obsv::OpTimer` pair (two TSC reads)
+//! plus one relaxed striped `fetch_add` into a latency histogram. This
+//! binary quantifies that cost on the path where it is proportionally
+//! largest: uniform random lookups on PACTree with the NVM model disabled
+//! (no modeled stalls to hide behind).
+//!
+//! Method: the run is split into many short slices; recording is toggled
+//! (`obsv::set_enabled`) at barrier-synchronized slice boundaries. The
+//! overhead estimate is the **median of per-pair ratios**: each adjacent
+//! (on, off) slice pair executes within a few ms of each other and so
+//! shares the host's noise regime, the order within a pair alternates
+//! pair by pair (a fixed on-first order measurably biased "on" by ~2pp),
+//! and the median discards the pairs where a scheduler stall landed
+//! inside just one slice. Per-arm aggregates (plain sums, then
+//! 20%-trimmed means) were tried first and still showed 3–18%
+//! run-to-run spread on this 1-vCPU shared VM; coarse round-interleaving
+//! was worse at ±30%. The bound (<5%) applies to the default sampling
+//! config
+//! (`obsv::DEFAULT_SAMPLE_SHIFT`, latency timed 1-in-16 with exact
+//! counts); the full-fidelity config (`sample_shift = 0`, every op pays
+//! the clock pair) is measured and reported too, for the record. Results
+//! feed the EXPERIMENTS.md observability section.
+//!
+//! Env knobs: `PAC_KEYS` (default 50k), `PAC_OBSV_OPS` (lookups per
+//! thread per slice, default 2k), `PAC_OBSV_SLICES` (default 240),
+//! `PAC_OBSV_THREADS` (default: host parallelism, capped at 4).
+//! `--quick` shrinks everything for the CI smoke job.
+
+use std::sync::Barrier;
+use std::time::Instant;
+
+use pactree::{PacTree, PacTreeConfig};
+use pmem::model::{self, NvmModelConfig};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use ycsb::{driver, KeySpace};
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Runs `slices` barrier-synchronized lookup slices, toggling recording
+/// between slices (even = enabled, odd = disabled). Returns per-slice
+/// wall-clock nanoseconds per arm: `(on_slices, off_slices)`.
+fn run_sliced(
+    tree: &PacTree,
+    keys: u64,
+    threads: usize,
+    slice_ops: u64,
+    slices: u64,
+) -> (Vec<u64>, Vec<u64>) {
+    let start_barrier = Barrier::new(threads + 1);
+    let end_barrier = Barrier::new(threads + 1);
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let (start_barrier, end_barrier) = (&start_barrier, &end_barrier);
+            s.spawn(move || {
+                pmem::numa::pin_thread_round_robin();
+                let mut rng = StdRng::seed_from_u64(0xB0B ^ (t as u64).wrapping_mul(0x9E37));
+                for _ in 0..slices {
+                    start_barrier.wait();
+                    for _ in 0..slice_ops {
+                        let id = rng.gen_range(0..keys);
+                        std::hint::black_box(tree.lookup(&KeySpace::Integer.encode(id)));
+                    }
+                    end_barrier.wait();
+                }
+            });
+        }
+        let (mut on, mut off) = (Vec::new(), Vec::new());
+        for slice in 0..slices {
+            // Adjacent slices form an (on, off) pair; the order within
+            // the pair alternates pair by pair so first-slot effects
+            // (barrier wake pattern, steal-quantum phase) cancel instead
+            // of biasing one arm.
+            let enabled = (slice % 2 == 0) ^ ((slice / 2) % 2 == 1);
+            obsv::set_enabled(enabled);
+            start_barrier.wait();
+            let t0 = Instant::now();
+            end_barrier.wait();
+            let ns = t0.elapsed().as_nanos() as u64;
+            if enabled { &mut on } else { &mut off }.push(ns);
+        }
+        obsv::set_enabled(true);
+        (on, off)
+    })
+}
+
+/// Mean of the middle 60% of `slices` (20% trimmed from each end); used
+/// only for the displayed per-arm throughputs.
+fn trimmed_mean_ns(slices: &[u64]) -> f64 {
+    let mut v = slices.to_vec();
+    v.sort_unstable();
+    let trim = v.len() / 5;
+    let mid = &v[trim..v.len() - trim];
+    mid.iter().sum::<u64>() as f64 / mid.len() as f64
+}
+
+/// One measured configuration at the current sampling config: returns
+/// `(on_mops, off_mops, overhead_pct)` where the overhead is the median
+/// of per-adjacent-pair slowdown ratios `(on_i - off_i) / off_i`.
+fn measure(
+    tree: &PacTree,
+    keys: u64,
+    threads: usize,
+    slice_ops: u64,
+    slices: u64,
+) -> (f64, f64, f64) {
+    let (on, off) = run_sliced(tree, keys, threads, slice_ops, slices);
+    let slice_total_ops = (threads as u64 * slice_ops) as f64;
+    let on_mops = slice_total_ops * 1e3 / trimmed_mean_ns(&on);
+    let off_mops = slice_total_ops * 1e3 / trimmed_mean_ns(&off);
+    let mut ratios: Vec<f64> = on
+        .iter()
+        .zip(off.iter())
+        .map(|(&a, &b)| (a as f64 - b as f64) / b as f64 * 100.0)
+        .collect();
+    ratios.sort_by(|a, b| a.total_cmp(b));
+    let overhead = ratios[ratios.len() / 2];
+    (on_mops, off_mops, overhead)
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let keys = if quick {
+        10_000
+    } else {
+        env_u64("PAC_KEYS", 50_000)
+    };
+    let slice_ops = if quick {
+        1_500
+    } else {
+        env_u64("PAC_OBSV_OPS", 2_000)
+    };
+    let slices = if quick {
+        40
+    } else {
+        env_u64("PAC_OBSV_SLICES", 240)
+    };
+    // Match the host's real parallelism: unlike the figure binaries this
+    // bench measures *cost*, and oversubscribing a small VM (this box
+    // often exposes 1 vCPU) only adds scheduler churn to both arms. Its
+    // own knob, so run_figures.sh's PAC_THREADS scale doesn't apply.
+    let host = std::thread::available_parallelism().map_or(1, |n| n.get() as u64);
+    let threads = env_u64("PAC_OBSV_THREADS", host.min(4)) as usize;
+
+    println!("== obsv overhead: uniform lookups, model disabled");
+    println!(
+        "   {keys} keys, {threads} threads, {slices} alternating slices x {slice_ops} ops/thread"
+    );
+
+    pmem::numa::set_topology(1);
+    model::set_config(NvmModelConfig::disabled());
+    let tree =
+        PacTree::create(PacTreeConfig::named("bench-obsv-ovh").with_pool_size((256usize) << 20))
+            .expect("create pactree");
+    driver::populate(&tree, KeySpace::Integer, keys, 4);
+
+    // Warmup: one unmeasured pass (touches every leaf; fills caches and
+    // spins the VM/cpufreq up before either arm is timed).
+    run_sliced(&tree, keys, threads, slice_ops, 8);
+
+    // Two configs: the default always-on one (exact counts every op,
+    // latency sampled 1-in-2^DEFAULT_SAMPLE_SHIFT) that the <5% bound
+    // applies to, and full fidelity (every op pays the clock pair, what
+    // fig13_tail opts into), reported for the record. Three interleaved
+    // trials per config, medianed: noise regimes on a shared VM last
+    // tens of seconds, so a single trial can land entirely inside one.
+    const TRIALS: usize = 3;
+    let configs = [
+        (obsv::DEFAULT_SAMPLE_SHIFT, "sampled 1/16 (default)"),
+        (0u32, "full fidelity (shift 0)"),
+    ];
+    let mut results = [const { Vec::new() }; 2];
+    for _trial in 0..TRIALS {
+        for (i, &(shift, _)) in configs.iter().enumerate() {
+            obsv::set_sample_shift(shift);
+            results[i].push(measure(&tree, keys, threads, slice_ops, slices));
+        }
+    }
+    obsv::set_sample_shift(obsv::DEFAULT_SAMPLE_SHIFT);
+
+    println!(
+        "{:<26} {:>10} {:>10} {:>9}  trials",
+        "config", "on Mops/s", "off Mops/s", "overhead"
+    );
+    let mut medians = [0.0f64; 2];
+    for (i, &(_, label)) in configs.iter().enumerate() {
+        let trials = &mut results[i];
+        trials.sort_by(|a, b| a.2.total_cmp(&b.2));
+        let (on_mops, off_mops, overhead) = trials[TRIALS / 2];
+        medians[i] = overhead;
+        let all = trials
+            .iter()
+            .map(|t| format!("{:.2}%", t.2))
+            .collect::<Vec<_>>()
+            .join(" ");
+        println!("{label:<26} {on_mops:>10.3} {off_mops:>10.3} {overhead:>8.2}%  [{all}]");
+    }
+    let overhead = medians[0];
+    println!("-- overhead {overhead:.2}% (median of {TRIALS} trials, default sampling)");
+    println!(
+        "-- verdict: {} (bound: <5% at default sampling)",
+        if overhead < 5.0 { "PASS" } else { "FAIL" }
+    );
+    tree.destroy();
+}

@@ -263,6 +263,16 @@ impl RangeIndex for AnyIndex {
     fn supports_strings(&self) -> bool {
         !matches!(self, AnyIndex::Fp(_))
     }
+
+    fn op_histograms(&self) -> Option<&obsv::OpHistograms> {
+        match self {
+            AnyIndex::Pac(t) => RangeIndex::op_histograms(t),
+            AnyIndex::Pdl(t) => RangeIndex::op_histograms(t),
+            AnyIndex::Bz(t) => RangeIndex::op_histograms(t),
+            AnyIndex::Ff(t) => RangeIndex::op_histograms(t),
+            AnyIndex::Fp(t) => RangeIndex::op_histograms(t),
+        }
+    }
 }
 
 /// Prints a standard figure header.

@@ -1,0 +1,191 @@
+//! Sampling flight recorder: per-thread bounded rings of recent operation
+//! records, dumpable on panic (or on a crashcheck violation) for
+//! post-mortem analysis of what each thread was doing when things went
+//! wrong.
+//!
+//! Compiled out unless the `flight` cargo feature is enabled — the
+//! [`record`] call in the histogram hot path is an empty inline function
+//! otherwise. With the feature on, each thread appends to its own
+//! `Mutex`-protected ring (uncontended except during a dump), registered
+//! in a global list so [`dump_string`] can walk every thread, including
+//! exited ones.
+
+use crate::recorder::OpKind;
+
+/// One recorded operation.
+#[derive(Clone, Copy, Debug)]
+pub struct OpRecord {
+    /// Completion time ([`crate::clock::now_ns`], process-relative).
+    pub ts_ns: u64,
+    pub kind: OpKind,
+    pub latency_ns: u64,
+    pub retries: u32,
+}
+
+/// Records kept per thread; older records are overwritten.
+pub const RING_CAPACITY: usize = 4096;
+
+#[cfg(feature = "flight")]
+mod imp {
+    use super::*;
+    use std::sync::{Arc, Mutex, Once, OnceLock};
+
+    struct Ring {
+        buf: Vec<OpRecord>,
+        /// Next write position; `buf.len() == RING_CAPACITY` once wrapped.
+        next: usize,
+    }
+
+    impl Ring {
+        fn push(&mut self, rec: OpRecord) {
+            if self.buf.len() < RING_CAPACITY {
+                self.buf.push(rec);
+            } else {
+                self.buf[self.next] = rec;
+            }
+            self.next = (self.next + 1) % RING_CAPACITY;
+        }
+
+        /// Oldest-to-newest copy.
+        fn ordered(&self) -> Vec<OpRecord> {
+            if self.buf.len() < RING_CAPACITY {
+                self.buf.clone()
+            } else {
+                let mut out = Vec::with_capacity(RING_CAPACITY);
+                out.extend_from_slice(&self.buf[self.next..]);
+                out.extend_from_slice(&self.buf[..self.next]);
+                out
+            }
+        }
+    }
+
+    /// All live rings, keyed by thread name (for the panic dump).
+    type RingDirectory = Mutex<Vec<(String, Arc<Mutex<Ring>>)>>;
+
+    fn rings() -> &'static RingDirectory {
+        static RINGS: OnceLock<RingDirectory> = OnceLock::new();
+        RINGS.get_or_init(|| Mutex::new(Vec::new()))
+    }
+
+    thread_local! {
+        static MY_RING: Arc<Mutex<Ring>> = {
+            let ring = Arc::new(Mutex::new(Ring { buf: Vec::new(), next: 0 }));
+            let name = std::thread::current()
+                .name()
+                .map(str::to_owned)
+                .unwrap_or_else(|| format!("{:?}", std::thread::current().id()));
+            rings().lock().unwrap().push((name, ring.clone()));
+            ring
+        };
+    }
+
+    pub fn record(kind: OpKind, latency_ns: u64, retries: u32) {
+        if !crate::enabled() {
+            return;
+        }
+        let rec = OpRecord {
+            ts_ns: crate::clock::now_ns(),
+            kind,
+            latency_ns,
+            retries,
+        };
+        MY_RING.with(|r| r.lock().unwrap().push(rec));
+    }
+
+    /// All threads' rings, oldest record first per thread.
+    pub fn snapshot_all() -> Vec<(String, Vec<OpRecord>)> {
+        rings()
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(name, ring)| (name.clone(), ring.lock().unwrap().ordered()))
+            .collect()
+    }
+
+    /// Human-readable dump: the most recent `tail` records of every thread.
+    pub fn dump_string(tail: usize) -> String {
+        let mut out = String::new();
+        for (name, recs) in snapshot_all() {
+            out.push_str(&format!(
+                "== flight recorder: thread {name} ({} records) ==\n",
+                recs.len()
+            ));
+            let skip = recs.len().saturating_sub(tail);
+            for r in &recs[skip..] {
+                out.push_str(&format!(
+                    "  t={:>12}ns {:<6} lat={:>9}ns retries={}\n",
+                    r.ts_ns,
+                    r.kind.name(),
+                    r.latency_ns,
+                    r.retries
+                ));
+            }
+        }
+        if out.is_empty() {
+            out.push_str("== flight recorder: no records ==\n");
+        }
+        out
+    }
+
+    /// Installs a panic hook (once) that prints the flight-recorder tail to
+    /// stderr before the default hook runs.
+    pub fn install_panic_hook() {
+        static ONCE: Once = Once::new();
+        ONCE.call_once(|| {
+            let prev = std::panic::take_hook();
+            std::panic::set_hook(Box::new(move |info| {
+                eprintln!("{}", dump_string(32));
+                prev(info);
+            }));
+        });
+    }
+}
+
+#[cfg(not(feature = "flight"))]
+mod imp {
+    use super::*;
+
+    #[inline(always)]
+    pub fn record(_kind: OpKind, _latency_ns: u64, _retries: u32) {}
+
+    pub fn snapshot_all() -> Vec<(String, Vec<OpRecord>)> {
+        Vec::new()
+    }
+
+    pub fn dump_string(_tail: usize) -> String {
+        String::from("== flight recorder: disabled (build with --features obsv/flight) ==\n")
+    }
+
+    pub fn install_panic_hook() {}
+}
+
+pub use imp::{dump_string, install_panic_hook, record, snapshot_all};
+
+#[cfg(all(test, feature = "flight"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_wraps_and_dumps() {
+        std::thread::Builder::new()
+            .name("flight-test".into())
+            .spawn(|| {
+                for i in 0..(RING_CAPACITY + 10) as u64 {
+                    record(OpKind::Lookup, i, 0);
+                }
+            })
+            .unwrap()
+            .join()
+            .unwrap();
+        let all = snapshot_all();
+        let (_, recs) = all
+            .iter()
+            .find(|(name, _)| name == "flight-test")
+            .expect("ring registered");
+        assert_eq!(recs.len(), RING_CAPACITY);
+        // Oldest 10 overwritten; order preserved.
+        assert_eq!(recs[0].latency_ns, 10);
+        assert_eq!(recs.last().unwrap().latency_ns, (RING_CAPACITY + 9) as u64);
+        assert!(dump_string(4).contains("flight-test"));
+    }
+}

@@ -1,0 +1,230 @@
+//! Per-operation-type latency recording shared by every index.
+//!
+//! Each index owns an [`OpHistograms`] (one striped [`Histogram`] per
+//! [`OpKind`]) and implements [`OpRecorder`] to expose it. The hot-path
+//! contract is: take an [`crate::OpTimer`] at operation entry, call
+//! [`OpHistograms::finish`] at exit. When observability is disabled the
+//! timer is a sentinel and `finish` is a single branch.
+
+use crate::hist::{HistSnapshot, Histogram};
+use crate::{OpTimer, TimerStop};
+
+/// Number of operation kinds.
+pub const OP_KINDS: usize = 5;
+
+/// The operation types every range index exposes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum OpKind {
+    Lookup = 0,
+    Insert = 1,
+    Update = 2,
+    Scan = 3,
+    Remove = 4,
+}
+
+impl OpKind {
+    pub const ALL: [OpKind; OP_KINDS] = [
+        OpKind::Lookup,
+        OpKind::Insert,
+        OpKind::Update,
+        OpKind::Scan,
+        OpKind::Remove,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            OpKind::Lookup => "lookup",
+            OpKind::Insert => "insert",
+            OpKind::Update => "update",
+            OpKind::Scan => "scan",
+            OpKind::Remove => "remove",
+        }
+    }
+}
+
+/// One latency histogram per operation kind.
+pub struct OpHistograms {
+    per: [Histogram; OP_KINDS],
+}
+
+impl Default for OpHistograms {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl OpHistograms {
+    pub fn new() -> Self {
+        OpHistograms {
+            per: std::array::from_fn(|_| Histogram::new()),
+        }
+    }
+
+    /// The histogram for one operation kind.
+    #[inline]
+    pub fn hist(&self, kind: OpKind) -> &Histogram {
+        &self.per[kind as usize]
+    }
+
+    /// Records one completed operation. Also feeds the flight recorder
+    /// when the `flight` feature is enabled (a no-op call otherwise).
+    #[inline]
+    pub fn record(&self, kind: OpKind, latency_ns: u64, retries: u32) {
+        self.per[kind as usize].record(latency_ns);
+        crate::flight::record(kind, latency_ns, retries);
+    }
+
+    /// Stops `timer` and records the outcome: every operation is counted
+    /// exactly; latency-sampled ones (see [`crate::sample_shift`]) also
+    /// enter the histogram with their sampling weight. A single branch
+    /// when observability is disabled.
+    #[inline]
+    pub fn finish(&self, kind: OpKind, timer: OpTimer, retries: u32) {
+        match timer.stop() {
+            TimerStop::Disabled => {}
+            TimerStop::Counted => self.per[kind as usize].count_op(),
+            TimerStop::Sampled { ns, weight } => {
+                self.per[kind as usize].record_weighted(ns, weight);
+                crate::flight::record(kind, ns, retries);
+            }
+        }
+    }
+
+    /// Point-in-time snapshot of all kinds.
+    pub fn snapshot(&self) -> OpSetSnapshot {
+        OpSetSnapshot {
+            per: std::array::from_fn(|i| self.per[i].snapshot()),
+        }
+    }
+
+    /// Resets every histogram (between measurement runs, not mid-run).
+    pub fn reset(&self) {
+        for h in &self.per {
+            h.reset();
+        }
+    }
+}
+
+/// Snapshots of all five op histograms at one instant. Plain data:
+/// mergeable across threads/indexes and subtractable for per-phase deltas.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OpSetSnapshot {
+    per: [HistSnapshot; OP_KINDS],
+}
+
+impl Default for OpSetSnapshot {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+impl OpSetSnapshot {
+    pub fn empty() -> Self {
+        OpSetSnapshot {
+            per: std::array::from_fn(|_| HistSnapshot::empty()),
+        }
+    }
+
+    #[inline]
+    pub fn get(&self, kind: OpKind) -> &HistSnapshot {
+        &self.per[kind as usize]
+    }
+
+    /// Total operations across all kinds.
+    pub fn total_count(&self) -> u64 {
+        self.per.iter().map(|h| h.count()).sum()
+    }
+
+    /// All kinds merged into a single distribution.
+    pub fn merged(&self) -> HistSnapshot {
+        let mut out = HistSnapshot::empty();
+        for h in &self.per {
+            out.merge(h);
+        }
+        out
+    }
+
+    /// Merges `other` in, kind by kind.
+    pub fn merge(&mut self, other: &OpSetSnapshot) {
+        for (a, b) in self.per.iter_mut().zip(other.per.iter()) {
+            a.merge(b);
+        }
+    }
+
+    /// Per-kind delta `self - earlier`: the ops completed between the two
+    /// snapshots.
+    pub fn since(&self, earlier: &OpSetSnapshot) -> OpSetSnapshot {
+        OpSetSnapshot {
+            per: std::array::from_fn(|i| self.per[i].since(&earlier.per[i])),
+        }
+    }
+
+    /// JSON object keyed by op name plus `"all"` (the merged distribution),
+    /// omitting kinds with no samples. Values scaled by `scale`.
+    pub fn to_json(&self, scale: f64) -> String {
+        let mut parts = Vec::new();
+        for kind in OpKind::ALL {
+            let h = self.get(kind);
+            if h.count() > 0 {
+                parts.push(format!("\"{}\":{}", kind.name(), h.to_json(scale)));
+            }
+        }
+        parts.push(format!("\"all\":{}", self.merged().to_json(scale)));
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+/// The shared recorder interface: anything that owns per-op latency
+/// histograms. Implemented by PACTree, PDL-ART, and all three baselines.
+pub trait OpRecorder {
+    /// The histograms backing this component.
+    fn op_histograms(&self) -> &OpHistograms;
+
+    /// Snapshot of all op histograms.
+    fn op_snapshot(&self) -> OpSetSnapshot {
+        self.op_histograms().snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_snapshot_per_kind() {
+        let ops = OpHistograms::new();
+        ops.record(OpKind::Lookup, 100, 0);
+        ops.record(OpKind::Lookup, 200, 1);
+        ops.record(OpKind::Scan, 5_000, 0);
+        let snap = ops.snapshot();
+        assert_eq!(snap.get(OpKind::Lookup).count(), 2);
+        assert_eq!(snap.get(OpKind::Scan).count(), 1);
+        assert_eq!(snap.get(OpKind::Remove).count(), 0);
+        assert_eq!(snap.total_count(), 3);
+        assert_eq!(snap.merged().count(), 3);
+    }
+
+    #[test]
+    fn since_gives_phase_delta() {
+        let ops = OpHistograms::new();
+        ops.record(OpKind::Insert, 50, 0);
+        let before = ops.snapshot();
+        ops.record(OpKind::Insert, 70, 0);
+        ops.record(OpKind::Update, 90, 0);
+        let delta = ops.snapshot().since(&before);
+        assert_eq!(delta.get(OpKind::Insert).count(), 1);
+        assert_eq!(delta.get(OpKind::Update).count(), 1);
+        assert_eq!(delta.total_count(), 2);
+    }
+
+    #[test]
+    fn json_has_all_and_nonempty_kinds_only() {
+        let ops = OpHistograms::new();
+        ops.record(OpKind::Remove, 1000, 0);
+        let js = ops.snapshot().to_json(1.0);
+        assert!(js.contains("\"remove\""), "{js}");
+        assert!(js.contains("\"all\""), "{js}");
+        assert!(!js.contains("\"lookup\""), "{js}");
+    }
+}

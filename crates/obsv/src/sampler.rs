@@ -1,0 +1,138 @@
+//! Background sampler: a thread that periodically pulls the global
+//! [`crate::registry`] and appends one JSON object per sample to a
+//! JSON-lines file (typically under `results/`).
+//!
+//! Feature-gated (`sampler`): the stub variant accepts the same API and
+//! does nothing, so callers can start/stop unconditionally.
+
+use std::io;
+use std::path::Path;
+use std::time::Duration;
+
+#[cfg(feature = "sampler")]
+mod imp {
+    use super::*;
+    use std::fs::OpenOptions;
+    use std::io::Write as _;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use std::thread::JoinHandle;
+
+    /// Handle to a running sampler thread; stops and joins on drop.
+    pub struct Sampler {
+        stop: Arc<AtomicBool>,
+        handle: Option<JoinHandle<()>>,
+    }
+
+    impl Sampler {
+        /// Starts sampling the global registry every `interval` into the
+        /// JSON-lines file at `path` (created/truncated). `hist_scale`
+        /// scales histogram values in the emitted JSON.
+        pub fn start(
+            path: impl AsRef<Path>,
+            interval: Duration,
+            hist_scale: f64,
+        ) -> io::Result<Sampler> {
+            let mut file = OpenOptions::new()
+                .create(true)
+                .write(true)
+                .truncate(true)
+                .open(path.as_ref())?;
+            let stop = Arc::new(AtomicBool::new(false));
+            let stop2 = stop.clone();
+            let handle = std::thread::Builder::new()
+                .name("obsv-sampler".into())
+                .spawn(move || {
+                    // Poll the stop flag at <=10 ms granularity so stop()
+                    // never waits a full interval.
+                    let tick = interval.min(Duration::from_millis(10));
+                    let mut elapsed = Duration::ZERO;
+                    loop {
+                        if stop2.load(Ordering::Acquire) {
+                            break;
+                        }
+                        if elapsed >= interval {
+                            elapsed = Duration::ZERO;
+                            let line = crate::registry::global().sample().to_json(hist_scale);
+                            if writeln!(file, "{line}").is_err() {
+                                break;
+                            }
+                        }
+                        std::thread::sleep(tick);
+                        elapsed += tick;
+                    }
+                    // Final sample so short runs still record something.
+                    let line = crate::registry::global().sample().to_json(hist_scale);
+                    let _ = writeln!(file, "{line}");
+                    let _ = file.flush();
+                })?;
+            Ok(Sampler {
+                stop,
+                handle: Some(handle),
+            })
+        }
+
+        /// Stops the sampler and waits for the final sample to be written.
+        pub fn stop(mut self) {
+            self.shutdown();
+        }
+
+        fn shutdown(&mut self) {
+            self.stop.store(true, Ordering::Release);
+            if let Some(h) = self.handle.take() {
+                let _ = h.join();
+            }
+        }
+    }
+
+    impl Drop for Sampler {
+        fn drop(&mut self) {
+            self.shutdown();
+        }
+    }
+}
+
+#[cfg(not(feature = "sampler"))]
+mod imp {
+    use super::*;
+
+    /// Disabled sampler stub (build with `--features obsv/sampler`).
+    pub struct Sampler;
+
+    impl Sampler {
+        pub fn start(
+            _path: impl AsRef<Path>,
+            _interval: Duration,
+            _hist_scale: f64,
+        ) -> io::Result<Sampler> {
+            Ok(Sampler)
+        }
+
+        pub fn stop(self) {}
+    }
+}
+
+pub use imp::Sampler;
+
+#[cfg(all(test, feature = "sampler"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emits_json_lines() {
+        let _g = crate::registry::global().register_gauge("sampler.test", || Some(42.0));
+        let path = std::env::temp_dir().join("obsv_sampler_test.jsonl");
+        let s = Sampler::start(&path, Duration::from_millis(5), 1.0).unwrap();
+        std::thread::sleep(Duration::from_millis(30));
+        s.stop();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<_> = text.lines().collect();
+        assert!(!lines.is_empty());
+        for line in &lines {
+            assert!(line.starts_with("{\"ts_ns\":"), "{line}");
+            assert!(line.ends_with('}'), "{line}");
+        }
+        assert!(text.contains("\"sampler.test\":42"), "{text}");
+        let _ = std::fs::remove_file(&path);
+    }
+}

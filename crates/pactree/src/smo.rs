@@ -192,6 +192,28 @@ impl SmoLog {
     pub fn pending_count(&self) -> usize {
         self.pending().len()
     }
+
+    /// Replay lag: `(total_pending, max_pending_in_one_thread_slot)`.
+    ///
+    /// The per-slot maximum is the interesting tail signal — one writer
+    /// thread outrunning the updater fills *its* ring (capacity
+    /// [`ENTRIES_PER_THREAD`]) and hits the append back-pressure spin even
+    /// while the log as a whole looks empty.
+    pub fn replay_lag(&self) -> (usize, usize) {
+        let mut total = 0usize;
+        let mut max_slot = 0usize;
+        for t in 0..LOG_THREADS {
+            let mut slot = 0usize;
+            for i in 0..ENTRIES_PER_THREAD {
+                if self.word(t, i, W_STATE).load(Ordering::Acquire) == STATE_PENDING {
+                    slot += 1;
+                }
+            }
+            total += slot;
+            max_slot = max_slot.max(slot);
+        }
+        (total, max_slot)
+    }
 }
 
 /// A claimed, persisted SMO log entry being executed by a writer.

@@ -18,7 +18,9 @@
 //! NUMA-local.
 
 use std::sync::atomic::Ordering;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+
+use obsv::{OpKind, OpTimer};
 
 use pmem::epoch::Collector;
 use pmem::model;
@@ -143,6 +145,11 @@ pub struct PacTree {
     pub(crate) smo: SmoLog,
     collector: Arc<Collector>,
     stats: TreeStats,
+    /// Per-operation latency histograms (obsv recorder).
+    ops: obsv::OpHistograms,
+    /// Registry guards for this tree's gauges; dropped (and the gauges
+    /// unregistered) with the tree.
+    obsv_guards: OnceLock<Vec<obsv::Registration>>,
     updater: Updater,
     /// Sum of pool crash counts at assembly; used to detect that a crash
     /// was simulated underneath this instance (its deferred frees are then
@@ -248,6 +255,8 @@ impl PacTree {
             smo,
             collector,
             stats: TreeStats::default(),
+            ops: obsv::OpHistograms::new(),
+            obsv_guards: OnceLock::new(),
             updater: Updater::new(),
             birth_crash_count,
         });
@@ -258,7 +267,66 @@ impl PacTree {
         if tree.config.async_smo {
             tree.updater.start(Arc::downgrade(&tree));
         }
+        tree.register_obsv_gauges();
         Ok(tree)
+    }
+
+    /// Registers this tree's pipeline gauges (SMO log occupancy and replay
+    /// lag, epoch-reclamation backlog, jump-hop histogram, retry count) and
+    /// its per-op latency histograms with the global [`obsv::registry`],
+    /// under `pactree.<name>.*`. Callbacks capture a `Weak`, so registration
+    /// never extends the tree's lifetime; once the tree drops, the gauges
+    /// report nothing and the guards unregister them.
+    fn register_obsv_gauges(self: &Arc<Self>) {
+        let reg = obsv::registry::global();
+        let prefix = format!("pactree.{}", self.config.name);
+        let mut guards = Vec::new();
+        let gauge = |guards: &mut Vec<obsv::Registration>,
+                     name: String,
+                     f: Box<dyn Fn(&PacTree) -> f64 + Send + Sync>| {
+            let w = Arc::downgrade(self);
+            guards.push(reg.register_gauge(name, move || w.upgrade().map(|t| f(&t))));
+        };
+        gauge(
+            &mut guards,
+            format!("{prefix}.smo.pending"),
+            Box::new(|t| t.smo.replay_lag().0 as f64),
+        );
+        gauge(
+            &mut guards,
+            format!("{prefix}.smo.replay_lag_max_slot"),
+            Box::new(|t| t.smo.replay_lag().1 as f64),
+        );
+        gauge(
+            &mut guards,
+            format!("{prefix}.epoch.backlog"),
+            Box::new(|t| t.collector.queued().saturating_sub(t.collector.executed()) as f64),
+        );
+        gauge(
+            &mut guards,
+            format!("{prefix}.epoch.current"),
+            Box::new(|t| t.collector.epoch() as f64),
+        );
+        gauge(
+            &mut guards,
+            format!("{prefix}.jump.direct_hit_ratio"),
+            Box::new(|t| t.stats.direct_hit_ratio()),
+        );
+        for (bucket, label) in ["h0", "h1", "h2", "h3", "h4plus"].into_iter().enumerate() {
+            gauge(
+                &mut guards,
+                format!("{prefix}.jump_hops.{label}"),
+                Box::new(move |t| t.stats.jump_histogram()[bucket].1 as f64),
+            );
+        }
+        gauge(
+            &mut guards,
+            format!("{prefix}.retries"),
+            Box::new(|t| t.stats.retries.load(Ordering::Relaxed) as f64),
+        );
+        let w = Arc::downgrade(self);
+        guards.push(reg.register_hists(prefix, move || w.upgrade().map(|t| t.ops.snapshot())));
+        let _ = self.obsv_guards.set(guards);
     }
 
     /// The tree's configuration.
@@ -287,6 +355,39 @@ impl PacTree {
     /// the process; a simulated one cannot kill threads).
     pub fn stop_updater(&self) {
         self.updater.stop();
+    }
+
+    /// Drains the background pipelines after the workload has stopped
+    /// issuing operations: waits until the SMO log is empty (nudging the
+    /// updater, or replaying inline when `async_smo` is off) and until the
+    /// epoch-reclamation backlog has fully executed, so the
+    /// `pactree.*.smo.pending` and `pactree.*.epoch.backlog` gauges read
+    /// zero. Returns `false` if `timeout` elapsed first (e.g. the updater
+    /// was stopped while entries were pending).
+    pub fn quiesce(&self, timeout: std::time::Duration) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        while self.pending_smo_count() > 0 {
+            if self.config.async_smo {
+                self.updater.nudge();
+            } else {
+                // No background thread exists to race with: replay inline.
+                self.replay_pending_smos();
+            }
+            if std::time::Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(std::time::Duration::from_micros(200));
+        }
+        // Two-epoch rule: deferred frees need the epoch to advance past
+        // their birth epoch plus the grace window, so keep advancing.
+        while self.collector.queued() != self.collector.executed() {
+            self.collector.try_advance();
+            if std::time::Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(std::time::Duration::from_micros(200));
+        }
+        true
     }
 
     /// Fraction of locates that reached the target node directly (§6.7).
@@ -381,8 +482,24 @@ impl PacTree {
 
     // -- Reads ---------------------------------------------------------------
 
+    /// Counts one optimistic retry, both in the per-tree counter and the
+    /// per-operation count fed to the flight recorder.
+    #[inline]
+    fn note_retry(&self, retries: &mut u32) {
+        *retries += 1;
+        self.stats.retries.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Point lookup (§5.3).
     pub fn lookup(&self, key: &[u8]) -> Option<u64> {
+        let timer = OpTimer::start();
+        let mut retries = 0u32;
+        let result = self.lookup_inner(key, &mut retries);
+        self.ops.finish(OpKind::Lookup, timer, retries);
+        result
+    }
+
+    fn lookup_inner(&self, key: &[u8], retries: &mut u32) -> Option<u64> {
         let _g = self.collector.pin();
         let mut backoff = RetryBackoff::new();
         loop {
@@ -391,23 +508,23 @@ impl PacTree {
             // SAFETY: epoch-pinned.
             let node = unsafe { node_ref(raw) };
             let Some(token) = node.lock.read_begin() else {
-                self.stats.retries.fetch_add(1, Ordering::Relaxed);
+                self.note_retry(retries);
                 continue;
             };
             // Range re-check under the token: a concurrent split may have
             // moved the key range.
             if node.deleted.load(Ordering::Acquire) != 0 || node.key_below_anchor(key) {
-                self.stats.retries.fetch_add(1, Ordering::Relaxed);
+                self.note_retry(retries);
                 continue;
             }
             let next = node.next.load(Ordering::Acquire);
             if next != 0 {
                 // SAFETY: epoch-pinned sibling.
                 if !unsafe { node_ref(next) }.key_below_anchor(key) {
-                    // key >= next anchor: relocate.
-                    if !node.lock.read_validate(token) {
-                        self.stats.retries.fetch_add(1, Ordering::Relaxed);
-                    }
+                    // key >= next anchor: the locate result was stale —
+                    // every relocate is a retry, whether or not the version
+                    // also moved (the token tells us nothing extra here).
+                    self.note_retry(retries);
                     continue;
                 }
             }
@@ -417,12 +534,20 @@ impl PacTree {
             if node.lock.read_validate(token) {
                 return result;
             }
-            self.stats.retries.fetch_add(1, Ordering::Relaxed);
+            self.note_retry(retries);
         }
     }
 
     /// Range scan: up to `count` pairs with keys ≥ `start`, sorted (§5.4).
     pub fn scan(&self, start: &[u8], count: usize) -> Vec<Pair> {
+        let timer = OpTimer::start();
+        let mut retries = 0u32;
+        let result = self.scan_inner(start, count, &mut retries);
+        self.ops.finish(OpKind::Scan, timer, retries);
+        result
+    }
+
+    fn scan_inner(&self, start: &[u8], count: usize, retries: &mut u32) -> Vec<Pair> {
         let _g = self.collector.pin();
         let mut out: Vec<Pair> = Vec::with_capacity(count.min(4096));
         if count == 0 {
@@ -435,9 +560,11 @@ impl PacTree {
                 // SAFETY: epoch-pinned.
                 let node = unsafe { node_ref(raw) };
                 let Some(token) = node.lock.read_begin() else {
+                    self.note_retry(retries);
                     continue 'relocate;
                 };
                 if node.deleted.load(Ordering::Acquire) != 0 {
+                    self.note_retry(retries);
                     continue 'relocate;
                 }
                 // Whole-node sequential read (GA5): data nodes scan at
@@ -454,6 +581,7 @@ impl PacTree {
                 }
                 let next = node.next.load(Ordering::Acquire);
                 if !node.lock.read_validate(token) {
+                    self.note_retry(retries);
                     continue 'relocate;
                 }
                 for p in page {
@@ -475,16 +603,30 @@ impl PacTree {
     /// Inserts or updates `key -> value`; returns the previous value if the
     /// key existed.
     pub fn insert(&self, key: &[u8], value: u64) -> Result<Option<u64>> {
-        self.write_op(key, value, true)
+        let timer = OpTimer::start();
+        let mut retries = 0u32;
+        let result = self.write_op(key, value, true, &mut retries);
+        self.ops.finish(OpKind::Insert, timer, retries);
+        result
     }
 
     /// Updates an existing key; returns the previous value, or `None` if the
     /// key is absent (no insertion happens).
     pub fn update(&self, key: &[u8], value: u64) -> Result<Option<u64>> {
-        self.write_op(key, value, false)
+        let timer = OpTimer::start();
+        let mut retries = 0u32;
+        let result = self.write_op(key, value, false, &mut retries);
+        self.ops.finish(OpKind::Update, timer, retries);
+        result
     }
 
-    fn write_op(&self, key: &[u8], value: u64, insert_if_absent: bool) -> Result<Option<u64>> {
+    fn write_op(
+        &self,
+        key: &[u8],
+        value: u64,
+        insert_if_absent: bool,
+        retries: &mut u32,
+    ) -> Result<Option<u64>> {
         let guard = self.collector.pin();
         let mut backoff = RetryBackoff::new();
         loop {
@@ -493,13 +635,13 @@ impl PacTree {
             // SAFETY: epoch-pinned.
             let node = unsafe { node_ref(raw) };
             let Some(wg) = node.lock.try_write_lock() else {
-                self.stats.retries.fetch_add(1, Ordering::Relaxed);
+                self.note_retry(retries);
                 std::thread::yield_now();
                 continue;
             };
             if node.deleted.load(Ordering::Acquire) != 0 || node.key_below_anchor(key) {
                 drop(wg);
-                self.stats.retries.fetch_add(1, Ordering::Relaxed);
+                self.note_retry(retries);
                 continue;
             }
             let next = node.next.load(Ordering::Acquire);
@@ -507,7 +649,7 @@ impl PacTree {
                 // SAFETY: epoch-pinned sibling; anchors immutable.
                 if !unsafe { node_ref(next) }.key_below_anchor(key) {
                     drop(wg);
-                    self.stats.retries.fetch_add(1, Ordering::Relaxed);
+                    self.note_retry(retries);
                     continue;
                 }
             }
@@ -548,6 +690,14 @@ impl PacTree {
 
     /// Removes `key`; returns its value if it was present.
     pub fn remove(&self, key: &[u8]) -> Result<Option<u64>> {
+        let timer = OpTimer::start();
+        let mut retries = 0u32;
+        let result = self.remove_inner(key, &mut retries);
+        self.ops.finish(OpKind::Remove, timer, retries);
+        result
+    }
+
+    fn remove_inner(&self, key: &[u8], retries: &mut u32) -> Result<Option<u64>> {
         let guard = self.collector.pin();
         let mut backoff = RetryBackoff::new();
         loop {
@@ -556,13 +706,13 @@ impl PacTree {
             // SAFETY: epoch-pinned.
             let node = unsafe { node_ref(raw) };
             let Some(wg) = node.lock.try_write_lock() else {
-                self.stats.retries.fetch_add(1, Ordering::Relaxed);
+                self.note_retry(retries);
                 std::thread::yield_now();
                 continue;
             };
             if node.deleted.load(Ordering::Acquire) != 0 || node.key_below_anchor(key) {
                 drop(wg);
-                self.stats.retries.fetch_add(1, Ordering::Relaxed);
+                self.note_retry(retries);
                 continue;
             }
             let next = node.next.load(Ordering::Acquire);
@@ -570,7 +720,7 @@ impl PacTree {
                 // SAFETY: epoch-pinned sibling.
                 if !unsafe { node_ref(next) }.key_below_anchor(key) {
                     drop(wg);
-                    self.stats.retries.fetch_add(1, Ordering::Relaxed);
+                    self.note_retry(retries);
                     continue;
                 }
             }
@@ -1114,6 +1264,12 @@ impl PacTree {
             prev_raw = raw;
             raw = next;
         }
+    }
+}
+
+impl obsv::OpRecorder for PacTree {
+    fn op_histograms(&self) -> &obsv::OpHistograms {
+        &self.ops
     }
 }
 

@@ -1,0 +1,98 @@
+//! The observability pipeline gauges against a real write-heavy run:
+//! after `quiesce()` the SMO replay-lag and epoch-backlog gauges must
+//! drain to zero, and the per-op histograms must have seen every op.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use pactree::{PacTree, PacTreeConfig};
+
+fn gauge(sample: &obsv::Sample, name: &str) -> f64 {
+    *sample
+        .gauges
+        .get(name)
+        .unwrap_or_else(|| panic!("gauge {name} registered; have {:?}", sample.gauges.keys()))
+}
+
+#[test]
+fn smo_and_epoch_gauges_drain_to_zero_after_quiesce() {
+    let name = "pt-obsv-drain";
+    let t = PacTree::create(PacTreeConfig::named(name)).unwrap();
+    let threads = 4;
+    let per_thread = 1500u64;
+
+    // Write-heavy phase: concurrent inserts force leaf splits (SMO log
+    // traffic) and removes queue epoch reclamation work.
+    std::thread::scope(|s| {
+        for w in 0..threads {
+            let t = Arc::clone(&t);
+            s.spawn(move || {
+                for i in 0..per_thread {
+                    let k = (w * per_thread + i).to_be_bytes();
+                    t.insert(&k, i).unwrap();
+                    if i % 3 == 0 {
+                        t.remove(&k).unwrap();
+                    }
+                }
+            });
+        }
+    });
+
+    let prefix = format!("pactree.{name}");
+    let mid = obsv::global().sample();
+    // The gauges exist while the tree is alive (values are race-y mid-run;
+    // only existence and non-negativity are asserted here).
+    assert!(gauge(&mid, &format!("{prefix}.smo.pending")) >= 0.0);
+    assert!(gauge(&mid, &format!("{prefix}.epoch.backlog")) >= 0.0);
+
+    assert!(
+        t.quiesce(Duration::from_secs(60)),
+        "quiesce timed out with work pending"
+    );
+
+    let done = obsv::global().sample();
+    assert_eq!(gauge(&done, &format!("{prefix}.smo.pending")), 0.0);
+    assert_eq!(
+        gauge(&done, &format!("{prefix}.smo.replay_lag_max_slot")),
+        0.0
+    );
+    assert_eq!(gauge(&done, &format!("{prefix}.epoch.backlog")), 0.0);
+
+    // The histogram source saw every operation of the run.
+    let hist = done
+        .hists
+        .get(&prefix)
+        .unwrap_or_else(|| panic!("hist source {prefix}; have {:?}", done.hists.keys()));
+    let inserts = hist.get(obsv::OpKind::Insert).count();
+    let removes = hist.get(obsv::OpKind::Remove).count();
+    assert_eq!(inserts, threads * per_thread);
+    assert_eq!(removes, threads * per_thread.div_ceil(3));
+
+    // Jump-hop gauges: every locate lands somewhere, so the hop-count
+    // distribution is registered and sums to a positive count.
+    let hops: f64 = ["h0", "h1", "h2", "h3", "h4plus"]
+        .iter()
+        .map(|b| gauge(&done, &format!("{prefix}.jump_hops.{b}")))
+        .sum();
+    assert!(hops > 0.0, "jump-hop histogram populated");
+
+    t.destroy();
+}
+
+#[test]
+fn gauges_vanish_when_tree_is_destroyed() {
+    let name = "pt-obsv-vanish";
+    let t = PacTree::create(PacTreeConfig::named(name)).unwrap();
+    t.insert(b"k", 1).unwrap();
+    let prefix = format!("pactree.{name}");
+    assert!(obsv::global()
+        .sample()
+        .gauges
+        .contains_key(&format!("{prefix}.smo.pending")));
+    t.destroy();
+    // Weak-captured callbacks return None once the tree is gone: the
+    // sample must not contain stale sources.
+    let after = obsv::global().sample();
+    assert!(!after.gauges.contains_key(&format!("{prefix}.smo.pending")));
+    assert!(!after.hists.contains_key(&prefix));
+}

@@ -227,11 +227,19 @@ impl TokenBucket {
         if self.tokens.fetch_sub(need, Ordering::Relaxed) - need >= 0 {
             return;
         }
+        // Slow path: we are stalled on bandwidth. Account the wall-clock
+        // wait so the throttle-stall gauge can expose it.
+        let stall_start = origin.elapsed().as_nanos() as u64;
         let mut rounds = 0u32;
         loop {
             self.refill(origin);
             let balance = self.tokens.load(Ordering::Relaxed);
             if balance >= 0 {
+                let stalled = (origin.elapsed().as_nanos() as u64).saturating_sub(stall_start);
+                stats::global()
+                    .local()
+                    .throttle_stall_ns
+                    .fetch_add(stalled, Ordering::Relaxed);
                 return;
             }
             rounds += 1;
@@ -663,20 +671,28 @@ fn on_flush_slow(pool: PoolId, offset: u64, len: usize) {
         // XPBuffer write combining: count XPLines not already buffered.
         let node = &rt.nodes[pool_node.min(MAX_NODES - 1)];
         let mut media_lines = 0u64;
-        {
-            let first_xp = first_line / (XPLINE / CACHE_LINE) as u64;
-            let last_xp = last_line / (XPLINE / CACHE_LINE) as u64;
-            for xp in first_xp..=last_xp {
-                let tag = ((pool as u64) << 48) | xp;
-                if !node.xpbuffer.touch(tag) {
-                    media_lines += 1;
-                }
+        let first_xp = first_line / (XPLINE / CACHE_LINE) as u64;
+        let last_xp = last_line / (XPLINE / CACHE_LINE) as u64;
+        let xp_touched = last_xp - first_xp + 1;
+        for xp in first_xp..=last_xp {
+            let tag = ((pool as u64) << 48) | xp;
+            if !node.xpbuffer.touch(tag) {
+                media_lines += 1;
             }
         }
         let write_bytes = media_lines * XPLINE as u64;
+        let xp_hits = xp_touched - media_lines;
 
         let pstats = pool::stats_of(pool).local();
         let gstats = stats::global().local();
+        pstats.xpbuffer_hits.fetch_add(xp_hits, Ordering::Relaxed);
+        pstats
+            .xpbuffer_misses
+            .fetch_add(media_lines, Ordering::Relaxed);
+        gstats.xpbuffer_hits.fetch_add(xp_hits, Ordering::Relaxed);
+        gstats
+            .xpbuffer_misses
+            .fetch_add(media_lines, Ordering::Relaxed);
         pstats.flushes.fetch_add(n_lines, Ordering::Relaxed);
         pstats
             .media_write_bytes
@@ -725,18 +741,23 @@ fn on_dirty_slow(pool: PoolId, offset: u64, len: usize) {
                 media_lines += 1;
             }
         }
+        let xp_hits = (last_xp - first_xp + 1) - media_lines;
+        let pstats = pool::stats_of(pool).local();
+        let gstats = stats::global().local();
+        pstats.xpbuffer_hits.fetch_add(xp_hits, Ordering::Relaxed);
+        pstats
+            .xpbuffer_misses
+            .fetch_add(media_lines, Ordering::Relaxed);
+        gstats.xpbuffer_hits.fetch_add(xp_hits, Ordering::Relaxed);
+        gstats
+            .xpbuffer_misses
+            .fetch_add(media_lines, Ordering::Relaxed);
         let bytes = media_lines * XPLINE as u64;
         if bytes == 0 {
             return;
         }
-        pool::stats_of(pool)
-            .local()
-            .media_write_bytes
-            .fetch_add(bytes, Ordering::Relaxed);
-        stats::global()
-            .local()
-            .media_write_bytes
-            .fetch_add(bytes, Ordering::Relaxed);
+        pstats.media_write_bytes.fetch_add(bytes, Ordering::Relaxed);
+        gstats.media_write_bytes.fetch_add(bytes, Ordering::Relaxed);
         if cfg.throttle {
             node.write_bucket.acquire(bytes, &rt.origin);
         }

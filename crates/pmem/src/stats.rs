@@ -46,6 +46,13 @@ pub struct StatShard {
     pub frees: AtomicU64,
     /// Nanoseconds spent inside the allocator (for the GA3 experiment).
     pub alloc_ns: AtomicU64,
+    /// Flush/dirty accesses absorbed by the XPBuffer (write combining hit).
+    pub xpbuffer_hits: AtomicU64,
+    /// Flush/dirty accesses that evicted or installed a new XPBuffer line
+    /// (and therefore cost media traffic).
+    pub xpbuffer_misses: AtomicU64,
+    /// Nanoseconds spent stalled in the bandwidth token bucket's slow path.
+    pub throttle_stall_ns: AtomicU64,
 }
 
 impl StatShard {
@@ -59,6 +66,9 @@ impl StatShard {
             allocs: AtomicU64::new(0),
             frees: AtomicU64::new(0),
             alloc_ns: AtomicU64::new(0),
+            xpbuffer_hits: AtomicU64::new(0),
+            xpbuffer_misses: AtomicU64::new(0),
+            throttle_stall_ns: AtomicU64::new(0),
         }
     }
 
@@ -71,6 +81,9 @@ impl StatShard {
         self.allocs.store(0, Ordering::Relaxed);
         self.frees.store(0, Ordering::Relaxed);
         self.alloc_ns.store(0, Ordering::Relaxed);
+        self.xpbuffer_hits.store(0, Ordering::Relaxed);
+        self.xpbuffer_misses.store(0, Ordering::Relaxed);
+        self.throttle_stall_ns.store(0, Ordering::Relaxed);
     }
 }
 
@@ -133,6 +146,9 @@ impl PoolStats {
             s.allocs += shard.allocs.load(Ordering::Relaxed);
             s.frees += shard.frees.load(Ordering::Relaxed);
             s.alloc_ns += shard.alloc_ns.load(Ordering::Relaxed);
+            s.xpbuffer_hits += shard.xpbuffer_hits.load(Ordering::Relaxed);
+            s.xpbuffer_misses += shard.xpbuffer_misses.load(Ordering::Relaxed);
+            s.throttle_stall_ns += shard.throttle_stall_ns.load(Ordering::Relaxed);
         }
         s
     }
@@ -157,6 +173,9 @@ pub struct StatsSnapshot {
     pub allocs: u64,
     pub frees: u64,
     pub alloc_ns: u64,
+    pub xpbuffer_hits: u64,
+    pub xpbuffer_misses: u64,
+    pub throttle_stall_ns: u64,
 }
 
 impl StatsSnapshot {
@@ -177,6 +196,22 @@ impl StatsSnapshot {
             allocs: self.allocs.saturating_sub(earlier.allocs),
             frees: self.frees.saturating_sub(earlier.frees),
             alloc_ns: self.alloc_ns.saturating_sub(earlier.alloc_ns),
+            xpbuffer_hits: self.xpbuffer_hits.saturating_sub(earlier.xpbuffer_hits),
+            xpbuffer_misses: self.xpbuffer_misses.saturating_sub(earlier.xpbuffer_misses),
+            throttle_stall_ns: self
+                .throttle_stall_ns
+                .saturating_sub(earlier.throttle_stall_ns),
+        }
+    }
+
+    /// Fraction of flush/dirty accesses absorbed by the XPBuffer, or 0
+    /// before any traffic.
+    pub fn xpbuffer_hit_rate(&self) -> f64 {
+        let total = self.xpbuffer_hits + self.xpbuffer_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.xpbuffer_hits as f64 / total as f64
         }
     }
 
@@ -211,6 +246,38 @@ impl std::fmt::Display for StatsSnapshot {
 pub fn global() -> &'static PoolStats {
     static GLOBAL: PoolStats = PoolStats::new();
     &GLOBAL
+}
+
+/// Registers the substrate's pipeline gauges with the global
+/// [`obsv::registry`]: XPBuffer hit rate (write-combining effectiveness)
+/// and token-bucket stall time (bandwidth throttling), plus the raw media
+/// counters behind them. Idempotent per returned guard set — hold the
+/// `Registration`s for as long as the gauges should be visible.
+pub fn install_obsv_gauges() -> Vec<obsv::Registration> {
+    let reg = obsv::registry::global();
+    let snap = || global().snapshot();
+    vec![
+        reg.register_gauge("pmem.xpbuffer.hit_rate", move || {
+            Some(snap().xpbuffer_hit_rate())
+        }),
+        reg.register_gauge("pmem.xpbuffer.hits", move || {
+            Some(snap().xpbuffer_hits as f64)
+        }),
+        reg.register_gauge("pmem.xpbuffer.misses", move || {
+            Some(snap().xpbuffer_misses as f64)
+        }),
+        reg.register_gauge("pmem.throttle.stall_ns", move || {
+            Some(snap().throttle_stall_ns as f64)
+        }),
+        reg.register_gauge("pmem.media.read_bytes", move || {
+            Some(snap().media_read_bytes as f64)
+        }),
+        reg.register_gauge("pmem.media.write_bytes", move || {
+            Some(snap().media_write_bytes as f64)
+        }),
+        reg.register_gauge("pmem.flushes", move || Some(snap().flushes as f64)),
+        reg.register_gauge("pmem.fences", move || Some(snap().fences as f64)),
+    ]
 }
 
 #[cfg(test)]

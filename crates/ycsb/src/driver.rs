@@ -68,6 +68,11 @@ pub struct Report {
     pub latency_us: Vec<(&'static str, f64)>,
     /// Media counter deltas over the run.
     pub stats: StatsSnapshot,
+    /// Per-operation latency histogram deltas over the run (from the
+    /// index's always-on obsv recorder), when the index records them.
+    /// Unlike `latency_us` (10% sampling of whole driver iterations),
+    /// these come from every operation, measured inside the index.
+    pub hist: Option<obsv::OpSetSnapshot>,
 }
 
 impl Report {
@@ -137,6 +142,7 @@ pub fn run_workload(
     let threads = cfg.threads.max(1);
     let ops_per_thread = cfg.ops / threads as u64;
     let before = stats::global().snapshot();
+    let hist_before = index.op_histograms().map(|h| h.snapshot());
     let completed = AtomicU64::new(0);
     let start = Instant::now();
     let mut all_samples: Vec<Vec<u64>> = Vec::new();
@@ -222,6 +228,13 @@ pub fn run_workload(
         mops: total_ops as f64 / seconds / 1e6,
         latency_us,
         stats: stats::global().snapshot().since(&before),
+        hist: hist_before.map(|b| {
+            index
+                .op_histograms()
+                .expect("histograms present before the run")
+                .snapshot()
+                .since(&b)
+        }),
     }
 }
 
@@ -249,6 +262,8 @@ mod tests {
             assert_eq!(r.ops, 2000);
             assert!(r.mops > 0.0, "{mix:?} made progress");
             assert!(r.latency("p50").unwrap() >= 0.0);
+            let hist = r.hist.as_ref().expect("pactree records op histograms");
+            assert_eq!(hist.total_count(), 2000, "{mix:?} histogram delta");
         }
         tree.destroy();
     }

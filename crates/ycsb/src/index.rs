@@ -40,6 +40,13 @@ pub trait RangeIndex: Send + Sync {
     fn supports_strings(&self) -> bool {
         true
     }
+
+    /// The index's per-operation latency histograms, when it records any.
+    /// The driver snapshots these around each measured phase so reports can
+    /// attach per-op percentiles without a sampling side channel.
+    fn op_histograms(&self) -> Option<&obsv::OpHistograms> {
+        None
+    }
 }
 
 impl RangeIndex for Arc<PacTree> {
@@ -72,6 +79,10 @@ impl RangeIndex for Arc<PacTree> {
     fn scan(&self, start: &[u8], count: usize) -> usize {
         PacTree::scan(self, start, count).len()
     }
+
+    fn op_histograms(&self) -> Option<&obsv::OpHistograms> {
+        Some(obsv::OpRecorder::op_histograms(self.as_ref()))
+    }
 }
 
 impl RangeIndex for Arc<PdlArt> {
@@ -93,6 +104,10 @@ impl RangeIndex for Arc<PdlArt> {
 
     fn scan(&self, start: &[u8], count: usize) -> usize {
         PdlArt::scan(self, start, count).len()
+    }
+
+    fn op_histograms(&self) -> Option<&obsv::OpHistograms> {
+        Some(obsv::OpRecorder::op_histograms(self.as_ref()))
     }
 }
 
@@ -116,6 +131,10 @@ impl RangeIndex for Arc<FastFair> {
     fn scan(&self, start: &[u8], count: usize) -> usize {
         FastFair::scan(self, start, count).len()
     }
+
+    fn op_histograms(&self) -> Option<&obsv::OpHistograms> {
+        Some(obsv::OpRecorder::op_histograms(self.as_ref()))
+    }
 }
 
 impl RangeIndex for Arc<BzTree> {
@@ -137,6 +156,10 @@ impl RangeIndex for Arc<BzTree> {
 
     fn scan(&self, start: &[u8], count: usize) -> usize {
         BzTree::scan(self, start, count).len()
+    }
+
+    fn op_histograms(&self) -> Option<&obsv::OpHistograms> {
+        Some(obsv::OpRecorder::op_histograms(self.as_ref()))
     }
 }
 
@@ -167,5 +190,9 @@ impl RangeIndex for Arc<FpTree> {
 
     fn supports_strings(&self) -> bool {
         false
+    }
+
+    fn op_histograms(&self) -> Option<&obsv::OpHistograms> {
+        Some(obsv::OpRecorder::op_histograms(self.as_ref()))
     }
 }

@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Schema validation for the observability JSON artifacts (CI smoke job).
+
+Usage: validate_obsv_json.py results/fig13_tail.json results/obsv_report.json
+
+Validates by the embedded "schema" tag:
+
+* ``fig13_tail/v1`` — per-mix, per-index, per-op-kind latency percentiles
+  from the shared histogram type. All five indexes must be present for
+  every mix, every histogram must carry the percentile keys, and
+  percentiles must be monotone (p50 <= p90 <= ... <= max).
+* ``obsv_report/v1`` — registry time series. Needs a non-empty sample
+  list; every sample carries ts_ns/gauges/hists; the final (post-quiesce)
+  sample must show the SMO replay-lag and epoch-backlog gauges drained to
+  zero and the pmem gauges present.
+"""
+
+import json
+import sys
+
+INDEXES = ["PACTree", "PDL-ART", "BzTree", "FastFair", "FPTree"]
+HIST_KEYS = ["count", "mean", "p50", "p90", "p99", "p999", "p9999", "max"]
+PERCENTILE_ORDER = ["p50", "p90", "p99", "p999", "p9999", "max"]
+
+
+def fail(msg):
+    print(f"FAIL: {msg}")
+    sys.exit(1)
+
+
+def check_hist(h, where):
+    for k in HIST_KEYS:
+        if not isinstance(h.get(k), (int, float)):
+            fail(f"{where}: missing/non-numeric '{k}': {h.get(k)!r}")
+    seq = [h[k] for k in PERCENTILE_ORDER]
+    if seq != sorted(seq):
+        fail(f"{where}: percentiles not monotone: {seq}")
+    if h["count"] < 0:
+        fail(f"{where}: negative count")
+
+
+def validate_fig13(doc, path):
+    for k in ["keys", "ops", "threads", "dilation", "unit", "mixes"]:
+        if k not in doc:
+            fail(f"{path}: missing top-level '{k}'")
+    if not doc["mixes"]:
+        fail(f"{path}: no mixes")
+    for mix, per_index in doc["mixes"].items():
+        for idx in INDEXES:
+            if idx not in per_index:
+                fail(f"{path}: mix {mix} missing index {idx}")
+            hists = per_index[idx]
+            if "all" not in hists:
+                fail(f"{path}: {mix}/{idx} missing merged 'all' histogram")
+            for kind, h in hists.items():
+                check_hist(h, f"{path}: {mix}/{idx}/{kind}")
+            if hists["all"]["count"] <= 0:
+                fail(f"{path}: {mix}/{idx} recorded no operations")
+    print(f"OK: {path} (fig13_tail/v1, {len(doc['mixes'])} mixes x {len(INDEXES)} indexes)")
+
+
+def validate_report(doc, path):
+    samples = doc.get("samples")
+    if not isinstance(samples, list) or not samples:
+        fail(f"{path}: empty or missing 'samples'")
+    for i, s in enumerate(samples):
+        for k in ["ts_ns", "gauges", "hists"]:
+            if k not in s:
+                fail(f"{path}: sample {i} missing '{k}'")
+    final = samples[-1]
+    gauges = final["gauges"]
+    if not any(k.startswith("pmem.") for k in gauges):
+        fail(f"{path}: final sample has no pmem.* gauges")
+    for drained in ["smo.pending", "epoch.backlog"]:
+        matches = [k for k in gauges if k.endswith(drained)]
+        if not matches:
+            fail(f"{path}: final sample has no *.{drained} gauge")
+        for k in matches:
+            if gauges[k] != 0:
+                fail(f"{path}: {k} = {gauges[k]} after quiesce (want 0)")
+    if doc.get("drained") is not True:
+        fail(f"{path}: quiesce reported drained={doc.get('drained')!r}")
+    for source, hists in final["hists"].items():
+        for kind, h in hists.items():
+            check_hist(h, f"{path}: {source}/{kind}")
+    print(f"OK: {path} (obsv_report/v1, {len(samples)} samples)")
+
+
+def main():
+    if len(sys.argv) < 2:
+        fail("usage: validate_obsv_json.py <file.json>...")
+    for path in sys.argv[1:]:
+        with open(path) as f:
+            doc = json.load(f)
+        schema = doc.get("schema")
+        if schema == "fig13_tail/v1":
+            validate_fig13(doc, path)
+        elif schema == "obsv_report/v1":
+            validate_report(doc, path)
+        else:
+            fail(f"{path}: unknown schema {schema!r}")
+    print("all observability artifacts valid")
+
+
+if __name__ == "__main__":
+    main()
