@@ -92,7 +92,8 @@ fn main() {
     sampler.stop();
 
     let json = format!(
-        "{{\"schema\":\"obsv_report/v1\",\"keys\":{},\"ops\":{},\"threads\":{},\"dilation\":{},\"unit\":\"us_model_time\",\"drained\":{},\"samples\":[{}]}}",
+        "{{\"schema\":\"obsv_report/v1\",\"stamp\":{},\"keys\":{},\"ops\":{},\"threads\":{},\"dilation\":{},\"unit\":\"us_model_time\",\"drained\":{},\"samples\":[{}]}}",
+        bench::stamp_json(&scale),
         scale.keys,
         scale.ops,
         threads,

@@ -1,0 +1,357 @@
+//! pacsrv-bench: service-mode vs embedded YCSB, closed and open loop.
+//!
+//! Three measured phases over one populated PACTree:
+//!
+//! 1. **embedded** — the plain library path: `ycsb::driver` drives the
+//!    index from T threads (the baseline every other figure uses);
+//! 2. **service closed-loop** — the same mix through a `pacsrv` service
+//!    with T shard workers, T clients submitting batches over the
+//!    zero-copy in-process transport and waiting for each reply set; the
+//!    headline is the service/embedded throughput ratio (target >= 0.70)
+//!    plus the service-side sojourn percentiles (p50/p99/p999);
+//! 3. **service open-loop at 2x** — paced submission at twice the
+//!    closed-loop rate with a per-op deadline: demonstrates admission
+//!    control (explicit `Overloaded` sheds, `DeadlineExceeded` drops,
+//!    bounded queues) instead of queue collapse.
+//!
+//! Writes `results/pacsrv_bench.json` (schema `pacsrv_bench/v1`, stamped
+//! with git commit + configuration). `--quick` shrinks everything for the
+//! CI smoke job and skips nothing.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bench::{banner, mops, row, stamp_json, AnyIndex, Kind, Scale};
+use obsv::OpKind;
+use pacsrv::wire::{Request, Response};
+use pacsrv::{PacService, ServiceConfig};
+use pmem::model::{self, CoherenceMode, NvmModelConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ycsb::workload::Op;
+use ycsb::{driver, DriverConfig, KeySpace, Mix, Workload};
+
+fn to_request(op: Op, space: KeySpace, rng_value: u64) -> Request {
+    match op {
+        Op::Read(id) => Request::Get {
+            key: space.encode(id),
+        },
+        Op::Insert(id) => Request::Put {
+            key: space.encode(id),
+            value: id,
+        },
+        Op::Update(id) => Request::Put {
+            key: space.encode(id),
+            value: rng_value,
+        },
+        Op::Scan(id, len) => Request::Scan {
+            start: space.encode(id),
+            count: len as u32,
+        },
+    }
+}
+
+struct LoopOutcome {
+    ok: u64,
+    shed: u64,
+    timeout: u64,
+    /// Model-time seconds.
+    seconds: f64,
+}
+
+impl LoopOutcome {
+    fn mops(&self) -> f64 {
+        self.ok as f64 / self.seconds / 1e6
+    }
+    fn rate(&self, n: u64) -> f64 {
+        let total = self.ok + self.shed + self.timeout;
+        if total == 0 {
+            0.0
+        } else {
+            n as f64 / total as f64
+        }
+    }
+}
+
+/// One client-side load configuration for [`drive_service`].
+struct Drive {
+    total_ops: u64,
+    clients: usize,
+    batch: usize,
+    /// Per-client pacing rate for the open loop; 0 means closed loop
+    /// (wait for each reply set before submitting the next batch).
+    pace_ops_per_sec: f64,
+    deadline: Option<Duration>,
+    dilation: f64,
+}
+
+/// Runs `d.total_ops` of `workload` through the service from `d.clients`
+/// threads.
+fn drive_service(
+    service: &Arc<PacService<AnyIndex>>,
+    workload: &Workload,
+    space: KeySpace,
+    d: &Drive,
+) -> LoopOutcome {
+    let Drive {
+        total_ops,
+        clients,
+        batch,
+        pace_ops_per_sec,
+        deadline,
+        dilation,
+    } = *d;
+    let ok = AtomicU64::new(0);
+    let shed = AtomicU64::new(0);
+    let timeout = AtomicU64::new(0);
+    let per_client = total_ops / clients as u64;
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for c in 0..clients {
+            let (ok, shed, timeout) = (&ok, &shed, &timeout);
+            let workload = workload.clone();
+            s.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(0xbeef ^ (c as u64).wrapping_mul(0x9E37));
+                let mut next_insert =
+                    workload.populated + (c as u64 + 1) * (u64::MAX / 4 / clients as u64);
+                let client_start = Instant::now();
+                let mut open_pending = Vec::new();
+                let mut issued = 0u64;
+                while issued < per_client {
+                    let n = (batch as u64).min(per_client - issued) as usize;
+                    let reqs: Vec<Request> = (0..n)
+                        .map(|i| {
+                            let op = workload.next_op(&mut rng, &mut || {
+                                next_insert += 1;
+                                next_insert
+                            });
+                            to_request(op, space, issued + i as u64)
+                        })
+                        .collect();
+                    issued += n as u64;
+                    let rs = service.submit(reqs, deadline);
+                    if pace_ops_per_sec > 0.0 {
+                        open_pending.push(rs);
+                        // Pace to the target rate; drain finished sets
+                        // opportunistically to bound memory.
+                        let due = Duration::from_secs_f64(issued as f64 / pace_ops_per_sec);
+                        if let Some(sleep) = due.checked_sub(client_start.elapsed()) {
+                            std::thread::sleep(sleep);
+                        }
+                        if open_pending.len() >= 64 {
+                            open_pending.retain(|rs| !rs.is_done());
+                        }
+                    } else {
+                        for resp in rs.wait() {
+                            match resp {
+                                Response::Overloaded => shed.fetch_add(1, Ordering::Relaxed),
+                                Response::DeadlineExceeded => {
+                                    timeout.fetch_add(1, Ordering::Relaxed)
+                                }
+                                _ => ok.fetch_add(1, Ordering::Relaxed),
+                            };
+                        }
+                    }
+                }
+                for rs in open_pending {
+                    for resp in rs.wait() {
+                        match resp {
+                            Response::Overloaded => shed.fetch_add(1, Ordering::Relaxed),
+                            Response::DeadlineExceeded => timeout.fetch_add(1, Ordering::Relaxed),
+                            _ => ok.fetch_add(1, Ordering::Relaxed),
+                        };
+                    }
+                }
+            });
+        }
+    });
+    LoopOutcome {
+        ok: ok.load(Ordering::Relaxed),
+        shed: shed.load(Ordering::Relaxed),
+        timeout: timeout.load(Ordering::Relaxed),
+        seconds: start.elapsed().as_secs_f64() / dilation.max(1.0),
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    pmem::numa::set_topology(2);
+    let scale = if quick {
+        Scale {
+            keys: 8_000,
+            ops: 8_000,
+            threads: vec![4],
+            dilation: 32.0,
+            pool_size: 256 << 20,
+        }
+    } else {
+        Scale::from_env()
+    };
+    let threads = scale.max_threads().min(56);
+    banner("pacsrv-bench", "service mode vs embedded (YCSB-B)", &scale);
+
+    // Wall ns -> model-time µs for histogram reporting.
+    let us = 1e-3 / scale.dilation.max(1.0);
+    let space = KeySpace::Integer;
+    let mix = Mix::B;
+
+    let idx = AnyIndex::create(Kind::PacTree, "pacsrv-bench", space, &scale);
+    driver::populate(&idx, space, scale.keys, 4);
+    let workload = Workload::zipfian(mix, scale.keys);
+
+    // Phase 1: embedded baseline.
+    model::set_config(NvmModelConfig::optane_dilated(
+        CoherenceMode::Snoop,
+        scale.dilation,
+    ));
+    let embedded = driver::run_workload(
+        &idx,
+        &workload,
+        space,
+        &DriverConfig {
+            threads,
+            ops: scale.ops,
+            dilation: scale.dilation,
+            ..Default::default()
+        },
+    );
+    model::set_config(NvmModelConfig::disabled());
+
+    // Phase 2: the same mix through the service, closed loop.
+    let cfg = ServiceConfig {
+        shards: threads,
+        queue_capacity: 1024,
+        batch_max: 32,
+        ..ServiceConfig::named("pacsrv-bench", threads)
+    };
+    let service = PacService::start(idx.clone(), cfg);
+    model::set_config(NvmModelConfig::optane_dilated(
+        CoherenceMode::Snoop,
+        scale.dilation,
+    ));
+    let closed = drive_service(
+        &service,
+        &workload,
+        space,
+        &Drive {
+            total_ops: scale.ops,
+            clients: threads,
+            batch: 16,
+            pace_ops_per_sec: 0.0,
+            deadline: None,
+            dilation: scale.dilation,
+        },
+    );
+    model::set_config(NvmModelConfig::disabled());
+    let sojourn = service.metrics().ops.snapshot();
+    let ratio = closed.mops() / embedded.mops.max(1e-12);
+
+    // Phase 3: open loop at 2x the closed-loop rate, with a deadline.
+    let closed_wall_rate = closed.ok as f64 / (closed.seconds * scale.dilation.max(1.0));
+    let per_client_rate = 2.0 * closed_wall_rate / threads as f64;
+    let deadline = Duration::from_millis(if quick { 200 } else { 500 });
+    model::set_config(NvmModelConfig::optane_dilated(
+        CoherenceMode::Snoop,
+        scale.dilation,
+    ));
+    let open = drive_service(
+        &service,
+        &workload,
+        space,
+        &Drive {
+            total_ops: scale.ops,
+            clients: threads,
+            batch: 16,
+            pace_ops_per_sec: per_client_rate,
+            deadline: Some(deadline),
+            dilation: scale.dilation,
+        },
+    );
+    model::set_config(NvmModelConfig::disabled());
+
+    let drained = service.shutdown(Duration::from_secs(30));
+
+    // Report.
+    println!("-- throughput (model-time Mops/s, W-B zipfian, t={threads})");
+    row("mode", &["Mops".into(), "ratio".into()]);
+    row("embedded", &[mops(embedded.mops), "1.000".into()]);
+    row(
+        "service closed-loop",
+        &[mops(closed.mops()), format!("{ratio:.3}")],
+    );
+    println!("-- service sojourn latency (model-time µs, admission -> completion)");
+    row(
+        "op",
+        &["count".into(), "p50".into(), "p99".into(), "p99.9".into()],
+    );
+    for kind in OpKind::ALL {
+        let h = sojourn.get(kind);
+        if h.count() == 0 {
+            continue;
+        }
+        row(
+            kind.name(),
+            &[
+                h.count().to_string(),
+                format!("{:.1}", h.quantile(0.50) as f64 * us),
+                format!("{:.1}", h.quantile(0.99) as f64 * us),
+                format!("{:.1}", h.quantile(0.999) as f64 * us),
+            ],
+        );
+    }
+    println!(
+        "-- open loop at 2x: ok {:.3} Mops/s, shed {:.1}%, timeout {:.1}% (deadline {:?})",
+        open.mops(),
+        open.rate(open.shed) * 100.0,
+        open.rate(open.timeout) * 100.0,
+        deadline,
+    );
+    println!("-- drained: {drained}");
+
+    let overall = sojourn.merged();
+    let json = format!(
+        concat!(
+            "{{\"schema\":\"pacsrv_bench/v1\",\"stamp\":{},\"mix\":\"{}\",\"threads\":{},",
+            "\"embedded\":{{\"mops\":{:.6}}},",
+            "\"service\":{{\"mops\":{:.6},\"ratio\":{:.4},\"shed\":{},\"timeout\":{},",
+            "\"p50_us\":{:.2},\"p99_us\":{:.2},\"p999_us\":{:.2}}},",
+            "\"overload_2x\":{{\"mops\":{:.6},\"shed_rate\":{:.4},\"timeout_rate\":{:.4}}},",
+            "\"drained\":{}}}"
+        ),
+        stamp_json(&scale),
+        mix.short_name(),
+        threads,
+        embedded.mops,
+        closed.mops(),
+        ratio,
+        closed.shed,
+        closed.timeout,
+        overall.quantile(0.50) as f64 * us,
+        overall.quantile(0.99) as f64 * us,
+        overall.quantile(0.999) as f64 * us,
+        open.mops(),
+        open.rate(open.shed),
+        open.rate(open.timeout),
+        drained,
+    );
+    std::fs::create_dir_all("results").ok();
+    match std::fs::write("results/pacsrv_bench.json", &json) {
+        Ok(()) => println!("wrote results/pacsrv_bench.json"),
+        Err(e) => eprintln!("could not write results/pacsrv_bench.json: {e}"),
+    }
+
+    // The CI smoke job greps for this line: closed-loop service traffic
+    // must be error-free and the drain must complete.
+    let clean = drained && closed.shed == 0 && closed.timeout == 0;
+    println!(
+        "pacsrv-bench: {} (ratio {ratio:.3}, closed-loop errors {})",
+        if clean { "CLEAN" } else { "DIRTY" },
+        closed.shed + closed.timeout,
+    );
+    drop(service);
+    idx.destroy();
+    if !clean {
+        std::process::exit(1);
+    }
+}

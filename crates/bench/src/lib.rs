@@ -42,34 +42,64 @@ pub struct Scale {
     pub pool_size: usize,
 }
 
-fn env_u64(name: &str, default: u64) -> u64 {
-    std::env::var(name)
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
+fn env_u64(name: &str, default: u64) -> Result<u64, String> {
+    match std::env::var(name) {
+        Err(_) => Ok(default),
+        Ok(v) => v.trim().parse().map_err(|_| {
+            format!("{name}={v:?} is not an unsigned integer (try e.g. {name}={default})")
+        }),
+    }
+}
+
+/// Rejects a value outside `[lo, hi]` with an actionable message.
+fn check_range(name: &str, value: u64, lo: u64, hi: u64) -> Result<(), String> {
+    if value < lo || value > hi {
+        return Err(format!(
+            "{name}={value} is out of range: expected {lo}..={hi}"
+        ));
+    }
+    Ok(())
 }
 
 impl Scale {
     /// Reads `PAC_KEYS`, `PAC_OPS`, `PAC_THREADS` (max of the sweep),
-    /// `PAC_DILATION`, `PAC_POOL_MB` from the environment.
+    /// `PAC_DILATION`, `PAC_POOL_MB` from the environment. Exits with a
+    /// clear diagnostic on unparseable or absurd values — a silent default
+    /// would make a figure run lie about its configuration.
     pub fn from_env() -> Scale {
-        let keys = env_u64("PAC_KEYS", 100_000);
-        let ops = env_u64("PAC_OPS", 30_000);
-        let max_threads = env_u64("PAC_THREADS", 16) as usize;
-        let dilation = env_u64("PAC_DILATION", 192) as f64;
-        let mut threads = vec![1, 2, 4, 8, 16, 28, 56, 112];
-        threads.retain(|&t| t <= max_threads);
-        if threads.is_empty() {
-            threads.push(max_threads.max(1));
+        match Scale::try_from_env() {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("invalid workload configuration: {e}");
+                std::process::exit(2);
+            }
         }
-        let pool_mb = env_u64("PAC_POOL_MB", (keys / 256).clamp(256, 4096));
-        Scale {
+    }
+
+    /// [`from_env`](Self::from_env) with the error surfaced to the caller.
+    pub fn try_from_env() -> Result<Scale, String> {
+        let keys = env_u64("PAC_KEYS", 100_000)?;
+        let ops = env_u64("PAC_OPS", 30_000)?;
+        let max_threads = env_u64("PAC_THREADS", 16)?;
+        let dilation = env_u64("PAC_DILATION", 192)?;
+        let pool_mb = env_u64("PAC_POOL_MB", (keys / 256).clamp(256, 4096))?;
+        check_range("PAC_KEYS", keys, 1, 1 << 30)?;
+        check_range("PAC_OPS", ops, 1, 1 << 34)?;
+        check_range("PAC_THREADS", max_threads, 1, 4096)?;
+        check_range("PAC_DILATION", dilation, 1, 1_000_000)?;
+        check_range("PAC_POOL_MB", pool_mb, 16, 1 << 20)?;
+        let mut threads = vec![1, 2, 4, 8, 16, 28, 56, 112];
+        threads.retain(|&t| t <= max_threads as usize);
+        if threads.is_empty() {
+            threads.push(max_threads as usize);
+        }
+        Ok(Scale {
             keys,
             ops,
             threads,
-            dilation,
+            dilation: dilation as f64,
             pool_size: (pool_mb as usize) << 20,
-        }
+        })
     }
 
     /// A tiny scale for criterion smoke benches.
@@ -273,6 +303,59 @@ impl RangeIndex for AnyIndex {
             AnyIndex::Fp(t) => RangeIndex::op_histograms(t),
         }
     }
+
+    fn with_batch(&self, f: &mut dyn FnMut()) {
+        match self {
+            AnyIndex::Pac(t) => RangeIndex::with_batch(t, f),
+            AnyIndex::Pdl(t) => RangeIndex::with_batch(t, f),
+            AnyIndex::Bz(t) => RangeIndex::with_batch(t, f),
+            AnyIndex::Ff(t) => RangeIndex::with_batch(t, f),
+            AnyIndex::Fp(t) => RangeIndex::with_batch(t, f),
+        }
+    }
+
+    fn drain(&self, timeout: std::time::Duration) -> bool {
+        match self {
+            AnyIndex::Pac(t) => RangeIndex::drain(t, timeout),
+            AnyIndex::Pdl(t) => RangeIndex::drain(t, timeout),
+            AnyIndex::Bz(t) => RangeIndex::drain(t, timeout),
+            AnyIndex::Ff(t) => RangeIndex::drain(t, timeout),
+            AnyIndex::Fp(t) => RangeIndex::drain(t, timeout),
+        }
+    }
+}
+
+/// The current git commit (short hash, `-dirty` suffixed when the tree has
+/// local modifications), or `"unknown"` outside a git checkout.
+pub fn git_commit() -> String {
+    let out = |args: &[&str]| {
+        std::process::Command::new("git")
+            .args(args)
+            .output()
+            .ok()
+            .filter(|o| o.status.success())
+            .and_then(|o| String::from_utf8(o.stdout).ok())
+    };
+    let Some(hash) = out(&["rev-parse", "--short=12", "HEAD"]) else {
+        return "unknown".to_string();
+    };
+    let dirty = out(&["status", "--porcelain"]).is_none_or(|s| !s.trim().is_empty());
+    format!("{}{}", hash.trim(), if dirty { "-dirty" } else { "" })
+}
+
+/// Provenance stamp embedded in every result-JSON artifact: the git commit
+/// the binary ran from plus the effective workload configuration, so a
+/// results file is attributable without its shell history.
+pub fn stamp_json(scale: &Scale) -> String {
+    format!(
+        "{{\"git_commit\":\"{}\",\"keys\":{},\"ops\":{},\"threads\":{:?},\"dilation\":{},\"pool_bytes\":{}}}",
+        git_commit(),
+        scale.keys,
+        scale.ops,
+        scale.threads,
+        scale.dilation,
+        scale.pool_size
+    )
 }
 
 /// Prints a standard figure header.
@@ -371,6 +454,27 @@ mod tests {
     fn scale_env_defaults() {
         let s = Scale::from_env();
         assert!(s.keys > 0 && s.ops > 0 && !s.threads.is_empty());
+    }
+
+    #[test]
+    fn range_check_rejects_absurd_values() {
+        assert!(check_range("PAC_THREADS", 0, 1, 4096).is_err());
+        assert!(check_range("PAC_THREADS", 5000, 1, 4096).is_err());
+        assert!(check_range("PAC_THREADS", 16, 1, 4096).is_ok());
+        let e = check_range("PAC_KEYS", 0, 1, 1 << 30).unwrap_err();
+        assert!(
+            e.contains("PAC_KEYS=0") && e.contains("out of range"),
+            "{e}"
+        );
+    }
+
+    #[test]
+    fn stamp_json_is_wellformed() {
+        let s = stamp_json(&Scale::tiny());
+        assert!(s.starts_with('{') && s.ends_with('}'));
+        assert!(s.contains("\"git_commit\":\""));
+        assert!(s.contains("\"keys\":5000"));
+        assert!(s.contains("\"threads\":[2]"));
     }
 
     #[test]

@@ -151,111 +151,77 @@ fn decode_pairs(pairs: Vec<(Vec<u8>, u64)>) -> Vec<(u64, u64)> {
         .collect()
 }
 
-struct PacTreeAdapter(Arc<PacTree>);
+/// Generates a `CheckableIndex` newtype over `Arc<$inner>`. The five
+/// adapters are identical except for key encoding, pool enumeration, the
+/// scan entry point, and an optional quiesce hook — exactly the four
+/// expressions the macro takes (each a `|binding| expr` evaluated with the
+/// binding bound to `&self.0`, or to the `u64` key for `key:`).
+macro_rules! checkable_adapter {
+    ($name:ident, $inner:ty,
+     key: |$k:ident| $key:expr,
+     pools: |$tp:ident| $pools:expr,
+     scan: |$ts:ident, $cap:ident| $scan:expr
+     $(, quiesce: |$tq:ident| $quiesce:expr)? $(,)?) => {
+        struct $name(Arc<$inner>);
 
-impl CheckableIndex for PacTreeAdapter {
-    fn pools(&self) -> Vec<Arc<PmemPool>> {
-        self.0.pools()
-    }
-    fn insert(&self, key: u64, value: u64) -> Result<Option<u64>> {
-        self.0.insert(&be(key), value)
-    }
-    fn remove(&self, key: u64) -> Result<Option<u64>> {
-        self.0.remove(&be(key))
-    }
-    fn lookup(&self, key: u64) -> Option<u64> {
-        self.0.lookup(&be(key))
-    }
-    fn scan_all(&self, cap: usize) -> Vec<(u64, u64)> {
-        decode_pairs(
-            self.0
-                .scan(&[], cap)
-                .into_iter()
-                .map(|p| (p.key, p.value))
-                .collect(),
-        )
-    }
-    fn quiesce(&self) {
-        self.0.stop_updater();
-    }
+        impl CheckableIndex for $name {
+            fn pools(&self) -> Vec<Arc<PmemPool>> {
+                let $tp = &self.0;
+                $pools
+            }
+            fn insert(&self, key: u64, value: u64) -> Result<Option<u64>> {
+                let $k = key;
+                self.0.insert($key, value)
+            }
+            fn remove(&self, key: u64) -> Result<Option<u64>> {
+                let $k = key;
+                self.0.remove($key)
+            }
+            fn lookup(&self, key: u64) -> Option<u64> {
+                let $k = key;
+                self.0.lookup($key)
+            }
+            fn scan_all(&self, cap: usize) -> Vec<(u64, u64)> {
+                let ($ts, $cap) = (&self.0, cap);
+                $scan
+            }
+            $(fn quiesce(&self) {
+                let $tq = &self.0;
+                $quiesce
+            })?
+        }
+    };
 }
 
-struct PdlArtAdapter(Arc<PdlArt>);
+checkable_adapter!(PacTreeAdapter, PacTree,
+    key: |k| &be(k),
+    pools: |t| t.pools(),
+    scan: |t, cap| decode_pairs(
+        t.scan(&[], cap).into_iter().map(|p| (p.key, p.value)).collect(),
+    ),
+    quiesce: |t| t.stop_updater(),
+);
 
-impl CheckableIndex for PdlArtAdapter {
-    fn pools(&self) -> Vec<Arc<PmemPool>> {
-        vec![Arc::clone(self.0.pool())]
-    }
-    fn insert(&self, key: u64, value: u64) -> Result<Option<u64>> {
-        self.0.insert(&be(key), value)
-    }
-    fn remove(&self, key: u64) -> Result<Option<u64>> {
-        self.0.remove(&be(key))
-    }
-    fn lookup(&self, key: u64) -> Option<u64> {
-        self.0.lookup(&be(key))
-    }
-    fn scan_all(&self, cap: usize) -> Vec<(u64, u64)> {
-        decode_pairs(self.0.scan(&[], cap))
-    }
-}
+checkable_adapter!(PdlArtAdapter, PdlArt,
+    key: |k| &be(k),
+    pools: |t| vec![Arc::clone(t.pool())],
+    scan: |t, cap| decode_pairs(t.scan(&[], cap)),
+);
 
-struct FastFairAdapter(Arc<FastFair>);
+checkable_adapter!(FastFairAdapter, FastFair,
+    key: |k| &be(k),
+    pools: |t| vec![Arc::clone(t.pool())],
+    scan: |t, cap| decode_pairs(t.scan(&be(0), cap)),
+);
 
-impl CheckableIndex for FastFairAdapter {
-    fn pools(&self) -> Vec<Arc<PmemPool>> {
-        vec![Arc::clone(self.0.pool())]
-    }
-    fn insert(&self, key: u64, value: u64) -> Result<Option<u64>> {
-        self.0.insert(&be(key), value)
-    }
-    fn remove(&self, key: u64) -> Result<Option<u64>> {
-        self.0.remove(&be(key))
-    }
-    fn lookup(&self, key: u64) -> Option<u64> {
-        self.0.lookup(&be(key))
-    }
-    fn scan_all(&self, cap: usize) -> Vec<(u64, u64)> {
-        decode_pairs(self.0.scan(&be(0), cap))
-    }
-}
+checkable_adapter!(BzTreeAdapter, BzTree,
+    key: |k| &be(k),
+    pools: |t| vec![Arc::clone(t.pool())],
+    scan: |t, cap| decode_pairs(t.scan(&be(0), cap)),
+);
 
-struct BzTreeAdapter(Arc<BzTree>);
-
-impl CheckableIndex for BzTreeAdapter {
-    fn pools(&self) -> Vec<Arc<PmemPool>> {
-        vec![Arc::clone(self.0.pool())]
-    }
-    fn insert(&self, key: u64, value: u64) -> Result<Option<u64>> {
-        self.0.insert(&be(key), value)
-    }
-    fn remove(&self, key: u64) -> Result<Option<u64>> {
-        self.0.remove(&be(key))
-    }
-    fn lookup(&self, key: u64) -> Option<u64> {
-        self.0.lookup(&be(key))
-    }
-    fn scan_all(&self, cap: usize) -> Vec<(u64, u64)> {
-        decode_pairs(self.0.scan(&be(0), cap))
-    }
-}
-
-struct FpTreeAdapter(Arc<FpTree>);
-
-impl CheckableIndex for FpTreeAdapter {
-    fn pools(&self) -> Vec<Arc<PmemPool>> {
-        vec![Arc::clone(self.0.pool())]
-    }
-    fn insert(&self, key: u64, value: u64) -> Result<Option<u64>> {
-        self.0.insert(key, value)
-    }
-    fn remove(&self, key: u64) -> Result<Option<u64>> {
-        self.0.remove(key)
-    }
-    fn lookup(&self, key: u64) -> Option<u64> {
-        self.0.lookup(key)
-    }
-    fn scan_all(&self, cap: usize) -> Vec<(u64, u64)> {
-        self.0.scan(0, cap)
-    }
-}
+checkable_adapter!(FpTreeAdapter, FpTree,
+    key: |k| k,
+    pools: |t| vec![Arc::clone(t.pool())],
+    scan: |t, cap| t.scan(0, cap),
+);

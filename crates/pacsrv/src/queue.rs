@@ -1,0 +1,183 @@
+//! Bounded MPSC batch queue backing each shard.
+//!
+//! Producers are admission-controlled callers; the single consumer is the
+//! shard's worker thread, which drains up to `batch_max` items per wakeup
+//! (opportunistic batching: under light load batches are size 1 and
+//! latency is one handoff; under heavy load batches grow toward the cap
+//! and per-item overhead amortizes).
+//!
+//! The queue is the backpressure primitive: [`try_push`](BatchQueue::try_push)
+//! never blocks and fails when the queue is at capacity, which the service
+//! turns into an explicit `Overloaded` reply. Memory is therefore bounded
+//! by `capacity * shards` jobs no matter the offered load.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+
+/// Why [`BatchQueue::pop_batch`] returned without items.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PopStatus {
+    /// `out` holds 1..=max items.
+    Items,
+    /// The queue is closed and fully drained (graceful shutdown), or was
+    /// killed (abrupt shutdown; remaining items are dropped unanswered,
+    /// like a process kill would).
+    Done,
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    /// No further pushes; consumer drains what remains.
+    closed: bool,
+    /// Consumer stops immediately, abandoning queued items.
+    killed: bool,
+}
+
+/// A bounded multi-producer, single-consumer queue with batched pops.
+pub struct BatchQueue<T> {
+    inner: Mutex<Inner<T>>,
+    notify: Condvar,
+    capacity: usize,
+    /// Mirror of `items.len()` readable without the lock (depth gauge).
+    depth: AtomicUsize,
+}
+
+impl<T> BatchQueue<T> {
+    /// A queue holding at most `capacity` items (floored at 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        BatchQueue {
+            inner: Mutex::new(Inner {
+                items: VecDeque::with_capacity(capacity.min(4096)),
+                closed: false,
+                killed: false,
+            }),
+            notify: Condvar::new(),
+            capacity,
+            depth: AtomicUsize::new(0),
+        }
+    }
+
+    /// Non-blocking push. `Err(item)` when the queue is full or closed —
+    /// the caller sheds the item instead of waiting.
+    pub fn try_push(&self, item: T) -> Result<(), T> {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.closed || inner.killed || inner.items.len() >= self.capacity {
+            return Err(item);
+        }
+        inner.items.push_back(item);
+        self.depth.store(inner.items.len(), Ordering::Relaxed);
+        drop(inner);
+        self.notify.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until items are available (or the queue is done), then moves
+    /// up to `max` of them into `out`.
+    pub fn pop_batch(&self, max: usize, out: &mut Vec<T>) -> PopStatus {
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            if inner.killed || (inner.closed && inner.items.is_empty()) {
+                return PopStatus::Done;
+            }
+            if !inner.items.is_empty() {
+                let n = inner.items.len().min(max.max(1));
+                out.extend(inner.items.drain(..n));
+                self.depth.store(inner.items.len(), Ordering::Relaxed);
+                return PopStatus::Items;
+            }
+            inner = self.notify.wait(inner).unwrap();
+        }
+    }
+
+    /// Graceful shutdown: rejects new pushes; the consumer drains the rest.
+    pub fn close(&self) {
+        self.inner.lock().unwrap().closed = true;
+        self.notify.notify_all();
+    }
+
+    /// Abrupt shutdown: the consumer stops at its next wakeup, abandoning
+    /// queued items (they are dropped when the queue drops).
+    pub fn kill(&self) {
+        self.inner.lock().unwrap().killed = true;
+        self.notify.notify_all();
+    }
+
+    /// Current queue depth (lock-free; may lag the truth by one update).
+    pub fn len(&self) -> usize {
+        self.depth.load(Ordering::Relaxed)
+    }
+
+    /// Whether the queue currently holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn bounded_push_and_batched_pop() {
+        let q = BatchQueue::new(4);
+        for i in 0..4 {
+            q.try_push(i).unwrap();
+        }
+        assert_eq!(q.try_push(99), Err(99), "fifth push must shed");
+        assert_eq!(q.len(), 4);
+        let mut out = Vec::new();
+        assert_eq!(q.pop_batch(3, &mut out), PopStatus::Items);
+        assert_eq!(out, vec![0, 1, 2], "drains up to max, FIFO");
+        out.clear();
+        assert_eq!(q.pop_batch(3, &mut out), PopStatus::Items);
+        assert_eq!(out, vec![3]);
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn close_drains_then_done() {
+        let q = BatchQueue::new(8);
+        q.try_push(1).unwrap();
+        q.close();
+        assert_eq!(q.try_push(2), Err(2), "closed queue rejects pushes");
+        let mut out = Vec::new();
+        assert_eq!(q.pop_batch(8, &mut out), PopStatus::Items);
+        assert_eq!(out, vec![1]);
+        out.clear();
+        assert_eq!(q.pop_batch(8, &mut out), PopStatus::Done);
+    }
+
+    #[test]
+    fn kill_abandons_queued_items() {
+        let q = BatchQueue::new(8);
+        q.try_push(1).unwrap();
+        q.kill();
+        let mut out = Vec::new();
+        assert_eq!(q.pop_batch(8, &mut out), PopStatus::Done);
+        assert!(out.is_empty(), "killed queue hands out nothing");
+    }
+
+    #[test]
+    fn pop_blocks_until_push() {
+        let q = Arc::new(BatchQueue::new(8));
+        let q2 = Arc::clone(&q);
+        let h = std::thread::spawn(move || {
+            let mut out = Vec::new();
+            let s = q2.pop_batch(4, &mut out);
+            (s, out)
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.try_push(7u32).unwrap();
+        let (s, out) = h.join().unwrap();
+        assert_eq!(s, PopStatus::Items);
+        assert_eq!(out, vec![7]);
+    }
+}

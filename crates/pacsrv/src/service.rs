@@ -1,0 +1,681 @@
+//! The sharded request-processing service ("pacd" core).
+//!
+//! A [`PacService`] fronts any [`RangeIndex`] with `shards` worker threads,
+//! each owning one bounded [`BatchQueue`]. Requests route to shards by key
+//! hash (scans by start key), so per-key ordering is preserved: two
+//! operations on the same key land in the same FIFO queue and execute in
+//! submission order.
+//!
+//! Admission control happens *before* a request touches a queue, in the
+//! submitter's thread:
+//!
+//! 1. lifecycle gate — a draining/stopped service sheds immediately;
+//! 2. ingress token bucket (optional) — sustained-rate throttle reusing
+//!    `pmem`'s debt-based [`TokenBucket`] in non-blocking mode;
+//! 3. bounded queue — a full shard queue sheds that operation.
+//!
+//! Shedding is an explicit [`Response::Overloaded`] reply, never an
+//! unbounded queue: total buffered work is capped at
+//! `shards * queue_capacity` regardless of offered load. Admitted
+//! operations carry an absolute deadline; a worker that dequeues an
+//! already-expired operation drops it with [`Response::DeadlineExceeded`]
+//! without executing it, so queue time cannot silently turn into index
+//! load during overload (the paper-adjacent tail-latency failure mode).
+
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use obsv::clock;
+use pmem::model::TokenBucket;
+use ycsb::RangeIndex;
+
+use crate::metrics::ServiceMetrics;
+use crate::queue::{BatchQueue, PopStatus};
+use crate::reply::ReplySet;
+use crate::wire::{Request, Response};
+
+/// No deadline sentinel.
+const NO_DEADLINE: u64 = u64::MAX;
+
+/// Service tuning knobs.
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Worker threads / request queues (thread-per-core sizing).
+    pub shards: usize,
+    /// Per-shard queue bound; the backpressure limit.
+    pub queue_capacity: usize,
+    /// Maximum operations a worker drains per wakeup.
+    pub batch_max: usize,
+    /// Sustained admission rate in ops/sec (`None` = queue bound only).
+    pub ingress_rate: Option<u64>,
+    /// Burst allowance of the ingress bucket, in ops.
+    pub ingress_burst: u64,
+    /// Default per-op deadline applied at admission (`None` = none).
+    pub default_deadline: Option<Duration>,
+    /// Metric-name prefix; also names the worker threads.
+    pub name: String,
+    /// Pin worker threads round-robin over NUMA nodes.
+    pub numa_pin: bool,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            shards: 4,
+            queue_capacity: 1024,
+            batch_max: 32,
+            ingress_rate: None,
+            ingress_burst: 256,
+            default_deadline: None,
+            name: "pacsrv".to_string(),
+            numa_pin: true,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// A config named `name` with `shards` workers.
+    pub fn named(name: &str, shards: usize) -> ServiceConfig {
+        ServiceConfig {
+            shards: shards.max(1),
+            name: name.to_string(),
+            ..Default::default()
+        }
+    }
+}
+
+/// One queued operation.
+struct Job {
+    req: Request,
+    enqueue_ns: u64,
+    deadline_ns: u64,
+    slot: usize,
+    done: Arc<ReplySet>,
+}
+
+/// Lifecycle states.
+const RUNNING: u8 = 0;
+const DRAINING: u8 = 1;
+const STOPPED: u8 = 2;
+
+/// The sharded, batched request service.
+pub struct PacService<I: RangeIndex + Clone + 'static> {
+    index: I,
+    cfg: ServiceConfig,
+    shards: Arc<Vec<Arc<BatchQueue<Job>>>>,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    metrics: Arc<ServiceMetrics>,
+    bucket: Option<TokenBucket>,
+    origin: Instant,
+    state: AtomicU8,
+    /// Correlation ids for [`handle_frame`](Self::handle_frame) replies.
+    next_id: AtomicU64,
+    _registrations: Vec<obsv::Registration>,
+}
+
+fn shard_of(key: &[u8], shards: usize) -> usize {
+    // FNV-1a; cheap, stable, and good enough spread for short keys.
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in key {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    (h % shards as u64) as usize
+}
+
+fn kind_of(req: &Request) -> obsv::OpKind {
+    match req {
+        Request::Get { .. } => obsv::OpKind::Lookup,
+        Request::Put { .. } => obsv::OpKind::Insert,
+        Request::Delete { .. } => obsv::OpKind::Remove,
+        Request::Scan { .. } => obsv::OpKind::Scan,
+    }
+}
+
+fn execute<I: RangeIndex>(index: &I, req: &Request) -> Response {
+    match req {
+        Request::Get { key } => Response::Value(index.lookup(key)),
+        Request::Put { key, value } => {
+            index.insert(key, *value);
+            Response::Ok
+        }
+        Request::Delete { key } => Response::Removed(index.remove(key)),
+        Request::Scan { start, count } => {
+            Response::ScanCount(index.scan(start, *count as usize) as u32)
+        }
+    }
+}
+
+impl<I: RangeIndex + Clone + 'static> PacService<I> {
+    /// Starts the service: spawns one worker per shard and registers the
+    /// obsv gauges/histograms under `cfg.name`.
+    pub fn start(index: I, cfg: ServiceConfig) -> Arc<PacService<I>> {
+        let cfg = ServiceConfig {
+            shards: cfg.shards.max(1),
+            batch_max: cfg.batch_max.max(1),
+            ..cfg
+        };
+        let shards: Arc<Vec<Arc<BatchQueue<Job>>>> = Arc::new(
+            (0..cfg.shards)
+                .map(|_| Arc::new(BatchQueue::new(cfg.queue_capacity)))
+                .collect(),
+        );
+        let metrics = Arc::new(ServiceMetrics::default());
+        let registrations = ServiceMetrics::register(&cfg.name, &metrics, &shards, |q| q.len());
+
+        let mut workers = Vec::with_capacity(cfg.shards);
+        for (i, queue) in shards.iter().enumerate() {
+            let index = index.clone();
+            let queue = Arc::clone(queue);
+            let metrics = Arc::clone(&metrics);
+            let batch_max = cfg.batch_max;
+            let numa_pin = cfg.numa_pin;
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("{}-shard{i}", cfg.name))
+                    .spawn(move || {
+                        if numa_pin {
+                            pmem::numa::pin_thread_round_robin();
+                        }
+                        worker_loop(&index, &queue, &metrics, batch_max);
+                    })
+                    .expect("spawn shard worker"),
+            );
+        }
+
+        let bucket = cfg
+            .ingress_rate
+            .map(|rate| TokenBucket::with_burst(rate, cfg.ingress_burst));
+        Arc::new(PacService {
+            index,
+            cfg,
+            shards,
+            workers: Mutex::new(workers),
+            metrics,
+            bucket,
+            origin: Instant::now(),
+            state: AtomicU8::new(RUNNING),
+            next_id: AtomicU64::new(1),
+            _registrations: registrations,
+        })
+    }
+
+    /// The service's metrics (shed/timeout counters, sojourn histograms,
+    /// batch-size distribution).
+    pub fn metrics(&self) -> &ServiceMetrics {
+        &self.metrics
+    }
+
+    /// The config the service was started with.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.cfg
+    }
+
+    /// Total queued operations across all shards right now.
+    pub fn queue_depth(&self) -> usize {
+        self.shards.iter().map(|q| q.len()).sum()
+    }
+
+    /// Submits a batch. Never blocks: every operation is either enqueued
+    /// or instantly answered `Overloaded`. The returned [`ReplySet`] is
+    /// complete once all operations have replies.
+    ///
+    /// `deadline` overrides the config default for this batch; it is
+    /// measured from admission (queue time + execution must fit).
+    pub fn submit(&self, reqs: Vec<Request>, deadline: Option<Duration>) -> Arc<ReplySet> {
+        let n = reqs.len();
+        let rs = ReplySet::new(n);
+        if n == 0 {
+            return rs;
+        }
+        if self.state.load(Ordering::Acquire) != RUNNING {
+            self.metrics.shed.fetch_add(n as u64, Ordering::Relaxed);
+            for slot in 0..n {
+                rs.complete(slot, Response::Overloaded);
+            }
+            return rs;
+        }
+        if let Some(bucket) = &self.bucket {
+            if !bucket.try_acquire(n as u64, &self.origin) {
+                self.metrics.shed.fetch_add(n as u64, Ordering::Relaxed);
+                for slot in 0..n {
+                    rs.complete(slot, Response::Overloaded);
+                }
+                return rs;
+            }
+        }
+        let now = clock::now_ns();
+        let deadline_ns = deadline
+            .or(self.cfg.default_deadline)
+            .map(|d| now.saturating_add(d.as_nanos() as u64))
+            .unwrap_or(NO_DEADLINE);
+        for (slot, req) in reqs.into_iter().enumerate() {
+            let shard = shard_of(req.key(), self.shards.len());
+            let job = Job {
+                req,
+                enqueue_ns: now,
+                deadline_ns,
+                slot,
+                done: Arc::clone(&rs),
+            };
+            match self.shards[shard].try_push(job) {
+                Ok(()) => {
+                    self.metrics.admitted.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(job) => {
+                    self.metrics.shed.fetch_add(1, Ordering::Relaxed);
+                    job.done.complete(job.slot, Response::Overloaded);
+                }
+            }
+        }
+        rs
+    }
+
+    /// Convenience: submit one operation and wait for its reply.
+    pub fn call(&self, req: Request) -> Response {
+        self.submit(vec![req], None).wait()[0]
+    }
+
+    /// The shared frame path of every transport: decode, submit, wait,
+    /// encode. A malformed buffer gets a `Reply` with one `Malformed`
+    /// status (correlation id 0 if the header never decoded).
+    pub fn handle_frame(&self, bytes: &[u8]) -> Vec<u8> {
+        let reply = match crate::wire::decode_frame(bytes) {
+            Ok((crate::wire::Frame::Request { id, reqs }, _)) => {
+                let resps = self.submit(reqs, None).wait();
+                crate::wire::Frame::Reply { id, resps }
+            }
+            Ok((crate::wire::Frame::Ping { id }, _)) => crate::wire::Frame::Pong { id },
+            Ok((frame, _)) => crate::wire::Frame::Reply {
+                id: frame.id(),
+                resps: vec![Response::Malformed],
+            },
+            Err(_) => crate::wire::Frame::Reply {
+                id: 0,
+                resps: vec![Response::Malformed],
+            },
+        };
+        let mut out = Vec::new();
+        crate::wire::encode_frame(&reply, &mut out);
+        out
+    }
+
+    /// A fresh correlation id (transports that multiplex need them unique
+    /// per in-flight frame).
+    pub fn next_frame_id(&self) -> u64 {
+        self.next_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Graceful shutdown: stop admitting, drain every queue (queued
+    /// operations still execute and reply), join workers, then drain the
+    /// index itself (SMO replay, epoch reclamation) within `timeout`.
+    /// Returns whether the index reported a complete drain. Idempotent.
+    pub fn shutdown(&self, timeout: Duration) -> bool {
+        if self
+            .state
+            .compare_exchange(RUNNING, DRAINING, Ordering::AcqRel, Ordering::Acquire)
+            .is_err()
+        {
+            return self.state.load(Ordering::Acquire) == STOPPED;
+        }
+        for q in self.shards.iter() {
+            q.close();
+        }
+        for h in self.workers.lock().unwrap().drain(..) {
+            let _ = h.join();
+        }
+        let drained = self.index.drain(timeout);
+        self.state.store(STOPPED, Ordering::Release);
+        drained
+    }
+
+    /// Abrupt shutdown simulating a process kill: workers stop at their
+    /// next wakeup, queued-but-unexecuted operations are dropped
+    /// *unanswered*, and the index is not drained or quiesced. Used by the
+    /// kill-recovery test; a real deployment calls
+    /// [`shutdown`](Self::shutdown).
+    pub fn kill(&self) {
+        self.state.store(DRAINING, Ordering::Release);
+        for q in self.shards.iter() {
+            q.kill();
+        }
+        for h in self.workers.lock().unwrap().drain(..) {
+            let _ = h.join();
+        }
+        self.state.store(STOPPED, Ordering::Release);
+    }
+
+    /// Whether the service still admits requests.
+    pub fn is_running(&self) -> bool {
+        self.state.load(Ordering::Acquire) == RUNNING
+    }
+}
+
+impl<I: RangeIndex + Clone + 'static> Drop for PacService<I> {
+    fn drop(&mut self) {
+        // Defensive: a service dropped without an explicit shutdown still
+        // stops its workers (graceful, so queued work is answered).
+        if self.state.load(Ordering::Acquire) == RUNNING {
+            self.state.store(DRAINING, Ordering::Release);
+            for q in self.shards.iter() {
+                q.close();
+            }
+        }
+        for h in self.workers.get_mut().unwrap().drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// The shard worker: drain a batch, execute it under the index's batch
+/// guard, reply. One `clock::now_ns` read per operation (the completion
+/// stamp doubles as the next op's deadline check), amortized across the
+/// batch instead of a start/stop pair per op.
+fn worker_loop<I: RangeIndex>(
+    index: &I,
+    queue: &BatchQueue<Job>,
+    metrics: &ServiceMetrics,
+    batch_max: usize,
+) {
+    let mut batch: Vec<Job> = Vec::with_capacity(batch_max);
+    loop {
+        batch.clear();
+        if queue.pop_batch(batch_max, &mut batch) == PopStatus::Done {
+            return;
+        }
+        metrics.batch_sizes.record(batch.len() as u64);
+        let jobs = &mut batch;
+        index.with_batch(&mut || {
+            let mut now = clock::now_ns();
+            for job in jobs.drain(..) {
+                if job.deadline_ns < now {
+                    metrics.timeouts.fetch_add(1, Ordering::Relaxed);
+                    job.done.complete(job.slot, Response::DeadlineExceeded);
+                    continue;
+                }
+                let resp = execute(index, &job.req);
+                now = clock::now_ns();
+                metrics
+                    .ops
+                    .record(kind_of(&job.req), now.saturating_sub(job.enqueue_ns), 0);
+                metrics.completed.fetch_add(1, Ordering::Relaxed);
+                job.done.complete(job.slot, resp);
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+    use std::sync::RwLock;
+
+    /// A tiny in-memory index for service-layer unit tests (the real
+    /// indexes are exercised by the integration tests and the bench).
+    #[derive(Clone, Default)]
+    struct MapIndex {
+        map: Arc<RwLock<BTreeMap<Vec<u8>, u64>>>,
+        /// Artificial per-op latency, to make overload reproducible.
+        op_delay: Option<Duration>,
+    }
+
+    impl RangeIndex for MapIndex {
+        fn name(&self) -> &'static str {
+            "MapIndex"
+        }
+        fn insert(&self, key: &[u8], value: u64) {
+            if let Some(d) = self.op_delay {
+                std::thread::sleep(d);
+            }
+            self.map.write().unwrap().insert(key.to_vec(), value);
+        }
+        fn lookup(&self, key: &[u8]) -> Option<u64> {
+            if let Some(d) = self.op_delay {
+                std::thread::sleep(d);
+            }
+            self.map.read().unwrap().get(key).copied()
+        }
+        fn remove(&self, key: &[u8]) -> Option<u64> {
+            self.map.write().unwrap().remove(key)
+        }
+        fn scan(&self, start: &[u8], count: usize) -> usize {
+            self.map
+                .read()
+                .unwrap()
+                .range(start.to_vec()..)
+                .take(count)
+                .count()
+        }
+    }
+
+    #[test]
+    fn basic_ops_roundtrip_through_service() {
+        let svc = PacService::start(MapIndex::default(), ServiceConfig::named("svc-basic", 2));
+        assert_eq!(
+            svc.call(Request::Put {
+                key: b"a".to_vec(),
+                value: 1
+            }),
+            Response::Ok
+        );
+        assert_eq!(
+            svc.call(Request::Get { key: b"a".to_vec() }),
+            Response::Value(Some(1))
+        );
+        assert_eq!(
+            svc.call(Request::Scan {
+                start: b"".to_vec(),
+                count: 10
+            }),
+            Response::ScanCount(1)
+        );
+        assert_eq!(
+            svc.call(Request::Delete { key: b"a".to_vec() }),
+            Response::Removed(Some(1))
+        );
+        assert_eq!(
+            svc.call(Request::Get { key: b"a".to_vec() }),
+            Response::Value(None)
+        );
+        assert!(svc.shutdown(Duration::from_secs(5)));
+        // Idempotent, and post-shutdown submissions shed.
+        assert!(svc.shutdown(Duration::from_secs(5)));
+        assert_eq!(
+            svc.call(Request::Get { key: b"a".to_vec() }),
+            Response::Overloaded
+        );
+    }
+
+    #[test]
+    fn batch_replies_preserve_operation_order() {
+        let svc = PacService::start(MapIndex::default(), ServiceConfig::named("svc-order", 4));
+        let reqs: Vec<Request> = (0..64u64)
+            .map(|i| Request::Put {
+                key: i.to_be_bytes().to_vec(),
+                value: i,
+            })
+            .collect();
+        assert!(svc
+            .submit(reqs, None)
+            .wait()
+            .iter()
+            .all(|r| *r == Response::Ok));
+        let gets: Vec<Request> = (0..64u64)
+            .map(|i| Request::Get {
+                key: i.to_be_bytes().to_vec(),
+            })
+            .collect();
+        let replies = svc.submit(gets, None).wait();
+        for (i, r) in replies.iter().enumerate() {
+            assert_eq!(*r, Response::Value(Some(i as u64)), "slot {i}");
+        }
+        svc.shutdown(Duration::from_secs(5));
+    }
+
+    #[test]
+    fn same_key_operations_execute_in_submission_order() {
+        let svc = PacService::start(
+            MapIndex::default(),
+            ServiceConfig::named("svc-key-order", 4),
+        );
+        let key = b"hot".to_vec();
+        let mut last = None;
+        for v in 0..200u64 {
+            svc.submit(
+                vec![Request::Put {
+                    key: key.clone(),
+                    value: v,
+                }],
+                None,
+            );
+            last = Some(v);
+        }
+        // All puts routed to one shard FIFO: after the queue drains the
+        // final value must be the last submitted one.
+        assert!(svc.shutdown(Duration::from_secs(5)));
+        let map = svc.index.map.read().unwrap();
+        assert_eq!(map.get(&key).copied(), last);
+    }
+
+    #[test]
+    fn full_queue_sheds_with_overloaded() {
+        let svc = PacService::start(
+            MapIndex {
+                op_delay: Some(Duration::from_millis(5)),
+                ..Default::default()
+            },
+            ServiceConfig {
+                shards: 1,
+                queue_capacity: 2,
+                ..ServiceConfig::named("svc-shed", 1)
+            },
+        );
+        let reqs: Vec<Request> = (0..50u64)
+            .map(|i| Request::Put {
+                key: i.to_be_bytes().to_vec(),
+                value: i,
+            })
+            .collect();
+        let replies = svc.submit(reqs, None).wait();
+        let shed = replies
+            .iter()
+            .filter(|r| **r == Response::Overloaded)
+            .count();
+        assert!(shed > 0, "2-deep queue must shed a 50-op burst");
+        assert!(
+            replies
+                .iter()
+                .all(|r| matches!(r, Response::Ok | Response::Overloaded)),
+            "{replies:?}"
+        );
+        assert_eq!(svc.metrics().shed.load(Ordering::Relaxed), shed as u64);
+        svc.shutdown(Duration::from_secs(5));
+    }
+
+    #[test]
+    fn expired_deadline_is_dropped_not_executed() {
+        let svc = PacService::start(
+            MapIndex {
+                op_delay: Some(Duration::from_millis(20)),
+                ..Default::default()
+            },
+            ServiceConfig {
+                shards: 1,
+                ..ServiceConfig::named("svc-deadline", 1)
+            },
+        );
+        // First op occupies the worker; the rest expire in-queue.
+        let reqs: Vec<Request> = (0..5u64)
+            .map(|i| Request::Put {
+                key: i.to_be_bytes().to_vec(),
+                value: i,
+            })
+            .collect();
+        let replies = svc.submit(reqs, Some(Duration::from_millis(1))).wait();
+        assert!(replies.contains(&Response::DeadlineExceeded), "{replies:?}");
+        let timeouts = svc.metrics().timeouts.load(Ordering::Relaxed);
+        assert!(timeouts > 0);
+        // A timed-out put must not have reached the index.
+        let executed = svc.index.map.read().unwrap().len();
+        assert_eq!(
+            executed as u64 + timeouts,
+            5,
+            "every op either executed or timed out"
+        );
+        svc.shutdown(Duration::from_secs(5));
+    }
+
+    #[test]
+    fn ingress_bucket_sheds_beyond_burst() {
+        let svc = PacService::start(
+            MapIndex::default(),
+            ServiceConfig {
+                ingress_rate: Some(1), // ~no refill during the test
+                ingress_burst: 8,
+                ..ServiceConfig::named("svc-bucket", 2)
+            },
+        );
+        let mut admitted = 0;
+        for i in 0..100u64 {
+            let r = svc.call(Request::Put {
+                key: i.to_be_bytes().to_vec(),
+                value: i,
+            });
+            if r == Response::Ok {
+                admitted += 1;
+            } else {
+                assert_eq!(r, Response::Overloaded);
+            }
+        }
+        assert!((1..=16).contains(&admitted), "admitted {admitted}");
+        assert!(svc.metrics().shed.load(Ordering::Relaxed) >= 84);
+        svc.shutdown(Duration::from_secs(5));
+    }
+
+    #[test]
+    fn handle_frame_roundtrip_and_malformed() {
+        use crate::wire::{decode_frame, encode_frame, Frame};
+        let svc = PacService::start(MapIndex::default(), ServiceConfig::named("svc-frame", 2));
+        let mut buf = Vec::new();
+        encode_frame(
+            &Frame::Request {
+                id: 42,
+                reqs: vec![
+                    Request::Put {
+                        key: b"k".to_vec(),
+                        value: 5,
+                    },
+                    Request::Get { key: b"k".to_vec() },
+                ],
+            },
+            &mut buf,
+        );
+        let out = svc.handle_frame(&buf);
+        let (reply, _) = decode_frame(&out).unwrap();
+        assert_eq!(
+            reply,
+            Frame::Reply {
+                id: 42,
+                resps: vec![Response::Ok, Response::Value(Some(5))]
+            }
+        );
+        // Ping -> Pong.
+        buf.clear();
+        encode_frame(&Frame::Ping { id: 9 }, &mut buf);
+        let (pong, _) = decode_frame(&svc.handle_frame(&buf)).unwrap();
+        assert_eq!(pong, Frame::Pong { id: 9 });
+        // Garbage -> Malformed reply, id 0.
+        let (mal, _) =
+            decode_frame(&svc.handle_frame(b"garbage-bytes-here-longer-than-header")).unwrap();
+        assert_eq!(
+            mal,
+            Frame::Reply {
+                id: 0,
+                resps: vec![Response::Malformed]
+            }
+        );
+        svc.shutdown(Duration::from_secs(5));
+    }
+}

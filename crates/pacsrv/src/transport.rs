@@ -1,0 +1,254 @@
+//! Transports: zero-copy in-process and TCP over `std::net`.
+//!
+//! Both feed the same [`PacService`] submission path, and the TCP path
+//! reuses the exact bytes the in-process codec path produces, so the cost
+//! ladder is measurable in isolation:
+//!
+//! 1. [`LocalClient::call_direct`] — no codec, no socket: request structs
+//!    move straight into the shard queues (the zero-copy transport);
+//! 2. [`LocalClient::call`] — encode + checksum + decode, no socket
+//!    (protocol cost);
+//! 3. [`TcpClient::call`] — the same frames over a loopback/real socket
+//!    (protocol + network cost).
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use ycsb::RangeIndex;
+
+use crate::service::PacService;
+use crate::wire::{decode_frame, encode_frame, Frame, Request, Response, WireError};
+
+/// In-process client: submits to the service on the caller's thread.
+pub struct LocalClient<I: RangeIndex + Clone + 'static> {
+    service: Arc<PacService<I>>,
+    buf: Vec<u8>,
+}
+
+impl<I: RangeIndex + Clone + 'static> LocalClient<I> {
+    pub fn new(service: Arc<PacService<I>>) -> Self {
+        LocalClient {
+            service,
+            buf: Vec::with_capacity(4096),
+        }
+    }
+
+    /// Zero-copy path: no encode/decode, requests move into the queues.
+    pub fn call_direct(&self, reqs: Vec<Request>) -> Vec<Response> {
+        self.service.submit(reqs, None).wait()
+    }
+
+    /// Codec path: the request batch is encoded to wire bytes, handed to
+    /// the server's shared frame handler, and the reply frame is decoded —
+    /// everything a TCP round-trip does except the socket.
+    pub fn call(&mut self, reqs: Vec<Request>) -> Vec<Response> {
+        self.buf.clear();
+        let id = self.service.next_frame_id();
+        encode_frame(&Frame::Request { id, reqs }, &mut self.buf);
+        let out = self.service.handle_frame(&self.buf);
+        match decode_frame(&out) {
+            Ok((Frame::Reply { id: rid, resps }, _)) if rid == id => resps,
+            _ => vec![Response::Malformed],
+        }
+    }
+}
+
+/// A TCP front-end for a service: an accept loop plus one handler thread
+/// per connection (the heavy lifting stays in the shard workers).
+pub struct TcpServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl TcpServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"`) and starts accepting.
+    pub fn start<I: RangeIndex + Clone + 'static>(
+        service: Arc<PacService<I>>,
+        addr: impl ToSocketAddrs,
+    ) -> std::io::Result<TcpServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let accept_thread = std::thread::Builder::new()
+            .name("pacsrv-accept".to_string())
+            .spawn(move || {
+                let conns: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> =
+                    Arc::new(Mutex::new(Vec::new()));
+                while !stop2.load(Ordering::Acquire) {
+                    match listener.accept() {
+                        Ok((stream, _peer)) => {
+                            let service = Arc::clone(&service);
+                            let stop = Arc::clone(&stop2);
+                            let h = std::thread::Builder::new()
+                                .name("pacsrv-conn".to_string())
+                                .spawn(move || {
+                                    let _ = handle_conn(stream, &service, &stop);
+                                })
+                                .expect("spawn conn handler");
+                            conns.lock().unwrap().push(h);
+                        }
+                        Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(2));
+                        }
+                        Err(_) => break,
+                    }
+                }
+                for h in conns.lock().unwrap().drain(..) {
+                    let _ = h.join();
+                }
+            })?;
+        Ok(TcpServer {
+            addr: local,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (port resolved when binding `:0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting and joins the accept loop (open connections finish
+    /// their current frame, then see EOF/closed sockets).
+    pub fn stop(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for TcpServer {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+/// Per-connection loop: accumulate bytes, peel off complete frames, answer
+/// each through the shared frame path. Returns on EOF, socket error, or
+/// server stop.
+fn handle_conn<I: RangeIndex + Clone + 'static>(
+    mut stream: TcpStream,
+    service: &PacService<I>,
+    stop: &AtomicBool,
+) -> std::io::Result<()> {
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(Duration::from_millis(50)))?;
+    let mut acc: Vec<u8> = Vec::with_capacity(8192);
+    let mut chunk = [0u8; 8192];
+    loop {
+        if stop.load(Ordering::Acquire) {
+            return Ok(());
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return Ok(()), // EOF
+            Ok(n) => acc.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                continue;
+            }
+            Err(e) => return Err(e),
+        }
+        let mut consumed = 0;
+        while consumed < acc.len() {
+            match decode_frame(&acc[consumed..]) {
+                Ok((_, n)) => {
+                    let reply = service.handle_frame(&acc[consumed..consumed + n]);
+                    stream.write_all(&reply)?;
+                    consumed += n;
+                }
+                Err(WireError::Incomplete { .. }) => break,
+                Err(_) => {
+                    // Unrecoverable framing error: answer once, drop the
+                    // connection (we cannot resynchronize a corrupt stream).
+                    let reply = service.handle_frame(&acc[consumed..]);
+                    stream.write_all(&reply)?;
+                    return Ok(());
+                }
+            }
+        }
+        acc.drain(..consumed);
+    }
+}
+
+/// A blocking TCP client speaking one frame at a time.
+pub struct TcpClient {
+    stream: TcpStream,
+    acc: Vec<u8>,
+    next_id: u64,
+}
+
+impl TcpClient {
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<TcpClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(TcpClient {
+            stream,
+            acc: Vec::with_capacity(8192),
+            next_id: 1,
+        })
+    }
+
+    fn roundtrip(&mut self, frame: &Frame) -> std::io::Result<Frame> {
+        let mut buf = Vec::with_capacity(256);
+        encode_frame(frame, &mut buf);
+        self.stream.write_all(&buf)?;
+        let mut chunk = [0u8; 8192];
+        loop {
+            match decode_frame(&self.acc) {
+                Ok((reply, n)) => {
+                    self.acc.drain(..n);
+                    return Ok(reply);
+                }
+                Err(WireError::Incomplete { .. }) => {}
+                Err(e) => {
+                    return Err(std::io::Error::new(
+                        ErrorKind::InvalidData,
+                        format!("bad reply frame: {e}"),
+                    ))
+                }
+            }
+            let n = self.stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(ErrorKind::UnexpectedEof.into());
+            }
+            self.acc.extend_from_slice(&chunk[..n]);
+        }
+    }
+
+    /// Sends one request batch and waits for its replies.
+    pub fn call(&mut self, reqs: Vec<Request>) -> std::io::Result<Vec<Response>> {
+        let id = self.next_id;
+        self.next_id += 1;
+        match self.roundtrip(&Frame::Request { id, reqs })? {
+            Frame::Reply { id: rid, resps } if rid == id => Ok(resps),
+            other => Err(std::io::Error::new(
+                ErrorKind::InvalidData,
+                format!("unexpected reply {other:?}"),
+            )),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> std::io::Result<()> {
+        let id = self.next_id;
+        self.next_id += 1;
+        match self.roundtrip(&Frame::Ping { id })? {
+            Frame::Pong { id: rid } if rid == id => Ok(()),
+            other => Err(std::io::Error::new(
+                ErrorKind::InvalidData,
+                format!("unexpected pong {other:?}"),
+            )),
+        }
+    }
+}

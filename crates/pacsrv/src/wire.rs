@@ -1,0 +1,537 @@
+//! The pacsrv binary wire codec.
+//!
+//! One frame = a 20-byte header plus a length-prefixed payload:
+//!
+//! | offset | size | field                                              |
+//! |--------|------|----------------------------------------------------|
+//! | 0      | 2    | magic `0xAC51` (little-endian)                     |
+//! | 2      | 1    | protocol version ([`VERSION`])                     |
+//! | 3      | 1    | frame kind (1 request, 2 reply, 3 ping, 4 pong)    |
+//! | 4      | 8    | correlation id (echoed verbatim in the reply)      |
+//! | 12     | 4    | payload length in bytes                            |
+//! | 16     | 4    | CRC32 over bytes `0..16` plus the payload          |
+//! | 20     | n    | payload                                            |
+//!
+//! All integers are little-endian. A request payload is a `u32` operation
+//! count followed by that many operations (`Get`/`Put`/`Delete`/`Scan`,
+//! each with a `u16`-length-prefixed key); a reply payload mirrors it with
+//! one status per operation. Batching is therefore first-class at the frame
+//! level: a frame with `count > 1` is the batch, and the reply preserves
+//! operation order.
+//!
+//! The same bytes travel over TCP and through the in-process transport, so
+//! benchmarks can isolate protocol cost (encode + checksum + decode) from
+//! network cost by switching transports.
+
+/// Protocol version this build speaks.
+pub const VERSION: u8 = 1;
+
+/// Frame magic (bytes `0x51 0xAC` on the wire).
+pub const MAGIC: u16 = 0xAC51;
+
+/// Header bytes before the payload.
+pub const HEADER_LEN: usize = 20;
+
+/// Upper bound on a payload: a decoder must be able to reject a corrupt
+/// length field without attempting a giant allocation.
+pub const MAX_PAYLOAD: usize = 16 << 20;
+
+/// Upper bound on operations per frame.
+pub const MAX_BATCH: usize = 1 << 16;
+
+/// One client operation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// Point lookup.
+    Get { key: Vec<u8> },
+    /// Upsert.
+    Put { key: Vec<u8>, value: u64 },
+    /// Delete.
+    Delete { key: Vec<u8> },
+    /// Range scan of up to `count` pairs from `start`.
+    Scan { start: Vec<u8>, count: u32 },
+}
+
+impl Request {
+    /// The key the request routes by (scan routes by its start key).
+    pub fn key(&self) -> &[u8] {
+        match self {
+            Request::Get { key } | Request::Put { key, .. } | Request::Delete { key } => key,
+            Request::Scan { start, .. } => start,
+        }
+    }
+}
+
+/// One per-operation reply.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Response {
+    /// Put acknowledged (the write is durable in the index).
+    Ok,
+    /// Get result.
+    Value(Option<u64>),
+    /// Delete result (the removed value, if the key existed).
+    Removed(Option<u64>),
+    /// Number of pairs a scan observed.
+    ScanCount(u32),
+    /// Shed at admission: queue full or ingress throttle empty. The
+    /// operation was never executed; the client may retry with backoff.
+    Overloaded,
+    /// The operation's deadline passed while it sat in a queue; it was
+    /// dropped without executing.
+    DeadlineExceeded,
+    /// The server could not decode the operation.
+    Malformed,
+}
+
+impl Response {
+    /// Whether this reply means the operation executed against the index.
+    pub fn executed(&self) -> bool {
+        !matches!(
+            self,
+            Response::Overloaded | Response::DeadlineExceeded | Response::Malformed
+        )
+    }
+}
+
+/// A decoded frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Frame {
+    /// A batch of operations to execute in order.
+    Request { id: u64, reqs: Vec<Request> },
+    /// The batch's replies, one per operation, in operation order.
+    Reply { id: u64, resps: Vec<Response> },
+    /// Liveness probe.
+    Ping { id: u64 },
+    /// Liveness answer.
+    Pong { id: u64 },
+}
+
+impl Frame {
+    fn kind(&self) -> u8 {
+        match self {
+            Frame::Request { .. } => 1,
+            Frame::Reply { .. } => 2,
+            Frame::Ping { .. } => 3,
+            Frame::Pong { .. } => 4,
+        }
+    }
+
+    /// The correlation id.
+    pub fn id(&self) -> u64 {
+        match self {
+            Frame::Request { id, .. }
+            | Frame::Reply { id, .. }
+            | Frame::Ping { id }
+            | Frame::Pong { id } => *id,
+        }
+    }
+}
+
+/// Why a buffer failed to decode.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// Not enough bytes yet; `need` more would allow progress. Stream
+    /// transports keep reading; datagram-style callers treat it as a
+    /// truncated frame.
+    Incomplete { need: usize },
+    /// The first two bytes are not [`MAGIC`].
+    BadMagic,
+    /// Version byte this build does not speak.
+    BadVersion { got: u8 },
+    /// The CRC32 did not match: the frame was corrupted in flight.
+    BadChecksum,
+    /// Structurally invalid (unknown kind/op tag, length field out of
+    /// bounds, payload/count mismatch).
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Incomplete { need } => write!(f, "incomplete frame: need {need} more bytes"),
+            WireError::BadMagic => write!(f, "bad magic"),
+            WireError::BadVersion { got } => write!(f, "unsupported version {got}"),
+            WireError::BadChecksum => write!(f, "checksum mismatch"),
+            WireError::Malformed(what) => write!(f, "malformed frame: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// CRC32 (IEEE, reflected) lookup table, built at compile time.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// CRC32 of `parts` concatenated (IEEE polynomial, as used by gzip).
+pub fn crc32(parts: &[&[u8]]) -> u32 {
+    let mut c = !0u32;
+    for part in parts {
+        for &b in *part {
+            c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+        }
+    }
+    !c
+}
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// A cursor over an immutable payload; every read is bounds-checked.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.buf.len() - self.pos < n {
+            return Err(WireError::Malformed("payload shorter than its fields"));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn key(&mut self) -> Result<Vec<u8>, WireError> {
+        let len = self.u16()? as usize;
+        Ok(self.take(len)?.to_vec())
+    }
+    fn done(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+fn encode_payload(frame: &Frame, out: &mut Vec<u8>) {
+    match frame {
+        Frame::Request { reqs, .. } => {
+            put_u32(out, reqs.len() as u32);
+            for r in reqs {
+                match r {
+                    Request::Get { key } => {
+                        out.push(1);
+                        put_u16(out, key.len() as u16);
+                        out.extend_from_slice(key);
+                    }
+                    Request::Put { key, value } => {
+                        out.push(2);
+                        put_u16(out, key.len() as u16);
+                        out.extend_from_slice(key);
+                        put_u64(out, *value);
+                    }
+                    Request::Delete { key } => {
+                        out.push(3);
+                        put_u16(out, key.len() as u16);
+                        out.extend_from_slice(key);
+                    }
+                    Request::Scan { start, count } => {
+                        out.push(4);
+                        put_u16(out, start.len() as u16);
+                        out.extend_from_slice(start);
+                        put_u32(out, *count);
+                    }
+                }
+            }
+        }
+        Frame::Reply { resps, .. } => {
+            put_u32(out, resps.len() as u32);
+            for r in resps {
+                match r {
+                    Response::Ok => out.push(1),
+                    Response::Value(Some(v)) => {
+                        out.push(2);
+                        put_u64(out, *v);
+                    }
+                    Response::Value(None) => out.push(3),
+                    Response::Removed(Some(v)) => {
+                        out.push(4);
+                        put_u64(out, *v);
+                    }
+                    Response::Removed(None) => out.push(5),
+                    Response::ScanCount(n) => {
+                        out.push(6);
+                        put_u32(out, *n);
+                    }
+                    Response::Overloaded => out.push(7),
+                    Response::DeadlineExceeded => out.push(8),
+                    Response::Malformed => out.push(9),
+                }
+            }
+        }
+        Frame::Ping { .. } | Frame::Pong { .. } => {}
+    }
+}
+
+/// Appends the encoded frame to `out` and returns the encoded length.
+pub fn encode_frame(frame: &Frame, out: &mut Vec<u8>) -> usize {
+    let start = out.len();
+    out.extend_from_slice(&MAGIC.to_le_bytes());
+    out.push(VERSION);
+    out.push(frame.kind());
+    out.extend_from_slice(&frame.id().to_le_bytes());
+    let len_at = out.len();
+    put_u32(out, 0); // payload length, patched below
+    let crc_at = out.len();
+    put_u32(out, 0); // crc, patched below
+    let payload_at = out.len();
+    encode_payload(frame, out);
+    let payload_len = (out.len() - payload_at) as u32;
+    out[len_at..len_at + 4].copy_from_slice(&payload_len.to_le_bytes());
+    let crc = {
+        let (head, rest) = out[start..].split_at(crc_at - start);
+        crc32(&[head, &rest[4..]])
+    };
+    out[crc_at..crc_at + 4].copy_from_slice(&crc.to_le_bytes());
+    out.len() - start
+}
+
+fn decode_payload(kind: u8, id: u64, payload: &[u8]) -> Result<Frame, WireError> {
+    let mut r = Reader {
+        buf: payload,
+        pos: 0,
+    };
+    let frame = match kind {
+        3 => Frame::Ping { id },
+        4 => Frame::Pong { id },
+        1 => {
+            let count = r.u32()? as usize;
+            if count > MAX_BATCH {
+                return Err(WireError::Malformed("batch count over MAX_BATCH"));
+            }
+            let mut reqs = Vec::with_capacity(count.min(1024));
+            for _ in 0..count {
+                let req = match r.u8()? {
+                    1 => Request::Get { key: r.key()? },
+                    2 => Request::Put {
+                        key: r.key()?,
+                        value: r.u64()?,
+                    },
+                    3 => Request::Delete { key: r.key()? },
+                    4 => Request::Scan {
+                        start: r.key()?,
+                        count: r.u32()?,
+                    },
+                    _ => return Err(WireError::Malformed("unknown request op tag")),
+                };
+                reqs.push(req);
+            }
+            Frame::Request { id, reqs }
+        }
+        2 => {
+            let count = r.u32()? as usize;
+            if count > MAX_BATCH {
+                return Err(WireError::Malformed("batch count over MAX_BATCH"));
+            }
+            let mut resps = Vec::with_capacity(count.min(1024));
+            for _ in 0..count {
+                let resp = match r.u8()? {
+                    1 => Response::Ok,
+                    2 => Response::Value(Some(r.u64()?)),
+                    3 => Response::Value(None),
+                    4 => Response::Removed(Some(r.u64()?)),
+                    5 => Response::Removed(None),
+                    6 => Response::ScanCount(r.u32()?),
+                    7 => Response::Overloaded,
+                    8 => Response::DeadlineExceeded,
+                    9 => Response::Malformed,
+                    _ => return Err(WireError::Malformed("unknown response status tag")),
+                };
+                resps.push(resp);
+            }
+            Frame::Reply { id, resps }
+        }
+        _ => return Err(WireError::Malformed("unknown frame kind")),
+    };
+    if !r.done() {
+        return Err(WireError::Malformed("trailing bytes after payload fields"));
+    }
+    Ok(frame)
+}
+
+/// Decodes one frame from the front of `buf`, returning it and the number
+/// of bytes consumed. [`WireError::Incomplete`] means "read more and call
+/// again" for stream transports.
+pub fn decode_frame(buf: &[u8]) -> Result<(Frame, usize), WireError> {
+    if buf.len() < HEADER_LEN {
+        return Err(WireError::Incomplete {
+            need: HEADER_LEN - buf.len(),
+        });
+    }
+    if u16::from_le_bytes([buf[0], buf[1]]) != MAGIC {
+        return Err(WireError::BadMagic);
+    }
+    if buf[2] != VERSION {
+        return Err(WireError::BadVersion { got: buf[2] });
+    }
+    let kind = buf[3];
+    let id = u64::from_le_bytes(buf[4..12].try_into().unwrap());
+    let payload_len = u32::from_le_bytes(buf[12..16].try_into().unwrap()) as usize;
+    if payload_len > MAX_PAYLOAD {
+        return Err(WireError::Malformed("payload length over MAX_PAYLOAD"));
+    }
+    let total = HEADER_LEN + payload_len;
+    if buf.len() < total {
+        return Err(WireError::Incomplete {
+            need: total - buf.len(),
+        });
+    }
+    let crc_stored = u32::from_le_bytes(buf[16..20].try_into().unwrap());
+    let payload = &buf[HEADER_LEN..total];
+    if crc32(&[&buf[..16], payload]) != crc_stored {
+        return Err(WireError::BadChecksum);
+    }
+    Ok((decode_payload(kind, id, payload)?, total))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(frame: Frame) {
+        let mut buf = Vec::new();
+        let n = encode_frame(&frame, &mut buf);
+        assert_eq!(n, buf.len());
+        let (decoded, consumed) = decode_frame(&buf).expect("decode");
+        assert_eq!(consumed, n);
+        assert_eq!(decoded, frame);
+    }
+
+    #[test]
+    fn roundtrip_every_frame_kind() {
+        roundtrip(Frame::Ping { id: 7 });
+        roundtrip(Frame::Pong { id: u64::MAX });
+        roundtrip(Frame::Request {
+            id: 1,
+            reqs: vec![
+                Request::Get {
+                    key: b"k1".to_vec(),
+                },
+                Request::Put {
+                    key: vec![],
+                    value: u64::MAX,
+                },
+                Request::Delete {
+                    key: vec![0xFF; 300],
+                },
+                Request::Scan {
+                    start: b"a".to_vec(),
+                    count: 100,
+                },
+            ],
+        });
+        roundtrip(Frame::Reply {
+            id: 2,
+            resps: vec![
+                Response::Ok,
+                Response::Value(Some(0)),
+                Response::Value(None),
+                Response::Removed(Some(9)),
+                Response::Removed(None),
+                Response::ScanCount(42),
+                Response::Overloaded,
+                Response::DeadlineExceeded,
+                Response::Malformed,
+            ],
+        });
+    }
+
+    #[test]
+    fn two_frames_back_to_back() {
+        let mut buf = Vec::new();
+        encode_frame(&Frame::Ping { id: 1 }, &mut buf);
+        let first_len = buf.len();
+        encode_frame(
+            &Frame::Request {
+                id: 2,
+                reqs: vec![Request::Get { key: b"x".to_vec() }],
+            },
+            &mut buf,
+        );
+        let (f1, n1) = decode_frame(&buf).unwrap();
+        assert_eq!(f1, Frame::Ping { id: 1 });
+        assert_eq!(n1, first_len);
+        let (f2, n2) = decode_frame(&buf[n1..]).unwrap();
+        assert_eq!(f2.id(), 2);
+        assert_eq!(n1 + n2, buf.len());
+    }
+
+    #[test]
+    fn rejects_corruption_truncation_and_bad_header() {
+        let mut buf = Vec::new();
+        encode_frame(
+            &Frame::Request {
+                id: 3,
+                reqs: vec![Request::Put {
+                    key: b"key".to_vec(),
+                    value: 11,
+                }],
+            },
+            &mut buf,
+        );
+        // Truncation at every length short of the full frame.
+        for cut in 0..buf.len() {
+            assert!(
+                matches!(decode_frame(&buf[..cut]), Err(WireError::Incomplete { .. })),
+                "cut={cut}"
+            );
+        }
+        // Any single flipped payload byte trips the checksum.
+        for i in HEADER_LEN..buf.len() {
+            let mut bad = buf.clone();
+            bad[i] ^= 0x40;
+            assert_eq!(decode_frame(&bad), Err(WireError::BadChecksum), "byte {i}");
+        }
+        // Bad magic / version are rejected before the checksum runs.
+        let mut bad = buf.clone();
+        bad[0] = 0;
+        assert_eq!(decode_frame(&bad), Err(WireError::BadMagic));
+        let mut bad = buf.clone();
+        bad[2] = VERSION + 1;
+        assert_eq!(
+            decode_frame(&bad),
+            Err(WireError::BadVersion { got: VERSION + 1 })
+        );
+    }
+
+    #[test]
+    fn crc32_matches_known_vector() {
+        // IEEE CRC32 of "123456789" is 0xCBF43926.
+        assert_eq!(crc32(&[b"123456789"]), 0xCBF4_3926);
+        assert_eq!(crc32(&[b"1234", b"56789"]), 0xCBF4_3926);
+    }
+}

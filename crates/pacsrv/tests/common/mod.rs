@@ -1,0 +1,60 @@
+//! Shared fixtures for the pacsrv integration tests.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, RwLock};
+use std::time::Duration;
+
+use ycsb::RangeIndex;
+
+/// An in-memory index with an optional artificial per-op delay, so tests
+/// can dial in an exact sustainable service rate.
+#[derive(Clone, Default)]
+pub struct MapIndex {
+    map: Arc<RwLock<BTreeMap<Vec<u8>, u64>>>,
+    pub op_delay: Option<Duration>,
+}
+
+impl MapIndex {
+    // Each integration test compiles its own copy of this module; not all
+    // of them use the delayed constructor.
+    #[allow(dead_code)]
+    pub fn slow(op_delay: Duration) -> MapIndex {
+        MapIndex {
+            map: Arc::default(),
+            op_delay: Some(op_delay),
+        }
+    }
+
+    fn dally(&self) {
+        if let Some(d) = self.op_delay {
+            std::thread::sleep(d);
+        }
+    }
+}
+
+impl RangeIndex for MapIndex {
+    fn name(&self) -> &'static str {
+        "map"
+    }
+    fn insert(&self, key: &[u8], value: u64) {
+        self.dally();
+        self.map.write().unwrap().insert(key.to_vec(), value);
+    }
+    fn lookup(&self, key: &[u8]) -> Option<u64> {
+        self.dally();
+        self.map.read().unwrap().get(key).copied()
+    }
+    fn remove(&self, key: &[u8]) -> Option<u64> {
+        self.dally();
+        self.map.write().unwrap().remove(key)
+    }
+    fn scan(&self, start: &[u8], count: usize) -> usize {
+        self.dally();
+        self.map
+            .read()
+            .unwrap()
+            .range(start.to_vec()..)
+            .take(count)
+            .count()
+    }
+}

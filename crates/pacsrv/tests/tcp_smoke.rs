@@ -1,0 +1,60 @@
+//! End-to-end TCP loopback: multiple clients, mixed batches, clean stop.
+
+mod common;
+
+use std::time::Duration;
+
+use common::MapIndex;
+use pacsrv::wire::{Request, Response};
+use pacsrv::{PacService, ServiceConfig, TcpClient, TcpServer};
+
+#[test]
+fn tcp_loopback_roundtrip() {
+    let cfg = ServiceConfig {
+        shards: 2,
+        numa_pin: false,
+        ..ServiceConfig::named("pacsrv-tcp", 2)
+    };
+    let service = PacService::start(MapIndex::default(), cfg);
+    let server = TcpServer::start(service.clone(), "127.0.0.1:0").expect("bind");
+    let addr = server.local_addr();
+
+    let handles: Vec<_> = (0..3u64)
+        .map(|c| {
+            std::thread::spawn(move || {
+                let mut client = TcpClient::connect(addr).expect("connect");
+                client.ping().expect("ping");
+                for i in 0..50u64 {
+                    let key = (c * 1000 + i).to_be_bytes().to_vec();
+                    let resps = client
+                        .call(vec![
+                            Request::Put {
+                                key: key.clone(),
+                                value: i,
+                            },
+                            Request::Get { key: key.clone() },
+                            Request::Scan {
+                                start: key.clone(),
+                                count: 4,
+                            },
+                            Request::Delete { key: key.clone() },
+                            Request::Get { key },
+                        ])
+                        .expect("call");
+                    assert_eq!(resps.len(), 5);
+                    assert_eq!(resps[0], Response::Ok);
+                    assert_eq!(resps[1], Response::Value(Some(i)));
+                    assert!(matches!(resps[2], Response::ScanCount(n) if n >= 1));
+                    assert_eq!(resps[3], Response::Removed(Some(i)));
+                    assert_eq!(resps[4], Response::Value(None));
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("client thread");
+    }
+
+    server.stop();
+    assert!(service.shutdown(Duration::from_secs(5)));
+}

@@ -142,6 +142,12 @@ impl PdlArt {
         }))
     }
 
+    /// The epoch collector (exposed so batch processors can hold one pin
+    /// across a run of operations; pins nest).
+    pub fn collector(&self) -> &Arc<Collector> {
+        &self.collector
+    }
+
     /// The backing pool.
     pub fn pool(&self) -> &Arc<PmemPool> {
         &self.pool

@@ -187,8 +187,13 @@ impl Default for NvmModelConfig {
     }
 }
 
-/// A token bucket enforcing a byte/second rate.
-struct TokenBucket {
+/// A token bucket enforcing a byte/second (or unit/second) rate.
+///
+/// Used internally by the NVM model for media bandwidth throttling, and
+/// publicly by the `pacsrv` service layer as an ingress admission throttle
+/// (non-blocking [`try_acquire`](Self::try_acquire) there, so overload
+/// turns into an explicit shed instead of a stalled caller).
+pub struct TokenBucket {
     tokens: AtomicI64,
     last_refill_ns: AtomicU64,
     rate_per_ns: f64,
@@ -196,7 +201,9 @@ struct TokenBucket {
 }
 
 impl TokenBucket {
-    fn new(rate_bytes_per_sec: u64) -> Self {
+    /// A bucket refilling at `rate_bytes_per_sec` with a ~1 ms burst
+    /// allowance (floored at 64 KiB so tiny rates still make progress).
+    pub fn new(rate_bytes_per_sec: u64) -> Self {
         let burst = (rate_bytes_per_sec / 1000).max(64 * 1024) as i64; // ~1 ms worth
         TokenBucket {
             tokens: AtomicI64::new(burst),
@@ -204,6 +211,35 @@ impl TokenBucket {
             rate_per_ns: rate_bytes_per_sec as f64 / 1e9,
             burst,
         }
+    }
+
+    /// A bucket refilling at `rate_per_sec` with an explicit burst cap
+    /// (admission-control use: burst = how far a traffic spike may run
+    /// ahead of the sustained rate before requests are shed).
+    pub fn with_burst(rate_per_sec: u64, burst: u64) -> Self {
+        TokenBucket {
+            tokens: AtomicI64::new(burst.max(1) as i64),
+            last_refill_ns: AtomicU64::new(0),
+            rate_per_ns: rate_per_sec as f64 / 1e9,
+            burst: burst.max(1) as i64,
+        }
+    }
+
+    /// Non-blocking acquire: consumes `units` tokens only if the balance is
+    /// currently positive, returning whether admission succeeded.
+    ///
+    /// Unlike [`acquire`](Self::acquire), a failed attempt leaves the
+    /// balance untouched, so shed requests do not dig the bucket into debt
+    /// and starve admitted ones. The positive-balance check races benignly:
+    /// concurrent admitters may overdraw by at most one burst, which the
+    /// refill repays at the configured rate.
+    pub fn try_acquire(&self, units: u64, origin: &Instant) -> bool {
+        self.refill(origin);
+        if self.tokens.load(Ordering::Relaxed) <= 0 {
+            return false;
+        }
+        self.tokens.fetch_sub(units as i64, Ordering::Relaxed);
+        true
     }
 
     /// Consumes `bytes` tokens, blocking until the balance is repaid.
@@ -218,7 +254,7 @@ impl TokenBucket {
     /// sleep sized to the remaining debt — so a throttled thread does not
     /// monopolize a core (essential on hosts with fewer cores than worker
     /// threads).
-    fn acquire(&self, bytes: u64, origin: &Instant) {
+    pub fn acquire(&self, bytes: u64, origin: &Instant) {
         if self.rate_per_ns >= 1e9 {
             return; // effectively unlimited
         }
@@ -880,6 +916,28 @@ mod tests {
         assert!(
             start.elapsed().as_micros() >= 1500,
             "throttle too permissive"
+        );
+    }
+
+    #[test]
+    fn token_bucket_try_acquire_sheds_without_debt() {
+        let origin = Instant::now();
+        // 1 unit/s: refill is negligible for the duration of the test, so
+        // exactly the burst is admitted and then admission fails.
+        let bucket = TokenBucket::with_burst(1, 4);
+        let mut admitted = 0;
+        for _ in 0..100 {
+            if bucket.try_acquire(1, &origin) {
+                admitted += 1;
+            }
+        }
+        assert_eq!(admitted, 4);
+        let balance = bucket.tokens.load(Ordering::Relaxed);
+        assert!(!bucket.try_acquire(1, &origin));
+        assert_eq!(
+            bucket.tokens.load(Ordering::Relaxed),
+            balance,
+            "failed try_acquire must not dig into debt"
         );
     }
 

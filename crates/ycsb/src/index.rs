@@ -47,6 +47,22 @@ pub trait RangeIndex: Send + Sync {
     fn op_histograms(&self) -> Option<&obsv::OpHistograms> {
         None
     }
+
+    /// Runs `f` inside any per-batch acceleration the index offers. The
+    /// pacsrv shard workers wrap each drained batch in this call; the
+    /// epoch-based indexes hold one epoch pin across the batch so the
+    /// per-operation pins inside reuse the outermost announcement instead
+    /// of re-announcing per op. Default: no batch state, just run.
+    fn with_batch(&self, f: &mut dyn FnMut()) {
+        f();
+    }
+
+    /// Finishes background work (SMO replay, epoch reclamation) so a
+    /// graceful shutdown leaves nothing pending; returns whether the index
+    /// fully drained within `timeout`. Default: nothing to drain.
+    fn drain(&self, _timeout: std::time::Duration) -> bool {
+        true
+    }
 }
 
 impl RangeIndex for Arc<PacTree> {
@@ -83,6 +99,15 @@ impl RangeIndex for Arc<PacTree> {
     fn op_histograms(&self) -> Option<&obsv::OpHistograms> {
         Some(obsv::OpRecorder::op_histograms(self.as_ref()))
     }
+
+    fn with_batch(&self, f: &mut dyn FnMut()) {
+        let _pin = self.collector().pin();
+        f();
+    }
+
+    fn drain(&self, timeout: std::time::Duration) -> bool {
+        self.quiesce(timeout)
+    }
 }
 
 impl RangeIndex for Arc<PdlArt> {
@@ -108,6 +133,16 @@ impl RangeIndex for Arc<PdlArt> {
 
     fn op_histograms(&self) -> Option<&obsv::OpHistograms> {
         Some(obsv::OpRecorder::op_histograms(self.as_ref()))
+    }
+
+    fn with_batch(&self, f: &mut dyn FnMut()) {
+        let _pin = self.collector().pin();
+        f();
+    }
+
+    fn drain(&self, _timeout: std::time::Duration) -> bool {
+        self.maintain();
+        true
     }
 }
 
