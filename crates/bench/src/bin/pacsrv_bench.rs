@@ -74,6 +74,14 @@ impl LoopOutcome {
     }
 }
 
+fn tally(resp: Response, ok: &AtomicU64, shed: &AtomicU64, timeout: &AtomicU64) {
+    match resp {
+        Response::Overloaded | Response::Aborted => shed.fetch_add(1, Ordering::Relaxed),
+        Response::DeadlineExceeded => timeout.fetch_add(1, Ordering::Relaxed),
+        _ => ok.fetch_add(1, Ordering::Relaxed),
+    };
+}
+
 /// One client-side load configuration for [`drive_service`].
 struct Drive {
     total_ops: u64,
@@ -134,33 +142,34 @@ fn drive_service(
                     if pace_ops_per_sec > 0.0 {
                         open_pending.push(rs);
                         // Pace to the target rate; drain finished sets
-                        // opportunistically to bound memory.
+                        // opportunistically to bound memory. Every drained
+                        // set is tallied — dropping completed sets uncounted
+                        // would bias the sample toward slow batches (shed
+                        // batches complete instantly and would vanish).
                         let due = Duration::from_secs_f64(issued as f64 / pace_ops_per_sec);
                         if let Some(sleep) = due.checked_sub(client_start.elapsed()) {
                             std::thread::sleep(sleep);
                         }
                         if open_pending.len() >= 64 {
-                            open_pending.retain(|rs| !rs.is_done());
+                            for rs in std::mem::take(&mut open_pending) {
+                                if rs.is_done() {
+                                    for resp in rs.wait() {
+                                        tally(resp, ok, shed, timeout);
+                                    }
+                                } else {
+                                    open_pending.push(rs);
+                                }
+                            }
                         }
                     } else {
                         for resp in rs.wait() {
-                            match resp {
-                                Response::Overloaded => shed.fetch_add(1, Ordering::Relaxed),
-                                Response::DeadlineExceeded => {
-                                    timeout.fetch_add(1, Ordering::Relaxed)
-                                }
-                                _ => ok.fetch_add(1, Ordering::Relaxed),
-                            };
+                            tally(resp, ok, shed, timeout);
                         }
                     }
                 }
                 for rs in open_pending {
                     for resp in rs.wait() {
-                        match resp {
-                            Response::Overloaded => shed.fetch_add(1, Ordering::Relaxed),
-                            Response::DeadlineExceeded => timeout.fetch_add(1, Ordering::Relaxed),
-                            _ => ok.fetch_add(1, Ordering::Relaxed),
-                        };
+                        tally(resp, ok, shed, timeout);
                     }
                 }
             });

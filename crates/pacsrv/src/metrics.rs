@@ -38,7 +38,10 @@ pub struct ServiceMetrics {
 }
 
 impl ServiceMetrics {
-    /// Shed + timeout fraction of all admission decisions so far.
+    /// Shed fraction of all admission decisions so far:
+    /// `shed / (shed + admitted)`. Deadline timeouts are *not* included —
+    /// a timed-out op was admitted (it is in the denominator) and is
+    /// counted separately in [`timeouts`](Self::timeouts).
     pub fn shed_rate(&self) -> f64 {
         let shed = self.shed.load(Ordering::Relaxed) as f64;
         let total = shed + self.admitted.load(Ordering::Relaxed) as f64;

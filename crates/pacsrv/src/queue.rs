@@ -21,8 +21,8 @@ pub enum PopStatus {
     /// `out` holds 1..=max items.
     Items,
     /// The queue is closed and fully drained (graceful shutdown), or was
-    /// killed (abrupt shutdown; remaining items are dropped unanswered,
-    /// like a process kill would).
+    /// killed (abrupt shutdown; remaining items were handed back to the
+    /// killer by [`BatchQueue::kill`]).
     Done,
 }
 
@@ -97,11 +97,20 @@ impl<T> BatchQueue<T> {
         self.notify.notify_all();
     }
 
-    /// Abrupt shutdown: the consumer stops at its next wakeup, abandoning
-    /// queued items (they are dropped when the queue drops).
-    pub fn kill(&self) {
-        self.inner.lock().unwrap().killed = true;
+    /// Abrupt shutdown: the consumer stops at its next wakeup, and the
+    /// queued items it will never see are handed back to the killer
+    /// (which must answer or drop them — they are no longer reachable
+    /// through the queue, so leaving their completions unfilled would
+    /// hang any thread waiting on them).
+    #[must_use = "abandoned items carry reply slots that must be completed"]
+    pub fn kill(&self) -> Vec<T> {
+        let mut inner = self.inner.lock().unwrap();
+        inner.killed = true;
+        let abandoned: Vec<T> = inner.items.drain(..).collect();
+        self.depth.store(0, Ordering::Relaxed);
+        drop(inner);
         self.notify.notify_all();
+        abandoned
     }
 
     /// Current queue depth (lock-free; may lag the truth by one update).
@@ -156,10 +165,13 @@ mod tests {
     }
 
     #[test]
-    fn kill_abandons_queued_items() {
+    fn kill_returns_abandoned_items_to_the_killer() {
         let q = BatchQueue::new(8);
         q.try_push(1).unwrap();
-        q.kill();
+        q.try_push(2).unwrap();
+        assert_eq!(q.kill(), vec![1, 2]);
+        assert_eq!(q.len(), 0);
+        assert_eq!(q.try_push(3), Err(3), "killed queue rejects pushes");
         let mut out = Vec::new();
         assert_eq!(q.pop_batch(8, &mut out), PopStatus::Done);
         assert!(out.is_empty(), "killed queue hands out nothing");

@@ -49,7 +49,10 @@ pub struct ServiceConfig {
     pub batch_max: usize,
     /// Sustained admission rate in ops/sec (`None` = queue bound only).
     pub ingress_rate: Option<u64>,
-    /// Burst allowance of the ingress bucket, in ops.
+    /// Burst allowance of the ingress bucket, in ops. Admission requires
+    /// the balance to cover a whole submitted batch, so this must be at
+    /// least the largest batch size a client submits in one call — a
+    /// larger batch is always shed.
     pub ingress_burst: u64,
     /// Default per-op deadline applied at admission (`None` = none).
     pub default_deadline: Option<Duration>,
@@ -331,17 +334,29 @@ impl<I: RangeIndex + Clone + 'static> PacService<I> {
     }
 
     /// Abrupt shutdown simulating a process kill: workers stop at their
-    /// next wakeup, queued-but-unexecuted operations are dropped
-    /// *unanswered*, and the index is not drained or quiesced. Used by the
-    /// kill-recovery test; a real deployment calls
-    /// [`shutdown`](Self::shutdown).
+    /// next wakeup, queued-but-unexecuted operations never reach the index,
+    /// and the index is not drained or quiesced. Used by the kill-recovery
+    /// test; a real deployment calls [`shutdown`](Self::shutdown).
+    ///
+    /// The abandoned operations are answered [`Response::Aborted`] (the
+    /// index never executed them, so nothing was acked), which unblocks any
+    /// thread waiting in [`ReplySet::wait`] or [`call`](Self::call) —
+    /// `wait` has no timeout, so leaving the slots unfilled would deadlock
+    /// concurrent callers forever.
     pub fn kill(&self) {
         self.state.store(DRAINING, Ordering::Release);
+        let mut abandoned = Vec::new();
         for q in self.shards.iter() {
-            q.kill();
+            abandoned.extend(q.kill());
         }
         for h in self.workers.lock().unwrap().drain(..) {
             let _ = h.join();
+        }
+        // Workers are gone: every job is either completed (executed,
+        // timed out, or shed at admission) or in `abandoned` — fill those
+        // slots so no waiter hangs.
+        for job in abandoned {
+            job.done.complete(job.slot, Response::Aborted);
         }
         self.state.store(STOPPED, Ordering::Release);
     }
@@ -632,6 +647,54 @@ mod tests {
         assert!((1..=16).contains(&admitted), "admitted {admitted}");
         assert!(svc.metrics().shed.load(Ordering::Relaxed) >= 84);
         svc.shutdown(Duration::from_secs(5));
+    }
+
+    #[test]
+    fn kill_answers_abandoned_work_with_aborted() {
+        let svc = PacService::start(
+            MapIndex {
+                op_delay: Some(Duration::from_millis(10)),
+                ..Default::default()
+            },
+            ServiceConfig {
+                shards: 1,
+                batch_max: 1,
+                queue_capacity: 64,
+                ..ServiceConfig::named("svc-kill", 1)
+            },
+        );
+        // The first op occupies the worker; the rest sit in the queue.
+        let sets: Vec<_> = (0..16u64)
+            .map(|i| {
+                svc.submit(
+                    vec![Request::Put {
+                        key: i.to_be_bytes().to_vec(),
+                        value: i,
+                    }],
+                    None,
+                )
+            })
+            .collect();
+        svc.kill();
+        // kill() must fill every admitted slot before returning, so these
+        // waits return instead of hanging forever (`wait` has no timeout).
+        let mut aborted = 0;
+        for rs in sets {
+            assert!(rs.is_done(), "kill left a slot unanswered");
+            for r in rs.wait() {
+                match r {
+                    Response::Ok => {}
+                    Response::Aborted => aborted += 1,
+                    other => panic!("unexpected reply after kill: {other:?}"),
+                }
+            }
+        }
+        assert!(aborted > 0, "kill with a busy worker must abandon work");
+        // Post-kill calls shed immediately instead of blocking.
+        assert_eq!(
+            svc.call(Request::Get { key: b"x".to_vec() }),
+            Response::Overloaded
+        );
     }
 
     #[test]

@@ -79,6 +79,10 @@ pub enum Response {
     /// The operation's deadline passed while it sat in a queue; it was
     /// dropped without executing.
     DeadlineExceeded,
+    /// The server was killed while the operation sat in a queue; it was
+    /// never executed. Distinct from `Overloaded` so a client can tell
+    /// "retry with backoff" from "the server is gone".
+    Aborted,
     /// The server could not decode the operation.
     Malformed,
 }
@@ -88,7 +92,10 @@ impl Response {
     pub fn executed(&self) -> bool {
         !matches!(
             self,
-            Response::Overloaded | Response::DeadlineExceeded | Response::Malformed
+            Response::Overloaded
+                | Response::DeadlineExceeded
+                | Response::Aborted
+                | Response::Malformed
         )
     }
 }
@@ -237,38 +244,57 @@ impl<'a> Reader<'a> {
     }
 }
 
+/// Writes `key` with its `u16` length prefix, refusing keys whose length
+/// the prefix cannot represent (a truncated length would checksum fine
+/// and then mis-parse on decode, far from the bug that caused it).
+fn put_key(out: &mut Vec<u8>, key: &[u8]) {
+    assert!(
+        key.len() <= u16::MAX as usize,
+        "key length {} exceeds the wire format's u16 limit",
+        key.len()
+    );
+    put_u16(out, key.len() as u16);
+    out.extend_from_slice(key);
+}
+
 fn encode_payload(frame: &Frame, out: &mut Vec<u8>) {
     match frame {
         Frame::Request { reqs, .. } => {
+            assert!(
+                reqs.len() <= MAX_BATCH,
+                "batch of {} requests exceeds MAX_BATCH ({MAX_BATCH})",
+                reqs.len()
+            );
             put_u32(out, reqs.len() as u32);
             for r in reqs {
                 match r {
                     Request::Get { key } => {
                         out.push(1);
-                        put_u16(out, key.len() as u16);
-                        out.extend_from_slice(key);
+                        put_key(out, key);
                     }
                     Request::Put { key, value } => {
                         out.push(2);
-                        put_u16(out, key.len() as u16);
-                        out.extend_from_slice(key);
+                        put_key(out, key);
                         put_u64(out, *value);
                     }
                     Request::Delete { key } => {
                         out.push(3);
-                        put_u16(out, key.len() as u16);
-                        out.extend_from_slice(key);
+                        put_key(out, key);
                     }
                     Request::Scan { start, count } => {
                         out.push(4);
-                        put_u16(out, start.len() as u16);
-                        out.extend_from_slice(start);
+                        put_key(out, start);
                         put_u32(out, *count);
                     }
                 }
             }
         }
         Frame::Reply { resps, .. } => {
+            assert!(
+                resps.len() <= MAX_BATCH,
+                "batch of {} responses exceeds MAX_BATCH ({MAX_BATCH})",
+                resps.len()
+            );
             put_u32(out, resps.len() as u32);
             for r in resps {
                 match r {
@@ -290,6 +316,7 @@ fn encode_payload(frame: &Frame, out: &mut Vec<u8>) {
                     Response::Overloaded => out.push(7),
                     Response::DeadlineExceeded => out.push(8),
                     Response::Malformed => out.push(9),
+                    Response::Aborted => out.push(10),
                 }
             }
         }
@@ -298,6 +325,14 @@ fn encode_payload(frame: &Frame, out: &mut Vec<u8>) {
 }
 
 /// Appends the encoded frame to `out` and returns the encoded length.
+///
+/// # Panics
+///
+/// If the frame is unrepresentable on the wire — a key longer than
+/// `u16::MAX` bytes or more than [`MAX_BATCH`] operations/statuses per
+/// frame. These mirror the decoder's structural checks; encoding such a
+/// frame would otherwise produce bytes whose CRC validates but whose
+/// payload mis-parses, so the caller's bug is surfaced here instead.
 pub fn encode_frame(frame: &Frame, out: &mut Vec<u8>) -> usize {
     let start = out.len();
     out.extend_from_slice(&MAGIC.to_le_bytes());
@@ -369,6 +404,7 @@ fn decode_payload(kind: u8, id: u64, payload: &[u8]) -> Result<Frame, WireError>
                     7 => Response::Overloaded,
                     8 => Response::DeadlineExceeded,
                     9 => Response::Malformed,
+                    10 => Response::Aborted,
                     _ => return Err(WireError::Malformed("unknown response status tag")),
                 };
                 resps.push(resp);
@@ -465,9 +501,38 @@ mod tests {
                 Response::ScanCount(42),
                 Response::Overloaded,
                 Response::DeadlineExceeded,
+                Response::Aborted,
                 Response::Malformed,
             ],
         });
+    }
+
+    #[test]
+    #[should_panic(expected = "u16 limit")]
+    fn encode_rejects_oversize_key() {
+        let mut buf = Vec::new();
+        encode_frame(
+            &Frame::Request {
+                id: 1,
+                reqs: vec![Request::Get {
+                    key: vec![0; u16::MAX as usize + 1],
+                }],
+            },
+            &mut buf,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "MAX_BATCH")]
+    fn encode_rejects_oversize_batch() {
+        let mut buf = Vec::new();
+        encode_frame(
+            &Frame::Request {
+                id: 1,
+                reqs: vec![Request::Get { key: vec![] }; MAX_BATCH + 1],
+            },
+            &mut buf,
+        );
     }
 
     #[test]

@@ -25,13 +25,14 @@ fn build_responses(raw: Vec<(u8, u64, bool)>) -> Vec<Response> {
     raw.into_iter()
         .map(|(tag, v, some)| {
             let opt = if some { Some(v) } else { None };
-            match tag % 7 {
+            match tag % 8 {
                 0 => Response::Ok,
                 1 => Response::Value(opt),
                 2 => Response::Removed(opt),
                 3 => Response::ScanCount((v % 100_000) as u32),
                 4 => Response::Overloaded,
                 5 => Response::DeadlineExceeded,
+                6 => Response::Aborted,
                 _ => Response::Malformed,
             }
         })

@@ -225,21 +225,35 @@ impl TokenBucket {
         }
     }
 
-    /// Non-blocking acquire: consumes `units` tokens only if the balance is
-    /// currently positive, returning whether admission succeeded.
+    /// Non-blocking acquire: consumes `units` tokens only if the current
+    /// balance covers all of them, returning whether admission succeeded.
     ///
-    /// Unlike [`acquire`](Self::acquire), a failed attempt leaves the
-    /// balance untouched, so shed requests do not dig the bucket into debt
-    /// and starve admitted ones. The positive-balance check races benignly:
-    /// concurrent admitters may overdraw by at most one burst, which the
-    /// refill repays at the configured rate.
+    /// Unlike [`acquire`](Self::acquire), this never takes the balance
+    /// negative: a failed attempt leaves it untouched (shed requests do
+    /// not dig the bucket into debt and starve admitted ones), and a
+    /// successful one subtracts only what the balance covers, so a large
+    /// batch cannot ride in on the last token and overdraw the bucket.
+    /// A consequence admission-control callers must size for: a request
+    /// for more than `burst` units can never succeed — configure the
+    /// burst to cover the largest batch submitted in one call.
     pub fn try_acquire(&self, units: u64, origin: &Instant) -> bool {
         self.refill(origin);
-        if self.tokens.load(Ordering::Relaxed) <= 0 {
-            return false;
+        let need = units.max(1).min(i64::MAX as u64) as i64;
+        let mut cur = self.tokens.load(Ordering::Relaxed);
+        loop {
+            if cur < need {
+                return false;
+            }
+            match self.tokens.compare_exchange_weak(
+                cur,
+                cur - need,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return true,
+                Err(actual) => cur = actual,
+            }
         }
-        self.tokens.fetch_sub(units as i64, Ordering::Relaxed);
-        true
     }
 
     /// Consumes `bytes` tokens, blocking until the balance is repaid.
@@ -939,6 +953,21 @@ mod tests {
             balance,
             "failed try_acquire must not dig into debt"
         );
+    }
+
+    #[test]
+    fn token_bucket_try_acquire_requires_full_coverage() {
+        let origin = Instant::now();
+        let bucket = TokenBucket::with_burst(1, 8);
+        // A batch larger than the balance is shed whole, not admitted on
+        // the strength of one leftover token.
+        assert!(!bucket.try_acquire(100, &origin));
+        assert_eq!(bucket.tokens.load(Ordering::Relaxed), 8);
+        // A covered batch is admitted and debits exactly its size.
+        assert!(bucket.try_acquire(5, &origin));
+        assert_eq!(bucket.tokens.load(Ordering::Relaxed), 3);
+        assert!(!bucket.try_acquire(4, &origin), "3 tokens cannot cover 4");
+        assert!(bucket.try_acquire(3, &origin));
     }
 
     #[test]
