@@ -20,17 +20,24 @@
 //! config
 //! (`obsv::DEFAULT_SAMPLE_SHIFT`, latency timed 1-in-16 with exact
 //! counts); the full-fidelity config (`sample_shift = 0`, every op pays
-//! the clock pair) is measured and reported too, for the record. Results
-//! feed the EXPERIMENTS.md observability section.
+//! the clock pair) is measured and reported too, for the record. When
+//! built with `--features trace`, a third config wraps every lookup in
+//! the request-tracing path (`stamp`/`span`/`finish_root` at the default
+//! 1-in-64 tail sampling) and compares it against the recording-on
+//! baseline — the PR-5 acceptance bound (<5% vs the pre-tracing
+//! observability baseline). Results feed the EXPERIMENTS.md
+//! observability section.
 //!
 //! Env knobs: `PAC_KEYS` (default 50k), `PAC_OBSV_OPS` (lookups per
 //! thread per slice, default 2k), `PAC_OBSV_SLICES` (default 240),
 //! `PAC_OBSV_THREADS` (default: host parallelism, capped at 4).
 //! `--quick` shrinks everything for the CI smoke job.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Barrier;
 use std::time::Instant;
 
+use obsv::trace::{self, SpanKind, TraceOutcome};
 use pactree::{PacTree, PacTreeConfig};
 use pmem::model::{self, NvmModelConfig};
 use rand::{rngs::StdRng, Rng, SeedableRng};
@@ -43,8 +50,13 @@ fn env_u64(name: &str, default: u64) -> u64 {
         .unwrap_or(default)
 }
 
-/// Runs `slices` barrier-synchronized lookup slices, toggling recording
-/// between slices (even = enabled, odd = disabled). Returns per-slice
+/// Runs `slices` barrier-synchronized lookup slices, toggling the
+/// measured feature between slices (even = on, odd = off). With
+/// `traced = false` the toggle is histogram recording
+/// (`obsv::set_enabled`); with `traced = true` recording stays on in
+/// both arms and the toggle is the per-op tracing wrapper
+/// (`stamp`/`span`/`finish_root` around every lookup), so the "off" arm
+/// is exactly the pre-tracing observability baseline. Returns per-slice
 /// wall-clock nanoseconds per arm: `(on_slices, off_slices)`.
 fn run_sliced(
     tree: &PacTree,
@@ -52,20 +64,39 @@ fn run_sliced(
     threads: usize,
     slice_ops: u64,
     slices: u64,
+    traced: bool,
 ) -> (Vec<u64>, Vec<u64>) {
     let start_barrier = Barrier::new(threads + 1);
     let end_barrier = Barrier::new(threads + 1);
+    let arm_on = AtomicBool::new(false);
     std::thread::scope(|s| {
         for t in 0..threads {
-            let (start_barrier, end_barrier) = (&start_barrier, &end_barrier);
+            let (start_barrier, end_barrier, arm_on) = (&start_barrier, &end_barrier, &arm_on);
             s.spawn(move || {
                 pmem::numa::pin_thread_round_robin();
                 let mut rng = StdRng::seed_from_u64(0xB0B ^ (t as u64).wrapping_mul(0x9E37));
                 for _ in 0..slices {
                     start_barrier.wait();
-                    for _ in 0..slice_ops {
-                        let id = rng.gen_range(0..keys);
-                        std::hint::black_box(tree.lookup(&KeySpace::Integer.encode(id)));
+                    if traced && arm_on.load(Ordering::Relaxed) {
+                        for _ in 0..slice_ops {
+                            let id = rng.gen_range(0..keys);
+                            let ctx = trace::stamp();
+                            let t0 = if ctx.is_sampled() {
+                                obsv::clock::now_ns()
+                            } else {
+                                0
+                            };
+                            {
+                                let _g = trace::span(ctx, SpanKind::IndexOp, 0);
+                                std::hint::black_box(tree.lookup(&KeySpace::Integer.encode(id)));
+                            }
+                            trace::finish_root(ctx, t0, TraceOutcome::Ok);
+                        }
+                    } else {
+                        for _ in 0..slice_ops {
+                            let id = rng.gen_range(0..keys);
+                            std::hint::black_box(tree.lookup(&KeySpace::Integer.encode(id)));
+                        }
                     }
                     end_barrier.wait();
                 }
@@ -78,7 +109,11 @@ fn run_sliced(
             // (barrier wake pattern, steal-quantum phase) cancel instead
             // of biasing one arm.
             let enabled = (slice % 2 == 0) ^ ((slice / 2) % 2 == 1);
-            obsv::set_enabled(enabled);
+            if traced {
+                arm_on.store(enabled, Ordering::Relaxed);
+            } else {
+                obsv::set_enabled(enabled);
+            }
             start_barrier.wait();
             let t0 = Instant::now();
             end_barrier.wait();
@@ -109,8 +144,9 @@ fn measure(
     threads: usize,
     slice_ops: u64,
     slices: u64,
+    traced: bool,
 ) -> (f64, f64, f64) {
-    let (on, off) = run_sliced(tree, keys, threads, slice_ops, slices);
+    let (on, off) = run_sliced(tree, keys, threads, slice_ops, slices, traced);
     let slice_total_ops = (threads as u64 * slice_ops) as f64;
     let on_mops = slice_total_ops * 1e3 / trimmed_mean_ns(&on);
     let off_mops = slice_total_ops * 1e3 / trimmed_mean_ns(&off);
@@ -162,24 +198,35 @@ fn main() {
 
     // Warmup: one unmeasured pass (touches every leaf; fills caches and
     // spins the VM/cpufreq up before either arm is timed).
-    run_sliced(&tree, keys, threads, slice_ops, 8);
+    run_sliced(&tree, keys, threads, slice_ops, 8, false);
 
-    // Two configs: the default always-on one (exact counts every op,
+    // Three configs: the default always-on one (exact counts every op,
     // latency sampled 1-in-2^DEFAULT_SAMPLE_SHIFT) that the <5% bound
-    // applies to, and full fidelity (every op pays the clock pair, what
-    // fig13_tail opts into), reported for the record. Three interleaved
+    // applies to, full fidelity (every op pays the clock pair, what
+    // fig13_tail opts into) reported for the record, and — when the
+    // `trace` feature is compiled in — per-op request tracing at the
+    // default 1-in-64 tail sampling, measured against the recording-on
+    // baseline (its off arm keeps recording enabled). Three interleaved
     // trials per config, medianed: noise regimes on a shared VM last
     // tens of seconds, so a single trial can land entirely inside one.
     const TRIALS: usize = 3;
     let configs = [
-        (obsv::DEFAULT_SAMPLE_SHIFT, "sampled 1/16 (default)"),
-        (0u32, "full fidelity (shift 0)"),
+        (obsv::DEFAULT_SAMPLE_SHIFT, false, "sampled 1/16 (default)"),
+        (0u32, false, "full fidelity (shift 0)"),
+        (obsv::DEFAULT_SAMPLE_SHIFT, true, "tracing (tail-sampled)"),
     ];
-    let mut results = [const { Vec::new() }; 2];
+    let trace_live = trace::compiled();
+    if !trace_live {
+        println!("   note: `trace` feature not compiled in; tracing arm measures the no-op stubs");
+    }
+    let mut results = [const { Vec::new() }; 3];
     for _trial in 0..TRIALS {
-        for (i, &(shift, _)) in configs.iter().enumerate() {
+        for (i, &(shift, traced, _)) in configs.iter().enumerate() {
             obsv::set_sample_shift(shift);
-            results[i].push(measure(&tree, keys, threads, slice_ops, slices));
+            results[i].push(measure(&tree, keys, threads, slice_ops, slices, traced));
+            if traced {
+                trace::clear_retained();
+            }
         }
     }
     obsv::set_sample_shift(obsv::DEFAULT_SAMPLE_SHIFT);
@@ -188,8 +235,8 @@ fn main() {
         "{:<26} {:>10} {:>10} {:>9}  trials",
         "config", "on Mops/s", "off Mops/s", "overhead"
     );
-    let mut medians = [0.0f64; 2];
-    for (i, &(_, label)) in configs.iter().enumerate() {
+    let mut medians = [0.0f64; 3];
+    for (i, &(_, _, label)) in configs.iter().enumerate() {
         let trials = &mut results[i];
         trials.sort_by(|a, b| a.2.total_cmp(&b.2));
         let (on_mops, off_mops, overhead) = trials[TRIALS / 2];
@@ -207,5 +254,11 @@ fn main() {
         "-- verdict: {} (bound: <5% at default sampling)",
         if overhead < 5.0 { "PASS" } else { "FAIL" }
     );
+    if trace_live {
+        println!(
+            "-- tracing verdict: {} (bound: <5% vs recording-on baseline at default tail sampling)",
+            if medians[2] < 5.0 { "PASS" } else { "FAIL" }
+        );
+    }
     tree.destroy();
 }

@@ -139,6 +139,14 @@ mod imp {
             }));
         });
     }
+
+    /// On-demand dump of every thread's recent records — what the panic
+    /// hook prints, available to a live server: the `Frame::Stats` handler
+    /// embeds it so an operator can snapshot recent ops without stopping
+    /// (or crashing) the process.
+    pub fn dump_now() -> String {
+        dump_string(32)
+    }
 }
 
 #[cfg(not(feature = "flight"))]
@@ -157,9 +165,13 @@ mod imp {
     }
 
     pub fn install_panic_hook() {}
+
+    pub fn dump_now() -> String {
+        dump_string(0)
+    }
 }
 
-pub use imp::{dump_string, install_panic_hook, record, snapshot_all};
+pub use imp::{dump_now, dump_string, install_panic_hook, record, snapshot_all};
 
 #[cfg(all(test, feature = "flight"))]
 mod tests {
@@ -187,5 +199,20 @@ mod tests {
         assert_eq!(recs[0].latency_ns, 10);
         assert_eq!(recs.last().unwrap().latency_ns, (RING_CAPACITY + 9) as u64);
         assert!(dump_string(4).contains("flight-test"));
+    }
+
+    #[test]
+    fn dump_now_snapshots_a_live_thread() {
+        std::thread::Builder::new()
+            .name("flight-dump-now".into())
+            .spawn(|| {
+                record(OpKind::Insert, 1234, 2);
+            })
+            .unwrap()
+            .join()
+            .unwrap();
+        let dump = dump_now();
+        assert!(dump.contains("flight-dump-now"), "{dump}");
+        assert!(dump.contains("lat=     1234ns"), "{dump}");
     }
 }

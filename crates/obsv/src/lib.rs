@@ -14,6 +14,10 @@
 //! * [`flight`] / [`sampler`] — feature-gated heavier machinery: bounded
 //!   per-thread rings of recent ops dumped on panic, and a background
 //!   thread emitting JSON-lines time series.
+//! * [`trace`] — feature-gated span-based request tracer with tail-based
+//!   retention (only slow/errored traces are kept) and NVM stall
+//!   attribution; context/export types are always available so the wire
+//!   codec works in every build.
 //!
 //! Hot-path cost when enabled is one relaxed striped `fetch_add` for the
 //! exact per-op count, plus — on a deterministic 1-in-2^[`sample_shift`]
@@ -31,6 +35,7 @@ pub mod hist;
 pub mod recorder;
 pub mod registry;
 pub mod sampler;
+pub mod trace;
 
 pub use hist::{HistSnapshot, Histogram, RELATIVE_ERROR_BOUND};
 pub use recorder::{OpHistograms, OpKind, OpRecorder, OpSetSnapshot};

@@ -43,23 +43,36 @@ mod imp {
             let handle = std::thread::Builder::new()
                 .name("obsv-sampler".into())
                 .spawn(move || {
-                    // Poll the stop flag at <=10 ms granularity so stop()
-                    // never waits a full interval.
+                    // Deadline-driven off wall-clock `Instant`s: the next
+                    // deadline advances by whole intervals from the
+                    // schedule, so scheduler delay inside one tick does not
+                    // stretch every following sample (the old version
+                    // accumulated the *nominal* tick and drifted). The stop
+                    // flag is still polled at <=10 ms granularity so
+                    // stop() never waits a full interval.
                     let tick = interval.min(Duration::from_millis(10));
-                    let mut elapsed = Duration::ZERO;
+                    let mut next = std::time::Instant::now() + interval;
                     loop {
                         if stop2.load(Ordering::Acquire) {
                             break;
                         }
-                        if elapsed >= interval {
-                            elapsed = Duration::ZERO;
+                        let now = std::time::Instant::now();
+                        if now >= next {
+                            next += interval;
+                            if next < now {
+                                // Fell more than a whole interval behind:
+                                // skip ahead rather than bursting samples.
+                                next = now + interval;
+                            }
                             let line = crate::registry::global().sample().to_json(hist_scale);
                             if writeln!(file, "{line}").is_err() {
                                 break;
                             }
                         }
-                        std::thread::sleep(tick);
-                        elapsed += tick;
+                        let wait = next
+                            .saturating_duration_since(std::time::Instant::now())
+                            .min(tick);
+                        std::thread::sleep(wait);
                     }
                     // Final sample so short runs still record something.
                     let line = crate::registry::global().sample().to_json(hist_scale);
@@ -133,6 +146,46 @@ mod tests {
             assert!(line.ends_with('}'), "{line}");
         }
         assert!(text.contains("\"sampler.test\":42"), "{text}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// Extracts the leading `ts_ns` value of one emitted JSON line.
+    fn ts_of(line: &str) -> u64 {
+        let rest = line.strip_prefix("{\"ts_ns\":").expect("ts_ns leads");
+        rest[..rest.find(',').unwrap_or(rest.len())]
+            .parse()
+            .expect("numeric ts_ns")
+    }
+
+    #[test]
+    fn sample_spacing_tracks_the_interval() {
+        let interval = Duration::from_millis(25);
+        let path = std::env::temp_dir().join("obsv_sampler_spacing_test.jsonl");
+        let s = Sampler::start(&path, interval, 1.0).unwrap();
+        std::thread::sleep(Duration::from_millis(330));
+        s.stop();
+        let text = std::fs::read_to_string(&path).unwrap();
+        // The last line is the unconditional final sample written at
+        // stop() time; it is off-schedule by design, so exclude it.
+        let ts: Vec<u64> = text.lines().map(ts_of).collect();
+        assert!(ts.len() >= 4, "expected several samples, got {}", ts.len());
+        let scheduled = &ts[..ts.len() - 1];
+        let diffs: Vec<u64> = scheduled.windows(2).map(|w| w[1] - w[0]).collect();
+        let interval_ns = interval.as_nanos() as u64;
+        // Per-gap bound is generous (shared CI boxes stall), but the mean
+        // must track the interval: the old nominal-tick accumulation
+        // stretched *every* gap under scheduler delay, which this catches.
+        for d in &diffs {
+            assert!(
+                *d >= interval_ns / 2 && *d <= interval_ns * 4,
+                "gap {d}ns far from interval {interval_ns}ns: {diffs:?}"
+            );
+        }
+        let mean = diffs.iter().sum::<u64>() / diffs.len() as u64;
+        assert!(
+            mean >= interval_ns * 7 / 10 && mean <= interval_ns * 2,
+            "mean gap {mean}ns drifted from interval {interval_ns}ns: {diffs:?}"
+        );
         let _ = std::fs::remove_file(&path);
     }
 }

@@ -8,11 +8,47 @@
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
+use obsv::trace::{TraceCtx, TraceOutcome};
+
 use crate::wire::Response;
 
 struct State {
     replies: Vec<Option<Response>>,
     remaining: usize,
+    /// Sampled trace context and root start time, if this batch is traced.
+    /// The last [`complete`](ReplySet::complete) closes the root span —
+    /// the mutex gives every worker's span a happens-before edge to that
+    /// harvest.
+    trace: Option<(TraceCtx, u64)>,
+}
+
+/// The root outcome a batch's replies imply, worst first: a kill beats a
+/// deadline miss beats admission shedding beats a decode error.
+fn worst_outcome(replies: &[Option<Response>]) -> TraceOutcome {
+    let mut worst = TraceOutcome::Ok;
+    for r in replies.iter().flatten() {
+        let o = match r {
+            Response::Aborted => TraceOutcome::Aborted,
+            Response::DeadlineExceeded => TraceOutcome::DeadlineExceeded,
+            Response::Overloaded => TraceOutcome::Overloaded,
+            Response::Malformed => TraceOutcome::Error,
+            _ => TraceOutcome::Ok,
+        };
+        if rank(o) > rank(worst) {
+            worst = o;
+        }
+    }
+    worst
+}
+
+fn rank(o: TraceOutcome) -> u8 {
+    match o {
+        TraceOutcome::Ok => 0,
+        TraceOutcome::Error => 1,
+        TraceOutcome::Overloaded => 2,
+        TraceOutcome::DeadlineExceeded => 3,
+        TraceOutcome::Aborted => 4,
+    }
 }
 
 /// Completion state of one submitted batch.
@@ -28,9 +64,17 @@ impl ReplySet {
             state: Mutex::new(State {
                 replies: vec![None; n],
                 remaining: n,
+                trace: None,
             }),
             cv: Condvar::new(),
         })
+    }
+
+    /// Attaches a sampled trace context; the last `complete` then closes
+    /// the root span with the batch's worst outcome. Must be called before
+    /// any slot can complete (i.e. before the jobs are enqueued).
+    pub(crate) fn set_trace(&self, ctx: TraceCtx, start_ns: u64) {
+        self.state.lock().unwrap().trace = Some((ctx, start_ns));
     }
 
     /// Fills `slot`; the final fill wakes waiters. Filling a slot twice is
@@ -41,7 +85,14 @@ impl ReplySet {
         st.replies[slot] = Some(resp);
         st.remaining -= 1;
         if st.remaining == 0 {
+            let trace = st.trace.take();
+            let outcome = trace.map(|_| worst_outcome(&st.replies));
             drop(st);
+            if let Some((ctx, start_ns)) = trace {
+                // Every worker recorded its spans before its `complete`
+                // call took this mutex, so the harvest sees them all.
+                obsv::trace::finish_root(ctx, start_ns, outcome.unwrap());
+            }
             self.cv.notify_all();
         }
     }

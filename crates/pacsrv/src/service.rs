@@ -27,6 +27,7 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use obsv::clock;
+use obsv::trace::{self, SpanKind, TraceCtx};
 use pmem::model::TokenBucket;
 use ycsb::RangeIndex;
 
@@ -91,6 +92,9 @@ impl ServiceConfig {
 /// One queued operation.
 struct Job {
     req: Request,
+    /// The batch's trace context; unsampled for untraced submissions, so
+    /// workers pay one branch per op.
+    trace: TraceCtx,
     enqueue_ns: u64,
     deadline_ns: u64,
     slot: usize,
@@ -133,6 +137,16 @@ fn kind_of(req: &Request) -> obsv::OpKind {
         Request::Put { .. } => obsv::OpKind::Insert,
         Request::Delete { .. } => obsv::OpKind::Remove,
         Request::Scan { .. } => obsv::OpKind::Scan,
+    }
+}
+
+/// The `detail` value of an index-op span (which operation ran).
+fn op_detail(req: &Request) -> u32 {
+    match req {
+        Request::Get { .. } => 0,
+        Request::Put { .. } => 1,
+        Request::Delete { .. } => 2,
+        Request::Scan { .. } => 3,
     }
 }
 
@@ -226,14 +240,48 @@ impl<I: RangeIndex + Clone + 'static> PacService<I> {
     ///
     /// `deadline` overrides the config default for this batch; it is
     /// measured from admission (queue time + execution must fit).
+    ///
+    /// Stamps a fresh trace context (tail-sampled; a no-op unless the
+    /// `trace` feature is compiled in). Transports that carry a context on
+    /// the wire use [`submit_traced`](Self::submit_traced) instead.
     pub fn submit(&self, reqs: Vec<Request>, deadline: Option<Duration>) -> Arc<ReplySet> {
+        self.submit_traced(reqs, deadline, trace::stamp())
+    }
+
+    /// [`submit`](Self::submit) with a caller-provided trace context (e.g.
+    /// decoded from a v2 wire frame). If `ctx` is sampled, the batch's
+    /// admission, queue sojourn, batch drain, and index execution all
+    /// record spans under it, and the root span closes when the last
+    /// operation replies — kept only if slow or errored (tail sampling).
+    pub fn submit_traced(
+        &self,
+        reqs: Vec<Request>,
+        deadline: Option<Duration>,
+        ctx: TraceCtx,
+    ) -> Arc<ReplySet> {
         let n = reqs.len();
         let rs = ReplySet::new(n);
         if n == 0 {
             return rs;
         }
+        let traced = ctx.is_sampled();
+        let admit_ns = if traced { clock::now_ns() } else { 0 };
+        if traced {
+            // Before any complete() can run: the last complete closes the
+            // root span, and sheds below complete synchronously.
+            rs.set_trace(ctx, admit_ns);
+        }
         if self.state.load(Ordering::Acquire) != RUNNING {
             self.metrics.shed.fetch_add(n as u64, Ordering::Relaxed);
+            if traced {
+                trace::record_span(
+                    ctx,
+                    SpanKind::Admission,
+                    n as u32,
+                    admit_ns,
+                    clock::now_ns(),
+                );
+            }
             for slot in 0..n {
                 rs.complete(slot, Response::Overloaded);
             }
@@ -242,6 +290,15 @@ impl<I: RangeIndex + Clone + 'static> PacService<I> {
         if let Some(bucket) = &self.bucket {
             if !bucket.try_acquire(n as u64, &self.origin) {
                 self.metrics.shed.fetch_add(n as u64, Ordering::Relaxed);
+                if traced {
+                    trace::record_span(
+                        ctx,
+                        SpanKind::Admission,
+                        n as u32,
+                        admit_ns,
+                        clock::now_ns(),
+                    );
+                }
                 for slot in 0..n {
                     rs.complete(slot, Response::Overloaded);
                 }
@@ -249,6 +306,12 @@ impl<I: RangeIndex + Clone + 'static> PacService<I> {
             }
         }
         let now = clock::now_ns();
+        if traced {
+            // Covers the lifecycle gate + token bucket; recorded before the
+            // first push so the harvest (triggered by the last complete,
+            // possibly on a worker thread) cannot miss it.
+            trace::record_span(ctx, SpanKind::Admission, n as u32, admit_ns, now);
+        }
         let deadline_ns = deadline
             .or(self.cfg.default_deadline)
             .map(|d| now.saturating_add(d.as_nanos() as u64))
@@ -257,6 +320,7 @@ impl<I: RangeIndex + Clone + 'static> PacService<I> {
             let shard = shard_of(req.key(), self.shards.len());
             let job = Job {
                 req,
+                trace: ctx,
                 enqueue_ns: now,
                 deadline_ns,
                 slot,
@@ -283,13 +347,26 @@ impl<I: RangeIndex + Clone + 'static> PacService<I> {
     /// The shared frame path of every transport: decode, submit, wait,
     /// encode. A malformed buffer gets a `Reply` with one `Malformed`
     /// status (correlation id 0 if the header never decoded).
+    ///
+    /// A request carrying a sampled v2 trace context keeps it (the server's
+    /// spans parent to the client's root); otherwise — v1 frames, untraced
+    /// v2 clients — the service stamps its own, exactly like local submits.
     pub fn handle_frame(&self, bytes: &[u8]) -> Vec<u8> {
         let reply = match crate::wire::decode_frame(bytes) {
-            Ok((crate::wire::Frame::Request { id, reqs }, _)) => {
-                let resps = self.submit(reqs, None).wait();
+            Ok((crate::wire::Frame::Request { id, trace, reqs }, _)) => {
+                let ctx = if trace.is_sampled() {
+                    trace
+                } else {
+                    trace::stamp()
+                };
+                let resps = self.submit_traced(reqs, None, ctx).wait();
                 crate::wire::Frame::Reply { id, resps }
             }
             Ok((crate::wire::Frame::Ping { id }, _)) => crate::wire::Frame::Pong { id },
+            Ok((crate::wire::Frame::Stats { id }, _)) => crate::wire::Frame::StatsReply {
+                id,
+                json: self.stats_json(),
+            },
             Ok((frame, _)) => crate::wire::Frame::Reply {
                 id: frame.id(),
                 resps: vec![Response::Malformed],
@@ -302,6 +379,30 @@ impl<I: RangeIndex + Clone + 'static> PacService<I> {
         let mut out = Vec::new();
         crate::wire::encode_frame(&reply, &mut out);
         out
+    }
+
+    /// The live-stats document answered to a [`crate::wire::Frame::Stats`]
+    /// request: service counters, a full metrics-registry sample, the
+    /// retained-trace digest, and a flight-recorder dump — one JSON object,
+    /// assembled without stopping the server.
+    pub fn stats_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"schema\":\"pacsrv_stats/v1\",\"ts_ns\":{},\"name\":\"{}\",",
+                "\"queue_depth\":{},\"admitted\":{},\"shed\":{},\"completed\":{},",
+                "\"timeouts\":{},\"registry\":{},\"traces\":{},\"flight\":\"{}\"}}"
+            ),
+            clock::now_ns(),
+            trace::json_escape(&self.cfg.name),
+            self.queue_depth(),
+            self.metrics.admitted.load(Ordering::Relaxed),
+            self.metrics.shed.load(Ordering::Relaxed),
+            self.metrics.completed.load(Ordering::Relaxed),
+            self.metrics.timeouts.load(Ordering::Relaxed),
+            obsv::global().sample().to_json(1.0),
+            trace::digest_json(),
+            trace::json_escape(&obsv::flight::dump_now()),
+        )
     }
 
     /// A fresh correlation id (transports that multiplex need them unique
@@ -400,17 +501,43 @@ fn worker_loop<I: RangeIndex>(
             return;
         }
         metrics.batch_sizes.record(batch.len() as u64);
+        let batch_len = batch.len() as u32;
         let jobs = &mut batch;
         index.with_batch(&mut || {
             let mut now = clock::now_ns();
+            let drain_ns = now;
             for job in jobs.drain(..) {
+                let traced = job.trace.is_sampled();
+                if traced {
+                    // Queue sojourn: admission stamp to batch drain. Spans
+                    // are recorded before the op's complete() so the root
+                    // harvest (under the ReplySet mutex) sees them.
+                    trace::record_span(
+                        job.trace,
+                        SpanKind::Queue,
+                        job.slot as u32,
+                        job.enqueue_ns,
+                        drain_ns,
+                    );
+                }
                 if job.deadline_ns < now {
                     metrics.timeouts.fetch_add(1, Ordering::Relaxed);
                     job.done.complete(job.slot, Response::DeadlineExceeded);
                     continue;
                 }
-                let resp = execute(index, &job.req);
+                let resp = if traced {
+                    let _op_span = trace::span(job.trace, SpanKind::IndexOp, op_detail(&job.req));
+                    execute(index, &job.req)
+                } else {
+                    execute(index, &job.req)
+                };
                 now = clock::now_ns();
+                if traced {
+                    // Batch residency: drain to this op's completion, with
+                    // the batch size as detail (head-of-line time within
+                    // the batch is the gap to the nested index-op span).
+                    trace::record_span(job.trace, SpanKind::Batch, batch_len, drain_ns, now);
+                }
                 metrics
                     .ops
                     .record(kind_of(&job.req), now.saturating_sub(job.enqueue_ns), 0);
@@ -705,6 +832,7 @@ mod tests {
         encode_frame(
             &Frame::Request {
                 id: 42,
+                trace: TraceCtx::UNTRACED,
                 reqs: vec![
                     Request::Put {
                         key: b"k".to_vec(),
@@ -739,6 +867,33 @@ mod tests {
                 resps: vec![Response::Malformed]
             }
         );
+        svc.shutdown(Duration::from_secs(5));
+    }
+
+    #[test]
+    fn stats_frame_answers_with_live_json() {
+        use crate::wire::{decode_frame, encode_frame, Frame};
+        let svc = PacService::start(MapIndex::default(), ServiceConfig::named("svc-stats", 1));
+        svc.call(Request::Put {
+            key: b"s".to_vec(),
+            value: 1,
+        });
+        let mut buf = Vec::new();
+        encode_frame(&Frame::Stats { id: 77 }, &mut buf);
+        let (reply, _) = decode_frame(&svc.handle_frame(&buf)).unwrap();
+        match reply {
+            Frame::StatsReply { id, json } => {
+                assert_eq!(id, 77);
+                assert!(
+                    json.starts_with("{\"schema\":\"pacsrv_stats/v1\""),
+                    "{json}"
+                );
+                assert!(json.contains("\"name\":\"svc-stats\""), "{json}");
+                assert!(json.contains("\"completed\":1"), "{json}");
+                assert!(json.contains("\"traces\":{"), "{json}");
+            }
+            other => panic!("expected stats reply, got {other:?}"),
+        }
         svc.shutdown(Duration::from_secs(5));
     }
 }

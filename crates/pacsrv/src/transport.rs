@@ -17,10 +17,14 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
+use obsv::trace::TraceCtx;
 use ycsb::RangeIndex;
 
 use crate::service::PacService;
-use crate::wire::{decode_frame, encode_frame, Frame, Request, Response, WireError};
+use crate::wire::{
+    decode_frame, encode_frame, encode_frame_versioned, Frame, Request, Response, WireError,
+    VERSION,
+};
 
 /// In-process client: submits to the service on the caller's thread.
 pub struct LocalClient<I: RangeIndex + Clone + 'static> {
@@ -47,7 +51,16 @@ impl<I: RangeIndex + Clone + 'static> LocalClient<I> {
     pub fn call(&mut self, reqs: Vec<Request>) -> Vec<Response> {
         self.buf.clear();
         let id = self.service.next_frame_id();
-        encode_frame(&Frame::Request { id, reqs }, &mut self.buf);
+        // Untraced on the wire: the service stamps its own context, the
+        // same as call_direct (tracing covers both transports equally).
+        encode_frame(
+            &Frame::Request {
+                id,
+                trace: TraceCtx::UNTRACED,
+                reqs,
+            },
+            &mut self.buf,
+        );
         let out = self.service.handle_frame(&self.buf);
         match decode_frame(&out) {
             Ok((Frame::Reply { id: rid, resps }, _)) if rid == id => resps,
@@ -62,6 +75,22 @@ pub struct TcpServer {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     accept_thread: Option<std::thread::JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+}
+
+/// Joins (and drops) every finished handle in `conns`, keeping the live
+/// ones. Called by the accept loop before each new connection so handles
+/// of long-gone connections don't accumulate for the server's lifetime.
+fn reap_finished(conns: &Mutex<Vec<std::thread::JoinHandle<()>>>) {
+    let mut conns = conns.lock().unwrap();
+    let mut i = 0;
+    while i < conns.len() {
+        if conns[i].is_finished() {
+            let _ = conns.swap_remove(i).join();
+        } else {
+            i += 1;
+        }
+    }
 }
 
 impl TcpServer {
@@ -75,14 +104,18 @@ impl TcpServer {
         let local = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let stop2 = Arc::clone(&stop);
+        let conns: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let conns2 = Arc::clone(&conns);
         let accept_thread = std::thread::Builder::new()
             .name("pacsrv-accept".to_string())
             .spawn(move || {
-                let conns: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> =
-                    Arc::new(Mutex::new(Vec::new()));
                 while !stop2.load(Ordering::Acquire) {
                     match listener.accept() {
                         Ok((stream, _peer)) => {
+                            // Reap before growing: the handle list stays
+                            // proportional to *live* connections, not to
+                            // every connection ever accepted.
+                            reap_finished(&conns2);
                             let service = Arc::clone(&service);
                             let stop = Arc::clone(&stop2);
                             let h = std::thread::Builder::new()
@@ -91,7 +124,7 @@ impl TcpServer {
                                     let _ = handle_conn(stream, &service, &stop);
                                 })
                                 .expect("spawn conn handler");
-                            conns.lock().unwrap().push(h);
+                            conns2.lock().unwrap().push(h);
                         }
                         Err(e) if e.kind() == ErrorKind::WouldBlock => {
                             std::thread::sleep(Duration::from_millis(2));
@@ -99,7 +132,7 @@ impl TcpServer {
                         Err(_) => break,
                     }
                 }
-                for h in conns.lock().unwrap().drain(..) {
+                for h in conns2.lock().unwrap().drain(..) {
                     let _ = h.join();
                 }
             })?;
@@ -107,12 +140,20 @@ impl TcpServer {
             addr: local,
             stop,
             accept_thread: Some(accept_thread),
+            conns,
         })
     }
 
     /// The bound address (port resolved when binding `:0`).
     pub fn local_addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// Handler threads whose connections are still open (reaps finished
+    /// ones first). Primarily for tests and the stats endpoint.
+    pub fn open_conns(&self) -> usize {
+        reap_finished(&self.conns);
+        self.conns.lock().unwrap().len()
     }
 
     /// Stops accepting and joins the accept loop (open connections finish
@@ -186,6 +227,8 @@ pub struct TcpClient {
     stream: TcpStream,
     acc: Vec<u8>,
     next_id: u64,
+    wire_version: u8,
+    trace: TraceCtx,
 }
 
 impl TcpClient {
@@ -196,12 +239,29 @@ impl TcpClient {
             stream,
             acc: Vec::with_capacity(8192),
             next_id: 1,
+            wire_version: VERSION,
+            trace: TraceCtx::UNTRACED,
         })
+    }
+
+    /// Encodes outgoing frames at `version` (within
+    /// [`crate::wire::MIN_VERSION`]`..=`[`VERSION`]) — how the compat tests
+    /// exercise a v1 client against a v2 server.
+    pub fn set_wire_version(&mut self, version: u8) {
+        self.wire_version = version;
+    }
+
+    /// Trace context stamped into subsequent [`call`](Self::call)s (v2
+    /// frames only; v1 cannot carry one). Use
+    /// [`obsv::trace::stamp_forced`] to trace a specific request
+    /// end-to-end.
+    pub fn set_trace(&mut self, ctx: TraceCtx) {
+        self.trace = ctx;
     }
 
     fn roundtrip(&mut self, frame: &Frame) -> std::io::Result<Frame> {
         let mut buf = Vec::with_capacity(256);
-        encode_frame(frame, &mut buf);
+        encode_frame_versioned(frame, self.wire_version, &mut buf);
         self.stream.write_all(&buf)?;
         let mut chunk = [0u8; 8192];
         loop {
@@ -230,11 +290,25 @@ impl TcpClient {
     pub fn call(&mut self, reqs: Vec<Request>) -> std::io::Result<Vec<Response>> {
         let id = self.next_id;
         self.next_id += 1;
-        match self.roundtrip(&Frame::Request { id, reqs })? {
+        let trace = self.trace;
+        match self.roundtrip(&Frame::Request { id, trace, reqs })? {
             Frame::Reply { id: rid, resps } if rid == id => Ok(resps),
             other => Err(std::io::Error::new(
                 ErrorKind::InvalidData,
                 format!("unexpected reply {other:?}"),
+            )),
+        }
+    }
+
+    /// Fetches the server's live-stats JSON document (wire v2 only).
+    pub fn stats(&mut self) -> std::io::Result<String> {
+        let id = self.next_id;
+        self.next_id += 1;
+        match self.roundtrip(&Frame::Stats { id })? {
+            Frame::StatsReply { id: rid, json } if rid == id => Ok(json),
+            other => Err(std::io::Error::new(
+                ErrorKind::InvalidData,
+                format!("unexpected stats reply {other:?}"),
             )),
         }
     }

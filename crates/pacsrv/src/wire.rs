@@ -5,8 +5,9 @@
 //! | offset | size | field                                              |
 //! |--------|------|----------------------------------------------------|
 //! | 0      | 2    | magic `0xAC51` (little-endian)                     |
-//! | 2      | 1    | protocol version ([`VERSION`])                     |
-//! | 3      | 1    | frame kind (1 request, 2 reply, 3 ping, 4 pong)    |
+//! | 2      | 1    | protocol version (1 or 2, see [`VERSION`])         |
+//! | 3      | 1    | frame kind (1 request, 2 reply, 3 ping, 4 pong,    |
+//! |        |      | 5 stats, 6 stats-reply — 5/6 are v2-only)          |
 //! | 4      | 8    | correlation id (echoed verbatim in the reply)      |
 //! | 12     | 4    | payload length in bytes                            |
 //! | 16     | 4    | CRC32 over bytes `0..16` plus the payload          |
@@ -19,12 +20,35 @@
 //! level: a frame with `count > 1` is the batch, and the reply preserves
 //! operation order.
 //!
+//! ## Version 2: trace context and the stats endpoint
+//!
+//! A v2 request payload prepends a 13-byte trace block before the count:
+//! `trace_id: u64`, `parent_span: u32`, `flags: u8` (bit 0 = sampled) —
+//! the [`obsv::trace::TraceCtx`] the server records spans under. The
+//! change is backward compatible both ways:
+//!
+//! * the decoder accepts version 1 and 2 frames side by side — a v1
+//!   request simply decodes with [`TraceCtx::UNTRACED`] (the service then
+//!   stamps its own fresh context, exactly as for local submissions);
+//! * [`encode_frame_versioned`] can still emit v1 frames (dropping the
+//!   trace block) for talking to old servers and for compat tests.
+//!
+//! v2 also adds the `Stats`/`StatsReply` frame pair (kinds 5/6): a live
+//! introspection request answered with a JSON document (registry sample +
+//! retained-trace digest + flight-recorder tail) without stopping the
+//! server. Stats kinds inside a v1 frame are rejected as malformed.
+//!
 //! The same bytes travel over TCP and through the in-process transport, so
 //! benchmarks can isolate protocol cost (encode + checksum + decode) from
 //! network cost by switching transports.
 
-/// Protocol version this build speaks.
-pub const VERSION: u8 = 1;
+use obsv::trace::TraceCtx;
+
+/// Protocol version this build speaks (and emits by default).
+pub const VERSION: u8 = 2;
+
+/// Oldest protocol version the decoder still accepts.
+pub const MIN_VERSION: u8 = 1;
 
 /// Frame magic (bytes `0x51 0xAC` on the wire).
 pub const MAGIC: u16 = 0xAC51;
@@ -103,14 +127,24 @@ impl Response {
 /// A decoded frame.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Frame {
-    /// A batch of operations to execute in order.
-    Request { id: u64, reqs: Vec<Request> },
+    /// A batch of operations to execute in order. `trace` is the request's
+    /// trace context ([`TraceCtx::UNTRACED`] when decoded from a v1 frame
+    /// or when nobody is tracing).
+    Request {
+        id: u64,
+        trace: TraceCtx,
+        reqs: Vec<Request>,
+    },
     /// The batch's replies, one per operation, in operation order.
     Reply { id: u64, resps: Vec<Response> },
     /// Liveness probe.
     Ping { id: u64 },
     /// Liveness answer.
     Pong { id: u64 },
+    /// Live-introspection request (v2 only).
+    Stats { id: u64 },
+    /// The stats answer: a JSON document (v2 only).
+    StatsReply { id: u64, json: String },
 }
 
 impl Frame {
@@ -120,6 +154,8 @@ impl Frame {
             Frame::Reply { .. } => 2,
             Frame::Ping { .. } => 3,
             Frame::Pong { .. } => 4,
+            Frame::Stats { .. } => 5,
+            Frame::StatsReply { .. } => 6,
         }
     }
 
@@ -129,7 +165,9 @@ impl Frame {
             Frame::Request { id, .. }
             | Frame::Reply { id, .. }
             | Frame::Ping { id }
-            | Frame::Pong { id } => *id,
+            | Frame::Pong { id }
+            | Frame::Stats { id }
+            | Frame::StatsReply { id, .. } => *id,
         }
     }
 }
@@ -257,14 +295,22 @@ fn put_key(out: &mut Vec<u8>, key: &[u8]) {
     out.extend_from_slice(key);
 }
 
-fn encode_payload(frame: &Frame, out: &mut Vec<u8>) {
+/// `flags` bit of a v2 trace block: the context is sampled.
+const TRACE_FLAG_SAMPLED: u8 = 1;
+
+fn encode_payload(frame: &Frame, version: u8, out: &mut Vec<u8>) {
     match frame {
-        Frame::Request { reqs, .. } => {
+        Frame::Request { trace, reqs, .. } => {
             assert!(
                 reqs.len() <= MAX_BATCH,
                 "batch of {} requests exceeds MAX_BATCH ({MAX_BATCH})",
                 reqs.len()
             );
+            if version >= 2 {
+                put_u64(out, trace.trace_id);
+                put_u32(out, trace.parent_span);
+                out.push(if trace.sampled { TRACE_FLAG_SAMPLED } else { 0 });
+            }
             put_u32(out, reqs.len() as u32);
             for r in reqs {
                 match r {
@@ -320,11 +366,21 @@ fn encode_payload(frame: &Frame, out: &mut Vec<u8>) {
                 }
             }
         }
-        Frame::Ping { .. } | Frame::Pong { .. } => {}
+        Frame::StatsReply { json, .. } => {
+            assert!(
+                json.len() <= MAX_PAYLOAD - 8,
+                "stats JSON of {} bytes exceeds MAX_PAYLOAD",
+                json.len()
+            );
+            put_u32(out, json.len() as u32);
+            out.extend_from_slice(json.as_bytes());
+        }
+        Frame::Ping { .. } | Frame::Pong { .. } | Frame::Stats { .. } => {}
     }
 }
 
-/// Appends the encoded frame to `out` and returns the encoded length.
+/// Appends the encoded frame to `out` at the current protocol version
+/// ([`VERSION`]) and returns the encoded length.
 ///
 /// # Panics
 ///
@@ -334,9 +390,30 @@ fn encode_payload(frame: &Frame, out: &mut Vec<u8>) {
 /// frame would otherwise produce bytes whose CRC validates but whose
 /// payload mis-parses, so the caller's bug is surfaced here instead.
 pub fn encode_frame(frame: &Frame, out: &mut Vec<u8>) -> usize {
+    encode_frame_versioned(frame, VERSION, out)
+}
+
+/// Like [`encode_frame`] with an explicit protocol version — how a client
+/// talks to an old server (and how the compat tests produce genuine v1
+/// bytes). Encoding a request at v1 drops its trace block.
+///
+/// # Panics
+///
+/// As [`encode_frame`]; additionally if `version` is outside
+/// [`MIN_VERSION`]`..=`[`VERSION`] or the frame kind does not exist in
+/// `version` (stats frames are v2-only).
+pub fn encode_frame_versioned(frame: &Frame, version: u8, out: &mut Vec<u8>) -> usize {
+    assert!(
+        (MIN_VERSION..=VERSION).contains(&version),
+        "cannot encode protocol version {version}"
+    );
+    assert!(
+        version >= 2 || !matches!(frame, Frame::Stats { .. } | Frame::StatsReply { .. }),
+        "stats frames are not representable in wire v1"
+    );
     let start = out.len();
     out.extend_from_slice(&MAGIC.to_le_bytes());
-    out.push(VERSION);
+    out.push(version);
     out.push(frame.kind());
     out.extend_from_slice(&frame.id().to_le_bytes());
     let len_at = out.len();
@@ -344,7 +421,7 @@ pub fn encode_frame(frame: &Frame, out: &mut Vec<u8>) -> usize {
     let crc_at = out.len();
     put_u32(out, 0); // crc, patched below
     let payload_at = out.len();
-    encode_payload(frame, out);
+    encode_payload(frame, version, out);
     let payload_len = (out.len() - payload_at) as u32;
     out[len_at..len_at + 4].copy_from_slice(&payload_len.to_le_bytes());
     let crc = {
@@ -355,7 +432,7 @@ pub fn encode_frame(frame: &Frame, out: &mut Vec<u8>) -> usize {
     out.len() - start
 }
 
-fn decode_payload(kind: u8, id: u64, payload: &[u8]) -> Result<Frame, WireError> {
+fn decode_payload(version: u8, kind: u8, id: u64, payload: &[u8]) -> Result<Frame, WireError> {
     let mut r = Reader {
         buf: payload,
         pos: 0,
@@ -363,7 +440,31 @@ fn decode_payload(kind: u8, id: u64, payload: &[u8]) -> Result<Frame, WireError>
     let frame = match kind {
         3 => Frame::Ping { id },
         4 => Frame::Pong { id },
+        5 if version >= 2 => Frame::Stats { id },
+        6 if version >= 2 => {
+            let len = r.u32()? as usize;
+            let bytes = r.take(len)?;
+            let json = std::str::from_utf8(bytes)
+                .map_err(|_| WireError::Malformed("stats JSON is not UTF-8"))?
+                .to_string();
+            Frame::StatsReply { id, json }
+        }
+        5 | 6 => return Err(WireError::Malformed("stats frames require wire v2")),
         1 => {
+            let trace = if version >= 2 {
+                let trace_id = r.u64()?;
+                let parent_span = r.u32()?;
+                let flags = r.u8()?;
+                TraceCtx {
+                    trace_id,
+                    parent_span,
+                    sampled: flags & TRACE_FLAG_SAMPLED != 0,
+                }
+            } else {
+                // v1 carries no trace block: the server stamps its own
+                // context, exactly as for local submissions.
+                TraceCtx::UNTRACED
+            };
             let count = r.u32()? as usize;
             if count > MAX_BATCH {
                 return Err(WireError::Malformed("batch count over MAX_BATCH"));
@@ -385,7 +486,7 @@ fn decode_payload(kind: u8, id: u64, payload: &[u8]) -> Result<Frame, WireError>
                 };
                 reqs.push(req);
             }
-            Frame::Request { id, reqs }
+            Frame::Request { id, trace, reqs }
         }
         2 => {
             let count = r.u32()? as usize;
@@ -431,8 +532,9 @@ pub fn decode_frame(buf: &[u8]) -> Result<(Frame, usize), WireError> {
     if u16::from_le_bytes([buf[0], buf[1]]) != MAGIC {
         return Err(WireError::BadMagic);
     }
-    if buf[2] != VERSION {
-        return Err(WireError::BadVersion { got: buf[2] });
+    let version = buf[2];
+    if !(MIN_VERSION..=VERSION).contains(&version) {
+        return Err(WireError::BadVersion { got: version });
     }
     let kind = buf[3];
     let id = u64::from_le_bytes(buf[4..12].try_into().unwrap());
@@ -451,7 +553,7 @@ pub fn decode_frame(buf: &[u8]) -> Result<(Frame, usize), WireError> {
     if crc32(&[&buf[..16], payload]) != crc_stored {
         return Err(WireError::BadChecksum);
     }
-    Ok((decode_payload(kind, id, payload)?, total))
+    Ok((decode_payload(version, kind, id, payload)?, total))
 }
 
 #[cfg(test)]
@@ -473,6 +575,7 @@ mod tests {
         roundtrip(Frame::Pong { id: u64::MAX });
         roundtrip(Frame::Request {
             id: 1,
+            trace: TraceCtx::UNTRACED,
             reqs: vec![
                 Request::Get {
                     key: b"k1".to_vec(),
@@ -514,6 +617,7 @@ mod tests {
         encode_frame(
             &Frame::Request {
                 id: 1,
+                trace: TraceCtx::UNTRACED,
                 reqs: vec![Request::Get {
                     key: vec![0; u16::MAX as usize + 1],
                 }],
@@ -529,6 +633,7 @@ mod tests {
         encode_frame(
             &Frame::Request {
                 id: 1,
+                trace: TraceCtx::UNTRACED,
                 reqs: vec![Request::Get { key: vec![] }; MAX_BATCH + 1],
             },
             &mut buf,
@@ -543,6 +648,7 @@ mod tests {
         encode_frame(
             &Frame::Request {
                 id: 2,
+                trace: TraceCtx::UNTRACED,
                 reqs: vec![Request::Get { key: b"x".to_vec() }],
             },
             &mut buf,
@@ -561,6 +667,7 @@ mod tests {
         encode_frame(
             &Frame::Request {
                 id: 3,
+                trace: TraceCtx::UNTRACED,
                 reqs: vec![Request::Put {
                     key: b"key".to_vec(),
                     value: 11,
@@ -590,6 +697,95 @@ mod tests {
         assert_eq!(
             decode_frame(&bad),
             Err(WireError::BadVersion { got: VERSION + 1 })
+        );
+    }
+
+    #[test]
+    fn roundtrip_stats_frames() {
+        roundtrip(Frame::Stats { id: 99 });
+        roundtrip(Frame::StatsReply {
+            id: 99,
+            json: r#"{"schema":"pacsrv_stats/v1","queue_depth":3}"#.to_string(),
+        });
+        roundtrip(Frame::StatsReply {
+            id: 0,
+            json: String::new(),
+        });
+    }
+
+    #[test]
+    fn roundtrip_sampled_trace_context() {
+        roundtrip(Frame::Request {
+            id: 5,
+            trace: TraceCtx {
+                trace_id: 0xDEAD_BEEF_CAFE_F00D,
+                parent_span: 0x1234_5678,
+                sampled: true,
+            },
+            reqs: vec![Request::Get { key: b"k".to_vec() }],
+        });
+    }
+
+    #[test]
+    fn v1_request_decodes_with_untraced_context() {
+        let frame = Frame::Request {
+            id: 8,
+            trace: TraceCtx {
+                trace_id: 42,
+                parent_span: 7,
+                sampled: true,
+            },
+            reqs: vec![Request::Put {
+                key: b"pk".to_vec(),
+                value: 3,
+            }],
+        };
+        let mut v1 = Vec::new();
+        let n1 = encode_frame_versioned(&frame, 1, &mut v1);
+        let mut v2 = Vec::new();
+        let n2 = encode_frame_versioned(&frame, 2, &mut v2);
+        // v1 bytes are exactly the trace block (13 bytes) shorter.
+        assert_eq!(n2 - n1, 13);
+        let (decoded, consumed) = decode_frame(&v1).expect("v1 frame decodes on a v2 build");
+        assert_eq!(consumed, n1);
+        match decoded {
+            Frame::Request { id, trace, reqs } => {
+                assert_eq!(id, 8);
+                assert_eq!(trace, TraceCtx::UNTRACED);
+                assert_eq!(
+                    reqs,
+                    vec![Request::Put {
+                        key: b"pk".to_vec(),
+                        value: 3,
+                    }]
+                );
+            }
+            other => panic!("expected request, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "stats frames are not representable in wire v1")]
+    fn v1_cannot_encode_stats() {
+        let mut buf = Vec::new();
+        encode_frame_versioned(&Frame::Stats { id: 1 }, 1, &mut buf);
+    }
+
+    #[test]
+    fn stats_kind_inside_v1_frame_is_malformed() {
+        // Hand-build a v1 header claiming kind 5 (stats) with an empty
+        // payload and a valid CRC: structurally impossible in v1.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC.to_le_bytes());
+        buf.push(1); // version 1
+        buf.push(5); // kind: stats
+        buf.extend_from_slice(&7u64.to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        let crc = crc32(&[&buf[..16]]);
+        buf.extend_from_slice(&crc.to_le_bytes());
+        assert_eq!(
+            decode_frame(&buf),
+            Err(WireError::Malformed("stats frames require wire v2"))
         );
     }
 

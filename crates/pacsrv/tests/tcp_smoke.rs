@@ -58,3 +58,88 @@ fn tcp_loopback_roundtrip() {
     server.stop();
     assert!(service.shutdown(Duration::from_secs(5)));
 }
+
+#[test]
+fn finished_connection_handles_are_reaped() {
+    let cfg = ServiceConfig {
+        shards: 1,
+        numa_pin: false,
+        ..ServiceConfig::named("pacsrv-tcp-reap", 1)
+    };
+    let service = PacService::start(MapIndex::default(), cfg);
+    let server = TcpServer::start(service.clone(), "127.0.0.1:0").expect("bind");
+    let addr = server.local_addr();
+
+    // Sequential connect/ping/drop cycles: without reaping, every one of
+    // these would leave a joinable handle behind for the server's lifetime.
+    for _ in 0..8 {
+        let mut client = TcpClient::connect(addr).expect("connect");
+        client.ping().expect("ping");
+        drop(client);
+    }
+    // Dropped sockets EOF their handlers; give them a moment to exit, then
+    // the reap in open_conns must bring the list (close to) empty. The
+    // accept loop also reaps, so the bound holds without calling
+    // open_conns in between.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    loop {
+        let open = server.open_conns();
+        if open <= 1 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "{open} connection handles still unreaped"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    server.stop();
+    assert!(service.shutdown(Duration::from_secs(5)));
+}
+
+#[test]
+fn stats_endpoint_answers_over_tcp() {
+    let cfg = ServiceConfig {
+        shards: 2,
+        numa_pin: false,
+        ..ServiceConfig::named("pacsrv-tcp-stats", 2)
+    };
+    let service = PacService::start(MapIndex::default(), cfg);
+    let server = TcpServer::start(service.clone(), "127.0.0.1:0").expect("bind");
+    let addr = server.local_addr();
+
+    let mut client = TcpClient::connect(addr).expect("connect");
+    for i in 0..10u64 {
+        let resps = client
+            .call(vec![Request::Put {
+                key: i.to_be_bytes().to_vec(),
+                value: i,
+            }])
+            .expect("call");
+        assert_eq!(resps, vec![Response::Ok]);
+    }
+    let json = client.stats().expect("stats");
+    assert!(
+        json.starts_with("{\"schema\":\"pacsrv_stats/v1\""),
+        "{json}"
+    );
+    assert!(json.contains("\"name\":\"pacsrv-tcp-stats\""), "{json}");
+    assert!(json.contains("\"queue_depth\":"), "{json}");
+    assert!(json.contains("\"registry\":{"), "{json}");
+    assert!(json.contains("\"traces\":{"), "{json}");
+    assert!(json.contains("\"flight\":\""), "{json}");
+
+    // A v1 client on the same server still works for requests...
+    let mut v1 = TcpClient::connect(addr).expect("connect v1");
+    v1.set_wire_version(1);
+    let resps = v1
+        .call(vec![Request::Get {
+            key: 3u64.to_be_bytes().to_vec(),
+        }])
+        .expect("v1 call");
+    assert_eq!(resps, vec![Response::Value(Some(3))]);
+
+    server.stop();
+    assert!(service.shutdown(Duration::from_secs(5)));
+}

@@ -1,9 +1,23 @@
 //! Property tests for the wire codec: round-trip identity, truncation
-//! rejection, and single-byte corruption rejection over randomized frames.
+//! rejection, single-byte corruption rejection over randomized frames, and
+//! v1 <-> v2 cross-version compatibility (a v1 frame decodes on a v2 build
+//! with an untraced context; a v2 trace block round-trips exactly).
 
-use pacsrv::wire::{decode_frame, encode_frame, Frame, Request, Response, HEADER_LEN};
+use obsv::trace::TraceCtx;
+use pacsrv::wire::{
+    decode_frame, encode_frame, encode_frame_versioned, Frame, Request, Response, HEADER_LEN,
+};
 use proptest::collection::vec;
 use proptest::prelude::*;
+
+/// Materializes a trace context from a generated raw tuple.
+fn build_trace((trace_id, parent_span, sampled): (u64, u32, bool)) -> TraceCtx {
+    TraceCtx {
+        trace_id,
+        parent_span,
+        sampled,
+    }
+}
 
 /// Materializes a request list from generated raw tuples.
 fn build_requests(raw: Vec<(u8, Vec<u8>, u64)>) -> Vec<Request> {
@@ -45,9 +59,11 @@ proptest! {
     #[test]
     fn request_frames_round_trip(
         id in any::<u64>(),
+        raw_trace in (any::<u64>(), any::<u32>(), any::<bool>()),
         raw in vec((any::<u8>(), vec(any::<u8>(), 0..40), any::<u64>()), 0..24),
     ) {
-        let frame = Frame::Request { id, reqs: build_requests(raw) };
+        let trace = build_trace(raw_trace);
+        let frame = Frame::Request { id, trace, reqs: build_requests(raw) };
         let mut buf = Vec::new();
         let n = encode_frame(&frame, &mut buf);
         prop_assert_eq!(n, buf.len());
@@ -74,8 +90,10 @@ proptest! {
         id in any::<u64>(),
         raw in vec((any::<u8>(), vec(any::<u8>(), 0..24), any::<u64>()), 1..12),
         cut_seed in any::<u64>(),
+        raw_trace in (any::<u64>(), any::<u32>(), any::<bool>()),
     ) {
-        let frame = Frame::Request { id, reqs: build_requests(raw) };
+        let trace = build_trace(raw_trace);
+        let frame = Frame::Request { id, trace, reqs: build_requests(raw) };
         let mut buf = Vec::new();
         let n = encode_frame(&frame, &mut buf);
         let cut = (cut_seed % n as u64) as usize;
@@ -100,8 +118,10 @@ proptest! {
         raw in vec((any::<u8>(), vec(any::<u8>(), 0..24), any::<u64>()), 1..12),
         flip_pos_seed in any::<u64>(),
         flip_bit in 0..8u32,
+        raw_trace in (any::<u64>(), any::<u32>(), any::<bool>()),
     ) {
-        let frame = Frame::Request { id, reqs: build_requests(raw) };
+        let trace = build_trace(raw_trace);
+        let frame = Frame::Request { id, trace, reqs: build_requests(raw) };
         let mut buf = Vec::new();
         let n = encode_frame(&frame, &mut buf);
         let pos = (flip_pos_seed % n as u64) as usize;
@@ -113,6 +133,71 @@ proptest! {
         prop_assert!(
             decode_frame(&buf).is_err(),
             "bit {flip_bit} at byte {pos} went undetected"
+        );
+    }
+
+    /// A v1-encoded request (no trace block) decodes on this v2 build as
+    /// the same operations with an untraced context — old clients keep
+    /// working against a new server.
+    #[test]
+    fn v1_request_decodes_on_v2_build_as_untraced(
+        id in any::<u64>(),
+        raw_trace in (any::<u64>(), any::<u32>(), any::<bool>()),
+        raw in vec((any::<u8>(), vec(any::<u8>(), 0..40), any::<u64>()), 0..24),
+    ) {
+        let trace = build_trace(raw_trace);
+        let reqs = build_requests(raw);
+        let frame = Frame::Request { id, trace, reqs: reqs.clone() };
+        let mut buf = Vec::new();
+        let n = encode_frame_versioned(&frame, 1, &mut buf);
+        let (decoded, consumed) = decode_frame(&buf).expect("v1 decodes");
+        prop_assert_eq!(consumed, n);
+        prop_assert_eq!(decoded, Frame::Request { id, trace: TraceCtx::UNTRACED, reqs });
+    }
+
+    /// The 13-byte v2 trace block round-trips exactly, and dropping to v1
+    /// costs exactly those 13 bytes.
+    #[test]
+    fn v2_trace_context_round_trips(
+        id in any::<u64>(),
+        raw_trace in (any::<u64>(), any::<u32>(), any::<bool>()),
+        raw in vec((any::<u8>(), vec(any::<u8>(), 0..40), any::<u64>()), 0..8),
+    ) {
+        let trace = build_trace(raw_trace);
+        let frame = Frame::Request { id, trace, reqs: build_requests(raw) };
+        let mut v2 = Vec::new();
+        let n2 = encode_frame_versioned(&frame, 2, &mut v2);
+        let mut v1 = Vec::new();
+        let n1 = encode_frame_versioned(&frame, 1, &mut v1);
+        prop_assert_eq!(n2 - n1, 13);
+        let (decoded, _) = decode_frame(&v2).expect("v2 decodes");
+        prop_assert_eq!(decoded, frame);
+    }
+
+    /// Truncation and corruption detection hold for v1 frames too — the
+    /// header checks and CRC are version-independent.
+    #[test]
+    fn v1_truncation_and_corruption_still_rejected(
+        id in any::<u64>(),
+        raw in vec((any::<u8>(), vec(any::<u8>(), 0..24), any::<u64>()), 1..12),
+        cut_seed in any::<u64>(),
+        flip_pos_seed in any::<u64>(),
+        flip_bit in 0..8u32,
+    ) {
+        let frame = Frame::Request { id, trace: TraceCtx::UNTRACED, reqs: build_requests(raw) };
+        let mut buf = Vec::new();
+        let n = encode_frame_versioned(&frame, 1, &mut buf);
+        let cut = (cut_seed % n as u64) as usize;
+        prop_assert!(matches!(
+            decode_frame(&buf[..cut]),
+            Err(pacsrv::wire::WireError::Incomplete { .. })
+        ));
+        let pos = (flip_pos_seed % n as u64) as usize;
+        let mut bad = buf.clone();
+        bad[pos] ^= 1 << flip_bit;
+        prop_assert!(
+            decode_frame(&bad).is_err(),
+            "v1: bit {flip_bit} at byte {pos} went undetected"
         );
     }
 }

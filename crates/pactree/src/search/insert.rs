@@ -270,6 +270,11 @@ impl Art {
                         return Ok(Step::Done(None));
                     }
                     // Full node: grow by copying into the next arity.
+                    // An ART structural modification on the request path —
+                    // spans under the active request trace (detail 2 =
+                    // node grow), for PACTree's search layer and PDL-ART
+                    // alike; inert when untraced.
+                    let _smo_span = obsv::trace::span_here(obsv::trace::SpanKind::Smo, 2);
                     let Some(_pg) = parent.lock.try_upgrade(parent.token) else {
                         return Ok(Step::Restart);
                     };

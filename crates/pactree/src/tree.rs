@@ -798,6 +798,9 @@ impl PacTree {
         _wg: &crate::lock::WriteGuard<'_>,
         _guard: &pmem::epoch::Guard<'_>,
     ) -> Result<()> {
+        // Attaches to the active request span when a traced request pays
+        // for the split inline; inert otherwise (detail 0 = split).
+        let _smo_span = obsv::trace::span_here(obsv::trace::SpanKind::Smo, 0);
         // 1. Persist the split intention.
         let ticket = self.smo.append(SmoKind::Split, raw);
 
@@ -876,6 +879,9 @@ impl PacTree {
     /// marks `right` logically deleted, unlinks it, and defers the
     /// search-layer removal and physical free to the SMO log/updater.
     fn merge(&self, raw: u64, node: &DataNode, right_raw: u64, right: &DataNode) -> Result<()> {
+        // As in `split`: spans the merge when a traced request pays for it
+        // inline (detail 1 = merge).
+        let _smo_span = obsv::trace::span_here(obsv::trace::SpanKind::Smo, 1);
         // 1. Persist the merge intention.
         let ticket = self.smo.append(SmoKind::Merge, raw);
         ticket.set_aux(right_raw);

@@ -226,6 +226,13 @@ impl PdlArt {
     }
 
     /// Advances epoch reclamation (periodic maintenance).
+    ///
+    /// Under request tracing (`obsv/trace`), an advance that runs inside a
+    /// traced request records an `epoch` span (via
+    /// `pmem::epoch::Collector::try_advance`), and ART node growth inside
+    /// [`insert`](Self::insert) records an `smo` span — so PDL-ART's
+    /// structural and reclamation work is attributed per request exactly
+    /// like PACTree's.
     pub fn maintain(&self) {
         self.collector.try_advance();
     }

@@ -136,6 +136,10 @@ impl Collector {
     /// Attempts to advance the global epoch and run sufficiently aged
     /// garbage. Returns the number of deferred items executed.
     pub fn try_advance(&self) -> usize {
+        // Attaches to the active request span when an advance runs on the
+        // request path (e.g. PDL-ART maintenance inside a traced batch);
+        // inert otherwise.
+        let _epoch_span = obsv::trace::span_here(obsv::trace::SpanKind::Epoch, 0);
         let epoch = self.global_epoch.load(Ordering::SeqCst);
         {
             let mut parts = self.participants.lock();

@@ -290,6 +290,7 @@ impl TokenBucket {
                     .local()
                     .throttle_stall_ns
                     .fetch_add(stalled, Ordering::Relaxed);
+                obsv::trace::add_stall(obsv::trace::StallKind::Throttle, stalled);
                 return;
             }
             rounds += 1;
@@ -560,23 +561,31 @@ thread_local! {
     static PENDING_STALL_NS: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
 }
 
-/// Waits `ns` nanoseconds of *model time*.
+/// Waits `ns` nanoseconds of *model time* and returns the stall to
+/// attribute to the active trace span.
 ///
-/// Without dilation this spins. With dilation, stalls accumulate per thread
+/// Without dilation this spins and returns the *measured* wall time of the
+/// spin: on an oversubscribed host the spin overshoots its target whenever
+/// the thread is descheduled mid-wait, and that overshoot is genuinely part
+/// of the stall — attributing only the requested `ns` would leave it
+/// unaccounted in the span. With dilation, stalls accumulate per thread
 /// and are paid as real `thread::sleep`s once they exceed the OS timer
 /// granularity — so every modeled stall costs proportional wall time (cost
 /// ratios stay exact) while concurrent threads genuinely overlap their
-/// stalls even on a single-core host. The deferral window is bounded by
+/// stalls even on a single-core host; there the returned attribution is the
+/// model-time `ns`, matching the cost the model charges rather than the
+/// batched dilated sleep. The deferral window is bounded by
 /// [`SLEEP_THRESHOLD_NS`] of wall time.
 #[inline]
-fn model_wait(cfg: &NvmModelConfig, ns: u64) {
+fn model_wait(cfg: &NvmModelConfig, ns: u64) -> u64 {
     if ns == 0 {
-        return;
+        return 0;
     }
     let dilation = cfg.time_dilation.max(1.0);
     if dilation <= 1.0 {
+        let start = Instant::now();
         spin_ns(ns);
-        return;
+        return (start.elapsed().as_nanos() as u64).max(ns);
     }
     let dilated = (ns as f64 * dilation) as u64;
     PENDING_STALL_NS.with(|p| {
@@ -588,6 +597,7 @@ fn model_wait(cfg: &NvmModelConfig, ns: u64) {
             p.set(total);
         }
     });
+    ns
 }
 
 /// Reports that the running thread read `len` bytes starting at `offset` of
@@ -675,7 +685,8 @@ fn on_read_slow(pool: PoolId, offset: u64, len: usize) {
             if remote {
                 ns += cfg.remote_extra_ns;
             }
-            model_wait(cfg, ns);
+            let waited = model_wait(cfg, ns);
+            obsv::trace::add_stall(obsv::trace::StallKind::MediaRead, waited);
         }
     });
 }
@@ -760,7 +771,8 @@ fn on_flush_slow(pool: PoolId, offset: u64, len: usize) {
             if remote {
                 ns += cfg.remote_extra_ns;
             }
-            model_wait(cfg, ns);
+            let waited = model_wait(cfg, ns);
+            obsv::trace::add_stall(obsv::trace::StallKind::Flush, waited);
         }
     });
 }
@@ -826,7 +838,8 @@ pub fn on_fence() {
         .fetch_add(1, Ordering::Relaxed);
     with_runtime(|rt| {
         if rt.config.inject_latency && !rt.config.eadr {
-            model_wait(&rt.config, rt.config.fence_ns);
+            let waited = model_wait(&rt.config, rt.config.fence_ns);
+            obsv::trace::add_stall(obsv::trace::StallKind::Fence, waited);
         }
     });
 }

@@ -1,7 +1,8 @@
 #!/usr/bin/env python3
 """Schema validation for the observability JSON artifacts (CI smoke job).
 
-Usage: validate_obsv_json.py results/fig13_tail.json results/obsv_report.json
+Usage: validate_obsv_json.py results/fig13_tail.json results/obsv_report.json \\
+           results/trace_chrome.json results/trace_summary.jsonl
 
 Validates by the embedded "schema" tag:
 
@@ -13,6 +14,12 @@ Validates by the embedded "schema" tag:
   list; every sample carries ts_ns/gauges/hists; the final (post-quiesce)
   sample must show the SMO replay-lag and epoch-backlog gauges drained to
   zero and the pmem gauges present.
+* ``trace_chrome/v1`` — Chrome trace-event JSON from ``trace-report``.
+  Every complete ("X") event needs ts/dur/pid/tid and span args; every
+  trace (pid) needs a root span whose interval covers its children.
+* ``trace_summary/v1`` — one JSON object per line (``.jsonl``); each
+  needs trace_id/outcome/root_ns, per-kind stall totals, and a span list
+  containing exactly one root span.
 """
 
 import json
@@ -86,10 +93,98 @@ def validate_report(doc, path):
     print(f"OK: {path} (obsv_report/v1, {len(samples)} samples)")
 
 
+STALL_KINDS = ["read", "flush", "fence", "throttle"]
+SPAN_KINDS = ["root", "admission", "queue", "batch", "index_op", "smo", "epoch"]
+
+
+def validate_trace_chrome(doc, path):
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail(f"{path}: empty or missing 'traceEvents'")
+    spans = [e for e in events if e.get("ph") == "X"]
+    if not spans:
+        fail(f"{path}: no complete ('X') span events")
+    by_pid = {}
+    for i, e in enumerate(spans):
+        where = f"{path}: event {i} ({e.get('name')!r})"
+        if e.get("name") not in SPAN_KINDS:
+            fail(f"{where}: unknown span name")
+        for k in ["ts", "dur", "pid", "tid"]:
+            if not isinstance(e.get(k), (int, float)):
+                fail(f"{where}: missing/non-numeric '{k}'")
+        if e["dur"] < 0:
+            fail(f"{where}: negative duration")
+        args = e.get("args")
+        if not isinstance(args, dict):
+            fail(f"{where}: missing 'args'")
+        for k in ["trace_id", "span_id", "parent"] + [f"stall_{s}_ns" for s in STALL_KINDS]:
+            if not isinstance(args.get(k), int):
+                fail(f"{where}: args missing/non-integer '{k}'")
+        by_pid.setdefault(e["pid"], []).append(e)
+    for pid, evs in by_pid.items():
+        roots = [e for e in evs if e["name"] == "root"]
+        if len(roots) != 1:
+            fail(f"{path}: pid {pid} has {len(roots)} root spans (want 1)")
+        root = roots[0]
+        r0, r1 = root["ts"], root["ts"] + root["dur"]
+        for e in evs:
+            # 1us slack: ts/dur are microseconds rounded to 3 decimals.
+            if e["ts"] < r0 - 1.0 or e["ts"] + e["dur"] > r1 + 1.0:
+                fail(
+                    f"{path}: pid {pid} span {e['name']!r} "
+                    f"[{e['ts']}, {e['ts'] + e['dur']}] outside root [{r0}, {r1}]"
+                )
+    print(f"OK: {path} (trace_chrome/v1, {len(by_pid)} traces, {len(spans)} spans)")
+
+
+def validate_trace_summary_line(doc, where):
+    if doc.get("schema") != "trace_summary/v1":
+        fail(f"{where}: bad schema {doc.get('schema')!r}")
+    for k in ["trace_id", "root_ns"]:
+        if not isinstance(doc.get(k), int):
+            fail(f"{where}: missing/non-integer '{k}'")
+    if not isinstance(doc.get("outcome"), str):
+        fail(f"{where}: missing 'outcome'")
+    stalls = doc.get("stall_ns")
+    if not isinstance(stalls, dict):
+        fail(f"{where}: missing 'stall_ns'")
+    for s in STALL_KINDS:
+        if not isinstance(stalls.get(s), int):
+            fail(f"{where}: stall_ns missing/non-integer '{s}'")
+    spans = doc.get("spans")
+    if not isinstance(spans, list) or not spans:
+        fail(f"{where}: empty or missing 'spans'")
+    for i, s in enumerate(spans):
+        if s.get("kind") not in SPAN_KINDS:
+            fail(f"{where}: span {i} has unknown kind {s.get('kind')!r}")
+        for k in ["span_id", "parent", "tid", "start_ns", "dur_ns", "stall_ns"]:
+            if not isinstance(s.get(k), int):
+                fail(f"{where}: span {i} missing/non-integer '{k}'")
+    if sum(1 for s in spans if s["kind"] == "root") != 1:
+        fail(f"{where}: want exactly one root span")
+
+
+def validate_trace_summary(path):
+    with open(path) as f:
+        lines = [ln for ln in f.read().splitlines() if ln.strip()]
+    if not lines:
+        fail(f"{path}: empty summary")
+    for i, ln in enumerate(lines):
+        try:
+            doc = json.loads(ln)
+        except json.JSONDecodeError as e:
+            fail(f"{path}: line {i + 1} is not valid JSON: {e}")
+        validate_trace_summary_line(doc, f"{path}: line {i + 1}")
+    print(f"OK: {path} (trace_summary/v1, {len(lines)} traces)")
+
+
 def main():
     if len(sys.argv) < 2:
-        fail("usage: validate_obsv_json.py <file.json>...")
+        fail("usage: validate_obsv_json.py <file.json|file.jsonl>...")
     for path in sys.argv[1:]:
+        if path.endswith(".jsonl"):
+            validate_trace_summary(path)
+            continue
         with open(path) as f:
             doc = json.load(f)
         schema = doc.get("schema")
@@ -97,6 +192,8 @@ def main():
             validate_fig13(doc, path)
         elif schema == "obsv_report/v1":
             validate_report(doc, path)
+        elif schema == "trace_chrome/v1":
+            validate_trace_chrome(doc, path)
         else:
             fail(f"{path}: unknown schema {schema!r}")
     print("all observability artifacts valid")
