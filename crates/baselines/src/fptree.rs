@@ -61,13 +61,21 @@ impl FpLeaf {
     }
 
     fn find(&self, key: u64) -> Option<usize> {
+        // The same runtime-dispatched fingerprint kernel PACTree's data
+        // nodes use (32-slot variant), so the baseline comparison stays
+        // honest. Candidates are key-verified; callers hold the leaf lock
+        // or validate its version afterwards.
         let fp = fp_of(key);
-        let bm = self.live();
-        (0..FP_LEAF_CAP).find(|&i| {
-            bm & (1 << i) != 0
-                && self.fingerprints[i].load(Ordering::Acquire) == fp
-                && self.entries[i][0].load(Ordering::Acquire) == key
-        })
+        let mut candidates =
+            u64::from(pactree::simd::fingerprint_match32(&self.fingerprints, fp)) & self.live();
+        while candidates != 0 {
+            let i = candidates.trailing_zeros() as usize;
+            candidates &= candidates - 1;
+            if self.entries[i][0].load(Ordering::Acquire) == key {
+                return Some(i);
+            }
+        }
+        None
     }
 
     fn free_slot(&self) -> Option<usize> {

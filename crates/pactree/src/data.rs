@@ -260,17 +260,26 @@ impl DataNode {
 
     /// Finds the live slot holding `key`, fingerprint-filtered (§5.3).
     pub fn find(&self, key: &[u8]) -> Option<usize> {
+        self.find_counting(key).0
+    }
+
+    /// [`find`](Self::find) plus the number of fingerprint *false hits*:
+    /// candidate slots whose fingerprint matched but whose full key did not
+    /// (probe-quality signal for the `fp.false_hit_ratio` gauge).
+    pub fn find_counting(&self, key: &[u8]) -> (Option<usize>, u32) {
         let fp = fingerprint_of(key);
         let bm = self.bitmap.load(Ordering::Acquire);
         let mut candidates = fingerprint_matches(&self.fingerprints, fp) & bm;
+        let mut false_hits = 0u32;
         while candidates != 0 {
             let slot = candidates.trailing_zeros() as usize;
             candidates &= candidates - 1;
             if self.key_eq(slot, key) {
-                return Some(slot);
+                return (Some(slot), false_hits);
             }
+            false_hits += 1;
         }
-        None
+        (None, false_hits)
     }
 
     /// Writes `key`/`value` into a free slot and persists the payload and
@@ -410,28 +419,13 @@ impl DataNode {
     }
 }
 
-/// SWAR fingerprint matcher: returns a 64-bit mask of slots whose
-/// fingerprint byte equals `fp` (the portable stand-in for the paper's
-/// single AVX512 comparison over the 64-byte fingerprint array, §5.2).
+/// Fingerprint matcher: returns a 64-bit mask of slots whose fingerprint
+/// byte equals `fp` — the paper's single AVX512 comparison over the 64-byte
+/// fingerprint array (§5.2), served by the runtime-dispatched
+/// [`crate::simd`] kernels (SSE2/AVX2/NEON, SWAR fallback).
+#[inline]
 pub fn fingerprint_matches(fps: &[AtomicU8; NODE_SLOTS], fp: u8) -> u64 {
-    let broadcast = 0x0101_0101_0101_0101u64.wrapping_mul(fp as u64);
-    let mut mask = 0u64;
-    for chunk in 0..8 {
-        // SAFETY: `fps` is 64 contiguous AtomicU8 starting 8-byte aligned in
-        // the node layout; reading 8 of them as one AtomicU64 is in bounds.
-        let word =
-            unsafe { (*(fps.as_ptr().add(chunk * 8) as *const AtomicU64)).load(Ordering::Acquire) };
-        let x = word ^ broadcast;
-        // Zero-byte detection.
-        let zeros = x.wrapping_sub(0x0101_0101_0101_0101) & !x & 0x8080_8080_8080_8080;
-        let mut z = zeros;
-        while z != 0 {
-            let byte = (z.trailing_zeros() / 8) as usize;
-            mask |= 1 << (chunk * 8 + byte);
-            z &= z - 1;
-        }
-    }
-    mask
+    crate::simd::fingerprint_match64(fps, fp)
 }
 
 /// Dereferences a raw data-node pointer.

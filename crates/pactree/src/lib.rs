@@ -36,6 +36,7 @@ pub mod data;
 pub mod key;
 pub mod lock;
 pub mod search;
+pub mod simd;
 pub mod smo;
 pub mod stats;
 pub mod tree;

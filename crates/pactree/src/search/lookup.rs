@@ -8,6 +8,8 @@
 
 use std::sync::atomic::Ordering;
 
+use pmem::pptr::PmPtr;
+
 use super::insert::leaf_ref;
 use super::node::{header_of, is_leaf};
 use super::{find_child, lcp_len, Art, Step, MAX_RESTARTS};
@@ -78,6 +80,11 @@ impl Art {
             let b = key[depth];
             // SAFETY: live inner node, epoch-pinned.
             let found = unsafe { find_child(raw, b) };
+            if let Some((child, _)) = found {
+                // Start fetching the child's header line while the version
+                // check completes (the jump-chase prefetch, ROADMAP).
+                crate::simd::prefetch_read(PmPtr::<u8>::from_raw(child).as_ptr());
+            }
             if !hdr.lock.read_validate(token) {
                 return Step::Restart;
             }

@@ -692,26 +692,36 @@ unsafe fn find_child<'a>(raw: u64, b: u8) -> Option<(u64, &'a AtomicU64)> {
         match classify(raw) {
             NodeRef::N4(n) => {
                 let (_, count, _) = n.header.meta3();
-                for i in 0..count as usize {
-                    if n.keys[i].load(Ordering::Acquire) == b {
-                        let c = n.children[i].load(Ordering::Acquire);
-                        if c != 0 {
-                            let slot = &*(&n.children[i] as *const AtomicU64);
-                            return Some((c, slot));
-                        }
+                // Compare all four key bytes branch-free (the constant-trip
+                // loop unrolls), then walk the count-bounded candidate mask.
+                let mut m = 0u32;
+                for i in 0..4 {
+                    m |= u32::from(n.keys[i].load(Ordering::Acquire) == b) << i;
+                }
+                m &= (1u32 << (count as usize).min(4)) - 1;
+                while m != 0 {
+                    let i = m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    let c = n.children[i].load(Ordering::Acquire);
+                    if c != 0 {
+                        let slot = &*(&n.children[i] as *const AtomicU64);
+                        return Some((c, slot));
                     }
                 }
                 None
             }
             NodeRef::N16(n) => {
                 let (_, count, _) = n.header.meta3();
-                for i in 0..count as usize {
-                    if n.keys[i].load(Ordering::Acquire) == b {
-                        let c = n.children[i].load(Ordering::Acquire);
-                        if c != 0 {
-                            let slot = &*(&n.children[i] as *const AtomicU64);
-                            return Some((c, slot));
-                        }
+                // One splat-compare-movemask over the 16-byte key array
+                // (runtime-dispatched; validated by the caller's token).
+                let mut m = crate::simd::node16_match(&n.keys, b, count as usize);
+                while m != 0 {
+                    let i = m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    let c = n.children[i].load(Ordering::Acquire);
+                    if c != 0 {
+                        let slot = &*(&n.children[i] as *const AtomicU64);
+                        return Some((c, slot));
                     }
                 }
                 None

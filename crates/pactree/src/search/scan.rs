@@ -83,6 +83,11 @@ impl Art {
         if !hdr.lock.read_validate(token) {
             return WalkOut::Restart;
         }
+        // Warm the first few child lines before the in-order visits chase
+        // them one random NVM read at a time (GA5's criticism of this path).
+        for &(_, c) in children.iter().take(8) {
+            crate::simd::prefetch_read(pmem::pptr::PmPtr::<u8>::from_raw(c).as_ptr());
+        }
         let prefix = &prefix[..plen];
 
         // Work out how the bound constrains this subtree.

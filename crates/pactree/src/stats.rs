@@ -22,6 +22,10 @@ pub struct TreeStats {
     pub smo_replayed: AtomicU64,
     /// Optimistic retries in lookup/insert paths.
     pub retries: AtomicU64,
+    /// Fingerprint-candidate key verifications during data-node probes.
+    pub fp_checks: AtomicU64,
+    /// Verifications whose full key mismatched (fingerprint false hits).
+    pub fp_false_hits: AtomicU64,
 }
 
 impl TreeStats {
@@ -52,6 +56,34 @@ impl TreeStats {
         h[0].1 as f64 / total as f64
     }
 
+    /// Records one data-node probe: `false_hits` fingerprint candidates
+    /// whose key verification failed, plus the hit itself when found.
+    #[inline]
+    pub fn record_fp(&self, false_hits: u32, hit: bool) {
+        let checks = false_hits as u64 + u64::from(hit);
+        if checks != 0 {
+            self.fp_checks.fetch_add(checks, Ordering::Relaxed);
+        }
+        if false_hits != 0 {
+            self.fp_false_hits
+                .fetch_add(false_hits as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// Fraction of fingerprint-candidate key verifications that mismatched.
+    /// Expected value: a probe of a node with `L` live slots yields about
+    /// `L/256` false candidates, so with ~50 live slots roughly 0.2 false
+    /// verifications ride along per hit — a ratio around 0.2. A ratio
+    /// drifting toward 1.0 with unchanged occupancy means the filter (or a
+    /// probe kernel's mask) broke.
+    pub fn false_hit_ratio(&self) -> f64 {
+        let checks = self.fp_checks.load(Ordering::Relaxed);
+        if checks == 0 {
+            return 0.0;
+        }
+        self.fp_false_hits.load(Ordering::Relaxed) as f64 / checks as f64
+    }
+
     /// Resets every counter.
     pub fn reset(&self) {
         for b in &self.jump_hops {
@@ -61,6 +93,8 @@ impl TreeStats {
         self.merges.store(0, Ordering::Relaxed);
         self.smo_replayed.store(0, Ordering::Relaxed);
         self.retries.store(0, Ordering::Relaxed);
+        self.fp_checks.store(0, Ordering::Relaxed);
+        self.fp_false_hits.store(0, Ordering::Relaxed);
     }
 }
 
@@ -88,5 +122,20 @@ mod tests {
         assert!((s.direct_hit_ratio() - 0.68).abs() < 0.01);
         s.reset();
         assert_eq!(s.jump_histogram()[0].1, 0);
+    }
+
+    #[test]
+    fn fp_false_hit_ratio() {
+        let s = TreeStats::default();
+        assert_eq!(s.false_hit_ratio(), 0.0, "no probes, no false hits");
+        s.record_fp(0, true); // clean hit
+        s.record_fp(0, false); // clean miss: no candidates at all
+        assert_eq!(s.false_hit_ratio(), 0.0);
+        s.record_fp(1, true); // one collision before the hit
+        assert!((s.false_hit_ratio() - 1.0 / 3.0).abs() < 1e-9);
+        s.record_fp(2, false); // two collisions, key absent
+        assert!((s.false_hit_ratio() - 3.0 / 5.0).abs() < 1e-9);
+        s.reset();
+        assert_eq!(s.false_hit_ratio(), 0.0);
     }
 }

@@ -324,6 +324,11 @@ impl PacTree {
             format!("{prefix}.retries"),
             Box::new(|t| t.stats.retries.load(Ordering::Relaxed) as f64),
         );
+        gauge(
+            &mut guards,
+            format!("{prefix}.fp.false_hit_ratio"),
+            Box::new(|t| t.stats.false_hit_ratio()),
+        );
         let w = Arc::downgrade(self);
         guards.push(reg.register_hists(prefix, move || w.upgrade().map(|t| t.ops.snapshot())));
         let _ = self.obsv_guards.set(guards);
@@ -461,7 +466,9 @@ impl PacTree {
                 // SAFETY: sibling pointers lead to initialized nodes.
                 let next_node = unsafe { node_ref(next) };
                 if next_node.key_in_or_after(key) {
-                    // key >= next.anchor: target is further right.
+                    // key >= next.anchor: target is further right. Warm its
+                    // fingerprint line while the chase re-checks anchors.
+                    crate::simd::prefetch_read(next_node.fingerprints.as_ptr());
                     raw = next;
                     hops += 1;
                     continue;
@@ -507,6 +514,9 @@ impl PacTree {
             let raw = self.locate(key);
             // SAFETY: epoch-pinned.
             let node = unsafe { node_ref(raw) };
+            // Warm the fingerprint line while the range checks run (§5.3
+            // touches the header and sibling anchors before probing).
+            crate::simd::prefetch_read(node.fingerprints.as_ptr());
             let Some(token) = node.lock.read_begin() else {
                 self.note_retry(retries);
                 continue;
@@ -530,8 +540,12 @@ impl PacTree {
             }
             // Header + fingerprint line + a couple of candidate slots.
             self.charge_node_read(raw, 192 + key.len().min(64));
-            let result = node.find(key).map(|slot| node.value_at(slot));
+            let (slot, false_hits) = node.find_counting(key);
+            let result = slot.map(|slot| node.value_at(slot));
             if node.lock.read_validate(token) {
+                // Only validated probes feed the quality gauge — a torn
+                // read could report phantom mismatches.
+                self.stats.record_fp(false_hits, slot.is_some());
                 return result;
             }
             self.note_retry(retries);
@@ -570,6 +584,14 @@ impl PacTree {
                 // Whole-node sequential read (GA5): data nodes scan at
                 // XPLine-friendly granularity.
                 self.charge_node_read(raw, DATA_NODE_SIZE);
+                let next = node.next.load(Ordering::Acquire);
+                if next != 0 {
+                    // Stream the next sorted data node in while this one is
+                    // ordered and copied out (§5.4 sequential scans).
+                    let np = PmPtr::<u8>::from_raw(next).as_ptr();
+                    crate::simd::prefetch_read(np);
+                    crate::simd::prefetch_read(np.wrapping_add(64));
+                }
                 let order =
                     node.sorted_slots(token.version_hint(), self.config.persist_permutation);
                 let mut page: Vec<Pair> = Vec::with_capacity(order.len());
@@ -579,7 +601,6 @@ impl PacTree {
                         page.push(p);
                     }
                 }
-                let next = node.next.load(Ordering::Acquire);
                 if !node.lock.read_validate(token) {
                     self.note_retry(retries);
                     continue 'relocate;
@@ -655,7 +676,8 @@ impl PacTree {
             }
             self.charge_node_read(raw, 192 + key.len().min(64));
 
-            let existing = node.find(key);
+            let (existing, false_hits) = node.find_counting(key);
+            self.stats.record_fp(false_hits, existing.is_some());
             if let Some(old_slot) = existing {
                 let old_value = node.value_at(old_slot);
                 // Update protocol (§5.5): new pair into a free slot, then
@@ -725,7 +747,9 @@ impl PacTree {
                 }
             }
             self.charge_node_read(raw, 192 + key.len().min(64));
-            let Some(slot) = node.find(key) else {
+            let (found, false_hits) = node.find_counting(key);
+            self.stats.record_fp(false_hits, found.is_some());
+            let Some(slot) = found else {
                 drop(wg);
                 return Ok(None);
             };

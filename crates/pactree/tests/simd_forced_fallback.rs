@@ -1,0 +1,48 @@
+//! Forced-fallback dispatch path: `PACTREE_NO_SIMD=1` must pin the active
+//! kernel set to SWAR (vector kernels and prefetch disabled) and the whole
+//! tree must still work on top of it. This file holds exactly one test so
+//! the env var is set before anything in the process touches the dispatcher
+//! (the `OnceLock` choice is made on first use and never revisited).
+
+use std::sync::Arc;
+
+use pactree::{simd, PacTree, PacTreeConfig};
+
+#[test]
+fn forced_fallback_dispatches_swar_and_tree_works() {
+    // Safe on edition 2021; must happen before the first `simd::active()`.
+    std::env::set_var("PACTREE_NO_SIMD", "1");
+
+    let k = simd::active();
+    assert_eq!(
+        k.name(),
+        "swar",
+        "PACTREE_NO_SIMD=1 must force the SWAR set"
+    );
+    assert_eq!(k.id(), 0);
+
+    // End-to-end smoke over the fallback kernels: insert enough keys to
+    // split data nodes, then exercise lookup (fp64 probe), scan (sorted
+    // walk, no prefetch), and remove.
+    let t: Arc<PacTree> = PacTree::create(PacTreeConfig::named("pt-no-simd")).unwrap();
+    let key = |i: u32| format!("k{i:05}").into_bytes();
+    for i in 0..500u32 {
+        assert_eq!(t.insert(&key(i), u64::from(i)).unwrap(), None);
+    }
+    for i in (0..500u32).step_by(7) {
+        assert_eq!(t.lookup(&key(i)), Some(u64::from(i)), "key {i}");
+    }
+    assert_eq!(t.lookup(b"k99999"), None);
+
+    let page = t.scan(&key(100), 50);
+    assert_eq!(page.len(), 50);
+    assert_eq!(page[0].key, key(100));
+    assert_eq!(page[49].value, 149);
+
+    for i in 0..100u32 {
+        assert_eq!(t.remove(&key(i)).unwrap(), Some(u64::from(i)));
+    }
+    assert_eq!(t.lookup(&key(50)), None);
+    assert_eq!(t.count_pairs(), 400);
+    t.destroy();
+}

@@ -1,0 +1,80 @@
+//! Differential property tests for the SIMD probe kernels: every kernel
+//! set (SWAR fallback, best vector set, active dispatch) must agree with
+//! the naive per-byte scalar reference on random fingerprint arrays, random
+//! probe bytes, and random `Node16` count bounds — covering both dispatch
+//! paths (forced-fallback SWAR and the host's best vector kernels) in one
+//! test run. The exhaustive all-256-probe-bytes sweep lives in the module's
+//! unit tests; these shake the input space.
+
+use std::sync::atomic::AtomicU8;
+
+use pactree::simd;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// 8-aligned like the in-tree fingerprint/key arrays, so the SWAR word
+/// path (not its unaligned byte fallback) is what gets exercised.
+#[repr(align(8))]
+struct Aligned<const N: usize>([AtomicU8; N]);
+
+fn aligned<const N: usize>(bytes: &[u8]) -> Aligned<N> {
+    Aligned(std::array::from_fn(|i| AtomicU8::new(bytes[i])))
+}
+
+/// The kernel sets a process can dispatch to, plus the active choice.
+fn kernel_sets() -> [&'static simd::Kernels; 3] {
+    [simd::swar(), simd::best(), simd::active()]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn fp_match64_matches_scalar(bytes in vec(any::<u8>(), 64), fp in any::<u8>()) {
+        let fps = aligned::<64>(&bytes);
+        let want = simd::scalar().fp64(&fps.0, fp);
+        for k in kernel_sets() {
+            prop_assert_eq!(k.fp64(&fps.0, fp), want, "kernel {}", k.name());
+        }
+    }
+
+    #[test]
+    fn fp_match32_matches_scalar(bytes in vec(any::<u8>(), 32), fp in any::<u8>()) {
+        let fps = aligned::<32>(&bytes);
+        let want = simd::scalar().fp32(&fps.0, fp);
+        for k in kernel_sets() {
+            prop_assert_eq!(k.fp32(&fps.0, fp), want, "kernel {}", k.name());
+        }
+    }
+
+    #[test]
+    fn node16_match_matches_scalar(
+        bytes in vec(any::<u8>(), 16),
+        b in any::<u8>(),
+        count in 0usize..21,
+    ) {
+        let keys = aligned::<16>(&bytes);
+        let want = simd::scalar().match16(&keys.0, b, count);
+        for k in kernel_sets() {
+            prop_assert_eq!(k.match16(&keys.0, b, count), want, "kernel {}", k.name());
+        }
+    }
+
+    /// Duplicate-heavy arrays (few distinct byte values) stress the borrow
+    /// chains of the SWAR zero-byte detection: adjacent equal and
+    /// off-by-one bytes are exactly where an inexact formulation tears.
+    #[test]
+    fn fp_match64_dense_duplicates(
+        seed in vec(0u8..4, 64),
+        base in any::<u8>(),
+        fp_off in 0u8..4,
+    ) {
+        let bytes: Vec<u8> = seed.iter().map(|&s| base.wrapping_add(s)).collect();
+        let fps = aligned::<64>(&bytes);
+        let fp = base.wrapping_add(fp_off);
+        let want = simd::scalar().fp64(&fps.0, fp);
+        for k in kernel_sets() {
+            prop_assert_eq!(k.fp64(&fps.0, fp), want, "kernel {}", k.name());
+        }
+    }
+}

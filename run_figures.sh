@@ -20,7 +20,9 @@ cargo run -q --release -p bench --bin exp_recovery > results/exp_recovery.txt 2>
 echo "=== running observability (obsv-report, bench_obsv_overhead)"
 cargo run -q --release -p bench --bin obsv-report > results/obsv_report.txt 2>&1 || echo "  FAILED (obsv-report)"
 cargo run -q --release -p bench --bin bench_obsv_overhead > results/bench_obsv_overhead.txt 2>&1 || echo "  FAILED (bench_obsv_overhead)"
-python3 scripts/validate_obsv_json.py results/obsv_report.json results/fig13_tail.json || echo "  FAILED (obsv JSON validation)"
+echo "=== running SIMD kernel A/B (bench-node-search)"
+cargo run -q --release -p bench --bin bench-node-search > results/bench_node_search.txt 2>&1 || echo "  FAILED (bench-node-search)"
+python3 scripts/validate_obsv_json.py results/obsv_report.json results/fig13_tail.json results/bench_node_search.json || echo "  FAILED (obsv JSON validation)"
 echo "=== running service mode (pacsrv-bench)"
 cargo run -q --release -p bench --bin pacsrv-bench > results/pacsrv_bench.txt 2>&1 || echo "  FAILED (pacsrv-bench)"
 echo "done; see results/"

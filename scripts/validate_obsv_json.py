@@ -20,6 +20,10 @@ Validates by the embedded "schema" tag:
 * ``trace_summary/v1`` — one JSON object per line (``.jsonl``); each
   needs trace_id/outcome/root_ns, per-kind stall totals, and a span list
   containing exactly one root span.
+* ``bench_node_search/v1`` — SIMD probe-kernel A/B from
+  ``bench-node-search``. Needs per-shape ns-per-probe for all three
+  kernel sets (positive, scalar slowest), the forced-SWAR vs dispatched
+  end-to-end arms, and a provenance stamp with a git commit.
 """
 
 import json
@@ -178,6 +182,40 @@ def validate_trace_summary(path):
     print(f"OK: {path} (trace_summary/v1, {len(lines)} traces)")
 
 
+def validate_node_search(doc, path):
+    kernel = doc.get("kernel")
+    if not isinstance(kernel, str) or not kernel:
+        fail(f"{path}: missing 'kernel'")
+    micro = doc.get("micro_ns_per_probe")
+    if not isinstance(micro, dict):
+        fail(f"{path}: missing 'micro_ns_per_probe'")
+    for shape in ["fp64", "node16"]:
+        row = micro.get(shape)
+        if not isinstance(row, dict):
+            fail(f"{path}: micro missing shape '{shape}'")
+        for k in ["scalar", "swar", "simd"]:
+            v = row.get(k)
+            if not isinstance(v, (int, float)) or v <= 0:
+                fail(f"{path}: {shape}/{k} not a positive number: {v!r}")
+        if row["scalar"] < row["swar"]:
+            fail(f"{path}: {shape} scalar ({row['scalar']}) beat swar ({row['swar']})")
+    if not isinstance(doc.get("fp64_speedup_simd_vs_swar"), (int, float)):
+        fail(f"{path}: missing 'fp64_speedup_simd_vs_swar'")
+    for arm, keys in [("ycsb_c", ["swar_mops", "simd_mops", "delta_pct"]),
+                      ("scan", ["swar_mkeys", "simd_mkeys", "delta_pct"])]:
+        a = doc.get(arm)
+        if not isinstance(a, dict):
+            fail(f"{path}: missing '{arm}'")
+        for k in keys:
+            if not isinstance(a.get(k), (int, float)):
+                fail(f"{path}: {arm} missing/non-numeric '{k}'")
+    stamp = doc.get("stamp")
+    if not isinstance(stamp, dict) or not stamp.get("git_commit"):
+        fail(f"{path}: missing provenance stamp with git_commit")
+    print(f"OK: {path} (bench_node_search/v1, kernel {kernel}, "
+          f"fp64 {doc['fp64_speedup_simd_vs_swar']}x vs swar)")
+
+
 def main():
     if len(sys.argv) < 2:
         fail("usage: validate_obsv_json.py <file.json|file.jsonl>...")
@@ -194,6 +232,8 @@ def main():
             validate_report(doc, path)
         elif schema == "trace_chrome/v1":
             validate_trace_chrome(doc, path)
+        elif schema == "bench_node_search/v1":
+            validate_node_search(doc, path)
         else:
             fail(f"{path}: unknown schema {schema!r}")
     print("all observability artifacts valid")
