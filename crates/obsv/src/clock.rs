@@ -37,23 +37,44 @@ mod imp {
         unsafe { core::arch::x86_64::_rdtsc() }
     }
 
+    /// One (TSC, Instant) sample taken close together: the TSC read is
+    /// bracketed by two `Instant` reads and retried until the bracket is
+    /// tight, so a deschedule between the reads cannot end up inside the
+    /// pair (which would skew the calibrated scale by a whole scheduling
+    /// quantum — observed as 3-4x clock drift on loaded CI hosts). Falls
+    /// back to the tightest pair seen if the host never yields a clean one.
+    fn paired_read() -> (u64, Instant) {
+        let mut best = (rdtsc(), Instant::now(), u128::MAX);
+        for _ in 0..100 {
+            let before = Instant::now();
+            let tsc = rdtsc();
+            let after = Instant::now();
+            let width = after.duration_since(before).as_nanos();
+            if width < best.2 {
+                best = (tsc, before + after.duration_since(before) / 2, width);
+            }
+            if width < 10_000 {
+                break;
+            }
+        }
+        (best.0, best.1)
+    }
+
     fn calibrate() -> Calibration {
-        let base_tsc = rdtsc();
-        let start = Instant::now();
         // ~2 ms busy calibration window: long enough for <1% scale error,
         // short enough to be invisible at process start.
-        let mut end_tsc = rdtsc();
+        let (base_tsc, start) = paired_read();
         loop {
-            let elapsed = start.elapsed();
+            std::hint::spin_loop();
+            let (end_tsc, end) = paired_read();
+            let elapsed = end.duration_since(start);
             if elapsed.as_nanos() >= 2_000_000 {
-                let ticks = (end_tsc - base_tsc).max(1);
+                let ticks = end_tsc.wrapping_sub(base_tsc).max(1);
                 return Calibration {
                     base_tsc,
                     ns_per_tick: elapsed.as_nanos() as f64 / ticks as f64,
                 };
             }
-            std::hint::spin_loop();
-            end_tsc = rdtsc();
         }
     }
 

@@ -65,8 +65,11 @@ impl Kernels {
     /// Probes a 64-slot fingerprint array for `fp`.
     #[inline]
     pub fn fp64(&self, fps: &[AtomicU8; 64], fp: u8) -> u64 {
-        // SAFETY: 64 readable, 8-byte-aligned bytes; see module docs for
-        // why wide loads are sound here.
+        // SAFETY: the reference guarantees 64 readable, initialized bytes.
+        // `[AtomicU8; N]` only promises 1-byte alignment; each kernel copes
+        // on its own — SWAR checks at runtime and falls back to the scalar
+        // per-byte path when misaligned, the vector kernels use unaligned
+        // loads. See module docs for why wide loads are sound here.
         unsafe { (self.fp_match64)(fps.as_ptr() as *const u8, fp) }
     }
 
@@ -177,8 +180,13 @@ unsafe fn fp_match64_scalar(p: *const u8, fp: u8) -> u64 {
 }
 
 unsafe fn fp_match32_scalar(p: *const u8, fp: u8) -> u32 {
-    // SAFETY: forwards the caller's 32-byte contract.
-    unsafe { fp_match64_scalar(p, fp) as u32 }
+    let mut mask = 0u32;
+    for i in 0..32 {
+        // SAFETY: 32 readable bytes per the kernel contract.
+        let byte = unsafe { (*(p.add(i) as *const AtomicU8)).load(Ordering::Acquire) };
+        mask |= u32::from(byte == fp) << i;
+    }
+    mask
 }
 
 unsafe fn key_match16_scalar(p: *const u8, b: u8, count: usize) -> u32 {
@@ -435,7 +443,9 @@ pub fn active() -> &'static Kernels {
             obsv::registry::global()
                 .register_gauge(gauge_name.clone(), move || Some(f64::from(id))),
         );
-        assert!(
+        // Observability must not be able to abort the data path, so this is
+        // a debug-only check rather than a hard assert.
+        debug_assert!(
             obsv::registry::global()
                 .sample()
                 .gauges
