@@ -3,7 +3,8 @@
 //! ```text
 //! crashcheck run [--index pactree,pdl-art|all] [--seed N] [--budget-secs N]
 //!                [--target-states N] [--ops N] [--keyspace N]
-//!                [--expect-clean pactree,pdl-art] [--out results]
+//!                [--snapshot-every N] [--expect-clean pactree,pdl-art]
+//!                [--out results]
 //! crashcheck replay <file>
 //! ```
 //!
@@ -14,6 +15,12 @@
 //! have torn-state findings; that is what the checker is for.
 //!
 //! `replay` re-runs a serialized failing crash state deterministically.
+//!
+//! `--snapshot-every N` turns on the MVCC version-chain campaign: the
+//! traced workload takes a snapshot every N ops, so the enumerated crash
+//! states cover the freeze/COW machinery, and every snapshot's view is
+//! verified against a shadow model during the run. Indexes without
+//! snapshot support ignore the flag.
 
 use std::process::ExitCode;
 use std::time::Duration;
@@ -24,7 +31,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  crashcheck run [--index <names|all>] [--seed N] [--budget-secs N]\n               \
          [--target-states N] [--ops N] [--keyspace N]\n               \
-         [--expect-clean <names>] [--out <dir>]\n  crashcheck replay <file>"
+         [--snapshot-every N] [--expect-clean <names>] [--out <dir>]\n  crashcheck replay <file>"
     );
     ExitCode::from(2)
 }
@@ -55,6 +62,7 @@ fn cmd_run(args: &[String]) -> ExitCode {
     let mut target_states = 0u64;
     let mut ops = None;
     let mut keyspace = None;
+    let mut snapshot_every = 0usize;
     let mut out: Option<String> = Some("results".to_string());
 
     let mut it = args.iter();
@@ -83,6 +91,11 @@ fn cmd_run(args: &[String]) -> ExitCode {
                 "--keyspace" => {
                     keyspace = Some(val()?.parse().map_err(|e| format!("--keyspace: {e}"))?)
                 }
+                "--snapshot-every" => {
+                    snapshot_every = val()?
+                        .parse()
+                        .map_err(|e| format!("--snapshot-every: {e}"))?
+                }
                 "--out" => {
                     let v = val()?;
                     out = (v != "none").then_some(v);
@@ -108,6 +121,7 @@ fn cmd_run(args: &[String]) -> ExitCode {
         if let Some(n) = keyspace {
             opts.keyspace = n;
         }
+        opts.snapshot_every = snapshot_every;
         opts.out_dir = out.clone().map(Into::into);
         match run_campaign(&opts) {
             Ok(summary) => {

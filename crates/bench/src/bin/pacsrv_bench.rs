@@ -12,13 +12,18 @@
 //! 3. **service open-loop at 2x** — paced submission at twice the
 //!    closed-loop rate with a per-op deadline: demonstrates admission
 //!    control (explicit `Overloaded` sheds, `DeadlineExceeded` drops,
-//!    bounded queues) instead of queue collapse.
+//!    bounded queues) instead of queue collapse;
+//! 4. **scan interference** — writer clients pushing Puts while scanner
+//!    clients run long scans through the service, first live (`Scan`) and
+//!    then snapshot-isolated (`Snapshot`/`ScanAt`/`ReleaseSnapshot`, the
+//!    wire-v3 ops); reported as writer-throughput retention vs a
+//!    no-scanner baseline.
 //!
-//! Writes `results/pacsrv_bench.json` (schema `pacsrv_bench/v1`, stamped
+//! Writes `results/pacsrv_bench.json` (schema `pacsrv_bench/v2`, stamped
 //! with git commit + configuration). `--quick` shrinks everything for the
 //! CI smoke job and skips nothing.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -28,7 +33,8 @@ use pacsrv::wire::{Request, Response};
 use pacsrv::{PacService, ServiceConfig};
 use pmem::model::{self, CoherenceMode, NvmModelConfig};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
+use ycsb::interference::ScanMode;
 use ycsb::workload::Op;
 use ycsb::{driver, DriverConfig, KeySpace, Mix, Workload};
 
@@ -183,6 +189,111 @@ fn drive_service(
     }
 }
 
+/// One phase-4 measurement: writer clients pushing Put batches closed-loop
+/// while scanner clients run long scans through the service.
+struct ScanPhase {
+    /// Writer throughput, model-time Mops/s.
+    writer_mops: f64,
+    /// Scans the scanner clients completed.
+    scans: u64,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn scan_interference(
+    service: &Arc<PacService<AnyIndex>>,
+    space: KeySpace,
+    populated: u64,
+    writer_ops: u64,
+    writers: usize,
+    scanners: usize,
+    scan_len: u32,
+    dilation: f64,
+    mode: ScanMode,
+) -> ScanPhase {
+    let stop = AtomicBool::new(false);
+    let scans = AtomicU64::new(0);
+    let per_writer = writer_ops / writers.max(1) as u64;
+    let start = Instant::now();
+    let mut seconds = 0.0;
+    std::thread::scope(|s| {
+        let mut writer_handles = Vec::new();
+        for c in 0..writers.max(1) {
+            writer_handles.push(s.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(0xd00d ^ (c as u64).wrapping_mul(0x9E37));
+                let mut issued = 0u64;
+                while issued < per_writer {
+                    let n = 16.min(per_writer - issued) as usize;
+                    let reqs: Vec<Request> = (0..n)
+                        .map(|_| Request::Put {
+                            key: space.encode(rng.gen_range(0..populated.max(1))),
+                            value: rng.gen(),
+                        })
+                        .collect();
+                    issued += n as u64;
+                    service.submit(reqs, None).wait();
+                }
+            }));
+        }
+        let scanner_count = if mode == ScanMode::None {
+            0
+        } else {
+            scanners.max(1)
+        };
+        for c in 0..scanner_count {
+            let (stop, scans) = (&stop, &scans);
+            s.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(0x5ca9 ^ (c as u64).wrapping_mul(0x51F1));
+                while !stop.load(Ordering::Relaxed) {
+                    let start_key = space.encode(rng.gen_range(0..populated.max(1)));
+                    match mode {
+                        ScanMode::None => unreachable!("no scanners in baseline mode"),
+                        ScanMode::Live => {
+                            service
+                                .submit(
+                                    vec![Request::Scan {
+                                        start: start_key,
+                                        count: scan_len,
+                                    }],
+                                    None,
+                                )
+                                .wait();
+                        }
+                        ScanMode::Snapshot => {
+                            let resps = service.submit(vec![Request::Snapshot], None).wait();
+                            let Some(Response::Snapshot(snap)) = resps.into_iter().next() else {
+                                continue; // shed under load; retry
+                            };
+                            service
+                                .submit(
+                                    vec![Request::ScanAt {
+                                        snap,
+                                        start: start_key,
+                                        count: scan_len,
+                                    }],
+                                    None,
+                                )
+                                .wait();
+                            service
+                                .submit(vec![Request::ReleaseSnapshot { snap }], None)
+                                .wait();
+                        }
+                    }
+                    scans.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+        for h in writer_handles {
+            h.join().expect("writer client panicked");
+        }
+        seconds = start.elapsed().as_secs_f64() / dilation.max(1.0);
+        stop.store(true, Ordering::Relaxed);
+    });
+    ScanPhase {
+        writer_mops: (per_writer * writers.max(1) as u64) as f64 / seconds / 1e6,
+        scans: scans.load(Ordering::Relaxed),
+    }
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     pmem::numa::set_topology(2);
@@ -279,6 +390,36 @@ fn main() {
     );
     model::set_config(NvmModelConfig::disabled());
 
+    // Phase 4: scan interference — long scans through the service while
+    // writer clients keep pushing Puts, live vs snapshot-isolated.
+    let s_writers = (threads / 2).max(1);
+    let s_scanners = (threads / 4).max(1);
+    let scan_len: u32 = if quick { 200 } else { 1000 };
+    let phase_ops = (scale.ops / 2).max(s_writers as u64);
+    model::set_config(NvmModelConfig::optane_dilated(
+        CoherenceMode::Snoop,
+        scale.dilation,
+    ));
+    let run_phase = |mode| {
+        scan_interference(
+            &service,
+            space,
+            scale.keys,
+            phase_ops,
+            s_writers,
+            s_scanners,
+            scan_len,
+            scale.dilation,
+            mode,
+        )
+    };
+    let s_base = run_phase(ScanMode::None);
+    let s_live = run_phase(ScanMode::Live);
+    let s_snap = run_phase(ScanMode::Snapshot);
+    model::set_config(NvmModelConfig::disabled());
+    let live_ret = s_live.writer_mops / s_base.writer_mops.max(1e-12);
+    let snap_ret = s_snap.writer_mops / s_base.writer_mops.max(1e-12);
+
     let drained = service.shutdown(Duration::from_secs(30));
 
     // Report.
@@ -316,16 +457,47 @@ fn main() {
         open.rate(open.timeout) * 100.0,
         deadline,
     );
+    println!(
+        "-- scan interference ({s_writers} writers, {s_scanners} scanners, {scan_len}-key scans)"
+    );
+    row(
+        "mode",
+        &["writer Mops".into(), "retention".into(), "scans".into()],
+    );
+    row(
+        "no scanners",
+        &[mops(s_base.writer_mops), "1.000".into(), "0".into()],
+    );
+    row(
+        "live scans",
+        &[
+            mops(s_live.writer_mops),
+            format!("{live_ret:.3}"),
+            s_live.scans.to_string(),
+        ],
+    );
+    row(
+        "snapshot scans",
+        &[
+            mops(s_snap.writer_mops),
+            format!("{snap_ret:.3}"),
+            s_snap.scans.to_string(),
+        ],
+    );
     println!("-- drained: {drained}");
 
     let overall = sojourn.merged();
     let json = format!(
         concat!(
-            "{{\"schema\":\"pacsrv_bench/v1\",\"stamp\":{},\"mix\":\"{}\",\"threads\":{},",
+            "{{\"schema\":\"pacsrv_bench/v2\",\"stamp\":{},\"mix\":\"{}\",\"threads\":{},",
             "\"embedded\":{{\"mops\":{:.6}}},",
             "\"service\":{{\"mops\":{:.6},\"ratio\":{:.4},\"shed\":{},\"timeout\":{},",
             "\"p50_us\":{:.2},\"p99_us\":{:.2},\"p999_us\":{:.2}}},",
             "\"overload_2x\":{{\"mops\":{:.6},\"shed_rate\":{:.4},\"timeout_rate\":{:.4}}},",
+            "\"scan_interference\":{{\"writers\":{},\"scanners\":{},\"scan_len\":{},",
+            "\"baseline_mops\":{:.6},",
+            "\"live_mops\":{:.6},\"live_retention\":{:.4},\"live_scans\":{},",
+            "\"snapshot_mops\":{:.6},\"snapshot_retention\":{:.4},\"snapshot_scans\":{}}},",
             "\"drained\":{}}}"
         ),
         stamp_json(&scale),
@@ -342,6 +514,16 @@ fn main() {
         open.mops(),
         open.rate(open.shed),
         open.rate(open.timeout),
+        s_writers,
+        s_scanners,
+        scan_len,
+        s_base.writer_mops,
+        s_live.writer_mops,
+        live_ret,
+        s_live.scans,
+        s_snap.writer_mops,
+        snap_ret,
+        s_snap.scans,
         drained,
     );
     std::fs::create_dir_all("results").ok();

@@ -323,6 +323,36 @@ impl RangeIndex for AnyIndex {
             AnyIndex::Fp(t) => RangeIndex::drain(t, timeout),
         }
     }
+
+    // MVCC: only PACTree is versioned; everything else keeps the trait's
+    // unsupported defaults.
+
+    fn snapshot(&self) -> Option<u64> {
+        match self {
+            AnyIndex::Pac(t) => RangeIndex::snapshot(t),
+            _ => None,
+        }
+    }
+
+    fn scan_at(&self, snap: u64, start: &[u8], count: usize) -> Option<usize> {
+        match self {
+            AnyIndex::Pac(t) => RangeIndex::scan_at(t, snap, start, count),
+            _ => None,
+        }
+    }
+
+    fn release_snapshot(&self, snap: u64) -> bool {
+        match self {
+            AnyIndex::Pac(t) => RangeIndex::release_snapshot(t, snap),
+            _ => false,
+        }
+    }
+
+    fn advance_version(&self) {
+        if let AnyIndex::Pac(t) = self {
+            RangeIndex::advance_version(t);
+        }
+    }
 }
 
 /// The current git commit (short hash, `-dirty` suffixed when the tree has

@@ -31,6 +31,23 @@ pub trait CheckableIndex: Send + Sync {
     fn scan_all(&self, cap: usize) -> Vec<(u64, u64)>;
     /// Finishes background work so a final fence closes the trace cleanly.
     fn quiesce(&self) {}
+
+    // -- MVCC hooks (only versioned indexes override; defaults = none) -----
+
+    /// Captures an O(1) point-in-time view and returns its id, or `None`
+    /// if the index has no multi-version support.
+    fn snapshot(&self) -> Option<u64> {
+        None
+    }
+    /// Full ordered scan (up to `cap` pairs) as of snapshot `snap`;
+    /// `None` if snapshots are unsupported or the id is unknown.
+    fn scan_at_all(&self, _snap: u64, _cap: usize) -> Option<Vec<(u64, u64)>> {
+        None
+    }
+    /// Releases a captured view; returns whether the id named a live one.
+    fn release_snapshot(&self, _snap: u64) -> bool {
+        false
+    }
 }
 
 /// The five indexes the checker knows how to drive.
@@ -153,7 +170,7 @@ fn decode_pairs(pairs: Vec<(Vec<u8>, u64)>) -> Vec<(u64, u64)> {
 
 /// Generates a `CheckableIndex` newtype over `Arc<$inner>`. The five
 /// adapters are identical except for key encoding, pool enumeration, the
-/// scan entry point, and an optional quiesce hook — exactly the four
+/// scan entry point, and optional quiesce/MVCC hooks — exactly the
 /// expressions the macro takes (each a `|binding| expr` evaluated with the
 /// binding bound to `&self.0`, or to the `u64` key for `key:`).
 macro_rules! checkable_adapter {
@@ -161,7 +178,11 @@ macro_rules! checkable_adapter {
      key: |$k:ident| $key:expr,
      pools: |$tp:ident| $pools:expr,
      scan: |$ts:ident, $cap:ident| $scan:expr
-     $(, quiesce: |$tq:ident| $quiesce:expr)? $(,)?) => {
+     $(, quiesce: |$tq:ident| $quiesce:expr)?
+     $(, snapshot: |$tn:ident| $snapshot:expr,
+        scan_at: |$ta:ident, $snap:ident, $acap:ident| $scan_at:expr,
+        release: |$tr:ident, $rsnap:ident| $release:expr)?
+     $(,)?) => {
         struct $name(Arc<$inner>);
 
         impl CheckableIndex for $name {
@@ -189,6 +210,18 @@ macro_rules! checkable_adapter {
                 let $tq = &self.0;
                 $quiesce
             })?
+            $(fn snapshot(&self) -> Option<u64> {
+                let $tn = &self.0;
+                $snapshot
+            }
+            fn scan_at_all(&self, snap: u64, cap: usize) -> Option<Vec<(u64, u64)>> {
+                let ($ta, $snap, $acap) = (&self.0, snap, cap);
+                $scan_at
+            }
+            fn release_snapshot(&self, snap: u64) -> bool {
+                let ($tr, $rsnap) = (&self.0, snap);
+                $release
+            })?
         }
     };
 }
@@ -200,6 +233,11 @@ checkable_adapter!(PacTreeAdapter, PacTree,
         t.scan(&[], cap).into_iter().map(|p| (p.key, p.value)).collect(),
     ),
     quiesce: |t| t.stop_updater(),
+    snapshot: |t| Some(t.snapshot()),
+    scan_at: |t, snap, cap| t.scan_at(snap, &[], cap).map(|ps| decode_pairs(
+        ps.into_iter().map(|p| (p.key, p.value)).collect(),
+    )),
+    release: |t, snap| t.release_snapshot(snap),
 );
 
 checkable_adapter!(PdlArtAdapter, PdlArt,

@@ -40,6 +40,9 @@ pub struct CampaignOpts {
     pub ops: usize,
     /// Size of every backing pool.
     pub pool_size: usize,
+    /// MVCC snapshot cadence in ops (0 = never); see
+    /// [`WorkloadSpec::snapshot_every`].
+    pub snapshot_every: usize,
     /// Windows with at most this many states are enumerated exhaustively.
     pub max_exhaustive: u128,
     /// Samples drawn from windows above the exhaustive cap.
@@ -62,6 +65,7 @@ impl CampaignOpts {
             keyspace: spec.keyspace,
             ops: spec.ops,
             pool_size: spec.pool_size,
+            snapshot_every: 0,
             max_exhaustive: 64,
             samples_per_window: 24,
             max_violations: 3,
@@ -75,6 +79,7 @@ impl CampaignOpts {
             keyspace: self.keyspace,
             ops: self.ops,
             pool_size: self.pool_size,
+            snapshot_every: self.snapshot_every,
         }
     }
 }

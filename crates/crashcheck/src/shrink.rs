@@ -65,6 +65,11 @@ impl Replay {
         s.push_str(&format!("keyspace {}\n", self.spec.keyspace));
         s.push_str(&format!("ops {}\n", self.spec.ops));
         s.push_str(&format!("pool_size {}\n", self.spec.pool_size));
+        // Emitted only when set, so version-chain-free replays stay
+        // readable by older checkers.
+        if self.spec.snapshot_every != 0 {
+            s.push_str(&format!("snapshot_every {}\n", self.spec.snapshot_every));
+        }
         s.push_str(&format!("fence_seq {}\n", self.fence_seq));
         for &(pool, line, opt) in &self.stale {
             s.push_str(&format!("stale {pool} {line} {opt}\n"));
@@ -87,6 +92,7 @@ impl Replay {
         let mut keyspace = None;
         let mut ops = None;
         let mut pool_size = None;
+        let mut snapshot_every = 0usize;
         let mut fence_seq = None;
         let mut stale = Vec::new();
         let mut violation = String::new();
@@ -103,6 +109,7 @@ impl Replay {
                 "keyspace" => keyspace = Some(num(rest)?),
                 "ops" => ops = Some(num(rest)? as usize),
                 "pool_size" => pool_size = Some(num(rest)? as usize),
+                "snapshot_every" => snapshot_every = num(rest)? as usize,
                 "fence_seq" => fence_seq = Some(num(rest)?),
                 "stale" => {
                     let parts: Vec<&str> = rest.split_whitespace().collect();
@@ -127,6 +134,7 @@ impl Replay {
                 keyspace: keyspace.ok_or_else(|| missing("keyspace"))?,
                 ops: ops.ok_or_else(|| missing("ops"))?,
                 pool_size: pool_size.ok_or_else(|| missing("pool_size"))?,
+                snapshot_every,
             },
             fence_seq: fence_seq.ok_or_else(|| missing("fence_seq"))?,
             stale,
@@ -183,13 +191,26 @@ mod tests {
                 keyspace: 48,
                 ops: 160,
                 pool_size: 2 << 20,
+                snapshot_every: 0,
             },
             fence_seq: 1234,
             stale: vec![(0, 4096, 0), (2, 64, 1)],
             violation: "torn-value: lookup(3) = None".to_string(),
         };
         let text = r.serialize();
+        assert!(!text.contains("snapshot_every"));
         assert_eq!(Replay::parse(&text).unwrap(), r);
+
+        let versioned = Replay {
+            spec: WorkloadSpec {
+                snapshot_every: 16,
+                ..r.spec
+            },
+            ..r
+        };
+        let text = versioned.serialize();
+        assert!(text.contains("snapshot_every 16\n"));
+        assert_eq!(Replay::parse(&text).unwrap(), versioned);
     }
 
     #[test]

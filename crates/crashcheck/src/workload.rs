@@ -29,6 +29,13 @@ pub struct WorkloadSpec {
     pub ops: usize,
     /// Size of every backing pool.
     pub pool_size: usize,
+    /// Take an MVCC snapshot every this many ops (0 = never). Snapshots
+    /// exercise the version chain: every mutation under a live snapshot
+    /// runs the freeze/COW machinery, so the enumerated crash states cover
+    /// crashes mid-freeze and mid-path-copy. Each snapshot's view is also
+    /// verified against a shadow model during the traced run. Only indexes
+    /// with snapshot support participate; others ignore the field.
+    pub snapshot_every: usize,
 }
 
 impl WorkloadSpec {
@@ -41,6 +48,7 @@ impl WorkloadSpec {
             keyspace: 48,
             ops: 160,
             pool_size: 2 << 20,
+            snapshot_every: 0,
         }
     }
 }
@@ -94,15 +102,47 @@ pub fn run_traced(kind: IndexKind, name: &str, spec: &WorkloadSpec) -> Result<Ru
 
     trace::start(1 << 20);
     let mut journal = Vec::with_capacity(ops.len());
+    // Version-chain mode: a shadow model per live snapshot, verified and
+    // released during the run (at most two live at once, so the chain gets
+    // both the freeze-under-one-snapshot and the multi-window prune paths).
+    let mut shadow: std::collections::BTreeMap<u64, u64> = std::collections::BTreeMap::new();
+    let mut live_snaps: Vec<(u64, std::collections::BTreeMap<u64, u64>)> = Vec::new();
+    let verify_release = |idx: &dyn crate::adapter::CheckableIndex,
+                          snap: u64,
+                          model: &std::collections::BTreeMap<u64, u64>| {
+        let got = idx
+            .scan_at_all(snap, usize::MAX >> 1)
+            .expect("snapshot vanished while live");
+        let want: Vec<(u64, u64)> = model.iter().map(|(&k, &v)| (k, v)).collect();
+        assert_eq!(
+            got, want,
+            "snapshot-isolation violation: snapshot {snap} diverged from its shadow model"
+        );
+        assert!(
+            idx.release_snapshot(snap),
+            "release of live snapshot {snap}"
+        );
+    };
     let mut run = || -> Result<()> {
-        for op in &ops {
+        for (i, op) in ops.iter().enumerate() {
+            if spec.snapshot_every != 0 && i % spec.snapshot_every == 0 {
+                if let Some(snap) = idx.snapshot() {
+                    live_snaps.push((snap, shadow.clone()));
+                    if live_snaps.len() > 2 {
+                        let (old, model) = live_snaps.remove(0);
+                        verify_release(idx.as_ref(), old, &model);
+                    }
+                }
+            }
             let start_seq = trace::current_seq();
             match *op {
                 Op::Insert { key, value } => {
                     idx.insert(key, value)?;
+                    shadow.insert(key, value);
                 }
                 Op::Remove { key } => {
                     idx.remove(key)?;
+                    shadow.remove(&key);
                 }
             }
             journal.push(JournalEntry {
@@ -114,6 +154,11 @@ pub fn run_traced(kind: IndexKind, name: &str, spec: &WorkloadSpec) -> Result<Ru
         Ok(())
     };
     let res = run();
+    // Verify and release the stragglers before quiescing so the final
+    // fence sees a tree with no pinned epochs.
+    for (snap, model) in live_snaps.drain(..) {
+        verify_release(idx.as_ref(), snap, &model);
+    }
     idx.quiesce();
     drop(idx);
     persist::fence();

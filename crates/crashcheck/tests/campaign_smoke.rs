@@ -41,6 +41,29 @@ fn pactree_campaign_is_clean() {
     assert_clean(IndexKind::PacTree, 1001);
 }
 
+/// The version-chain campaign: snapshots every 16 ops keep the freeze/COW
+/// machinery live across the whole workload, so the enumerated crash
+/// states land mid-freeze and mid-path-copy. The traced run also verifies
+/// every snapshot's view against a shadow model (a panic there fails the
+/// campaign before any crash state is tested), and the oracle then holds
+/// recovery to the same durable-linearizability bar as the plain campaign.
+#[test]
+fn pactree_version_chain_campaign_is_clean() {
+    let mut opts = smoke_opts(IndexKind::PacTree, 1004);
+    opts.snapshot_every = 16;
+    let summary = run_campaign(&opts).expect("campaign");
+    assert!(
+        summary.states >= 400,
+        "only {} states explored",
+        summary.states
+    );
+    assert!(
+        summary.violations.is_empty(),
+        "version-chain oracle violations: {}",
+        summary.violations[0].replay.violation
+    );
+}
+
 /// FastFair's unfenced cross-line shift is a known durable-linearizability
 /// gap (the RECIPE/Witcher class of finding): when the campaign flags it,
 /// the shrunk replay must reproduce the violation deterministically.

@@ -136,7 +136,10 @@ fn kind_of(req: &Request) -> obsv::OpKind {
         Request::Get { .. } => obsv::OpKind::Lookup,
         Request::Put { .. } => obsv::OpKind::Insert,
         Request::Delete { .. } => obsv::OpKind::Remove,
-        Request::Scan { .. } => obsv::OpKind::Scan,
+        Request::Scan { .. } | Request::ScanAt { .. } => obsv::OpKind::Scan,
+        // Snapshot lifecycle ops are O(1) control operations; account them
+        // with the cheap point-op bucket rather than a new histogram row.
+        Request::Snapshot | Request::ReleaseSnapshot { .. } => obsv::OpKind::Lookup,
     }
 }
 
@@ -147,6 +150,9 @@ fn op_detail(req: &Request) -> u32 {
         Request::Put { .. } => 1,
         Request::Delete { .. } => 2,
         Request::Scan { .. } => 3,
+        Request::Snapshot => 4,
+        Request::ScanAt { .. } => 5,
+        Request::ReleaseSnapshot { .. } => 6,
     }
 }
 
@@ -161,6 +167,17 @@ fn execute<I: RangeIndex>(index: &I, req: &Request) -> Response {
         Request::Scan { start, count } => {
             Response::ScanCount(index.scan(start, *count as usize) as u32)
         }
+        Request::Snapshot => match index.snapshot() {
+            Some(id) => Response::Snapshot(id),
+            None => Response::UnknownSnapshot,
+        },
+        Request::ScanAt { snap, start, count } => {
+            match index.scan_at(*snap, start, *count as usize) {
+                Some(n) => Response::ScanCount(n as u32),
+                None => Response::UnknownSnapshot,
+            }
+        }
+        Request::ReleaseSnapshot { snap } => Response::Released(index.release_snapshot(*snap)),
     }
 }
 
@@ -351,6 +368,10 @@ impl<I: RangeIndex + Clone + 'static> PacService<I> {
     /// A request carrying a sampled v2 trace context keeps it (the server's
     /// spans parent to the client's root); otherwise — v1 frames, untraced
     /// v2 clients — the service stamps its own, exactly like local submits.
+    ///
+    /// The reply is encoded at the *request's* wire version, so old
+    /// clients keep decoding against a v3 server: an old request cannot
+    /// name a snapshot operation, so its reply never needs a v3 status.
     pub fn handle_frame(&self, bytes: &[u8]) -> Vec<u8> {
         let reply = match crate::wire::decode_frame(bytes) {
             Ok((crate::wire::Frame::Request { id, trace, reqs }, _)) => {
@@ -376,8 +397,14 @@ impl<I: RangeIndex + Clone + 'static> PacService<I> {
                 resps: vec![Response::Malformed],
             },
         };
+        // Byte 2 is the already-validated version of a decoded frame; for
+        // undecodable buffers fall back to the build's version.
+        let version = match bytes.get(2) {
+            Some(&v) if (crate::wire::MIN_VERSION..=crate::wire::VERSION).contains(&v) => v,
+            _ => crate::wire::VERSION,
+        };
         let mut out = Vec::new();
-        crate::wire::encode_frame(&reply, &mut out);
+        crate::wire::encode_frame_versioned(&reply, version, &mut out);
         out
     }
 
@@ -545,6 +572,10 @@ fn worker_loop<I: RangeIndex>(
                 job.done.complete(job.slot, resp);
             }
         });
+        // Batch boundary: advance the index's version counter so snapshot
+        // versions align with batch edges (a snapshot taken between two
+        // batches never splits either). No-op for unversioned indexes.
+        index.advance_version();
     }
 }
 

@@ -5,7 +5,7 @@
 //! | offset | size | field                                              |
 //! |--------|------|----------------------------------------------------|
 //! | 0      | 2    | magic `0xAC51` (little-endian)                     |
-//! | 2      | 1    | protocol version (1 or 2, see [`VERSION`])         |
+//! | 2      | 1    | protocol version (1, 2, or 3, see [`VERSION`])     |
 //! | 3      | 1    | frame kind (1 request, 2 reply, 3 ping, 4 pong,    |
 //! |        |      | 5 stats, 6 stats-reply — 5/6 are v2-only)          |
 //! | 4      | 8    | correlation id (echoed verbatim in the reply)      |
@@ -38,6 +38,27 @@
 //! retained-trace digest + flight-recorder tail) without stopping the
 //! server. Stats kinds inside a v1 frame are rejected as malformed.
 //!
+//! ## Version 3: snapshot operations
+//!
+//! v3 adds three operation tags to the request payload (and two status
+//! tags to the reply payload) for PACTree's multi-version reads:
+//!
+//! * `Snapshot` (tag 5) — capture an O(1) point-in-time view; answered
+//!   with `Snapshot(id)` (status tag 11);
+//! * `ScanAt` (tag 6: `snap: u64`, key, `count: u32`) — a range scan
+//!   served from the captured view, isolated from concurrent writers;
+//!   answered with `ScanCount` like a plain scan, or `UnknownSnapshot`
+//!   (status tag 13) if the id was never issued or already released;
+//! * `ReleaseSnapshot` (tag 7: `snap: u64`) — drop the view so its pinned
+//!   epochs and frozen nodes can be reclaimed; answered with
+//!   `Released(bool)` (status tag 12).
+//!
+//! The framing is unchanged, so the compatibility story mirrors v2's: v1
+//! and v2 frames decode exactly as before (none of them can carry the new
+//! tags), a v3 server answers old clients with old-version replies, and
+//! encoding a snapshot operation at version < 3 panics rather than
+//! emitting bytes an old decoder would misread.
+//!
 //! The same bytes travel over TCP and through the in-process transport, so
 //! benchmarks can isolate protocol cost (encode + checksum + decode) from
 //! network cost by switching transports.
@@ -45,7 +66,7 @@
 use obsv::trace::TraceCtx;
 
 /// Protocol version this build speaks (and emits by default).
-pub const VERSION: u8 = 2;
+pub const VERSION: u8 = 3;
 
 /// Oldest protocol version the decoder still accepts.
 pub const MIN_VERSION: u8 = 1;
@@ -74,15 +95,36 @@ pub enum Request {
     Delete { key: Vec<u8> },
     /// Range scan of up to `count` pairs from `start`.
     Scan { start: Vec<u8>, count: u32 },
+    /// Capture an O(1) point-in-time view of the index (v3 only).
+    Snapshot,
+    /// Range scan served from a captured view instead of the live index
+    /// (v3 only): snapshot-isolated from concurrent writers.
+    ScanAt {
+        snap: u64,
+        start: Vec<u8>,
+        count: u32,
+    },
+    /// Release a captured view so its resources can be reclaimed (v3 only).
+    ReleaseSnapshot { snap: u64 },
 }
 
 impl Request {
-    /// The key the request routes by (scan routes by its start key).
+    /// The key the request routes by (scans route by their start key;
+    /// snapshot lifecycle ops carry no key and route to a fixed shard).
     pub fn key(&self) -> &[u8] {
         match self {
             Request::Get { key } | Request::Put { key, .. } | Request::Delete { key } => key,
-            Request::Scan { start, .. } => start,
+            Request::Scan { start, .. } | Request::ScanAt { start, .. } => start,
+            Request::Snapshot | Request::ReleaseSnapshot { .. } => &[],
         }
+    }
+
+    /// Whether this operation exists only in wire v3.
+    pub fn requires_v3(&self) -> bool {
+        matches!(
+            self,
+            Request::Snapshot | Request::ScanAt { .. } | Request::ReleaseSnapshot { .. }
+        )
     }
 }
 
@@ -109,6 +151,15 @@ pub enum Response {
     Aborted,
     /// The server could not decode the operation.
     Malformed,
+    /// A captured view's id, answering [`Request::Snapshot`] (v3 only).
+    Snapshot(u64),
+    /// Whether a [`Request::ReleaseSnapshot`] found and released its view
+    /// (v3 only).
+    Released(bool),
+    /// A [`Request::ScanAt`] named a snapshot id that was never issued or
+    /// was already released (v3 only). The operation executed; there was
+    /// simply no view to serve it from.
+    UnknownSnapshot,
 }
 
 impl Response {
@@ -120,6 +171,14 @@ impl Response {
                 | Response::DeadlineExceeded
                 | Response::Aborted
                 | Response::Malformed
+        )
+    }
+
+    /// Whether this status exists only in wire v3.
+    pub fn requires_v3(&self) -> bool {
+        matches!(
+            self,
+            Response::Snapshot(_) | Response::Released(_) | Response::UnknownSnapshot
         )
     }
 }
@@ -332,6 +391,17 @@ fn encode_payload(frame: &Frame, version: u8, out: &mut Vec<u8>) {
                         put_key(out, start);
                         put_u32(out, *count);
                     }
+                    Request::Snapshot => out.push(5),
+                    Request::ScanAt { snap, start, count } => {
+                        out.push(6);
+                        put_u64(out, *snap);
+                        put_key(out, start);
+                        put_u32(out, *count);
+                    }
+                    Request::ReleaseSnapshot { snap } => {
+                        out.push(7);
+                        put_u64(out, *snap);
+                    }
                 }
             }
         }
@@ -363,6 +433,15 @@ fn encode_payload(frame: &Frame, version: u8, out: &mut Vec<u8>) {
                     Response::DeadlineExceeded => out.push(8),
                     Response::Malformed => out.push(9),
                     Response::Aborted => out.push(10),
+                    Response::Snapshot(id) => {
+                        out.push(11);
+                        put_u64(out, *id);
+                    }
+                    Response::Released(found) => {
+                        out.push(12);
+                        out.push(u8::from(*found));
+                    }
+                    Response::UnknownSnapshot => out.push(13),
                 }
             }
         }
@@ -410,6 +489,15 @@ pub fn encode_frame_versioned(frame: &Frame, version: u8, out: &mut Vec<u8>) -> 
     assert!(
         version >= 2 || !matches!(frame, Frame::Stats { .. } | Frame::StatsReply { .. }),
         "stats frames are not representable in wire v1"
+    );
+    let has_v3_op = match frame {
+        Frame::Request { reqs, .. } => reqs.iter().any(Request::requires_v3),
+        Frame::Reply { resps, .. } => resps.iter().any(Response::requires_v3),
+        _ => false,
+    };
+    assert!(
+        version >= 3 || !has_v3_op,
+        "snapshot operations are not representable below wire v3"
     );
     let start = out.len();
     out.extend_from_slice(&MAGIC.to_le_bytes());
@@ -482,6 +570,14 @@ fn decode_payload(version: u8, kind: u8, id: u64, payload: &[u8]) -> Result<Fram
                         start: r.key()?,
                         count: r.u32()?,
                     },
+                    5 if version >= 3 => Request::Snapshot,
+                    6 if version >= 3 => Request::ScanAt {
+                        snap: r.u64()?,
+                        start: r.key()?,
+                        count: r.u32()?,
+                    },
+                    7 if version >= 3 => Request::ReleaseSnapshot { snap: r.u64()? },
+                    5..=7 => return Err(WireError::Malformed("snapshot ops require wire v3")),
                     _ => return Err(WireError::Malformed("unknown request op tag")),
                 };
                 reqs.push(req);
@@ -506,6 +602,16 @@ fn decode_payload(version: u8, kind: u8, id: u64, payload: &[u8]) -> Result<Fram
                     8 => Response::DeadlineExceeded,
                     9 => Response::Malformed,
                     10 => Response::Aborted,
+                    11 if version >= 3 => Response::Snapshot(r.u64()?),
+                    12 if version >= 3 => match r.u8()? {
+                        0 => Response::Released(false),
+                        1 => Response::Released(true),
+                        _ => return Err(WireError::Malformed("released flag is not 0/1")),
+                    },
+                    13 if version >= 3 => Response::UnknownSnapshot,
+                    11..=13 => {
+                        return Err(WireError::Malformed("snapshot statuses require wire v3"))
+                    }
                     _ => return Err(WireError::Malformed("unknown response status tag")),
                 };
                 resps.push(resp);
@@ -786,6 +892,127 @@ mod tests {
         assert_eq!(
             decode_frame(&buf),
             Err(WireError::Malformed("stats frames require wire v2"))
+        );
+    }
+
+    #[test]
+    fn roundtrip_snapshot_ops() {
+        roundtrip(Frame::Request {
+            id: 21,
+            trace: TraceCtx::UNTRACED,
+            reqs: vec![
+                Request::Snapshot,
+                Request::ScanAt {
+                    snap: 7,
+                    start: b"m".to_vec(),
+                    count: 64,
+                },
+                Request::ReleaseSnapshot { snap: 7 },
+            ],
+        });
+        roundtrip(Frame::Reply {
+            id: 21,
+            resps: vec![
+                Response::Snapshot(7),
+                Response::ScanCount(64),
+                Response::UnknownSnapshot,
+                Response::Released(true),
+                Response::Released(false),
+            ],
+        });
+    }
+
+    #[test]
+    fn v1_and_v2_frames_decode_on_a_v3_build() {
+        // A v2 client's request (trace block, classic ops) and a v1
+        // client's request must both decode bit-for-bit as before.
+        let frame = Frame::Request {
+            id: 31,
+            trace: TraceCtx {
+                trace_id: 9,
+                parent_span: 4,
+                sampled: true,
+            },
+            reqs: vec![
+                Request::Get { key: b"g".to_vec() },
+                Request::Put {
+                    key: b"p".to_vec(),
+                    value: 2,
+                },
+                Request::Scan {
+                    start: b"s".to_vec(),
+                    count: 10,
+                },
+            ],
+        };
+        for version in [1u8, 2] {
+            let mut buf = Vec::new();
+            let n = encode_frame_versioned(&frame, version, &mut buf);
+            assert_eq!(buf[2], version);
+            let (decoded, consumed) = decode_frame(&buf).expect("old frame decodes");
+            assert_eq!(consumed, n);
+            match decoded {
+                Frame::Request { id, trace, reqs } => {
+                    assert_eq!(id, 31);
+                    if version >= 2 {
+                        assert!(trace.sampled);
+                    } else {
+                        assert_eq!(trace, TraceCtx::UNTRACED);
+                    }
+                    assert_eq!(reqs.len(), 3);
+                }
+                other => panic!("expected request, got {other:?}"),
+            }
+        }
+        // Replies an old server could emit still decode too.
+        let reply = Frame::Reply {
+            id: 31,
+            resps: vec![Response::Value(Some(2)), Response::Ok],
+        };
+        for version in [1u8, 2] {
+            let mut buf = Vec::new();
+            encode_frame_versioned(&reply, version, &mut buf);
+            assert_eq!(decode_frame(&buf).unwrap().0, reply);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not representable below wire v3")]
+    fn v2_cannot_encode_snapshot_ops() {
+        let mut buf = Vec::new();
+        encode_frame_versioned(
+            &Frame::Request {
+                id: 1,
+                trace: TraceCtx::UNTRACED,
+                reqs: vec![Request::Snapshot],
+            },
+            2,
+            &mut buf,
+        );
+    }
+
+    #[test]
+    fn snapshot_tag_inside_v2_frame_is_malformed() {
+        // Hand-build a v2 request whose payload smuggles op tag 5
+        // (snapshot): structurally impossible below v3.
+        let mut payload = Vec::new();
+        put_u64(&mut payload, 0); // trace id
+        put_u32(&mut payload, 0); // parent span
+        payload.push(0); // flags
+        put_u32(&mut payload, 1); // count
+        payload.push(5); // op tag: snapshot
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC.to_le_bytes());
+        buf.push(2); // version 2
+        buf.push(1); // kind: request
+        buf.extend_from_slice(&9u64.to_le_bytes());
+        buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        let crc = crc32(&[&buf[..16], &payload]);
+        buf.extend_from_slice(&crc.to_le_bytes());
+        buf.extend_from_slice(&payload);
+        assert_eq!(
+            decode_frame(&buf),
+            Err(WireError::Malformed("snapshot ops require wire v3"))
         );
     }
 

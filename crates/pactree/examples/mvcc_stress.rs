@@ -1,0 +1,75 @@
+//! Race-hunting harness for the MVCC subsystem: replays the
+//! snapshot-isolation pattern in a tight loop (sequential ops + async
+//! updater) and fails loudly on the first live-view or snapshot-view
+//! divergence. Not a benchmark; run manually when chasing heisenbugs.
+
+use std::collections::BTreeMap;
+
+use pactree::{PacTree, PacTreeConfig};
+
+fn main() {
+    let iters: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(300);
+    let mut x = 0x243f6a8885a308d3u64;
+    let mut rnd = move || {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        x
+    };
+    for it in 0..iters {
+        let t = PacTree::create(PacTreeConfig::named(&format!("mvstress-{it}"))).unwrap();
+        let mut model: BTreeMap<Vec<u8>, u64> = BTreeMap::new();
+        let pre = 100 + (rnd() % 200) as usize;
+        let post = 100 + (rnd() % 200) as usize;
+        for _ in 0..pre {
+            let klen = (rnd() % 24) as usize;
+            let mut k = vec![0u8; klen];
+            for b in &mut k {
+                *b = (rnd() % 4) as u8; // tiny alphabet: deep ART paths
+            }
+            let v = rnd() | 1;
+            t.insert(&k, v).unwrap();
+            model.insert(k, v);
+        }
+        let s = t.snapshot();
+        let frozen = model.clone();
+        for _ in 0..post {
+            let klen = (rnd() % 24) as usize;
+            let mut k = vec![0u8; klen];
+            for b in &mut k {
+                *b = (rnd() % 4) as u8;
+            }
+            if rnd() % 3 == 0 {
+                let old = t.remove(&k).unwrap();
+                assert_eq!(old, model.remove(&k), "iter {it}: remove old mismatch");
+            } else {
+                let v = rnd() | 1;
+                let old = t.insert(&k, v).unwrap();
+                assert_eq!(old, model.insert(k, v), "iter {it}: insert old mismatch");
+            }
+        }
+        let got: BTreeMap<Vec<u8>, u64> = t
+            .scan_at(s, b"", usize::MAX >> 1)
+            .unwrap()
+            .into_iter()
+            .map(|p| (p.key, p.value))
+            .collect();
+        assert_eq!(got, frozen, "iter {it}: snapshot view diverged");
+        let live: BTreeMap<Vec<u8>, u64> = t
+            .scan(b"", usize::MAX >> 1)
+            .into_iter()
+            .map(|p| (p.key, p.value))
+            .collect();
+        assert_eq!(live, model, "iter {it}: live view diverged");
+        assert!(t.release_snapshot(s));
+        t.check_invariants();
+        t.destroy();
+        if it % 50 == 0 {
+            eprintln!("iter {it} ok");
+        }
+    }
+    eprintln!("done: {iters} iterations clean");
+}

@@ -84,6 +84,15 @@ pub struct DataNode {
     pub fingerprints: [AtomicU8; NODE_SLOTS],
     /// Permutation array: slot indices in sorted key order; *not* persisted.
     perm: [AtomicU8; NODE_SLOTS],
+    /// MVCC era stamp: the version-counter value current when this node's
+    /// live state last changed under a live snapshot; *never* persisted
+    /// (snapshots are process-lifetime objects — see `mvcc_effective_ver`
+    /// for why stale post-crash values are harmless).
+    mvcc_ver: AtomicU64,
+    /// Process generation that wrote `mvcc_ver` (see
+    /// [`crate::lock::global_generation`]); guards against stale stamps
+    /// surviving a crash via adjacent-cache-line flushes.
+    mvcc_gen: AtomicU64,
     /// Key-value slots.
     entries: [[AtomicU64; ENTRY_WORDS]; NODE_SLOTS],
 }
@@ -399,6 +408,46 @@ impl DataNode {
             persist::persist_obj_fenced(&self.perm_meta);
         }
         keyed.into_iter().map(|(_, s)| s).collect()
+    }
+
+    // -- MVCC era stamps (see `crate::mvcc`) --------------------------------
+
+    /// The version era this node's live state has been current since, or 0
+    /// ("since the beginning") when the stamp was written by a previous
+    /// process incarnation. The fields are never deliberately persisted, but
+    /// a crash can leak them to media via adjacent-line flushes; the
+    /// generation check makes any such leak read as 0, which is correct
+    /// because snapshots never survive the process that created them.
+    #[inline]
+    pub fn mvcc_effective_ver(&self) -> u64 {
+        if self.mvcc_gen.load(Ordering::Acquire) != u64::from(crate::lock::global_generation()) {
+            return 0;
+        }
+        self.mvcc_ver.load(Ordering::Acquire)
+    }
+
+    /// Stamps the node as "live state current since era `ver`". Requires the
+    /// node's write lock (or construction-time exclusivity).
+    #[inline]
+    pub fn mvcc_stamp(&self, ver: u64) {
+        self.mvcc_gen.store(
+            u64::from(crate::lock::global_generation()),
+            Ordering::Release,
+        );
+        self.mvcc_ver.store(ver, Ordering::Release);
+    }
+
+    /// Live `(key, value)` pairs in sorted key order, fully materialized
+    /// (MVCC freeze capture; the caller holds the lock or is inside a
+    /// validated seqlock read).
+    pub fn sorted_pairs_owned(&self) -> Vec<(Vec<u8>, u64)> {
+        self.sorted_pairs_raw()
+            .into_iter()
+            .map(|(k, slot)| {
+                let v = self.value_at(slot);
+                (k, v)
+            })
+            .collect()
     }
 
     /// Live `(key, slot)` pairs in sorted order (split/merge and recovery

@@ -35,6 +35,7 @@
 pub mod data;
 pub mod key;
 pub mod lock;
+pub mod mvcc;
 pub mod search;
 pub mod simd;
 pub mod smo;

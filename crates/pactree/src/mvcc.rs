@@ -1,0 +1,446 @@
+//! Multi-version state for PACTree: O(1) snapshots and snapshot-isolated
+//! reads over the data layer (DESIGN.md §13).
+//!
+//! # Design
+//!
+//! A tree-wide **version counter** advances on every snapshot registration
+//! (and at pacsrv batch boundaries via
+//! [`PacTree::advance_version`](crate::PacTree::advance_version)). Every
+//! data node carries an *era stamp* (`DataNode::mvcc_ver`): the counter
+//! value current when its live state last changed **while a snapshot was
+//! live**. A writer about to mutate a node under its write lock calls
+//! [`MvccState::prepare_mutation`]:
+//!
+//! * **no snapshot live (fast path)** — one atomic load and a branch;
+//!   nothing is stamped, nothing is copied;
+//! * **a snapshot might still need the node's current state** (its version
+//!   ≥ the node's era stamp) — the state is **frozen**: pairs, `next` link
+//!   and the deleted flag are materialized into a DRAM-side [`FrozenNode`]
+//!   pushed onto the node's *version chain*, and the node is stamped with
+//!   the current era. Each node freezes at most once per snapshot era, so
+//!   the copy cost amortizes to one node capture per mutated node per
+//!   snapshot — `snapshot()` itself copies nothing and is O(1).
+//!
+//! Reads at version `v` resolve a node with [`MvccState::resolve_at`]: if
+//! the node's era stamp ≤ `v` the *live* state is the answer (read under
+//! the node's seqlock); otherwise the chain holds the newest frozen state
+//! with version ≤ `v`. The frozen `next` pointers of the states resolved at
+//! `v` reconstruct exactly the data-node list as it existed at `v`, because
+//! every list mutation happens under the owning node's write lock *after*
+//! the freeze captured the pre-mutation link.
+//!
+//! Frozen chains live in DRAM, keyed by the node's raw `PmPtr` — they hold
+//! owned key bytes and no NVM host pointers, so crash consistency is
+//! trivial: snapshots (and their chains) simply die with the process, and
+//! the durable state is exactly the live tree, which the existing recovery
+//! path already proves durably linearizable. The per-node era stamps are
+//! never flushed; a stale stamp leaking to media through an adjacent-line
+//! flush is neutralized by the process-generation check in
+//! `DataNode::mvcc_effective_ver`.
+//!
+//! # The registration race
+//!
+//! Writers decide "freeze or not" from two loads (`version`, then
+//! `max_snap`); registration stores a *pending* marker (`u64::MAX`) into
+//! `max_snap` before bumping the counter and finalizing. With all four
+//! accesses SeqCst, a writer that misses a registering snapshot in
+//! `max_snap` must have loaded the counter before the snapshot's bump — so
+//! its mutation stamps an era ≤ the snapshot's version and is *included*
+//! in the snapshot, which is the legal outcome for an operation concurrent
+//! with `snapshot()`. A writer that starts after `snapshot()` returns
+//! always sees the registered (or pending) `max_snap` and freezes first,
+//! so acked-then-snapshotted state can never be lost.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+use pmem::epoch::OwnedPin;
+
+use crate::data::{node_ref, DataNode};
+
+/// One captured (immutable) data-node state.
+#[derive(Debug)]
+pub struct FrozenNode {
+    /// Era this state became current (validity starts here; it ends where
+    /// the next-newer chain entry or the live stamp begins).
+    pub version: u64,
+    /// Right sibling at capture time (raw `PmPtr`), 0 at the tail.
+    pub next: u64,
+    /// Whether the node was already logically deleted at capture time.
+    pub deleted: bool,
+    /// Live pairs at capture time, sorted by key, fully owned.
+    pub pairs: Vec<(Vec<u8>, u64)>,
+}
+
+/// A registered snapshot.
+struct SnapEntry {
+    id: u64,
+    version: u64,
+    /// Search-layer root at registration (navigation hint for `scan_at`).
+    root_raw: u64,
+    /// Epoch pin keeping every node the snapshot may reach allocated.
+    _pin: OwnedPin,
+}
+
+/// A node state resolved at some snapshot version.
+#[derive(Debug)]
+pub struct NodeStateAt {
+    pub next: u64,
+    pub deleted: bool,
+    pub pairs: Vec<(Vec<u8>, u64)>,
+}
+
+/// A resolution that exposes *sharing*: when two versions resolve the same
+/// node to the same state — the same frozen capture, or both to the live
+/// state — a structural diff can step over the whole node without touching
+/// its pairs.
+#[derive(Debug)]
+pub enum Resolved {
+    Live(NodeStateAt),
+    Frozen(Arc<FrozenNode>),
+}
+
+impl Resolved {
+    pub fn next(&self) -> u64 {
+        match self {
+            Resolved::Live(s) => s.next,
+            Resolved::Frozen(f) => f.next,
+        }
+    }
+
+    pub fn deleted(&self) -> bool {
+        match self {
+            Resolved::Live(s) => s.deleted,
+            Resolved::Frozen(f) => f.deleted,
+        }
+    }
+
+    pub fn pairs(&self) -> &[(Vec<u8>, u64)] {
+        match self {
+            Resolved::Live(s) => &s.pairs,
+            Resolved::Frozen(f) => &f.pairs,
+        }
+    }
+
+    /// Whether two aligned resolutions (same node, one per diffed version)
+    /// denote the same state. `Frozen`/`Frozen` compares capture identity.
+    /// `Live`/`Live` is sound because both versions are held live by the
+    /// diff: any writer mutating the node between the two seqlock reads
+    /// must freeze-and-stamp it past both versions (`max_snap` covers
+    /// them), which would have turned the second resolution `Frozen`.
+    pub fn same_state(&self, other: &Resolved) -> bool {
+        match (self, other) {
+            (Resolved::Live(_), Resolved::Live(_)) => true,
+            (Resolved::Frozen(a), Resolved::Frozen(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+}
+
+/// One entry of a [`diff`](crate::PacTree::diff) between two snapshots.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DiffEntry {
+    /// Present at `v2` but not `v1`.
+    Added(Vec<u8>, u64),
+    /// Present at `v1` but not `v2`.
+    Removed(Vec<u8>, u64),
+    /// Present at both with different values (`old`, `new`).
+    Changed(Vec<u8>, u64, u64),
+}
+
+/// The versioning subsystem state, shared by one tree.
+pub struct MvccState {
+    /// Monotone version counter; the *next* era. Starts at 1 so era 0 can
+    /// mean "since the beginning".
+    version: AtomicU64,
+    /// Highest live snapshot version; 0 = none, `u64::MAX` = registration
+    /// pending (writers freeze conservatively).
+    max_snap: AtomicU64,
+    /// Live snapshots.
+    snaps: Mutex<Vec<SnapEntry>>,
+    /// Frozen version chains, newest first, keyed by node raw pointer.
+    chains: RwLock<HashMap<u64, Vec<Arc<FrozenNode>>>>,
+    next_id: AtomicU64,
+    /// Total data-node states frozen (COW captures) so far.
+    frozen_total: AtomicU64,
+}
+
+impl Default for MvccState {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MvccState {
+    pub fn new() -> Self {
+        MvccState {
+            version: AtomicU64::new(1),
+            max_snap: AtomicU64::new(0),
+            snaps: Mutex::new(Vec::new()),
+            chains: RwLock::new(HashMap::new()),
+            next_id: AtomicU64::new(0),
+            frozen_total: AtomicU64::new(0),
+        }
+    }
+
+    /// Current era (diagnostics).
+    pub fn current_version(&self) -> u64 {
+        self.version.load(Ordering::SeqCst)
+    }
+
+    /// Advances the era counter (pacsrv stamps batch boundaries with this).
+    pub fn advance_version(&self) -> u64 {
+        self.version.fetch_add(1, Ordering::SeqCst) + 1
+    }
+
+    /// Number of live snapshots.
+    pub fn live_snapshots(&self) -> usize {
+        self.snaps.lock().len()
+    }
+
+    /// Total frozen data-node captures so far.
+    pub fn frozen_nodes(&self) -> u64 {
+        self.frozen_total.load(Ordering::Relaxed)
+    }
+
+    /// Frozen chain entries currently retained.
+    pub fn chain_entries(&self) -> usize {
+        self.chains.read().values().map(|c| c.len()).sum()
+    }
+
+    /// Registers a snapshot: O(1) — no tree walk, no copying. Returns
+    /// `(id, version)`.
+    ///
+    /// The pending-marker protocol (module docs) closes the race against
+    /// concurrent writers deciding whether to freeze.
+    pub fn register(&self, root_raw: u64, pin: OwnedPin) -> (u64, u64) {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut snaps = self.snaps.lock();
+        self.max_snap.store(u64::MAX, Ordering::SeqCst);
+        let version = self.version.fetch_add(1, Ordering::SeqCst);
+        snaps.push(SnapEntry {
+            id,
+            version,
+            root_raw,
+            _pin: pin,
+        });
+        let ms = snaps.iter().map(|s| s.version).max().unwrap_or(0);
+        self.max_snap.store(ms, Ordering::SeqCst);
+        (id, version)
+    }
+
+    /// Releases a snapshot by id; prunes chain entries no remaining
+    /// snapshot can reach. Returns false for an unknown id.
+    pub fn release(&self, id: u64) -> bool {
+        let live: Vec<u64>;
+        {
+            let mut snaps = self.snaps.lock();
+            let before = snaps.len();
+            snaps.retain(|s| s.id != id);
+            if snaps.len() == before {
+                return false;
+            }
+            let ms = snaps.iter().map(|s| s.version).max().unwrap_or(0);
+            self.max_snap.store(ms, Ordering::SeqCst);
+            live = snaps.iter().map(|s| s.version).collect();
+            // The entry's OwnedPin drops here, releasing the epoch.
+        }
+        let mut chains = self.chains.write();
+        if live.is_empty() {
+            chains.clear();
+        } else {
+            chains.retain(|_, chain| {
+                prune_chain(chain, &live);
+                !chain.is_empty()
+            });
+        }
+        true
+    }
+
+    /// Looks up a live snapshot: `(version, captured search-layer root)`.
+    pub fn snap_info(&self, id: u64) -> Option<(u64, u64)> {
+        self.snaps
+            .lock()
+            .iter()
+            .find(|s| s.id == id)
+            .map(|s| (s.version, s.root_raw))
+    }
+
+    /// Called by a writer holding `node`'s write lock, *before its first
+    /// visible mutation*. Freezes the node's current state if any live
+    /// snapshot can still reach it, then stamps the node with the current
+    /// era. The load order (counter first, then `max_snap`) is what makes
+    /// skipping safe — see the module docs.
+    #[inline]
+    pub fn prepare_mutation(&self, raw: u64, node: &DataNode) {
+        let cur = self.version.load(Ordering::SeqCst);
+        let ms = self.max_snap.load(Ordering::SeqCst);
+        if ms == 0 {
+            return;
+        }
+        let nv = node.mvcc_effective_ver();
+        if ms < nv {
+            return;
+        }
+        self.freeze(raw, node, nv, cur);
+    }
+
+    /// Cold path of [`prepare_mutation`]: capture + stamp.
+    fn freeze(&self, raw: u64, node: &DataNode, nv: u64, cur: u64) {
+        let frozen = Arc::new(FrozenNode {
+            version: nv,
+            next: node.next.load(Ordering::Acquire),
+            deleted: node.deleted.load(Ordering::Acquire) != 0,
+            pairs: node.sorted_pairs_owned(),
+        });
+        {
+            let mut chains = self.chains.write();
+            let chain = chains.entry(raw).or_default();
+            chain.insert(0, frozen);
+            let live: Vec<u64> = self.snaps.lock().iter().map(|s| s.version).collect();
+            if !live.is_empty() {
+                prune_chain(chain, &live);
+            }
+        }
+        self.frozen_total.fetch_add(1, Ordering::Relaxed);
+        // Stamp *after* the chain entry is visible: a reader that observes
+        // the new era (and therefore goes to the chain) is ordered after
+        // the chain insert via the node's seqlock release/acquire.
+        node.mvcc_stamp(cur);
+    }
+
+    /// Drops the chain of a node whose memory is about to be freed (merge
+    /// victims). Must run inside the same deferred-free closure as the
+    /// free itself so a reused raw can never alias a stale chain.
+    pub fn forget_node(&self, raw: u64) {
+        self.chains.write().remove(&raw);
+    }
+
+    /// Resolves `raw` at snapshot version `v`, exposing state identity for
+    /// structural-sharing checks. `None` means the node did not exist at
+    /// `v` (born in a later era).
+    ///
+    /// The caller must hold the snapshot for `v` live (its chain entries
+    /// are then pin-protected from pruning) and be epoch-pinned.
+    pub fn resolve_shared(&self, raw: u64, v: u64) -> Option<Resolved> {
+        // SAFETY: caller is epoch-pinned and the raw came from a live walk
+        // or a frozen next pointer whose validity the snapshot pin holds.
+        let node = unsafe { node_ref(raw) };
+        loop {
+            let Some(token) = node.lock.read_begin() else {
+                std::hint::spin_loop();
+                continue;
+            };
+            let nv = node.mvcc_effective_ver();
+            if nv <= v {
+                // Live state is the state at `v`: read it under the seqlock.
+                let pairs = node.sorted_pairs_owned();
+                let next = node.next.load(Ordering::Acquire);
+                let deleted = node.deleted.load(Ordering::Acquire) != 0;
+                if node.lock.read_validate(token) {
+                    return Some(Resolved::Live(NodeStateAt {
+                        next,
+                        deleted,
+                        pairs,
+                    }));
+                }
+                continue;
+            }
+            // Era is newer than `v`: the chain has every state back to the
+            // one visible at `v` (each mutation under a live snapshot froze
+            // its predecessor). Validate the era read before trusting it.
+            if !node.lock.read_validate(token) {
+                continue;
+            }
+            let chains = self.chains.read();
+            return chains
+                .get(&raw)
+                .and_then(|chain| chain.iter().find(|f| f.version <= v))
+                .cloned()
+                .map(Resolved::Frozen);
+        }
+    }
+
+    /// Resolves `raw` at snapshot version `v` into an owned state (see
+    /// [`resolve_shared`](Self::resolve_shared)).
+    pub fn resolve_at(&self, raw: u64, v: u64) -> Option<NodeStateAt> {
+        self.resolve_shared(raw, v).map(|r| match r {
+            Resolved::Live(s) => s,
+            Resolved::Frozen(f) => NodeStateAt {
+                next: f.next,
+                deleted: f.deleted,
+                pairs: f.pairs.clone(),
+            },
+        })
+    }
+}
+
+/// Keeps only chain entries some live snapshot can still resolve. Entry `i`
+/// (newest first) is visible to versions in `[chain[i].version,
+/// chain[i-1].version)`; the newest entry's window is open-ended here
+/// (conservative — its true end is the node's live era stamp).
+fn prune_chain(chain: &mut Vec<Arc<FrozenNode>>, live: &[u64]) {
+    let mut upper = u64::MAX;
+    chain.retain(|f| {
+        let needed = live.iter().any(|&v| f.version <= v && v < upper);
+        upper = f.version;
+        needed
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frozen(version: u64) -> Arc<FrozenNode> {
+        Arc::new(FrozenNode {
+            version,
+            next: 0,
+            deleted: false,
+            pairs: Vec::new(),
+        })
+    }
+
+    #[test]
+    fn prune_keeps_only_reachable_windows() {
+        // Chain (newest first): states valid from eras 30, 20, 10.
+        let mut chain = vec![frozen(30), frozen(20), frozen(10)];
+        // Snapshots at 25 and 12: windows [20,30) and [10,20) are needed;
+        // [30,∞) is needed by nothing ≥ 30.
+        prune_chain(&mut chain, &[25, 12]);
+        let versions: Vec<u64> = chain.iter().map(|f| f.version).collect();
+        assert_eq!(versions, vec![20, 10]);
+
+        // A snapshot beyond every state keeps only the newest entry.
+        let mut chain = vec![frozen(30), frozen(20), frozen(10)];
+        prune_chain(&mut chain, &[99]);
+        let versions: Vec<u64> = chain.iter().map(|f| f.version).collect();
+        assert_eq!(versions, vec![30]);
+
+        // A snapshot older than every state keeps nothing.
+        let mut chain = vec![frozen(30), frozen(20)];
+        prune_chain(&mut chain, &[5]);
+        assert!(chain.is_empty());
+    }
+
+    #[test]
+    fn register_release_roundtrip() {
+        let c = pmem::epoch::Collector::new();
+        let m = MvccState::new();
+        assert_eq!(m.live_snapshots(), 0);
+        let (id1, v1) = m.register(0, c.pin_owned());
+        let (id2, v2) = m.register(0, c.pin_owned());
+        assert!(v2 > v1, "versions are strictly ordered");
+        assert_ne!(id1, id2);
+        assert_eq!(m.live_snapshots(), 2);
+        assert_eq!(m.snap_info(id1), Some((v1, 0)));
+        assert!(m.release(id1));
+        assert!(!m.release(id1), "double release is rejected");
+        assert_eq!(m.live_snapshots(), 1);
+        assert!(m.release(id2));
+        assert_eq!(m.max_snap.load(Ordering::SeqCst), 0);
+        assert_eq!(m.chain_entries(), 0);
+    }
+}

@@ -1,0 +1,312 @@
+//! Copy-on-write (path-copying) mutations for the search layer.
+//!
+//! While any PACTree snapshot is live (`Art::cow_active > 0`), search-layer
+//! mutations stop editing reachable nodes in place. Instead the root →
+//! mutation-point path is rebuilt *functionally*: every node on the path is
+//! replaced by a fresh copy (built and persisted off to the side through
+//! the usual allocation log), children off the path are shared with the old
+//! tree, and the new root is swapped in with one pointer store. The
+//! replaced originals are retired through the epoch collector, whose
+//! snapshot pins keep them allocated — so a root captured at snapshot time
+//! keeps denoting the exact tree of that moment, readable lock-free via
+//! [`Art::floor_from`](super::Art).
+//!
+//! This is the PaC-trees / versioned-ART idiom (PAPERS.md): persistence by
+//! path copying with structural sharing, paying O(depth) copies per
+//! mutation only while a version is actually held.
+//!
+//! # Exclusivity
+//!
+//! [`Art::run_mutation`](super::Art) guarantees a COW mutation runs with
+//! **no concurrent mutation of any kind** (other COW ops queue on the COW
+//! mutex; in-place ops are drained and cannot re-enter while the flag is
+//! raised). Reads here therefore need no lock tokens; concurrent *readers*
+//! are unaffected because originals are never modified and the root swap
+//! is a single release store. Structural maintenance (shrinking, husk
+//! removal) is skipped under COW — readers tolerate husks, and later
+//! in-place operations redo it.
+
+use std::sync::atomic::Ordering;
+
+use pmem::Result;
+
+use super::insert::{grown, leaf_ref};
+use super::node::{header_of, is_leaf, NodeType, PREFIX_CAP};
+use super::{collect_children, lcp_len, Art, OpLog, MAX_RESTARTS};
+
+impl Art {
+    /// COW insert/upsert; the counterpart of the in-place `try_insert`.
+    pub(super) fn cow_insert(&self, key: &[u8], value: u64) -> Result<Option<u64>> {
+        let guard = self.collector().pin();
+        let mut backoff = super::Backoff::new();
+        for _ in 0..MAX_RESTARTS {
+            let mut oplog = self.oplog();
+            let root = self.current_root();
+            let mut replaced = Vec::new();
+            let (new_root, old) =
+                self.cow_insert_rec(&mut oplog, root, key, value, 0, &mut replaced)?;
+            if self.swap_root(root, new_root, &replaced, &guard) {
+                oplog.commit();
+                return Ok(old);
+            }
+            // Root moved under us (possible only for an in-place mutation
+            // that overlapped the flag flip): drop the copies and retry.
+            drop(oplog);
+            backoff.pause();
+        }
+        unreachable!("cow insert livelocked");
+    }
+
+    /// COW remove; the counterpart of the in-place `try_remove`.
+    pub(super) fn cow_remove(&self, key: &[u8]) -> Result<Option<u64>> {
+        let guard = self.collector().pin();
+        let mut backoff = super::Backoff::new();
+        for _ in 0..MAX_RESTARTS {
+            let mut oplog = self.oplog();
+            let root = self.current_root();
+            let mut replaced = Vec::new();
+            let Some((new_root, old)) =
+                self.cow_remove_rec(&mut oplog, root, key, 0, &mut replaced)?
+            else {
+                return Ok(None); // absent: nothing allocated, tree unchanged
+            };
+            if self.swap_root(root, new_root, &replaced, &guard) {
+                oplog.commit();
+                return Ok(Some(old));
+            }
+            drop(oplog);
+            backoff.pause();
+        }
+        unreachable!("cow remove livelocked");
+    }
+
+    /// Publishes a rebuilt tree: links `new_root` if the root is still
+    /// `expected`, then retires every replaced original. The persistence
+    /// order is the usual one — the new subtree is fully persisted (each
+    /// copy persists at construction), then the single root-pointer store
+    /// linearizes the mutation.
+    fn swap_root(
+        &self,
+        expected: u64,
+        new_root: u64,
+        replaced: &[u64],
+        guard: &pmem::epoch::Guard<'_>,
+    ) -> bool {
+        loop {
+            let Some(_rg) = self.root_lock.try_write_lock() else {
+                std::thread::yield_now();
+                continue;
+            };
+            if self.root_cell().load(Ordering::Acquire) != expected {
+                return false;
+            }
+            self.link(self.root_cell(), new_root);
+            break;
+        }
+        for &raw in replaced {
+            self.retire(raw, guard);
+        }
+        self.cow_copied
+            .fetch_add(replaced.len() as u64, Ordering::Relaxed);
+        true
+    }
+
+    /// Rebuilds the path for an insert below `raw` (an inner node), sharing
+    /// everything off the path. Returns the replacement node and the prior
+    /// value, recording replaced originals in `replaced`.
+    fn cow_insert_rec(
+        &self,
+        oplog: &mut OpLog<'_>,
+        raw: u64,
+        key: &[u8],
+        value: u64,
+        depth: usize,
+        replaced: &mut Vec<u64>,
+    ) -> Result<(u64, Option<u64>)> {
+        self.charge_read(raw, 128);
+        // SAFETY: COW mutations are exclusive (see module docs); `raw` is
+        // reachable and epoch-pinned.
+        let hdr = unsafe { header_of(raw) };
+        let (ty, _, plen) = hdr.meta3();
+        let plen = plen as usize;
+        let mut prefix_buf = [0u8; PREFIX_CAP];
+        prefix_buf[..plen].copy_from_slice(&hdr.prefix[..plen]);
+        let prefix = &prefix_buf[..plen];
+        let rest = &key[depth..];
+        let m = lcp_len(prefix, rest);
+
+        if m < plen {
+            // Diverge inside the compressed prefix: split it, exactly like
+            // the in-place path (which already copies here).
+            let node2 = self.copy_node(oplog, raw, ty, &prefix[m + 1..])?;
+            let leaf = self.new_leaf(oplog, key, value)?;
+            let new_parent = if depth + m == key.len() {
+                self.new_node4(oplog, &prefix[..m], &[(prefix[m], node2)], leaf)?
+            } else {
+                self.new_node4(
+                    oplog,
+                    &prefix[..m],
+                    &[(prefix[m], node2), (key[depth + m], leaf)],
+                    0,
+                )?
+            };
+            replaced.push(raw);
+            return Ok((new_parent, None));
+        }
+
+        let depth2 = depth + plen;
+        // SAFETY: exclusive COW access — a stable snapshot without locks.
+        let children = unsafe { collect_children(raw) };
+        let end = hdr.end_child.load(Ordering::Acquire);
+
+        if depth2 == key.len() {
+            // Key ends at this node: the end-child slot. The old end leaf
+            // (if any) may be shared with a captured tree, so the value
+            // update is a fresh leaf, not an in-place store.
+            let (new_end, old) = if end != 0 {
+                // SAFETY: end children are leaves; keys immutable, value atomic.
+                let old = unsafe { leaf_ref(end) }.value.load(Ordering::Acquire);
+                replaced.push(end);
+                (self.new_leaf(oplog, key, value)?, Some(old))
+            } else {
+                (self.new_leaf(oplog, key, value)?, None)
+            };
+            let copy = self.alloc_inner_with(oplog, ty, prefix, &children, new_end)?;
+            replaced.push(raw);
+            return Ok((copy, old));
+        }
+
+        let b = key[depth2];
+        let child = children.iter().find(|&&(cb, _)| cb == b).map(|&(_, c)| c);
+        match child {
+            // SAFETY: children of a reachable inner node are initialized.
+            Some(child) if unsafe { is_leaf(child) } => {
+                // SAFETY: leaf keys are immutable.
+                let lkey = unsafe { leaf_ref(child).key() }.to_vec();
+                if lkey == key {
+                    // SAFETY: as above.
+                    let old = unsafe { leaf_ref(child) }.value.load(Ordering::Acquire);
+                    let leaf = self.new_leaf(oplog, key, value)?;
+                    let copy = self.copy_replacing(oplog, ty, prefix, &children, end, b, leaf)?;
+                    replaced.push(raw);
+                    replaced.push(child);
+                    return Ok((copy, Some(old)));
+                }
+                // The existing leaf is *shared* into the join subtree.
+                let sub = self.build_join(oplog, &lkey, child, key, value, depth2 + 1)?;
+                let copy = self.copy_replacing(oplog, ty, prefix, &children, end, b, sub)?;
+                replaced.push(raw);
+                Ok((copy, None))
+            }
+            Some(child) => {
+                let (new_child, old) =
+                    self.cow_insert_rec(oplog, child, key, value, depth2 + 1, replaced)?;
+                let copy = self.copy_replacing(oplog, ty, prefix, &children, end, b, new_child)?;
+                replaced.push(raw);
+                Ok((copy, old))
+            }
+            None => {
+                let leaf = self.new_leaf(oplog, key, value)?;
+                let ty2 = if children.len() < ty.capacity() {
+                    ty
+                } else {
+                    grown(ty)
+                };
+                let mut entries = children;
+                entries.push((b, leaf));
+                let copy = self.alloc_inner_with(oplog, ty2, prefix, &entries, end)?;
+                replaced.push(raw);
+                Ok((copy, None))
+            }
+        }
+    }
+
+    /// Rebuilds the path for a remove below `raw`. `None` means the key is
+    /// absent and nothing was allocated; husks (childless copies) are
+    /// tolerated — readers skip them and later in-place maintenance
+    /// collapses them.
+    fn cow_remove_rec(
+        &self,
+        oplog: &mut OpLog<'_>,
+        raw: u64,
+        key: &[u8],
+        depth: usize,
+        replaced: &mut Vec<u64>,
+    ) -> Result<Option<(u64, u64)>> {
+        self.charge_read(raw, 128);
+        // SAFETY: exclusive COW access over a reachable, pinned node.
+        let hdr = unsafe { header_of(raw) };
+        let (ty, _, plen) = hdr.meta3();
+        let plen = plen as usize;
+        let mut prefix_buf = [0u8; PREFIX_CAP];
+        prefix_buf[..plen].copy_from_slice(&hdr.prefix[..plen]);
+        let prefix = &prefix_buf[..plen];
+        let rest = &key[depth..];
+        if lcp_len(prefix, rest) < plen {
+            return Ok(None);
+        }
+        let depth2 = depth + plen;
+        // SAFETY: exclusive COW access.
+        let children = unsafe { collect_children(raw) };
+        let end = hdr.end_child.load(Ordering::Acquire);
+
+        if depth2 == key.len() {
+            if end == 0 {
+                return Ok(None);
+            }
+            // SAFETY: end children are leaves.
+            let old = unsafe { leaf_ref(end) }.value.load(Ordering::Acquire);
+            let copy = self.alloc_inner_with(oplog, ty, prefix, &children, 0)?;
+            replaced.push(raw);
+            replaced.push(end);
+            return Ok(Some((copy, old)));
+        }
+
+        let b = key[depth2];
+        let Some(&(_, child)) = children.iter().find(|&&(cb, _)| cb == b) else {
+            return Ok(None);
+        };
+        // SAFETY: children of a reachable inner node are initialized.
+        if unsafe { is_leaf(child) } {
+            // SAFETY: leaf keys are immutable.
+            if unsafe { leaf_ref(child).key() } != key {
+                return Ok(None);
+            }
+            // SAFETY: as above.
+            let old = unsafe { leaf_ref(child) }.value.load(Ordering::Acquire);
+            let entries: Vec<(u8, u64)> = children.into_iter().filter(|&(cb, _)| cb != b).collect();
+            let copy = self.alloc_inner_with(oplog, ty, prefix, &entries, end)?;
+            replaced.push(raw);
+            replaced.push(child);
+            return Ok(Some((copy, old)));
+        }
+        match self.cow_remove_rec(oplog, child, key, depth2 + 1, replaced)? {
+            None => Ok(None),
+            Some((new_child, old)) => {
+                let copy = self.copy_replacing(oplog, ty, prefix, &children, end, b, new_child)?;
+                replaced.push(raw);
+                Ok(Some((copy, old)))
+            }
+        }
+    }
+
+    /// Copies an inner node with the child at byte `b` replaced (or added).
+    #[allow(clippy::too_many_arguments)]
+    fn copy_replacing(
+        &self,
+        oplog: &mut OpLog<'_>,
+        ty: NodeType,
+        prefix: &[u8],
+        children: &[(u8, u64)],
+        end: u64,
+        b: u8,
+        child: u64,
+    ) -> Result<u64> {
+        let mut entries = children.to_vec();
+        match entries.iter_mut().find(|e| e.0 == b) {
+            Some(e) => e.1 = child,
+            None => entries.push((b, child)),
+        }
+        self.alloc_inner_with(oplog, ty, prefix, &entries, end)
+    }
+}

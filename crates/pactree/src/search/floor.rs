@@ -57,6 +57,36 @@ impl Art {
         unreachable!("floor livelocked");
     }
 
+    /// Floor lookup against a *captured* root (a PACTree snapshot).
+    ///
+    /// Identical descent to [`floor`](Art::floor), but starting from `root`
+    /// instead of the live root cell — so the answer reflects the tree as it
+    /// was when `root` was captured. The caller must hold an epoch pin that
+    /// predates the capture (a snapshot's `OwnedPin`): nodes of the captured
+    /// tree are then retired-but-not-freed, and COW mutations never modify
+    /// them, so the descent sees immutable, allocated nodes throughout.
+    /// Version validation still runs (some captured nodes may also still be
+    /// live and mutated in place before the first COW freeze).
+    pub fn floor_from(&self, root: u64, key: &[u8]) -> Option<u64> {
+        if root == 0 {
+            return None;
+        }
+        let _guard = self.collector().pin();
+        let mut backoff = super::Backoff::new();
+        for _ in 0..MAX_RESTARTS {
+            match self.floor_rec(root, key, 0) {
+                FloorOut::Found(leaf_raw) => {
+                    // SAFETY: the snapshot pin keeps the captured subtree
+                    // allocated; leaf values are atomic.
+                    return Some(unsafe { leaf_ref(leaf_raw) }.value.load(Ordering::Acquire));
+                }
+                FloorOut::Empty => return None,
+                FloorOut::Restart => backoff.pause(),
+            }
+        }
+        unreachable!("floor_from livelocked");
+    }
+
     /// Returns the entry with the greatest key in the tree, if any.
     pub fn max_entry(&self) -> Option<(Vec<u8>, u64)> {
         let _guard = self.collector().pin();

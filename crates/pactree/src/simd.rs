@@ -44,6 +44,9 @@ pub struct Kernels {
     fp_match32: unsafe fn(*const u8, u8) -> u32,
     /// 16-byte key probe, mask truncated to the first `count` slots.
     key_match16: unsafe fn(*const u8, u8, usize) -> u32,
+    /// 256-byte `Node48` index walk → occupancy bitmap (bit i of word i/64
+    /// set iff byte i != `N48_EMPTY`).
+    n48_occupied: unsafe fn(*const u8) -> [u64; 4],
     /// Whether [`prefetch_read`] issues a real prefetch instruction.
     prefetch: bool,
 }
@@ -85,6 +88,14 @@ impl Kernels {
     pub fn match16(&self, keys: &[AtomicU8; 16], b: u8, count: usize) -> u32 {
         // SAFETY: as for `fp64`, with 16 bytes.
         unsafe { (self.key_match16)(keys.as_ptr() as *const u8, b, count.min(16)) }
+    }
+
+    /// Walks a `Node48` child index: occupancy bitmap over all 256 bytes,
+    /// bit `i % 64` of word `i / 64` set iff byte `i` is not `0xFF`.
+    #[inline]
+    pub fn n48(&self, index: &[AtomicU8; 256]) -> [u64; 4] {
+        // SAFETY: as for `fp64`, with 256 bytes.
+        unsafe { (self.n48_occupied)(index.as_ptr() as *const u8) }
     }
 }
 
@@ -167,6 +178,26 @@ unsafe fn key_match16_swar(p: *const u8, b: u8, count: usize) -> u32 {
     mask as u32 & ((1u32 << count.min(16)) - 1)
 }
 
+unsafe fn n48_occupied_swar(p: *const u8) -> [u64; 4] {
+    if !(p as usize).is_multiple_of(8) {
+        // SAFETY: forwards the caller's 256-byte contract.
+        return unsafe { n48_occupied_scalar(p) };
+    }
+    // A byte is *empty* iff it equals N48_EMPTY (0xFF), i.e. `byte ^ 0xFF`
+    // is zero — so the existing zero-byte probe finds the empties and the
+    // complement (within each 8-bit lane group) is the occupancy mask.
+    let mut out = [0u64; 4];
+    for (w, word_mask) in out.iter_mut().enumerate() {
+        let mut empty = 0u64;
+        for chunk in 0..8 {
+            // SAFETY: 256 readable aligned bytes per the kernel contract.
+            empty |= unsafe { swar_step(p.add(w * 64 + chunk * 8), u64::MAX) } << (chunk * 8);
+        }
+        *word_mask = !empty;
+    }
+    out
+}
+
 // -- Scalar reference (tests and the microbench baseline only) --------------
 
 unsafe fn fp_match64_scalar(p: *const u8, fp: u8) -> u64 {
@@ -197,6 +228,16 @@ unsafe fn key_match16_scalar(p: *const u8, b: u8, count: usize) -> u32 {
         mask |= u32::from(byte == b) << i;
     }
     mask
+}
+
+unsafe fn n48_occupied_scalar(p: *const u8) -> [u64; 4] {
+    let mut out = [0u64; 4];
+    for i in 0..256 {
+        // SAFETY: 256 readable bytes per the kernel contract.
+        let byte = unsafe { (*(p.add(i) as *const AtomicU8)).load(Ordering::Acquire) };
+        out[i / 64] |= u64::from(byte != 0xFF) << (i % 64);
+    }
+    out
 }
 
 // -- x86_64 vector kernels ---------------------------------------------------
@@ -244,6 +285,25 @@ mod x86 {
         }
     }
 
+    /// 16×16B compare-against-0xFF + movemask, inverted per 64-byte group.
+    pub unsafe fn n48_occupied_sse2(p: *const u8) -> [u64; 4] {
+        // SAFETY: 256 readable bytes per the kernel contract.
+        unsafe {
+            let empty = _mm_set1_epi8(-1);
+            let mut out = [0u64; 4];
+            for (w, word_mask) in out.iter_mut().enumerate() {
+                let mut m = 0u64;
+                for i in 0..4 {
+                    let v = _mm_loadu_si128(p.add(w * 64 + i * 16) as *const __m128i);
+                    let eq = _mm_movemask_epi8(_mm_cmpeq_epi8(v, empty));
+                    m |= ((eq as u32) as u64) << (i * 16);
+                }
+                *word_mask = !m;
+            }
+            out
+        }
+    }
+
     /// 2×32B compare + movemask.
     #[target_feature(enable = "avx2")]
     pub unsafe fn fp_match64_avx2(p: *const u8, fp: u8) -> u64 {
@@ -273,6 +333,25 @@ mod x86 {
             let m = _mm256_movemask_epi8(_mm256_cmpeq_epi8(v, needle)) as u32;
             _mm256_zeroupper();
             m
+        }
+    }
+
+    /// 8×32B compare-against-0xFF + movemask, inverted per 64-byte group.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn n48_occupied_avx2(p: *const u8) -> [u64; 4] {
+        // SAFETY: 256 readable bytes per the kernel contract; AVX2 verified.
+        unsafe {
+            let empty = _mm256_set1_epi8(-1);
+            let mut out = [0u64; 4];
+            for (w, word_mask) in out.iter_mut().enumerate() {
+                let lo = _mm256_loadu_si256(p.add(w * 64) as *const __m256i);
+                let hi = _mm256_loadu_si256(p.add(w * 64 + 32) as *const __m256i);
+                let ml = _mm256_movemask_epi8(_mm256_cmpeq_epi8(lo, empty)) as u32 as u64;
+                let mh = _mm256_movemask_epi8(_mm256_cmpeq_epi8(hi, empty)) as u32 as u64;
+                *word_mask = !(ml | (mh << 32));
+            }
+            _mm256_zeroupper();
+            out
         }
     }
 }
@@ -339,6 +418,26 @@ mod neon {
             eq & lim
         }
     }
+
+    /// 16×16B compare-against-0xFF, inverted per 64-byte group.
+    pub unsafe fn n48_occupied_neon(p: *const u8) -> [u64; 4] {
+        // SAFETY: 256 readable bytes per the kernel contract.
+        unsafe {
+            let empty = vdupq_n_u8(0xFF);
+            let mut out = [0u64; 4];
+            for (w, word_mask) in out.iter_mut().enumerate() {
+                let mut m = 0u64;
+                let mut i = 0;
+                while i < 4 {
+                    let v = vld1q_u8(p.add(w * 64 + i * 16));
+                    m |= (movemask16(vceqq_u8(v, empty)) as u64) << (i * 16);
+                    i += 1;
+                }
+                *word_mask = !m;
+            }
+            out
+        }
+    }
 }
 
 // -- Kernel sets and dispatch ------------------------------------------------
@@ -349,6 +448,7 @@ static SCALAR: Kernels = Kernels {
     fp_match64: fp_match64_scalar,
     fp_match32: fp_match32_scalar,
     key_match16: key_match16_scalar,
+    n48_occupied: n48_occupied_scalar,
     prefetch: false,
 };
 
@@ -358,6 +458,7 @@ static SWAR: Kernels = Kernels {
     fp_match64: fp_match64_swar,
     fp_match32: fp_match32_swar,
     key_match16: key_match16_swar,
+    n48_occupied: n48_occupied_swar,
     prefetch: false,
 };
 
@@ -368,6 +469,7 @@ static SSE2: Kernels = Kernels {
     fp_match64: x86::fp_match64_sse2,
     fp_match32: x86::fp_match32_sse2,
     key_match16: x86::key_match16_sse2,
+    n48_occupied: x86::n48_occupied_sse2,
     prefetch: true,
 };
 
@@ -378,6 +480,7 @@ static AVX2: Kernels = Kernels {
     fp_match64: x86::fp_match64_avx2,
     fp_match32: x86::fp_match32_avx2,
     key_match16: x86::key_match16_sse2,
+    n48_occupied: x86::n48_occupied_avx2,
     prefetch: true,
 };
 
@@ -388,6 +491,7 @@ static NEON: Kernels = Kernels {
     fp_match64: neon::fp_match64_neon,
     fp_match32: neon::fp_match32_neon,
     key_match16: neon::key_match16_neon,
+    n48_occupied: neon::n48_occupied_neon,
     prefetch: true,
 };
 
@@ -478,6 +582,15 @@ pub fn node16_match(keys: &[AtomicU8; 16], b: u8, count: usize) -> u32 {
     active().match16(keys, b, count)
 }
 
+/// Walks a `Node48` child index in one pass: returns a 256-bit occupancy
+/// bitmap (`[u64; 4]`, bit `i % 64` of word `i / 64` set iff slot `i` maps
+/// to a live child, i.e. `index[i] != N48_EMPTY`). Callers iterate set bits
+/// instead of testing all 256 bytes individually.
+#[inline]
+pub fn node48_occupied(index: &[AtomicU8; 256]) -> [u64; 4] {
+    active().n48(index)
+}
+
 /// Best-effort L1 prefetch of the cache line holding `p`, for pointer
 /// chases whose next dereference is a few dozen cycles away. A no-op on the
 /// SWAR fallback (so `PACTREE_NO_SIMD=1` A/B runs isolate the whole
@@ -556,6 +669,72 @@ mod tests {
                     }
                 }
             }
+        }
+    }
+
+    fn mk256(seed: u64, density: u64) -> Aligned<[AtomicU8; 256]> {
+        // `density`/16 of the slots occupied (byte != 0xFF), rest empty.
+        let mut x = seed | 1;
+        Aligned(std::array::from_fn(|_| {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let b = if (x >> 33) % 16 < density {
+                ((x >> 41) % 48) as u8
+            } else {
+                0xFF
+            };
+            AtomicU8::new(b)
+        }))
+    }
+
+    #[test]
+    fn all_kernel_sets_agree_on_n48_occupancy() {
+        for seed in [1u64, 7, 42, 0xDEAD_BEEF] {
+            for density in [0, 1, 8, 15, 16] {
+                let a = mk256(seed, density);
+                let a = &a.0;
+                let want = scalar().n48(a);
+                // Cross-check the reference against a trivial re-derivation.
+                for (w, word) in want.iter().enumerate() {
+                    for bit in 0..64 {
+                        let occupied = a[w * 64 + bit].load(Ordering::Relaxed) != 0xFF;
+                        assert_eq!((word >> bit) & 1 == 1, occupied, "word {w} bit {bit}");
+                    }
+                }
+                for k in [swar(), best(), active()] {
+                    assert_eq!(k.n48(a), want, "{} seed={seed} density={density}", k.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn n48_occupancy_edges() {
+        let empty: Aligned<[AtomicU8; 256]> = Aligned(std::array::from_fn(|_| AtomicU8::new(0xFF)));
+        let full: Aligned<[AtomicU8; 256]> =
+            Aligned(std::array::from_fn(|i| AtomicU8::new((i % 48) as u8)));
+        let alternating: Aligned<[AtomicU8; 256]> = Aligned(std::array::from_fn(|i| {
+            AtomicU8::new(if i % 2 == 0 { 3 } else { 0xFF })
+        }));
+        for k in [scalar(), swar(), best()] {
+            assert_eq!(k.n48(&empty.0), [0u64; 4], "{} empty", k.name());
+            assert_eq!(k.n48(&full.0), [u64::MAX; 4], "{} full", k.name());
+            assert_eq!(
+                k.n48(&alternating.0),
+                [0x5555_5555_5555_5555u64; 4],
+                "{} alternating",
+                k.name()
+            );
+        }
+        // 0xFE (one bit off empty) must still read as occupied.
+        let near: Aligned<[AtomicU8; 256]> = Aligned(std::array::from_fn(|i| {
+            AtomicU8::new(if i == 200 { 0xFE } else { 0xFF })
+        }));
+        for k in [scalar(), swar(), best()] {
+            let mut want = [0u64; 4];
+            want[200 / 64] = 1 << (200 % 64);
+            assert_eq!(k.n48(&near.0), want, "{} near-empty byte", k.name());
         }
     }
 

@@ -17,6 +17,7 @@
 //! set, with one data pool per logical NUMA node (§5.8); allocation is
 //! NUMA-local.
 
+use std::collections::VecDeque;
 use std::sync::atomic::Ordering;
 use std::sync::{Arc, OnceLock};
 
@@ -30,6 +31,7 @@ use pmem::pptr::PmPtr;
 use pmem::{AllocMode, PmemError, Result};
 
 use crate::data::{node_ref, DataNode, Pair, DATA_NODE_SIZE, MERGE_THRESHOLD, NODE_SLOTS};
+use crate::mvcc::{DiffEntry, MvccState, Resolved};
 use crate::search::Art;
 use crate::smo::{SmoKind, SmoLog, SmoRecord};
 use crate::stats::TreeStats;
@@ -143,6 +145,9 @@ pub struct PacTree {
     log_pool: Arc<PmemPool>,
     pub(crate) art: Art,
     pub(crate) smo: SmoLog,
+    /// Versioning subsystem (DESIGN.md §13): snapshot registry, frozen
+    /// data-node chains, era counter.
+    mvcc: Arc<MvccState>,
     collector: Arc<Collector>,
     stats: TreeStats,
     /// Per-operation latency histograms (obsv recorder).
@@ -253,6 +258,7 @@ impl PacTree {
             log_pool,
             art,
             smo,
+            mvcc: Arc::new(MvccState::new()),
             collector,
             stats: TreeStats::default(),
             ops: obsv::OpHistograms::new(),
@@ -328,6 +334,29 @@ impl PacTree {
             &mut guards,
             format!("{prefix}.fp.false_hit_ratio"),
             Box::new(|t| t.stats.false_hit_ratio()),
+        );
+        gauge(
+            &mut guards,
+            format!("{prefix}.mvcc.live_snapshots"),
+            Box::new(|t| t.mvcc.live_snapshots() as f64),
+        );
+        gauge(
+            &mut guards,
+            format!("{prefix}.mvcc.cow_nodes"),
+            Box::new(|t| (t.mvcc.frozen_nodes() + t.art.cow_copied()) as f64),
+        );
+        gauge(
+            &mut guards,
+            format!("{prefix}.mvcc.pinned_backlog"),
+            Box::new(|t| {
+                // Reclamation work deferred behind snapshot epoch pins;
+                // reads zero whenever no snapshot is live.
+                if t.mvcc.live_snapshots() == 0 {
+                    0.0
+                } else {
+                    t.collector.queued().saturating_sub(t.collector.executed()) as f64
+                }
+            }),
         );
         let w = Arc::downgrade(self);
         guards.push(reg.register_hists(prefix, move || w.upgrade().map(|t| t.ops.snapshot())));
@@ -688,6 +717,7 @@ impl PacTree {
                     drop(wg);
                     continue;
                 };
+                self.mvcc.prepare_mutation(raw, node);
                 node.write_slot(slot, key, value, self.my_data_pool())?;
                 node.publish(1 << slot, 1 << old_slot);
                 self.defer_overflow_free(node, old_slot, &guard);
@@ -703,6 +733,7 @@ impl PacTree {
                 drop(wg);
                 continue;
             };
+            self.mvcc.prepare_mutation(raw, node);
             node.write_slot(slot, key, value, self.my_data_pool())?;
             node.publish(1 << slot, 0);
             drop(wg);
@@ -755,6 +786,7 @@ impl PacTree {
             };
             let old = node.value_at(slot);
             // Delete protocol (§5.5): one atomic bitmap clear.
+            self.mvcc.prepare_mutation(raw, node);
             node.publish(0, 1 << slot);
             self.defer_overflow_free(node, slot, &guard);
 
@@ -860,6 +892,16 @@ impl PacTree {
         // SAFETY: just initialized by malloc_to.
         let new_node = unsafe { node_ref(new_raw) };
 
+        // Versioning (§13): read the era *before* the freeze decision, so a
+        // snapshot registering in between sees either a fully-included or a
+        // fully-excluded split; freeze the pre-split left state for any live
+        // snapshot; stamp the new node into the current era so no older
+        // snapshot resolves it as live (its pairs are still present in the
+        // left node's frozen capture).
+        let era = self.mvcc.current_version();
+        self.mvcc.prepare_mutation(raw, node);
+        new_node.mvcc_stamp(era);
+
         // 3. Link the new node to the right of the splitting node; this is
         //    the point where it becomes reachable.
         node.next.store(new_raw, Ordering::Release);
@@ -909,6 +951,12 @@ impl PacTree {
         // 1. Persist the merge intention.
         let ticket = self.smo.append(SmoKind::Merge, raw);
         ticket.set_aux(right_raw);
+
+        // Versioning (§13): both write locks are held; freeze both
+        // pre-merge states — the left node's pair set and the victim's
+        // liveness and link both change below.
+        self.mvcc.prepare_mutation(raw, node);
+        self.mvcc.prepare_mutation(right_raw, right);
 
         // 2. Copy the right node's live pairs into free slots, publish all
         //    of them with one bitmap update.
@@ -970,7 +1018,14 @@ impl PacTree {
         let guard = self.collector.pin();
         let ptr = PmPtr::<u8>::from_raw(victim_raw);
         let pool_id = ptr.pool_id();
+        let mvcc = Arc::clone(&self.mvcc);
         self.collector.defer(&guard, move || {
+            // The frozen chain must die in the same closure as the node: a
+            // reallocated raw must never alias a stale version chain. Any
+            // snapshot that could still resolve the victim pinned an epoch
+            // before this free was queued, so the free (and this drop)
+            // cannot run while that snapshot lives.
+            mvcc.forget_node(victim_raw);
             pool::with_pool(pool_id, |p| p.allocator().free(ptr, DATA_NODE_SIZE));
         });
         Ok(())
@@ -1065,6 +1120,7 @@ impl PacTree {
                     let Some(g) = old_node.lock.try_write_lock() else {
                         return Err(PmemError::Corruption("split node busy"));
                     };
+                    self.mvcc.prepare_mutation(rec.node, old_node);
                     let mut clear = 0u64;
                     for (k, slot) in old_node.sorted_pairs_raw() {
                         if k.as_slice() >= anchor.as_slice() {
@@ -1112,6 +1168,10 @@ impl PacTree {
                     // Crash mid-copy (recovery path): redo the copy under
                     // locks, then finish the protocol.
                     if let Some(lg) = left.lock.try_write_lock() {
+                        // Snapshots never survive a crash, so this freeze is
+                        // a no-op on the recovery path that reaches here; it
+                        // documents (and keeps) the mutate-under-lock rule.
+                        self.mvcc.prepare_mutation(rec.node, left);
                         let mut set_mask = 0u64;
                         let mut buf = Vec::new();
                         let mut bits = victim.bitmap.load(Ordering::Acquire);
@@ -1160,6 +1220,187 @@ impl PacTree {
                 Ok(true)
             }
         }
+    }
+
+    // -- Snapshots & versioning (DESIGN.md §13) --------------------------------
+
+    /// The versioning subsystem (gauges, tests, diagnostics).
+    pub fn mvcc(&self) -> &MvccState {
+        &self.mvcc
+    }
+
+    /// Current era counter value.
+    pub fn current_version(&self) -> u64 {
+        self.mvcc.current_version()
+    }
+
+    /// Advances the era counter; pacsrv calls this at batch boundaries so
+    /// snapshot versions align with acknowledged batches.
+    pub fn advance_version(&self) -> u64 {
+        self.mvcc.advance_version()
+    }
+
+    /// Takes an O(1) snapshot of the current state and returns its id.
+    ///
+    /// No tree walk, no copying: the snapshot pins the reclamation epoch
+    /// (nothing it may reach is freed while it lives), captures the
+    /// search-layer root (subsequent search-layer mutations copy-on-write
+    /// around it), and registers its version so writers freeze data-node
+    /// states on first mutation. Cost is independent of tree size.
+    ///
+    /// Note: a live snapshot holds the epoch, so [`quiesce`](Self::quiesce)
+    /// cannot drain the reclamation backlog until it is released.
+    pub fn snapshot(&self) -> u64 {
+        // Enter COW mode *before* capturing the root: any search-layer
+        // mutation serialized after the flip copies its path instead of
+        // editing nodes the captured root can reach.
+        self.art.cow_enter();
+        let pin = self.collector.pin_owned();
+        let root = self.art.current_root();
+        let (id, _version) = self.mvcc.register(root, pin);
+        id
+    }
+
+    /// Releases a snapshot; returns `false` for an unknown id.
+    pub fn release_snapshot(&self, id: u64) -> bool {
+        if self.mvcc.release(id) {
+            self.art.cow_exit();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Snapshot-isolated range scan: up to `count` pairs with keys ≥
+    /// `start`, exactly as of snapshot `snap`'s version. Returns `None`
+    /// for an unknown (or already released) snapshot id.
+    pub fn scan_at(&self, snap: u64, start: &[u8], count: usize) -> Option<Vec<Pair>> {
+        let timer = OpTimer::start();
+        let mut retries = 0u32;
+        let result = self.scan_at_inner(snap, start, count, &mut retries);
+        self.ops.finish(OpKind::Scan, timer, retries);
+        result
+    }
+
+    fn scan_at_inner(
+        &self,
+        snap: u64,
+        start: &[u8],
+        count: usize,
+        retries: &mut u32,
+    ) -> Option<Vec<Pair>> {
+        let (v, root) = self.mvcc.snap_info(snap)?;
+        let _g = self.collector.pin();
+        let mut out: Vec<Pair> = Vec::with_capacity(count.min(4096));
+        if count == 0 {
+            return Some(out);
+        }
+        // Position via the *captured* search layer: its floor yields a node
+        // whose immutable anchor is ≤ start. Nodes that don't resolve at
+        // `v` (merged away, or stale jumps) are corrected by stepping left
+        // over live prev links — the head always resolves and anchors "".
+        let mut raw = if root != 0 {
+            self.art
+                .floor_from(root, start)
+                .unwrap_or_else(|| self.head_raw())
+        } else {
+            self.head_raw()
+        };
+        let mut state = loop {
+            match self.mvcc.resolve_at(raw, v) {
+                Some(s) if !s.deleted => break s,
+                _ => {
+                    self.note_retry(retries);
+                    // SAFETY: epoch-pinned, and the snapshot's own pin keeps
+                    // everything its version can reach allocated.
+                    let prev = unsafe { node_ref(raw) }.prev.load(Ordering::Acquire);
+                    raw = if prev != 0 { prev } else { self.head_raw() };
+                }
+            }
+        };
+        loop {
+            self.charge_node_read(raw, DATA_NODE_SIZE);
+            if !state.deleted {
+                for (k, val) in &state.pairs {
+                    if k.as_slice() >= start {
+                        out.push(Pair {
+                            key: k.clone(),
+                            value: *val,
+                        });
+                        if out.len() >= count {
+                            return Some(out);
+                        }
+                    }
+                }
+            }
+            if state.next == 0 {
+                return Some(out);
+            }
+            raw = state.next;
+            state = match self.mvcc.resolve_at(raw, v) {
+                Some(s) => s,
+                // Defensive: the version-`v` list cannot reach a node born
+                // after `v`; stop rather than mix eras.
+                None => return Some(out),
+            };
+        }
+    }
+
+    /// Structural diff from snapshot `a` to snapshot `b`: pairs added,
+    /// removed, or changed. Shared structure is skipped wholesale — while
+    /// both version walks sit on the same data node and resolve it to the
+    /// same state (the same frozen capture, or both live), the node is
+    /// stepped over without touching its pairs. This is the seed of
+    /// incremental backup: unchanged regions cost one resolution each.
+    pub fn diff(&self, a: u64, b: u64) -> Option<Vec<DiffEntry>> {
+        let (va, _) = self.mvcc.snap_info(a)?;
+        let (vb, _) = self.mvcc.snap_info(b)?;
+        let _g = self.collector.pin();
+        let head = self.head_raw();
+        let mut out = Vec::new();
+        // One cursor per side: current node raw (0 = past the tail) plus
+        // pairs from visited nodes not yet matched against the other side.
+        let (mut ra, mut rb) = (head, head);
+        let mut pa: VecDeque<(Vec<u8>, u64)> = VecDeque::new();
+        let mut pb: VecDeque<(Vec<u8>, u64)> = VecDeque::new();
+        while ra != 0 || rb != 0 {
+            if ra != 0 && ra == rb && pa.is_empty() && pb.is_empty() {
+                // Aligned on one node with nothing pending: the only place
+                // sharing is detectable.
+                match (
+                    self.mvcc.resolve_shared(ra, va),
+                    self.mvcc.resolve_shared(rb, vb),
+                ) {
+                    (Some(sa), Some(sb)) if sa.same_state(&sb) => {
+                        ra = sa.next();
+                        rb = sb.next();
+                        continue;
+                    }
+                    (sa, sb) => {
+                        diff_step(&mut ra, &mut pa, sa);
+                        diff_step(&mut rb, &mut pb, sb);
+                    }
+                }
+            } else {
+                // Advance whichever side is behind in anchor order (anchors
+                // are immutable, so reading them needs no lock).
+                // SAFETY: epoch-pinned; the snapshots' pins keep every node
+                // either version can reach allocated.
+                let a_behind = rb == 0
+                    || (ra != 0
+                        && unsafe { node_ref(ra) }.anchor() <= unsafe { node_ref(rb) }.anchor());
+                if a_behind {
+                    let s = self.mvcc.resolve_shared(ra, va);
+                    diff_step(&mut ra, &mut pa, s);
+                } else {
+                    let s = self.mvcc.resolve_shared(rb, vb);
+                    diff_step(&mut rb, &mut pb, s);
+                }
+            }
+            drain_diff(&mut pa, &mut pb, ra == 0, rb == 0, &mut out);
+        }
+        drain_diff(&mut pa, &mut pb, true, true, &mut out);
+        Some(out)
     }
 
     // -- Convenience API ---------------------------------------------------------
@@ -1293,6 +1534,64 @@ impl PacTree {
             prev_anchor = Some(anchor);
             prev_raw = raw;
             raw = next;
+        }
+    }
+}
+
+/// Feeds one resolved node into a diff cursor: queues its live pairs and
+/// advances the cursor along the version's own next chain.
+fn diff_step(raw: &mut u64, pending: &mut VecDeque<(Vec<u8>, u64)>, s: Option<Resolved>) {
+    match s {
+        Some(s) => {
+            if !s.deleted() {
+                pending.extend(s.pairs().iter().cloned());
+            }
+            *raw = s.next();
+        }
+        // A version walk never reaches a node born after it; stop the side
+        // defensively if it somehow does.
+        None => *raw = 0,
+    }
+}
+
+/// Merges the two pending pair streams (both ascending) into diff entries.
+/// A side's sole pending pair can only be classified once the other side
+/// has a pair beyond it or its walk has finished.
+fn drain_diff(
+    pa: &mut VecDeque<(Vec<u8>, u64)>,
+    pb: &mut VecDeque<(Vec<u8>, u64)>,
+    a_done: bool,
+    b_done: bool,
+    out: &mut Vec<DiffEntry>,
+) {
+    loop {
+        match (pa.front(), pb.front()) {
+            (Some(a), Some(b)) => match a.0.cmp(&b.0) {
+                std::cmp::Ordering::Equal => {
+                    let (k, va) = pa.pop_front().expect("front checked");
+                    let (_, vb) = pb.pop_front().expect("front checked");
+                    if va != vb {
+                        out.push(DiffEntry::Changed(k, va, vb));
+                    }
+                }
+                std::cmp::Ordering::Less => {
+                    let (k, v) = pa.pop_front().expect("front checked");
+                    out.push(DiffEntry::Removed(k, v));
+                }
+                std::cmp::Ordering::Greater => {
+                    let (k, v) = pb.pop_front().expect("front checked");
+                    out.push(DiffEntry::Added(k, v));
+                }
+            },
+            (Some(_), None) if b_done => {
+                let (k, v) = pa.pop_front().expect("front checked");
+                out.push(DiffEntry::Removed(k, v));
+            }
+            (None, Some(_)) if a_done => {
+                let (k, v) = pb.pop_front().expect("front checked");
+                out.push(DiffEntry::Added(k, v));
+            }
+            _ => return,
         }
     }
 }

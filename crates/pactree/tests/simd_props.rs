@@ -60,6 +60,39 @@ proptest! {
         }
     }
 
+    /// `Node48` occupancy walks: every kernel must flag exactly the bytes
+    /// that differ from `0xFF`, for both sparse and near-full indexes. The
+    /// weight toward 0xFF mirrors a freshly-grown Node48 (mostly empty),
+    /// and near-empty bytes (0xFE) probe the compare's exactness.
+    #[test]
+    fn n48_occupied_matches_scalar(
+        sel in vec(0u8..6, 256),
+        slots in vec(0u8..48, 256),
+    ) {
+        // Weight toward 0xFF (a freshly-grown Node48 is mostly empty); the
+        // 0xFE lane probes the compare's exactness one bit off empty.
+        let bytes: Vec<u8> = sel
+            .iter()
+            .zip(&slots)
+            .map(|(&s, &slot)| match s {
+                0..=3 => 0xFF,
+                4 => slot,
+                _ => 0xFE,
+            })
+            .collect();
+        let index = aligned::<256>(&bytes);
+        let want = simd::scalar().n48(&index.0);
+        for (w, word) in want.iter().enumerate() {
+            for bit in 0..64 {
+                let flagged = (word >> bit) & 1 == 1;
+                prop_assert_eq!(flagged, bytes[w * 64 + bit] != 0xFF, "word {} bit {}", w, bit);
+            }
+        }
+        for k in kernel_sets() {
+            prop_assert_eq!(k.n48(&index.0), want, "kernel {}", k.name());
+        }
+    }
+
     /// Duplicate-heavy arrays (few distinct byte values) stress the borrow
     /// chains of the SWAR zero-byte detection: adjacent equal and
     /// off-by-one bytes are exactly where an inexact formulation tears.

@@ -118,6 +118,33 @@ impl Collector {
         }
     }
 
+    /// Pins the collector with an *owned*, `Send` guard that is not tied to
+    /// the calling thread.
+    ///
+    /// Snapshot handles hold one of these for their whole lifetime: while an
+    /// [`OwnedPin`] is live the epoch cannot advance past it, so no memory
+    /// retired after the pin was taken can be freed — the versioned nodes a
+    /// snapshot may still reach stay allocated. Unlike [`pin`](Self::pin),
+    /// the pin uses a dedicated participant record (not the thread-local
+    /// one), so it may be created on one thread and dropped on another, and
+    /// it does not nest with the calling thread's own pins.
+    pub fn pin_owned(&self) -> OwnedPin {
+        let p = Arc::new(Participant {
+            local_epoch: AtomicU64::new(0),
+            depth: AtomicU64::new(1),
+            retired: AtomicBool::new(false),
+        });
+        let e = self.global_epoch.load(Ordering::Acquire);
+        p.local_epoch.store(e, Ordering::SeqCst);
+        // Same re-read as `pin`: never announce a stale epoch.
+        let e2 = self.global_epoch.load(Ordering::SeqCst);
+        if e2 != e {
+            p.local_epoch.store(e2, Ordering::SeqCst);
+        }
+        self.participants.lock().push(Arc::clone(&p));
+        OwnedPin { participant: p }
+    }
+
     /// Defers `f` until two epochs have passed (so no concurrent reader can
     /// still hold a reference derived from the current epoch).
     pub fn defer(&self, _guard: &Guard<'_>, f: impl FnOnce() + Send + 'static) {
@@ -241,6 +268,20 @@ impl Drop for Guard<'_> {
     }
 }
 
+/// An owned, `Send` epoch pin (see [`Collector::pin_owned`]). Dropping it
+/// unpins and retires its dedicated participant record, which the next
+/// `try_advance` prunes.
+pub struct OwnedPin {
+    participant: Arc<Participant>,
+}
+
+impl Drop for OwnedPin {
+    fn drop(&mut self) {
+        self.participant.retired.store(true, Ordering::Relaxed);
+        self.participant.depth.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -298,6 +339,38 @@ mod tests {
         h.join().unwrap();
         c.flush();
         assert_eq!(ran.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn owned_pin_blocks_reclamation_across_threads() {
+        let c = Arc::new(Collector::new());
+        let ran = Arc::new(AtomicUsize::new(0));
+
+        let pin = c.pin_owned();
+        {
+            let g = c.pin();
+            let r = Arc::clone(&ran);
+            c.defer(&g, move || {
+                r.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        for _ in 0..10 {
+            c.try_advance();
+        }
+        assert_eq!(ran.load(Ordering::SeqCst), 0, "owned pin holds the epoch");
+
+        // The pin is Send: move it to another thread and drop it there.
+        let h = std::thread::spawn(move || drop(pin));
+        h.join().unwrap();
+        c.flush();
+        assert_eq!(ran.load(Ordering::SeqCst), 1);
+
+        // The dedicated participant is pruned once released.
+        assert!(c
+            .participants
+            .lock()
+            .iter()
+            .all(|p| !p.retired.load(Ordering::Relaxed)));
     }
 
     #[test]

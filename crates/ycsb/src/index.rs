@@ -63,6 +63,32 @@ pub trait RangeIndex: Send + Sync {
     fn drain(&self, _timeout: std::time::Duration) -> bool {
         true
     }
+
+    // -- Multi-version reads (PACTree MVCC; defaults = unsupported) --------
+
+    /// Captures an O(1) point-in-time view of the index and returns its
+    /// id, or `None` if the index has no multi-version support.
+    fn snapshot(&self) -> Option<u64> {
+        None
+    }
+
+    /// Scans up to `count` pairs from `start` as of snapshot `snap`,
+    /// isolated from concurrent writers; returns how many were seen, or
+    /// `None` if snapshots are unsupported or `snap` is unknown/released.
+    fn scan_at(&self, _snap: u64, _start: &[u8], _count: usize) -> Option<usize> {
+        None
+    }
+
+    /// Releases a captured view so its pinned epochs and frozen state can
+    /// be reclaimed; returns whether the id named a live snapshot.
+    fn release_snapshot(&self, _snap: u64) -> bool {
+        false
+    }
+
+    /// Advances the index's version counter — servers call this at batch
+    /// boundaries so snapshot versions align with batch edges. Default:
+    /// no versioning, nothing to advance.
+    fn advance_version(&self) {}
 }
 
 impl RangeIndex for Arc<PacTree> {
@@ -107,6 +133,22 @@ impl RangeIndex for Arc<PacTree> {
 
     fn drain(&self, timeout: std::time::Duration) -> bool {
         self.quiesce(timeout)
+    }
+
+    fn snapshot(&self) -> Option<u64> {
+        Some(PacTree::snapshot(self))
+    }
+
+    fn scan_at(&self, snap: u64, start: &[u8], count: usize) -> Option<usize> {
+        PacTree::scan_at(self, snap, start, count).map(|pairs| pairs.len())
+    }
+
+    fn release_snapshot(&self, snap: u64) -> bool {
+        PacTree::release_snapshot(self, snap)
+    }
+
+    fn advance_version(&self) {
+        PacTree::advance_version(self);
     }
 }
 

@@ -25,4 +25,7 @@ cargo run -q --release -p bench --bin bench-node-search > results/bench_node_sea
 python3 scripts/validate_obsv_json.py results/obsv_report.json results/fig13_tail.json results/bench_node_search.json || echo "  FAILED (obsv JSON validation)"
 echo "=== running service mode (pacsrv-bench)"
 cargo run -q --release -p bench --bin pacsrv-bench > results/pacsrv_bench.txt 2>&1 || echo "  FAILED (pacsrv-bench)"
+
+echo "=== running versioning layer (mvcc-bench)"
+cargo run -q --release -p bench --bin mvcc-bench > results/mvcc_bench.txt 2>&1 || echo "  FAILED (mvcc-bench)"
 echo "done; see results/"

@@ -24,6 +24,14 @@ Validates by the embedded "schema" tag:
   ``bench-node-search``. Needs per-shape ns-per-probe for all three
   kernel sets (positive, scalar slowest), the forced-SWAR vs dispatched
   end-to-end arms, and a provenance stamp with a git commit.
+* ``mvcc_bench/v1`` — versioning-layer acceptance numbers from
+  ``mvcc-bench``. Needs the per-size snapshot-cost rows (positive ns),
+  the flatness ratio, the writer A/B block (baseline / held-snapshot /
+  after-release throughput with retention and ab_ratio), the scan
+  interference block, and a provenance stamp.
+* ``pacsrv_bench/v2`` — service-mode throughput from ``pacsrv-bench``;
+  v2 adds the ``scan_interference`` phase (writer retention under live
+  vs snapshot-isolated scans through the wire protocol).
 """
 
 import json
@@ -216,6 +224,73 @@ def validate_node_search(doc, path):
           f"fp64 {doc['fp64_speedup_simd_vs_swar']}x vs swar)")
 
 
+def check_num(doc, key, where, positive=False):
+    v = doc.get(key)
+    if not isinstance(v, (int, float)) or (positive and v <= 0):
+        fail(f"{where}: missing/invalid '{key}': {v!r}")
+    return v
+
+
+def check_stamp(doc, path):
+    stamp = doc.get("stamp")
+    if not isinstance(stamp, dict) or not stamp.get("git_commit"):
+        fail(f"{path}: missing provenance stamp with git_commit")
+
+
+def validate_scan_interference(si, where):
+    for k in ["scanners", "scan_len", "live_scans", "snapshot_scans"]:
+        if not isinstance(si.get(k), int) or si[k] < 0:
+            fail(f"{where}: missing/invalid '{k}': {si.get(k)!r}")
+    for k in ["live_mops", "live_retention", "snapshot_mops", "snapshot_retention"]:
+        check_num(si, k, where, positive=True)
+    if si["live_scans"] == 0 or si["snapshot_scans"] == 0:
+        fail(f"{where}: a scan mode made no progress: {si}")
+
+
+def validate_mvcc_bench(doc, path):
+    costs = doc.get("snapshot_cost")
+    if not isinstance(costs, list) or len(costs) < 2:
+        fail(f"{path}: need >= 2 snapshot_cost sizes, got {costs!r}")
+    for i, c in enumerate(costs):
+        check_num(c, "keys", f"{path}: snapshot_cost[{i}]", positive=True)
+        check_num(c, "ns", f"{path}: snapshot_cost[{i}]", positive=True)
+    flatness = check_num(doc, "flatness", path, positive=True)
+    if flatness < 1.0:
+        fail(f"{path}: flatness {flatness} < 1 (must be max/min)")
+    writer = doc.get("writer")
+    if not isinstance(writer, dict):
+        fail(f"{path}: missing 'writer'")
+    for k in ["baseline_mops", "held_snapshot_mops", "retention",
+              "after_release_mops", "ab_ratio"]:
+        check_num(writer, k, f"{path}: writer", positive=True)
+    si = doc.get("interference")
+    if not isinstance(si, dict):
+        fail(f"{path}: missing 'interference'")
+    validate_scan_interference(si, f"{path}: interference")
+    check_stamp(doc, path)
+    print(f"OK: {path} (mvcc_bench/v1, flatness {flatness}x, "
+          f"retention {writer['retention']})")
+
+
+def validate_pacsrv_bench(doc, path):
+    for block in ["embedded", "service", "overload_2x"]:
+        if not isinstance(doc.get(block), dict):
+            fail(f"{path}: missing '{block}'")
+    svc = doc["service"]
+    for k in ["mops", "ratio", "p50_us", "p99_us", "p999_us"]:
+        check_num(svc, k, f"{path}: service", positive=True)
+    si = doc.get("scan_interference")
+    if not isinstance(si, dict):
+        fail(f"{path}: missing 'scan_interference'")
+    check_num(si, "baseline_mops", f"{path}: scan_interference", positive=True)
+    validate_scan_interference(si, f"{path}: scan_interference")
+    if doc.get("drained") is not True:
+        fail(f"{path}: drained={doc.get('drained')!r}")
+    check_stamp(doc, path)
+    print(f"OK: {path} (pacsrv_bench/v2, ratio {svc['ratio']}, "
+          f"snapshot-scan retention {si['snapshot_retention']})")
+
+
 def main():
     if len(sys.argv) < 2:
         fail("usage: validate_obsv_json.py <file.json|file.jsonl>...")
@@ -234,6 +309,10 @@ def main():
             validate_trace_chrome(doc, path)
         elif schema == "bench_node_search/v1":
             validate_node_search(doc, path)
+        elif schema == "mvcc_bench/v1":
+            validate_mvcc_bench(doc, path)
+        elif schema == "pacsrv_bench/v2":
+            validate_pacsrv_bench(doc, path)
         else:
             fail(f"{path}: unknown schema {schema!r}")
     print("all observability artifacts valid")
