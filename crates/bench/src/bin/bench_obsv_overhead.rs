@@ -28,9 +28,27 @@
 //! observability baseline). Results feed the EXPERIMENTS.md
 //! observability section.
 //!
+//! A fourth arm measures the **time-series scrape loop** (`obsv::Scraper`
+//! into `obsv::Tsdb`): both sides keep recording on, and the toggle is a
+//! background scraper sampling the whole global registry — every gauge
+//! callback (including PACTree's O(n) occupancy walk) plus a full
+//! histogram snapshot per tick. Scrapes at the production 1 s cadence
+//! would land in almost no ~ms slice, so the arm scrapes at a deliberately
+//! brutal `PAC_OBSV_SCRAPE_MS` interval (default 10 ms, 100x production)
+//! and reports both the raw overhead at that cadence and the number
+//! linearly rescaled to the 1 s production interval, which is what the
+//! <1% acceptance bound applies to. Scraping is a whole-arm toggle (the
+//! scraper runs across slice boundaries), so this arm pairs trimmed
+//! per-arm means from back-to-back runs instead of adjacent slices, with
+//! the arm order alternating per trial.
+//!
+//! Results are stamped into `results/obsv_overhead.json` (schema
+//! `obsv_overhead/v1`).
+//!
 //! Env knobs: `PAC_KEYS` (default 50k), `PAC_OBSV_OPS` (lookups per
 //! thread per slice, default 2k), `PAC_OBSV_SLICES` (default 240),
-//! `PAC_OBSV_THREADS` (default: host parallelism, capped at 4).
+//! `PAC_OBSV_THREADS` (default: host parallelism, capped at 4),
+//! `PAC_OBSV_SCRAPE_MS` (default 10).
 //! `--quick` shrinks everything for the CI smoke job.
 
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -123,6 +141,86 @@ fn run_sliced(
         obsv::set_enabled(true);
         (on, off)
     })
+}
+
+/// Runs `slices` barrier-paced lookup slices with recording enabled
+/// throughout (nothing toggles between slices) and returns per-slice wall
+/// nanoseconds — one arm of the scraper measurement.
+fn run_plain_slices(
+    tree: &PacTree,
+    keys: u64,
+    threads: usize,
+    slice_ops: u64,
+    slices: u64,
+) -> Vec<u64> {
+    let start_barrier = Barrier::new(threads + 1);
+    let end_barrier = Barrier::new(threads + 1);
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let (start_barrier, end_barrier) = (&start_barrier, &end_barrier);
+            s.spawn(move || {
+                pmem::numa::pin_thread_round_robin();
+                let mut rng = StdRng::seed_from_u64(0xACE ^ (t as u64).wrapping_mul(0x9E37));
+                for _ in 0..slices {
+                    start_barrier.wait();
+                    for _ in 0..slice_ops {
+                        let id = rng.gen_range(0..keys);
+                        std::hint::black_box(tree.lookup(&KeySpace::Integer.encode(id)));
+                    }
+                    end_barrier.wait();
+                }
+            });
+        }
+        let mut ns = Vec::with_capacity(slices as usize);
+        for _ in 0..slices {
+            start_barrier.wait();
+            let t0 = Instant::now();
+            end_barrier.wait();
+            ns.push(t0.elapsed().as_nanos() as u64);
+        }
+        ns
+    })
+}
+
+/// One scraper trial: the same slice workload once with a background
+/// [`obsv::Scraper`] pulling the global registry every `interval`, once
+/// without (order given by `scraper_first`). Returns
+/// `(on_mops, off_mops, overhead_pct)` from the trimmed per-arm means.
+fn measure_scraper(
+    tree: &PacTree,
+    keys: u64,
+    threads: usize,
+    slice_ops: u64,
+    slices: u64,
+    interval: std::time::Duration,
+    scraper_first: bool,
+) -> (f64, f64, f64) {
+    let run_arm = |scraping: bool| -> Vec<u64> {
+        if scraping {
+            let tsdb = obsv::Tsdb::with_retention(interval, std::time::Duration::from_secs(60));
+            let scraper = obsv::Scraper::start(tsdb, interval, None);
+            let ns = run_plain_slices(tree, keys, threads, slice_ops, slices);
+            scraper.stop();
+            ns
+        } else {
+            run_plain_slices(tree, keys, threads, slice_ops, slices)
+        }
+    };
+    let (on, off) = if scraper_first {
+        let on = run_arm(true);
+        (on, run_arm(false))
+    } else {
+        let off = run_arm(false);
+        (run_arm(true), off)
+    };
+    let slice_total_ops = (threads as u64 * slice_ops) as f64;
+    let on_ns = trimmed_mean_ns(&on);
+    let off_ns = trimmed_mean_ns(&off);
+    (
+        slice_total_ops * 1e3 / on_ns,
+        slice_total_ops * 1e3 / off_ns,
+        (on_ns - off_ns) / off_ns * 100.0,
+    )
 }
 
 /// Mean of the middle 60% of `slices` (20% trimmed from each end); used
@@ -259,6 +357,78 @@ fn main() {
             "-- tracing verdict: {} (bound: <5% vs recording-on baseline at default tail sampling)",
             if medians[2] < 5.0 { "PASS" } else { "FAIL" }
         );
+    }
+
+    // Fourth arm: the tsdb scrape loop, at a deliberately brutal cadence,
+    // then rescaled to the production 1 s interval for the verdict.
+    let scrape_ms = env_u64("PAC_OBSV_SCRAPE_MS", 10).max(1);
+    let interval = std::time::Duration::from_millis(scrape_ms);
+    let mut scraper_trials: Vec<(f64, f64, f64)> = (0..TRIALS)
+        .map(|t| {
+            measure_scraper(
+                &tree,
+                keys,
+                threads,
+                slice_ops,
+                slices,
+                interval,
+                t % 2 == 0,
+            )
+        })
+        .collect();
+    scraper_trials.sort_by(|a, b| a.2.total_cmp(&b.2));
+    let (s_on, s_off, s_raw) = scraper_trials[TRIALS / 2];
+    let scaled = s_raw * scrape_ms as f64 / 1000.0;
+    let s_all = scraper_trials
+        .iter()
+        .map(|t| format!("{:.2}%", t.2))
+        .collect::<Vec<_>>()
+        .join(" ");
+    println!(
+        "{:<26} {s_on:>10.3} {s_off:>10.3} {s_raw:>8.2}%  [{s_all}]",
+        format!("scraper ({scrape_ms}ms interval)")
+    );
+    println!(
+        "-- scrape loop: {s_raw:.2}% at {scrape_ms}ms = {scaled:.4}% rescaled to the 1s production interval"
+    );
+    let scraper_pass = scaled < 1.0;
+    println!(
+        "-- scraper verdict: {} (bound: <1% at the 1s interval)",
+        if scraper_pass { "PASS" } else { "FAIL" }
+    );
+
+    let json = format!(
+        concat!(
+            "{{\"schema\":\"obsv_overhead/v1\",\"git_commit\":\"{}\",",
+            "\"keys\":{},\"threads\":{},\"slices\":{},\"slice_ops\":{},\"trials\":{},",
+            "\"sampled_pct\":{:.4},\"full_fidelity_pct\":{:.4},",
+            "\"tracing_pct\":{:.4},\"tracing_compiled\":{},",
+            "\"scraper\":{{\"interval_ms\":{},\"raw_pct\":{:.4},\"scaled_1s_pct\":{:.6},",
+            "\"on_mops\":{:.4},\"off_mops\":{:.4}}},",
+            "\"verdict\":\"{}\",\"scraper_verdict\":\"{}\"}}"
+        ),
+        bench::git_commit(),
+        keys,
+        threads,
+        slices,
+        slice_ops,
+        TRIALS,
+        medians[0],
+        medians[1],
+        medians[2],
+        trace_live,
+        scrape_ms,
+        s_raw,
+        scaled,
+        s_on,
+        s_off,
+        if overhead < 5.0 { "PASS" } else { "FAIL" },
+        if scraper_pass { "PASS" } else { "FAIL" },
+    );
+    std::fs::create_dir_all("results").ok();
+    match std::fs::write("results/obsv_overhead.json", &json) {
+        Ok(()) => println!("wrote results/obsv_overhead.json"),
+        Err(e) => eprintln!("could not write results/obsv_overhead.json: {e}"),
     }
     tree.destroy();
 }

@@ -72,11 +72,23 @@ fn main() {
             };
             driver::run_workload(idx_ref, &w, KeySpace::Integer, &cfg)
         });
+        // Hold a snapshot across part of the write-heavy phase and scan
+        // through it, so the MVCC gauges (`<tree>.mvcc.chain_max/chain_mean`,
+        // snapshot counters) move in the sampled series instead of sitting
+        // at their idle values.
+        let tree = idx_ref.as_pactree().expect("obsv-report runs PACTree");
+        let snap = tree.snapshot();
         let t0 = Instant::now();
+        let mut scanned_at = 0usize;
         while !worker.is_finished() && t0.elapsed() < Duration::from_secs(600) {
+            if let Some(pairs) = tree.scan_at(snap, &KeySpace::Integer.encode(0), 64) {
+                scanned_at += pairs.len();
+            }
             samples.push(obsv::global().sample().to_json(us));
             std::thread::sleep(Duration::from_millis(25));
         }
+        assert!(tree.release_snapshot(snap), "snapshot survived the run");
+        println!("-- mvcc: scanned {scanned_at} pairs through snapshot {snap} during the run");
         worker.join().expect("workload worker")
     });
     model::set_config(NvmModelConfig::disabled());

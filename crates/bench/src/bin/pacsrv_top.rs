@@ -1,0 +1,216 @@
+//! pacsrv-top: a terminal dashboard over a running pacsrv's health
+//! endpoint.
+//!
+//! Polls the plain-TCP health listener ([`pacsrv::HealthServer`], the same
+//! endpoint `curl` scrapes) at a fixed interval, parses the Prometheus
+//! text exposition, and renders per-service liveness: throughput (from
+//! completed-counter deltas between polls), queue depth, shed/timeout
+//! rates, sojourn p50/p99, and any SLO alert states with their error-
+//! budget burn rates.
+//!
+//! ```text
+//! pacsrv-top --addr 127.0.0.1:9100            # live dashboard, 1s refresh
+//! pacsrv-top --addr 127.0.0.1:9100 --once     # one scrape, plain print, exit
+//! pacsrv-top --addr 127.0.0.1:9100 --interval-ms 250
+//! ```
+//!
+//! `--once` is the CI smoke mode: exit 0 iff the scrape parses and carries
+//! at least one metric family.
+
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// One parsed exposition: `name{labels}` -> value, comments dropped.
+type Metrics = BTreeMap<String, f64>;
+
+fn scrape(addr: &str) -> Result<Metrics, String> {
+    let mut sock = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    sock.set_read_timeout(Some(Duration::from_secs(5))).ok();
+    sock.write_all(b"GET /metrics HTTP/1.0\r\n\r\n")
+        .map_err(|e| format!("send: {e}"))?;
+    let mut reply = String::new();
+    sock.read_to_string(&mut reply)
+        .map_err(|e| format!("read: {e}"))?;
+    if !reply.starts_with("HTTP/1.0 200") {
+        return Err(format!(
+            "non-200 reply: {}",
+            reply.lines().next().unwrap_or("<empty>")
+        ));
+    }
+    let body = reply
+        .split("\r\n\r\n")
+        .nth(1)
+        .ok_or_else(|| "reply has no body".to_string())?;
+    let mut metrics = Metrics::new();
+    for line in body.lines() {
+        if line.starts_with('#') || line.trim().is_empty() {
+            continue;
+        }
+        // `name{labels} value` or `name value`; the value is the text
+        // after the last space (label values never contain raw spaces in
+        // our exposition).
+        let Some((key, value)) = line.rsplit_once(' ') else {
+            continue;
+        };
+        let Ok(v) = value.trim().parse::<f64>() else {
+            continue;
+        };
+        metrics.insert(key.trim().to_string(), v);
+    }
+    if metrics.is_empty() {
+        return Err("scrape parsed to zero metrics".to_string());
+    }
+    Ok(metrics)
+}
+
+/// Service names, discovered as the prefixes of `*_queue_depth` gauges.
+fn services(m: &Metrics) -> Vec<String> {
+    m.keys()
+        .filter_map(|k| k.strip_suffix("_queue_depth"))
+        .map(|s| s.to_string())
+        .collect()
+}
+
+fn get(m: &Metrics, key: &str) -> f64 {
+    m.get(key).copied().unwrap_or(0.0)
+}
+
+/// The summary quantile `q` of `prefix`'s sojourn latency, preferring the
+/// busiest op kind (most counted), in microseconds.
+fn latency_us(m: &Metrics, prefix: &str, q: &str) -> Option<f64> {
+    let count_prefix = format!("{prefix}_latency_ns_count{{op=\"");
+    let busiest = m
+        .iter()
+        .filter(|(k, _)| k.starts_with(&count_prefix))
+        .max_by(|a, b| a.1.total_cmp(b.1))?
+        .0
+        .trim_start_matches(&count_prefix)
+        .trim_end_matches("\"}")
+        .to_string();
+    m.get(&format!(
+        "{prefix}_latency_ns{{op=\"{busiest}\",quantile=\"{q}\"}}"
+    ))
+    .map(|ns| ns / 1e3)
+}
+
+/// Renders one dashboard frame from this poll and (for rates) the last.
+fn render(now: &Metrics, last: Option<&(Metrics, std::time::Instant)>, poll_dt: Duration) {
+    println!(
+        "{:<18} {:>10} {:>8} {:>8} {:>8} {:>9} {:>9}",
+        "service", "ops/s", "queue", "shed/s", "t/o-s/s", "p50 us", "p99 us"
+    );
+    for svc in services(now) {
+        let (mut rate, mut shed_rate, mut timeout_rate) = (f64::NAN, f64::NAN, f64::NAN);
+        if let Some((prev, at)) = last {
+            let dt = at.elapsed().as_secs_f64().max(1e-9);
+            let delta = |k: &str| (get(now, k) - get(prev, k)).max(0.0) / dt;
+            rate = delta(&format!("{svc}_completed_total"));
+            shed_rate = delta(&format!("{svc}_shed_total"));
+            timeout_rate = delta(&format!("{svc}_timeout_total"));
+        }
+        let fmt = |v: f64| {
+            if v.is_nan() {
+                "-".to_string()
+            } else {
+                format!("{v:.0}")
+            }
+        };
+        println!(
+            "{:<18} {:>10} {:>8.0} {:>8} {:>8} {:>9} {:>9}",
+            svc,
+            fmt(rate),
+            get(now, &format!("{svc}_queue_depth")),
+            fmt(shed_rate),
+            fmt(timeout_rate),
+            latency_us(now, &svc, "0.5").map_or("-".into(), |v| format!("{v:.1}")),
+            latency_us(now, &svc, "0.99").map_or("-".into(), |v| format!("{v:.1}")),
+        );
+    }
+    // SLO alert states, one row per objective.
+    let slos: Vec<String> = now
+        .keys()
+        .filter_map(|k| k.strip_prefix("slo_firing{slo=\""))
+        .map(|s| s.trim_end_matches("\"}").to_string())
+        .collect();
+    if !slos.is_empty() {
+        println!(
+            "{:<18} {:>10} {:>12} {:>12}",
+            "slo", "state", "burn(fast)", "burn(slow)"
+        );
+        for slo in slos {
+            let firing = get(now, &format!("slo_firing{{slo=\"{slo}\"}}")) > 0.5;
+            println!(
+                "{:<18} {:>10} {:>12.3} {:>12.3}",
+                slo,
+                if firing { "FIRING" } else { "ok" },
+                get(
+                    now,
+                    &format!("slo_burn_rate{{slo=\"{slo}\",window=\"fast\"}}")
+                ),
+                get(
+                    now,
+                    &format!("slo_burn_rate{{slo=\"{slo}\",window=\"slow\"}}")
+                ),
+            );
+        }
+    }
+    println!("{} metrics, next poll in {:?}", now.len(), poll_dt);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let flag = |name: &str| args.iter().any(|a| a == name);
+    let opt = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let addr = opt("--addr").unwrap_or_else(|| "127.0.0.1:9100".to_string());
+    let once = flag("--once");
+    let interval = Duration::from_millis(
+        opt("--interval-ms")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(1000),
+    );
+
+    if once {
+        match scrape(&addr) {
+            Ok(m) => {
+                render(&m, None, interval);
+                println!("pacsrv-top: OK ({} metrics from {addr})", m.len());
+            }
+            Err(e) => {
+                eprintln!("pacsrv-top: scrape failed: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    let mut last: Option<(Metrics, std::time::Instant)> = None;
+    let mut failures = 0u32;
+    loop {
+        match scrape(&addr) {
+            Ok(m) => {
+                failures = 0;
+                // Clear screen + home, like top(1).
+                print!("\x1b[2J\x1b[H");
+                println!("pacsrv-top — {addr}");
+                render(&m, last.as_ref(), interval);
+                last = Some((m, std::time::Instant::now()));
+            }
+            Err(e) => {
+                failures += 1;
+                eprintln!("pacsrv-top: scrape failed ({failures}): {e}");
+                if failures >= 5 {
+                    eprintln!("pacsrv-top: giving up after {failures} consecutive failures");
+                    std::process::exit(1);
+                }
+            }
+        }
+        std::thread::sleep(interval);
+    }
+}

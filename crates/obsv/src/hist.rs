@@ -272,6 +272,19 @@ impl HistSnapshot {
         bucket_mid(BUCKETS - 1)
     }
 
+    /// Total distribution weight recorded strictly above `threshold`
+    /// (midpoint comparison — same reconstruction contract as
+    /// [`quantile`](Self::quantile)). Feeds SLO burn rates: the fraction
+    /// of ops that blew a latency threshold.
+    pub fn weight_above(&self, threshold: u64) -> u64 {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|&(i, &c)| c > 0 && bucket_mid(i) > threshold)
+            .map(|(_, &c)| c)
+            .sum()
+    }
+
     /// Smallest recorded value (lower bucket edge: conservative), or 0.
     pub fn min(&self) -> u64 {
         self.buckets

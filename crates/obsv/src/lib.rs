@@ -18,6 +18,10 @@
 //!   retention (only slow/errored traces are kept) and NVM stall
 //!   attribution; context/export types are always available so the wire
 //!   codec works in every build.
+//! * [`tsdb`] / [`slo`] / [`prom`] — continuous telemetry: a fixed-memory
+//!   ring of periodic registry samples with read-side delta/rate
+//!   derivation, a multi-window error-budget SLO engine over it, and the
+//!   Prometheus text renderer the health endpoints serve.
 //!
 //! Hot-path cost when enabled is one relaxed striped `fetch_add` for the
 //! exact per-op count, plus — on a deterministic 1-in-2^[`sample_shift`]
@@ -32,14 +36,19 @@
 pub mod clock;
 pub mod flight;
 pub mod hist;
+pub mod prom;
 pub mod recorder;
 pub mod registry;
 pub mod sampler;
+pub mod slo;
 pub mod trace;
+pub mod tsdb;
 
 pub use hist::{HistSnapshot, Histogram, RELATIVE_ERROR_BOUND};
 pub use recorder::{OpHistograms, OpKind, OpRecorder, OpSetSnapshot};
 pub use registry::{global, MetricsRegistry, Registration, Sample};
+pub use slo::{Objective, SloEngine, SloSpec, SloStatus};
+pub use tsdb::{Scraper, Tsdb};
 
 use std::cell::Cell;
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};

@@ -132,6 +132,7 @@ impl Drop for Registration {
 }
 
 /// A point-in-time pull of every live metric.
+#[derive(Clone)]
 pub struct Sample {
     /// Process-relative timestamp ([`crate::clock::now_ns`]).
     pub ts_ns: u64,

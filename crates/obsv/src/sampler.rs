@@ -4,19 +4,57 @@
 //!
 //! Feature-gated (`sampler`): the stub variant accepts the same API and
 //! does nothing, so callers can start/stop unconditionally.
+//!
+//! Output is size-capped: once the file exceeds the byte cap the sampler
+//! rotates in place, keeping the newest half-cap of whole lines behind a
+//! one-line JSON rotation marker (`{"rotated":true,...}`), so a sampler
+//! left running against a long-lived service cannot fill the disk. (The
+//! flight recorder's dumps are already bounded by its per-thread ring
+//! capacity and need no cap.)
 
 use std::io;
 use std::path::Path;
 use std::time::Duration;
 
+/// Default sampler output cap: 64 MiB (≈ days of 1 s samples).
+pub const DEFAULT_MAX_BYTES: u64 = 64 * 1024 * 1024;
+
 #[cfg(feature = "sampler")]
 mod imp {
     use super::*;
-    use std::fs::OpenOptions;
+    use std::fs::{File, OpenOptions};
     use std::io::Write as _;
+    use std::path::PathBuf;
     use std::sync::atomic::{AtomicBool, Ordering};
     use std::sync::Arc;
     use std::thread::JoinHandle;
+
+    /// Rewrites the JSONL file at `path`, keeping the newest whole lines
+    /// totalling at most `keep_bytes` behind a rotation marker line.
+    /// Returns the reopened (append-position) handle and its new size.
+    fn rotate_keep_tail(path: &Path, keep_bytes: u64) -> io::Result<(File, u64)> {
+        let text = std::fs::read_to_string(path)?;
+        let cut = text.len().saturating_sub(keep_bytes as usize);
+        // Advance to the next line boundary so the tail starts clean.
+        let keep_from = if cut == 0 {
+            0
+        } else {
+            text[cut..]
+                .find('\n')
+                .map(|i| cut + i + 1)
+                .unwrap_or(text.len())
+        };
+        let tail = &text[keep_from..];
+        let mut file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(path)?;
+        let marker = format!("{{\"rotated\":true,\"dropped_bytes\":{keep_from}}}");
+        writeln!(file, "{marker}")?;
+        file.write_all(tail.as_bytes())?;
+        Ok((file, (marker.len() + 1 + tail.len()) as u64))
+    }
 
     /// Handle to a running sampler thread; stops and joins on drop.
     pub struct Sampler {
@@ -26,23 +64,56 @@ mod imp {
 
     impl Sampler {
         /// Starts sampling the global registry every `interval` into the
-        /// JSON-lines file at `path` (created/truncated). `hist_scale`
-        /// scales histogram values in the emitted JSON.
+        /// JSON-lines file at `path` (created/truncated), capped at
+        /// [`DEFAULT_MAX_BYTES`]. `hist_scale` scales histogram values in
+        /// the emitted JSON.
         pub fn start(
             path: impl AsRef<Path>,
             interval: Duration,
             hist_scale: f64,
         ) -> io::Result<Sampler> {
+            Self::start_capped(path, interval, hist_scale, DEFAULT_MAX_BYTES)
+        }
+
+        /// [`start`](Self::start) with an explicit output byte cap
+        /// (`0` = unbounded). On overflow the file is rotated in place:
+        /// the newest `max_bytes / 2` of whole lines survive behind a
+        /// rotation marker line.
+        pub fn start_capped(
+            path: impl AsRef<Path>,
+            interval: Duration,
+            hist_scale: f64,
+            max_bytes: u64,
+        ) -> io::Result<Sampler> {
+            let path: PathBuf = path.as_ref().to_path_buf();
             let mut file = OpenOptions::new()
                 .create(true)
                 .write(true)
                 .truncate(true)
-                .open(path.as_ref())?;
+                .open(&path)?;
             let stop = Arc::new(AtomicBool::new(false));
             let stop2 = stop.clone();
             let handle = std::thread::Builder::new()
                 .name("obsv-sampler".into())
                 .spawn(move || {
+                    let mut written = 0u64;
+                    let emit = |file: &mut File, written: &mut u64, line: &str| -> bool {
+                        if writeln!(file, "{line}").is_err() {
+                            return false;
+                        }
+                        *written += line.len() as u64 + 1;
+                        if max_bytes > 0 && *written > max_bytes {
+                            let _ = file.flush();
+                            match rotate_keep_tail(&path, max_bytes / 2) {
+                                Ok((f, size)) => {
+                                    *file = f;
+                                    *written = size;
+                                }
+                                Err(_) => return false,
+                            }
+                        }
+                        true
+                    };
                     // Deadline-driven off wall-clock `Instant`s: the next
                     // deadline advances by whole intervals from the
                     // schedule, so scheduler delay inside one tick does not
@@ -65,7 +136,7 @@ mod imp {
                                 next = now + interval;
                             }
                             let line = crate::registry::global().sample().to_json(hist_scale);
-                            if writeln!(file, "{line}").is_err() {
+                            if !emit(&mut file, &mut written, &line) {
                                 break;
                             }
                         }
@@ -76,7 +147,7 @@ mod imp {
                     }
                     // Final sample so short runs still record something.
                     let line = crate::registry::global().sample().to_json(hist_scale);
-                    let _ = writeln!(file, "{line}");
+                    let _ = emit(&mut file, &mut written, &line);
                     let _ = file.flush();
                 })?;
             Ok(Sampler {
@@ -121,6 +192,15 @@ mod imp {
             Ok(Sampler)
         }
 
+        pub fn start_capped(
+            _path: impl AsRef<Path>,
+            _interval: Duration,
+            _hist_scale: f64,
+            _max_bytes: u64,
+        ) -> io::Result<Sampler> {
+            Ok(Sampler)
+        }
+
         pub fn stop(self) {}
     }
 }
@@ -155,6 +235,44 @@ mod tests {
         rest[..rest.find(',').unwrap_or(rest.len())]
             .parse()
             .expect("numeric ts_ns")
+    }
+
+    #[test]
+    fn rotation_caps_file_size_and_keeps_newest_lines() {
+        let _g = crate::registry::global().register_gauge("sampler.rot", || Some(7.0));
+        let path = std::env::temp_dir().join("obsv_sampler_rotation_test.jsonl");
+        // Tiny cap: every sample line (several hundred bytes against the
+        // test-process registry) overflows it quickly.
+        let cap = 2048u64;
+        let s = Sampler::start_capped(&path, Duration::from_millis(2), 1.0, cap).unwrap();
+        std::thread::sleep(Duration::from_millis(150));
+        s.stop();
+        let text = std::fs::read_to_string(&path).unwrap();
+        // One sample line can land after the rotation check, so the bound
+        // is cap plus one line of slack — not unbounded growth.
+        assert!(
+            (text.len() as u64) <= cap + 1024,
+            "file grew to {} bytes despite cap {cap}",
+            text.len()
+        );
+        // Rotation happened and left its marker as the first line.
+        let first = text.lines().next().unwrap();
+        assert!(
+            first.starts_with("{\"rotated\":true,\"dropped_bytes\":"),
+            "{first}"
+        );
+        // Everything after the marker is intact sample lines (rotation
+        // cuts on line boundaries only), and the newest data survived.
+        let lines: Vec<_> = text.lines().collect();
+        assert!(lines.len() >= 2, "{text}");
+        for line in &lines[1..] {
+            assert!(
+                line.starts_with("{\"ts_ns\":") && line.ends_with('}'),
+                "{line}"
+            );
+        }
+        assert!(text.contains("\"sampler.rot\":7"), "{text}");
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -1,0 +1,368 @@
+//! Fixed-memory time-series store over registry samples.
+//!
+//! A [`Tsdb`] is a bounded ring of [`Sample`]s pulled from a
+//! [`MetricsRegistry`](crate::MetricsRegistry). Writers (the scraper
+//! thread) only append; every derivation — counter deltas and rates,
+//! windowed histogram subtraction — happens on the reader side against the
+//! monotone snapshots PR 3's histograms already provide, so the index hot
+//! paths gain **no new locks and no new instructions**: the only cost of
+//! continuous telemetry is the periodic `registry.sample()` walk on the
+//! scraper thread (quantified by `bench_obsv_overhead --quick`, scraper
+//! arm).
+//!
+//! Retention is fixed-memory by construction: `capacity` samples, oldest
+//! evicted on overflow. The default production shape is 1 s × 10 min
+//! ([`DEFAULT_INTERVAL`] × [`DEFAULT_RETENTION`]).
+//!
+//! [`Scraper`] is the background pump: every `interval` it samples the
+//! global registry into the ring and (optionally) re-evaluates an
+//! [`SloEngine`](crate::slo::SloEngine). Tests and deterministic demos
+//! skip the thread and call [`Tsdb::scrape_global`] / [`Tsdb::record`]
+//! directly.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::recorder::OpSetSnapshot;
+use crate::registry::{self, Sample};
+
+/// Default scrape interval: one second.
+pub const DEFAULT_INTERVAL: Duration = Duration::from_secs(1);
+/// Default retention horizon: ten minutes.
+pub const DEFAULT_RETENTION: Duration = Duration::from_secs(600);
+
+/// A bounded ring of registry samples with windowed read-side derivation.
+pub struct Tsdb {
+    ring: Mutex<VecDeque<Sample>>,
+    capacity: usize,
+}
+
+impl Tsdb {
+    /// A ring retaining the last `capacity` samples (min 2 — windowed
+    /// queries need two points).
+    pub fn new(capacity: usize) -> Arc<Tsdb> {
+        let capacity = capacity.max(2);
+        Arc::new(Tsdb {
+            ring: Mutex::new(VecDeque::with_capacity(capacity)),
+            capacity,
+        })
+    }
+
+    /// Capacity sized so `retention` of samples at `interval` fit.
+    pub fn with_retention(interval: Duration, retention: Duration) -> Arc<Tsdb> {
+        let cap = (retention.as_nanos() / interval.as_nanos().max(1)) as usize + 1;
+        Self::new(cap)
+    }
+
+    /// Maximum number of retained samples.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of currently retained samples.
+    pub fn len(&self) -> usize {
+        self.ring.lock().unwrap().len()
+    }
+
+    /// Whether no samples have been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Appends one sample, evicting the oldest at capacity.
+    pub fn record(&self, sample: Sample) {
+        let mut ring = self.ring.lock().unwrap();
+        if ring.len() == self.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(sample);
+    }
+
+    /// Samples the global registry into the ring; returns the sample's
+    /// timestamp.
+    pub fn scrape_global(&self) -> u64 {
+        let s = registry::global().sample();
+        let ts = s.ts_ns;
+        self.record(s);
+        ts
+    }
+
+    /// Timestamp of the newest retained sample.
+    pub fn latest_ts_ns(&self) -> Option<u64> {
+        self.ring.lock().unwrap().back().map(|s| s.ts_ns)
+    }
+
+    /// Latest value of a gauge, if present in the newest sample.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.ring
+            .lock()
+            .unwrap()
+            .back()
+            .and_then(|s| s.gauges.get(name).copied())
+    }
+
+    /// Runs `f` on the (newest, oldest-in-window) sample pair. `None` when
+    /// fewer than two samples fall inside the window — a delta needs two
+    /// distinct points.
+    fn with_window<R>(&self, window_ns: u64, f: impl FnOnce(&Sample, &Sample) -> R) -> Option<R> {
+        let ring = self.ring.lock().unwrap();
+        let newest = ring.back()?;
+        let start = newest.ts_ns.saturating_sub(window_ns);
+        let oldest = ring.iter().find(|s| s.ts_ns >= start)?;
+        if oldest.ts_ns == newest.ts_ns {
+            return None;
+        }
+        Some(f(newest, oldest))
+    }
+
+    /// Windowed delta of a monotone counter gauge, clamped at 0, plus the
+    /// span actually covered (ns).
+    pub fn counter_delta(&self, name: &str, window_ns: u64) -> Option<(f64, u64)> {
+        self.with_window(window_ns, |newest, oldest| {
+            let a = oldest.gauges.get(name).copied()?;
+            let b = newest.gauges.get(name).copied()?;
+            Some(((b - a).max(0.0), newest.ts_ns - oldest.ts_ns))
+        })?
+    }
+
+    /// Windowed rate of a monotone counter gauge, per second of sample
+    /// time.
+    pub fn counter_rate(&self, name: &str, window_ns: u64) -> Option<f64> {
+        let (delta, dt_ns) = self.counter_delta(name, window_ns)?;
+        if dt_ns == 0 {
+            return None;
+        }
+        Some(delta / (dt_ns as f64 / 1e9))
+    }
+
+    /// Windowed per-kind histogram delta for `source` (the ops completed
+    /// inside the window), plus the span covered (ns). Subtraction happens
+    /// here, on the reader.
+    pub fn hist_delta(&self, source: &str, window_ns: u64) -> Option<(OpSetSnapshot, u64)> {
+        self.with_window(window_ns, |newest, oldest| {
+            let a = oldest.hists.get(source)?;
+            let b = newest.hists.get(source)?;
+            Some((b.since(a), newest.ts_ns - oldest.ts_ns))
+        })?
+    }
+
+    /// The `(ts_ns, value)` series of a gauge inside the window, oldest
+    /// first.
+    pub fn gauge_series(&self, name: &str, window_ns: u64) -> Vec<(u64, f64)> {
+        let ring = self.ring.lock().unwrap();
+        let Some(newest) = ring.back() else {
+            return Vec::new();
+        };
+        let start = newest.ts_ns.saturating_sub(window_ns);
+        ring.iter()
+            .filter(|s| s.ts_ns >= start)
+            .filter_map(|s| s.gauges.get(name).map(|v| (s.ts_ns, *v)))
+            .collect()
+    }
+
+    /// Every retained sample as JSON lines (oldest first), histogram
+    /// values scaled by `hist_scale`.
+    pub fn dump_jsonl(&self, hist_scale: f64) -> String {
+        let ring = self.ring.lock().unwrap();
+        let mut out = String::new();
+        for s in ring.iter() {
+            out.push_str(&s.to_json(hist_scale));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Background scrape pump: every `interval`, re-evaluates an optional SLO
+/// engine (against the samples already retained) and then samples the
+/// global registry into a [`Tsdb`], so the recorded sample carries the
+/// freshly-computed alert gauges. Deadline-driven with 10 ms ticks so
+/// `stop()` returns promptly; missed deadlines are skipped, not replayed.
+/// Stops and joins on drop.
+pub struct Scraper {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Scraper {
+    /// Starts the scrape thread (`obsv-tsdb`).
+    pub fn start(
+        tsdb: Arc<Tsdb>,
+        interval: Duration,
+        slo: Option<Arc<crate::slo::SloEngine>>,
+    ) -> Scraper {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("obsv-tsdb".into())
+            .spawn(move || {
+                let tick = interval
+                    .min(Duration::from_millis(10))
+                    .max(Duration::from_micros(100));
+                let mut next = Instant::now() + interval;
+                while !stop2.load(Ordering::Relaxed) {
+                    std::thread::sleep(tick);
+                    let now = Instant::now();
+                    if now < next {
+                        continue;
+                    }
+                    while next <= now {
+                        next += interval;
+                    }
+                    // Evaluate before scraping: the engine updates its
+                    // firing/burn gauges from the samples already in the
+                    // ring, and the scrape that follows records them — so
+                    // every retained sample carries the alert state that
+                    // was current when it was taken, not the previous
+                    // tick's.
+                    if let Some(engine) = &slo {
+                        engine.evaluate();
+                    }
+                    tsdb.scrape_global();
+                }
+                // Final evaluate + scrape so even shorter-than-interval
+                // runs leave a closing data point.
+                if let Some(engine) = &slo {
+                    engine.evaluate();
+                }
+                tsdb.scrape_global();
+            })
+            .expect("spawn obsv-tsdb thread");
+        Scraper {
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    /// Stops the scrape thread and joins it.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Scraper {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::{OpHistograms, OpKind};
+    use std::collections::BTreeMap;
+
+    fn sample_at(ts_ns: u64, gauges: &[(&str, f64)]) -> Sample {
+        Sample {
+            ts_ns,
+            gauges: gauges
+                .iter()
+                .map(|(k, v)| (k.to_string(), *v))
+                .collect::<BTreeMap<_, _>>(),
+            hists: BTreeMap::new(),
+        }
+    }
+
+    #[test]
+    fn ring_evicts_oldest_at_capacity() {
+        let db = Tsdb::new(3);
+        for i in 0..10u64 {
+            db.record(sample_at(i * 1_000, &[("c", i as f64)]));
+        }
+        assert_eq!(db.len(), 3);
+        assert_eq!(db.latest_ts_ns(), Some(9_000));
+        // Oldest retained is ts=7000: a full-ring window sees 7000..9000.
+        let (delta, dt) = db.counter_delta("c", u64::MAX).unwrap();
+        assert_eq!(delta, 2.0);
+        assert_eq!(dt, 2_000);
+    }
+
+    #[test]
+    fn counter_rate_is_per_second_and_windowed() {
+        let db = Tsdb::new(16);
+        // 1 tick/ns for 4 samples 1s apart: 100, 200, 300, 400.
+        for i in 0..4u64 {
+            db.record(sample_at(
+                i * 1_000_000_000,
+                &[("ops", 100.0 * (i + 1) as f64)],
+            ));
+        }
+        // Full window: 300 ops over 3 s.
+        let r = db.counter_rate("ops", u64::MAX).unwrap();
+        assert!((r - 100.0).abs() < 1e-9, "{r}");
+        // 1.5 s window: only the last two samples qualify (dt = 1 s).
+        let (delta, dt) = db.counter_delta("ops", 1_500_000_000).unwrap();
+        assert_eq!(delta, 100.0);
+        assert_eq!(dt, 1_000_000_000);
+        // Window too narrow for two samples: no delta.
+        assert!(db.counter_delta("ops", 1).is_none());
+        // Unknown gauge: no delta.
+        assert!(db.counter_delta("nope", u64::MAX).is_none());
+    }
+
+    #[test]
+    fn counter_delta_clamps_resets_to_zero() {
+        let db = Tsdb::new(8);
+        db.record(sample_at(0, &[("c", 500.0)]));
+        db.record(sample_at(1_000, &[("c", 10.0)])); // counter reset
+        let (delta, _) = db.counter_delta("c", u64::MAX).unwrap();
+        assert_eq!(delta, 0.0);
+    }
+
+    #[test]
+    fn hist_delta_subtracts_window_edges() {
+        let ops = OpHistograms::new();
+        ops.record(OpKind::Lookup, 100, 0);
+        let snap_a = ops.snapshot();
+        ops.record(OpKind::Lookup, 200, 0);
+        ops.record(OpKind::Scan, 999, 0);
+        let snap_b = ops.snapshot();
+
+        let db = Tsdb::new(8);
+        let mk = |ts, snap: OpSetSnapshot| Sample {
+            ts_ns: ts,
+            gauges: BTreeMap::new(),
+            hists: [("idx".to_string(), snap)].into_iter().collect(),
+        };
+        db.record(mk(1_000, snap_a));
+        db.record(mk(2_000, snap_b));
+
+        let (delta, dt) = db.hist_delta("idx", u64::MAX).unwrap();
+        assert_eq!(dt, 1_000);
+        assert_eq!(delta.get(OpKind::Lookup).count(), 1);
+        assert_eq!(delta.get(OpKind::Scan).count(), 1);
+        assert_eq!(delta.total_count(), 2);
+    }
+
+    #[test]
+    fn scraper_thread_records_and_stops() {
+        let db = Tsdb::new(64);
+        let scraper = Scraper::start(Arc::clone(&db), Duration::from_millis(5), None);
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while db.len() < 3 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        scraper.stop();
+        assert!(db.len() >= 3, "scraper recorded {} samples", db.len());
+    }
+
+    #[test]
+    fn dump_jsonl_one_line_per_sample() {
+        let db = Tsdb::new(4);
+        db.record(sample_at(1, &[("g", 1.0)]));
+        db.record(sample_at(2, &[("g", 2.0)]));
+        let dump = db.dump_jsonl(1.0);
+        assert_eq!(dump.lines().count(), 2);
+        assert!(dump.lines().all(|l| l.starts_with("{\"ts_ns\":")), "{dump}");
+    }
+}

@@ -57,6 +57,45 @@ proptest! {
     }
 
     #[test]
+    fn since_then_merge_rebuilds_the_superset(
+        a in proptest::collection::vec(0u64..(1u64 << 40), 0..100),
+        b in proptest::collection::vec(0u64..(1u64 << 40), 0..100),
+    ) {
+        // The windowed-delta contract the tsdb relies on: for cumulative
+        // snapshots old ⊆ new, merging new.since(old) back onto old is the
+        // identity — subtraction loses nothing and never goes negative.
+        let (sa, sb) = (record_all(&a), record_all(&b));
+        let mut ab = sa.clone();
+        ab.merge(&sb);
+        let delta = ab.since(&sa);
+        let mut rebuilt = sa.clone();
+        rebuilt.merge(&delta);
+        prop_assert_eq!(rebuilt, ab);
+    }
+
+    #[test]
+    fn opset_since_then_merge_roundtrips(
+        ops in proptest::collection::vec((0usize..5, 1u64..(1u64 << 40)), 0..150),
+        split in 0usize..151,
+    ) {
+        let split = split.min(ops.len());
+        let h = OpHistograms::new();
+        for &(k, v) in &ops[..split] {
+            h.record(OpKind::ALL[k], v, 0);
+        }
+        let old = h.snapshot();
+        for &(k, v) in &ops[split..] {
+            h.record(OpKind::ALL[k], v, 0);
+        }
+        let new = h.snapshot();
+        let delta = new.since(&old);
+        prop_assert_eq!(delta.total_count(), (ops.len() - split) as u64);
+        let mut rebuilt = old.clone();
+        rebuilt.merge(&delta);
+        prop_assert_eq!(rebuilt, new);
+    }
+
+    #[test]
     fn bucket_midpoint_within_documented_bound(v in 1u64..MAX_VALUE) {
         let mid = bucket_mid(bucket_of(v));
         let err = (mid as f64 - v as f64).abs() / v as f64;
@@ -124,6 +163,71 @@ proptest! {
         merged.merge(&hb.snapshot());
         prop_assert_eq!(merged, single.snapshot());
     }
+}
+
+/// Windowed subtraction under concurrent recording — the scraper-thread
+/// contract behind `obsv::tsdb`: one reader taking sequential snapshots
+/// of a histogram under full write load sees per-(stripe,bucket) counters
+/// that only grow, so every window delta is exactly non-negative
+/// (`old.merge(delta) == new`, which `saturating_sub` clamping would
+/// break) and the windows partition the total.
+#[test]
+fn concurrent_recording_yields_nonnegative_exact_window_deltas() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let h = Histogram::new();
+    let ops = OpHistograms::new();
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        for t in 0..4u64 {
+            let (h, ops, stop) = (&h, &ops, &stop);
+            s.spawn(move || {
+                let mut i = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    h.record(t * 1000 + i % 977);
+                    ops.record(OpKind::ALL[(i % 5) as usize], i % 977 + 1, 0);
+                    i += 1;
+                }
+            });
+        }
+
+        let first = h.snapshot();
+        let ops_first = ops.snapshot();
+        let mut prev = first.clone();
+        let mut ops_prev = ops_first.clone();
+        let mut windows = Vec::new();
+        for _ in 0..100 {
+            let cur = h.snapshot();
+            let delta = cur.since(&prev);
+            // Merging the delta back onto the older snapshot must rebuild
+            // the newer one exactly: any clamped-to-zero (i.e. "negative")
+            // bucket, sum, or count would make this fail.
+            let mut rebuilt = prev.clone();
+            rebuilt.merge(&delta);
+            assert_eq!(rebuilt, cur);
+
+            let ops_cur = ops.snapshot();
+            let ops_delta = ops_cur.since(&ops_prev);
+            let mut ops_rebuilt = ops_prev.clone();
+            ops_rebuilt.merge(&ops_delta);
+            assert_eq!(ops_rebuilt, ops_cur);
+
+            windows.push(delta);
+            prev = cur;
+            ops_prev = ops_cur;
+        }
+        stop.store(true, Ordering::Relaxed);
+
+        // The windows partition the covered span: merging them equals
+        // last - first.
+        let total = prev.since(&first);
+        let mut acc = HistSnapshot::empty();
+        for w in &windows {
+            acc.merge(w);
+        }
+        assert_eq!(acc, total);
+        assert!(total.count() > 0, "writers made progress under the reader");
+    });
 }
 
 #[test]

@@ -19,6 +19,10 @@
 //! * **Transports** ([`transport`]) — a zero-copy in-process client, a
 //!   codec-path in-process client, and a `std::net` TCP server/client pair
 //!   sharing one frame handler.
+//! * **Health exposition** — a v3 `Health`/`HealthReply` frame pair and a
+//!   plain-TCP [`transport::HealthServer`] answering `GET` with the live
+//!   registry plus SLO alert states in Prometheus text format, so `curl`
+//!   (or `pacsrv-top`) can scrape a running server.
 //! * **Lifecycle** — graceful drain-on-shutdown via the index's `drain`
 //!   hook, or [`service::PacService::kill`] to simulate an abrupt crash for
 //!   recovery testing.
@@ -38,5 +42,5 @@ pub use metrics::ServiceMetrics;
 pub use queue::{BatchQueue, PopStatus};
 pub use reply::ReplySet;
 pub use service::{PacService, ServiceConfig};
-pub use transport::{LocalClient, TcpClient, TcpServer};
+pub use transport::{HealthServer, LocalClient, TcpClient, TcpServer};
 pub use wire::{decode_frame, encode_frame, Frame, Request, Response, WireError};

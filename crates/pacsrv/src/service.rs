@@ -118,6 +118,9 @@ pub struct PacService<I: RangeIndex + Clone + 'static> {
     state: AtomicU8,
     /// Correlation ids for [`handle_frame`](Self::handle_frame) replies.
     next_id: AtomicU64,
+    /// SLO engine whose alert states the health endpoint exposes
+    /// (none until [`set_slo_engine`](Self::set_slo_engine)).
+    slo: Mutex<Option<Arc<obsv::SloEngine>>>,
     _registrations: Vec<obsv::Registration>,
 }
 
@@ -231,6 +234,7 @@ impl<I: RangeIndex + Clone + 'static> PacService<I> {
             origin: Instant::now(),
             state: AtomicU8::new(RUNNING),
             next_id: AtomicU64::new(1),
+            slo: Mutex::new(None),
             _registrations: registrations,
         })
     }
@@ -388,6 +392,10 @@ impl<I: RangeIndex + Clone + 'static> PacService<I> {
                 id,
                 json: self.stats_json(),
             },
+            Ok((crate::wire::Frame::Health { id }, _)) => crate::wire::Frame::HealthReply {
+                id,
+                text: self.health_text(),
+            },
             Ok((frame, _)) => crate::wire::Frame::Reply {
                 id: frame.id(),
                 resps: vec![Response::Malformed],
@@ -430,6 +438,30 @@ impl<I: RangeIndex + Clone + 'static> PacService<I> {
             trace::digest_json(),
             trace::json_escape(&obsv::flight::dump_now()),
         )
+    }
+
+    /// Attaches an SLO engine: its alert states (firing flags and
+    /// burn rates) are appended to every health scrape from now on. The
+    /// engine is typically also registered as registry gauges and driven
+    /// by an [`obsv::Scraper`], so the states appear in sampled time
+    /// series too; this hook is what puts them on the wire.
+    pub fn set_slo_engine(&self, engine: Arc<obsv::SloEngine>) {
+        *self.slo.lock().unwrap() = Some(engine);
+    }
+
+    /// The health document answered to a [`crate::wire::Frame::Health`]
+    /// request and served by the plain-TCP health listener: a live
+    /// metrics-registry sample plus any attached SLO alert states,
+    /// rendered in Prometheus text exposition format.
+    pub fn health_text(&self) -> String {
+        let slo_status = self
+            .slo
+            .lock()
+            .unwrap()
+            .as_ref()
+            .map(|e| e.status())
+            .unwrap_or_default();
+        obsv::prom::render(&obsv::global().sample(), &slo_status)
     }
 
     /// A fresh correlation id (transports that multiplex need them unique
@@ -924,6 +956,59 @@ mod tests {
                 assert!(json.contains("\"traces\":{"), "{json}");
             }
             other => panic!("expected stats reply, got {other:?}"),
+        }
+        svc.shutdown(Duration::from_secs(5));
+    }
+
+    #[test]
+    fn health_frame_answers_with_prometheus_text() {
+        use crate::wire::{decode_frame, encode_frame, Frame};
+        let svc = PacService::start(MapIndex::default(), ServiceConfig::named("svc-health", 1));
+        svc.call(Request::Put {
+            key: b"h".to_vec(),
+            value: 1,
+        });
+        let mut buf = Vec::new();
+        encode_frame(&Frame::Health { id: 31 }, &mut buf);
+        let (reply, _) = decode_frame(&svc.handle_frame(&buf)).unwrap();
+        match reply {
+            Frame::HealthReply { id, text } => {
+                assert_eq!(id, 31);
+                assert!(
+                    text.contains("# TYPE obsv_scrape_timestamp_ns gauge"),
+                    "{text}"
+                );
+                assert!(text.contains("svc_health_queue_depth"), "{text}");
+                // No SLO engine attached: no slo families yet.
+                assert!(!text.contains("slo_firing"), "{text}");
+            }
+            other => panic!("expected health reply, got {other:?}"),
+        }
+        // Attach an SLO engine; its states join the scrape.
+        let tsdb = obsv::Tsdb::new(16);
+        let engine = obsv::SloEngine::new(
+            tsdb,
+            vec![obsv::SloSpec::ratio(
+                "svc-health-shed",
+                "svc-health.shed.total",
+                "svc-health.admitted.total",
+                0.01,
+            )],
+        );
+        svc.set_slo_engine(engine);
+        let (reply, _) = decode_frame(&svc.handle_frame(&buf)).unwrap();
+        match reply {
+            Frame::HealthReply { text, .. } => {
+                assert!(
+                    text.contains("slo_firing{slo=\"svc-health-shed\"} 0"),
+                    "{text}"
+                );
+                assert!(
+                    text.contains("slo_burn_rate{slo=\"svc-health-shed\",window=\"fast\"}"),
+                    "{text}"
+                );
+            }
+            other => panic!("expected health reply, got {other:?}"),
         }
         svc.shutdown(Duration::from_secs(5));
     }

@@ -222,6 +222,124 @@ fn handle_conn<I: RangeIndex + Clone + 'static>(
     }
 }
 
+/// A plain-TCP health endpoint speaking just enough HTTP that `curl`
+/// and Prometheus can scrape a running server without the binary wire
+/// protocol: any request line starting with `GET` is answered with a
+/// `200 OK` carrying [`PacService::health_text`] in the Prometheus text
+/// exposition format, then the connection closes (HTTP/1.0 style).
+/// Anything else gets a `400`. One scrape = one connection; handled
+/// inline on the accept thread, which is fine at scrape cadence.
+pub struct HealthServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl HealthServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"`) and starts answering scrapes.
+    pub fn start<I: RangeIndex + Clone + 'static>(
+        service: Arc<PacService<I>>,
+        addr: impl ToSocketAddrs,
+    ) -> std::io::Result<HealthServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let accept_thread = std::thread::Builder::new()
+            .name("pacsrv-health".to_string())
+            .spawn(move || {
+                while !stop2.load(Ordering::Acquire) {
+                    match listener.accept() {
+                        Ok((stream, _peer)) => {
+                            let _ = answer_scrape(stream, &service);
+                        }
+                        Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(2));
+                        }
+                        Err(_) => break,
+                    }
+                }
+            })?;
+        Ok(HealthServer {
+            addr: local,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (port resolved when binding `:0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the listener and joins the accept thread.
+    pub fn stop(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for HealthServer {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+/// Answers one HTTP-style scrape on `stream` and closes it. Reads until
+/// the request's blank line (tolerating a bare `GET /metrics` with no
+/// headers from hand-rolled pollers) under a short timeout, so a stalled
+/// client cannot wedge the accept loop for long.
+fn answer_scrape<I: RangeIndex + Clone + 'static>(
+    mut stream: TcpStream,
+    service: &PacService<I>,
+) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    let mut req = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    loop {
+        // Enough to classify: a full request line plus optional headers.
+        if req.windows(2).any(|w| w == b"\n\n") || req.windows(4).any(|w| w == b"\r\n\r\n") {
+            break;
+        }
+        if req.len() >= 8192 {
+            break; // refuse to buffer an unbounded request
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => req.extend_from_slice(&chunk[..n]),
+            // A poller that sends `GET /metrics\n` and then just waits for
+            // the reply never sends a blank line: answer on timeout too.
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                if req.contains(&b'\n') {
+                    break;
+                }
+                return Ok(()); // nothing readable at all: drop it
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    let reply = if req.starts_with(b"GET") {
+        let body = service.health_text();
+        format!(
+            "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\n\
+             Content-Length: {}\r\nConnection: close\r\n\r\n{}",
+            body.len(),
+            body
+        )
+    } else {
+        "HTTP/1.0 400 Bad Request\r\nContent-Length: 0\r\nConnection: close\r\n\r\n".to_string()
+    };
+    stream.write_all(reply.as_bytes())?;
+    stream.flush()
+}
+
 /// A blocking TCP client speaking one frame at a time.
 pub struct TcpClient {
     stream: TcpStream,
@@ -309,6 +427,20 @@ impl TcpClient {
             other => Err(std::io::Error::new(
                 ErrorKind::InvalidData,
                 format!("unexpected stats reply {other:?}"),
+            )),
+        }
+    }
+
+    /// Fetches the server's health document — a Prometheus-text-format
+    /// metrics scrape with SLO alert states (wire v3 only).
+    pub fn health(&mut self) -> std::io::Result<String> {
+        let id = self.next_id;
+        self.next_id += 1;
+        match self.roundtrip(&Frame::Health { id })? {
+            Frame::HealthReply { id: rid, text } if rid == id => Ok(text),
+            other => Err(std::io::Error::new(
+                ErrorKind::InvalidData,
+                format!("unexpected health reply {other:?}"),
             )),
         }
     }

@@ -7,7 +7,8 @@
 //! | 0      | 2    | magic `0xAC51` (little-endian)                     |
 //! | 2      | 1    | protocol version (1, 2, or 3, see [`VERSION`])     |
 //! | 3      | 1    | frame kind (1 request, 2 reply, 3 ping, 4 pong,    |
-//! |        |      | 5 stats, 6 stats-reply — 5/6 are v2-only)          |
+//! |        |      | 5 stats, 6 stats-reply — 5/6 are v2-only —         |
+//! |        |      | 7 health, 8 health-reply — 7/8 are v3-only)        |
 //! | 4      | 8    | correlation id (echoed verbatim in the reply)      |
 //! | 12     | 4    | payload length in bytes                            |
 //! | 16     | 4    | CRC32 over bytes `0..16` plus the payload          |
@@ -58,6 +59,13 @@
 //! tags), a v3 server answers old clients with old-version replies, and
 //! encoding a snapshot operation at version < 3 panics rather than
 //! emitting bytes an old decoder would misread.
+//!
+//! v3 also adds the `Health`/`HealthReply` frame pair (kinds 7/8): a
+//! scrape request answered with the server's live metrics in Prometheus
+//! text exposition format (registry sample + SLO alert states), the same
+//! document the plain-TCP health listener serves to `curl`. Health kinds
+//! inside a v1/v2 frame are rejected as malformed, exactly like stats
+//! kinds in v1.
 //!
 //! The same bytes travel over TCP and through the in-process transport, so
 //! benchmarks can isolate protocol cost (encode + checksum + decode) from
@@ -204,6 +212,10 @@ pub enum Frame {
     Stats { id: u64 },
     /// The stats answer: a JSON document (v2 only).
     StatsReply { id: u64, json: String },
+    /// Health-scrape request (v3 only).
+    Health { id: u64 },
+    /// The health answer: a Prometheus-text-format document (v3 only).
+    HealthReply { id: u64, text: String },
 }
 
 impl Frame {
@@ -215,6 +227,8 @@ impl Frame {
             Frame::Pong { .. } => 4,
             Frame::Stats { .. } => 5,
             Frame::StatsReply { .. } => 6,
+            Frame::Health { .. } => 7,
+            Frame::HealthReply { .. } => 8,
         }
     }
 
@@ -226,7 +240,9 @@ impl Frame {
             | Frame::Ping { id }
             | Frame::Pong { id }
             | Frame::Stats { id }
-            | Frame::StatsReply { id, .. } => *id,
+            | Frame::StatsReply { id, .. }
+            | Frame::Health { id }
+            | Frame::HealthReply { id, .. } => *id,
         }
     }
 }
@@ -454,7 +470,16 @@ fn encode_payload(frame: &Frame, version: u8, out: &mut Vec<u8>) {
             put_u32(out, json.len() as u32);
             out.extend_from_slice(json.as_bytes());
         }
-        Frame::Ping { .. } | Frame::Pong { .. } | Frame::Stats { .. } => {}
+        Frame::HealthReply { text, .. } => {
+            assert!(
+                text.len() <= MAX_PAYLOAD - 8,
+                "health text of {} bytes exceeds MAX_PAYLOAD",
+                text.len()
+            );
+            put_u32(out, text.len() as u32);
+            out.extend_from_slice(text.as_bytes());
+        }
+        Frame::Ping { .. } | Frame::Pong { .. } | Frame::Stats { .. } | Frame::Health { .. } => {}
     }
 }
 
@@ -489,6 +514,10 @@ pub fn encode_frame_versioned(frame: &Frame, version: u8, out: &mut Vec<u8>) -> 
     assert!(
         version >= 2 || !matches!(frame, Frame::Stats { .. } | Frame::StatsReply { .. }),
         "stats frames are not representable in wire v1"
+    );
+    assert!(
+        version >= 3 || !matches!(frame, Frame::Health { .. } | Frame::HealthReply { .. }),
+        "health frames are not representable below wire v3"
     );
     let has_v3_op = match frame {
         Frame::Request { reqs, .. } => reqs.iter().any(Request::requires_v3),
@@ -538,6 +567,16 @@ fn decode_payload(version: u8, kind: u8, id: u64, payload: &[u8]) -> Result<Fram
             Frame::StatsReply { id, json }
         }
         5 | 6 => return Err(WireError::Malformed("stats frames require wire v2")),
+        7 if version >= 3 => Frame::Health { id },
+        8 if version >= 3 => {
+            let len = r.u32()? as usize;
+            let bytes = r.take(len)?;
+            let text = std::str::from_utf8(bytes)
+                .map_err(|_| WireError::Malformed("health text is not UTF-8"))?
+                .to_string();
+            Frame::HealthReply { id, text }
+        }
+        7 | 8 => return Err(WireError::Malformed("health frames require wire v3")),
         1 => {
             let trace = if version >= 2 {
                 let trace_id = r.u64()?;
@@ -1013,6 +1052,44 @@ mod tests {
         assert_eq!(
             decode_frame(&buf),
             Err(WireError::Malformed("snapshot ops require wire v3"))
+        );
+    }
+
+    #[test]
+    fn roundtrip_health_frames() {
+        roundtrip(Frame::Health { id: 77 });
+        roundtrip(Frame::HealthReply {
+            id: 77,
+            text: "# TYPE pacsrv_queue_depth gauge\npacsrv_queue_depth 3\n".to_string(),
+        });
+        roundtrip(Frame::HealthReply {
+            id: 0,
+            text: String::new(),
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "health frames are not representable below wire v3")]
+    fn v2_cannot_encode_health() {
+        let mut buf = Vec::new();
+        encode_frame_versioned(&Frame::Health { id: 1 }, 2, &mut buf);
+    }
+
+    #[test]
+    fn health_kind_inside_v2_frame_is_malformed() {
+        // Hand-build a v2 header claiming kind 7 (health) with an empty
+        // payload and a valid CRC: structurally impossible below v3.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC.to_le_bytes());
+        buf.push(2); // version 2
+        buf.push(7); // kind: health
+        buf.extend_from_slice(&7u64.to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        let crc = crc32(&[&buf[..16]]);
+        buf.extend_from_slice(&crc.to_le_bytes());
+        assert_eq!(
+            decode_frame(&buf),
+            Err(WireError::Malformed("health frames require wire v3"))
         );
     }
 

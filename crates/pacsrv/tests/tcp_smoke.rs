@@ -6,7 +6,7 @@ use std::time::Duration;
 
 use common::MapIndex;
 use pacsrv::wire::{Request, Response};
-use pacsrv::{PacService, ServiceConfig, TcpClient, TcpServer};
+use pacsrv::{HealthServer, PacService, ServiceConfig, TcpClient, TcpServer};
 
 #[test]
 fn tcp_loopback_roundtrip() {
@@ -140,6 +140,65 @@ fn stats_endpoint_answers_over_tcp() {
         .expect("v1 call");
     assert_eq!(resps, vec![Response::Value(Some(3))]);
 
+    server.stop();
+    assert!(service.shutdown(Duration::from_secs(5)));
+}
+
+#[test]
+fn health_scrapes_over_wire_frame_and_plain_http() {
+    use std::io::{Read as _, Write as _};
+
+    let cfg = ServiceConfig {
+        shards: 2,
+        numa_pin: false,
+        ..ServiceConfig::named("pacsrv-tcp-health", 2)
+    };
+    let service = PacService::start(MapIndex::default(), cfg);
+    let server = TcpServer::start(service.clone(), "127.0.0.1:0").expect("bind");
+    let health = HealthServer::start(service.clone(), "127.0.0.1:0").expect("bind health");
+
+    let mut client = TcpClient::connect(server.local_addr()).expect("connect");
+    for i in 0..10u64 {
+        client
+            .call(vec![Request::Put {
+                key: i.to_be_bytes().to_vec(),
+                value: i,
+            }])
+            .expect("call");
+    }
+
+    // Wire-frame scrape (v3 Health/HealthReply).
+    let text = client.health().expect("health frame");
+    assert!(
+        text.contains("# TYPE pacsrv_tcp_health_queue_depth gauge"),
+        "{text}"
+    );
+    assert!(text.contains("pacsrv_tcp_health_admitted_total"), "{text}");
+
+    // Plain-HTTP scrape, exactly what `curl http://addr/metrics` sends.
+    let mut sock = std::net::TcpStream::connect(health.local_addr()).expect("connect http");
+    sock.write_all(b"GET /metrics HTTP/1.0\r\nHost: x\r\n\r\n")
+        .expect("send request");
+    let mut reply = String::new();
+    sock.read_to_string(&mut reply).expect("read reply");
+    assert!(reply.starts_with("HTTP/1.0 200 OK\r\n"), "{reply}");
+    assert!(reply.contains("Content-Type: text/plain"), "{reply}");
+    let body = reply.split("\r\n\r\n").nth(1).expect("body");
+    assert!(body.contains("pacsrv_tcp_health_admitted_total"), "{body}");
+    assert!(
+        body.contains("# TYPE obsv_scrape_timestamp_ns gauge"),
+        "{body}"
+    );
+
+    // Non-GET requests are refused, connection still answered.
+    let mut sock = std::net::TcpStream::connect(health.local_addr()).expect("connect http");
+    sock.write_all(b"POST /metrics HTTP/1.0\r\n\r\n")
+        .expect("send request");
+    let mut reply = String::new();
+    sock.read_to_string(&mut reply).expect("read reply");
+    assert!(reply.starts_with("HTTP/1.0 400"), "{reply}");
+
+    health.stop();
     server.stop();
     assert!(service.shutdown(Duration::from_secs(5)));
 }

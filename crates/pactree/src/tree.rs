@@ -347,6 +347,41 @@ impl PacTree {
         );
         gauge(
             &mut guards,
+            format!("{prefix}.epoch.backlog_age_ns"),
+            Box::new(|t| t.collector.backlog_age_ns() as f64),
+        );
+        gauge(
+            &mut guards,
+            format!("{prefix}.mvcc.chain_max"),
+            Box::new(|t| t.mvcc.chain_stats().0 as f64),
+        );
+        gauge(
+            &mut guards,
+            format!("{prefix}.mvcc.chain_mean"),
+            Box::new(|t| t.mvcc.chain_stats().1),
+        );
+        // Structural health of the data layer: one O(n) epoch-pinned walk
+        // per sample. Only scrape threads pay it (gauges run on sample(),
+        // never on an index hot path).
+        gauge(
+            &mut guards,
+            format!("{prefix}.node.count"),
+            Box::new(|t| t.occupancy().0 as f64),
+        );
+        gauge(
+            &mut guards,
+            format!("{prefix}.node.occupancy"),
+            Box::new(|t| {
+                let (nodes, live) = t.occupancy();
+                if nodes == 0 {
+                    0.0
+                } else {
+                    live as f64 / (nodes * NODE_SLOTS) as f64
+                }
+            }),
+        );
+        gauge(
+            &mut guards,
             format!("{prefix}.mvcc.pinned_backlog"),
             Box::new(|t| {
                 // Reclamation work deferred behind snapshot epoch pins;
@@ -1468,6 +1503,23 @@ impl PacTree {
     }
 
     // -- Diagnostics -----------------------------------------------------------
+
+    /// One epoch-pinned data-layer walk returning `(nodes, live_pairs)` —
+    /// the basis of the `node.count` / `node.occupancy` health gauges.
+    /// O(n): meant for scrape threads and tests, never hot paths.
+    pub fn occupancy(&self) -> (usize, usize) {
+        let _g = self.collector.pin();
+        let mut raw = self.head_raw();
+        let (mut nodes, mut live) = (0usize, 0usize);
+        while raw != 0 {
+            // SAFETY: epoch-pinned list walk.
+            let node = unsafe { node_ref(raw) };
+            nodes += 1;
+            live += node.live_count();
+            raw = node.next.load(Ordering::Acquire);
+        }
+        (nodes, live)
+    }
 
     /// Walks the data layer counting live pairs (O(n); tests only).
     pub fn count_pairs(&self) -> usize {

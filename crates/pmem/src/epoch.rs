@@ -53,6 +53,10 @@ pub struct Collector {
     executed: AtomicU64,
     /// Deferred items queued so far.
     queued: AtomicU64,
+    /// When the current backlog episode started ([`obsv::clock::now_ns`],
+    /// clamped ≥ 1); 0 while fully drained. Diagnostic only: a backlog
+    /// that keeps aging means nothing is advancing the epoch.
+    backlog_since_ns: AtomicU64,
 }
 
 impl Default for Collector {
@@ -75,6 +79,7 @@ impl Collector {
             bins: Mutex::new(Vec::new()),
             executed: AtomicU64::new(0),
             queued: AtomicU64::new(0),
+            backlog_since_ns: AtomicU64::new(0),
         }
     }
 
@@ -150,6 +155,13 @@ impl Collector {
     pub fn defer(&self, _guard: &Guard<'_>, f: impl FnOnce() + Send + 'static) {
         let epoch = self.global_epoch.load(Ordering::Acquire);
         self.queued.fetch_add(1, Ordering::Relaxed);
+        // Stamp the start of a backlog episode (drained -> backlogged).
+        let _ = self.backlog_since_ns.compare_exchange(
+            0,
+            obsv::clock::now_ns().max(1),
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        );
         let mut bins = self.bins.lock();
         match bins.last_mut() {
             Some(bin) if bin.epoch == epoch => bin.items.push(Box::new(f)),
@@ -215,6 +227,9 @@ impl Collector {
             }
         }
         self.executed.fetch_add(n as u64, Ordering::Relaxed);
+        if n > 0 && self.executed.load(Ordering::Relaxed) == self.queued.load(Ordering::Relaxed) {
+            self.backlog_since_ns.store(0, Ordering::Relaxed);
+        }
         n
     }
 
@@ -236,6 +251,7 @@ impl Collector {
     /// and must not run. Returns the number of discarded items.
     pub fn discard_all(&self) -> usize {
         let bins: Vec<Bin> = std::mem::take(&mut *self.bins.lock());
+        self.backlog_since_ns.store(0, Ordering::Relaxed);
         bins.into_iter().map(|b| b.items.len()).sum()
     }
 
@@ -252,6 +268,20 @@ impl Collector {
     /// Current global epoch (for diagnostics).
     pub fn epoch(&self) -> u64 {
         self.global_epoch.load(Ordering::Relaxed)
+    }
+
+    /// Age (ns) of the current backlog episode: how long deferred garbage
+    /// has been waiting since the backlog last became non-empty. 0 while
+    /// fully drained. A continuously growing age means nothing is
+    /// advancing the epoch (stuck pin or missing maintenance), long
+    /// before memory pressure shows.
+    pub fn backlog_age_ns(&self) -> u64 {
+        let since = self.backlog_since_ns.load(Ordering::Relaxed);
+        if since == 0 {
+            0
+        } else {
+            obsv::clock::now_ns().saturating_sub(since)
+        }
     }
 }
 
@@ -305,6 +335,27 @@ mod tests {
         c.try_advance();
         assert_eq!(ran.load(Ordering::SeqCst), 1);
         assert_eq!(c.executed(), 1);
+    }
+
+    #[test]
+    fn backlog_age_tracks_episodes() {
+        let c = Collector::new();
+        assert_eq!(c.backlog_age_ns(), 0, "fresh collector is drained");
+        {
+            let g = c.pin();
+            c.defer(&g, || {});
+        }
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        assert!(c.backlog_age_ns() > 0, "pending garbage ages");
+        c.flush();
+        assert_eq!(c.executed(), c.queued());
+        assert_eq!(c.backlog_age_ns(), 0, "drain resets the episode");
+        // A new episode restarts the clock from ~zero.
+        {
+            let g = c.pin();
+            c.defer(&g, || {});
+        }
+        assert!(c.backlog_age_ns() < 1_000_000_000, "age restarted");
     }
 
     #[test]

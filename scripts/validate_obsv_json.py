@@ -12,8 +12,11 @@ Validates by the embedded "schema" tag:
   percentiles must be monotone (p50 <= p90 <= ... <= max).
 * ``obsv_report/v1`` — registry time series. Needs a non-empty sample
   list; every sample carries ts_ns/gauges/hists; the final (post-quiesce)
-  sample must show the SMO replay-lag and epoch-backlog gauges drained to
-  zero and the pmem gauges present.
+  sample must show the SMO replay-lag, epoch-backlog (count and age) and
+  MVCC (live snapshots, version-chain length) gauges drained to zero, the
+  structural node gauges (count, occupancy) sane, and the pmem gauges
+  present; somewhere in the series a snapshot must have been live (the
+  report's MVCC exercise).
 * ``trace_chrome/v1`` — Chrome trace-event JSON from ``trace-report``.
   Every complete ("X") event needs ts/dur/pid/tid and span args; every
   trace (pid) needs a root span whose interval covers its children.
@@ -32,6 +35,24 @@ Validates by the embedded "schema" tag:
 * ``pacsrv_bench/v2`` — service-mode throughput from ``pacsrv-bench``;
   v2 adds the ``scan_interference`` phase (writer retention under live
   vs snapshot-isolated scans through the wire protocol).
+* ``obsv_overhead/v1`` — observability-overhead A/B from
+  ``bench_obsv_overhead``. Needs the three toggle-arm medians plus the
+  scraper arm (raw and 1 s-rescaled overhead, on/off throughput) and
+  both verdicts.
+* ``slo_events/v1`` — one JSON object per line from an
+  ``obsv::SloEngine`` event sink; fire/clear must alternate per
+  objective, starting with fire, with monotone timestamps.
+* tsdb dumps (``.jsonl`` lines with ``ts_ns``/``gauges``/``hists`` and
+  no ``schema`` tag) — from ``Tsdb::dump_jsonl`` or the background
+  sampler; timestamps must be monotone. If SLO gauges are present, some
+  ``slo.*.firing`` gauge must both fire and end clear (the health-demo
+  alert episode).
+* ``.txt`` files — Prometheus text exposition from the health endpoint:
+  well-formed ``# TYPE``/sample lines, the scrape timestamp family, and
+  sane ``slo_firing`` values when present.
+
+``.jsonl`` files are dispatched by the ``schema`` tag of their first
+line (``trace_summary/v1``, ``slo_events/v1``, or none -> tsdb dump).
 """
 
 import json
@@ -90,13 +111,26 @@ def validate_report(doc, path):
     gauges = final["gauges"]
     if not any(k.startswith("pmem.") for k in gauges):
         fail(f"{path}: final sample has no pmem.* gauges")
-    for drained in ["smo.pending", "epoch.backlog"]:
+    for drained in ["smo.pending", "epoch.backlog", "epoch.backlog_age_ns",
+                    "mvcc.live_snapshots", "mvcc.chain_max"]:
         matches = [k for k in gauges if k.endswith(drained)]
         if not matches:
             fail(f"{path}: final sample has no *.{drained} gauge")
         for k in matches:
             if gauges[k] != 0:
                 fail(f"{path}: {k} = {gauges[k]} after quiesce (want 0)")
+    counts = [k for k in gauges if k.endswith("node.count")]
+    if not counts or any(gauges[k] <= 0 for k in counts):
+        fail(f"{path}: final sample missing positive *.node.count gauge")
+    for k in [k for k in gauges if k.endswith("node.occupancy")]:
+        if not 0.0 < gauges[k] <= 1.0:
+            fail(f"{path}: {k} = {gauges[k]} not a fraction in (0, 1]")
+    # The report holds a snapshot open across part of the run, so the MVCC
+    # gauges must have moved somewhere in the series, not just existed.
+    if not any(v > 0 for s in samples
+               for k, v in s["gauges"].items()
+               if k.endswith("mvcc.live_snapshots")):
+        fail(f"{path}: no sample ever saw a live snapshot (mvcc exercise missing)")
     if doc.get("drained") is not True:
         fail(f"{path}: quiesce reported drained={doc.get('drained')!r}")
     for source, hists in final["hists"].items():
@@ -291,12 +325,164 @@ def validate_pacsrv_bench(doc, path):
           f"snapshot-scan retention {si['snapshot_retention']})")
 
 
+def validate_obsv_overhead(doc, path):
+    for k in ["keys", "threads", "slices", "slice_ops", "trials"]:
+        check_num(doc, k, path, positive=True)
+    for k in ["sampled_pct", "full_fidelity_pct", "tracing_pct"]:
+        check_num(doc, k, path)
+    if not isinstance(doc.get("tracing_compiled"), bool):
+        fail(f"{path}: missing boolean 'tracing_compiled'")
+    scraper = doc.get("scraper")
+    if not isinstance(scraper, dict):
+        fail(f"{path}: missing 'scraper' arm")
+    check_num(scraper, "interval_ms", f"{path}: scraper", positive=True)
+    for k in ["raw_pct", "scaled_1s_pct"]:
+        check_num(scraper, k, f"{path}: scraper")
+    for k in ["on_mops", "off_mops"]:
+        check_num(scraper, k, f"{path}: scraper", positive=True)
+    for k in ["verdict", "scraper_verdict"]:
+        if doc.get(k) not in ("PASS", "FAIL"):
+            fail(f"{path}: '{k}' is {doc.get(k)!r} (want PASS|FAIL)")
+    if not doc.get("git_commit"):
+        fail(f"{path}: missing git_commit")
+    print(f"OK: {path} (obsv_overhead/v1, scraper {scraper['scaled_1s_pct']:.4f}% "
+          f"at 1 s, verdict {doc['scraper_verdict']})")
+
+
+def jsonl_lines(path):
+    with open(path) as f:
+        raw = [ln for ln in f.read().splitlines() if ln.strip()]
+    if not raw:
+        fail(f"{path}: empty jsonl file")
+    out = []
+    for i, ln in enumerate(raw):
+        try:
+            out.append((i + 1, json.loads(ln)))
+        except json.JSONDecodeError as e:
+            fail(f"{path}: line {i + 1} is not valid JSON: {e}")
+    return out
+
+
+def validate_slo_events(path):
+    lines = jsonl_lines(path)
+    last_event = {}
+    last_ts = 0
+    for n, doc in lines:
+        where = f"{path}: line {n}"
+        if doc.get("schema") != "slo_events/v1":
+            fail(f"{where}: bad schema {doc.get('schema')!r}")
+        if not isinstance(doc.get("slo"), str) or not doc["slo"]:
+            fail(f"{where}: missing 'slo'")
+        if doc.get("event") not in ("fire", "clear"):
+            fail(f"{where}: event {doc.get('event')!r} (want fire|clear)")
+        if not isinstance(doc.get("ts_ns"), int) or doc["ts_ns"] < last_ts:
+            fail(f"{where}: ts_ns {doc.get('ts_ns')!r} not monotone")
+        last_ts = doc["ts_ns"]
+        for k in ["burn_fast", "burn_slow", "burn_threshold"]:
+            if not isinstance(doc.get(k), (int, float)) or doc[k] < 0:
+                fail(f"{where}: missing/invalid '{k}': {doc.get(k)!r}")
+        slo = doc["slo"]
+        expected = "clear" if last_event.get(slo) == "fire" else "fire"
+        if doc["event"] != expected:
+            fail(f"{where}: {slo} got '{doc['event']}' (want '{expected}': "
+                 f"fire/clear must alternate, starting with fire)")
+        last_event[slo] = doc["event"]
+    print(f"OK: {path} (slo_events/v1, {len(lines)} transitions, "
+          f"{len(last_event)} objectives)")
+
+
+def validate_tsdb_dump(path):
+    lines = jsonl_lines(path)
+    last_ts = 0
+    samples = 0
+    firing = {}
+    for n, doc in lines:
+        where = f"{path}: line {n}"
+        if doc.get("rotated") is True:
+            continue  # sampler rotation marker
+        for k in ["ts_ns", "gauges", "hists"]:
+            if k not in doc:
+                fail(f"{where}: sample missing '{k}'")
+        if not isinstance(doc["ts_ns"], int) or doc["ts_ns"] < last_ts:
+            fail(f"{where}: ts_ns not monotone")
+        last_ts = doc["ts_ns"]
+        samples += 1
+        for k, v in doc["gauges"].items():
+            if k.startswith("slo.") and k.endswith(".firing"):
+                firing.setdefault(k, []).append(v)
+    if samples == 0:
+        fail(f"{path}: no samples (only rotation markers)")
+    if firing:
+        # The alert episode must be visible: some objective fired inside
+        # the retained window and every objective ended clear.
+        if not any(any(v > 0.5 for v in vs) for vs in firing.values()):
+            fail(f"{path}: slo firing gauges present but none ever fired")
+        for k, vs in firing.items():
+            if vs[-1] > 0.5:
+                fail(f"{path}: {k} still firing in the final sample")
+    note = f", {len(firing)} slo objectives" if firing else ""
+    print(f"OK: {path} (tsdb dump, {samples} samples{note})")
+
+
+PROM_TYPES = ("gauge", "counter", "summary", "histogram", "untyped")
+
+
+def validate_prom_text(path):
+    with open(path) as f:
+        lines = [ln for ln in f.read().splitlines() if ln.strip()]
+    if not lines:
+        fail(f"{path}: empty exposition")
+    families = set()
+    samples = 0
+    for n, ln in enumerate(lines, 1):
+        where = f"{path}: line {n}"
+        if ln.startswith("# TYPE "):
+            parts = ln.split()
+            if len(parts) != 4 or parts[3] not in PROM_TYPES:
+                fail(f"{where}: malformed TYPE line: {ln!r}")
+            families.add(parts[2])
+            continue
+        if ln.startswith("#"):
+            continue
+        name_labels, _, value = ln.rpartition(" ")
+        if not name_labels:
+            fail(f"{where}: sample line has no value: {ln!r}")
+        try:
+            v = float(value)
+        except ValueError:
+            fail(f"{where}: non-numeric value {value!r}")
+        name = name_labels.split("{", 1)[0]
+        if not name or not all(c.isalnum() or c in "_:" for c in name):
+            fail(f"{where}: invalid metric name {name!r}")
+        samples += 1
+        if name == "slo_firing" and v not in (0.0, 1.0):
+            fail(f"{where}: slo_firing must be 0 or 1, got {v}")
+    if "obsv_scrape_timestamp_ns" not in families:
+        fail(f"{path}: missing obsv_scrape_timestamp_ns family")
+    if len(families) < 2 or samples < 2:
+        fail(f"{path}: exposition carries no metrics beyond the timestamp")
+    print(f"OK: {path} (prometheus text, {len(families)} families, "
+          f"{samples} samples)")
+
+
 def main():
     if len(sys.argv) < 2:
-        fail("usage: validate_obsv_json.py <file.json|file.jsonl>...")
+        fail("usage: validate_obsv_json.py <file.json|file.jsonl|file.txt>...")
     for path in sys.argv[1:]:
+        if path.endswith(".txt"):
+            validate_prom_text(path)
+            continue
         if path.endswith(".jsonl"):
-            validate_trace_summary(path)
+            _, first = jsonl_lines(path)[0]
+            schema = first.get("schema")
+            if schema == "trace_summary/v1":
+                validate_trace_summary(path)
+            elif schema == "slo_events/v1":
+                validate_slo_events(path)
+            elif schema is None:
+                validate_tsdb_dump(path)
+            else:
+                fail(f"{path}: unknown jsonl schema {schema!r}")
             continue
         with open(path) as f:
             doc = json.load(f)
@@ -313,6 +499,8 @@ def main():
             validate_mvcc_bench(doc, path)
         elif schema == "pacsrv_bench/v2":
             validate_pacsrv_bench(doc, path)
+        elif schema == "obsv_overhead/v1":
+            validate_obsv_overhead(doc, path)
         else:
             fail(f"{path}: unknown schema {schema!r}")
     print("all observability artifacts valid")
