@@ -12,10 +12,18 @@
 //! pacsrv-top --addr 127.0.0.1:9100            # live dashboard, 1s refresh
 //! pacsrv-top --addr 127.0.0.1:9100 --once     # one scrape, plain print, exit
 //! pacsrv-top --addr 127.0.0.1:9100 --interval-ms 250
+//! pacsrv-top --endpoints 127.0.0.1:9100,127.0.0.1:9101   # whole cluster
 //! ```
 //!
-//! `--once` is the CI smoke mode: exit 0 iff the scrape parses and carries
-//! at least one metric family.
+//! `--endpoints` takes a comma-separated list of health addresses (one per
+//! cluster node) and renders one per-service section per endpoint, plus a
+//! cluster row (map epoch, owned partitions, migration phase) whenever the
+//! node exports the `*_cluster_*` gauges.
+//!
+//! `--once` is the CI smoke mode: exit 0 iff every scrape parses and
+//! carries at least one metric family. The single-address `--once` output
+//! (`pacsrv-top: OK (N metrics from ADDR)`) is grepped by CI — keep it
+//! stable.
 
 use std::collections::BTreeMap;
 use std::io::{Read, Write};
@@ -128,6 +136,36 @@ fn render(now: &Metrics, last: Option<&(Metrics, std::time::Instant)>, poll_dt: 
             latency_us(now, &svc, "0.99").map_or("-".into(), |v| format!("{v:.1}")),
         );
     }
+    // Cluster state, one row per service that exports the cluster gauges.
+    let clustered: Vec<String> = services(now)
+        .into_iter()
+        .filter(|svc| now.contains_key(&format!("{svc}_cluster_map_epoch")))
+        .collect();
+    if !clustered.is_empty() {
+        println!(
+            "{:<18} {:>10} {:>8} {:>8} {:>9} {:>9}",
+            "cluster", "epoch", "owned", "phase", "lag", "bounced"
+        );
+        for svc in clustered {
+            let phase = match get(now, &format!("{svc}_cluster_migration_phase")) as u8 {
+                0 => "idle",
+                1 => "bulk",
+                2 => "delta",
+                3 => "seal",
+                4 => "flip",
+                _ => "?",
+            };
+            println!(
+                "{:<18} {:>10.0} {:>8.0} {:>8} {:>9.0} {:>9.0}",
+                svc,
+                get(now, &format!("{svc}_cluster_map_epoch")),
+                get(now, &format!("{svc}_cluster_partitions_owned")),
+                phase,
+                get(now, &format!("{svc}_cluster_migration_handoff_lag")),
+                get(now, &format!("{svc}_cluster_wrong_partition_total")),
+            );
+        }
+    }
     // SLO alert states, one row per objective.
     let slos: Vec<String> = now
         .keys()
@@ -168,7 +206,21 @@ fn main() {
             .and_then(|i| args.get(i + 1))
             .cloned()
     };
-    let addr = opt("--addr").unwrap_or_else(|| "127.0.0.1:9100".to_string());
+    // `--endpoints a,b,c` scrapes a whole cluster; plain `--addr` stays
+    // the single-node path with byte-stable `--once` output.
+    let addrs: Vec<String> = match opt("--endpoints") {
+        Some(list) => list
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(str::to_string)
+            .collect(),
+        None => vec![opt("--addr").unwrap_or_else(|| "127.0.0.1:9100".to_string())],
+    };
+    if addrs.is_empty() {
+        eprintln!("pacsrv-top: --endpoints parsed to an empty list");
+        std::process::exit(1);
+    }
     let once = flag("--once");
     let interval = Duration::from_millis(
         opt("--interval-ms")
@@ -177,39 +229,67 @@ fn main() {
     );
 
     if once {
-        match scrape(&addr) {
-            Ok(m) => {
-                render(&m, None, interval);
-                println!("pacsrv-top: OK ({} metrics from {addr})", m.len());
+        let mut total = 0usize;
+        for addr in &addrs {
+            match scrape(addr) {
+                Ok(m) => {
+                    if addrs.len() > 1 {
+                        println!("== {addr}");
+                    }
+                    render(&m, None, interval);
+                    total += m.len();
+                    println!("pacsrv-top: OK ({} metrics from {addr})", m.len());
+                }
+                Err(e) => {
+                    eprintln!("pacsrv-top: scrape failed: {e}");
+                    std::process::exit(1);
+                }
             }
-            Err(e) => {
-                eprintln!("pacsrv-top: scrape failed: {e}");
-                std::process::exit(1);
-            }
+        }
+        if addrs.len() > 1 {
+            println!(
+                "pacsrv-top: OK ({total} metrics from {} endpoints)",
+                addrs.len()
+            );
         }
         return;
     }
 
-    let mut last: Option<(Metrics, std::time::Instant)> = None;
+    let mut last: Vec<Option<(Metrics, std::time::Instant)>> = vec![None; addrs.len()];
     let mut failures = 0u32;
     loop {
-        match scrape(&addr) {
-            Ok(m) => {
-                failures = 0;
-                // Clear screen + home, like top(1).
-                print!("\x1b[2J\x1b[H");
-                println!("pacsrv-top — {addr}");
-                render(&m, last.as_ref(), interval);
-                last = Some((m, std::time::Instant::now()));
-            }
-            Err(e) => {
-                failures += 1;
-                eprintln!("pacsrv-top: scrape failed ({failures}): {e}");
-                if failures >= 5 {
-                    eprintln!("pacsrv-top: giving up after {failures} consecutive failures");
-                    std::process::exit(1);
+        let mut scraped = 0usize;
+        let mut frame = String::new();
+        for (i, addr) in addrs.iter().enumerate() {
+            match scrape(addr) {
+                Ok(m) => {
+                    scraped += 1;
+                    // Clear screen + home, like top(1) — once per frame.
+                    if scraped == 1 {
+                        print!("\x1b[2J\x1b[H");
+                    }
+                    println!("{frame}pacsrv-top — {addr}");
+                    frame = String::new();
+                    render(&m, last[i].as_ref(), interval);
+                    last[i] = Some((m, std::time::Instant::now()));
+                }
+                Err(e) => {
+                    frame.push_str(&format!("pacsrv-top — {addr}: scrape failed: {e}\n"));
+                    last[i] = None;
                 }
             }
+        }
+        if scraped == 0 {
+            failures += 1;
+            eprint!("{frame}");
+            eprintln!("pacsrv-top: no endpoint answered ({failures})");
+            if failures >= 5 {
+                eprintln!("pacsrv-top: giving up after {failures} consecutive failures");
+                std::process::exit(1);
+            }
+        } else {
+            failures = 0;
+            print!("{frame}");
         }
         std::thread::sleep(interval);
     }

@@ -1,0 +1,378 @@
+//! Live partition migration, driven by the source node.
+//!
+//! `migrate_out` moves one partition to a target node while both keep
+//! serving, in four phases (gauge `<name>.cluster.migration.phase`):
+//!
+//! 1. **Bulk** — capture an O(1) MVCC snapshot and page the partition's
+//!    range through `scan_pairs_at`, bulk-loading the target with acked
+//!    `Put` batches. Writers keep landing on the source.
+//! 2. **Delta** — capture a second snapshot and replay
+//!    `diff_pairs(snap1, snap2)` (restricted to the range) on the target:
+//!    everything that changed during the bulk copy.
+//! 3. **Seal** — stop accepting the partition (new ops bounce with
+//!    `WrongPartition` at the current epoch), run the service's drain
+//!    barrier so every already-admitted op has executed, then ship the
+//!    final `diff(snap2, snap3)`. After this the target is byte-identical
+//!    for the range.
+//! 4. **Flip** — build the successor map (epoch+1, target owns the
+//!    partition), send it to the target as `ImportEnd` (acked), install it
+//!    locally, and gossip it best-effort to the other nodes. Finally the
+//!    source retires its local copy of the range — the new map fences
+//!    point operations away from it, but leftover pairs would pollute
+//!    local scans and hold memory.
+//!
+//! Crash safety (the crashcheck oracle's contract): every client-acked
+//! write is durable on whichever node acked it. A crash before the flip
+//! leaves the map naming the source, which holds every write it acked
+//! (sealed-window bounces were never acked); the target's partial copy is
+//! garbage to be re-imported. A crash after the flip leaves the target
+//! owning the range, and every pair it holds was acked durable by its own
+//! index before `ImportEnd` was sent. There is no window where an acked
+//! write lives only on a node the map does not (or will not) name.
+
+use std::time::{Duration, Instant};
+
+use ycsb::RangeIndex;
+
+use super::map::in_range;
+use super::{ClusterNode, PHASE_BULK, PHASE_DELTA, PHASE_FLIP, PHASE_IDLE, PHASE_SEAL};
+use crate::transport::TcpClient;
+use crate::wire::{MigrateOp, Request};
+
+/// Pairs per bulk-copy / delta-replay batch. Kept small so foreground
+/// client ops never queue behind a long migration batch on either node's
+/// shard workers (the migration-window p99 gate in paccluster-bench).
+const CHUNK: usize = 128;
+
+/// Pause between bulk-copy chunks: yields both services' queues to
+/// foreground traffic. Stretches the (fully available) bulk phase a
+/// little; the sealed window is never paced.
+const BULK_PACE: Duration = Duration::from_millis(1);
+
+/// What a completed migration measured; also the `detail` JSON of the
+/// `MigrateReply` answering `MigrateOp::Start`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MigrationReport {
+    pub partition: u32,
+    /// Pairs bulk-copied from the frozen snapshot.
+    pub moved_pairs: u64,
+    /// Pairs replayed from the two delta rounds.
+    pub delta_pairs: u64,
+    /// Unavailability window: seal to flip, in milliseconds.
+    pub seal_ms: u64,
+    /// Whole migration, in milliseconds.
+    pub total_ms: u64,
+    /// The flipped map's epoch.
+    pub new_epoch: u64,
+}
+
+impl MigrationReport {
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"partition\":{},\"moved_pairs\":{},\"delta_pairs\":{},",
+                "\"seal_ms\":{},\"total_ms\":{},\"new_epoch\":{}}}"
+            ),
+            self.partition,
+            self.moved_pairs,
+            self.delta_pairs,
+            self.seal_ms,
+            self.total_ms,
+            self.new_epoch
+        )
+    }
+}
+
+/// Releases every snapshot taken during a migration when it ends, on both
+/// the success and every error path.
+struct SnapGuard<'a, I: RangeIndex> {
+    index: &'a I,
+    ids: Vec<u64>,
+}
+
+impl<'a, I: RangeIndex> SnapGuard<'a, I> {
+    fn take(&mut self) -> Result<u64, String> {
+        let id = self
+            .index
+            .snapshot()
+            .ok_or_else(|| "index has no snapshot support".to_string())?;
+        self.ids.push(id);
+        Ok(id)
+    }
+}
+
+impl<I: RangeIndex> Drop for SnapGuard<'_, I> {
+    fn drop(&mut self) {
+        for id in self.ids.drain(..) {
+            self.index.release_snapshot(id);
+        }
+    }
+}
+
+/// Sends `batch` to the target and insists every op executed. Ops the
+/// target shed (`Overloaded`/`DeadlineExceeded` — never executed, safe to
+/// resend verbatim) are retried with backoff; persistent shedding fails
+/// the migration rather than silently dropping pairs.
+fn apply_batch(client: &mut TcpClient, mut batch: Vec<Request>) -> Result<(), String> {
+    for attempt in 0..10u32 {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        if attempt > 0 {
+            std::thread::sleep(Duration::from_millis(5u64 << attempt.min(4)));
+        }
+        let resps = client
+            .call(batch.clone())
+            .map_err(|e| format!("apply to target: {e}"))?;
+        if resps.len() != batch.len() {
+            return Err("target reply length mismatch".to_string());
+        }
+        batch = batch
+            .into_iter()
+            .zip(&resps)
+            .filter(|(_, r)| !r.executed())
+            .map(|(req, _)| req)
+            .collect();
+    }
+    Err("target kept shedding the migration batch".to_string())
+}
+
+impl<I: RangeIndex + Clone + 'static> ClusterNode<I> {
+    /// Migrates `partition` from this node to `target`, returning the
+    /// report on success. On error the partition is unsealed (if the flip
+    /// had not happened) and all snapshots are released, so the source
+    /// keeps serving it.
+    pub fn migrate_out(&self, partition: u32, target: &str) -> Result<MigrationReport, String> {
+        let out = self.migrate_run(partition, target);
+        self.set_handoff_lag(0);
+        self.enter_phase(PHASE_IDLE);
+        out
+    }
+
+    fn migrate_run(&self, partition: u32, target: &str) -> Result<MigrationReport, String> {
+        let t0 = Instant::now();
+        let map = self.map();
+        let part = map
+            .partition(partition)
+            .ok_or_else(|| format!("unknown partition {partition}"))?;
+        if part.endpoint != self.endpoint() {
+            return Err(format!(
+                "not the owner of partition {partition} ({} is)",
+                part.endpoint
+            ));
+        }
+        if target == self.endpoint() {
+            return Err("target is the source".to_string());
+        }
+        let range_start = part.start.clone();
+        let range_end: Option<Vec<u8>> = map.end_of(partition).map(<[u8]>::to_vec);
+        let mut snaps = SnapGuard {
+            index: self.service().index(),
+            ids: Vec::new(),
+        };
+
+        let mut client =
+            TcpClient::connect(target).map_err(|e| format!("connect {target}: {e}"))?;
+        match client.migrate(MigrateOp::ImportBegin { partition }) {
+            Ok((true, _)) => {}
+            Ok((false, detail)) => return Err(format!("target refused import: {detail}")),
+            Err(e) => return Err(format!("import-begin: {e}")),
+        }
+
+        // Phase 1: bulk-copy a frozen view of the range. Writers keep
+        // landing on the source; the snapshot does not see them.
+        self.enter_phase(PHASE_BULK);
+        let snap1 = snaps.take()?;
+        let moved_pairs =
+            self.copy_range(&mut client, snap1, &range_start, range_end.as_deref())?;
+
+        // Phase 2: replay what landed during the bulk copy.
+        self.enter_phase(PHASE_DELTA);
+        let snap2 = snaps.take()?;
+        let d1 = self.apply_diff(
+            &mut client,
+            snap1,
+            snap2,
+            &range_start,
+            range_end.as_deref(),
+        )?;
+
+        // Phase 3: seal (new ops bounce un-acked), drain what was already
+        // admitted, ship the final delta. This is the unavailability
+        // window; it covers only writes that raced the seal.
+        let t_seal = Instant::now();
+        self.seal(partition);
+        self.enter_phase(PHASE_SEAL);
+        let sealed_run: Result<u64, String> = (|| {
+            self.service().drain_barrier();
+            let snap3 = snaps.take()?;
+            self.apply_diff(
+                &mut client,
+                snap2,
+                snap3,
+                &range_start,
+                range_end.as_deref(),
+            )
+        })();
+        let d2 = match sealed_run {
+            Ok(d) => d,
+            Err(e) => {
+                self.unseal(partition);
+                return Err(e);
+            }
+        };
+
+        // Phase 4: flip. The target adopting the new map (acked) is the
+        // commit point; installing locally drops our seal because the
+        // partition is no longer ours.
+        self.enter_phase(PHASE_FLIP);
+        let new_map = map.with_owner(partition, target);
+        match client.migrate(MigrateOp::ImportEnd {
+            partition,
+            map: new_map.clone(),
+        }) {
+            Ok((true, _)) => {}
+            Ok((false, detail)) => {
+                self.unseal(partition);
+                return Err(format!("target refused handoff: {detail}"));
+            }
+            Err(e) => {
+                self.unseal(partition);
+                return Err(format!("import-end: {e}"));
+            }
+        }
+        let seal_ms = t_seal.elapsed().as_millis() as u64;
+        self.install_map(new_map.clone());
+        // Best-effort gossip to the remaining nodes; routers they bounce
+        // will otherwise learn the epoch on their next refresh anyway.
+        for ep in new_map.endpoints() {
+            if ep != self.endpoint() && ep != target {
+                if let Ok(mut c) = TcpClient::connect(ep) {
+                    let _ = c.migrate(MigrateOp::Install {
+                        map: new_map.clone(),
+                    });
+                }
+            }
+        }
+        // Retire the source's copy: unreachable through the new map, but
+        // it would overcount local scans and pin memory. A crash here is
+        // benign — the pairs are already fenced garbage either way.
+        self.retire_range(&range_start, range_end.as_deref());
+        Ok(MigrationReport {
+            partition,
+            moved_pairs,
+            delta_pairs: d1 + d2,
+            seal_ms,
+            total_ms: t0.elapsed().as_millis() as u64,
+            new_epoch: new_map.epoch,
+        })
+    }
+
+    /// Pages `[start, end)` out of snapshot `snap` in `CHUNK`-sized acked
+    /// `Put` batches. Fires the phase hook after every chunk, so a kill
+    /// test can freeze the migration mid-bulk.
+    fn copy_range(
+        &self,
+        client: &mut TcpClient,
+        snap: u64,
+        start: &[u8],
+        end: Option<&[u8]>,
+    ) -> Result<u64, String> {
+        let mut cursor = start.to_vec();
+        let mut moved = 0u64;
+        loop {
+            let pairs = self
+                .service()
+                .index()
+                .scan_pairs_at(snap, &cursor, CHUNK)
+                .ok_or_else(|| "snapshot scan unsupported or released".to_string())?;
+            let scanned = pairs.len();
+            let in_part: Vec<(Vec<u8>, u64)> = pairs
+                .into_iter()
+                .filter(|(k, _)| in_range(k, start, end))
+                .collect();
+            // Crossed the range end, or exhausted the whole index.
+            let done = in_part.len() < scanned || scanned < CHUNK;
+            if let Some((last, _)) = in_part.last() {
+                // The scan is inclusive of its start key: resume from the
+                // lexicographic successor (append one zero byte).
+                cursor = last.clone();
+                cursor.push(0);
+            }
+            if !in_part.is_empty() {
+                moved += in_part.len() as u64;
+                self.add_handoff_lag(in_part.len() as u64);
+                let batch: Vec<Request> = in_part
+                    .into_iter()
+                    .map(|(key, value)| Request::Put { key, value })
+                    .collect();
+                apply_batch(client, batch)?;
+            }
+            self.enter_phase(PHASE_BULK);
+            if done {
+                return Ok(moved);
+            }
+            std::thread::sleep(BULK_PACE);
+        }
+    }
+
+    /// Removes every local pair in `[start, end)` after a completed
+    /// handoff. Best-effort: pages the range through a fresh snapshot
+    /// (isolated from its own removals) and deletes directly on the index.
+    fn retire_range(&self, start: &[u8], end: Option<&[u8]>) {
+        let index = self.service().index();
+        let Some(snap) = index.snapshot() else { return };
+        let mut cursor = start.to_vec();
+        while let Some(pairs) = index.scan_pairs_at(snap, &cursor, CHUNK) {
+            let scanned = pairs.len();
+            let keys: Vec<Vec<u8>> = pairs
+                .into_iter()
+                .map(|(k, _)| k)
+                .filter(|k| in_range(k, start, end))
+                .collect();
+            let done = keys.len() < scanned || scanned < CHUNK;
+            if let Some(last) = keys.last() {
+                cursor = last.clone();
+                cursor.push(0);
+            }
+            for k in &keys {
+                index.remove(k);
+            }
+            if done {
+                break;
+            }
+        }
+        index.release_snapshot(snap);
+    }
+
+    /// Replays `diff_pairs(a, b)` restricted to `[start, end)` on the
+    /// target: additions/changes as `Put`, removals as `Delete`.
+    fn apply_diff(
+        &self,
+        client: &mut TcpClient,
+        a: u64,
+        b: u64,
+        start: &[u8],
+        end: Option<&[u8]>,
+    ) -> Result<u64, String> {
+        let entries = self
+            .service()
+            .index()
+            .diff_pairs(a, b)
+            .ok_or_else(|| "snapshot diff unsupported or released".to_string())?;
+        let batch: Vec<Request> = entries
+            .into_iter()
+            .filter(|(k, _, _)| in_range(k, start, end))
+            .map(|(key, _old, new)| match new {
+                Some(value) => Request::Put { key, value },
+                None => Request::Delete { key },
+            })
+            .collect();
+        let n = batch.len() as u64;
+        self.add_handoff_lag(n);
+        for chunk in batch.chunks(CHUNK) {
+            apply_batch(client, chunk.to_vec())?;
+        }
+        Ok(n)
+    }
+}

@@ -1,0 +1,361 @@
+//! The cluster layer: range-partitioned multi-node pacsrv.
+//!
+//! One process = one [`ClusterNode`] wrapping one [`PacService`]. The node
+//! holds the locally installed [`PartitionMap`] and enforces ownership at
+//! the frame boundary: an operation whose key routes to a partition this
+//! node does not own is answered [`Response::WrongPartition`] with the
+//! installed map's epoch — **without executing it** — so a
+//! [`RouterClient`] can refresh its cached map and resend safely.
+//!
+//! Ownership is per partition, with two modifiers:
+//!
+//! * **sealed** — a partition mid-migration on its source: still named in
+//!   the map, but the source has stopped accepting writes for it (the
+//!   final delta is being drained). Sealed-window operations bounce with
+//!   the *current* epoch, telling routers "back off and retry" (the flip
+//!   is imminent).
+//! * **importing** — a partition mid-migration on its target: not yet
+//!   named in the map, but the target accepts the bulk copy and delta
+//!   replay (and any early-routed client writes) for it.
+//!
+//! Live migration ([`migrate`]) moves a partition between nodes with no
+//! acked-write loss; the state machine and its crash points are documented
+//! in DESIGN.md §15.
+
+pub mod map;
+pub mod migrate;
+pub mod router;
+
+pub use migrate::MigrationReport;
+pub use router::RouterClient;
+
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+use obsv::trace;
+use ycsb::RangeIndex;
+
+use crate::service::PacService;
+use crate::transport::FrameHandler;
+use crate::wire::{self, Frame, MigrateOp, PartitionMap, Request, Response, MIN_VERSION, VERSION};
+
+/// Migration phase gauge values (`<name>.cluster.migration.phase`).
+pub const PHASE_IDLE: u8 = 0;
+/// Bulk-copying a frozen snapshot of the partition to the target.
+pub const PHASE_BULK: u8 = 1;
+/// Replaying the writes that landed during the bulk copy.
+pub const PHASE_DELTA: u8 = 2;
+/// Partition sealed; draining in-flight ops and shipping the final delta.
+pub const PHASE_SEAL: u8 = 3;
+/// Installing and gossiping the flipped map.
+pub const PHASE_FLIP: u8 = 4;
+
+/// A migration phase observer (test hook): called with each phase gauge
+/// value as the state machine enters it.
+pub type PhaseHook = Box<dyn Fn(u8) + Send + Sync>;
+
+/// A partition-aware front for one [`PacService`] instance.
+pub struct ClusterNode<I: RangeIndex + Clone + 'static> {
+    service: Arc<PacService<I>>,
+    endpoint: String,
+    map: RwLock<Arc<PartitionMap>>,
+    /// Source-side: partitions we still own in the map but no longer
+    /// accept operations for (mid-migration seal window).
+    sealed: Mutex<BTreeSet<u32>>,
+    /// Target-side: partitions we accept operations for ahead of the map
+    /// naming us (mid-migration import).
+    importing: Mutex<BTreeSet<u32>>,
+    // Gauge cells, shared with the registry closures.
+    epoch_gauge: Arc<AtomicU64>,
+    owned_gauge: Arc<AtomicU64>,
+    phase_gauge: Arc<AtomicU64>,
+    handoff_lag: Arc<AtomicU64>,
+    wrong_partition: Arc<AtomicU64>,
+    /// Test hook observing migration phase transitions (runs on the
+    /// migration thread; it may block to freeze the state machine).
+    hook: Mutex<Option<PhaseHook>>,
+    _registrations: Vec<obsv::Registration>,
+}
+
+impl<I: RangeIndex + Clone + 'static> ClusterNode<I> {
+    /// Wraps `service` as the cluster node at `endpoint` (the address its
+    /// wire listener is reachable at — must match the map's entries) with
+    /// `map` installed. Registers per-partition gauges under the service's
+    /// metric name.
+    pub fn start(
+        service: Arc<PacService<I>>,
+        endpoint: &str,
+        map: PartitionMap,
+    ) -> Result<Arc<ClusterNode<I>>, String> {
+        map.validate()?;
+        let name = service.config().name.clone();
+        let epoch_gauge = Arc::new(AtomicU64::new(map.epoch));
+        let owned_gauge = Arc::new(AtomicU64::new(0));
+        let phase_gauge = Arc::new(AtomicU64::new(PHASE_IDLE as u64));
+        let handoff_lag = Arc::new(AtomicU64::new(0));
+        let wrong_partition = Arc::new(AtomicU64::new(0));
+        let reg = obsv::global();
+        let cells: [(&str, &Arc<AtomicU64>); 5] = [
+            ("cluster.map_epoch", &epoch_gauge),
+            ("cluster.partitions.owned", &owned_gauge),
+            ("cluster.migration.phase", &phase_gauge),
+            ("cluster.migration.handoff_lag", &handoff_lag),
+            ("cluster.wrong_partition.total", &wrong_partition),
+        ];
+        let registrations = cells
+            .iter()
+            .map(|(suffix, cell)| {
+                let w = Arc::downgrade(cell);
+                reg.register_gauge(format!("{name}.{suffix}"), move || {
+                    w.upgrade().map(|c| c.load(Ordering::Relaxed) as f64)
+                })
+            })
+            .collect();
+        let node = Arc::new(ClusterNode {
+            service,
+            endpoint: endpoint.to_string(),
+            map: RwLock::new(Arc::new(map)),
+            sealed: Mutex::new(BTreeSet::new()),
+            importing: Mutex::new(BTreeSet::new()),
+            epoch_gauge,
+            owned_gauge,
+            phase_gauge,
+            handoff_lag,
+            wrong_partition,
+            hook: Mutex::new(None),
+            _registrations: registrations,
+        });
+        node.refresh_owned_gauge();
+        Ok(node)
+    }
+
+    /// The wrapped service.
+    pub fn service(&self) -> &Arc<PacService<I>> {
+        &self.service
+    }
+
+    /// The endpoint this node answers at.
+    pub fn endpoint(&self) -> &str {
+        &self.endpoint
+    }
+
+    /// The currently installed map (cheap: an `Arc` clone).
+    pub fn map(&self) -> Arc<PartitionMap> {
+        Arc::clone(&self.map.read().unwrap())
+    }
+
+    /// The installed map's epoch.
+    pub fn map_epoch(&self) -> u64 {
+        self.map.read().unwrap().epoch
+    }
+
+    /// Operations bounced with `WrongPartition` so far.
+    pub fn wrong_partition_total(&self) -> u64 {
+        self.wrong_partition.load(Ordering::Relaxed)
+    }
+
+    /// Installs `new` if its epoch is strictly newer than the installed
+    /// one (epoch fencing: replayed or stale maps are ignored). Seals for
+    /// partitions this node no longer owns under the new map are dropped.
+    pub fn install_map(&self, new: PartitionMap) -> bool {
+        if new.validate().is_err() {
+            return false;
+        }
+        {
+            let mut cur = self.map.write().unwrap();
+            if new.epoch <= cur.epoch {
+                return false;
+            }
+            self.epoch_gauge.store(new.epoch, Ordering::Relaxed);
+            let owned: BTreeSet<u32> = new
+                .parts
+                .iter()
+                .filter(|p| p.endpoint == self.endpoint)
+                .map(|p| p.id)
+                .collect();
+            self.sealed.lock().unwrap().retain(|id| owned.contains(id));
+            *cur = Arc::new(new);
+        }
+        self.refresh_owned_gauge();
+        true
+    }
+
+    /// Observes migration phase transitions; see [`migrate`] for when it
+    /// fires. Test-only in spirit (the kill test freezes mid-bulk with it).
+    pub fn set_migration_hook(&self, f: impl Fn(u8) + Send + Sync + 'static) {
+        *self.hook.lock().unwrap() = Some(Box::new(f));
+    }
+
+    pub(crate) fn enter_phase(&self, phase: u8) {
+        self.phase_gauge.store(phase as u64, Ordering::Relaxed);
+        let hook = self.hook.lock().unwrap();
+        if let Some(f) = hook.as_ref() {
+            f(phase);
+        }
+    }
+
+    pub(crate) fn set_handoff_lag(&self, pairs: u64) {
+        self.handoff_lag.store(pairs, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_handoff_lag(&self, pairs: u64) {
+        self.handoff_lag.fetch_add(pairs, Ordering::Relaxed);
+    }
+
+    pub(crate) fn seal(&self, partition: u32) {
+        self.sealed.lock().unwrap().insert(partition);
+        self.refresh_owned_gauge();
+    }
+
+    pub(crate) fn unseal(&self, partition: u32) {
+        self.sealed.lock().unwrap().remove(&partition);
+        self.refresh_owned_gauge();
+    }
+
+    fn refresh_owned_gauge(&self) {
+        let map = self.map();
+        let sealed = self.sealed.lock().unwrap();
+        let importing = self.importing.lock().unwrap();
+        let owned = map
+            .parts
+            .iter()
+            .filter(|p| p.endpoint == self.endpoint && !sealed.contains(&p.id))
+            .count()
+            + importing.len();
+        self.owned_gauge.store(owned as u64, Ordering::Relaxed);
+    }
+
+    /// Executes one decoded request batch with ownership enforcement:
+    /// owned operations go to the service as one sub-batch (preserving
+    /// their relative order, hence per-key FIFO), unowned slots are
+    /// answered `WrongPartition` (downgraded to `Overloaded` for pre-v4
+    /// clients, which cannot decode tag 14 but treat `Overloaded` as
+    /// retryable-not-executed).
+    fn dispatch(&self, reqs: Vec<Request>, ctx: trace::TraceCtx, version: u8) -> Vec<Response> {
+        let map = self.map();
+        let epoch = map.epoch;
+        let n = reqs.len();
+        let mut out: Vec<Option<Response>> = (0..n).map(|_| None).collect();
+        let mut local = Vec::with_capacity(n);
+        let mut slots = Vec::with_capacity(n);
+        {
+            let sealed = self.sealed.lock().unwrap();
+            let importing = self.importing.lock().unwrap();
+            for (i, req) in reqs.into_iter().enumerate() {
+                // Snapshot lifecycle ops carry no key: always local.
+                let owned = match &req {
+                    Request::Snapshot | Request::ReleaseSnapshot { .. } => true,
+                    other => {
+                        let p = map.owner_of(other.key());
+                        (p.endpoint == self.endpoint && !sealed.contains(&p.id))
+                            || importing.contains(&p.id)
+                    }
+                };
+                if owned {
+                    slots.push(i);
+                    local.push(req);
+                } else {
+                    self.wrong_partition.fetch_add(1, Ordering::Relaxed);
+                    out[i] = Some(if version >= 4 {
+                        Response::WrongPartition { map_epoch: epoch }
+                    } else {
+                        Response::Overloaded
+                    });
+                }
+            }
+        }
+        if !local.is_empty() {
+            let resps = self.service.submit_traced(local, None, ctx).wait();
+            for (slot, resp) in slots.into_iter().zip(resps) {
+                out[slot] = Some(resp);
+            }
+        }
+        out.into_iter().map(Option::unwrap).collect()
+    }
+
+    /// Handles one migration control operation.
+    fn migrate_ctl(&self, op: MigrateOp) -> (bool, String) {
+        match op {
+            MigrateOp::Start { partition, target } => match self.migrate_out(partition, &target) {
+                Ok(report) => (true, report.to_json()),
+                Err(e) => (false, e),
+            },
+            MigrateOp::ImportBegin { partition } => {
+                self.importing.lock().unwrap().insert(partition);
+                self.refresh_owned_gauge();
+                (true, String::new())
+            }
+            MigrateOp::ImportEnd { partition, map } => {
+                let adopted = self.install_map(map);
+                self.importing.lock().unwrap().remove(&partition);
+                self.refresh_owned_gauge();
+                (
+                    adopted,
+                    if adopted {
+                        String::new()
+                    } else {
+                        "stale or invalid handoff map".to_string()
+                    },
+                )
+            }
+            MigrateOp::Install { map } => (self.install_map(map), String::new()),
+        }
+    }
+}
+
+impl<I: RangeIndex + Clone + 'static> FrameHandler for ClusterNode<I> {
+    fn handle_frame(&self, bytes: &[u8]) -> Vec<u8> {
+        let reply = match wire::decode_frame(bytes) {
+            Ok((Frame::Request { id, trace, reqs }, _)) => {
+                let ctx = if trace.is_sampled() {
+                    trace
+                } else {
+                    trace::stamp()
+                };
+                // Byte 2 was validated by decode_frame.
+                let version = bytes[2];
+                Frame::Reply {
+                    id,
+                    resps: self.dispatch(reqs, ctx, version),
+                }
+            }
+            Ok((Frame::MapFetch { id }, _)) => Frame::MapReply {
+                id,
+                map: (*self.map()).clone(),
+            },
+            Ok((Frame::Migrate { id, op }, _)) => {
+                let (ok, detail) = self.migrate_ctl(op);
+                Frame::MigrateReply { id, ok, detail }
+            }
+            Ok((Frame::Ping { id }, _)) => Frame::Pong { id },
+            Ok((Frame::Stats { id }, _)) => Frame::StatsReply {
+                id,
+                json: self.service.stats_json(),
+            },
+            Ok((Frame::Health { id }, _)) => Frame::HealthReply {
+                id,
+                text: self.service.health_text(),
+            },
+            Ok((frame, _)) => Frame::Reply {
+                id: frame.id(),
+                resps: vec![Response::Malformed],
+            },
+            Err(_) => Frame::Reply {
+                id: 0,
+                resps: vec![Response::Malformed],
+            },
+        };
+        let version = match bytes.get(2) {
+            Some(&v) if (MIN_VERSION..=VERSION).contains(&v) => v,
+            _ => VERSION,
+        };
+        let mut out = Vec::new();
+        wire::encode_frame_versioned(&reply, version, &mut out);
+        out
+    }
+
+    fn health_text(&self) -> String {
+        self.service.health_text()
+    }
+}

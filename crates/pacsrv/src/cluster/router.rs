@@ -1,0 +1,266 @@
+//! The map-caching smart router.
+//!
+//! A [`RouterClient`] bootstraps its [`PartitionMap`] from any reachable
+//! seed node and thereafter routes every operation client-side: group the
+//! batch by owning endpoint, send each group as one wire batch, stitch the
+//! replies back into request order. The map is refreshed only when a node
+//! disagrees — a [`Response::WrongPartition`] bounce carries the node's
+//! installed epoch, the router re-fetches (adopting the highest epoch any
+//! node reports) and resends just the bounced slots. Bounced operations
+//! were **not executed**, so the resend is safe even for writes.
+//!
+//! During a migration's seal window the source bounces at the *current*
+//! epoch (the flip has not happened yet); the router backs off between
+//! rounds so the handful of writes racing the seal land on the target
+//! right after the flip instead of hot-looping.
+
+use std::collections::{BTreeMap, HashMap};
+use std::io;
+use std::time::Duration;
+
+use crate::transport::TcpClient;
+use crate::wire::{PartitionMap, Request, Response};
+
+/// Routing rounds before giving up on a batch (each round after a bounce
+/// refreshes the map and backs off exponentially, capped at 64ms).
+const MAX_ATTEMPTS: u32 = 12;
+
+/// A cluster client that caches the partition map and routes per key.
+pub struct RouterClient {
+    map: PartitionMap,
+    conns: HashMap<String, TcpClient>,
+    seeds: Vec<String>,
+    refreshes: u64,
+    wrong_partition_seen: u64,
+    retried_reads: u64,
+}
+
+impl RouterClient {
+    /// Fetches the partition map from the first reachable seed.
+    pub fn connect(seeds: &[String]) -> io::Result<RouterClient> {
+        let mut last_err = None;
+        for seed in seeds {
+            let fetched =
+                TcpClient::connect(seed.as_str()).and_then(|mut c| c.fetch_map().map(|m| (c, m)));
+            match fetched {
+                Ok((client, map)) => {
+                    if let Err(e) = map.validate() {
+                        last_err = Some(io::Error::new(io::ErrorKind::InvalidData, e));
+                        continue;
+                    }
+                    let mut conns = HashMap::new();
+                    conns.insert(seed.clone(), client);
+                    return Ok(RouterClient {
+                        map,
+                        conns,
+                        seeds: seeds.to_vec(),
+                        refreshes: 0,
+                        wrong_partition_seen: 0,
+                        retried_reads: 0,
+                    });
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err.unwrap_or_else(|| {
+            io::Error::new(io::ErrorKind::AddrNotAvailable, "no seed endpoints given")
+        }))
+    }
+
+    /// The cached map's epoch.
+    pub fn map_epoch(&self) -> u64 {
+        self.map.epoch
+    }
+
+    /// The cached map.
+    pub fn map(&self) -> &PartitionMap {
+        &self.map
+    }
+
+    /// Map refreshes performed (bootstrap excluded).
+    pub fn refreshes(&self) -> u64 {
+        self.refreshes
+    }
+
+    /// `WrongPartition` bounces observed.
+    pub fn wrong_partition_seen(&self) -> u64 {
+        self.wrong_partition_seen
+    }
+
+    /// Read batches that went through a transparent single-retry reconnect
+    /// (`RetriedOnce` surfaced by [`TcpClient::call_idempotent`]).
+    pub fn retried_reads(&self) -> u64 {
+        self.retried_reads
+    }
+
+    /// The cached (or fresh) connection to `ep`.
+    fn conn(&mut self, ep: &str) -> io::Result<&mut TcpClient> {
+        if !self.conns.contains_key(ep) {
+            let client = TcpClient::connect(ep)?;
+            self.conns.insert(ep.to_string(), client);
+        }
+        Ok(self.conns.get_mut(ep).expect("just inserted"))
+    }
+
+    /// Re-fetches the map from every known endpoint (cached map's nodes
+    /// plus the seeds) and adopts the highest valid epoch seen. `Ok(true)`
+    /// if the epoch advanced; `Err` only if no endpoint was reachable.
+    pub fn refresh_map(&mut self) -> io::Result<bool> {
+        let mut candidates: Vec<String> =
+            self.map.parts.iter().map(|p| p.endpoint.clone()).collect();
+        candidates.extend(self.seeds.iter().cloned());
+        candidates.sort_unstable();
+        candidates.dedup();
+        let mut best: Option<PartitionMap> = None;
+        let mut reached = false;
+        for ep in candidates {
+            let Ok(conn) = self.conn(&ep) else { continue };
+            match conn.fetch_map() {
+                Ok(m) => {
+                    reached = true;
+                    if m.validate().is_ok() && best.as_ref().is_none_or(|b| m.epoch > b.epoch) {
+                        best = Some(m);
+                    }
+                }
+                Err(_) => {
+                    // A stale connection is worthless; reconnect lazily.
+                    self.conns.remove(&ep);
+                }
+            }
+        }
+        if !reached {
+            return Err(io::Error::new(
+                io::ErrorKind::AddrNotAvailable,
+                "no cluster endpoint reachable for a map refresh",
+            ));
+        }
+        self.refreshes += 1;
+        let advanced = best.as_ref().is_some_and(|b| b.epoch > self.map.epoch);
+        if let Some(b) = best {
+            if b.epoch > self.map.epoch {
+                self.map = b;
+            }
+        }
+        Ok(advanced)
+    }
+
+    /// Executes a batch against the cluster, routing each operation to its
+    /// owner and resending `WrongPartition` bounces after a map refresh.
+    /// Replies come back in request order. Keyless operations (`Snapshot`,
+    /// `ReleaseSnapshot`) route to partition 0's owner — snapshots are
+    /// per-node, so a caller wanting cluster-wide snapshot reads should
+    /// talk to one node directly.
+    pub fn call(&mut self, reqs: Vec<Request>) -> io::Result<Vec<Response>> {
+        let n = reqs.len();
+        let mut out: Vec<Option<Response>> = (0..n).map(|_| None).collect();
+        let mut pending: Vec<(usize, Request)> = reqs.into_iter().enumerate().collect();
+        for attempt in 0..MAX_ATTEMPTS {
+            if pending.is_empty() {
+                break;
+            }
+            if attempt > 0 {
+                // A bounce during a seal window clears only after the
+                // flip: back off, then chase the new epoch.
+                std::thread::sleep(Duration::from_millis(2u64 << attempt.min(5)));
+                let _ = self.refresh_map();
+            }
+            let mut groups: BTreeMap<String, Vec<(usize, Request)>> = BTreeMap::new();
+            for (slot, req) in pending.drain(..) {
+                let ep = self.map.owner_of(req.key()).endpoint.clone();
+                groups.entry(ep).or_default().push((slot, req));
+            }
+            for (ep, group) in groups {
+                let (slots, batch): (Vec<usize>, Vec<Request>) = group.into_iter().unzip();
+                let sent = batch.clone();
+                let (resps, retried) = match self.conn(&ep) {
+                    Ok(conn) => match conn.call_idempotent(batch) {
+                        Ok(r) => r,
+                        Err(e) => {
+                            // Writes must surface transport errors — the
+                            // op may or may not have executed.
+                            self.conns.remove(&ep);
+                            return Err(e);
+                        }
+                    },
+                    Err(e) => return Err(e),
+                };
+                if retried {
+                    self.retried_reads += 1;
+                }
+                if resps.len() != sent.len() {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "cluster reply length mismatch",
+                    ));
+                }
+                for ((slot, req), resp) in slots.into_iter().zip(sent).zip(resps) {
+                    match resp {
+                        Response::WrongPartition { .. } => {
+                            // Not executed: safe to resend once the map
+                            // catches up.
+                            self.wrong_partition_seen += 1;
+                            pending.push((slot, req));
+                        }
+                        r => out[slot] = Some(r),
+                    }
+                }
+            }
+        }
+        if !pending.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                "partition map did not converge (ops still bouncing)",
+            ));
+        }
+        Ok(out.into_iter().map(|r| r.expect("slot filled")).collect())
+    }
+
+    /// Routes a range scan across partitions: starts at the owner of
+    /// `start` and, while the count is unsatisfied and that node's data is
+    /// exhausted, continues from the next partition boundary. Exact when
+    /// every node's owned partitions are contiguous in key order (always
+    /// true for `split_u64` maps and single-partition migrations); a node
+    /// owning disjoint ranges may count pairs from its later range early,
+    /// because the server-side scan is count-bounded, not range-bounded.
+    pub fn scan(&mut self, start: &[u8], count: u32) -> io::Result<u32> {
+        let mut total = 0u32;
+        let mut cursor = start.to_vec();
+        loop {
+            let remaining = count - total;
+            if remaining == 0 {
+                return Ok(total);
+            }
+            let owner_id = self.map.owner_of(&cursor).id;
+            let resps = self.call(vec![Request::Scan {
+                start: cursor.clone(),
+                count: remaining,
+            }])?;
+            match resps[0] {
+                Response::ScanCount(got) => total += got.min(remaining),
+                ref other => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("unexpected scan reply: {other:?}"),
+                    ));
+                }
+            }
+            // This owner ran out of local pairs; hop to the next
+            // partition's range (if any) owned by a different node.
+            let mut next = None;
+            let mut id = owner_id;
+            while let Some(end) = self.map.end_of(id) {
+                let end = end.to_vec();
+                let p = self.map.owner_of(&end);
+                if p.endpoint != self.map.partition(owner_id).expect("owner exists").endpoint {
+                    next = Some(end);
+                    break;
+                }
+                id = p.id;
+            }
+            match next {
+                Some(boundary) if total < count => cursor = boundary,
+                _ => return Ok(total),
+            }
+        }
+    }
+}

@@ -27,10 +27,18 @@
 //!   hook, or [`service::PacService::kill`] to simulate an abrupt crash for
 //!   recovery testing.
 //!
+//! * **Clustering** ([`cluster`]) — a range-partitioned key space across
+//!   multiple nodes: a versioned [`wire::PartitionMap`] with an epoch
+//!   number, per-node ownership enforcement answering
+//!   [`wire::Response::WrongPartition`] (v4), a map-caching
+//!   [`cluster::RouterClient`], and live partition migration built on the
+//!   MVCC snapshot/diff primitives.
+//!
 //! Metrics ([`metrics`]) feed the always-on `obsv` registry, so `pacsrv`
 //! runs show up in the same flight-recorder/report pipeline as embedded
 //! runs.
 
+pub mod cluster;
 pub mod metrics;
 pub mod queue;
 pub mod reply;
@@ -38,9 +46,13 @@ pub mod service;
 pub mod transport;
 pub mod wire;
 
+pub use cluster::{ClusterNode, MigrationReport, RouterClient};
 pub use metrics::ServiceMetrics;
 pub use queue::{BatchQueue, PopStatus};
 pub use reply::ReplySet;
 pub use service::{PacService, ServiceConfig};
-pub use transport::{HealthServer, LocalClient, TcpClient, TcpServer};
-pub use wire::{decode_frame, encode_frame, Frame, Request, Response, WireError};
+pub use transport::{FrameHandler, HealthServer, LocalClient, TcpClient, TcpServer};
+pub use wire::{
+    decode_frame, encode_frame, Frame, MigrateOp, Partition, PartitionMap, Request, Response,
+    WireError,
+};

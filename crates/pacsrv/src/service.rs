@@ -525,6 +525,62 @@ impl<I: RangeIndex + Clone + 'static> PacService<I> {
     pub fn is_running(&self) -> bool {
         self.state.load(Ordering::Acquire) == RUNNING
     }
+
+    /// The index this service fronts. Migration drives snapshot reads
+    /// (`snapshot`/`scan_pairs_at`/`diff_pairs`) directly against it —
+    /// those are read-only against frozen views, so they don't race the
+    /// shard workers.
+    pub fn index(&self) -> &I {
+        &self.index
+    }
+
+    /// Waits until every operation enqueued before this call has executed:
+    /// pushes one no-op marker through each shard's FIFO and waits for all
+    /// of them. Because each queue is FIFO and workers drain in order, the
+    /// markers' completion implies every earlier op's completion.
+    ///
+    /// Returns `false` if the service stopped running before all markers
+    /// executed (the barrier guarantee then comes from the shutdown/kill
+    /// path instead: workers are joined).
+    pub fn drain_barrier(&self) -> bool {
+        let n = self.shards.len();
+        let rs = ReplySet::new(n);
+        let now = clock::now_ns();
+        for (i, queue) in self.shards.iter().enumerate() {
+            let mut job = Job {
+                req: Request::Scan {
+                    start: Vec::new(),
+                    count: 0,
+                },
+                trace: TraceCtx::UNTRACED,
+                enqueue_ns: now,
+                deadline_ns: NO_DEADLINE,
+                slot: i,
+                done: Arc::clone(&rs),
+            };
+            loop {
+                match queue.try_push(job) {
+                    Ok(()) => {
+                        self.metrics.admitted.fetch_add(1, Ordering::Relaxed);
+                        break;
+                    }
+                    Err(j) => {
+                        if self.state.load(Ordering::Acquire) != RUNNING {
+                            // Closed or killed queue: the marker can never
+                            // land; answer its slot so the wait terminates.
+                            j.done.complete(j.slot, Response::Aborted);
+                            break;
+                        }
+                        job = j;
+                        std::thread::sleep(Duration::from_micros(50));
+                    }
+                }
+            }
+        }
+        rs.wait()
+            .iter()
+            .all(|r| matches!(r, Response::ScanCount(_)))
+    }
 }
 
 impl<I: RangeIndex + Clone + 'static> Drop for PacService<I> {

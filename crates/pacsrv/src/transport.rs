@@ -22,9 +22,42 @@ use ycsb::RangeIndex;
 
 use crate::service::PacService;
 use crate::wire::{
-    decode_frame, encode_frame, encode_frame_versioned, Frame, Request, Response, WireError,
-    VERSION,
+    decode_frame, encode_frame, encode_frame_versioned, Frame, MigrateOp, PartitionMap, Request,
+    Response, WireError, VERSION,
 };
+
+/// The server-side contract a TCP front-end serves: one wire frame in, one
+/// reply frame out (both as raw bytes). [`PacService`] answers directly;
+/// [`crate::cluster::ClusterNode`] wraps a service with partition-ownership
+/// checks before delegating. `health_text` feeds the plain-HTTP
+/// [`HealthServer`].
+pub trait FrameHandler: Send + Sync + 'static {
+    /// Decodes `bytes`, executes, and returns the encoded reply frame.
+    fn handle_frame(&self, bytes: &[u8]) -> Vec<u8>;
+
+    /// The Prometheus text document the health endpoint serves.
+    fn health_text(&self) -> String;
+}
+
+impl<I: RangeIndex + Clone + 'static> FrameHandler for PacService<I> {
+    fn handle_frame(&self, bytes: &[u8]) -> Vec<u8> {
+        PacService::handle_frame(self, bytes)
+    }
+
+    fn health_text(&self) -> String {
+        PacService::health_text(self)
+    }
+}
+
+impl<H: FrameHandler> FrameHandler for Arc<H> {
+    fn handle_frame(&self, bytes: &[u8]) -> Vec<u8> {
+        H::handle_frame(self, bytes)
+    }
+
+    fn health_text(&self) -> String {
+        H::health_text(self)
+    }
+}
 
 /// In-process client: submits to the service on the caller's thread.
 pub struct LocalClient<I: RangeIndex + Clone + 'static> {
@@ -95,11 +128,21 @@ fn reap_finished(conns: &Mutex<Vec<std::thread::JoinHandle<()>>>) {
 
 impl TcpServer {
     /// Binds `addr` (e.g. `"127.0.0.1:0"`) and starts accepting.
-    pub fn start<I: RangeIndex + Clone + 'static>(
-        service: Arc<PacService<I>>,
+    pub fn start<H: FrameHandler>(
+        service: Arc<H>,
         addr: impl ToSocketAddrs,
     ) -> std::io::Result<TcpServer> {
-        let listener = TcpListener::bind(addr)?;
+        TcpServer::serve(service, TcpListener::bind(addr)?)
+    }
+
+    /// Starts accepting on an already-bound listener. Lets callers learn an
+    /// ephemeral port before constructing the frame handler — the cluster
+    /// fixtures bind first, build the partition map from the bound
+    /// addresses, then attach the nodes.
+    pub fn serve<H: FrameHandler>(
+        service: Arc<H>,
+        listener: TcpListener,
+    ) -> std::io::Result<TcpServer> {
         listener.set_nonblocking(true)?;
         let local = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
@@ -179,9 +222,9 @@ impl Drop for TcpServer {
 /// Per-connection loop: accumulate bytes, peel off complete frames, answer
 /// each through the shared frame path. Returns on EOF, socket error, or
 /// server stop.
-fn handle_conn<I: RangeIndex + Clone + 'static>(
+fn handle_conn<H: FrameHandler>(
     mut stream: TcpStream,
-    service: &PacService<I>,
+    service: &H,
     stop: &AtomicBool,
 ) -> std::io::Result<()> {
     stream.set_nodelay(true)?;
@@ -237,8 +280,8 @@ pub struct HealthServer {
 
 impl HealthServer {
     /// Binds `addr` (e.g. `"127.0.0.1:0"`) and starts answering scrapes.
-    pub fn start<I: RangeIndex + Clone + 'static>(
-        service: Arc<PacService<I>>,
+    pub fn start<H: FrameHandler>(
+        service: Arc<H>,
         addr: impl ToSocketAddrs,
     ) -> std::io::Result<HealthServer> {
         let listener = TcpListener::bind(addr)?;
@@ -296,10 +339,7 @@ impl Drop for HealthServer {
 /// the request's blank line (tolerating a bare `GET /metrics` with no
 /// headers from hand-rolled pollers) under a short timeout, so a stalled
 /// client cannot wedge the accept loop for long.
-fn answer_scrape<I: RangeIndex + Clone + 'static>(
-    mut stream: TcpStream,
-    service: &PacService<I>,
-) -> std::io::Result<()> {
+fn answer_scrape<H: FrameHandler>(mut stream: TcpStream, service: &H) -> std::io::Result<()> {
     stream.set_read_timeout(Some(Duration::from_millis(500)))?;
     let mut req = Vec::with_capacity(512);
     let mut chunk = [0u8; 512];
@@ -343,6 +383,8 @@ fn answer_scrape<I: RangeIndex + Clone + 'static>(
 /// A blocking TCP client speaking one frame at a time.
 pub struct TcpClient {
     stream: TcpStream,
+    /// The resolved peer address, kept for transparent reconnects.
+    addr: SocketAddr,
     acc: Vec<u8>,
     next_id: u64,
     wire_version: u8,
@@ -353,13 +395,30 @@ impl TcpClient {
     pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<TcpClient> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
+        let addr = stream.peer_addr()?;
         Ok(TcpClient {
             stream,
+            addr,
             acc: Vec::with_capacity(8192),
             next_id: 1,
             wire_version: VERSION,
             trace: TraceCtx::UNTRACED,
         })
+    }
+
+    /// The peer this client dials (and re-dials on reconnect).
+    pub fn peer_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Replaces the broken stream with a fresh connection to the same
+    /// peer, discarding any half-received reply bytes.
+    pub fn reconnect(&mut self) -> std::io::Result<()> {
+        let stream = TcpStream::connect(self.addr)?;
+        stream.set_nodelay(true)?;
+        self.stream = stream;
+        self.acc.clear();
+        Ok(())
     }
 
     /// Encodes outgoing frames at `version` (within
@@ -414,6 +473,94 @@ impl TcpClient {
             other => Err(std::io::Error::new(
                 ErrorKind::InvalidData,
                 format!("unexpected reply {other:?}"),
+            )),
+        }
+    }
+
+    /// Whether a connection failure mid-call may hide a half-delivered
+    /// request (vs. definitely-broken-before or definitely-broken-after).
+    fn is_conn_broken(e: &std::io::Error) -> bool {
+        matches!(
+            e.kind(),
+            ErrorKind::ConnectionReset
+                | ErrorKind::ConnectionAborted
+                | ErrorKind::BrokenPipe
+                | ErrorKind::UnexpectedEof
+        )
+    }
+
+    /// Like [`call`](Self::call), but if the connection broke mid-call
+    /// **and every request in the batch is an idempotent read**
+    /// (`Get`/`Scan`/`ScanAt`), reconnects once and resends. The returned
+    /// flag is `true` iff a retry happened (`RetriedOnce`), so callers can
+    /// count failovers. Batches containing writes are NEVER silently
+    /// retried — a broken connection surfaces as the error, because the
+    /// server may or may not have executed the write.
+    pub fn call_idempotent(
+        &mut self,
+        reqs: Vec<Request>,
+    ) -> std::io::Result<(Vec<Response>, bool)> {
+        let idempotent = reqs.iter().all(|r| {
+            matches!(
+                r,
+                Request::Get { .. } | Request::Scan { .. } | Request::ScanAt { .. }
+            )
+        });
+        if !idempotent {
+            return self.call(reqs).map(|resps| (resps, false));
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        let trace = self.trace;
+        let frame = Frame::Request { id, trace, reqs };
+        let reply = match self.roundtrip(&frame) {
+            Ok(reply) => return Self::expect_reply(reply, id).map(|resps| (resps, false)),
+            Err(e) if Self::is_conn_broken(&e) => {
+                self.reconnect()?;
+                self.roundtrip(&frame)?
+            }
+            Err(e) => return Err(e),
+        };
+        Self::expect_reply(reply, id).map(|resps| (resps, true))
+    }
+
+    fn expect_reply(reply: Frame, id: u64) -> std::io::Result<Vec<Response>> {
+        match reply {
+            Frame::Reply { id: rid, resps } if rid == id => Ok(resps),
+            other => Err(std::io::Error::new(
+                ErrorKind::InvalidData,
+                format!("unexpected reply {other:?}"),
+            )),
+        }
+    }
+
+    /// Fetches the node's currently installed partition map (wire v4 only).
+    pub fn fetch_map(&mut self) -> std::io::Result<PartitionMap> {
+        let id = self.next_id;
+        self.next_id += 1;
+        match self.roundtrip(&Frame::MapFetch { id })? {
+            Frame::MapReply { id: rid, map } if rid == id => Ok(map),
+            other => Err(std::io::Error::new(
+                ErrorKind::InvalidData,
+                format!("unexpected map reply {other:?}"),
+            )),
+        }
+    }
+
+    /// Sends one migration control operation (wire v4 only) and returns
+    /// the node's `(ok, detail)` answer.
+    pub fn migrate(&mut self, op: MigrateOp) -> std::io::Result<(bool, String)> {
+        let id = self.next_id;
+        self.next_id += 1;
+        match self.roundtrip(&Frame::Migrate { id, op })? {
+            Frame::MigrateReply {
+                id: rid,
+                ok,
+                detail,
+            } if rid == id => Ok((ok, detail)),
+            other => Err(std::io::Error::new(
+                ErrorKind::InvalidData,
+                format!("unexpected migrate reply {other:?}"),
             )),
         }
     }

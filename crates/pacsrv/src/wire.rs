@@ -5,10 +5,12 @@
 //! | offset | size | field                                              |
 //! |--------|------|----------------------------------------------------|
 //! | 0      | 2    | magic `0xAC51` (little-endian)                     |
-//! | 2      | 1    | protocol version (1, 2, or 3, see [`VERSION`])     |
+//! | 2      | 1    | protocol version (1 through 4, see [`VERSION`])    |
 //! | 3      | 1    | frame kind (1 request, 2 reply, 3 ping, 4 pong,    |
 //! |        |      | 5 stats, 6 stats-reply — 5/6 are v2-only —         |
-//! |        |      | 7 health, 8 health-reply — 7/8 are v3-only)        |
+//! |        |      | 7 health, 8 health-reply — 7/8 are v3-only —       |
+//! |        |      | 9 map-fetch, 10 map-reply, 11 migrate,             |
+//! |        |      | 12 migrate-reply — 9..12 are v4-only)              |
 //! | 4      | 8    | correlation id (echoed verbatim in the reply)      |
 //! | 12     | 4    | payload length in bytes                            |
 //! | 16     | 4    | CRC32 over bytes `0..16` plus the payload          |
@@ -67,6 +69,26 @@
 //! inside a v1/v2 frame are rejected as malformed, exactly like stats
 //! kinds in v1.
 //!
+//! ## Version 4: cluster routing and live migration
+//!
+//! v4 makes the wire cluster-aware. A [`PartitionMap`] — an epoch number
+//! plus a sorted list of `(partition id, start key, owner endpoint)`
+//! entries covering the whole key space — travels in two new frame pairs:
+//!
+//! * `MapFetch`/`MapReply` (kinds 9/10) — a router bootstraps or refreshes
+//!   its cached map from any node;
+//! * `Migrate`/`MigrateReply` (kinds 11/12) — the migration control plane:
+//!   a [`MigrateOp`] (`Start`, `ImportBegin`, `ImportEnd`, `Install`)
+//!   answered with an ok flag and a detail string.
+//!
+//! One status tag joins the reply payload: `WrongPartition { map_epoch }`
+//! (tag 14) — the node does not own the key's partition under the map
+//! epoch it reports. Like `Overloaded`, the operation was **never
+//! executed**, so a router may refresh its map and resend (even writes)
+//! without double-applying. Servers answering v1–v3 clients downgrade the
+//! status to `Overloaded`, which those clients already treat as
+//! retry-with-backoff.
+//!
 //! The same bytes travel over TCP and through the in-process transport, so
 //! benchmarks can isolate protocol cost (encode + checksum + decode) from
 //! network cost by switching transports.
@@ -74,7 +96,7 @@
 use obsv::trace::TraceCtx;
 
 /// Protocol version this build speaks (and emits by default).
-pub const VERSION: u8 = 3;
+pub const VERSION: u8 = 4;
 
 /// Oldest protocol version the decoder still accepts.
 pub const MIN_VERSION: u8 = 1;
@@ -91,6 +113,53 @@ pub const MAX_PAYLOAD: usize = 16 << 20;
 
 /// Upper bound on operations per frame.
 pub const MAX_BATCH: usize = 1 << 16;
+
+/// Upper bound on partitions in a wire-encoded [`PartitionMap`]: a decoder
+/// must be able to reject a corrupt count without a giant allocation.
+pub const MAX_PARTS: usize = 4096;
+
+/// One entry of a [`PartitionMap`]: the half-open key range
+/// `[start, next.start)` (the last partition is unbounded above) owned by
+/// the node at `endpoint`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Partition {
+    /// Stable partition id — survives ownership changes.
+    pub id: u32,
+    /// Inclusive lower bound of the partition's key range; the first
+    /// partition's start is the empty key.
+    pub start: Vec<u8>,
+    /// `host:port` of the owning node's wire listener.
+    pub endpoint: String,
+}
+
+/// A versioned assignment of the whole key space to node endpoints.
+///
+/// Entries are sorted by `start`; the key `k` belongs to the last
+/// partition with `start <= k`. The `epoch` increments on every ownership
+/// change and fences stale routers: a node answering `WrongPartition`
+/// reports its epoch so the router knows whether refreshing can help.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PartitionMap {
+    pub epoch: u64,
+    pub parts: Vec<Partition>,
+}
+
+/// A migration control operation (v4 `Migrate` frame payload).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MigrateOp {
+    /// Sent to the **source** node: move `partition` to the node at
+    /// `target`, driving the whole bulk/delta/seal/flip state machine.
+    Start { partition: u32, target: String },
+    /// Source → target: accept writes for `partition` from now on (the
+    /// bulk copy and delta replay arrive as ordinary `Put`/`Delete`).
+    ImportBegin { partition: u32 },
+    /// Source → target: the handoff is complete; adopt `map` (whose epoch
+    /// names the target as the new owner) and drop import mode.
+    ImportEnd { partition: u32, map: PartitionMap },
+    /// Best-effort map gossip to any node: adopt `map` if its epoch is
+    /// newer than the locally installed one.
+    Install { map: PartitionMap },
+}
 
 /// One client operation.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -168,6 +237,11 @@ pub enum Response {
     /// was already released (v3 only). The operation executed; there was
     /// simply no view to serve it from.
     UnknownSnapshot,
+    /// The node does not own the key's partition under the partition map
+    /// epoch it reports (v4 only). The operation was never executed; the
+    /// client should refresh its map (at least to `map_epoch`) and
+    /// re-route — resending is safe, even for writes.
+    WrongPartition { map_epoch: u64 },
 }
 
 impl Response {
@@ -179,6 +253,7 @@ impl Response {
                 | Response::DeadlineExceeded
                 | Response::Aborted
                 | Response::Malformed
+                | Response::WrongPartition { .. }
         )
     }
 
@@ -188,6 +263,11 @@ impl Response {
             self,
             Response::Snapshot(_) | Response::Released(_) | Response::UnknownSnapshot
         )
+    }
+
+    /// Whether this status exists only in wire v4.
+    pub fn requires_v4(&self) -> bool {
+        matches!(self, Response::WrongPartition { .. })
     }
 }
 
@@ -216,6 +296,15 @@ pub enum Frame {
     Health { id: u64 },
     /// The health answer: a Prometheus-text-format document (v3 only).
     HealthReply { id: u64, text: String },
+    /// Partition-map fetch request (v4 only).
+    MapFetch { id: u64 },
+    /// The node's currently installed partition map (v4 only).
+    MapReply { id: u64, map: PartitionMap },
+    /// A migration control operation (v4 only).
+    Migrate { id: u64, op: MigrateOp },
+    /// The migration answer: success plus a human/machine detail string
+    /// (v4 only).
+    MigrateReply { id: u64, ok: bool, detail: String },
 }
 
 impl Frame {
@@ -229,6 +318,10 @@ impl Frame {
             Frame::StatsReply { .. } => 6,
             Frame::Health { .. } => 7,
             Frame::HealthReply { .. } => 8,
+            Frame::MapFetch { .. } => 9,
+            Frame::MapReply { .. } => 10,
+            Frame::Migrate { .. } => 11,
+            Frame::MigrateReply { .. } => 12,
         }
     }
 
@@ -242,7 +335,11 @@ impl Frame {
             | Frame::Stats { id }
             | Frame::StatsReply { id, .. }
             | Frame::Health { id }
-            | Frame::HealthReply { id, .. } => *id,
+            | Frame::HealthReply { id, .. }
+            | Frame::MapFetch { id }
+            | Frame::MapReply { id, .. }
+            | Frame::Migrate { id, .. }
+            | Frame::MigrateReply { id, .. } => *id,
         }
     }
 }
@@ -352,6 +449,29 @@ impl<'a> Reader<'a> {
         let len = self.u16()? as usize;
         Ok(self.take(len)?.to_vec())
     }
+    fn str16(&mut self) -> Result<String, WireError> {
+        let len = self.u16()? as usize;
+        let bytes = self.take(len)?;
+        std::str::from_utf8(bytes)
+            .map(str::to_string)
+            .map_err(|_| WireError::Malformed("string field is not UTF-8"))
+    }
+    fn map(&mut self) -> Result<PartitionMap, WireError> {
+        let epoch = self.u64()?;
+        let count = self.u32()? as usize;
+        if count > MAX_PARTS {
+            return Err(WireError::Malformed("partition count over MAX_PARTS"));
+        }
+        let mut parts = Vec::with_capacity(count.min(64));
+        for _ in 0..count {
+            parts.push(Partition {
+                id: self.u32()?,
+                start: self.key()?,
+                endpoint: self.str16()?,
+            });
+        }
+        Ok(PartitionMap { epoch, parts })
+    }
     fn done(&self) -> bool {
         self.pos == self.buf.len()
     }
@@ -368,6 +488,33 @@ fn put_key(out: &mut Vec<u8>, key: &[u8]) {
     );
     put_u16(out, key.len() as u16);
     out.extend_from_slice(key);
+}
+
+/// Writes `s` with a `u16` length prefix, mirroring [`put_key`].
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    assert!(
+        s.len() <= u16::MAX as usize,
+        "string length {} exceeds the wire format's u16 limit",
+        s.len()
+    );
+    put_u16(out, s.len() as u16);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Writes a [`PartitionMap`], mirroring [`Reader::map`].
+fn put_map(out: &mut Vec<u8>, map: &PartitionMap) {
+    assert!(
+        map.parts.len() <= MAX_PARTS,
+        "map of {} partitions exceeds MAX_PARTS ({MAX_PARTS})",
+        map.parts.len()
+    );
+    put_u64(out, map.epoch);
+    put_u32(out, map.parts.len() as u32);
+    for p in &map.parts {
+        put_u32(out, p.id);
+        put_key(out, &p.start);
+        put_str(out, &p.endpoint);
+    }
 }
 
 /// `flags` bit of a v2 trace block: the context is sampled.
@@ -458,6 +605,10 @@ fn encode_payload(frame: &Frame, version: u8, out: &mut Vec<u8>) {
                         out.push(u8::from(*found));
                     }
                     Response::UnknownSnapshot => out.push(13),
+                    Response::WrongPartition { map_epoch } => {
+                        out.push(14);
+                        put_u64(out, *map_epoch);
+                    }
                 }
             }
         }
@@ -479,7 +630,36 @@ fn encode_payload(frame: &Frame, version: u8, out: &mut Vec<u8>) {
             put_u32(out, text.len() as u32);
             out.extend_from_slice(text.as_bytes());
         }
-        Frame::Ping { .. } | Frame::Pong { .. } | Frame::Stats { .. } | Frame::Health { .. } => {}
+        Frame::MapReply { map, .. } => put_map(out, map),
+        Frame::Migrate { op, .. } => match op {
+            MigrateOp::Start { partition, target } => {
+                out.push(1);
+                put_u32(out, *partition);
+                put_str(out, target);
+            }
+            MigrateOp::ImportBegin { partition } => {
+                out.push(2);
+                put_u32(out, *partition);
+            }
+            MigrateOp::ImportEnd { partition, map } => {
+                out.push(3);
+                put_u32(out, *partition);
+                put_map(out, map);
+            }
+            MigrateOp::Install { map } => {
+                out.push(4);
+                put_map(out, map);
+            }
+        },
+        Frame::MigrateReply { ok, detail, .. } => {
+            out.push(u8::from(*ok));
+            put_str(out, detail);
+        }
+        Frame::Ping { .. }
+        | Frame::Pong { .. }
+        | Frame::Stats { .. }
+        | Frame::Health { .. }
+        | Frame::MapFetch { .. } => {}
     }
 }
 
@@ -519,6 +699,17 @@ pub fn encode_frame_versioned(frame: &Frame, version: u8, out: &mut Vec<u8>) -> 
         version >= 3 || !matches!(frame, Frame::Health { .. } | Frame::HealthReply { .. }),
         "health frames are not representable below wire v3"
     );
+    assert!(
+        version >= 4
+            || !matches!(
+                frame,
+                Frame::MapFetch { .. }
+                    | Frame::MapReply { .. }
+                    | Frame::Migrate { .. }
+                    | Frame::MigrateReply { .. }
+            ),
+        "cluster frames are not representable below wire v4"
+    );
     let has_v3_op = match frame {
         Frame::Request { reqs, .. } => reqs.iter().any(Request::requires_v3),
         Frame::Reply { resps, .. } => resps.iter().any(Response::requires_v3),
@@ -527,6 +718,14 @@ pub fn encode_frame_versioned(frame: &Frame, version: u8, out: &mut Vec<u8>) -> 
     assert!(
         version >= 3 || !has_v3_op,
         "snapshot operations are not representable below wire v3"
+    );
+    let has_v4_status = match frame {
+        Frame::Reply { resps, .. } => resps.iter().any(Response::requires_v4),
+        _ => false,
+    };
+    assert!(
+        version >= 4 || !has_v4_status,
+        "cluster statuses are not representable below wire v4"
     );
     let start = out.len();
     out.extend_from_slice(&MAGIC.to_le_bytes());
@@ -577,6 +776,39 @@ fn decode_payload(version: u8, kind: u8, id: u64, payload: &[u8]) -> Result<Fram
             Frame::HealthReply { id, text }
         }
         7 | 8 => return Err(WireError::Malformed("health frames require wire v3")),
+        9 if version >= 4 => Frame::MapFetch { id },
+        10 if version >= 4 => Frame::MapReply { id, map: r.map()? },
+        11 if version >= 4 => {
+            let op = match r.u8()? {
+                1 => MigrateOp::Start {
+                    partition: r.u32()?,
+                    target: r.str16()?,
+                },
+                2 => MigrateOp::ImportBegin {
+                    partition: r.u32()?,
+                },
+                3 => MigrateOp::ImportEnd {
+                    partition: r.u32()?,
+                    map: r.map()?,
+                },
+                4 => MigrateOp::Install { map: r.map()? },
+                _ => return Err(WireError::Malformed("unknown migrate op tag")),
+            };
+            Frame::Migrate { id, op }
+        }
+        12 if version >= 4 => {
+            let ok = match r.u8()? {
+                0 => false,
+                1 => true,
+                _ => return Err(WireError::Malformed("migrate ok flag is not 0/1")),
+            };
+            Frame::MigrateReply {
+                id,
+                ok,
+                detail: r.str16()?,
+            }
+        }
+        9..=12 => return Err(WireError::Malformed("cluster frames require wire v4")),
         1 => {
             let trace = if version >= 2 {
                 let trace_id = r.u64()?;
@@ -651,6 +883,10 @@ fn decode_payload(version: u8, kind: u8, id: u64, payload: &[u8]) -> Result<Fram
                     11..=13 => {
                         return Err(WireError::Malformed("snapshot statuses require wire v3"))
                     }
+                    14 if version >= 4 => Response::WrongPartition {
+                        map_epoch: r.u64()?,
+                    },
+                    14 => return Err(WireError::Malformed("cluster statuses require wire v4")),
                     _ => return Err(WireError::Malformed("unknown response status tag")),
                 };
                 resps.push(resp);
@@ -1090,6 +1326,192 @@ mod tests {
         assert_eq!(
             decode_frame(&buf),
             Err(WireError::Malformed("health frames require wire v3"))
+        );
+    }
+
+    fn sample_map() -> PartitionMap {
+        PartitionMap {
+            epoch: 3,
+            parts: vec![
+                Partition {
+                    id: 0,
+                    start: vec![],
+                    endpoint: "127.0.0.1:7000".to_string(),
+                },
+                Partition {
+                    id: 1,
+                    start: 500u64.to_be_bytes().to_vec(),
+                    endpoint: "127.0.0.1:7001".to_string(),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn roundtrip_cluster_frames() {
+        roundtrip(Frame::MapFetch { id: 40 });
+        roundtrip(Frame::MapReply {
+            id: 40,
+            map: sample_map(),
+        });
+        roundtrip(Frame::MapReply {
+            id: 41,
+            map: PartitionMap {
+                epoch: 0,
+                parts: vec![],
+            },
+        });
+        roundtrip(Frame::Migrate {
+            id: 42,
+            op: MigrateOp::Start {
+                partition: 1,
+                target: "10.0.0.2:7000".to_string(),
+            },
+        });
+        roundtrip(Frame::Migrate {
+            id: 43,
+            op: MigrateOp::ImportBegin { partition: 1 },
+        });
+        roundtrip(Frame::Migrate {
+            id: 44,
+            op: MigrateOp::ImportEnd {
+                partition: 1,
+                map: sample_map(),
+            },
+        });
+        roundtrip(Frame::Migrate {
+            id: 45,
+            op: MigrateOp::Install { map: sample_map() },
+        });
+        roundtrip(Frame::MigrateReply {
+            id: 46,
+            ok: true,
+            detail: r#"{"moved_pairs":128}"#.to_string(),
+        });
+        roundtrip(Frame::MigrateReply {
+            id: 47,
+            ok: false,
+            detail: "not the owner".to_string(),
+        });
+    }
+
+    #[test]
+    fn roundtrip_wrong_partition_status() {
+        roundtrip(Frame::Reply {
+            id: 50,
+            resps: vec![
+                Response::Ok,
+                Response::WrongPartition { map_epoch: 9 },
+                Response::Value(None),
+            ],
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "cluster frames are not representable below wire v4")]
+    fn v3_cannot_encode_map_fetch() {
+        let mut buf = Vec::new();
+        encode_frame_versioned(&Frame::MapFetch { id: 1 }, 3, &mut buf);
+    }
+
+    #[test]
+    #[should_panic(expected = "cluster statuses are not representable below wire v4")]
+    fn v3_cannot_encode_wrong_partition() {
+        let mut buf = Vec::new();
+        encode_frame_versioned(
+            &Frame::Reply {
+                id: 1,
+                resps: vec![Response::WrongPartition { map_epoch: 1 }],
+            },
+            3,
+            &mut buf,
+        );
+    }
+
+    #[test]
+    fn cluster_kind_inside_v3_frame_is_malformed() {
+        // Hand-build a v3 header claiming kind 9 (map-fetch) with an empty
+        // payload and a valid CRC: structurally impossible below v4.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC.to_le_bytes());
+        buf.push(3); // version 3
+        buf.push(9); // kind: map-fetch
+        buf.extend_from_slice(&7u64.to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        let crc = crc32(&[&buf[..16]]);
+        buf.extend_from_slice(&crc.to_le_bytes());
+        assert_eq!(
+            decode_frame(&buf),
+            Err(WireError::Malformed("cluster frames require wire v4"))
+        );
+    }
+
+    #[test]
+    fn wrong_partition_tag_inside_v3_frame_is_malformed() {
+        // Hand-build a v3 reply smuggling status tag 14: structurally
+        // impossible below v4.
+        let mut payload = Vec::new();
+        put_u32(&mut payload, 1); // count
+        payload.push(14); // status tag: wrong-partition
+        put_u64(&mut payload, 5); // map epoch
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC.to_le_bytes());
+        buf.push(3); // version 3
+        buf.push(2); // kind: reply
+        buf.extend_from_slice(&9u64.to_le_bytes());
+        buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        let crc = crc32(&[&buf[..16], &payload]);
+        buf.extend_from_slice(&crc.to_le_bytes());
+        buf.extend_from_slice(&payload);
+        assert_eq!(
+            decode_frame(&buf),
+            Err(WireError::Malformed("cluster statuses require wire v4"))
+        );
+    }
+
+    #[test]
+    fn oversize_partition_count_is_malformed() {
+        // A map claiming MAX_PARTS+1 entries must be rejected before any
+        // attempt to materialize them.
+        let mut payload = Vec::new();
+        put_u64(&mut payload, 1); // epoch
+        put_u32(&mut payload, (MAX_PARTS + 1) as u32); // count
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC.to_le_bytes());
+        buf.push(VERSION);
+        buf.push(10); // kind: map-reply
+        buf.extend_from_slice(&1u64.to_le_bytes());
+        buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        let crc = crc32(&[&buf[..16], &payload]);
+        buf.extend_from_slice(&crc.to_le_bytes());
+        buf.extend_from_slice(&payload);
+        assert_eq!(
+            decode_frame(&buf),
+            Err(WireError::Malformed("partition count over MAX_PARTS"))
+        );
+    }
+
+    #[test]
+    fn non_utf8_endpoint_is_malformed() {
+        let mut payload = Vec::new();
+        put_u64(&mut payload, 1); // epoch
+        put_u32(&mut payload, 1); // count
+        put_u32(&mut payload, 0); // partition id
+        put_u16(&mut payload, 0); // empty start key
+        put_u16(&mut payload, 2); // endpoint length
+        payload.extend_from_slice(&[0xFF, 0xFE]); // invalid UTF-8
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC.to_le_bytes());
+        buf.push(VERSION);
+        buf.push(10); // kind: map-reply
+        buf.extend_from_slice(&1u64.to_le_bytes());
+        buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        let crc = crc32(&[&buf[..16], &payload]);
+        buf.extend_from_slice(&crc.to_le_bytes());
+        buf.extend_from_slice(&payload);
+        assert_eq!(
+            decode_frame(&buf),
+            Err(WireError::Malformed("string field is not UTF-8"))
         );
     }
 

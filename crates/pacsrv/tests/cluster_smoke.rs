@@ -1,0 +1,351 @@
+//! Three-node cluster end to end: smart routing, live migration with
+//! concurrent writers, epoch convergence, pre-v4 downgrades, and the
+//! transparent read-reconnect satellite.
+
+mod common;
+
+use std::net::TcpListener;
+use std::sync::Arc;
+use std::time::Duration;
+
+use common::MapIndex;
+use pacsrv::cluster::{ClusterNode, RouterClient};
+use pacsrv::wire::{decode_frame, MigrateOp, PartitionMap, Request, Response, WireError};
+use pacsrv::{PacService, ServiceConfig, TcpClient, TcpServer};
+use ycsb::RangeIndex;
+
+struct Cluster {
+    nodes: Vec<Arc<ClusterNode<MapIndex>>>,
+    servers: Vec<TcpServer>,
+    endpoints: Vec<String>,
+}
+
+/// Binds `n` listeners first (so the map can name real ephemeral ports),
+/// then attaches one service + cluster node per listener.
+fn start_cluster(tag: &str, n: usize) -> Cluster {
+    let listeners: Vec<TcpListener> = (0..n)
+        .map(|_| TcpListener::bind("127.0.0.1:0").expect("bind"))
+        .collect();
+    let endpoints: Vec<String> = listeners
+        .iter()
+        .map(|l| l.local_addr().expect("addr").to_string())
+        .collect();
+    let map = PartitionMap::split_u64(&endpoints);
+    let mut nodes = Vec::new();
+    let mut servers = Vec::new();
+    for (i, listener) in listeners.into_iter().enumerate() {
+        let cfg = ServiceConfig {
+            shards: 2,
+            numa_pin: false,
+            ..ServiceConfig::named(&format!("pacsrv-{tag}-{i}"), 2)
+        };
+        let service = PacService::start(MapIndex::default(), cfg);
+        let node = ClusterNode::start(service, &endpoints[i], map.clone()).expect("cluster node");
+        servers.push(TcpServer::serve(node.clone(), listener).expect("serve"));
+        nodes.push(node);
+    }
+    Cluster {
+        nodes,
+        servers,
+        endpoints,
+    }
+}
+
+impl Cluster {
+    fn stop(self) {
+        for s in self.servers {
+            s.stop();
+        }
+        for n in self.nodes {
+            n.service().shutdown(Duration::from_secs(5));
+        }
+    }
+}
+
+/// A key in the first third of the u64 key space (partition 0 of 3).
+fn p0_key(i: u64) -> Vec<u8> {
+    let stride = u64::MAX / 3;
+    (i % stride).to_be_bytes().to_vec()
+}
+
+/// A key anywhere in the u64 key space.
+fn spread_key(i: u64) -> Vec<u8> {
+    i.wrapping_mul(0x9E37_79B9_7F4A_7C15).to_be_bytes().to_vec()
+}
+
+#[test]
+fn router_routes_across_partitions() {
+    let cluster = start_cluster("route", 3);
+    let mut router = RouterClient::connect(&cluster.endpoints[..1]).expect("router");
+    assert_eq!(router.map_epoch(), 1);
+
+    // One batch mixing all three partitions: the router splits it, the
+    // replies come back in request order.
+    let reqs: Vec<Request> = (0..60u64)
+        .map(|i| Request::Put {
+            key: spread_key(i),
+            value: i,
+        })
+        .collect();
+    let resps = router.call(reqs).expect("puts");
+    assert!(resps.iter().all(|r| *r == Response::Ok));
+    for i in 0..60u64 {
+        let resps = router
+            .call(vec![Request::Get { key: spread_key(i) }])
+            .expect("get");
+        assert_eq!(resps, vec![Response::Value(Some(i))], "key {i}");
+    }
+    // A fresh map never bounces.
+    assert_eq!(router.wrong_partition_seen(), 0);
+    assert_eq!(router.refreshes(), 0);
+
+    // Cross-partition range scan: all 60 pairs, starting from the empty key.
+    assert_eq!(router.scan(&[], 1000).expect("scan"), 60);
+
+    cluster.stop();
+}
+
+#[test]
+fn live_migration_with_concurrent_writers_loses_nothing() {
+    let cluster = start_cluster("migrate", 3);
+    let seeds = cluster.endpoints.clone();
+    let mut router = RouterClient::connect(&seeds).expect("router");
+
+    // Preload partition 0 (and some spread keys for realism).
+    let preload: Vec<Request> = (0..400u64)
+        .map(|i| Request::Put {
+            key: p0_key(i * 7919),
+            value: i,
+        })
+        .collect();
+    assert!(router
+        .call(preload)
+        .expect("preload")
+        .iter()
+        .all(|r| *r == Response::Ok));
+
+    // Move partition 0 from node 0 to node 1 while a writer hammers it.
+    let src = cluster.endpoints[0].clone();
+    let target = cluster.endpoints[1].clone();
+    let mig = std::thread::spawn(move || {
+        let mut ctl = TcpClient::connect(src.as_str()).expect("ctl connect");
+        ctl.migrate(MigrateOp::Start {
+            partition: 0,
+            target,
+        })
+        .expect("migrate rpc")
+    });
+    let writer_seeds = seeds.clone();
+    let writer = std::thread::spawn(move || {
+        let mut w = RouterClient::connect(&writer_seeds).expect("writer router");
+        let mut acked = Vec::new();
+        for i in 0..300u64 {
+            let key = p0_key(1_000_000 + i * 131);
+            match w.call(vec![Request::Put {
+                key: key.clone(),
+                value: i,
+            }]) {
+                Ok(resps) if resps == vec![Response::Ok] => acked.push((key, i)),
+                other => panic!("write not acked: {other:?}"),
+            }
+        }
+        (acked, w.wrong_partition_seen())
+    });
+
+    let (ok, detail) = mig.join().expect("migration thread");
+    assert!(ok, "migration failed: {detail}");
+    assert!(detail.contains("\"new_epoch\":2"), "{detail}");
+    let (acked, writer_bounces) = writer.join().expect("writer thread");
+    assert_eq!(acked.len(), 300);
+
+    // Every acked write (and the preload) reads back through a fresh
+    // router — zero acked-write loss across the handoff.
+    let mut check = RouterClient::connect(&seeds).expect("check router");
+    assert_eq!(check.map_epoch(), 2, "fresh router sees the flipped map");
+    for (key, v) in &acked {
+        let resps = check
+            .call(vec![Request::Get { key: key.clone() }])
+            .expect("get");
+        assert_eq!(resps, vec![Response::Value(Some(*v))]);
+    }
+
+    // Epochs converged everywhere (node 2 learned via gossip).
+    for node in &cluster.nodes {
+        assert_eq!(node.map_epoch(), 2, "node {}", node.endpoint());
+    }
+
+    // The stale router refreshes once and stops bouncing: after the next
+    // call lands, further traffic adds no WrongPartition replies.
+    let before_refresh = router.map_epoch();
+    assert_eq!(before_refresh, 1);
+    let resps = router
+        .call(vec![Request::Get {
+            key: acked[0].0.clone(),
+        }])
+        .expect("stale router get");
+    assert_eq!(resps, vec![Response::Value(Some(acked[0].1))]);
+    assert_eq!(router.map_epoch(), 2);
+    let settled = router.wrong_partition_seen();
+    for (key, v) in acked.iter().take(50) {
+        let resps = router
+            .call(vec![Request::Get { key: key.clone() }])
+            .expect("settled get");
+        assert_eq!(resps, vec![Response::Value(Some(*v))]);
+    }
+    assert_eq!(
+        router.wrong_partition_seen(),
+        settled,
+        "no WrongPartition storm after the refresh"
+    );
+    if writer_bounces > 0 {
+        // The writer raced the seal window at least once and recovered.
+        assert!(check.map_epoch() == 2);
+    }
+
+    // The source retired its copy: a local scan of the whole space on
+    // node 0 sees only what it still owns.
+    let n0_scan = cluster.nodes[0]
+        .service()
+        .index()
+        .scan(&[], usize::MAX >> 1);
+    assert_eq!(n0_scan, 0, "node 0 still holds migrated pairs");
+
+    // Stale maps are fenced: replaying the epoch-1 map is refused.
+    let mut ctl = TcpClient::connect(cluster.endpoints[2].as_str()).expect("ctl");
+    let old_map = PartitionMap::split_u64(&seeds);
+    let (ok, _) = ctl
+        .migrate(MigrateOp::Install { map: old_map })
+        .expect("rpc");
+    assert!(!ok, "stale epoch must be rejected");
+    assert_eq!(cluster.nodes[2].map_epoch(), 2);
+
+    cluster.stop();
+}
+
+#[test]
+fn pre_v4_clients_see_overloaded_instead_of_wrong_partition() {
+    let cluster = start_cluster("downgrade", 3);
+    // A key owned by node 2, asked of node 0.
+    let key = u64::MAX.to_be_bytes().to_vec();
+    for version in 1..=3u8 {
+        let mut old = TcpClient::connect(cluster.endpoints[0].as_str()).expect("connect");
+        old.set_wire_version(version);
+        let resps = old
+            .call(vec![Request::Get { key: key.clone() }])
+            .expect("call");
+        assert_eq!(resps, vec![Response::Overloaded], "wire v{version}");
+    }
+    // A v4 client gets the real status with the epoch for its refresh.
+    let mut new = TcpClient::connect(cluster.endpoints[0].as_str()).expect("connect");
+    let resps = new.call(vec![Request::Get { key }]).expect("call");
+    assert_eq!(resps, vec![Response::WrongPartition { map_epoch: 1 }]);
+    assert_eq!(cluster.nodes[0].wrong_partition_total(), 4);
+    cluster.stop();
+}
+
+/// A server that answers exactly one frame per connection, then closes it:
+/// the worst polite cycler a client-side connection cache can meet.
+fn one_shot_server(
+    service: Arc<PacService<MapIndex>>,
+) -> (std::net::SocketAddr, Arc<std::sync::atomic::AtomicBool>) {
+    use std::io::{Read as _, Write as _};
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let stop2 = stop.clone();
+    std::thread::spawn(move || {
+        for conn in listener.incoming() {
+            if stop2.load(std::sync::atomic::Ordering::Acquire) {
+                break;
+            }
+            let Ok(mut sock) = conn else { break };
+            let mut acc = Vec::new();
+            let mut buf = [0u8; 4096];
+            loop {
+                match decode_frame(&acc) {
+                    Ok((_, used)) => {
+                        let reply = service.handle_frame(&acc[..used]);
+                        let _ = sock.write_all(&reply);
+                        break; // close the connection after one frame
+                    }
+                    Err(WireError::Incomplete { .. }) => match sock.read(&mut buf) {
+                        Ok(0) | Err(_) => break,
+                        Ok(n) => acc.extend_from_slice(&buf[..n]),
+                    },
+                    Err(_) => break,
+                }
+            }
+        }
+    });
+    (addr, stop)
+}
+
+#[test]
+fn idempotent_reads_reconnect_once_and_surface_it() {
+    let cfg = ServiceConfig {
+        shards: 1,
+        numa_pin: false,
+        ..ServiceConfig::named("pacsrv-flaky", 1)
+    };
+    let service = PacService::start(MapIndex::default(), cfg);
+    service.index().insert(&7u64.to_be_bytes(), 70);
+    let (addr, stop) = one_shot_server(service.clone());
+
+    let mut client = TcpClient::connect(addr).expect("connect");
+    // First read rides the fresh connection: no retry needed.
+    let (resps, retried) = client
+        .call_idempotent(vec![Request::Get {
+            key: 7u64.to_be_bytes().to_vec(),
+        }])
+        .expect("first read");
+    assert_eq!(resps, vec![Response::Value(Some(70))]);
+    assert!(!retried);
+    // The server closed that connection; the next read reconnects
+    // transparently, exactly once, and says so.
+    let (resps, retried) = client
+        .call_idempotent(vec![Request::Get {
+            key: 7u64.to_be_bytes().to_vec(),
+        }])
+        .expect("retried read");
+    assert_eq!(resps, vec![Response::Value(Some(70))]);
+    assert!(retried, "the reconnect must be surfaced as RetriedOnce");
+
+    // A write on the now-dead connection surfaces the transport error —
+    // never a silent resend (the op may or may not have executed).
+    let err = client
+        .call(vec![Request::Put {
+            key: 8u64.to_be_bytes().to_vec(),
+            value: 80,
+        }])
+        .expect_err("write must surface the broken connection");
+    assert!(
+        matches!(
+            err.kind(),
+            std::io::ErrorKind::ConnectionReset
+                | std::io::ErrorKind::ConnectionAborted
+                | std::io::ErrorKind::BrokenPipe
+                | std::io::ErrorKind::UnexpectedEof
+                | std::io::ErrorKind::WriteZero
+        ),
+        "{err:?}"
+    );
+    // Mixed batches containing a write take the non-idempotent path too.
+    client.reconnect().expect("manual reconnect");
+    let (resps, retried) = client
+        .call_idempotent(vec![
+            Request::Get {
+                key: 7u64.to_be_bytes().to_vec(),
+            },
+            Request::Put {
+                key: 9u64.to_be_bytes().to_vec(),
+                value: 90,
+            },
+        ])
+        .expect("mixed batch on a fresh connection");
+    assert_eq!(resps.len(), 2);
+    assert!(!retried, "a batch with a write is never auto-retried");
+
+    stop.store(true, std::sync::atomic::Ordering::Release);
+    let _ = std::net::TcpStream::connect(addr); // unblock the accept loop
+    assert!(service.shutdown(Duration::from_secs(5)));
+}

@@ -114,7 +114,7 @@ fn snapshot_ops_end_to_end_through_service() {
 #[test]
 fn snapshot_ops_against_unversioned_index_answer_gracefully() {
     let service = PacService::start(
-        MapIndex::default(),
+        MapIndex::unversioned(),
         ServiceConfig {
             shards: 1,
             numa_pin: false,
@@ -140,7 +140,7 @@ fn snapshot_ops_against_unversioned_index_answer_gracefully() {
 #[test]
 fn old_clients_still_roundtrip_against_a_v3_server() {
     let service = PacService::start(
-        MapIndex::default(),
+        MapIndex::unversioned(),
         ServiceConfig {
             shards: 1,
             numa_pin: false,

@@ -5,7 +5,8 @@
 
 use obsv::trace::TraceCtx;
 use pacsrv::wire::{
-    decode_frame, encode_frame, encode_frame_versioned, Frame, Request, Response, HEADER_LEN,
+    decode_frame, encode_frame, encode_frame_versioned, Frame, MigrateOp, Partition, PartitionMap,
+    Request, Response, HEADER_LEN,
 };
 use proptest::collection::vec;
 use proptest::prelude::*;
@@ -51,6 +52,42 @@ fn build_responses(raw: Vec<(u8, u64, bool)>) -> Vec<Response> {
             }
         })
         .collect()
+}
+
+/// Maps arbitrary bytes onto a printable ASCII string (the vendored
+/// proptest has no string strategies).
+fn ascii(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| (b'!' + (b % 94)) as char).collect()
+}
+
+/// Materializes a partition map from generated raw parts. The codec does
+/// not validate map semantics (sortedness, coverage) — that is
+/// `PartitionMap::validate`'s job at install time — so arbitrary parts
+/// must round-trip.
+fn build_map(epoch: u64, raw: Vec<(Vec<u8>, Vec<u8>)>) -> PartitionMap {
+    let parts = raw
+        .into_iter()
+        .enumerate()
+        .map(|(i, (start, endpoint))| Partition {
+            id: i as u32,
+            start,
+            endpoint: ascii(&endpoint),
+        })
+        .collect();
+    PartitionMap { epoch, parts }
+}
+
+/// Materializes a migration control op from generated raw parts.
+fn build_op(tag: u8, partition: u32, target: &[u8], map: PartitionMap) -> MigrateOp {
+    match tag % 4 {
+        0 => MigrateOp::Start {
+            partition,
+            target: ascii(target),
+        },
+        1 => MigrateOp::ImportBegin { partition },
+        2 => MigrateOp::ImportEnd { partition, map },
+        _ => MigrateOp::Install { map },
+    }
 }
 
 proptest! {
@@ -199,5 +236,143 @@ proptest! {
             decode_frame(&bad).is_err(),
             "v1: bit {flip_bit} at byte {pos} went undetected"
         );
+    }
+
+    // -- v4 cluster frames -------------------------------------------------
+
+    /// `MapFetch`/`MapReply` round-trip for arbitrary maps, including
+    /// empty ones and unsorted/duplicate parts (the codec carries, the
+    /// installer validates).
+    #[test]
+    fn v4_map_frames_round_trip(
+        id in any::<u64>(),
+        epoch in any::<u64>(),
+        raw in vec((vec(any::<u8>(), 0..24), vec(any::<u8>(), 0..16)), 0..12),
+    ) {
+        let fetch = Frame::MapFetch { id };
+        let mut buf = Vec::new();
+        let n = encode_frame(&fetch, &mut buf);
+        let (decoded, consumed) = decode_frame(&buf).expect("map fetch");
+        prop_assert_eq!(consumed, n);
+        prop_assert_eq!(decoded, fetch);
+
+        let reply = Frame::MapReply { id, map: build_map(epoch, raw) };
+        let mut buf = Vec::new();
+        let n = encode_frame(&reply, &mut buf);
+        let (decoded, consumed) = decode_frame(&buf).expect("map reply");
+        prop_assert_eq!(consumed, n);
+        prop_assert_eq!(decoded, reply);
+    }
+
+    /// `Migrate`/`MigrateReply` round-trip for every control op.
+    #[test]
+    fn v4_migrate_frames_round_trip(
+        id in any::<u64>(),
+        tag in any::<u8>(),
+        partition in any::<u32>(),
+        target in vec(any::<u8>(), 0..24),
+        epoch in any::<u64>(),
+        raw in vec((vec(any::<u8>(), 0..16), vec(any::<u8>(), 0..12)), 0..8),
+        ok in any::<bool>(),
+        detail in vec(any::<u8>(), 0..48),
+    ) {
+        let frame = Frame::Migrate { id, op: build_op(tag, partition, &target, build_map(epoch, raw)) };
+        let mut buf = Vec::new();
+        let n = encode_frame(&frame, &mut buf);
+        let (decoded, consumed) = decode_frame(&buf).expect("migrate");
+        prop_assert_eq!(consumed, n);
+        prop_assert_eq!(decoded, frame);
+
+        let reply = Frame::MigrateReply { id, ok, detail: ascii(&detail) };
+        let mut buf = Vec::new();
+        encode_frame(&reply, &mut buf);
+        let (decoded, _) = decode_frame(&buf).expect("migrate reply");
+        prop_assert_eq!(decoded, reply);
+    }
+
+    /// `WrongPartition` mixes into reply batches and round-trips its epoch.
+    #[test]
+    fn v4_wrong_partition_round_trips(
+        id in any::<u64>(),
+        raw in vec((any::<u8>(), any::<u64>(), any::<bool>()), 0..24),
+        epochs in vec(any::<u64>(), 1..8),
+    ) {
+        let mut resps = build_responses(raw);
+        for e in epochs {
+            resps.push(Response::WrongPartition { map_epoch: e });
+        }
+        let frame = Frame::Reply { id, resps };
+        let mut buf = Vec::new();
+        encode_frame(&frame, &mut buf);
+        let (decoded, consumed) = decode_frame(&buf).expect("round trip");
+        prop_assert_eq!(consumed, buf.len());
+        prop_assert_eq!(decoded, frame);
+    }
+
+    /// Truncation and single-bit corruption are caught for the new v4
+    /// frames exactly as for the old ones.
+    #[test]
+    fn v4_truncation_and_corruption_still_rejected(
+        id in any::<u64>(),
+        tag in any::<u8>(),
+        partition in any::<u32>(),
+        target in vec(any::<u8>(), 0..24),
+        epoch in any::<u64>(),
+        raw in vec((vec(any::<u8>(), 0..16), vec(any::<u8>(), 0..12)), 1..8),
+        cut_seed in any::<u64>(),
+        flip_pos_seed in any::<u64>(),
+        flip_bit in 0..8u32,
+    ) {
+        let frame = Frame::Migrate { id, op: build_op(tag, partition, &target, build_map(epoch, raw)) };
+        let mut buf = Vec::new();
+        let n = encode_frame(&frame, &mut buf);
+        let cut = (cut_seed % n as u64) as usize;
+        match decode_frame(&buf[..cut]) {
+            Err(pacsrv::wire::WireError::Incomplete { need }) => {
+                prop_assert!(need > 0);
+                if cut >= HEADER_LEN {
+                    prop_assert_eq!(cut + need, n);
+                } else {
+                    prop_assert_eq!(cut + need, HEADER_LEN);
+                }
+            }
+            other => panic!("truncated v4 frame at {cut}/{n} decoded as {other:?}"),
+        }
+        let pos = (flip_pos_seed % n as u64) as usize;
+        let mut bad = buf.clone();
+        bad[pos] ^= 1 << flip_bit;
+        prop_assert!(
+            decode_frame(&bad).is_err(),
+            "v4: bit {flip_bit} at byte {pos} went undetected"
+        );
+    }
+
+    /// Pre-v4 clients are untouched by the cluster additions: plain
+    /// request/reply frames encoded at wire v1, v2, and v3 still decode to
+    /// the same operations on a v4 build.
+    #[test]
+    fn pre_v4_frames_decode_on_v4_build(
+        id in any::<u64>(),
+        raw_reqs in vec((any::<u8>(), vec(any::<u8>(), 0..24), any::<u64>()), 0..12),
+        raw_resps in vec((any::<u8>(), any::<u64>(), any::<bool>()), 0..12),
+        raw_trace in (any::<u64>(), any::<u32>(), any::<bool>()),
+    ) {
+        let trace = build_trace(raw_trace);
+        let reqs = build_requests(raw_reqs);
+        let resps = build_responses(raw_resps);
+        for version in 1..=3u8 {
+            let frame = Frame::Request { id, trace, reqs: reqs.clone() };
+            let mut buf = Vec::new();
+            encode_frame_versioned(&frame, version, &mut buf);
+            let (decoded, _) = decode_frame(&buf).expect("request decodes");
+            let want_trace = if version >= 2 { trace } else { TraceCtx::UNTRACED };
+            prop_assert_eq!(decoded, Frame::Request { id, trace: want_trace, reqs: reqs.clone() });
+
+            let reply = Frame::Reply { id, resps: resps.clone() };
+            let mut buf = Vec::new();
+            encode_frame_versioned(&reply, version, &mut buf);
+            let (decoded, _) = decode_frame(&buf).expect("reply decodes");
+            prop_assert_eq!(decoded, reply);
+        }
     }
 }

@@ -27,6 +27,7 @@ use pmem::Result;
 
 use crate::key::fingerprint_of;
 use crate::lock::VersionLock;
+use crate::simd;
 
 /// Key-value slots per data node (64 so the bitmap is one atomic word and
 /// the fingerprint/permutation arrays are exactly one cache line, §5.2).
@@ -452,16 +453,61 @@ impl DataNode {
 
     /// Live `(key, slot)` pairs in sorted order (split/merge and recovery
     /// helper; the caller holds the lock or has exclusivity).
+    ///
+    /// When every live key is inline, the sort runs on SIMD-gathered
+    /// byte-swapped key words ([`simd::Kernels::key_rank`]) instead of
+    /// materialized byte vectors: inline keys are stored zero-padded as
+    /// little-endian words, so (bswap word 2, …, bswap word 5, klen)
+    /// compares exactly like the raw bytes — a shorter key that is a
+    /// prefix pads with zeros, which only the klen tie-break can order.
+    /// Any overflow key falls back to the materialize-and-sort path.
     pub fn sorted_pairs_raw(&self) -> Vec<(Vec<u8>, usize)> {
         let bm = self.bitmap.load(Ordering::Acquire);
-        let mut keyed = Vec::with_capacity(bm.count_ones() as usize);
-        let mut buf = Vec::new();
+        let mut slots = [0u8; NODE_SLOTS];
+        let mut lens = [0u64; NODE_SLOTS];
+        let mut n = 0usize;
+        let mut all_inline = true;
         let mut bits = bm;
         while bits != 0 {
             let slot = bits.trailing_zeros() as usize;
             bits &= bits - 1;
-            self.read_key(slot, &mut buf);
-            keyed.push((buf.clone(), slot));
+            slots[n] = slot as u8;
+            lens[n] = self.entries[slot][0].load(Ordering::Acquire);
+            all_inline &= lens[n] as usize <= INLINE_KEY;
+            n += 1;
+        }
+        if all_inline {
+            let kernels = simd::active();
+            let base = self.entries.as_ptr() as *const u8;
+            let mut ranks = [[0u64; NODE_SLOTS]; 4];
+            for (w, rank) in ranks.iter_mut().enumerate() {
+                // SAFETY: `base` spans NODE_SLOTS aligned ENTRY_WORDS-u64
+                // entries and every slot id is < NODE_SLOTS, so each
+                // addressed word is in bounds; this method requires the
+                // lock (or exclusivity), satisfying the tearing contract.
+                unsafe {
+                    kernels.key_rank(base, ENTRY_WORDS * 8, (2 + w) * 8, &slots[..n], rank);
+                }
+            }
+            let mut order: Vec<usize> = (0..n).collect();
+            order.sort_unstable_by_key(|&i| {
+                (ranks[0][i], ranks[1][i], ranks[2][i], ranks[3][i], lens[i])
+            });
+            let mut buf = Vec::new();
+            return order
+                .into_iter()
+                .map(|i| {
+                    let slot = slots[i] as usize;
+                    self.read_key(slot, &mut buf);
+                    (buf.clone(), slot)
+                })
+                .collect();
+        }
+        let mut keyed = Vec::with_capacity(n);
+        let mut buf = Vec::new();
+        for &slot in &slots[..n] {
+            self.read_key(slot as usize, &mut buf);
+            keyed.push((buf.clone(), slot as usize));
         }
         keyed.sort();
         keyed
@@ -671,6 +717,41 @@ mod tests {
         assert_eq!(order2.len(), 5);
         assert_eq!(node.pair_at(order2[0]).key, b"aaaa".to_vec());
         destroy_pool(pool.id());
+    }
+
+    // Differential check of the SIMD-ranked sorted-slot build against the
+    // naive materialize-and-sort: random distinct keys of mixed lengths,
+    // covering the all-inline fast path (≤ 32 bytes) and the overflow
+    // fallback (> 32 bytes) in the same sweep.
+    proptest::proptest! {
+        #![proptest_config(proptest::test_runner::Config::with_cases(48))]
+
+        #[test]
+        fn sorted_pairs_raw_matches_naive_sort(
+            keys in proptest::collection::btree_set(
+                proptest::collection::vec(proptest::prelude::any::<u8>(), 1..40),
+                1..NODE_SLOTS,
+            ),
+        ) {
+            static CASE: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+            let name = format!("dn-sortprop-{}", CASE.fetch_add(1, Ordering::Relaxed));
+            let (pool, raw) = mk_node(&name);
+            // SAFETY: initialized node.
+            let node = unsafe { node_ref(raw) };
+            {
+                let _g = node.lock.write_lock();
+                for (i, k) in keys.iter().enumerate() {
+                    node.write_slot(i, k, i as u64, &pool).unwrap();
+                    node.publish(1 << i, 0);
+                }
+                let got = node.sorted_pairs_raw();
+                let mut want: Vec<(Vec<u8>, usize)> =
+                    keys.iter().enumerate().map(|(i, k)| (k.clone(), i)).collect();
+                want.sort();
+                proptest::prop_assert_eq!(&got, &want);
+            }
+            destroy_pool(pool.id());
+        }
     }
 
     #[test]

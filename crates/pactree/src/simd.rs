@@ -9,6 +9,9 @@
 //! * [`fingerprint_match32`] — the FPTree-baseline leaf probe (32 slots);
 //! * [`node16_match`] — PDL-ART `Node16` child search (splat + compare +
 //!   movemask, bounded by the node's live count);
+//! * [`Kernels::key_rank`] — gather + byte-swap of one inline-key word per
+//!   live slot, the rank extraction behind the data node's sorted-slot
+//!   build (lexicographic byte order becomes plain integer order);
 //! * [`prefetch_read`] — best-effort software prefetch for pointer chases.
 //!
 //! Setting `PACTREE_NO_SIMD=1` forces the SWAR kernels (and disables
@@ -47,6 +50,9 @@ pub struct Kernels {
     /// 256-byte `Node48` index walk → occupancy bitmap (bit i of word i/64
     /// set iff byte i != `N48_EMPTY`).
     n48_occupied: unsafe fn(*const u8) -> [u64; 4],
+    /// Strided gather + per-lane byte swap: one 8-byte key word per listed
+    /// slot (base, stride, offset, slots, n, out).
+    key_rank: unsafe fn(*const u8, usize, usize, *const u8, usize, *mut u64),
     /// Whether [`prefetch_read`] issues a real prefetch instruction.
     prefetch: bool,
 }
@@ -96,6 +102,41 @@ impl Kernels {
     pub fn n48(&self, index: &[AtomicU8; 256]) -> [u64; 4] {
         // SAFETY: as for `fp64`, with 256 bytes.
         unsafe { (self.n48_occupied)(index.as_ptr() as *const u8) }
+    }
+
+    /// Extracts the big-endian rank of one inline-key word for each listed
+    /// slot: `out[i] = bswap(load_u64(base + slots[i] * stride + offset))`.
+    /// Inline keys are stored zero-padded as little-endian words, so the
+    /// byte-swapped word compares like the raw key bytes — the data node's
+    /// sorted-slot build sorts on these ranks instead of materialized keys.
+    ///
+    /// # Safety
+    ///
+    /// For every `i < slots.len()`, `base + slots[i] * stride + offset`
+    /// must point to 8 readable, initialized bytes at an 8-byte-aligned
+    /// address. The wide-load caveats of the module docs apply: callers
+    /// sit behind the owning node's lock (or a validated seqlock read), so
+    /// a torn gather is never acted upon.
+    pub unsafe fn key_rank(
+        &self,
+        base: *const u8,
+        stride: usize,
+        offset: usize,
+        slots: &[u8],
+        out: &mut [u64],
+    ) {
+        assert!(out.len() >= slots.len());
+        // SAFETY: per this method's contract.
+        unsafe {
+            (self.key_rank)(
+                base,
+                stride,
+                offset,
+                slots.as_ptr(),
+                slots.len(),
+                out.as_mut_ptr(),
+            )
+        }
     }
 }
 
@@ -240,6 +281,31 @@ unsafe fn n48_occupied_scalar(p: *const u8) -> [u64; 4] {
     out
 }
 
+/// One aligned atomic load + `swap_bytes` per slot. The stored word is
+/// `u64::from_le_bytes(key bytes)`, so `swap_bytes` yields the big-endian
+/// rank on every platform. Also the shared tail/fallback for the vector
+/// gathers — a per-word loop the compiler turns into load+`bswap` pairs,
+/// which is already close to memory-bound; only AVX2's hardware gather
+/// buys more.
+unsafe fn key_rank_scalar(
+    base: *const u8,
+    stride: usize,
+    offset: usize,
+    slots: *const u8,
+    n: usize,
+    out: *mut u64,
+) {
+    for i in 0..n {
+        // SAFETY: `n` readable slot ids and out words, and an aligned
+        // readable u64 per addressed entry, per the kernel contract.
+        unsafe {
+            let s = *slots.add(i) as usize;
+            let q = base.add(s * stride + offset) as *const AtomicU64;
+            *out.add(i) = (*q).load(Ordering::Acquire).swap_bytes();
+        }
+    }
+}
+
 // -- x86_64 vector kernels ---------------------------------------------------
 
 #[cfg(target_arch = "x86_64")]
@@ -333,6 +399,40 @@ mod x86 {
             let m = _mm256_movemask_epi8(_mm256_cmpeq_epi8(v, needle)) as u32;
             _mm256_zeroupper();
             m
+        }
+    }
+
+    /// 4-lane hardware gather of the strided key words + in-register
+    /// byte swap (`_mm256_shuffle_epi8` with a per-lane reversal pattern).
+    /// Byte offsets are formed scalar (AVX2 has no 64-bit multiply) and
+    /// fed to a scale-1 gather; x86_64 is little-endian, so the gathered
+    /// lane bytes are the raw key bytes and the reversal is the rank.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn key_rank_avx2(
+        base: *const u8,
+        stride: usize,
+        offset: usize,
+        slots: *const u8,
+        n: usize,
+        out: *mut u64,
+    ) {
+        // SAFETY: per the kernel contract (each addressed word readable);
+        // gathers have no alignment requirement, AVX2 verified by dispatch.
+        unsafe {
+            let rev = _mm256_setr_epi8(
+                7, 6, 5, 4, 3, 2, 1, 0, 15, 14, 13, 12, 11, 10, 9, 8, //
+                7, 6, 5, 4, 3, 2, 1, 0, 15, 14, 13, 12, 11, 10, 9, 8,
+            );
+            let mut i = 0;
+            while i + 4 <= n {
+                let at = |j: usize| (*slots.add(i + j) as usize * stride + offset) as i64;
+                let idx = _mm256_setr_epi64x(at(0), at(1), at(2), at(3));
+                let g = _mm256_i64gather_epi64::<1>(base as *const i64, idx);
+                _mm256_storeu_si256(out.add(i) as *mut __m256i, _mm256_shuffle_epi8(g, rev));
+                i += 4;
+            }
+            _mm256_zeroupper();
+            super::key_rank_scalar(base, stride, offset, slots.add(i), n - i, out.add(i));
         }
     }
 
@@ -449,6 +549,7 @@ static SCALAR: Kernels = Kernels {
     fp_match32: fp_match32_scalar,
     key_match16: key_match16_scalar,
     n48_occupied: n48_occupied_scalar,
+    key_rank: key_rank_scalar,
     prefetch: false,
 };
 
@@ -459,6 +560,7 @@ static SWAR: Kernels = Kernels {
     fp_match32: fp_match32_swar,
     key_match16: key_match16_swar,
     n48_occupied: n48_occupied_swar,
+    key_rank: key_rank_scalar,
     prefetch: false,
 };
 
@@ -470,6 +572,7 @@ static SSE2: Kernels = Kernels {
     fp_match32: x86::fp_match32_sse2,
     key_match16: x86::key_match16_sse2,
     n48_occupied: x86::n48_occupied_sse2,
+    key_rank: key_rank_scalar,
     prefetch: true,
 };
 
@@ -481,6 +584,7 @@ static AVX2: Kernels = Kernels {
     fp_match32: x86::fp_match32_avx2,
     key_match16: x86::key_match16_sse2,
     n48_occupied: x86::n48_occupied_avx2,
+    key_rank: x86::key_rank_avx2,
     prefetch: true,
 };
 
@@ -492,6 +596,7 @@ static NEON: Kernels = Kernels {
     fp_match32: neon::fp_match32_neon,
     key_match16: neon::key_match16_neon,
     n48_occupied: neon::n48_occupied_neon,
+    key_rank: key_rank_scalar,
     prefetch: true,
 };
 

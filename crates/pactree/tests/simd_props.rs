@@ -93,6 +93,39 @@ proptest! {
         }
     }
 
+    /// The sorted-slot rank gather: every kernel must agree with the
+    /// scalar load+bswap reference over a random entry table, random slot
+    /// subsets (duplicates and any order allowed), and every key-word
+    /// offset the data node uses — exercising AVX2's 4-lane gather, its
+    /// scalar tail, and the shared fallback in one sweep.
+    #[test]
+    fn key_rank_matches_scalar(
+        words in vec(any::<u64>(), 64 * 6),
+        slots in vec(0u8..64, 0..64),
+        word in 0usize..4,
+    ) {
+        #[repr(align(8))]
+        struct Entries([std::sync::atomic::AtomicU64; 64 * 6]);
+        let entries = Entries(std::array::from_fn(|i| {
+            std::sync::atomic::AtomicU64::new(words[i])
+        }));
+        let base = entries.0.as_ptr() as *const u8;
+        let (stride, offset) = (6 * 8, (2 + word) * 8);
+        let mut want = vec![0u64; slots.len()];
+        // SAFETY: every slot id < 64 addresses an aligned u64 inside
+        // `entries`; the table is exclusively ours.
+        unsafe { simd::scalar().key_rank(base, stride, offset, &slots, &mut want) };
+        for (i, &s) in slots.iter().enumerate() {
+            prop_assert_eq!(want[i], words[s as usize * 6 + 2 + word].swap_bytes());
+        }
+        for k in kernel_sets() {
+            let mut got = vec![0u64; slots.len()];
+            // SAFETY: as above.
+            unsafe { k.key_rank(base, stride, offset, &slots, &mut got) };
+            prop_assert_eq!(&got, &want, "kernel {}", k.name());
+        }
+    }
+
     /// Duplicate-heavy arrays (few distinct byte values) stress the borrow
     /// chains of the SWAR zero-byte detection: adjacent equal and
     /// off-by-one bytes are exactly where an inexact formulation tears.

@@ -13,6 +13,11 @@ use baselines::fptree::FpTree;
 use pactree::PacTree;
 use pdl_art::PdlArt;
 
+/// One [`RangeIndex::diff_pairs`] entry: `(key, old value, new value)` —
+/// `old` is `None` for additions, `new` is `None` for removals, both
+/// `Some` for changes.
+pub type DiffPair = (Vec<u8>, Option<u64>, Option<u64>);
+
 /// A key-value range index driven by the YCSB executor.
 pub trait RangeIndex: Send + Sync {
     /// Index name for reports.
@@ -89,6 +94,25 @@ pub trait RangeIndex: Send + Sync {
     /// boundaries so snapshot versions align with batch edges. Default:
     /// no versioning, nothing to advance.
     fn advance_version(&self) {}
+
+    /// Like [`scan_at`](Self::scan_at), but materializing the pairs —
+    /// what partition migration pages the source through. Returns `None`
+    /// if snapshots are unsupported or `snap` is unknown/released.
+    fn scan_pairs_at(
+        &self,
+        _snap: u64,
+        _start: &[u8],
+        _count: usize,
+    ) -> Option<Vec<(Vec<u8>, u64)>> {
+        None
+    }
+
+    /// The differences between two snapshots, as [`DiffPair`] rows.
+    /// Returns `None` if either snapshot is unknown or diffing is
+    /// unsupported.
+    fn diff_pairs(&self, _a: u64, _b: u64) -> Option<Vec<DiffPair>> {
+        None
+    }
 }
 
 impl RangeIndex for Arc<PacTree> {
@@ -149,6 +173,25 @@ impl RangeIndex for Arc<PacTree> {
 
     fn advance_version(&self) {
         PacTree::advance_version(self);
+    }
+
+    fn scan_pairs_at(&self, snap: u64, start: &[u8], count: usize) -> Option<Vec<(Vec<u8>, u64)>> {
+        PacTree::scan_at(self, snap, start, count)
+            .map(|pairs| pairs.into_iter().map(|p| (p.key, p.value)).collect())
+    }
+
+    fn diff_pairs(&self, a: u64, b: u64) -> Option<Vec<DiffPair>> {
+        use pactree::mvcc::DiffEntry;
+        PacTree::diff(self, a, b).map(|entries| {
+            entries
+                .into_iter()
+                .map(|e| match e {
+                    DiffEntry::Added(k, v) => (k, None, Some(v)),
+                    DiffEntry::Removed(k, v) => (k, Some(v), None),
+                    DiffEntry::Changed(k, old, new) => (k, Some(old), Some(new)),
+                })
+                .collect()
+        })
     }
 }
 

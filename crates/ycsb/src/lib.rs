@@ -27,4 +27,4 @@ pub use driver::{run_workload, DriverConfig, Report};
 pub use index::RangeIndex;
 pub use interference::{run_interference, InterferenceConfig, InterferenceReport, ScanMode};
 pub use keys::KeySpace;
-pub use workload::{Distribution, Mix, Workload};
+pub use workload::{Distribution, HotPartition, Mix, Workload};

@@ -144,6 +144,62 @@ impl Workload {
     }
 }
 
+/// Places YCSB key ids onto an n-way range-partitioned `u64` key space
+/// with one deliberately hot partition — the cluster benchmarks' skew
+/// model. `hot_fraction` of ids (chosen deterministically by hash) land in
+/// the hot partition; the rest spread uniformly over all partitions.
+/// Placement is a pure function of the id, so a reader always finds the
+/// key its writer placed, and a Zipfian id distribution composes on top
+/// (hot ids stay hot *and* concentrated on one node).
+#[derive(Debug, Clone, Copy)]
+pub struct HotPartition {
+    partitions: u64,
+    hot: u64,
+    /// Probability (in basis points) that an id is pinned to the hot
+    /// partition.
+    hot_bp: u64,
+}
+
+/// SplitMix64: cheap, well-mixed, and stable across runs.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+impl HotPartition {
+    /// An `partitions`-way split with partition `hot` receiving
+    /// `hot_fraction` (0.0..=1.0) of all ids directly.
+    pub fn new(partitions: u64, hot: u64, hot_fraction: f64) -> HotPartition {
+        assert!(partitions > 0 && hot < partitions);
+        assert!((0.0..=1.0).contains(&hot_fraction));
+        HotPartition {
+            partitions,
+            hot,
+            hot_bp: (hot_fraction * 10_000.0) as u64,
+        }
+    }
+
+    /// The full-width key for id — always in the same partition for the
+    /// same id.
+    pub fn key(&self, id: u64) -> u64 {
+        let h = splitmix64(id);
+        let partition = if h % 10_000 < self.hot_bp {
+            self.hot
+        } else {
+            splitmix64(h) % self.partitions
+        };
+        let stride = u64::MAX / self.partitions;
+        partition * stride + splitmix64(h ^ id) % stride
+    }
+
+    /// Which partition of the n-way even split a key falls in.
+    pub fn partition_of(&self, key: u64) -> u64 {
+        (key / (u64::MAX / self.partitions)).min(self.partitions - 1)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -205,6 +261,34 @@ mod tests {
         }
         let max = counts.values().max().copied().unwrap();
         assert!(max > 500, "hot key should repeat a lot, got {max}");
+    }
+
+    #[test]
+    fn hot_partition_placement_is_deterministic_and_skewed() {
+        let hp = HotPartition::new(3, 0, 0.8);
+        let mut per_partition = [0u64; 3];
+        for id in 0..30_000u64 {
+            let k = hp.key(id);
+            assert_eq!(k, hp.key(id), "placement must be a pure function");
+            per_partition[hp.partition_of(k) as usize] += 1;
+        }
+        // Hot partition draws hot_fraction plus its share of the spread:
+        // 0.8 + 0.2/3 ≈ 0.867.
+        let hot_share = per_partition[0] as f64 / 30_000.0;
+        assert!((hot_share - 0.867).abs() < 0.02, "hot share {hot_share}");
+        // The cold partitions still see traffic.
+        assert!(per_partition[1] > 1000 && per_partition[2] > 1000);
+
+        // Placement agrees with the wire-level map split used by the
+        // cluster: the same stride arithmetic on big-endian keys.
+        let uniform = HotPartition::new(4, 1, 0.0);
+        let mut seen = [0u64; 4];
+        for id in 0..4000 {
+            seen[uniform.partition_of(uniform.key(id)) as usize] += 1;
+        }
+        for (p, n) in seen.iter().enumerate() {
+            assert!(*n > 700, "partition {p} starved: {n}");
+        }
     }
 
     #[test]

@@ -39,6 +39,13 @@ Validates by the embedded "schema" tag:
   ``bench_obsv_overhead``. Needs the three toggle-arm medians plus the
   scraper arm (raw and 1 s-rescaled overhead, on/off throughput) and
   both verdicts.
+* ``paccluster_bench/v1`` — cluster-rebalance acceptance numbers from
+  ``paccluster-bench``. Needs the three latency windows (steady /
+  migration / post, each with ops and monotone p50<=p99), migration
+  accounting (pairs moved, seal/rebalance durations), the p99 ratio
+  within its limit, a converged router block (final epoch >= 2, zero
+  sweep bounces), per-node bounce counts, zero errors, clean=true, and
+  a provenance stamp.
 * ``slo_events/v1`` — one JSON object per line from an
   ``obsv::SloEngine`` event sink; fire/clear must alternate per
   objective, starting with fire, with monotone timestamps.
@@ -349,6 +356,55 @@ def validate_obsv_overhead(doc, path):
           f"at 1 s, verdict {doc['scraper_verdict']})")
 
 
+def validate_paccluster_bench(doc, path):
+    for k in ["nodes", "partitions", "clients"]:
+        check_num(doc, k, path, positive=True)
+    check_num(doc, "hot_fraction", path, positive=True)
+    if not isinstance(doc.get("hot_partition"), int) or doc["hot_partition"] < 0:
+        fail(f"{path}: missing/invalid 'hot_partition'")
+    for window in ["steady", "migration", "post"]:
+        w = doc.get(window)
+        if not isinstance(w, dict):
+            fail(f"{path}: missing '{window}' window")
+        check_num(w, "ops", f"{path}: {window}", positive=True)
+        for k in ["p50_us", "p99_us"]:
+            check_num(w, k, f"{path}: {window}", positive=True)
+        if w["p50_us"] > w["p99_us"]:
+            fail(f"{path}: {window} p50 {w['p50_us']} > p99 {w['p99_us']}")
+    mig = doc["migration"]
+    for k in ["rebalance_ms", "seal_ms", "moved_pairs", "delta_pairs"]:
+        if not isinstance(mig.get(k), (int, float)) or mig[k] < 0:
+            fail(f"{path}: migration missing/invalid '{k}': {mig.get(k)!r}")
+    if mig["moved_pairs"] <= 0:
+        fail(f"{path}: migration moved no pairs")
+    ratio = check_num(doc, "p99_ratio", path, positive=True)
+    limit = check_num(doc, "p99_ratio_limit", path, positive=True)
+    check_num(doc, "p99_floor_us", path, positive=True)
+    router = doc.get("router")
+    if not isinstance(router, dict):
+        fail(f"{path}: missing 'router'")
+    for k in ["final_epoch", "refreshes", "wrong_partition_seen",
+              "retried_reads", "sweep_bounces"]:
+        if not isinstance(router.get(k), int) or router[k] < 0:
+            fail(f"{path}: router missing/invalid '{k}': {router.get(k)!r}")
+    if router["final_epoch"] < 2:
+        fail(f"{path}: final_epoch {router['final_epoch']} (migration never flipped)")
+    if router["sweep_bounces"] != 0:
+        fail(f"{path}: convergence sweep bounced {router['sweep_bounces']} times")
+    wp = doc.get("wrong_partition_total")
+    if not isinstance(wp, list) or len(wp) != doc["nodes"]:
+        fail(f"{path}: wrong_partition_total must list all {doc.get('nodes')} nodes")
+    if not isinstance(doc.get("errors"), int) or doc["errors"] != 0:
+        fail(f"{path}: errors={doc.get('errors')!r}")
+    if doc.get("clean") is not True:
+        fail(f"{path}: clean={doc.get('clean')!r}")
+    if ratio > limit:
+        fail(f"{path}: p99_ratio {ratio} exceeds limit {limit}")
+    check_stamp(doc, path)
+    print(f"OK: {path} (paccluster_bench/v1, p99 ratio {ratio}x <= {limit}x, "
+          f"epoch {router['final_epoch']}, seal {mig['seal_ms']} ms)")
+
+
 def jsonl_lines(path):
     with open(path) as f:
         raw = [ln for ln in f.read().splitlines() if ln.strip()]
@@ -501,6 +557,8 @@ def main():
             validate_pacsrv_bench(doc, path)
         elif schema == "obsv_overhead/v1":
             validate_obsv_overhead(doc, path)
+        elif schema == "paccluster_bench/v1":
+            validate_paccluster_bench(doc, path)
         else:
             fail(f"{path}: unknown schema {schema!r}")
     print("all observability artifacts valid")
