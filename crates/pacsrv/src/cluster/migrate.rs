@@ -14,21 +14,38 @@
 //!    barrier so every already-admitted op has executed, then ship the
 //!    final `diff(snap2, snap3)`. After this the target is byte-identical
 //!    for the range.
-//! 4. **Flip** — build the successor map (epoch+1, target owns the
-//!    partition), send it to the target as `ImportEnd` (acked), install it
-//!    locally, and gossip it best-effort to the other nodes. Finally the
-//!    source retires its local copy of the range — the new map fences
-//!    point operations away from it, but leftover pairs would pollute
-//!    local scans and hold memory.
+//! 4. **Flip** — derive the successor map from the *current* map
+//!    (epoch+1, target owns the partition), send it to the target as
+//!    `ImportEnd` (acked — the commit point), install it locally with an
+//!    epoch compare-and-swap, and gossip it best-effort to every other
+//!    node. Finally the source retires its local copy of the range — the
+//!    new map fences point operations away from it, but leftover pairs
+//!    would pollute local scans and hold memory.
+//!
+//! At most one migration runs per source node (`migrate_out` holds the
+//! node's migration mutex for its whole run): two concurrent `Start` ops
+//! would otherwise both derive epoch+1 from the same base and publish
+//! divergent same-epoch maps that epoch fencing cannot reconcile.
+//!
+//! Failure paths: every error after `ImportBegin` but before the commit
+//! point sends a best-effort `ImportAbort` so the target drops import
+//! mode and wipes its partial copy (`ImportBegin` wipes the range again
+//! on the next attempt regardless, covering a source that died without
+//! aborting). If the `ImportEnd` connection breaks mid-call the outcome
+//! is resolved by re-reading the target's installed map; if the target
+//! is unreachable the outcome is unknown and the partition **stays
+//! sealed** — unsealing could split-brain acked writes — until a retried
+//! migration resolves it either way.
 //!
 //! Crash safety (the crashcheck oracle's contract): every client-acked
 //! write is durable on whichever node acked it. A crash before the flip
 //! leaves the map naming the source, which holds every write it acked
 //! (sealed-window bounces were never acked); the target's partial copy is
-//! garbage to be re-imported. A crash after the flip leaves the target
-//! owning the range, and every pair it holds was acked durable by its own
-//! index before `ImportEnd` was sent. There is no window where an acked
-//! write lives only on a node the map does not (or will not) name.
+//! garbage, aborted or wiped on the next import. A crash after the flip
+//! leaves the target owning the range, and every pair it holds was acked
+//! durable by its own index before `ImportEnd` was sent. There is no
+//! window where an acked write lives only on a node the map does not (or
+//! will not) name.
 
 use std::time::{Duration, Instant};
 
@@ -137,16 +154,57 @@ fn apply_batch(client: &mut TcpClient, mut batch: Vec<Request>) -> Result<(), St
     Err("target kept shedding the migration batch".to_string())
 }
 
+/// Whether the node at `target` shows an installed map naming it the
+/// owner of `partition` at `epoch` or newer — the post-hoc resolution for
+/// an `ImportEnd` whose connection broke mid-call. `None` when the target
+/// cannot be reached (the outcome stays unknown).
+fn target_adopted(target: &str, partition: u32, epoch: u64) -> Option<bool> {
+    let mut c = TcpClient::connect(target).ok()?;
+    let map = c.fetch_map().ok()?;
+    Some(
+        map.epoch >= epoch
+            && map
+                .partition(partition)
+                .is_some_and(|p| p.endpoint == target),
+    )
+}
+
 impl<I: RangeIndex + Clone + 'static> ClusterNode<I> {
     /// Migrates `partition` from this node to `target`, returning the
-    /// report on success. On error the partition is unsealed (if the flip
-    /// had not happened) and all snapshots are released, so the source
-    /// keeps serving it.
+    /// report on success. On error the partition is unsealed (unless the
+    /// handoff may have committed — see the module docs), the target is
+    /// told to abort the import, and all snapshots are released, so the
+    /// source keeps serving it. At most one migration runs per node;
+    /// a concurrent call fails fast instead of racing the epoch.
     pub fn migrate_out(&self, partition: u32, target: &str) -> Result<MigrationReport, String> {
+        let _guard = match self.migrating.try_lock() {
+            Ok(g) => g,
+            Err(std::sync::TryLockError::Poisoned(p)) => p.into_inner(),
+            Err(std::sync::TryLockError::WouldBlock) => {
+                return Err("a migration is already in progress on this node".to_string());
+            }
+        };
         let out = self.migrate_run(partition, target);
         self.set_handoff_lag(0);
         self.enter_phase(PHASE_IDLE);
         out
+    }
+
+    /// Best-effort `ImportAbort` to the target after a failed migration:
+    /// without it the target sits in importing mode forever, and a later
+    /// successful migration could resurrect stale keys from the partial
+    /// copy (the bulk copy only re-sends keys live at its snapshot).
+    fn abort_import(&self, client: &mut TcpClient, target: &str, partition: u32) {
+        if matches!(
+            client.migrate(MigrateOp::ImportAbort { partition }),
+            Ok((true, _))
+        ) {
+            return;
+        }
+        // The primary connection may be the thing that failed.
+        if let Ok(mut c) = TcpClient::connect(target) {
+            let _ = c.migrate(MigrateOp::ImportAbort { partition });
+        }
     }
 
     fn migrate_run(&self, partition: u32, target: &str) -> Result<MigrationReport, String> {
@@ -181,21 +239,29 @@ impl<I: RangeIndex + Clone + 'static> ClusterNode<I> {
 
         // Phase 1: bulk-copy a frozen view of the range. Writers keep
         // landing on the source; the snapshot does not see them.
-        self.enter_phase(PHASE_BULK);
-        let snap1 = snaps.take()?;
-        let moved_pairs =
-            self.copy_range(&mut client, snap1, &range_start, range_end.as_deref())?;
-
         // Phase 2: replay what landed during the bulk copy.
-        self.enter_phase(PHASE_DELTA);
-        let snap2 = snaps.take()?;
-        let d1 = self.apply_diff(
-            &mut client,
-            snap1,
-            snap2,
-            &range_start,
-            range_end.as_deref(),
-        )?;
+        self.enter_phase(PHASE_BULK);
+        let copy_run: Result<(u64, u64, u64), String> = (|| {
+            let snap1 = snaps.take()?;
+            let moved = self.copy_range(&mut client, snap1, &range_start, range_end.as_deref())?;
+            self.enter_phase(PHASE_DELTA);
+            let snap2 = snaps.take()?;
+            let d1 = self.apply_diff(
+                &mut client,
+                snap1,
+                snap2,
+                &range_start,
+                range_end.as_deref(),
+            )?;
+            Ok((moved, d1, snap2))
+        })();
+        let (moved_pairs, d1, snap2) = match copy_run {
+            Ok(v) => v,
+            Err(e) => {
+                self.abort_import(&mut client, target, partition);
+                return Err(e);
+            }
+        };
 
         // Phase 3: seal (new ops bounce un-acked), drain what was already
         // admitted, ship the final delta. This is the unavailability
@@ -218,35 +284,106 @@ impl<I: RangeIndex + Clone + 'static> ClusterNode<I> {
             Ok(d) => d,
             Err(e) => {
                 self.unseal(partition);
+                self.abort_import(&mut client, target, partition);
                 return Err(e);
             }
         };
 
-        // Phase 4: flip. The target adopting the new map (acked) is the
-        // commit point; installing locally drops our seal because the
-        // partition is no longer ours.
+        // Phase 4: flip. The successor is derived from the *current* map,
+        // not the one captured at the start — a newer map may have been
+        // installed mid-migration, and a successor built from a stale base
+        // would fork the epoch lineage. The target adopting the new map
+        // (acked) is the commit point; installing locally drops our seal
+        // because the partition is no longer ours.
         self.enter_phase(PHASE_FLIP);
-        let new_map = map.with_owner(partition, target);
+        let flip_base = self.map();
+        if flip_base
+            .partition(partition)
+            .is_none_or(|p| p.endpoint != self.endpoint())
+        {
+            self.unseal(partition);
+            self.abort_import(&mut client, target, partition);
+            return Err(format!(
+                "lost ownership of partition {partition} mid-migration (map epoch {})",
+                flip_base.epoch
+            ));
+        }
+        let mut new_map = flip_base.with_owner(partition, target);
         match client.migrate(MigrateOp::ImportEnd {
             partition,
             map: new_map.clone(),
         }) {
             Ok((true, _)) => {}
             Ok((false, detail)) => {
+                // Definitely not adopted: roll back cleanly.
                 self.unseal(partition);
+                self.abort_import(&mut client, target, partition);
                 return Err(format!("target refused handoff: {detail}"));
             }
             Err(e) => {
-                self.unseal(partition);
-                return Err(format!("import-end: {e}"));
+                // The connection broke mid-ImportEnd: the target may or
+                // may not have adopted. Resolve by re-reading its
+                // installed map on a fresh connection.
+                match target_adopted(target, partition, new_map.epoch) {
+                    Some(true) => {} // committed: fall through to the install
+                    Some(false) => {
+                        self.unseal(partition);
+                        self.abort_import(&mut client, target, partition);
+                        return Err(format!("import-end: {e}"));
+                    }
+                    None => {
+                        // Unknown outcome: unsealing could split-brain
+                        // acked writes (the target may already own the
+                        // partition). Stay sealed; a retried migration to
+                        // the same target resolves it either way.
+                        return Err(format!(
+                            "import-end outcome unknown (target unreachable): {e}; \
+                             partition {partition} stays sealed pending a retry"
+                        ));
+                    }
+                }
             }
         }
         let seal_ms = t_seal.elapsed().as_millis() as u64;
-        self.install_map(new_map.clone());
-        // Best-effort gossip to the remaining nodes; routers they bounce
-        // will otherwise learn the epoch on their next refresh anyway.
+        // Local install with an epoch CAS: if a gossiped map slipped in
+        // between the derive and here, re-derive the successor from it so
+        // the published lineage stays single-parented.
+        if !self.install_map_cas(flip_base.epoch, new_map.clone()) {
+            let mut installed = false;
+            for _ in 0..4 {
+                let base = self.map();
+                match base.partition(partition) {
+                    Some(p) if p.endpoint == self.endpoint() => {
+                        let next = base.with_owner(partition, target);
+                        if self.install_map_cas(base.epoch, next.clone()) {
+                            new_map = next;
+                            installed = true;
+                            break;
+                        }
+                    }
+                    _ => {
+                        // The concurrent map already moved the partition
+                        // off this node (e.g. our flip gossiped back):
+                        // nothing left to install.
+                        new_map = (*base).clone();
+                        installed = true;
+                        break;
+                    }
+                }
+            }
+            if !installed {
+                return Err(format!(
+                    "handoff of partition {partition} committed on the target but the \
+                     local map install kept losing epoch races"
+                ));
+            }
+        }
+        // Best-effort gossip to every other node, the target included (on
+        // the re-derive and unknown-outcome paths the map it adopted may
+        // be stale); routers bouncing off stale nodes learn the epoch on
+        // their next refresh anyway.
         for ep in new_map.endpoints() {
-            if ep != self.endpoint() && ep != target {
+            if ep != self.endpoint() {
                 if let Ok(mut c) = TcpClient::connect(ep) {
                     let _ = c.migrate(MigrateOp::Install {
                         map: new_map.clone(),
@@ -317,9 +454,12 @@ impl<I: RangeIndex + Clone + 'static> ClusterNode<I> {
     }
 
     /// Removes every local pair in `[start, end)` after a completed
-    /// handoff. Best-effort: pages the range through a fresh snapshot
-    /// (isolated from its own removals) and deletes directly on the index.
-    fn retire_range(&self, start: &[u8], end: Option<&[u8]>) {
+    /// handoff — and, on the target side, before accepting an import or
+    /// after aborting one (a stale partial copy must never survive into a
+    /// later successful flip). Best-effort: pages the range through a
+    /// fresh snapshot (isolated from its own removals) and deletes
+    /// directly on the index.
+    pub(super) fn retire_range(&self, start: &[u8], end: Option<&[u8]>) {
         let index = self.service().index();
         let Some(snap) = index.snapshot() else { return };
         let mut cursor = start.to_vec();

@@ -53,7 +53,7 @@ pub const PHASE_FLIP: u8 = 4;
 
 /// A migration phase observer (test hook): called with each phase gauge
 /// value as the state machine enters it.
-pub type PhaseHook = Box<dyn Fn(u8) + Send + Sync>;
+pub type PhaseHook = Arc<dyn Fn(u8) + Send + Sync>;
 
 /// A partition-aware front for one [`PacService`] instance.
 pub struct ClusterNode<I: RangeIndex + Clone + 'static> {
@@ -66,6 +66,10 @@ pub struct ClusterNode<I: RangeIndex + Clone + 'static> {
     /// Target-side: partitions we accept operations for ahead of the map
     /// naming us (mid-migration import).
     importing: Mutex<BTreeSet<u32>>,
+    /// Source-side: held for the whole of `migrate_out` so concurrent
+    /// `MigrateOp::Start`s cannot build divergent same-epoch successor
+    /// maps from one base (the second caller errs instead of racing).
+    pub(crate) migrating: Mutex<()>,
     // Gauge cells, shared with the registry closures.
     epoch_gauge: Arc<AtomicU64>,
     owned_gauge: Arc<AtomicU64>,
@@ -118,6 +122,7 @@ impl<I: RangeIndex + Clone + 'static> ClusterNode<I> {
             map: RwLock::new(Arc::new(map)),
             sealed: Mutex::new(BTreeSet::new()),
             importing: Mutex::new(BTreeSet::new()),
+            migrating: Mutex::new(()),
             epoch_gauge,
             owned_gauge,
             phase_gauge,
@@ -159,12 +164,25 @@ impl<I: RangeIndex + Clone + 'static> ClusterNode<I> {
     /// one (epoch fencing: replayed or stale maps are ignored). Seals for
     /// partitions this node no longer owns under the new map are dropped.
     pub fn install_map(&self, new: PartitionMap) -> bool {
+        self.install_map_when(new, None)
+    }
+
+    /// [`install_map`](Self::install_map) with an epoch compare-and-swap:
+    /// additionally requires the installed epoch to still be `expected`.
+    /// `false` means a concurrent install won the race — the caller must
+    /// re-derive its successor map from the new current map instead of
+    /// publishing one built from a stale base.
+    pub(crate) fn install_map_cas(&self, expected: u64, new: PartitionMap) -> bool {
+        self.install_map_when(new, Some(expected))
+    }
+
+    fn install_map_when(&self, new: PartitionMap, expected: Option<u64>) -> bool {
         if new.validate().is_err() {
             return false;
         }
         {
             let mut cur = self.map.write().unwrap();
-            if new.epoch <= cur.epoch {
+            if new.epoch <= cur.epoch || expected.is_some_and(|e| cur.epoch != e) {
                 return false;
             }
             self.epoch_gauge.store(new.epoch, Ordering::Relaxed);
@@ -184,13 +202,16 @@ impl<I: RangeIndex + Clone + 'static> ClusterNode<I> {
     /// Observes migration phase transitions; see [`migrate`] for when it
     /// fires. Test-only in spirit (the kill test freezes mid-bulk with it).
     pub fn set_migration_hook(&self, f: impl Fn(u8) + Send + Sync + 'static) {
-        *self.hook.lock().unwrap() = Some(Box::new(f));
+        *self.hook.lock().unwrap() = Some(Arc::new(f));
     }
 
     pub(crate) fn enter_phase(&self, phase: u8) {
         self.phase_gauge.store(phase as u64, Ordering::Relaxed);
-        let hook = self.hook.lock().unwrap();
-        if let Some(f) = hook.as_ref() {
+        // Clone out of the lock before calling: a hook that parks its
+        // thread (the kill test does) must not hold the mutex and
+        // deadlock every other phase transition on the node.
+        let hook = self.hook.lock().unwrap().clone();
+        if let Some(f) = hook {
             f(phase);
         }
     }
@@ -232,16 +253,25 @@ impl<I: RangeIndex + Clone + 'static> ClusterNode<I> {
     /// answered `WrongPartition` (downgraded to `Overloaded` for pre-v4
     /// clients, which cannot decode tag 14 but treat `Overloaded` as
     /// retryable-not-executed).
+    ///
+    /// The ownership check and the service enqueue happen atomically
+    /// under the `sealed`/`importing` locks (the wait does not):
+    /// [`seal`](Self::seal) takes the same lock, so a migration's
+    /// seal + drain barrier cannot slip between an op passing the check
+    /// and reaching the shard queues. Every op that passed is enqueued
+    /// before `seal` returns, hence flushed by the drain barrier and
+    /// captured by the final-delta snapshot — no acked write can land
+    /// after the handoff's last diff.
     fn dispatch(&self, reqs: Vec<Request>, ctx: trace::TraceCtx, version: u8) -> Vec<Response> {
         let map = self.map();
         let epoch = map.epoch;
         let n = reqs.len();
         let mut out: Vec<Option<Response>> = (0..n).map(|_| None).collect();
-        let mut local = Vec::with_capacity(n);
         let mut slots = Vec::with_capacity(n);
-        {
+        let pending = {
             let sealed = self.sealed.lock().unwrap();
             let importing = self.importing.lock().unwrap();
+            let mut local = Vec::with_capacity(n);
             for (i, req) in reqs.into_iter().enumerate() {
                 // Snapshot lifecycle ops carry no key: always local.
                 let owned = match &req {
@@ -264,10 +294,17 @@ impl<I: RangeIndex + Clone + 'static> ClusterNode<I> {
                     });
                 }
             }
-        }
-        if !local.is_empty() {
-            let resps = self.service.submit_traced(local, None, ctx).wait();
-            for (slot, resp) in slots.into_iter().zip(resps) {
+            if local.is_empty() {
+                None
+            } else {
+                // submit_traced never blocks (full queues shed), so the
+                // locks are held for a bounded enqueue, not for service
+                // time.
+                Some(self.service.submit_traced(local, None, ctx))
+            }
+        };
+        if let Some(rs) = pending {
+            for (slot, resp) in slots.into_iter().zip(rs.wait()) {
                 out[slot] = Some(resp);
             }
         }
@@ -282,6 +319,21 @@ impl<I: RangeIndex + Clone + 'static> ClusterNode<I> {
                 Err(e) => (false, e),
             },
             MigrateOp::ImportBegin { partition } => {
+                let map = self.map();
+                let Some(part) = map.partition(partition) else {
+                    return (false, format!("unknown partition {partition}"));
+                };
+                if part.endpoint == self.endpoint {
+                    return (false, format!("already the owner of partition {partition}"));
+                }
+                // Discard fenced garbage left by a previous failed import
+                // before accepting a fresh copy: the bulk copy only
+                // re-sends keys live at its snapshot, so a leftover key
+                // meanwhile deleted on the source would otherwise be
+                // resurrected by the flip.
+                let start = part.start.clone();
+                let end = map.end_of(partition).map(<[u8]>::to_vec);
+                self.retire_range(&start, end.as_deref());
                 self.importing.lock().unwrap().insert(partition);
                 self.refresh_owned_gauge();
                 (true, String::new())
@@ -298,6 +350,22 @@ impl<I: RangeIndex + Clone + 'static> ClusterNode<I> {
                         "stale or invalid handoff map".to_string()
                     },
                 )
+            }
+            MigrateOp::ImportAbort { partition } => {
+                self.importing.lock().unwrap().remove(&partition);
+                let map = self.map();
+                // Wipe the partial copy — unless the map meanwhile made
+                // this node the owner (an Install raced the abort): then
+                // the range is live data, not garbage.
+                if let Some(part) = map.partition(partition) {
+                    if part.endpoint != self.endpoint {
+                        let start = part.start.clone();
+                        let end = map.end_of(partition).map(<[u8]>::to_vec);
+                        self.retire_range(&start, end.as_deref());
+                    }
+                }
+                self.refresh_owned_gauge();
+                (true, String::new())
             }
             MigrateOp::Install { map } => (self.install_map(map), String::new()),
         }

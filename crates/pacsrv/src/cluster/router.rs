@@ -150,6 +150,18 @@ impl RouterClient {
     /// `ReleaseSnapshot`) route to partition 0's owner — snapshots are
     /// per-node, so a caller wanting cluster-wide snapshot reads should
     /// talk to one node directly.
+    ///
+    /// # Partial execution on error
+    ///
+    /// A batch spanning several nodes is sent as one wire batch per node,
+    /// sequentially. `Err` means one of those sends failed (the error
+    /// names the endpoint) — but groups dispatched *before* the failure
+    /// already executed, and their effects (including writes) stand; their
+    /// responses are discarded with the error. This mirrors single-node
+    /// semantics, where a transport error mid-call also leaves the batch's
+    /// outcome unknown: on any `Err`, a caller that needs certainty must
+    /// re-read. Callers wanting all-or-nothing dispatch should keep a
+    /// batch within one partition.
     pub fn call(&mut self, reqs: Vec<Request>) -> io::Result<Vec<Response>> {
         let n = reqs.len();
         let mut out: Vec<Option<Response>> = (0..n).map(|_| None).collect();
@@ -179,10 +191,18 @@ impl RouterClient {
                             // Writes must surface transport errors — the
                             // op may or may not have executed.
                             self.conns.remove(&ep);
-                            return Err(e);
+                            return Err(io::Error::new(
+                                e.kind(),
+                                format!("cluster call to {ep} failed (operations routed to other nodes in this batch may have executed): {e}"),
+                            ));
                         }
                     },
-                    Err(e) => return Err(e),
+                    Err(e) => {
+                        return Err(io::Error::new(
+                            e.kind(),
+                            format!("cluster connect to {ep} failed (operations routed to other nodes in this batch may have executed): {e}"),
+                        ));
+                    }
                 };
                 if retried {
                     self.retried_reads += 1;

@@ -78,8 +78,8 @@
 //! * `MapFetch`/`MapReply` (kinds 9/10) — a router bootstraps or refreshes
 //!   its cached map from any node;
 //! * `Migrate`/`MigrateReply` (kinds 11/12) — the migration control plane:
-//!   a [`MigrateOp`] (`Start`, `ImportBegin`, `ImportEnd`, `Install`)
-//!   answered with an ok flag and a detail string.
+//!   a [`MigrateOp`] (`Start`, `ImportBegin`, `ImportEnd`, `ImportAbort`,
+//!   `Install`) answered with an ok flag and a detail string.
 //!
 //! One status tag joins the reply payload: `WrongPartition { map_epoch }`
 //! (tag 14) — the node does not own the key's partition under the map
@@ -156,6 +156,10 @@ pub enum MigrateOp {
     /// Source → target: the handoff is complete; adopt `map` (whose epoch
     /// names the target as the new owner) and drop import mode.
     ImportEnd { partition: u32, map: PartitionMap },
+    /// Source → target: the migration failed before the handoff committed;
+    /// drop import mode and discard the partial copy of the partition's
+    /// range (it is fenced garbage a later retry must not resurrect).
+    ImportAbort { partition: u32 },
     /// Best-effort map gossip to any node: adopt `map` if its epoch is
     /// newer than the locally installed one.
     Install { map: PartitionMap },
@@ -650,6 +654,10 @@ fn encode_payload(frame: &Frame, version: u8, out: &mut Vec<u8>) {
                 out.push(4);
                 put_map(out, map);
             }
+            MigrateOp::ImportAbort { partition } => {
+                out.push(5);
+                put_u32(out, *partition);
+            }
         },
         Frame::MigrateReply { ok, detail, .. } => {
             out.push(u8::from(*ok));
@@ -792,6 +800,9 @@ fn decode_payload(version: u8, kind: u8, id: u64, payload: &[u8]) -> Result<Fram
                     map: r.map()?,
                 },
                 4 => MigrateOp::Install { map: r.map()? },
+                5 => MigrateOp::ImportAbort {
+                    partition: r.u32()?,
+                },
                 _ => return Err(WireError::Malformed("unknown migrate op tag")),
             };
             Frame::Migrate { id, op }
@@ -1382,6 +1393,10 @@ mod tests {
         roundtrip(Frame::Migrate {
             id: 45,
             op: MigrateOp::Install { map: sample_map() },
+        });
+        roundtrip(Frame::Migrate {
+            id: 47,
+            op: MigrateOp::ImportAbort { partition: 1 },
         });
         roundtrip(Frame::MigrateReply {
             id: 46,

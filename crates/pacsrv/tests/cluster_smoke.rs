@@ -9,7 +9,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use common::MapIndex;
-use pacsrv::cluster::{ClusterNode, RouterClient};
+use pacsrv::cluster::{ClusterNode, RouterClient, PHASE_BULK};
 use pacsrv::wire::{decode_frame, MigrateOp, PartitionMap, Request, Response, WireError};
 use pacsrv::{PacService, ServiceConfig, TcpClient, TcpServer};
 use ycsb::RangeIndex;
@@ -240,6 +240,224 @@ fn pre_v4_clients_see_overloaded_instead_of_wrong_partition() {
     let resps = new.call(vec![Request::Get { key }]).expect("call");
     assert_eq!(resps, vec![Response::WrongPartition { map_epoch: 1 }]);
     assert_eq!(cluster.nodes[0].wrong_partition_total(), 4);
+    cluster.stop();
+}
+
+/// An aborted import clears importing mode and wipes the partial copy:
+/// the target stops accepting the partition and holds none of its keys.
+#[test]
+fn import_abort_clears_mode_and_wipes_partial_copy() {
+    let cluster = start_cluster("abort", 2);
+    let target = cluster.endpoints[1].clone();
+    let mut ctl = TcpClient::connect(target.as_str()).expect("ctl");
+    let (ok, _) = ctl
+        .migrate(MigrateOp::ImportBegin { partition: 0 })
+        .expect("rpc");
+    assert!(ok, "target must accept the import");
+
+    // A partial "bulk copy" lands on the target while importing.
+    let key = p0_key(42);
+    let resps = ctl
+        .call(vec![Request::Put {
+            key: key.clone(),
+            value: 7,
+        }])
+        .expect("import put");
+    assert_eq!(
+        resps,
+        vec![Response::Ok],
+        "importing target accepts the copy"
+    );
+
+    // The migration fails; the source aborts the import.
+    let (ok, _) = ctl
+        .migrate(MigrateOp::ImportAbort { partition: 0 })
+        .expect("rpc");
+    assert!(ok);
+    // The partial copy is gone and the partition bounces again.
+    assert_eq!(
+        cluster.nodes[1]
+            .service()
+            .index()
+            .scan(&[], usize::MAX >> 1),
+        0
+    );
+    let resps = ctl
+        .call(vec![Request::Put { key, value: 8 }])
+        .expect("post-abort put");
+    assert_eq!(resps, vec![Response::WrongPartition { map_epoch: 1 }]);
+    // Nonsense imports are refused outright.
+    let (ok, detail) = ctl
+        .migrate(MigrateOp::ImportBegin { partition: 1 })
+        .expect("rpc");
+    assert!(
+        !ok,
+        "importing an owned partition must be refused: {detail}"
+    );
+    let (ok, _) = ctl
+        .migrate(MigrateOp::ImportBegin { partition: 99 })
+        .expect("rpc");
+    assert!(!ok, "importing an unknown partition must be refused");
+    cluster.stop();
+}
+
+/// A key bulk-copied by a *failed* migration attempt and then deleted on
+/// the source must not be resurrected by a later successful migration:
+/// `ImportBegin` wipes the stale partial copy before the fresh one.
+#[test]
+fn retried_migration_does_not_resurrect_stale_keys() {
+    let cluster = start_cluster("retry", 2);
+    let seeds = cluster.endpoints.clone();
+    let mut router = RouterClient::connect(&seeds).expect("router");
+
+    let stale = p0_key(1000);
+    let live = p0_key(2000);
+    let resps = router
+        .call(vec![
+            Request::Put {
+                key: stale.clone(),
+                value: 1,
+            },
+            Request::Put {
+                key: live.clone(),
+                value: 2,
+            },
+        ])
+        .expect("preload");
+    assert!(resps.iter().all(|r| *r == Response::Ok));
+
+    // A previous migration attempt got as far as copying `stale` to the
+    // target, then its source died without sending ImportAbort.
+    let mut ctl = TcpClient::connect(cluster.endpoints[1].as_str()).expect("ctl");
+    let (ok, _) = ctl
+        .migrate(MigrateOp::ImportBegin { partition: 0 })
+        .expect("rpc");
+    assert!(ok);
+    let resps = ctl
+        .call(vec![Request::Put {
+            key: stale.clone(),
+            value: 1,
+        }])
+        .expect("partial copy");
+    assert_eq!(resps, vec![Response::Ok]);
+
+    // The source deletes the key before the retry.
+    let resps = router
+        .call(vec![Request::Delete { key: stale.clone() }])
+        .expect("delete");
+    assert_eq!(resps, vec![Response::Removed(Some(1))]);
+
+    // The retried migration succeeds; the deleted key must stay deleted.
+    let report = cluster.nodes[0]
+        .migrate_out(0, &cluster.endpoints[1])
+        .expect("retried migration");
+    assert_eq!(report.new_epoch, 2);
+    let mut check = RouterClient::connect(&seeds).expect("check router");
+    assert_eq!(
+        check.call(vec![Request::Get { key: stale }]).expect("get"),
+        vec![Response::Value(None)],
+        "stale partial-copy key was resurrected by the retry"
+    );
+    assert_eq!(
+        check.call(vec![Request::Get { key: live }]).expect("get"),
+        vec![Response::Value(Some(2))]
+    );
+    cluster.stop();
+}
+
+/// Only one migration runs per source node: a second `migrate_out` fails
+/// fast instead of racing the first one to a divergent same-epoch map.
+#[test]
+fn concurrent_migrations_are_mutually_excluded() {
+    let cluster = start_cluster("mutex", 2);
+    let resps = RouterClient::connect(&cluster.endpoints)
+        .expect("router")
+        .call(
+            (0..64u64)
+                .map(|i| Request::Put {
+                    key: p0_key(i * 37),
+                    value: i,
+                })
+                .collect(),
+        )
+        .expect("preload");
+    assert!(resps.iter().all(|r| *r == Response::Ok));
+
+    // Park the first migration inside its first bulk chunk.
+    let (reached_tx, reached_rx) = std::sync::mpsc::channel();
+    let (release_tx, release_rx) = std::sync::mpsc::channel::<()>();
+    let release_rx = std::sync::Mutex::new(release_rx);
+    let fired = std::sync::atomic::AtomicBool::new(false);
+    cluster.nodes[0].set_migration_hook(move |phase| {
+        if phase == PHASE_BULK && !fired.swap(true, std::sync::atomic::Ordering::AcqRel) {
+            let _ = reached_tx.send(());
+            let _ = release_rx.lock().unwrap().recv();
+        }
+    });
+    let node = cluster.nodes[0].clone();
+    let target = cluster.endpoints[1].clone();
+    let first = std::thread::spawn(move || node.migrate_out(0, &target));
+    reached_rx
+        .recv_timeout(Duration::from_secs(30))
+        .expect("first migration never reached bulk");
+
+    // The second migration is rejected while the first is in flight.
+    let err = cluster.nodes[0]
+        .migrate_out(0, &cluster.endpoints[1])
+        .expect_err("concurrent migration must be rejected");
+    assert!(err.contains("already in progress"), "{err}");
+
+    release_tx.send(()).expect("release");
+    let report = first.join().expect("join").expect("first migration");
+    assert_eq!(report.new_epoch, 2);
+    cluster.stop();
+}
+
+/// A target that fences the handoff map (its epoch is already newer)
+/// refuses `ImportEnd`; the source rolls back cleanly — unsealed, still
+/// serving — and the target's partial copy is aborted and wiped.
+#[test]
+fn refused_handoff_rolls_back_and_source_keeps_serving() {
+    let cluster = start_cluster("refuse", 2);
+    let seeds = cluster.endpoints.clone();
+    let mut router = RouterClient::connect(&seeds).expect("router");
+    let key = p0_key(5);
+    let resps = router
+        .call(vec![Request::Put {
+            key: key.clone(),
+            value: 50,
+        }])
+        .expect("preload");
+    assert_eq!(resps, vec![Response::Ok]);
+
+    // The target holds a (divergent) newer map with the same ownership, so
+    // it accepts the import but fences the epoch-2 handoff map.
+    let mut newer = PartitionMap::split_u64(&seeds);
+    newer.epoch = 9;
+    let mut ctl = TcpClient::connect(cluster.endpoints[1].as_str()).expect("ctl");
+    let (ok, _) = ctl.migrate(MigrateOp::Install { map: newer }).expect("rpc");
+    assert!(ok);
+
+    let err = cluster.nodes[0]
+        .migrate_out(0, &cluster.endpoints[1])
+        .expect_err("the fenced handoff must fail");
+    assert!(err.contains("refused handoff"), "{err}");
+
+    // Source: unsealed, still the owner, still serving the partition.
+    let mut direct = TcpClient::connect(cluster.endpoints[0].as_str()).expect("direct");
+    assert_eq!(
+        direct.call(vec![Request::Get { key }]).expect("get"),
+        vec![Response::Value(Some(50))],
+        "the source must keep serving after a refused handoff"
+    );
+    // Target: import aborted, partial copy wiped.
+    assert_eq!(
+        cluster.nodes[1]
+            .service()
+            .index()
+            .scan(&[], usize::MAX >> 1),
+        0
+    );
     cluster.stop();
 }
 

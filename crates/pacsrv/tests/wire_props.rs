@@ -79,13 +79,14 @@ fn build_map(epoch: u64, raw: Vec<(Vec<u8>, Vec<u8>)>) -> PartitionMap {
 
 /// Materializes a migration control op from generated raw parts.
 fn build_op(tag: u8, partition: u32, target: &[u8], map: PartitionMap) -> MigrateOp {
-    match tag % 4 {
+    match tag % 5 {
         0 => MigrateOp::Start {
             partition,
             target: ascii(target),
         },
         1 => MigrateOp::ImportBegin { partition },
         2 => MigrateOp::ImportEnd { partition, map },
+        3 => MigrateOp::ImportAbort { partition },
         _ => MigrateOp::Install { map },
     }
 }
