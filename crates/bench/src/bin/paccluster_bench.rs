@@ -24,13 +24,26 @@
 //! Writes `results/paccluster_bench.json` (schema `paccluster_bench/v1`,
 //! stamped with git commit + configuration). `--quick` shrinks the run
 //! for the CI cluster-smoke job.
+//!
+//! The fleet plane rides along: an [`obsv::fleet::FleetScraper`] polls
+//! every node's health endpoint through the whole run (stuck-migration
+//! bound configurable via `PACSRV_STUCK_MIGRATION_MS`, default 30 000),
+//! its `slo_events/v1` transitions land in `results/fleet_events.jsonl`,
+//! the merged page in `results/fleet_merged.txt`, and the per-partition
+//! heat counters — with the rebalance-advisor verdict and the
+//! fleet-merged-vs-direct p99 gate — in `results/fleet_heat.json`
+//! (schema `fleet_heat/v1`). When tracing is compiled in, a short A/B
+//! window reports the traced-cluster overhead at the default 1-in-64
+//! sampling (advisory, target <= 5%).
 
 use std::net::TcpListener;
-use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use bench::{banner, row, stamp_json, Scale};
+use obsv::fleet::{FleetScraper, FleetSloConfig, DEFAULT_STUCK_MIGRATION_BOUND_NS};
+use obsv::hist::{HistSnapshot, RELATIVE_ERROR_BOUND};
 use pacsrv::cluster::{ClusterNode, RouterClient};
 use pacsrv::wire::{MigrateOp, PartitionMap, Request, Response};
 use pacsrv::{HealthServer, PacService, ServiceConfig, TcpClient, TcpServer};
@@ -151,14 +164,56 @@ fn main() {
     }
     // The CI smoke job scrapes the live nodes (pacsrv-top --endpoints)
     // while the bench holds them open at the end (PACCLUSTER_HOLD_MS).
-    println!(
-        "health endpoints: {}",
-        health
-            .iter()
-            .map(|h| h.local_addr().to_string())
-            .collect::<Vec<_>>()
-            .join(",")
-    );
+    let health_eps: Vec<String> = health.iter().map(|h| h.local_addr().to_string()).collect();
+    println!("health endpoints: {}", health_eps.join(","));
+
+    // Fleet plane: poll every health endpoint through the whole run. The
+    // stuck-migration bound is wall clock in one non-idle phase;
+    // PACSRV_STUCK_MIGRATION_MS lets the CI smoke job force a fire/clear
+    // episode through a deliberately slowed migration.
+    let stuck_bound_ns = std::env::var("PACSRV_STUCK_MIGRATION_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .map(|ms| ms * 1_000_000)
+        .unwrap_or(DEFAULT_STUCK_MIGRATION_BOUND_NS);
+    let scrape_stop = Arc::new(AtomicBool::new(false));
+    let scraper_thread = std::thread::spawn({
+        let stop = Arc::clone(&scrape_stop);
+        let eps = health_eps.clone();
+        move || {
+            let mut scraper = FleetScraper::new(
+                eps,
+                FleetSloConfig {
+                    p99_objective_ns: None,
+                    stuck_migration_bound_ns: stuck_bound_ns,
+                },
+            );
+            let mut polls = 0u64;
+            while !stop.load(Ordering::Acquire) {
+                scraper.poll(obsv::clock::now_ns());
+                polls += 1;
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            scraper.poll(obsv::clock::now_ns());
+            (polls + 1, scraper.take_events())
+        }
+    });
+
+    // An optional hook slow-down (CI: guarantees the scraper observes a
+    // non-idle migration phase and the stuck alert episode). Only the
+    // bulk phase is stretched — it copies from a snapshot while clients
+    // keep being served, so the p99-ratio gate is unaffected.
+    if let Some(ms) = std::env::var("PACSRV_MIGRATION_SLOW_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .filter(|ms| *ms > 0)
+    {
+        nodes[0].set_migration_hook(move |phase| {
+            if phase == pacsrv::cluster::PHASE_BULK {
+                std::thread::sleep(Duration::from_millis(ms));
+            }
+        });
+    }
 
     // Load: every id placed by the hot-partition model, 80% on partition 0.
     let hp = HotPartition::new(NODES as u64, HOT_PARTITION as u64, HOT_FRACTION);
@@ -279,6 +334,9 @@ fn main() {
     let (refreshes, wrong_seen, retried) =
         (counters.lat_us[0], counters.lat_us[1], counters.lat_us[2]);
 
+    scrape_stop.store(true, Ordering::Release);
+    let (fleet_polls, fleet_events) = scraper_thread.join().expect("fleet scraper");
+
     // Convergence: every node must have installed epoch 2, and a freshly
     // refreshed router must complete a sweep with zero new bounces.
     for (i, node) in nodes.iter().enumerate() {
@@ -333,12 +391,132 @@ fn main() {
          {retried} retried reads; post-refresh sweep bounces: {sweep_bounces}"
     );
 
+    // Fleet gate: the p99 reconstructed through the wire (scrape ->
+    // parse -> bucket merge) must match a direct in-process merge of the
+    // registry's histograms within the documented reconstruction bound.
+    let mut gate = FleetScraper::new(health_eps.clone(), FleetSloConfig::default());
+    let fleet_view = gate.poll(obsv::clock::now_ns());
+    let fleet_p99 = fleet_view.merged_total().quantile(0.99);
+    let mut direct = HistSnapshot::empty();
+    for set in obsv::registry::global().sample().hists.values() {
+        direct.merge(&set.merged());
+    }
+    let direct_p99 = direct.quantile(0.99);
+    let fleet_diff = (fleet_p99 as f64 - direct_p99 as f64).abs() / direct_p99.max(1) as f64;
+    let fleet_ok = fleet_view.nodes == NODES && fleet_diff <= RELATIVE_ERROR_BOUND;
+    println!(
+        "-- fleet: {} node(s), {fleet_polls} polls, {} slo event(s); merged p99 {} ns \
+         vs direct merge {} ns (diff {:.4} <= bound {RELATIVE_ERROR_BOUND})",
+        fleet_view.nodes,
+        fleet_events.len(),
+        fleet_p99,
+        direct_p99,
+        fleet_diff
+    );
+    std::fs::create_dir_all("results").ok();
+    if !fleet_events.is_empty() {
+        let mut jsonl = fleet_events.join("\n");
+        jsonl.push('\n');
+        match std::fs::write("results/fleet_events.jsonl", jsonl) {
+            Ok(()) => println!("wrote results/fleet_events.jsonl"),
+            Err(e) => eprintln!("could not write results/fleet_events.jsonl: {e}"),
+        }
+    }
+    let merged_page = obsv::fleet::render_fleet_prom(&fleet_view, &gate.statuses());
+    match std::fs::write("results/fleet_merged.txt", merged_page) {
+        Ok(()) => println!("wrote results/fleet_merged.txt"),
+        Err(e) => eprintln!("could not write results/fleet_merged.txt: {e}"),
+    }
+
+    // Partition heat: frame-boundary op/byte counters summed across
+    // nodes (ownership moved mid-run, so both owners contributed), batch
+    // p99 from the busiest owner. The rebalance advisor must rediscover
+    // the configured hot spot from the counters alone.
+    let mut heat: Vec<(u64, u64, u64)> = vec![(0, 0, 0); NODES];
+    let mut busiest_owner_ops: Vec<u64> = vec![0; NODES];
+    for node in &nodes {
+        for (pid, (ops, bytes, p99)) in node.partition_heat().into_iter().enumerate() {
+            heat[pid].0 += ops;
+            heat[pid].1 += bytes;
+            if ops > busiest_owner_ops[pid] {
+                busiest_owner_ops[pid] = ops;
+                heat[pid].2 = p99;
+            }
+        }
+    }
+    let hottest = heat
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, (ops, _, _))| *ops)
+        .map_or(0, |(i, _)| i);
+    let advisor_ok = hottest == HOT_PARTITION as usize && heat[hottest].0 > 0;
+    println!("-- partition heat (ops / bytes / batch p99 us, summed across nodes)");
+    row(
+        "partition",
+        &["ops".into(), "bytes".into(), "p99 us".into()],
+    );
+    for (pid, (ops, bytes, p99)) in heat.iter().enumerate() {
+        row(
+            &format!("p{pid}"),
+            &[
+                ops.to_string(),
+                bytes.to_string(),
+                format!("{:.0}", *p99 as f64 / 1e3),
+            ],
+        );
+    }
+    println!(
+        "-- rebalance-advisor: partition {hottest} is hottest ({} ops), expected {HOT_PARTITION}: {}",
+        heat[hottest].0,
+        if advisor_ok { "OK" } else { "WRONG" }
+    );
+
+    // Traced-cluster overhead (advisory): closed-loop gets through one
+    // router, sampling off vs the default 1-in-64 — the steady-state cost
+    // of leaving tracing on across the cluster.
+    let overhead_pct = if obsv::trace::compiled() {
+        let ab_ms = if quick { 250 } else { 500 };
+        let mut ab_router = RouterClient::connect(&endpoints).expect("router");
+        let mut measure = |ms: u64, seed: u64| -> u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let deadline = Instant::now() + Duration::from_millis(ms);
+            let mut n = 0u64;
+            while Instant::now() < deadline {
+                let id = rng.gen_range(0..scale.keys.max(1));
+                let ok = ab_router
+                    .call(vec![Request::Get {
+                        key: hp.key(id).to_be_bytes().to_vec(),
+                    }])
+                    .is_ok();
+                n += u64::from(ok);
+            }
+            n
+        };
+        obsv::trace::set_trace_sample_shift(63); // effectively off
+        measure(100, 0xabab); // warm both arms' connections
+        let off_ops = measure(ab_ms, 0xc0de);
+        obsv::trace::set_trace_sample_shift(obsv::trace::DEFAULT_TRACE_SAMPLE_SHIFT);
+        let on_ops = measure(ab_ms, 0xc0df);
+        let pct = (off_ops.saturating_sub(on_ops)) as f64 / off_ops.max(1) as f64 * 100.0;
+        println!(
+            "-- traced-cluster overhead: {off_ops} ops untraced vs {on_ops} at 1/{} \
+             sampling in {ab_ms} ms: {pct:.1}% (advisory target <= 5%)",
+            1u64 << obsv::trace::DEFAULT_TRACE_SAMPLE_SHIFT
+        );
+        Some(pct)
+    } else {
+        println!("-- traced-cluster overhead: tracing not compiled in, A/B skipped");
+        None
+    };
+
     let errors = errors.load(Ordering::Relaxed);
     let clean = new_epoch == 2
         && sweep_bounces == 0
         && errors == 0
         && counts.iter().all(|c| *c > 0)
-        && ratio <= P99_RATIO_LIMIT;
+        && ratio <= P99_RATIO_LIMIT
+        && fleet_ok
+        && advisor_ok;
 
     let json = format!(
         concat!(
@@ -393,6 +571,40 @@ fn main() {
     match std::fs::write("results/paccluster_bench.json", &json) {
         Ok(()) => println!("wrote results/paccluster_bench.json"),
         Err(e) => eprintln!("could not write results/paccluster_bench.json: {e}"),
+    }
+
+    let heat_json = format!(
+        concat!(
+            "{{\"schema\":\"fleet_heat/v1\",\"stamp\":{},\"hot_partition\":{},",
+            "\"partitions\":[{}],",
+            "\"advisor\":{{\"hottest\":{},\"expected\":{},\"ok\":{}}},",
+            "\"fleet\":{{\"nodes\":{},\"p99_ns\":{},\"direct_p99_ns\":{},",
+            "\"rel_error_bound\":{},\"polls\":{},\"events\":{}}},",
+            "\"traced_overhead_pct\":{}}}"
+        ),
+        stamp_json(&scale),
+        HOT_PARTITION,
+        heat.iter()
+            .enumerate()
+            .map(|(pid, (ops, bytes, p99))| format!(
+                "{{\"id\":{pid},\"ops\":{ops},\"bytes\":{bytes},\"p99_ns\":{p99}}}"
+            ))
+            .collect::<Vec<_>>()
+            .join(","),
+        hottest,
+        HOT_PARTITION,
+        advisor_ok,
+        fleet_view.nodes,
+        fleet_p99,
+        direct_p99,
+        RELATIVE_ERROR_BOUND,
+        fleet_polls,
+        fleet_events.len(),
+        overhead_pct.map_or("null".to_string(), |p| format!("{p:.2}")),
+    );
+    match std::fs::write("results/fleet_heat.json", &heat_json) {
+        Ok(()) => println!("wrote results/fleet_heat.json"),
+        Err(e) => eprintln!("could not write results/fleet_heat.json: {e}"),
     }
 
     // Keep the cluster scrapeable for an external observer (the CI job

@@ -18,7 +18,10 @@
 //! `--endpoints` takes a comma-separated list of health addresses (one per
 //! cluster node) and renders one per-service section per endpoint, plus a
 //! cluster row (map epoch, owned partitions, migration phase) whenever the
-//! node exports the `*_cluster_*` gauges.
+//! node exports the `*_cluster_*` gauges. Multi-endpoint frames open with
+//! a fleet header row: nodes answering, fleet-merged op count and exact
+//! merged p50/p99 (via [`obsv::fleet`]'s lossless bucket merge), and how
+//! many nodes are mid-migration.
 //!
 //! `--once` is the CI smoke mode: exit 0 iff every scrape parses and
 //! carries at least one metric family. The single-address `--once` output
@@ -33,7 +36,8 @@ use std::time::Duration;
 /// One parsed exposition: `name{labels}` -> value, comments dropped.
 type Metrics = BTreeMap<String, f64>;
 
-fn scrape(addr: &str) -> Result<Metrics, String> {
+/// Fetches one endpoint's raw Prometheus text body.
+fn fetch(addr: &str) -> Result<String, String> {
     let mut sock = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
     sock.set_read_timeout(Some(Duration::from_secs(5))).ok();
     sock.write_all(b"GET /metrics HTTP/1.0\r\n\r\n")
@@ -47,10 +51,18 @@ fn scrape(addr: &str) -> Result<Metrics, String> {
             reply.lines().next().unwrap_or("<empty>")
         ));
     }
-    let body = reply
+    reply
         .split("\r\n\r\n")
         .nth(1)
-        .ok_or_else(|| "reply has no body".to_string())?;
+        .map(str::to_string)
+        .ok_or_else(|| "reply has no body".to_string())
+}
+
+/// Raw prom-text body plus the parsed metric map from one scrape.
+type Scrape = Result<(String, Metrics), String>;
+
+fn scrape(addr: &str) -> Scrape {
+    let body = fetch(addr)?;
     let mut metrics = Metrics::new();
     for line in body.lines() {
         if line.starts_with('#') || line.trim().is_empty() {
@@ -70,7 +82,38 @@ fn scrape(addr: &str) -> Result<Metrics, String> {
     if metrics.is_empty() {
         return Err("scrape parsed to zero metrics".to_string());
     }
-    Ok(metrics)
+    Ok((body, metrics))
+}
+
+/// The fleet header row: all answering pages merged through
+/// [`obsv::fleet`] — exact bucket-merged percentiles (duplicate
+/// registries deduplicated, distinct nodes summed) and the count of
+/// nodes currently mid-migration.
+fn render_fleet(bodies: &[String]) {
+    let scrapes: Vec<obsv::fleet::NodeScrape> = bodies
+        .iter()
+        .map(|b| obsv::fleet::parse_prom_text(b))
+        .collect();
+    let view = obsv::fleet::FleetView::from_scrapes(&scrapes);
+    let total = view.merged_total();
+    let migrating = view
+        .migration_phases()
+        .iter()
+        .filter(|(_, phase)| *phase != 0.0)
+        .count();
+    println!(
+        "{:<18} {:>10} {:>8} {:>8} {:>9} {:>9}",
+        "fleet", "nodes", "ops", "migr", "p50 us", "p99 us"
+    );
+    println!(
+        "{:<18} {:>10} {:>8} {:>8} {:>9.1} {:>9.1}",
+        "(merged)",
+        view.nodes,
+        total.count(),
+        migrating,
+        total.quantile(0.50) as f64 / 1e3,
+        total.quantile(0.99) as f64 / 1e3,
+    );
 }
 
 /// Service names, discovered as the prefixes of `*_queue_depth` gauges.
@@ -229,22 +272,28 @@ fn main() {
     );
 
     if once {
-        let mut total = 0usize;
+        let mut pages: Vec<(String, String, Metrics)> = Vec::new();
         for addr in &addrs {
             match scrape(addr) {
-                Ok(m) => {
-                    if addrs.len() > 1 {
-                        println!("== {addr}");
-                    }
-                    render(&m, None, interval);
-                    total += m.len();
-                    println!("pacsrv-top: OK ({} metrics from {addr})", m.len());
-                }
+                Ok((body, m)) => pages.push((addr.clone(), body, m)),
                 Err(e) => {
                     eprintln!("pacsrv-top: scrape failed: {e}");
                     std::process::exit(1);
                 }
             }
+        }
+        if addrs.len() > 1 {
+            let bodies: Vec<String> = pages.iter().map(|(_, b, _)| b.clone()).collect();
+            render_fleet(&bodies);
+        }
+        let mut total = 0usize;
+        for (addr, _, m) in &pages {
+            if addrs.len() > 1 {
+                println!("== {addr}");
+            }
+            render(m, None, interval);
+            total += m.len();
+            println!("pacsrv-top: OK ({} metrics from {addr})", m.len());
         }
         if addrs.len() > 1 {
             println!(
@@ -258,15 +307,30 @@ fn main() {
     let mut last: Vec<Option<(Metrics, std::time::Instant)>> = vec![None; addrs.len()];
     let mut failures = 0u32;
     loop {
+        // Scrape the whole fleet first so the merged header reflects the
+        // same frame the per-endpoint sections render.
+        let polled: Vec<(usize, Scrape)> = addrs
+            .iter()
+            .enumerate()
+            .map(|(i, addr)| (i, scrape(addr)))
+            .collect();
+        let bodies: Vec<String> = polled
+            .iter()
+            .filter_map(|(_, r)| r.as_ref().ok().map(|(b, _)| b.clone()))
+            .collect();
         let mut scraped = 0usize;
         let mut frame = String::new();
-        for (i, addr) in addrs.iter().enumerate() {
-            match scrape(addr) {
-                Ok(m) => {
+        for (i, result) in polled {
+            let addr = &addrs[i];
+            match result {
+                Ok((_, m)) => {
                     scraped += 1;
                     // Clear screen + home, like top(1) — once per frame.
                     if scraped == 1 {
                         print!("\x1b[2J\x1b[H");
+                        if addrs.len() > 1 {
+                            render_fleet(&bodies);
+                        }
                     }
                     println!("{frame}pacsrv-top — {addr}");
                     frame = String::new();

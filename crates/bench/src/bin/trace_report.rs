@@ -18,6 +18,16 @@
 //! `results/trace_summary.jsonl` (one `trace_summary/v1` object per
 //! line), both checked by `scripts/validate_obsv_json.py`. `--quick`
 //! shrinks the pass for the CI smoke job.
+//!
+//! **`--cluster`** runs the cross-node stitching demonstration instead: a
+//! 3-node in-process cluster with a deliberately slowed partition-0
+//! migration, one forced-traced request fanning across the nodes while
+//! the migration runs, and one forced-traced migration control call. Each
+//! node's span dump is fetched over the wire (`Stats` frames), stitched
+//! with [`obsv::trace::stitch`], checked (single root, at least two
+//! endpoints and remote fragments, 90%+ root coverage, all four
+//! migration phases), and exported to `results/trace_cluster_chrome.json`.
+//! The CI fleet-obsv-smoke job greps the `trace-report: STITCHED OK` line.
 
 use std::time::Duration;
 
@@ -35,6 +45,9 @@ fn main() {
         trace::compiled(),
         "trace-report requires the `trace` feature (cargo run --features trace)"
     );
+    if std::env::args().any(|a| a == "--cluster") {
+        return cluster::run();
+    }
     pmem::numa::set_topology(1);
     let scale = if quick {
         Scale {
@@ -237,4 +250,267 @@ fn main() {
 
     svc.shutdown(Duration::from_secs(10));
     idx.destroy();
+}
+
+/// The `--cluster` mode: cross-node trace stitching against a live
+/// 3-node cluster with a slowed migration in flight.
+mod cluster {
+    use super::*;
+    use std::collections::BTreeSet;
+    use std::net::TcpListener;
+    use std::sync::Arc;
+
+    use obsv::trace::{SpanRecord, TraceOutcome};
+    use pacsrv::cluster::{
+        ClusterNode, RouterClient, PHASE_BULK, PHASE_DELTA, PHASE_FLIP, PHASE_SEAL,
+    };
+    use pacsrv::wire::{MigrateOp, PartitionMap};
+    use pacsrv::{TcpClient, TcpServer};
+
+    const NODES: usize = 3;
+
+    /// A key anywhere in the u64 key space (uniform over partitions).
+    fn spread_key(i: u64) -> Vec<u8> {
+        i.wrapping_mul(0x9E37_79B9_7F4A_7C15).to_be_bytes().to_vec()
+    }
+
+    /// A key in the first third of the u64 key space (partition 0 of 3).
+    fn p0_key(i: u64) -> Vec<u8> {
+        (i % (u64::MAX / 3)).to_be_bytes().to_vec()
+    }
+
+    /// Fetches every node's span dump over its wire stats endpoint and
+    /// keeps only `trace_id`'s spans.
+    fn fetch_parts(endpoints: &[String], trace_id: u64) -> Vec<Vec<SpanRecord>> {
+        endpoints
+            .iter()
+            .map(|ep| {
+                let mut c = TcpClient::connect(ep).expect("stats conn");
+                let stats = c.stats().expect("stats");
+                trace::parse_span_dump(&stats)
+                    .into_iter()
+                    .filter(|s| s.trace_id == trace_id)
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Fraction of the root's wall time covered by the union of its
+    /// direct children's intervals.
+    fn root_coverage(tr: &RetainedTrace) -> f64 {
+        let root = &tr.spans[0];
+        let mut ivals: Vec<(u64, u64)> = tr
+            .spans
+            .iter()
+            .filter(|s| s.parent == root.span_id && s.span_id != root.span_id)
+            .map(|s| (s.start_ns.max(root.start_ns), s.end_ns.min(root.end_ns)))
+            .filter(|(a, b)| a < b)
+            .collect();
+        ivals.sort_unstable();
+        let (mut covered, mut cursor) = (0u64, root.start_ns);
+        for (a, b) in ivals {
+            let a = a.max(cursor);
+            if b > a {
+                covered += b - a;
+                cursor = b;
+            }
+        }
+        if tr.root_ns == 0 {
+            1.0
+        } else {
+            covered as f64 / tr.root_ns as f64
+        }
+    }
+
+    pub fn run() {
+        let scale = Scale {
+            keys: 4_000,
+            ops: 0,
+            threads: vec![2],
+            dilation: 1.0,
+            pool_size: 96 << 20,
+        };
+        banner(
+            "trace-report",
+            "--cluster: cross-node stitching through a live migration",
+            &scale,
+        );
+        pmem::numa::set_topology(1);
+        model::set_config(NvmModelConfig::disabled());
+        trace::set_keep_threshold_ns(0);
+        trace::clear_retained();
+
+        // Bind listeners first so the map can name real endpoints.
+        let listeners: Vec<TcpListener> = (0..NODES)
+            .map(|_| TcpListener::bind("127.0.0.1:0").expect("bind"))
+            .collect();
+        let endpoints: Vec<String> = listeners
+            .iter()
+            .map(|l| l.local_addr().expect("addr").to_string())
+            .collect();
+        let map = PartitionMap::split_u64(&endpoints);
+        println!("cluster endpoints: {}", endpoints.join(","));
+
+        let mut nodes: Vec<Arc<ClusterNode<AnyIndex>>> = Vec::new();
+        let mut servers: Vec<TcpServer> = Vec::new();
+        let mut indexes = Vec::new();
+        for (i, listener) in listeners.into_iter().enumerate() {
+            let name = format!("trace-cluster-{i}");
+            let idx = AnyIndex::create(Kind::PacTree, &name, KeySpace::Integer, &scale);
+            let service = PacService::start(
+                idx.clone(),
+                ServiceConfig {
+                    shards: 2,
+                    numa_pin: false,
+                    ..ServiceConfig::named(&name, 2)
+                },
+            );
+            let node =
+                ClusterNode::start(service, &endpoints[i], map.clone()).expect("cluster node");
+            servers.push(TcpServer::serve(node.clone(), listener).expect("serve"));
+            nodes.push(node);
+            indexes.push(idx);
+        }
+
+        // Preload partition 0 (migration payload) plus a uniform spread.
+        let mut router = RouterClient::connect(&endpoints[..1]).expect("router");
+        for chunk in (0..scale.keys).collect::<Vec<u64>>().chunks(128) {
+            let reqs: Vec<Request> = chunk
+                .iter()
+                .map(|i| Request::Put {
+                    key: if i % 2 == 0 {
+                        p0_key(*i)
+                    } else {
+                        spread_key(*i)
+                    },
+                    value: *i,
+                })
+                .collect();
+            for r in router.call(reqs).expect("preload") {
+                assert_eq!(r, Response::Ok);
+            }
+        }
+
+        // Slow every migration phase transition so the traced fan-out
+        // demonstrably overlaps the migration window.
+        nodes[0].set_migration_hook(|_phase| std::thread::sleep(Duration::from_millis(1)));
+
+        // Traced migration: forward a forced ctx to the source node
+        // (ordinal 1) and mint the controller-side root when Start
+        // returns — the node's phase spans land under it as a remote
+        // fragment.
+        let mig_target = endpoints[1].clone();
+        let mig_ep = endpoints[0].clone();
+        let mig = std::thread::spawn(move || {
+            let mut ctl = TcpClient::connect(&mig_ep).expect("ctl conn");
+            let mctx = trace::stamp_forced();
+            ctl.set_trace(mctx.forwarded_to(1));
+            let t0 = obsv::clock::now_ns();
+            let (ok, detail) = ctl
+                .migrate(MigrateOp::Start {
+                    partition: 0,
+                    target: mig_target,
+                })
+                .expect("migrate rpc");
+            trace::finish_root(mctx, t0, TraceOutcome::Ok);
+            (ok, detail, mctx.trace_id)
+        });
+
+        // One traced request fanning across all partitions mid-migration.
+        let rctx = trace::stamp_forced();
+        router.set_trace(rctx);
+        let reqs: Vec<Request> = (0..48)
+            .map(|i| Request::Put {
+                key: spread_key(1_000_000 + i),
+                value: i,
+            })
+            .collect();
+        let resps = router.call(reqs).expect("traced fan-out");
+        assert!(resps.iter().all(|r| *r == Response::Ok), "{resps:?}");
+        let (mig_ok, mig_detail, mig_trace_id) = mig.join().expect("migration thread");
+        assert!(mig_ok, "migration failed: {mig_detail}");
+
+        // Stitch both traces from the per-node wire dumps.
+        let parts = fetch_parts(&endpoints, rctx.trace_id);
+        for (ep, p) in endpoints.iter().zip(&parts) {
+            println!("   node {ep}: {} span(s) for the request trace", p.len());
+        }
+        let tree = trace::stitch(rctx.trace_id, &parts).expect("stitch request trace");
+        let rpc_eps: BTreeSet<u32> = tree
+            .spans
+            .iter()
+            .filter(|s| s.kind == SpanKind::RpcCall)
+            .map(|s| s.detail)
+            .collect();
+        let remote_nodes: BTreeSet<u32> = tree
+            .spans
+            .iter()
+            .filter(|s| s.kind == SpanKind::Remote)
+            .map(|s| s.detail)
+            .collect();
+        let coverage = root_coverage(&tree);
+        println!(
+            "-- request trace {}: {} spans, rpc endpoints {:?}, remote fragments {:?}, \
+             root coverage {:.1}%",
+            tree.trace_id,
+            tree.spans.len(),
+            rpc_eps,
+            remote_nodes,
+            coverage * 100.0
+        );
+        assert_eq!(tree.spans[0].kind, SpanKind::Root, "router owns the root");
+        assert!(rpc_eps.len() >= 2, "fan-out named {rpc_eps:?}");
+        assert!(remote_nodes.len() >= 2, "fragments from {remote_nodes:?}");
+        assert!(coverage >= 0.90, "root coverage {coverage:.3} < 0.90");
+
+        let mparts = fetch_parts(&endpoints, mig_trace_id);
+        let mtree = trace::stitch(mig_trace_id, &mparts).expect("stitch migration trace");
+        let phases: BTreeSet<u32> = mtree
+            .spans
+            .iter()
+            .filter(|s| s.kind == SpanKind::MigratePhase)
+            .map(|s| s.detail)
+            .collect();
+        println!(
+            "-- migration trace {}: {} spans, phases {:?}",
+            mtree.trace_id,
+            mtree.spans.len(),
+            phases
+        );
+        for want in [PHASE_BULK, PHASE_DELTA, PHASE_SEAL, PHASE_FLIP] {
+            assert!(
+                phases.contains(&(want as u32)),
+                "migration phase {want} missing from {phases:?}"
+            );
+        }
+
+        std::fs::create_dir_all("results").expect("mkdir results");
+        let chrome = trace::chrome_trace_json(&[tree, mtree]);
+        std::fs::write("results/trace_cluster_chrome.json", &chrome)
+            .expect("write cluster chrome trace");
+        println!(
+            "-- wrote results/trace_cluster_chrome.json (2 stitched traces, {} bytes)",
+            chrome.len()
+        );
+
+        trace::set_keep_threshold_ns(trace::DEFAULT_KEEP_THRESHOLD_NS);
+        for s in servers {
+            s.stop();
+        }
+        for n in &nodes {
+            n.service().shutdown(Duration::from_secs(10));
+        }
+        drop(nodes);
+        for idx in indexes {
+            idx.destroy();
+        }
+        // The CI fleet-obsv-smoke job greps for this line.
+        println!(
+            "trace-report: STITCHED OK (nodes {NODES}, endpoints {}, remotes {}, \
+             coverage {:.1}%, phases 4)",
+            rpc_eps.len(),
+            remote_nodes.len(),
+            coverage * 100.0
+        );
+    }
 }

@@ -353,6 +353,20 @@ impl RangeIndex for AnyIndex {
             RangeIndex::advance_version(t);
         }
     }
+
+    fn scan_pairs_at(&self, snap: u64, start: &[u8], count: usize) -> Option<Vec<(Vec<u8>, u64)>> {
+        match self {
+            AnyIndex::Pac(t) => RangeIndex::scan_pairs_at(t, snap, start, count),
+            _ => None,
+        }
+    }
+
+    fn diff_pairs(&self, a: u64, b: u64) -> Option<Vec<ycsb::index::DiffPair>> {
+        match self {
+            AnyIndex::Pac(t) => RangeIndex::diff_pairs(t, a, b),
+            _ => None,
+        }
+    }
 }
 
 /// The current git commit (short hash, `-dirty` suffixed when the tree has

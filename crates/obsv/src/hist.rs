@@ -224,6 +224,31 @@ impl HistSnapshot {
         }
     }
 
+    /// Rebuilds a snapshot from `(bucket_low_edge, weight)` rows plus the
+    /// exact op count and value sum — the wire form a fleet scraper
+    /// recovers from a node's Prometheus `_bucket`/`_count`/`_sum` lines.
+    /// Low edges must come from this module's bucketing (both ends share
+    /// it); rows whose edge is not an exact bucket lower edge are dropped.
+    /// The rebuilt snapshot merges and quantiles exactly like the
+    /// original, so fleet-wide percentiles keep the documented
+    /// [`RELATIVE_ERROR_BOUND`].
+    pub fn from_bucket_rows(rows: &[(u64, u64)], ops: u64, sum: u64) -> HistSnapshot {
+        let mut s = HistSnapshot::empty();
+        for &(low, weight) in rows {
+            if weight == 0 {
+                continue;
+            }
+            let i = bucket_of(low);
+            if bucket_low(i) != low {
+                continue;
+            }
+            s.buckets[i] += weight;
+        }
+        s.ops = ops;
+        s.sum = sum;
+        s
+    }
+
     /// Exact number of recorded operations (every op is counted even when
     /// latency sampling only times a subset).
     pub fn count(&self) -> u64 {
@@ -438,6 +463,26 @@ mod tests {
         assert_eq!(m, u.snapshot());
         // since() undoes merge.
         assert_eq!(m.since(&b.snapshot()), a.snapshot());
+    }
+
+    #[test]
+    fn bucket_rows_reconstruct_exactly() {
+        let h = Histogram::new();
+        for v in [0u64, 5, 31, 32, 1000, 123_456, 9_999_999, MAX_VALUE] {
+            h.record(v);
+        }
+        h.record_weighted(777, 64);
+        let s = h.snapshot();
+        let rows: Vec<(u64, u64)> = s
+            .nonzero_buckets()
+            .iter()
+            .map(|&(low, _, c)| (low, c))
+            .collect();
+        let r = HistSnapshot::from_bucket_rows(&rows, s.count(), s.sum());
+        assert_eq!(r, s, "wire round trip is lossless");
+        // Junk edges are dropped, not misfiled.
+        let r2 = HistSnapshot::from_bucket_rows(&[(33, 10)], 10, 330);
+        assert_eq!(r2.weight(), 0, "33 is not a bucket low edge");
     }
 
     #[test]

@@ -22,6 +22,10 @@
 //!   ring of periodic registry samples with read-side delta/rate
 //!   derivation, a multi-window error-budget SLO engine over it, and the
 //!   Prometheus text renderer the health endpoints serve.
+//! * [`fleet`] — the cluster plane: a scraper that polls every node's
+//!   metrics page, rebuilds and merges histogram snapshots into exact
+//!   fleet-wide percentiles, and evaluates cluster-level SLOs
+//!   (fleet p99, stuck migrations, migration-window burn).
 //!
 //! Hot-path cost when enabled is one relaxed striped `fetch_add` for the
 //! exact per-op count, plus — on a deterministic 1-in-2^[`sample_shift`]
@@ -34,6 +38,7 @@
 //! [`set_enabled`]`(false)` the whole path is two predictable branches.
 
 pub mod clock;
+pub mod fleet;
 pub mod flight;
 pub mod hist;
 pub mod prom;
@@ -44,6 +49,7 @@ pub mod slo;
 pub mod trace;
 pub mod tsdb;
 
+pub use fleet::{FleetScraper, FleetSloConfig, FleetView};
 pub use hist::{HistSnapshot, Histogram, RELATIVE_ERROR_BOUND};
 pub use recorder::{OpHistograms, OpKind, OpRecorder, OpSetSnapshot};
 pub use registry::{global, MetricsRegistry, Registration, Sample};

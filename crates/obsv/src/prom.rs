@@ -80,6 +80,17 @@ pub fn render(sample: &Sample, slo: &[SloStatus]) -> String {
             }
             out.push_str(&format!("{n}_count{{op=\"{op}\"}} {}\n", h.count()));
             out.push_str(&format!("{n}_sum{{op=\"{op}\"}} {}\n", h.sum()));
+            // Cumulative bucket lines keyed by exact bucket *lower* edge
+            // (not a rounded `le` bound): successive differences plus
+            // `hist::from_bucket_rows` rebuild the snapshot losslessly,
+            // which is how a fleet scraper merges nodes into exact
+            // cluster-wide percentiles.
+            let mut cum = 0u64;
+            for (low, _, count) in h.nonzero_buckets() {
+                cum += count;
+                out.push_str(&format!("{n}_bucket{{op=\"{op}\",le=\"{low}\"}} {cum}\n"));
+            }
+            out.push_str(&format!("{n}_bucket{{op=\"{op}\",le=\"+Inf\"}} {cum}\n"));
         }
     }
 
@@ -154,6 +165,10 @@ mod tests {
         );
         assert!(
             text.contains("svc_latency_ns_count{op=\"lookup\"} 2\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("svc_latency_ns_bucket{op=\"lookup\",le=\"+Inf\"} 2\n"),
             "{text}"
         );
         assert!(!text.contains("op=\"scan\""), "{text}");

@@ -43,6 +43,16 @@ pub struct TraceCtx {
     /// Whether this request is in the trace sample. Untraced requests
     /// never record anything.
     pub sampled: bool,
+    /// Which node's spans this context attributes to: 0 is the stamping
+    /// process (router or single node); a router fan-out stamps each
+    /// outbound copy with the target endpoint's 1-based ordinal in the
+    /// sorted endpoint list, so stitched spans name their node.
+    pub node: u16,
+    /// Network hops this context has taken (0 = stamped locally). A node
+    /// that receives `hop > 0` is serving a fragment of a remote trace and
+    /// must not record a second root span; each router resend (bounce)
+    /// bumps it, so stitched traces show retry depth.
+    pub hop: u8,
 }
 
 impl TraceCtx {
@@ -51,12 +61,32 @@ impl TraceCtx {
         trace_id: 0,
         parent_span: 0,
         sampled: false,
+        node: 0,
+        hop: 0,
     };
 
     /// Whether spans should be recorded for this context.
     #[inline]
     pub fn is_sampled(&self) -> bool {
         self.sampled && self.trace_id != 0
+    }
+
+    /// Whether this context was stamped on another node (carried in over
+    /// the wire with at least one hop).
+    #[inline]
+    pub fn is_remote(&self) -> bool {
+        self.hop > 0
+    }
+
+    /// The context as sent to node `node` (1-based endpoint ordinal):
+    /// attribution switches to that node and the hop counter bumps.
+    #[inline]
+    pub fn forwarded_to(self, node: u16) -> TraceCtx {
+        TraceCtx {
+            node,
+            hop: self.hop.saturating_add(1),
+            ..self
+        }
     }
 }
 
@@ -81,6 +111,22 @@ pub enum SpanKind {
     Smo = 5,
     /// Epoch-reclamation critical section (advance/collect).
     Epoch = 6,
+    /// Router-side bracket around one endpoint's wire call (send to recv);
+    /// detail is the endpoint's 1-based ordinal. Its wall clock is the
+    /// stitching anchor for that node's spans.
+    RpcCall = 7,
+    /// Router-side partition-map refresh after a bounce or send failure.
+    MapRefresh = 8,
+    /// Router-side resend round after a `WrongPartition` bounce; detail is
+    /// the resend attempt number.
+    BounceResend = 9,
+    /// One migration phase on the source node; detail is the
+    /// `cluster::PHASE_*` constant (bulk/delta/seal/flip).
+    MigratePhase = 10,
+    /// Node-side bracket of a remote trace fragment (admission to last
+    /// reply on this node); detail is the node's 1-based ordinal. Stands
+    /// in for the root, which only the stamping process records.
+    Remote = 11,
 }
 
 impl SpanKind {
@@ -94,7 +140,31 @@ impl SpanKind {
             SpanKind::IndexOp => "index_op",
             SpanKind::Smo => "smo",
             SpanKind::Epoch => "epoch",
+            SpanKind::RpcCall => "rpc_call",
+            SpanKind::MapRefresh => "map_refresh",
+            SpanKind::BounceResend => "bounce_resend",
+            SpanKind::MigratePhase => "migrate_phase",
+            SpanKind::Remote => "remote",
         }
+    }
+
+    /// Inverse of `self as u8` (wire span dumps).
+    pub fn from_u8(v: u8) -> Option<SpanKind> {
+        Some(match v {
+            0 => SpanKind::Root,
+            1 => SpanKind::Admission,
+            2 => SpanKind::Queue,
+            3 => SpanKind::Batch,
+            4 => SpanKind::IndexOp,
+            5 => SpanKind::Smo,
+            6 => SpanKind::Epoch,
+            7 => SpanKind::RpcCall,
+            8 => SpanKind::MapRefresh,
+            9 => SpanKind::BounceResend,
+            10 => SpanKind::MigratePhase,
+            11 => SpanKind::Remote,
+            _ => return None,
+        })
     }
 }
 
@@ -358,6 +428,8 @@ mod imp {
             trace_id: NEXT_TRACE_ID.fetch_add(1, Ordering::Relaxed),
             parent_span: next_span_id(),
             sampled: true,
+            node: 0,
+            hop: 0,
         }
     }
 
@@ -393,10 +465,40 @@ mod imp {
         open_frame(trace_id, parent, kind, detail)
     }
 
+    /// Opens a span under `ctx` and returns, alongside the guard, a derived
+    /// context whose `parent_span` is the new span — how the router hands a
+    /// node a parent to attach its spans to. Returns `ctx` unchanged when
+    /// unsampled.
+    #[inline]
+    pub fn span_ctx(ctx: TraceCtx, kind: SpanKind, detail: u32) -> (SpanGuard, TraceCtx) {
+        if !ctx.is_sampled() {
+            return (SpanGuard { active: false }, ctx);
+        }
+        let span_id = next_span_id();
+        let guard = open_frame_with_id(ctx.trace_id, ctx.parent_span, span_id, kind, detail);
+        (
+            guard,
+            TraceCtx {
+                parent_span: span_id,
+                ..ctx
+            },
+        )
+    }
+
     fn open_frame(trace_id: u64, parent: u32, kind: SpanKind, detail: u32) -> SpanGuard {
+        open_frame_with_id(trace_id, parent, next_span_id(), kind, detail)
+    }
+
+    fn open_frame_with_id(
+        trace_id: u64,
+        parent: u32,
+        span_id: u32,
+        kind: SpanKind,
+        detail: u32,
+    ) -> SpanGuard {
         let frame = Frame {
             trace_id,
-            span_id: next_span_id(),
+            span_id,
             parent,
             kind,
             detail,
@@ -469,6 +571,12 @@ mod imp {
     /// thread ring into the retained store iff the root latency is over
     /// [`keep_threshold_ns`] or `outcome` is an error class.
     ///
+    /// A remote fragment (`ctx.hop > 0`) does not own the trace's root —
+    /// the stamping process does — so it records a [`SpanKind::Remote`]
+    /// bracket instead: a fresh span id parented to `ctx.parent_span` (the
+    /// router's rpc_call span), covering admission to last reply on this
+    /// node. [`stitch`] uses that bracket to align the node's clock.
+    ///
     /// All spans of the trace must be ring-visible before this runs; in
     /// pacsrv that ordering comes free from the `ReplySet` mutex (workers
     /// record spans before completing their slot, and the final completion
@@ -482,17 +590,32 @@ mod imp {
         if root_ns < keep_threshold_ns() && !outcome.is_error() {
             return; // Fast and fine: let its spans rot in the rings.
         }
-        let mut spans = vec![SpanRecord {
-            trace_id: ctx.trace_id,
-            span_id: ctx.parent_span,
-            parent: 0,
-            kind: SpanKind::Root,
-            detail: 0,
-            tid: my_tid(),
-            start_ns,
-            end_ns,
-            stall_ns: [0; STALL_KINDS],
-        }];
+        let bracket = if ctx.is_remote() {
+            SpanRecord {
+                trace_id: ctx.trace_id,
+                span_id: next_span_id(),
+                parent: ctx.parent_span,
+                kind: SpanKind::Remote,
+                detail: ctx.node as u32,
+                tid: my_tid(),
+                start_ns,
+                end_ns,
+                stall_ns: [0; STALL_KINDS],
+            }
+        } else {
+            SpanRecord {
+                trace_id: ctx.trace_id,
+                span_id: ctx.parent_span,
+                parent: 0,
+                kind: SpanKind::Root,
+                detail: 0,
+                tid: my_tid(),
+                start_ns,
+                end_ns,
+                stall_ns: [0; STALL_KINDS],
+            }
+        };
+        let mut spans = vec![bracket];
         let dirs: Vec<Arc<Mutex<SpanRing>>> = rings().lock().unwrap().clone();
         for ring in dirs {
             let ring = ring.lock().unwrap();
@@ -565,6 +688,42 @@ mod imp {
         out.push_str("]}");
         out
     }
+
+    /// Every span of every retained trace as a compact JSON array of
+    /// integer rows (`[trace_id, span_id, parent, kind, detail, tid,
+    /// start_ns, end_ns, stall_read, stall_flush, stall_fence,
+    /// stall_throttle]`) — the wire form `trace-report` fetches from each
+    /// node's stats endpoint and feeds to [`parse_span_dump`]/[`stitch`].
+    pub fn span_dump_json() -> String {
+        let store = retained().lock().unwrap();
+        let mut out = String::from("[");
+        let mut first = true;
+        for t in store.iter() {
+            for s in &t.spans {
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                out.push_str(&format!(
+                    "[{},{},{},{},{},{},{},{},{},{},{},{}]",
+                    s.trace_id,
+                    s.span_id,
+                    s.parent,
+                    s.kind as u8,
+                    s.detail,
+                    s.tid,
+                    s.start_ns,
+                    s.end_ns,
+                    s.stall_ns[0],
+                    s.stall_ns[1],
+                    s.stall_ns[2],
+                    s.stall_ns[3]
+                ));
+            }
+        }
+        out.push(']');
+        out
+    }
 }
 
 #[cfg(not(feature = "trace"))]
@@ -578,7 +737,13 @@ mod imp {
     pub const DEFAULT_KEEP_THRESHOLD_NS: u64 = 1_000_000;
 
     /// Disabled-build guard; every constructor returns this inert value.
+    /// The no-op `Drop` keeps early `drop(span)` call sites meaningful in
+    /// both build configurations.
     pub struct SpanGuard;
+
+    impl Drop for SpanGuard {
+        fn drop(&mut self) {}
+    }
 
     /// Whether tracing machinery is compiled into this build.
     pub const fn compiled() -> bool {
@@ -603,6 +768,11 @@ mod imp {
     #[inline(always)]
     pub fn span_here(_kind: SpanKind, _detail: u32) -> SpanGuard {
         SpanGuard
+    }
+
+    #[inline(always)]
+    pub fn span_ctx(ctx: TraceCtx, _kind: SpanKind, _detail: u32) -> (SpanGuard, TraceCtx) {
+        (SpanGuard, ctx)
     }
 
     #[inline(always)]
@@ -639,14 +809,136 @@ mod imp {
     pub fn digest_json() -> String {
         "{\"compiled\":false,\"retained\":0,\"traces\":[]}".to_string()
     }
+
+    pub fn span_dump_json() -> String {
+        "[]".to_string()
+    }
 }
 
 pub use imp::{
     add_stall, clear_retained, compiled, digest_json, finish_root, keep_threshold_ns, record_span,
-    retained_traces, set_keep_threshold_ns, set_trace_sample_shift, span, span_here, stamp,
-    stamp_forced, take_retained, trace_sample_shift, SpanGuard, DEFAULT_KEEP_THRESHOLD_NS,
-    DEFAULT_TRACE_SAMPLE_SHIFT,
+    retained_traces, set_keep_threshold_ns, set_trace_sample_shift, span, span_ctx, span_dump_json,
+    span_here, stamp, stamp_forced, take_retained, trace_sample_shift, SpanGuard,
+    DEFAULT_KEEP_THRESHOLD_NS, DEFAULT_TRACE_SAMPLE_SHIFT,
 };
+
+/// Parses a [`span_dump_json`] array back into span records. Scans `json`
+/// for the `"span_dump":[...]` key (so a whole node stats document can be
+/// passed as-is) and decodes each 12-integer row; malformed rows and
+/// unknown span kinds are skipped. Returns empty when the key is absent.
+pub fn parse_span_dump(json: &str) -> Vec<SpanRecord> {
+    const KEY: &str = "\"span_dump\":[";
+    let Some(pos) = json.find(KEY) else {
+        return Vec::new();
+    };
+    let mut rest = &json[pos + KEY.len()..];
+    let mut out = Vec::new();
+    while let Some(open) = rest.find('[') {
+        // The outer array's closing bracket before the next row ends it.
+        if rest[..open].contains(']') {
+            break;
+        }
+        let Some(close) = rest[open..].find(']') else {
+            break;
+        };
+        let nums: Vec<u64> = rest[open + 1..open + close]
+            .split(',')
+            .filter_map(|t| t.trim().parse().ok())
+            .collect();
+        if nums.len() == 12 {
+            if let Some(kind) = SpanKind::from_u8(nums[3] as u8) {
+                out.push(SpanRecord {
+                    trace_id: nums[0],
+                    span_id: nums[1] as u32,
+                    parent: nums[2] as u32,
+                    kind,
+                    detail: nums[4] as u32,
+                    tid: nums[5] as u32,
+                    start_ns: nums[6],
+                    end_ns: nums[7],
+                    stall_ns: [nums[8], nums[9], nums[10], nums[11]],
+                });
+            }
+        }
+        rest = &rest[open + close + 1..];
+    }
+    out
+}
+
+/// Stitches per-node span dumps into one trace tree.
+///
+/// `parts[0]` should be the stamping process's spans (it owns the single
+/// [`SpanKind::Root`]); later parts are remote fragments. Every span must
+/// belong to `trace_id` (mismatches are an error — dumps from an unrelated
+/// trace must not silently graft on). Spans appearing in several parts
+/// (in-process clusters share one retained store) are deduplicated by span
+/// id, first occurrence wins.
+///
+/// Clock alignment: node clocks need not share an epoch with the router's.
+/// Each fragment carries a [`SpanKind::Remote`] bracket (admission to last
+/// reply on that node) parented to the router's [`SpanKind::RpcCall`] span,
+/// whose wall clock brackets the same interval plus the network round trip.
+/// If a fragment's bracket falls outside its parent's interval, the whole
+/// fragment is shifted so the bracket sits centered inside it — the error
+/// is bounded by the round-trip time, and intra-fragment durations are
+/// exact because one offset moves the whole fragment.
+pub fn stitch(trace_id: u64, parts: &[Vec<SpanRecord>]) -> Result<RetainedTrace, String> {
+    for s in parts.iter().flatten() {
+        if s.trace_id != trace_id {
+            return Err(format!(
+                "span {} belongs to trace {}, not {}",
+                s.span_id, s.trace_id, trace_id
+            ));
+        }
+    }
+    let mut seen = std::collections::BTreeSet::new();
+    let mut spans: Vec<SpanRecord> = Vec::new();
+    for part in parts {
+        let mut shift: i64 = 0;
+        if let Some(r) = part.iter().find(|s| s.kind == SpanKind::Remote) {
+            if let Some(p) = spans.iter().find(|s| s.span_id == r.parent) {
+                if r.start_ns < p.start_ns || r.end_ns > p.end_ns {
+                    let r_dur = r.end_ns.saturating_sub(r.start_ns);
+                    let p_dur = p.end_ns.saturating_sub(p.start_ns);
+                    let target = p.start_ns + p_dur.saturating_sub(r_dur.min(p_dur)) / 2;
+                    shift = target as i64 - r.start_ns as i64;
+                }
+            }
+        }
+        for s in part {
+            if !seen.insert(s.span_id) {
+                continue;
+            }
+            let mut s = *s;
+            s.start_ns = s.start_ns.saturating_add_signed(shift);
+            s.end_ns = s.end_ns.saturating_add_signed(shift);
+            spans.push(s);
+        }
+    }
+    let roots: Vec<usize> = spans
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.kind == SpanKind::Root)
+        .map(|(i, _)| i)
+        .collect();
+    let [root_at] = roots.as_slice() else {
+        return Err(format!(
+            "expected exactly one root span, found {}",
+            roots.len()
+        ));
+    };
+    let root = spans.remove(*root_at);
+    spans.sort_by_key(|s| s.start_ns);
+    let root_ns = root.end_ns.saturating_sub(root.start_ns);
+    let mut all = vec![root];
+    all.append(&mut spans);
+    Ok(RetainedTrace {
+        trace_id,
+        outcome: TraceOutcome::Ok,
+        root_ns,
+        spans: all,
+    })
+}
 
 /// Escapes `s` for embedding inside a JSON string literal.
 pub fn json_escape(s: &str) -> String {
@@ -892,5 +1184,173 @@ mod tests {
         finish_root(ctx, 0, TraceOutcome::Error);
         let _h = span_here(SpanKind::Smo, 0); // no active frame
         add_stall(StallKind::MediaRead, 10);
+    }
+
+    #[test]
+    fn remote_fragment_records_bracket_not_root() {
+        let _g = TEST_LOCK.lock().unwrap();
+        set_keep_threshold_ns(0);
+        let ctx = TraceCtx {
+            node: 2,
+            hop: 1,
+            ..stamp_forced()
+        };
+        let t0 = crate::clock::now_ns();
+        {
+            let _op = span(ctx, SpanKind::IndexOp, 1);
+        }
+        finish_root(ctx, t0, TraceOutcome::Ok);
+        let t = find(&retained_traces(), ctx.trace_id).expect("kept");
+        assert!(
+            !t.spans.iter().any(|s| s.kind == SpanKind::Root),
+            "remote fragments must not mint a second root"
+        );
+        let rem = t
+            .spans
+            .iter()
+            .find(|s| s.kind == SpanKind::Remote)
+            .expect("remote bracket");
+        assert_eq!(rem.parent, ctx.parent_span);
+        assert_eq!(rem.detail, 2, "bracket names its node");
+        assert_ne!(rem.span_id, ctx.parent_span, "fresh id, no collision");
+        set_keep_threshold_ns(imp::DEFAULT_KEEP_THRESHOLD_NS);
+        clear_retained();
+    }
+
+    #[test]
+    fn span_ctx_derives_child_parentage() {
+        let _g = TEST_LOCK.lock().unwrap();
+        set_keep_threshold_ns(0);
+        let ctx = stamp_forced();
+        let t0 = crate::clock::now_ns();
+        let child = {
+            let (_g, child) = span_ctx(ctx, SpanKind::RpcCall, 3);
+            let _inner = span(child, SpanKind::IndexOp, 0);
+            child
+        };
+        assert_eq!(child.trace_id, ctx.trace_id);
+        assert_ne!(child.parent_span, ctx.parent_span);
+        finish_root(ctx, t0, TraceOutcome::Ok);
+        let t = find(&retained_traces(), ctx.trace_id).expect("kept");
+        let rpc = t
+            .spans
+            .iter()
+            .find(|s| s.kind == SpanKind::RpcCall)
+            .expect("rpc span");
+        assert_eq!(rpc.parent, ctx.parent_span);
+        assert_eq!(rpc.span_id, child.parent_span);
+        let op = t
+            .spans
+            .iter()
+            .find(|s| s.kind == SpanKind::IndexOp)
+            .expect("op span");
+        assert_eq!(op.parent, rpc.span_id);
+        set_keep_threshold_ns(imp::DEFAULT_KEEP_THRESHOLD_NS);
+        clear_retained();
+    }
+}
+
+#[cfg(test)]
+mod stitch_tests {
+    use super::*;
+
+    fn rec(
+        trace_id: u64,
+        span_id: u32,
+        parent: u32,
+        kind: SpanKind,
+        detail: u32,
+        start_ns: u64,
+        end_ns: u64,
+    ) -> SpanRecord {
+        SpanRecord {
+            trace_id,
+            span_id,
+            parent,
+            kind,
+            detail,
+            tid: 1,
+            start_ns,
+            end_ns,
+            stall_ns: [0; STALL_KINDS],
+        }
+    }
+
+    #[test]
+    fn stitch_rejects_mismatched_trace_ids() {
+        let router = vec![rec(7, 1, 0, SpanKind::Root, 0, 0, 1000)];
+        let alien = vec![rec(8, 9, 1, SpanKind::Remote, 1, 100, 200)];
+        let err = stitch(7, &[router, alien]).unwrap_err();
+        assert!(err.contains("trace 8"), "names the offender: {err}");
+    }
+
+    #[test]
+    fn stitch_requires_exactly_one_root() {
+        let none = vec![rec(7, 2, 1, SpanKind::RpcCall, 1, 0, 10)];
+        assert!(stitch(7, &[none]).is_err());
+        let two = vec![
+            rec(7, 1, 0, SpanKind::Root, 0, 0, 10),
+            rec(7, 2, 0, SpanKind::Root, 0, 0, 10),
+        ];
+        assert!(stitch(7, &[two]).is_err());
+    }
+
+    #[test]
+    fn stitch_aligns_skewed_fragment_onto_rpc_bracket() {
+        let router = vec![
+            rec(7, 1, 0, SpanKind::Root, 0, 0, 1000),
+            rec(7, 2, 1, SpanKind::RpcCall, 1, 100, 900),
+        ];
+        // Node clock is ~1 ms ahead of the router's.
+        let node = vec![
+            rec(7, 10, 2, SpanKind::Remote, 1, 1_000_100, 1_000_700),
+            rec(7, 11, 2, SpanKind::IndexOp, 0, 1_000_300, 1_000_500),
+        ];
+        let t = stitch(7, &[router, node]).expect("stitched");
+        assert_eq!(t.spans[0].kind, SpanKind::Root);
+        assert_eq!(t.root_ns, 1000);
+        let rem = t.spans.iter().find(|s| s.kind == SpanKind::Remote).unwrap();
+        assert!(
+            rem.start_ns >= 100 && rem.end_ns <= 900,
+            "bracket shifted inside its rpc_call parent: {}..{}",
+            rem.start_ns,
+            rem.end_ns
+        );
+        assert_eq!(rem.end_ns - rem.start_ns, 600, "durations preserved");
+        let op = t
+            .spans
+            .iter()
+            .find(|s| s.kind == SpanKind::IndexOp)
+            .unwrap();
+        assert!(op.start_ns >= rem.start_ns && op.end_ns <= rem.end_ns);
+    }
+
+    #[test]
+    fn stitch_dedupes_shared_retained_stores() {
+        let root = rec(7, 1, 0, SpanKind::Root, 0, 0, 1000);
+        let rpc = rec(7, 2, 1, SpanKind::RpcCall, 1, 100, 900);
+        let rem = rec(7, 10, 2, SpanKind::Remote, 1, 150, 850);
+        // In-process cluster: both dumps see every span.
+        let t = stitch(7, &[vec![root, rpc, rem], vec![rem, rpc, root]]).expect("stitched");
+        assert_eq!(t.spans.len(), 3);
+    }
+
+    #[test]
+    fn parse_span_dump_decodes_rows_and_skips_junk() {
+        let doc = concat!(
+            "{\"schema\":\"pacsrv_stats/v1\",\"span_dump\":[",
+            "[7,1,0,0,0,1,5,1005,1,2,3,4],",
+            "[7,2,1,7,3,1,100,900,0,0,0,0],",
+            "[7,3,1,250,0,1,0,0,0,0,0,0]",
+            "],\"other\":1}"
+        );
+        let spans = parse_span_dump(doc);
+        assert_eq!(spans.len(), 2, "unknown kind 250 skipped");
+        assert_eq!(spans[0].kind, SpanKind::Root);
+        assert_eq!(spans[0].stall_ns, [1, 2, 3, 4]);
+        assert_eq!(spans[1].kind, SpanKind::RpcCall);
+        assert_eq!(spans[1].detail, 3);
+        assert!(parse_span_dump("{\"no_dump\":true}").is_empty());
+        assert!(parse_span_dump("{\"span_dump\":[]}").is_empty());
     }
 }

@@ -49,6 +49,7 @@
 
 use std::time::{Duration, Instant};
 
+use obsv::trace::{self, SpanKind, TraceCtx};
 use ycsb::RangeIndex;
 
 use super::map::in_range;
@@ -177,6 +178,19 @@ impl<I: RangeIndex + Clone + 'static> ClusterNode<I> {
     /// source keeps serving it. At most one migration runs per node;
     /// a concurrent call fails fast instead of racing the epoch.
     pub fn migrate_out(&self, partition: u32, target: &str) -> Result<MigrationReport, String> {
+        self.migrate_out_traced(partition, target, TraceCtx::UNTRACED)
+    }
+
+    /// [`migrate_out`](Self::migrate_out) under a trace context: each of
+    /// the four phases records a [`SpanKind::MigratePhase`] span (detail =
+    /// the phase gauge value) parented to `ctx`, and the wire frames sent
+    /// to the target carry the forwarded context.
+    pub fn migrate_out_traced(
+        &self,
+        partition: u32,
+        target: &str,
+        ctx: TraceCtx,
+    ) -> Result<MigrationReport, String> {
         let _guard = match self.migrating.try_lock() {
             Ok(g) => g,
             Err(std::sync::TryLockError::Poisoned(p)) => p.into_inner(),
@@ -184,7 +198,7 @@ impl<I: RangeIndex + Clone + 'static> ClusterNode<I> {
                 return Err("a migration is already in progress on this node".to_string());
             }
         };
-        let out = self.migrate_run(partition, target);
+        let out = self.migrate_run(partition, target, ctx);
         self.set_handoff_lag(0);
         self.enter_phase(PHASE_IDLE);
         out
@@ -207,7 +221,12 @@ impl<I: RangeIndex + Clone + 'static> ClusterNode<I> {
         }
     }
 
-    fn migrate_run(&self, partition: u32, target: &str) -> Result<MigrationReport, String> {
+    fn migrate_run(
+        &self,
+        partition: u32,
+        target: &str,
+        ctx: TraceCtx,
+    ) -> Result<MigrationReport, String> {
         let t0 = Instant::now();
         let map = self.map();
         let part = map
@@ -231,6 +250,15 @@ impl<I: RangeIndex + Clone + 'static> ClusterNode<I> {
 
         let mut client =
             TcpClient::connect(target).map_err(|e| format!("connect {target}: {e}"))?;
+        // Forward the migration's trace context to the target: its import
+        // work (bulk Puts, delta replays, the handoff ops) shows up under
+        // the same trace id, node-stamped with the target's ordinal.
+        let tgt_ord = map
+            .endpoints()
+            .iter()
+            .position(|e| *e == target)
+            .map_or(0, |i| i as u16 + 1);
+        client.set_trace(ctx.forwarded_to(tgt_ord));
         match client.migrate(MigrateOp::ImportBegin { partition }) {
             Ok((true, _)) => {}
             Ok((false, detail)) => return Err(format!("target refused import: {detail}")),
@@ -243,8 +271,11 @@ impl<I: RangeIndex + Clone + 'static> ClusterNode<I> {
         self.enter_phase(PHASE_BULK);
         let copy_run: Result<(u64, u64, u64), String> = (|| {
             let snap1 = snaps.take()?;
+            let bulk_span = trace::span(ctx, SpanKind::MigratePhase, PHASE_BULK as u32);
             let moved = self.copy_range(&mut client, snap1, &range_start, range_end.as_deref())?;
+            drop(bulk_span);
             self.enter_phase(PHASE_DELTA);
+            let _delta_span = trace::span(ctx, SpanKind::MigratePhase, PHASE_DELTA as u32);
             let snap2 = snaps.take()?;
             let d1 = self.apply_diff(
                 &mut client,
@@ -270,6 +301,7 @@ impl<I: RangeIndex + Clone + 'static> ClusterNode<I> {
         self.seal(partition);
         self.enter_phase(PHASE_SEAL);
         let sealed_run: Result<u64, String> = (|| {
+            let _seal_span = trace::span(ctx, SpanKind::MigratePhase, PHASE_SEAL as u32);
             self.service().drain_barrier();
             let snap3 = snaps.take()?;
             self.apply_diff(
@@ -296,6 +328,7 @@ impl<I: RangeIndex + Clone + 'static> ClusterNode<I> {
         // (acked) is the commit point; installing locally drops our seal
         // because the partition is no longer ours.
         self.enter_phase(PHASE_FLIP);
+        let flip_span = trace::span(ctx, SpanKind::MigratePhase, PHASE_FLIP as u32);
         let flip_base = self.map();
         if flip_base
             .partition(partition)
@@ -394,6 +427,7 @@ impl<I: RangeIndex + Clone + 'static> ClusterNode<I> {
         // Retire the source's copy: unreachable through the new map, but
         // it would overcount local scans and pin memory. A crash here is
         // benign — the pairs are already fenced garbage either way.
+        drop(flip_span);
         self.retire_range(&range_start, range_end.as_deref());
         Ok(MigrationReport {
             partition,

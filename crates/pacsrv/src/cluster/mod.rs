@@ -34,6 +34,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 
 use obsv::trace;
+use obsv::Histogram;
 use ycsb::RangeIndex;
 
 use crate::service::PacService;
@@ -54,6 +55,25 @@ pub const PHASE_FLIP: u8 = 4;
 /// A migration phase observer (test hook): called with each phase gauge
 /// value as the state machine enters it.
 pub type PhaseHook = Arc<dyn Fn(u8) + Send + Sync>;
+
+/// Per-partition load counters, maintained at the frame boundary for every
+/// locally executed operation (bounced ops are not heat — they cost the
+/// node a map lookup, not index work). Indexed by partition id; the
+/// partition *count* is fixed for a map lineage (migrations move
+/// ownership, they never split), so the vector never resizes.
+struct HeatCell {
+    ops: Arc<AtomicU64>,
+    /// Approximate payload bytes: key length plus a fixed 9 (8-byte value
+    /// word + op tag) per operation.
+    bytes: Arc<AtomicU64>,
+    /// Batch service latency observed by ops of this partition (each op
+    /// records its whole batch's frame-boundary wall time — an upper
+    /// bound, exact for single-partition batches).
+    hist: Arc<Histogram>,
+}
+
+/// One partition's heat reading: `(ops, approx_bytes, p99_ns)`.
+pub type PartitionHeat = (u64, u64, u64);
 
 /// A partition-aware front for one [`PacService`] instance.
 pub struct ClusterNode<I: RangeIndex + Clone + 'static> {
@@ -76,6 +96,8 @@ pub struct ClusterNode<I: RangeIndex + Clone + 'static> {
     phase_gauge: Arc<AtomicU64>,
     handoff_lag: Arc<AtomicU64>,
     wrong_partition: Arc<AtomicU64>,
+    /// Per-partition heat telemetry (`cluster.partition.<i>.*` gauges).
+    heat: Vec<HeatCell>,
     /// Test hook observing migration phase transitions (runs on the
     /// migration thread; it may block to freeze the state machine).
     hook: Mutex<Option<PhaseHook>>,
@@ -107,7 +129,7 @@ impl<I: RangeIndex + Clone + 'static> ClusterNode<I> {
             ("cluster.migration.handoff_lag", &handoff_lag),
             ("cluster.wrong_partition.total", &wrong_partition),
         ];
-        let registrations = cells
+        let mut registrations: Vec<obsv::Registration> = cells
             .iter()
             .map(|(suffix, cell)| {
                 let w = Arc::downgrade(cell);
@@ -116,6 +138,30 @@ impl<I: RangeIndex + Clone + 'static> ClusterNode<I> {
                 })
             })
             .collect();
+        let heat: Vec<HeatCell> = (0..map.parts.len())
+            .map(|_| HeatCell {
+                ops: Arc::new(AtomicU64::new(0)),
+                bytes: Arc::new(AtomicU64::new(0)),
+                hist: Arc::new(Histogram::new()),
+            })
+            .collect();
+        for (i, cell) in heat.iter().enumerate() {
+            let counters = [("ops", &cell.ops), ("bytes", &cell.bytes)];
+            for (kind, c) in counters {
+                let w = Arc::downgrade(c);
+                registrations.push(
+                    reg.register_gauge(format!("{name}.cluster.partition.{i}.{kind}"), move || {
+                        w.upgrade().map(|c| c.load(Ordering::Relaxed) as f64)
+                    }),
+                );
+            }
+            let w = Arc::downgrade(&cell.hist);
+            registrations.push(
+                reg.register_gauge(format!("{name}.cluster.partition.{i}.p99"), move || {
+                    w.upgrade().map(|h| h.snapshot().quantile(0.99) as f64)
+                }),
+            );
+        }
         let node = Arc::new(ClusterNode {
             service,
             endpoint: endpoint.to_string(),
@@ -128,6 +174,7 @@ impl<I: RangeIndex + Clone + 'static> ClusterNode<I> {
             phase_gauge,
             handoff_lag,
             wrong_partition,
+            heat,
             hook: Mutex::new(None),
             _registrations: registrations,
         });
@@ -158,6 +205,22 @@ impl<I: RangeIndex + Clone + 'static> ClusterNode<I> {
     /// Operations bounced with `WrongPartition` so far.
     pub fn wrong_partition_total(&self) -> u64 {
         self.wrong_partition.load(Ordering::Relaxed)
+    }
+
+    /// Per-partition heat readings, indexed by partition id:
+    /// `(ops served, approximate bytes, p99 batch latency in ns)`.
+    /// Partitions this node never served read `(0, 0, 0)`.
+    pub fn partition_heat(&self) -> Vec<PartitionHeat> {
+        self.heat
+            .iter()
+            .map(|c| {
+                (
+                    c.ops.load(Ordering::Relaxed),
+                    c.bytes.load(Ordering::Relaxed),
+                    c.hist.snapshot().quantile(0.99),
+                )
+            })
+            .collect()
     }
 
     /// Installs `new` if its epoch is strictly newer than the installed
@@ -268,18 +331,30 @@ impl<I: RangeIndex + Clone + 'static> ClusterNode<I> {
         let n = reqs.len();
         let mut out: Vec<Option<Response>> = (0..n).map(|_| None).collect();
         let mut slots = Vec::with_capacity(n);
+        let mut touched: BTreeSet<u32> = BTreeSet::new();
+        let t0 = obsv::clock::now_ns();
         let pending = {
             let sealed = self.sealed.lock().unwrap();
             let importing = self.importing.lock().unwrap();
             let mut local = Vec::with_capacity(n);
             for (i, req) in reqs.into_iter().enumerate() {
-                // Snapshot lifecycle ops carry no key: always local.
+                // Snapshot lifecycle ops carry no key: always local (and
+                // not partition heat — they touch node state, not a range).
                 let owned = match &req {
                     Request::Snapshot | Request::ReleaseSnapshot { .. } => true,
                     other => {
                         let p = map.owner_of(other.key());
-                        (p.endpoint == self.endpoint && !sealed.contains(&p.id))
-                            || importing.contains(&p.id)
+                        let owned = (p.endpoint == self.endpoint && !sealed.contains(&p.id))
+                            || importing.contains(&p.id);
+                        if owned {
+                            if let Some(cell) = self.heat.get(p.id as usize) {
+                                cell.ops.fetch_add(1, Ordering::Relaxed);
+                                cell.bytes
+                                    .fetch_add(other.key().len() as u64 + 9, Ordering::Relaxed);
+                                touched.insert(p.id);
+                            }
+                        }
+                        owned
                     }
                 };
                 if owned {
@@ -307,17 +382,45 @@ impl<I: RangeIndex + Clone + 'static> ClusterNode<I> {
             for (slot, resp) in slots.into_iter().zip(rs.wait()) {
                 out[slot] = Some(resp);
             }
+            let dt = obsv::clock::now_ns().saturating_sub(t0);
+            for pid in touched {
+                if let Some(cell) = self.heat.get(pid as usize) {
+                    cell.hist.record(dt);
+                }
+            }
         }
         out.into_iter().map(Option::unwrap).collect()
     }
 
-    /// Handles one migration control operation.
-    fn migrate_ctl(&self, op: MigrateOp) -> (bool, String) {
+    /// Handles one migration control operation. `ctx` is the trace context
+    /// off the `Migrate` frame: a controller that stamps (and forwards) a
+    /// sampled context gets the migration's four phase spans recorded
+    /// under its trace id — stitched by `trace-report` from this node's
+    /// span dump.
+    fn migrate_ctl(&self, op: MigrateOp, ctx: trace::TraceCtx) -> (bool, String) {
         match op {
-            MigrateOp::Start { partition, target } => match self.migrate_out(partition, &target) {
-                Ok(report) => (true, report.to_json()),
-                Err(e) => (false, e),
-            },
+            MigrateOp::Start { partition, target } => {
+                let t0 = obsv::clock::now_ns();
+                let (ok, detail) = match self.migrate_out_traced(partition, &target, ctx) {
+                    Ok(report) => (true, report.to_json()),
+                    Err(e) => (false, e),
+                };
+                // Harvest the phase spans into the retained store so the
+                // stats span dump carries them. With a forwarded (hop > 0)
+                // context this records a Remote bracket, never a second
+                // root; an error outcome forces retention past the tail
+                // threshold.
+                trace::finish_root(
+                    ctx,
+                    t0,
+                    if ok {
+                        trace::TraceOutcome::Ok
+                    } else {
+                        trace::TraceOutcome::Error
+                    },
+                );
+                (ok, detail)
+            }
             MigrateOp::ImportBegin { partition } => {
                 let map = self.map();
                 let Some(part) = map.partition(partition) else {
@@ -388,12 +491,17 @@ impl<I: RangeIndex + Clone + 'static> FrameHandler for ClusterNode<I> {
                     resps: self.dispatch(reqs, ctx, version),
                 }
             }
-            Ok((Frame::MapFetch { id }, _)) => Frame::MapReply {
-                id,
-                map: (*self.map()).clone(),
-            },
-            Ok((Frame::Migrate { id, op }, _)) => {
-                let (ok, detail) = self.migrate_ctl(op);
+            Ok((Frame::MapFetch { id, trace }, _)) => {
+                // Attribute the fetch to the router's map_refresh span
+                // when it rides a traced request (inert otherwise).
+                let _span = trace::span(trace, trace::SpanKind::MapRefresh, 0);
+                Frame::MapReply {
+                    id,
+                    map: (*self.map()).clone(),
+                }
+            }
+            Ok((Frame::Migrate { id, trace, op }, _)) => {
+                let (ok, detail) = self.migrate_ctl(op, trace);
                 Frame::MigrateReply { id, ok, detail }
             }
             Ok((Frame::Ping { id }, _)) => Frame::Pong { id },

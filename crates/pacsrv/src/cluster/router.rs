@@ -13,10 +13,33 @@
 //! epoch (the flip has not happened yet); the router backs off between
 //! rounds so the handful of writes racing the seal land on the target
 //! right after the flip instead of hot-looping.
+//!
+//! # Tracing
+//!
+//! The router is where a cross-node trace is rooted. Each [`call`]
+//! stamps (or adopts, after [`set_trace`]) a context and records:
+//!
+//! * one `rpc_call` span per endpoint group, bracketing send-to-reply —
+//!   the stitcher aligns that node's clock inside this bracket;
+//! * a `map_refresh` span around every bounce-triggered refresh;
+//! * a `bounce_resend` span around every retry round (backoff included),
+//!   so resent work stays attributed to the original trace.
+//!
+//! The context put on the wire is the *router's* stamped context,
+//! node-stamped via [`obsv::trace::TraceCtx::forwarded_to`] with the hop
+//! counter bumped once per resend round — nodes keep a sampled incoming
+//! context instead of re-stamping, which is what makes one trace id span
+//! the whole fan-out.
+//!
+//! [`call`]: RouterClient::call
+//! [`set_trace`]: RouterClient::set_trace
 
 use std::collections::{BTreeMap, HashMap};
 use std::io;
 use std::time::Duration;
+
+use obsv::clock;
+use obsv::trace::{self, SpanKind, TraceCtx, TraceOutcome};
 
 use crate::transport::TcpClient;
 use crate::wire::{PartitionMap, Request, Response};
@@ -33,6 +56,7 @@ pub struct RouterClient {
     refreshes: u64,
     wrong_partition_seen: u64,
     retried_reads: u64,
+    trace: TraceCtx,
 }
 
 impl RouterClient {
@@ -57,6 +81,7 @@ impl RouterClient {
                         refreshes: 0,
                         wrong_partition_seen: 0,
                         retried_reads: 0,
+                        trace: TraceCtx::UNTRACED,
                     });
                 }
                 Err(e) => last_err = Some(e),
@@ -93,6 +118,26 @@ impl RouterClient {
         self.retried_reads
     }
 
+    /// Trace context adopted by subsequent [`call`](Self::call)s instead
+    /// of the router's own ambient-rate stamping. Use
+    /// [`obsv::trace::stamp_forced`] to trace a specific batch across the
+    /// whole cluster; reset with [`TraceCtx::UNTRACED`].
+    pub fn set_trace(&mut self, ctx: TraceCtx) {
+        self.trace = ctx;
+    }
+
+    /// 1-based ordinal of `ep` among the cached map's endpoints (stable
+    /// while the membership is: `endpoints()` sorts) — the node stamp for
+    /// forwarded trace contexts and the `rpc_call` span detail. `0` for an
+    /// endpoint the map does not name (a seed that lost its partitions).
+    fn endpoint_ordinal(&self, ep: &str) -> u16 {
+        self.map
+            .endpoints()
+            .iter()
+            .position(|e| *e == ep)
+            .map_or(0, |i| i as u16 + 1)
+    }
+
     /// The cached (or fresh) connection to `ep`.
     fn conn(&mut self, ep: &str) -> io::Result<&mut TcpClient> {
         if !self.conns.contains_key(ep) {
@@ -106,6 +151,16 @@ impl RouterClient {
     /// plus the seeds) and adopts the highest valid epoch seen. `Ok(true)`
     /// if the epoch advanced; `Err` only if no endpoint was reachable.
     pub fn refresh_map(&mut self) -> io::Result<bool> {
+        self.refresh_map_traced(TraceCtx::UNTRACED, 0)
+    }
+
+    /// [`refresh_map`](Self::refresh_map) under a trace context: the whole
+    /// sweep is one `map_refresh` span (detail = the routing attempt that
+    /// triggered it) and each `MapFetch` frame carries the forwarded
+    /// context, so refreshes triggered inside a traced request stay
+    /// attributed to it.
+    fn refresh_map_traced(&mut self, ctx: TraceCtx, attempt: u32) -> io::Result<bool> {
+        let (_span, child) = trace::span_ctx(ctx, SpanKind::MapRefresh, attempt);
         let mut candidates: Vec<String> =
             self.map.parts.iter().map(|p| p.endpoint.clone()).collect();
         candidates.extend(self.seeds.iter().cloned());
@@ -114,7 +169,9 @@ impl RouterClient {
         let mut best: Option<PartitionMap> = None;
         let mut reached = false;
         for ep in candidates {
+            let ord = self.endpoint_ordinal(&ep);
             let Ok(conn) = self.conn(&ep) else { continue };
+            conn.set_trace(child.forwarded_to(ord));
             match conn.fetch_map() {
                 Ok(m) => {
                     reached = true;
@@ -163,6 +220,32 @@ impl RouterClient {
     /// re-read. Callers wanting all-or-nothing dispatch should keep a
     /// batch within one partition.
     pub fn call(&mut self, reqs: Vec<Request>) -> io::Result<Vec<Response>> {
+        // Adopt a forced context, else stamp at the ambient trace rate:
+        // the router is the natural root of a cross-node trace.
+        let ctx = if self.trace.is_sampled() {
+            self.trace
+        } else {
+            trace::stamp()
+        };
+        let t0 = clock::now_ns();
+        let out = self.call_routed(reqs, ctx);
+        // The router owns the trace root unless the caller forwarded a
+        // remote context (then whoever stamped it finishes it).
+        if !ctx.is_remote() {
+            trace::finish_root(
+                ctx,
+                t0,
+                if out.is_ok() {
+                    TraceOutcome::Ok
+                } else {
+                    TraceOutcome::Error
+                },
+            );
+        }
+        out
+    }
+
+    fn call_routed(&mut self, reqs: Vec<Request>, ctx: TraceCtx) -> io::Result<Vec<Response>> {
         let n = reqs.len();
         let mut out: Vec<Option<Response>> = (0..n).map(|_| None).collect();
         let mut pending: Vec<(usize, Request)> = reqs.into_iter().enumerate().collect();
@@ -170,12 +253,21 @@ impl RouterClient {
             if pending.is_empty() {
                 break;
             }
-            if attempt > 0 {
+            // Resend rounds are one `bounce_resend` span each — backoff
+            // and refresh included, so the root's wall time stays covered.
+            let (_round, round_ctx) = if attempt > 0 {
+                let (guard, round_ctx) = trace::span_ctx(ctx, SpanKind::BounceResend, attempt);
                 // A bounce during a seal window clears only after the
                 // flip: back off, then chase the new epoch.
                 std::thread::sleep(Duration::from_millis(2u64 << attempt.min(5)));
-                let _ = self.refresh_map();
-            }
+                let _ = self.refresh_map_traced(round_ctx, attempt);
+                (guard, round_ctx)
+            } else {
+                (
+                    trace::span(TraceCtx::UNTRACED, SpanKind::BounceResend, 0),
+                    ctx,
+                )
+            };
             let mut groups: BTreeMap<String, Vec<(usize, Request)>> = BTreeMap::new();
             for (slot, req) in pending.drain(..) {
                 let ep = self.map.owner_of(req.key()).endpoint.clone();
@@ -184,19 +276,31 @@ impl RouterClient {
             for (ep, group) in groups {
                 let (slots, batch): (Vec<usize>, Vec<Request>) = group.into_iter().unzip();
                 let sent = batch.clone();
+                let ord = self.endpoint_ordinal(&ep);
+                // The rpc_call span is the send-to-reply clock bracket the
+                // stitcher aligns this node's spans inside; the wire
+                // context is node-stamped with the hop bumped once per
+                // resend round (bounce continuity: a resent op carries the
+                // original trace id, never a fresh stamp).
+                let (rpc_span, child) = trace::span_ctx(round_ctx, SpanKind::RpcCall, ord as u32);
+                let mut wire_ctx = child.forwarded_to(ord);
+                wire_ctx.hop = wire_ctx.hop.saturating_add(attempt.min(250) as u8);
                 let (resps, retried) = match self.conn(&ep) {
-                    Ok(conn) => match conn.call_idempotent(batch) {
-                        Ok(r) => r,
-                        Err(e) => {
-                            // Writes must surface transport errors — the
-                            // op may or may not have executed.
-                            self.conns.remove(&ep);
-                            return Err(io::Error::new(
-                                e.kind(),
-                                format!("cluster call to {ep} failed (operations routed to other nodes in this batch may have executed): {e}"),
-                            ));
+                    Ok(conn) => {
+                        conn.set_trace(wire_ctx);
+                        match conn.call_idempotent(batch) {
+                            Ok(r) => r,
+                            Err(e) => {
+                                // Writes must surface transport errors —
+                                // the op may or may not have executed.
+                                self.conns.remove(&ep);
+                                return Err(io::Error::new(
+                                    e.kind(),
+                                    format!("cluster call to {ep} failed (operations routed to other nodes in this batch may have executed): {e}"),
+                                ));
+                            }
                         }
-                    },
+                    }
                     Err(e) => {
                         return Err(io::Error::new(
                             e.kind(),
@@ -204,6 +308,7 @@ impl RouterClient {
                         ));
                     }
                 };
+                drop(rpc_span);
                 if retried {
                     self.retried_reads += 1;
                 }

@@ -425,7 +425,8 @@ impl<I: RangeIndex + Clone + 'static> PacService<I> {
             concat!(
                 "{{\"schema\":\"pacsrv_stats/v1\",\"ts_ns\":{},\"name\":\"{}\",",
                 "\"queue_depth\":{},\"admitted\":{},\"shed\":{},\"completed\":{},",
-                "\"timeouts\":{},\"registry\":{},\"traces\":{},\"flight\":\"{}\"}}"
+                "\"timeouts\":{},\"registry\":{},\"traces\":{},\"span_dump\":{},",
+                "\"flight\":\"{}\"}}"
             ),
             clock::now_ns(),
             trace::json_escape(&self.cfg.name),
@@ -436,6 +437,7 @@ impl<I: RangeIndex + Clone + 'static> PacService<I> {
             self.metrics.timeouts.load(Ordering::Relaxed),
             obsv::global().sample().to_json(1.0),
             trace::digest_json(),
+            trace::span_dump_json(),
             trace::json_escape(&obsv::flight::dump_now()),
         )
     }

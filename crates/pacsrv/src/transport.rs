@@ -535,10 +535,13 @@ impl TcpClient {
     }
 
     /// Fetches the node's currently installed partition map (wire v4 only).
+    /// Carries the client's trace context so a map refresh triggered inside
+    /// a traced request stays attributed to that trace.
     pub fn fetch_map(&mut self) -> std::io::Result<PartitionMap> {
         let id = self.next_id;
         self.next_id += 1;
-        match self.roundtrip(&Frame::MapFetch { id })? {
+        let trace = self.trace;
+        match self.roundtrip(&Frame::MapFetch { id, trace })? {
             Frame::MapReply { id: rid, map } if rid == id => Ok(map),
             other => Err(std::io::Error::new(
                 ErrorKind::InvalidData,
@@ -552,7 +555,8 @@ impl TcpClient {
     pub fn migrate(&mut self, op: MigrateOp) -> std::io::Result<(bool, String)> {
         let id = self.next_id;
         self.next_id += 1;
-        match self.roundtrip(&Frame::Migrate { id, op })? {
+        let trace = self.trace;
+        match self.roundtrip(&Frame::Migrate { id, trace, op })? {
             Frame::MigrateReply {
                 id: rid,
                 ok,

@@ -89,6 +89,17 @@
 //! status to `Overloaded`, which those clients already treat as
 //! retry-with-backoff.
 //!
+//! v4 also extends the trace block for cross-node stitching: after the
+//! v2 fields (`trace_id: u64`, `parent_span: u32`, `flags: u8`) a v4
+//! block appends `node: u16` (which node's spans the context attributes
+//! to — the router stamps each fan-out copy with the target endpoint's
+//! 1-based ordinal) and `hop: u8` (network hops taken; bumped per bounce
+//! resend), for 16 bytes total. v2/v3 requests keep the 13-byte block
+//! bit-for-bit, decoding with `node = 0, hop = 0`. The same 16-byte v4
+//! block prepends `MapFetch` and `Migrate` payloads, so router map
+//! refreshes and migration phases record under the request's trace
+//! instead of a per-node re-stamp.
+//!
 //! The same bytes travel over TCP and through the in-process transport, so
 //! benchmarks can isolate protocol cost (encode + checksum + decode) from
 //! network cost by switching transports.
@@ -300,12 +311,19 @@ pub enum Frame {
     Health { id: u64 },
     /// The health answer: a Prometheus-text-format document (v3 only).
     HealthReply { id: u64, text: String },
-    /// Partition-map fetch request (v4 only).
-    MapFetch { id: u64 },
+    /// Partition-map fetch request (v4 only). `trace` ties a router's
+    /// mid-request map refresh to the request's trace
+    /// ([`TraceCtx::UNTRACED`] for untraced control traffic).
+    MapFetch { id: u64, trace: TraceCtx },
     /// The node's currently installed partition map (v4 only).
     MapReply { id: u64, map: PartitionMap },
-    /// A migration control operation (v4 only).
-    Migrate { id: u64, op: MigrateOp },
+    /// A migration control operation (v4 only). `trace` lets the source
+    /// node record its migration-phase spans under the initiator's trace.
+    Migrate {
+        id: u64,
+        trace: TraceCtx,
+        op: MigrateOp,
+    },
     /// The migration answer: success plus a human/machine detail string
     /// (v4 only).
     MigrateReply { id: u64, ok: bool, detail: String },
@@ -340,7 +358,7 @@ impl Frame {
             | Frame::StatsReply { id, .. }
             | Frame::Health { id }
             | Frame::HealthReply { id, .. }
-            | Frame::MapFetch { id }
+            | Frame::MapFetch { id, .. }
             | Frame::MapReply { id, .. }
             | Frame::Migrate { id, .. }
             | Frame::MigrateReply { id, .. } => *id,
@@ -524,6 +542,37 @@ fn put_map(out: &mut Vec<u8>, map: &PartitionMap) {
 /// `flags` bit of a v2 trace block: the context is sampled.
 const TRACE_FLAG_SAMPLED: u8 = 1;
 
+/// Writes a trace block: 13 bytes through v3 (bit-for-bit the v2 layout),
+/// 16 bytes from v4 (adds `node: u16`, `hop: u8`).
+fn put_trace(out: &mut Vec<u8>, trace: &TraceCtx, version: u8) {
+    put_u64(out, trace.trace_id);
+    put_u32(out, trace.parent_span);
+    out.push(if trace.sampled { TRACE_FLAG_SAMPLED } else { 0 });
+    if version >= 4 {
+        put_u16(out, trace.node);
+        out.push(trace.hop);
+    }
+}
+
+/// Reads a trace block, mirroring [`put_trace`].
+fn read_trace(r: &mut Reader<'_>, version: u8) -> Result<TraceCtx, WireError> {
+    let trace_id = r.u64()?;
+    let parent_span = r.u32()?;
+    let flags = r.u8()?;
+    let (node, hop) = if version >= 4 {
+        (r.u16()?, r.u8()?)
+    } else {
+        (0, 0)
+    };
+    Ok(TraceCtx {
+        trace_id,
+        parent_span,
+        sampled: flags & TRACE_FLAG_SAMPLED != 0,
+        node,
+        hop,
+    })
+}
+
 fn encode_payload(frame: &Frame, version: u8, out: &mut Vec<u8>) {
     match frame {
         Frame::Request { trace, reqs, .. } => {
@@ -533,9 +582,7 @@ fn encode_payload(frame: &Frame, version: u8, out: &mut Vec<u8>) {
                 reqs.len()
             );
             if version >= 2 {
-                put_u64(out, trace.trace_id);
-                put_u32(out, trace.parent_span);
-                out.push(if trace.sampled { TRACE_FLAG_SAMPLED } else { 0 });
+                put_trace(out, trace, version);
             }
             put_u32(out, reqs.len() as u32);
             for r in reqs {
@@ -635,39 +682,39 @@ fn encode_payload(frame: &Frame, version: u8, out: &mut Vec<u8>) {
             out.extend_from_slice(text.as_bytes());
         }
         Frame::MapReply { map, .. } => put_map(out, map),
-        Frame::Migrate { op, .. } => match op {
-            MigrateOp::Start { partition, target } => {
-                out.push(1);
-                put_u32(out, *partition);
-                put_str(out, target);
+        Frame::MapFetch { trace, .. } => put_trace(out, trace, version),
+        Frame::Migrate { trace, op, .. } => {
+            put_trace(out, trace, version);
+            match op {
+                MigrateOp::Start { partition, target } => {
+                    out.push(1);
+                    put_u32(out, *partition);
+                    put_str(out, target);
+                }
+                MigrateOp::ImportBegin { partition } => {
+                    out.push(2);
+                    put_u32(out, *partition);
+                }
+                MigrateOp::ImportEnd { partition, map } => {
+                    out.push(3);
+                    put_u32(out, *partition);
+                    put_map(out, map);
+                }
+                MigrateOp::Install { map } => {
+                    out.push(4);
+                    put_map(out, map);
+                }
+                MigrateOp::ImportAbort { partition } => {
+                    out.push(5);
+                    put_u32(out, *partition);
+                }
             }
-            MigrateOp::ImportBegin { partition } => {
-                out.push(2);
-                put_u32(out, *partition);
-            }
-            MigrateOp::ImportEnd { partition, map } => {
-                out.push(3);
-                put_u32(out, *partition);
-                put_map(out, map);
-            }
-            MigrateOp::Install { map } => {
-                out.push(4);
-                put_map(out, map);
-            }
-            MigrateOp::ImportAbort { partition } => {
-                out.push(5);
-                put_u32(out, *partition);
-            }
-        },
+        }
         Frame::MigrateReply { ok, detail, .. } => {
             out.push(u8::from(*ok));
             put_str(out, detail);
         }
-        Frame::Ping { .. }
-        | Frame::Pong { .. }
-        | Frame::Stats { .. }
-        | Frame::Health { .. }
-        | Frame::MapFetch { .. } => {}
+        Frame::Ping { .. } | Frame::Pong { .. } | Frame::Stats { .. } | Frame::Health { .. } => {}
     }
 }
 
@@ -784,9 +831,13 @@ fn decode_payload(version: u8, kind: u8, id: u64, payload: &[u8]) -> Result<Fram
             Frame::HealthReply { id, text }
         }
         7 | 8 => return Err(WireError::Malformed("health frames require wire v3")),
-        9 if version >= 4 => Frame::MapFetch { id },
+        9 if version >= 4 => Frame::MapFetch {
+            id,
+            trace: read_trace(&mut r, version)?,
+        },
         10 if version >= 4 => Frame::MapReply { id, map: r.map()? },
         11 if version >= 4 => {
+            let trace = read_trace(&mut r, version)?;
             let op = match r.u8()? {
                 1 => MigrateOp::Start {
                     partition: r.u32()?,
@@ -805,7 +856,7 @@ fn decode_payload(version: u8, kind: u8, id: u64, payload: &[u8]) -> Result<Fram
                 },
                 _ => return Err(WireError::Malformed("unknown migrate op tag")),
             };
-            Frame::Migrate { id, op }
+            Frame::Migrate { id, trace, op }
         }
         12 if version >= 4 => {
             let ok = match r.u8()? {
@@ -822,14 +873,7 @@ fn decode_payload(version: u8, kind: u8, id: u64, payload: &[u8]) -> Result<Fram
         9..=12 => return Err(WireError::Malformed("cluster frames require wire v4")),
         1 => {
             let trace = if version >= 2 {
-                let trace_id = r.u64()?;
-                let parent_span = r.u32()?;
-                let flags = r.u8()?;
-                TraceCtx {
-                    trace_id,
-                    parent_span,
-                    sampled: flags & TRACE_FLAG_SAMPLED != 0,
-                }
+                read_trace(&mut r, version)?
             } else {
                 // v1 carries no trace block: the server stamps its own
                 // context, exactly as for local submissions.
@@ -1113,9 +1157,50 @@ mod tests {
                 trace_id: 0xDEAD_BEEF_CAFE_F00D,
                 parent_span: 0x1234_5678,
                 sampled: true,
+                node: 3,
+                hop: 2,
             },
             reqs: vec![Request::Get { key: b"k".to_vec() }],
         });
+    }
+
+    #[test]
+    fn v4_trace_block_adds_node_and_hop() {
+        let frame = Frame::Request {
+            id: 6,
+            trace: TraceCtx {
+                trace_id: 11,
+                parent_span: 22,
+                sampled: true,
+                node: 7,
+                hop: 3,
+            },
+            reqs: vec![Request::Get { key: b"k".to_vec() }],
+        };
+        let mut v2 = Vec::new();
+        let n2 = encode_frame_versioned(&frame, 2, &mut v2);
+        let mut v4 = Vec::new();
+        let n4 = encode_frame_versioned(&frame, 4, &mut v4);
+        // The v4 block is exactly node (u16) + hop (u8) longer.
+        assert_eq!(n4 - n2, 3);
+        match decode_frame(&v4).unwrap().0 {
+            Frame::Request { trace, .. } => {
+                assert_eq!(trace.node, 7);
+                assert_eq!(trace.hop, 3);
+            }
+            other => panic!("expected request, got {other:?}"),
+        }
+        // Down-versioned encodings drop node/hop but keep the v2 fields.
+        match decode_frame(&v2).unwrap().0 {
+            Frame::Request { trace, .. } => {
+                assert_eq!(trace.trace_id, 11);
+                assert_eq!(trace.parent_span, 22);
+                assert!(trace.sampled);
+                assert_eq!(trace.node, 0);
+                assert_eq!(trace.hop, 0);
+            }
+            other => panic!("expected request, got {other:?}"),
+        }
     }
 
     #[test]
@@ -1126,6 +1211,8 @@ mod tests {
                 trace_id: 42,
                 parent_span: 7,
                 sampled: true,
+                node: 0,
+                hop: 0,
             },
             reqs: vec![Request::Put {
                 key: b"pk".to_vec(),
@@ -1218,6 +1305,8 @@ mod tests {
                 trace_id: 9,
                 parent_span: 4,
                 sampled: true,
+                node: 0,
+                hop: 0,
             },
             reqs: vec![
                 Request::Get { key: b"g".to_vec() },
@@ -1360,7 +1449,21 @@ mod tests {
 
     #[test]
     fn roundtrip_cluster_frames() {
-        roundtrip(Frame::MapFetch { id: 40 });
+        let traced = TraceCtx {
+            trace_id: 77,
+            parent_span: 5,
+            sampled: true,
+            node: 2,
+            hop: 1,
+        };
+        roundtrip(Frame::MapFetch {
+            id: 40,
+            trace: TraceCtx::UNTRACED,
+        });
+        roundtrip(Frame::MapFetch {
+            id: 40,
+            trace: traced,
+        });
         roundtrip(Frame::MapReply {
             id: 40,
             map: sample_map(),
@@ -1374,6 +1477,7 @@ mod tests {
         });
         roundtrip(Frame::Migrate {
             id: 42,
+            trace: traced,
             op: MigrateOp::Start {
                 partition: 1,
                 target: "10.0.0.2:7000".to_string(),
@@ -1381,10 +1485,12 @@ mod tests {
         });
         roundtrip(Frame::Migrate {
             id: 43,
+            trace: TraceCtx::UNTRACED,
             op: MigrateOp::ImportBegin { partition: 1 },
         });
         roundtrip(Frame::Migrate {
             id: 44,
+            trace: TraceCtx::UNTRACED,
             op: MigrateOp::ImportEnd {
                 partition: 1,
                 map: sample_map(),
@@ -1392,10 +1498,12 @@ mod tests {
         });
         roundtrip(Frame::Migrate {
             id: 45,
+            trace: TraceCtx::UNTRACED,
             op: MigrateOp::Install { map: sample_map() },
         });
         roundtrip(Frame::Migrate {
             id: 47,
+            trace: TraceCtx::UNTRACED,
             op: MigrateOp::ImportAbort { partition: 1 },
         });
         roundtrip(Frame::MigrateReply {
@@ -1426,7 +1534,14 @@ mod tests {
     #[should_panic(expected = "cluster frames are not representable below wire v4")]
     fn v3_cannot_encode_map_fetch() {
         let mut buf = Vec::new();
-        encode_frame_versioned(&Frame::MapFetch { id: 1 }, 3, &mut buf);
+        encode_frame_versioned(
+            &Frame::MapFetch {
+                id: 1,
+                trace: TraceCtx::UNTRACED,
+            },
+            3,
+            &mut buf,
+        );
     }
 
     #[test]

@@ -1,0 +1,327 @@
+//! Cross-node trace stitching end to end (feature `trace`): a traced
+//! request fans across several nodes while a traced migration runs, the
+//! per-node span dumps are fetched over the wire (`Stats` frames), and
+//! [`obsv::trace::stitch`] reassembles each trace into a single tree —
+//! one root, per-endpoint rpc spans, per-node remote brackets, and the
+//! four migration phases.
+//!
+//! Retention is process-global, so tests serialize on a mutex and filter
+//! span dumps down to their own trace ids before stitching.
+
+#![cfg(feature = "trace")]
+
+mod common;
+
+use std::collections::BTreeSet;
+use std::net::TcpListener;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use common::MapIndex;
+use obsv::trace::{self, SpanKind, SpanRecord, TraceOutcome};
+use pacsrv::cluster::{ClusterNode, RouterClient, PHASE_BULK, PHASE_DELTA, PHASE_FLIP, PHASE_SEAL};
+use pacsrv::wire::{MigrateOp, PartitionMap, Request, Response};
+use pacsrv::{PacService, ServiceConfig, TcpClient, TcpServer};
+
+/// Serializes tests that touch the global retained-trace buffer.
+static TRACE_LOCK: Mutex<()> = Mutex::new(());
+
+struct Cluster {
+    nodes: Vec<Arc<ClusterNode<MapIndex>>>,
+    servers: Vec<TcpServer>,
+    endpoints: Vec<String>,
+}
+
+/// Binds `n` listeners first (so the map can name real ephemeral ports),
+/// then attaches one service + cluster node per listener.
+fn start_cluster(tag: &str, n: usize) -> Cluster {
+    let listeners: Vec<TcpListener> = (0..n)
+        .map(|_| TcpListener::bind("127.0.0.1:0").expect("bind"))
+        .collect();
+    let endpoints: Vec<String> = listeners
+        .iter()
+        .map(|l| l.local_addr().expect("addr").to_string())
+        .collect();
+    let map = PartitionMap::split_u64(&endpoints);
+    let mut nodes = Vec::new();
+    let mut servers = Vec::new();
+    for (i, listener) in listeners.into_iter().enumerate() {
+        let cfg = ServiceConfig {
+            shards: 2,
+            numa_pin: false,
+            ..ServiceConfig::named(&format!("pacsrv-{tag}-{i}"), 2)
+        };
+        let service = PacService::start(MapIndex::default(), cfg);
+        let node = ClusterNode::start(service, &endpoints[i], map.clone()).expect("cluster node");
+        servers.push(TcpServer::serve(node.clone(), listener).expect("serve"));
+        nodes.push(node);
+    }
+    Cluster {
+        nodes,
+        servers,
+        endpoints,
+    }
+}
+
+impl Cluster {
+    fn stop(self) {
+        for s in self.servers {
+            s.stop();
+        }
+        for n in self.nodes {
+            n.service().shutdown(Duration::from_secs(5));
+        }
+    }
+}
+
+/// A key in the first third of the u64 key space (partition 0 of 3).
+fn p0_key(i: u64) -> Vec<u8> {
+    let stride = u64::MAX / 3;
+    (i % stride).to_be_bytes().to_vec()
+}
+
+/// A key anywhere in the u64 key space.
+fn spread_key(i: u64) -> Vec<u8> {
+    i.wrapping_mul(0x9E37_79B9_7F4A_7C15).to_be_bytes().to_vec()
+}
+
+/// Fetches every node's span dump over the wire and keeps only `trace_id`'s
+/// spans — what `trace-report` does against a live cluster.
+fn fetch_parts(endpoints: &[String], trace_id: u64) -> Vec<Vec<SpanRecord>> {
+    endpoints
+        .iter()
+        .map(|ep| {
+            let mut c = TcpClient::connect(ep).expect("stats conn");
+            let stats = c.stats().expect("stats");
+            trace::parse_span_dump(&stats)
+                .into_iter()
+                .filter(|s| s.trace_id == trace_id)
+                .collect()
+        })
+        .collect()
+}
+
+/// Fraction of the root's wall time covered by the union of its direct
+/// children's intervals.
+fn root_coverage(tr: &trace::RetainedTrace) -> f64 {
+    let root = &tr.spans[0];
+    let mut ivals: Vec<(u64, u64)> = tr
+        .spans
+        .iter()
+        .filter(|s| s.parent == root.span_id && s.span_id != root.span_id)
+        .map(|s| (s.start_ns.max(root.start_ns), s.end_ns.min(root.end_ns)))
+        .filter(|(a, b)| a < b)
+        .collect();
+    ivals.sort_unstable();
+    let mut covered = 0u64;
+    let mut cursor = root.start_ns;
+    for (a, b) in ivals {
+        let a = a.max(cursor);
+        if b > a {
+            covered += b - a;
+            cursor = b;
+        }
+    }
+    if tr.root_ns == 0 {
+        1.0
+    } else {
+        covered as f64 / tr.root_ns as f64
+    }
+}
+
+#[test]
+fn traced_fanout_during_migration_stitches_to_single_trees() {
+    let _g = TRACE_LOCK.lock().unwrap();
+    trace::set_keep_threshold_ns(0);
+    trace::clear_retained();
+
+    let cluster = start_cluster("trace", 3);
+    let endpoints = cluster.endpoints.clone();
+    let mut router = RouterClient::connect(&endpoints[..1]).expect("router");
+
+    // Preload partition 0 so the migration has chunks to copy.
+    let preload: Vec<Request> = (0..64)
+        .map(|i| Request::Put {
+            key: p0_key(i),
+            value: i,
+        })
+        .collect();
+    assert!(router
+        .call(preload)
+        .expect("preload")
+        .iter()
+        .all(|r| *r == Response::Ok));
+
+    // Widen the migration window so the traced fan-out overlaps it.
+    cluster.nodes[0].set_migration_hook(|_phase| std::thread::sleep(Duration::from_millis(1)));
+
+    // Traced migration, driven the way `trace-report` drives one: stamp a
+    // forced ctx, forward it to the source node (ordinal 1), and mint the
+    // controller-side root once the Start call returns.
+    let mig_target = endpoints[1].clone();
+    let mig_ep = endpoints[0].clone();
+    let mig = std::thread::spawn(move || {
+        let mut ctl = TcpClient::connect(&mig_ep).expect("ctl conn");
+        let mctx = trace::stamp_forced();
+        ctl.set_trace(mctx.forwarded_to(1));
+        let t0 = obsv::clock::now_ns();
+        let (ok, detail) = ctl
+            .migrate(MigrateOp::Start {
+                partition: 0,
+                target: mig_target,
+            })
+            .expect("migrate rpc");
+        trace::finish_root(mctx, t0, TraceOutcome::Ok);
+        (ok, detail, mctx.trace_id)
+    });
+
+    // Traced request fanning across all three partitions mid-migration.
+    let rctx = trace::stamp_forced();
+    router.set_trace(rctx);
+    let reqs: Vec<Request> = (100..140)
+        .map(|i| Request::Put {
+            key: spread_key(i),
+            value: i,
+        })
+        .collect();
+    let resps = router.call(reqs).expect("traced fan-out");
+    assert!(resps.iter().all(|r| *r == Response::Ok), "{resps:?}");
+
+    let (mig_ok, mig_detail, mig_trace_id) = mig.join().expect("migration thread");
+    assert!(mig_ok, "migration failed: {mig_detail}");
+
+    // Stitch the request trace from the per-node wire dumps.
+    let parts = fetch_parts(&endpoints, rctx.trace_id);
+    assert!(parts.iter().any(|p| !p.is_empty()), "no spans dumped");
+    let tree = trace::stitch(rctx.trace_id, &parts).expect("stitch request trace");
+    assert_eq!(tree.spans[0].kind, SpanKind::Root);
+
+    // The fan-out names at least two distinct endpoints, and at least two
+    // node-side remote fragments came back under the same trace id.
+    let rpc_eps: BTreeSet<u32> = tree
+        .spans
+        .iter()
+        .filter(|s| s.kind == SpanKind::RpcCall)
+        .map(|s| s.detail)
+        .collect();
+    assert!(rpc_eps.len() >= 2, "rpc endpoints: {rpc_eps:?}");
+    let remote_nodes: BTreeSet<u32> = tree
+        .spans
+        .iter()
+        .filter(|s| s.kind == SpanKind::Remote)
+        .map(|s| s.detail)
+        .collect();
+    assert!(remote_nodes.len() >= 2, "remote nodes: {remote_nodes:?}");
+
+    // The root's direct children account for >= 90% of its wall time.
+    let coverage = root_coverage(&tree);
+    assert!(coverage >= 0.90, "root coverage {coverage:.3} < 0.90");
+
+    // Stitch the migration trace: all four phases under one root.
+    let mparts = fetch_parts(&endpoints, mig_trace_id);
+    let mtree = trace::stitch(mig_trace_id, &mparts).expect("stitch migration trace");
+    assert_eq!(mtree.spans[0].kind, SpanKind::Root);
+    let phases: BTreeSet<u32> = mtree
+        .spans
+        .iter()
+        .filter(|s| s.kind == SpanKind::MigratePhase)
+        .map(|s| s.detail)
+        .collect();
+    for want in [PHASE_BULK, PHASE_DELTA, PHASE_SEAL, PHASE_FLIP] {
+        assert!(
+            phases.contains(&(want as u32)),
+            "phase {want} missing from {phases:?}"
+        );
+    }
+
+    trace::set_keep_threshold_ns(trace::DEFAULT_KEEP_THRESHOLD_NS);
+    cluster.stop();
+}
+
+#[test]
+fn bounce_resend_keeps_the_original_trace() {
+    let _g = TRACE_LOCK.lock().unwrap();
+    trace::set_keep_threshold_ns(0);
+    trace::clear_retained();
+
+    let cluster = start_cluster("bounce", 3);
+    let endpoints = cluster.endpoints.clone();
+
+    // Connect the router first so its cached map predates the migration.
+    let mut router = RouterClient::connect(&endpoints[..1]).expect("router");
+    let mut ctl = TcpClient::connect(&endpoints[0]).expect("ctl");
+    let (ok, detail) = ctl
+        .migrate(MigrateOp::Start {
+            partition: 0,
+            target: endpoints[1].clone(),
+        })
+        .expect("migrate rpc");
+    assert!(ok, "{detail}");
+
+    // First traced send hits the stale owner, bounces, refreshes, resends —
+    // all under the one original trace id (satellite: bounce continuity).
+    let ctx = trace::stamp_forced();
+    router.set_trace(ctx);
+    let resps = router
+        .call(vec![Request::Put {
+            key: p0_key(7),
+            value: 7,
+        }])
+        .expect("bounced call");
+    assert_eq!(resps, vec![Response::Ok]);
+
+    let parts = fetch_parts(&endpoints, ctx.trace_id);
+    let tree = trace::stitch(ctx.trace_id, &parts).expect("stitch bounced trace");
+    let kinds: Vec<SpanKind> = tree.spans.iter().map(|s| s.kind).collect();
+    assert!(
+        kinds.contains(&SpanKind::BounceResend),
+        "no bounce span: {kinds:?}"
+    );
+    assert!(
+        kinds.contains(&SpanKind::MapRefresh),
+        "no map-refresh span: {kinds:?}"
+    );
+    assert!(
+        kinds.contains(&SpanKind::Remote),
+        "no node fragment: {kinds:?}"
+    );
+
+    trace::set_keep_threshold_ns(trace::DEFAULT_KEEP_THRESHOLD_NS);
+    cluster.stop();
+}
+
+#[test]
+fn stitch_rejects_spans_from_another_trace() {
+    let mine = SpanRecord {
+        trace_id: 7,
+        span_id: 1,
+        parent: 0,
+        kind: SpanKind::Root,
+        detail: 0,
+        tid: 0,
+        start_ns: 10,
+        end_ns: 90,
+        stall_ns: [0; trace::STALL_KINDS],
+    };
+    let foreign = SpanRecord {
+        trace_id: 8,
+        span_id: 2,
+        parent: 1,
+        kind: SpanKind::RpcCall,
+        detail: 1,
+        tid: 0,
+        start_ns: 20,
+        end_ns: 30,
+        stall_ns: [0; trace::STALL_KINDS],
+    };
+    let err = trace::stitch(7, &[vec![mine, foreign]]).expect_err("must reject");
+    assert!(err.contains("trace 8"), "{err}");
+
+    // And a dump with no (or several) roots is rejected too.
+    let orphan = SpanRecord {
+        kind: SpanKind::RpcCall,
+        ..mine
+    };
+    let err = trace::stitch(7, &[vec![orphan]]).expect_err("no root");
+    assert!(err.contains("root"), "{err}");
+}

@@ -12,11 +12,23 @@ use proptest::collection::vec;
 use proptest::prelude::*;
 
 /// Materializes a trace context from a generated raw tuple.
-fn build_trace((trace_id, parent_span, sampled): (u64, u32, bool)) -> TraceCtx {
+fn build_trace((trace_id, parent_span, sampled, node, hop): (u64, u32, bool, u16, u8)) -> TraceCtx {
     TraceCtx {
         trace_id,
         parent_span,
         sampled,
+        node,
+        hop,
+    }
+}
+
+/// What a trace context looks like after a pre-v4 round trip: the 13-byte
+/// v2/v3 block carries id/parent/flags, never the node stamp or hop.
+fn pre_v4_view(trace: TraceCtx) -> TraceCtx {
+    TraceCtx {
+        node: 0,
+        hop: 0,
+        ..trace
     }
 }
 
@@ -97,7 +109,7 @@ proptest! {
     #[test]
     fn request_frames_round_trip(
         id in any::<u64>(),
-        raw_trace in (any::<u64>(), any::<u32>(), any::<bool>()),
+        raw_trace in (any::<u64>(), any::<u32>(), any::<bool>(), any::<u16>(), any::<u8>()),
         raw in vec((any::<u8>(), vec(any::<u8>(), 0..40), any::<u64>()), 0..24),
     ) {
         let trace = build_trace(raw_trace);
@@ -128,7 +140,7 @@ proptest! {
         id in any::<u64>(),
         raw in vec((any::<u8>(), vec(any::<u8>(), 0..24), any::<u64>()), 1..12),
         cut_seed in any::<u64>(),
-        raw_trace in (any::<u64>(), any::<u32>(), any::<bool>()),
+        raw_trace in (any::<u64>(), any::<u32>(), any::<bool>(), any::<u16>(), any::<u8>()),
     ) {
         let trace = build_trace(raw_trace);
         let frame = Frame::Request { id, trace, reqs: build_requests(raw) };
@@ -156,7 +168,7 @@ proptest! {
         raw in vec((any::<u8>(), vec(any::<u8>(), 0..24), any::<u64>()), 1..12),
         flip_pos_seed in any::<u64>(),
         flip_bit in 0..8u32,
-        raw_trace in (any::<u64>(), any::<u32>(), any::<bool>()),
+        raw_trace in (any::<u64>(), any::<u32>(), any::<bool>(), any::<u16>(), any::<u8>()),
     ) {
         let trace = build_trace(raw_trace);
         let frame = Frame::Request { id, trace, reqs: build_requests(raw) };
@@ -180,7 +192,7 @@ proptest! {
     #[test]
     fn v1_request_decodes_on_v2_build_as_untraced(
         id in any::<u64>(),
-        raw_trace in (any::<u64>(), any::<u32>(), any::<bool>()),
+        raw_trace in (any::<u64>(), any::<u32>(), any::<bool>(), any::<u16>(), any::<u8>()),
         raw in vec((any::<u8>(), vec(any::<u8>(), 0..40), any::<u64>()), 0..24),
     ) {
         let trace = build_trace(raw_trace);
@@ -193,22 +205,30 @@ proptest! {
         prop_assert_eq!(decoded, Frame::Request { id, trace: TraceCtx::UNTRACED, reqs });
     }
 
-    /// The 13-byte v2 trace block round-trips exactly, and dropping to v1
-    /// costs exactly those 13 bytes.
+    /// The 13-byte v2 trace block round-trips id/parent/flags exactly
+    /// (node/hop are a v4 extension: zeroed on a v2 round trip), dropping
+    /// to v1 costs exactly those 13 bytes, and the v4 block costs exactly
+    /// 3 more (node + hop) while round-tripping the full context.
     #[test]
     fn v2_trace_context_round_trips(
         id in any::<u64>(),
-        raw_trace in (any::<u64>(), any::<u32>(), any::<bool>()),
+        raw_trace in (any::<u64>(), any::<u32>(), any::<bool>(), any::<u16>(), any::<u8>()),
         raw in vec((any::<u8>(), vec(any::<u8>(), 0..40), any::<u64>()), 0..8),
     ) {
         let trace = build_trace(raw_trace);
-        let frame = Frame::Request { id, trace, reqs: build_requests(raw) };
+        let reqs = build_requests(raw);
+        let frame = Frame::Request { id, trace, reqs: reqs.clone() };
         let mut v2 = Vec::new();
         let n2 = encode_frame_versioned(&frame, 2, &mut v2);
         let mut v1 = Vec::new();
         let n1 = encode_frame_versioned(&frame, 1, &mut v1);
         prop_assert_eq!(n2 - n1, 13);
         let (decoded, _) = decode_frame(&v2).expect("v2 decodes");
+        prop_assert_eq!(decoded, Frame::Request { id, trace: pre_v4_view(trace), reqs: reqs.clone() });
+        let mut v4 = Vec::new();
+        let n4 = encode_frame_versioned(&frame, 4, &mut v4);
+        prop_assert_eq!(n4 - n2, 3);
+        let (decoded, _) = decode_frame(&v4).expect("v4 decodes");
         prop_assert_eq!(decoded, frame);
     }
 
@@ -243,14 +263,16 @@ proptest! {
 
     /// `MapFetch`/`MapReply` round-trip for arbitrary maps, including
     /// empty ones and unsorted/duplicate parts (the codec carries, the
-    /// installer validates).
+    /// installer validates). The fetch's v4 trace block — node stamp and
+    /// hop included — round-trips for arbitrary contexts.
     #[test]
     fn v4_map_frames_round_trip(
         id in any::<u64>(),
         epoch in any::<u64>(),
+        raw_trace in (any::<u64>(), any::<u32>(), any::<bool>(), any::<u16>(), any::<u8>()),
         raw in vec((vec(any::<u8>(), 0..24), vec(any::<u8>(), 0..16)), 0..12),
     ) {
-        let fetch = Frame::MapFetch { id };
+        let fetch = Frame::MapFetch { id, trace: build_trace(raw_trace) };
         let mut buf = Vec::new();
         let n = encode_frame(&fetch, &mut buf);
         let (decoded, consumed) = decode_frame(&buf).expect("map fetch");
@@ -265,7 +287,8 @@ proptest! {
         prop_assert_eq!(decoded, reply);
     }
 
-    /// `Migrate`/`MigrateReply` round-trip for every control op.
+    /// `Migrate`/`MigrateReply` round-trip for every control op, with an
+    /// arbitrary v4 trace block (node stamp and hop included).
     #[test]
     fn v4_migrate_frames_round_trip(
         id in any::<u64>(),
@@ -273,11 +296,12 @@ proptest! {
         partition in any::<u32>(),
         target in vec(any::<u8>(), 0..24),
         epoch in any::<u64>(),
+        raw_trace in (any::<u64>(), any::<u32>(), any::<bool>(), any::<u16>(), any::<u8>()),
         raw in vec((vec(any::<u8>(), 0..16), vec(any::<u8>(), 0..12)), 0..8),
         ok in any::<bool>(),
         detail in vec(any::<u8>(), 0..48),
     ) {
-        let frame = Frame::Migrate { id, op: build_op(tag, partition, &target, build_map(epoch, raw)) };
+        let frame = Frame::Migrate { id, trace: build_trace(raw_trace), op: build_op(tag, partition, &target, build_map(epoch, raw)) };
         let mut buf = Vec::new();
         let n = encode_frame(&frame, &mut buf);
         let (decoded, consumed) = decode_frame(&buf).expect("migrate");
@@ -320,11 +344,12 @@ proptest! {
         target in vec(any::<u8>(), 0..24),
         epoch in any::<u64>(),
         raw in vec((vec(any::<u8>(), 0..16), vec(any::<u8>(), 0..12)), 1..8),
+        raw_trace in (any::<u64>(), any::<u32>(), any::<bool>(), any::<u16>(), any::<u8>()),
         cut_seed in any::<u64>(),
         flip_pos_seed in any::<u64>(),
         flip_bit in 0..8u32,
     ) {
-        let frame = Frame::Migrate { id, op: build_op(tag, partition, &target, build_map(epoch, raw)) };
+        let frame = Frame::Migrate { id, trace: build_trace(raw_trace), op: build_op(tag, partition, &target, build_map(epoch, raw)) };
         let mut buf = Vec::new();
         let n = encode_frame(&frame, &mut buf);
         let cut = (cut_seed % n as u64) as usize;
@@ -356,7 +381,7 @@ proptest! {
         id in any::<u64>(),
         raw_reqs in vec((any::<u8>(), vec(any::<u8>(), 0..24), any::<u64>()), 0..12),
         raw_resps in vec((any::<u8>(), any::<u64>(), any::<bool>()), 0..12),
-        raw_trace in (any::<u64>(), any::<u32>(), any::<bool>()),
+        raw_trace in (any::<u64>(), any::<u32>(), any::<bool>(), any::<u16>(), any::<u8>()),
     ) {
         let trace = build_trace(raw_trace);
         let reqs = build_requests(raw_reqs);
@@ -366,7 +391,7 @@ proptest! {
             let mut buf = Vec::new();
             encode_frame_versioned(&frame, version, &mut buf);
             let (decoded, _) = decode_frame(&buf).expect("request decodes");
-            let want_trace = if version >= 2 { trace } else { TraceCtx::UNTRACED };
+            let want_trace = if version >= 2 { pre_v4_view(trace) } else { TraceCtx::UNTRACED };
             prop_assert_eq!(decoded, Frame::Request { id, trace: want_trace, reqs: reqs.clone() });
 
             let reply = Frame::Reply { id, resps: resps.clone() };

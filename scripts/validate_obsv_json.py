@@ -46,9 +46,14 @@ Validates by the embedded "schema" tag:
   within its limit, a converged router block (final epoch >= 2, zero
   sweep bounces), per-node bounce counts, zero errors, clean=true, and
   a provenance stamp.
+* ``fleet_heat/v1`` — per-partition heat telemetry from
+  ``paccluster-bench``: per-partition op/byte/p99 rows, the
+  rebalance-advisor verdict, and the fleet-merged-vs-direct p99 gate
+  (within the documented histogram reconstruction bound).
 * ``slo_events/v1`` — one JSON object per line from an
-  ``obsv::SloEngine`` event sink; fire/clear must alternate per
-  objective, starting with fire, with monotone timestamps.
+  ``obsv::SloEngine`` or ``obsv::fleet::FleetScraper`` event sink;
+  fire/clear must alternate per objective, starting with fire, with
+  monotone timestamps.
 * tsdb dumps (``.jsonl`` lines with ``ts_ns``/``gauges``/``hists`` and
   no ``schema`` tag) — from ``Tsdb::dump_jsonl`` or the background
   sampler; timestamps must be monotone. If SLO gauges are present, some
@@ -147,7 +152,9 @@ def validate_report(doc, path):
 
 
 STALL_KINDS = ["read", "flush", "fence", "throttle"]
-SPAN_KINDS = ["root", "admission", "queue", "batch", "index_op", "smo", "epoch"]
+SPAN_KINDS = ["root", "admission", "queue", "batch", "index_op", "smo", "epoch",
+              "rpc_call", "map_refresh", "bounce_resend", "migrate_phase",
+              "remote"]
 
 
 def validate_trace_chrome(doc, path):
@@ -405,6 +412,55 @@ def validate_paccluster_bench(doc, path):
           f"epoch {router['final_epoch']}, seal {mig['seal_ms']} ms)")
 
 
+def validate_fleet_heat(doc, path):
+    """``fleet_heat/v1`` — per-partition heat telemetry from
+    ``paccluster-bench``: per-partition op/byte counters with a batch-p99,
+    the rebalance advisor's pick, and the fleet-vs-direct p99 gate."""
+    if not isinstance(doc.get("hot_partition"), int) or doc["hot_partition"] < 0:
+        fail(f"{path}: missing/invalid 'hot_partition'")
+    parts = doc.get("partitions")
+    if not isinstance(parts, list) or not parts:
+        fail(f"{path}: empty or missing 'partitions'")
+    total_ops = 0
+    for i, p in enumerate(parts):
+        where = f"{path}: partition {i}"
+        if p.get("id") != i:
+            fail(f"{where}: id {p.get('id')!r} out of order")
+        for k in ["ops", "bytes", "p99_ns"]:
+            if not isinstance(p.get(k), int) or p[k] < 0:
+                fail(f"{where}: missing/invalid '{k}': {p.get(k)!r}")
+        if p["ops"] > 0 and p["bytes"] == 0:
+            fail(f"{where}: {p['ops']} ops moved zero bytes")
+        total_ops += p["ops"]
+    if total_ops == 0:
+        fail(f"{path}: no partition recorded any ops")
+    advisor = doc.get("advisor")
+    if not isinstance(advisor, dict):
+        fail(f"{path}: missing 'advisor'")
+    hottest = advisor.get("hottest")
+    if not isinstance(hottest, int) or not 0 <= hottest < len(parts):
+        fail(f"{path}: advisor hottest {hottest!r} not a partition id")
+    if parts[hottest]["ops"] != max(p["ops"] for p in parts):
+        fail(f"{path}: advisor picked partition {hottest}, which is not the "
+             f"hottest by ops")
+    if advisor.get("ok") is not True:
+        fail(f"{path}: advisor ok={advisor.get('ok')!r}")
+    fleet = doc.get("fleet")
+    if not isinstance(fleet, dict):
+        fail(f"{path}: missing 'fleet'")
+    check_num(fleet, "nodes", f"{path}: fleet", positive=True)
+    p99 = check_num(fleet, "p99_ns", f"{path}: fleet", positive=True)
+    direct = check_num(fleet, "direct_p99_ns", f"{path}: fleet", positive=True)
+    bound = check_num(fleet, "rel_error_bound", f"{path}: fleet", positive=True)
+    diff = abs(p99 - direct) / max(direct, 1)
+    if diff > bound:
+        fail(f"{path}: fleet p99 {p99} vs direct merge {direct} differs by "
+             f"{diff:.4f} > bound {bound}")
+    check_stamp(doc, path)
+    print(f"OK: {path} (fleet_heat/v1, {len(parts)} partitions, hottest "
+          f"{hottest}, fleet p99 within {bound * 100:.3f}% of direct merge)")
+
+
 def jsonl_lines(path):
     with open(path) as f:
         raw = [ln for ln in f.read().splitlines() if ln.strip()]
@@ -559,6 +615,8 @@ def main():
             validate_obsv_overhead(doc, path)
         elif schema == "paccluster_bench/v1":
             validate_paccluster_bench(doc, path)
+        elif schema == "fleet_heat/v1":
+            validate_fleet_heat(doc, path)
         else:
             fail(f"{path}: unknown schema {schema!r}")
     print("all observability artifacts valid")

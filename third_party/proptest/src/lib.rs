@@ -117,6 +117,33 @@ pub mod strategy {
             (self.0.generate(rng), self.1.generate(rng), self.2.generate(rng))
         }
     }
+
+    impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy> Strategy for (A, B, C, D) {
+        type Value = (A::Value, B::Value, C::Value, D::Value);
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (
+                self.0.generate(rng),
+                self.1.generate(rng),
+                self.2.generate(rng),
+                self.3.generate(rng),
+            )
+        }
+    }
+
+    impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy, E: Strategy> Strategy
+        for (A, B, C, D, E)
+    {
+        type Value = (A::Value, B::Value, C::Value, D::Value, E::Value);
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (
+                self.0.generate(rng),
+                self.1.generate(rng),
+                self.2.generate(rng),
+                self.3.generate(rng),
+                self.4.generate(rng),
+            )
+        }
+    }
 }
 
 pub mod arbitrary {
